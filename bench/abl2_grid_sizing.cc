@@ -1,0 +1,54 @@
+// Ablation A2 — per-grid sizing with unequal cells (OHG-OLH) versus shared
+// power-of-two granularity (HDG). Both use OLH only, so the difference is
+// the grid-size policy. Domains are chosen away from powers of two, where
+// the rounding penalty Section 3.2 describes is largest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<uint32_t> domains = {25, 48, 100, 300, 1000};
+  const std::vector<std::string> methods = {"HDG", "OHG-OLH"};
+
+  std::printf("Ablation A2 — per-grid sizing vs shared power-of-two "
+              "granularity (n=%llu, eps=%.2f, all-numerical, lambda=2, "
+              "range-only, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.epsilon, d.num_queries,
+              d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name != "uniform" && spec.name != "normal") continue;
+    eval::SeriesTable table(spec.name, "domain", methods);
+    for (const uint32_t domain : domains) {
+      const data::Dataset dataset = spec.make(d.n, 6, 0, domain, 2, 181);
+      const PreparedWorkload w = PrepareWorkload(
+          dataset, d.num_queries, 2, d.selectivity, true, 1010 + domain);
+      eval::ExperimentParams params;
+      params.epsilon = d.epsilon;
+      params.selectivity_prior = d.selectivity;
+      params.seed = 37;
+      std::vector<double> row;
+      for (const std::string& m : methods) {
+        row.push_back(
+            PointMae(m, dataset, w.queries, w.truths, params, d.trials));
+      }
+      table.AddRow(std::to_string(domain), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A4 — the adaptive frequency oracle versus pinning a single
+// protocol for every grid (OLH-only, GRR-only, OUE-only). AFO should track
+// the best fixed choice at every ε.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<double> epsilons = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<std::string> methods = {"OHG", "OHG-OLH", "OHG-GRR",
+                                            "OHG-OUE"};
+
+  std::printf("Ablation A4 — adaptive FO vs fixed protocols "
+              "(n=%llu, s=%.2f, lambda=2, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.selectivity,
+              d.num_queries, d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name != "uniform" && spec.name != "ipums") continue;
+    const data::Dataset dataset =
+        spec.make(d.n, d.k_num, d.k_cat, d.d_num, d.d_cat, 201);
+    const PreparedWorkload w = PrepareWorkload(
+        dataset, d.num_queries, 2, d.selectivity, false, 1212);
+    eval::SeriesTable table(spec.name + ", lambda=2", "eps", methods);
+    for (const double eps : epsilons) {
+      eval::ExperimentParams params;
+      params.epsilon = eps;
+      params.selectivity_prior = d.selectivity;
+      params.seed = 43;
+      std::vector<double> row;
+      for (const std::string& m : methods) {
+        row.push_back(
+            PointMae(m, dataset, w.queries, w.truths, params, d.trials));
+      }
+      table.AddRow(std::to_string(eps).substr(0, 4), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

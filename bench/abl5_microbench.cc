@@ -1,0 +1,135 @@
+// Ablation A5 — google-benchmark micro-benchmarks for the engineering
+// choices DESIGN.md calls out:
+//   * block response matrix vs the dense Algorithm 3 reference
+//   * pooled OLH aggregation vs exact per-user-seed aggregation
+//   * frequency-oracle perturbation throughput (GRR / OLH / OUE)
+
+#include <benchmark/benchmark.h>
+
+#include "felip/common/rng.h"
+#include "felip/fo/grr.h"
+#include "felip/fo/olh.h"
+#include "felip/fo/oue.h"
+#include "felip/grid/grid.h"
+#include "felip/post/response_matrix.h"
+
+namespace felip {
+namespace {
+
+grid::Grid2D MakeGrid2D(uint32_t domain, uint32_t cells, uint64_t seed) {
+  grid::Grid2D g(0, 1, grid::Partition1D(domain, cells),
+                 grid::Partition1D(domain, cells));
+  Rng rng(seed);
+  std::vector<double> f(g.num_cells());
+  double total = 0.0;
+  for (double& v : f) {
+    v = rng.UniformDouble() + 0.01;
+    total += v;
+  }
+  for (double& v : f) v /= total;
+  g.SetFrequencies(f);
+  return g;
+}
+
+grid::Grid1D MakeGrid1D(uint32_t attr, uint32_t domain, uint32_t cells,
+                        uint64_t seed) {
+  grid::Grid1D g(attr, grid::Partition1D(domain, cells));
+  Rng rng(seed);
+  std::vector<double> f(cells);
+  double total = 0.0;
+  for (double& v : f) {
+    v = rng.UniformDouble() + 0.01;
+    total += v;
+  }
+  for (double& v : f) v /= total;
+  g.SetFrequencies(f);
+  return g;
+}
+
+void BM_ResponseMatrixBlock(benchmark::State& state) {
+  const auto domain = static_cast<uint32_t>(state.range(0));
+  const grid::Grid2D g2 = MakeGrid2D(domain, 10, 1);
+  const grid::Grid1D gx = MakeGrid1D(0, domain, 27, 2);
+  const grid::Grid1D gy = MakeGrid1D(1, domain, 27, 3);
+  for (auto _ : state) {
+    const post::ResponseMatrix m = post::ResponseMatrix::Build(g2, &gx, &gy);
+    benchmark::DoNotOptimize(m.num_blocks());
+  }
+}
+BENCHMARK(BM_ResponseMatrixBlock)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ResponseMatrixDense(benchmark::State& state) {
+  const auto domain = static_cast<uint32_t>(state.range(0));
+  const grid::Grid2D g2 = MakeGrid2D(domain, 10, 1);
+  const grid::Grid1D gx = MakeGrid1D(0, domain, 27, 2);
+  const grid::Grid1D gy = MakeGrid1D(1, domain, 27, 3);
+  for (auto _ : state) {
+    const std::vector<double> m =
+        post::BuildResponseMatrixDense(g2, &gx, &gy);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_ResponseMatrixDense)->Arg(100)->Arg(400);
+
+void BM_OlhAggregationExact(benchmark::State& state) {
+  const auto domain = static_cast<uint32_t>(state.range(0));
+  constexpr int kUsers = 20000;
+  const fo::OlhClient client(1.0, domain);
+  fo::OlhServer server(1.0, domain);
+  Rng rng(4);
+  for (int i = 0; i < kUsers; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(domain), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.EstimateFrequencies().data());
+  }
+}
+BENCHMARK(BM_OlhAggregationExact)->Arg(64)->Arg(256);
+
+void BM_OlhAggregationPooled(benchmark::State& state) {
+  const auto domain = static_cast<uint32_t>(state.range(0));
+  constexpr int kUsers = 20000;
+  const fo::OlhOptions options{.seed_pool_size = 4096};
+  const fo::OlhClient client(1.0, domain, options);
+  fo::OlhServer server(1.0, domain, options);
+  Rng rng(5);
+  for (int i = 0; i < kUsers; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(domain), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.EstimateFrequencies().data());
+  }
+}
+BENCHMARK(BM_OlhAggregationPooled)->Arg(64)->Arg(256);
+
+void BM_PerturbGrr(benchmark::State& state) {
+  const fo::GrrClient client(1.0, 256);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(rng.UniformU64(256), rng));
+  }
+}
+BENCHMARK(BM_PerturbGrr);
+
+void BM_PerturbOlh(benchmark::State& state) {
+  const fo::OlhClient client(1.0, 256);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(rng.UniformU64(256), rng));
+  }
+}
+BENCHMARK(BM_PerturbOlh);
+
+void BM_PerturbOue(benchmark::State& state) {
+  const fo::OueClient client(1.0, 256);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(rng.UniformU64(256), rng));
+  }
+}
+BENCHMARK(BM_PerturbOue);
+
+}  // namespace
+}  // namespace felip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ablation A7 — negativity-removal variants (CALM's design dimension):
+// Norm-Sub (the paper's Algorithm 1) vs Norm-Mul vs Norm-Cut, applied after
+// estimation and between consistency rounds, under OHG.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<double> epsilons = {0.25, 0.5, 1.0, 2.0};
+  const std::vector<std::pair<std::string, post::Normalization>> variants = {
+      {"Norm-Sub", post::Normalization::kNormSub},
+      {"Norm-Mul", post::Normalization::kNormMul},
+      {"Norm-Cut", post::Normalization::kNormCut},
+  };
+
+  std::printf("Ablation A7 — negativity-removal variants under OHG "
+              "(n=%llu, s=%.2f, lambda=2, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.selectivity,
+              d.num_queries, d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name != "normal" && spec.name != "ipums") continue;
+    const data::Dataset dataset =
+        spec.make(d.n, d.k_num, d.k_cat, d.d_num, d.d_cat, 221);
+    const PreparedWorkload w = PrepareWorkload(
+        dataset, d.num_queries, 2, d.selectivity, false, 1313);
+    std::vector<std::string> names;
+    for (const auto& [name, method] : variants) names.push_back(name);
+    eval::SeriesTable table(spec.name + ", lambda=2", "eps", names);
+    for (const double eps : epsilons) {
+      std::vector<double> row;
+      for (const auto& [name, method] : variants) {
+        eval::ExperimentParams params;
+        params.epsilon = eps;
+        params.selectivity_prior = d.selectivity;
+        params.normalization = method;
+        params.seed = 47;
+        row.push_back(PointMae("OHG", dataset, w.queries, w.truths, params,
+                               d.trials));
+      }
+      table.AddRow(std::to_string(eps).substr(0, 4), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A8 — λ-D estimation update rule: the paper's Algorithm 4
+// (positive-positive constraints only) versus the quadrant-fit extension
+// (full IPF over pairwise marginals), across query dimensions.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<std::string> methods = {"OHG", "OHG-QFIT"};
+
+  std::printf("Ablation A8 — Algorithm 4 vs quadrant-fit λ-D estimation "
+              "(n=%llu, eps=%.2f, s=%.2f, k=10, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.epsilon, d.selectivity,
+              d.num_queries, d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name != "normal" && spec.name != "ipums") continue;
+    const data::Dataset dataset =
+        spec.make(d.n, 5, 5, d.d_num, d.d_cat, 231);
+    eval::SeriesTable table(spec.name, "lambda", methods);
+    for (uint32_t lambda = 3; lambda <= 9; lambda += 2) {
+      const PreparedWorkload w = PrepareWorkload(
+          dataset, d.num_queries, lambda, d.selectivity, false,
+          1414 + lambda);
+      eval::ExperimentParams params;
+      params.epsilon = d.epsilon;
+      params.selectivity_prior = d.selectivity;
+      params.seed = 53;
+      std::vector<double> row;
+      for (const std::string& m : methods) {
+        row.push_back(
+            PointMae(m, dataset, w.queries, w.truths, params, d.trials));
+      }
+      table.AddRow(std::to_string(lambda), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

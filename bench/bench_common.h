@@ -1,0 +1,115 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper's evaluation as an
+// aligned text table (one table per panel). Scale knobs:
+//   FELIP_BENCH_USERS    absolute population size override
+//   FELIP_BENCH_SCALE    multiplier on the default population
+//   FELIP_BENCH_QUERIES  queries per point (default 10, as in the paper)
+//   FELIP_BENCH_TRIALS   collection repetitions averaged per point
+
+#ifndef FELIP_BENCH_BENCH_COMMON_H_
+#define FELIP_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/data/synthetic.h"
+#include "felip/eval/harness.h"
+#include "felip/query/generator.h"
+
+namespace felip::bench {
+
+// One of the paper's four evaluation datasets, by construction recipe.
+struct DatasetSpec {
+  std::string name;
+  // (n, num_numerical, num_categorical, d_num, d_cat, seed) -> dataset.
+  std::function<data::Dataset(uint64_t, uint32_t, uint32_t, uint32_t,
+                              uint32_t, uint64_t)>
+      make;
+};
+
+// Uniform, Normal, IPUMS-like, Loan-like — the paper's four datasets
+// (Section 6.1; the real extracts are simulated, see DESIGN.md).
+inline std::vector<DatasetSpec> PaperDatasets() {
+  return {
+      {"uniform",
+       [](uint64_t n, uint32_t kn, uint32_t kc, uint32_t dn, uint32_t dc,
+          uint64_t seed) {
+         return data::MakeUniform(n, kn, kc, dn, dc, seed);
+       }},
+      {"normal",
+       [](uint64_t n, uint32_t kn, uint32_t kc, uint32_t dn, uint32_t dc,
+          uint64_t seed) {
+         return data::MakeNormal(n, kn, kc, dn, dc, seed);
+       }},
+      {"ipums",
+       [](uint64_t n, uint32_t kn, uint32_t kc, uint32_t dn, uint32_t dc,
+          uint64_t seed) {
+         return data::MakeIpumsLike(n, kn + kc, dn, dc, seed);
+       }},
+      {"loan",
+       [](uint64_t n, uint32_t kn, uint32_t kc, uint32_t dn, uint32_t dc,
+          uint64_t seed) {
+         return data::MakeLoanLike(n, kn + kc, dn, dc, seed);
+       }},
+  };
+}
+
+// Paper defaults (Section 6.2), with the population scaled down so the
+// default `for b in bench/*; do $b; done` loop finishes quickly.
+struct BenchDefaults {
+  uint64_t n = eval::BenchUsers(200000);
+  uint32_t num_queries = eval::BenchQueries(10);
+  uint32_t trials = eval::BenchTrials(1);
+  uint32_t k_num = 3;
+  uint32_t k_cat = 3;
+  uint32_t d_num = 100;
+  uint32_t d_cat = 8;
+  double epsilon = 1.0;
+  double selectivity = 0.5;
+};
+
+// MAE of `method` on (dataset, queries), averaged over `trials`
+// collections with distinct seeds.
+inline double PointMae(const std::string& method,
+                       const data::Dataset& dataset,
+                       const std::vector<query::Query>& queries,
+                       const std::vector<double>& truths,
+                       eval::ExperimentParams params, uint32_t trials) {
+  double total = 0.0;
+  for (uint32_t t = 0; t < trials; ++t) {
+    params.seed = params.seed * 131 + t + 1;
+    total += eval::RunMethodMae(method, dataset, queries, truths, params);
+  }
+  return total / static_cast<double>(trials);
+}
+
+// Builds queries + exact answers for a dataset.
+struct PreparedWorkload {
+  std::vector<query::Query> queries;
+  std::vector<double> truths;
+};
+
+inline PreparedWorkload PrepareWorkload(const data::Dataset& dataset,
+                                        uint32_t count, uint32_t lambda,
+                                        double selectivity, bool range_only,
+                                        uint64_t seed) {
+  PreparedWorkload w;
+  Rng rng(seed);
+  w.queries = query::GenerateQueries(
+      dataset, count,
+      {.dimension = lambda, .selectivity = selectivity,
+       .range_only = range_only},
+      rng);
+  w.truths.reserve(w.queries.size());
+  for (const auto& q : w.queries) {
+    w.truths.push_back(query::TrueAnswer(dataset, q));
+  }
+  return w;
+}
+
+}  // namespace felip::bench
+
+#endif  // FELIP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+// Figure 1: MAE vs privacy budget ε, on the four datasets, for λ ∈ {2, 4}.
+// Methods: OUG, OHG (FELIP) and HIO (baseline).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<double> epsilons = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<std::string> methods = {"OUG", "OHG", "HIO"};
+
+  std::printf("Figure 1 — MAE vs privacy budget eps "
+              "(n=%llu, s=%.2f, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.selectivity,
+              d.num_queries, d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const data::Dataset dataset =
+        spec.make(d.n, d.k_num, d.k_cat, d.d_num, d.d_cat, /*seed=*/101);
+    for (const uint32_t lambda : {2u, 4u}) {
+      const PreparedWorkload w = PrepareWorkload(
+          dataset, d.num_queries, lambda, d.selectivity, false, 202 + lambda);
+      eval::SeriesTable table(
+          spec.name + ", lambda=" + std::to_string(lambda), "eps", methods);
+      for (const double eps : epsilons) {
+        eval::ExperimentParams params;
+        params.epsilon = eps;
+        params.selectivity_prior = d.selectivity;
+        params.seed = 7;
+        std::vector<double> row;
+        for (const std::string& m : methods) {
+          row.push_back(PointMae(m, dataset, w.queries, w.truths, params,
+                                 d.trials));
+        }
+        table.AddRow(std::to_string(eps).substr(0, 4), row);
+      }
+      table.Print();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5: MAE vs number of attributes k ∈ {4, 6, 8, 10}, λ ∈ {2, 4}.
+// More attributes mean more grids and fewer users per group.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<uint32_t> attribute_counts = {4, 6, 8, 10};
+  const std::vector<std::string> methods = {"OUG", "OHG", "HIO"};
+
+  std::printf("Figure 5 — MAE vs number of attributes k "
+              "(n=%llu, eps=%.2f, s=%.2f, |Q|=%u, trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.epsilon, d.selectivity,
+              d.num_queries, d.trials);
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    for (const uint32_t lambda : {2u, 4u}) {
+      eval::SeriesTable table(
+          spec.name + ", lambda=" + std::to_string(lambda), "k", methods);
+      for (const uint32_t k : attribute_counts) {
+        const data::Dataset dataset =
+            spec.make(d.n, k / 2, k - k / 2, d.d_num, d.d_cat, 141 + k);
+        const PreparedWorkload w = PrepareWorkload(
+            dataset, d.num_queries, lambda, d.selectivity, false,
+            606 + lambda + k);
+        eval::ExperimentParams params;
+        params.epsilon = d.epsilon;
+        params.selectivity_prior = d.selectivity;
+        params.seed = 19;
+        std::vector<double> row;
+        for (const std::string& m : methods) {
+          row.push_back(PointMae(m, dataset, w.queries, w.truths, params,
+                                 d.trials));
+        }
+        table.AddRow(std::to_string(k), row);
+      }
+      table.Print();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: adaptive-protocol evaluation on range-only queries
+// (Section 6.3). Six numerical attributes of domain 100, λ = 3, s = 0.5.
+//   (a, b) uniform-grid strategies: TDG vs OUG-OLH vs OUG
+//   (c, d) hybrid-grid strategies: HDG vs OHG-OLH vs OHG
+// on the uniform and normal datasets, varying ε.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace felip::bench {
+namespace {
+
+void Run() {
+  const BenchDefaults d;
+  const std::vector<double> epsilons = {0.25, 0.5, 1.0, 2.0, 4.0};
+  constexpr uint32_t kAttrs = 6;
+  constexpr uint32_t kDomain = 100;
+  constexpr uint32_t kLambda = 3;
+
+  std::printf("Figure 7 — adaptive protocol, range-only queries "
+              "(n=%llu, k=6 numerical, d=100, lambda=3, s=%.2f, |Q|=%u, "
+              "trials=%u)\n\n",
+              static_cast<unsigned long long>(d.n), d.selectivity,
+              d.num_queries, d.trials);
+
+  const std::vector<std::pair<std::string, std::vector<std::string>>>
+      panels = {
+          {"uniform grids", {"TDG", "OUG-OLH", "OUG"}},
+          {"hybrid grids", {"HDG", "OHG-OLH", "OHG"}},
+      };
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name != "uniform" && spec.name != "normal") continue;
+    const data::Dataset dataset =
+        spec.make(d.n, kAttrs, 0, kDomain, 2, 161);
+    const PreparedWorkload w = PrepareWorkload(
+        dataset, d.num_queries, kLambda, d.selectivity, true, 808);
+    for (const auto& [panel, methods] : panels) {
+      eval::SeriesTable table(spec.name + " — " + panel, "eps", methods);
+      for (const double eps : epsilons) {
+        eval::ExperimentParams params;
+        params.epsilon = eps;
+        params.selectivity_prior = d.selectivity;
+        params.seed = 29;
+        std::vector<double> row;
+        for (const std::string& m : methods) {
+          row.push_back(PointMae(m, dataset, w.queries, w.truths, params,
+                                 d.trials));
+        }
+        table.AddRow(std::to_string(eps).substr(0, 4), row);
+      }
+      table.Print();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace felip::bench
+
+int main() {
+  felip::bench::Run();
+  return 0;
+}

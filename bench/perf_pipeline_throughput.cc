@@ -1,0 +1,78 @@
+// Pipeline throughput (google-benchmark): end-to-end cost of a FELIP round
+// — planning, simulated collection, finalization — and of query answering,
+// at several population sizes. Complements abl5's component-level numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "felip/common/rng.h"
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/query/generator.h"
+
+namespace felip {
+namespace {
+
+data::Dataset SharedDataset(uint64_t n) {
+  static data::Dataset* cache = nullptr;
+  static uint64_t cached_n = 0;
+  if (cache == nullptr || cached_n != n) {
+    delete cache;
+    cache = new data::Dataset(data::MakeIpumsLike(n, 6, 100, 8, 17));
+    cached_n = n;
+  }
+  return *cache;
+}
+
+core::FelipConfig BenchConfig() {
+  core::FelipConfig config;
+  config.epsilon = 1.0;
+  config.olh_options.seed_pool_size = 4096;
+  config.seed = 21;
+  return config;
+}
+
+void BM_PipelinePlan(benchmark::State& state) {
+  const data::Dataset ds = SharedDataset(10000);
+  for (auto _ : state) {
+    core::FelipPipeline pipeline(ds.attributes(), 1000000, BenchConfig());
+    benchmark::DoNotOptimize(pipeline.num_groups());
+  }
+}
+BENCHMARK(BM_PipelinePlan);
+
+void BM_PipelineCollectFinalize(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  const data::Dataset ds = SharedDataset(n);
+  for (auto _ : state) {
+    core::FelipPipeline pipeline(ds.attributes(), n, BenchConfig());
+    pipeline.Collect(ds);
+    pipeline.Finalize();
+    benchmark::DoNotOptimize(pipeline.finalized());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PipelineCollectFinalize)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineAnswerLambda(benchmark::State& state) {
+  const auto lambda = static_cast<uint32_t>(state.range(0));
+  const data::Dataset ds = SharedDataset(100000);
+  core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(),
+                               BenchConfig());
+  pipeline.Collect(ds);
+  pipeline.Finalize();
+  Rng rng(23);
+  const auto queries = query::GenerateQueries(
+      ds, 64, {.dimension = lambda, .selectivity = 0.5}, rng);
+  size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.AnswerQuery(queries[next]));
+    next = (next + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_PipelineAnswerLambda)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace felip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Census analytics: the paper's motivating scenario (Section 1).
+//
+// A service provider wants counting queries like
+//   SELECT COUNT(*) FROM T
+//   WHERE Age BETWEEN 30 AND 60
+//     AND Education IN ('Doctorate', 'Masters')
+//     AND Salary <= 80k
+// over census-style microdata it is never allowed to see in the clear.
+// This example collects an IPUMS-like dataset under eps-LDP with FELIP and
+// answers a batch of analyst queries, reporting per-query error.
+//
+//   $ ./build/examples/census_analytics
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/query/query.h"
+
+int main() {
+  using namespace felip;
+
+  // IPUMS-like simulated census microdata: 10 attributes (age, education,
+  // income, ..., alternating numerical / categorical), 300k respondents.
+  constexpr uint32_t kNumericalDomain = 100;  // e.g. age 0..99
+  constexpr uint32_t kCategoricalDomain = 8;  // e.g. education levels
+  const data::Dataset census =
+      data::MakeIpumsLike(300000, 10, kNumericalDomain, kCategoricalDomain,
+                          /*seed=*/7);
+
+  core::FelipConfig config;
+  config.strategy = core::Strategy::kOhg;
+  config.epsilon = 1.0;
+  // The analysts' dashboards mostly issue mid-width ranges; the aggregator
+  // encodes that prior into the grid construction (Section 5.2).
+  config.default_selectivity = 0.4;
+
+  std::printf("collecting 300k census records under eps=1.0 LDP...\n");
+  const core::FelipPipeline pipeline = core::RunFelip(census, config);
+
+  // The paper's example query, mapped onto the ordinal encoding:
+  // age in [30, 60], education in {3, 4}, income in [0, 55].
+  const std::vector<std::pair<const char*, query::Query>> workload = {
+      {"age 30-60 AND education IN {Masters,Doctorate} AND income <= 55",
+       query::Query({
+           {.attr = 0, .op = query::Op::kBetween, .lo = 30, .hi = 60},
+           {.attr = 1, .op = query::Op::kIn, .values = {3, 4}},
+           {.attr = 2, .op = query::Op::kBetween, .lo = 0, .hi = 55},
+       })},
+      {"hours 20-40",
+       query::Query({
+           {.attr = 4, .op = query::Op::kBetween, .lo = 20, .hi = 40},
+       })},
+      {"income >= 70 AND capital_gain >= 50",
+       query::Query({
+           {.attr = 2, .op = query::Op::kBetween, .lo = 70, .hi = 99},
+           {.attr = 6, .op = query::Op::kBetween, .lo = 50, .hi = 99},
+       })},
+      {"sex = 0 AND occupation IN {0,1,2} AND age 18-35",
+       query::Query({
+           {.attr = 9, .op = query::Op::kEquals, .lo = 0, .hi = 0},
+           {.attr = 5, .op = query::Op::kIn, .values = {0, 1, 2}},
+           {.attr = 0, .op = query::Op::kBetween, .lo = 18, .hi = 35},
+       })},
+  };
+
+  std::printf("\n%-64s %10s %10s %8s\n", "query", "estimate", "exact",
+              "abs err");
+  for (const auto& [label, q] : workload) {
+    const double estimate = pipeline.AnswerQuery(q);
+    const double truth = query::TrueAnswer(census, q);
+    std::printf("%-64s %10.4f %10.4f %8.4f\n", label, estimate, truth,
+                std::fabs(estimate - truth));
+  }
+  return 0;
+}

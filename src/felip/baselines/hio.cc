@@ -1,0 +1,249 @@
+#include "felip/baselines/hio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "felip/common/check.h"
+#include "felip/common/hash.h"
+#include "felip/common/rng.h"
+#include "felip/fo/protocol.h"
+#include "felip/grid/partition.h"
+
+namespace felip::baselines {
+
+namespace {
+
+using grid::Partition1D;
+
+constexpr uint64_t kIntervalIdSalt = 0x48494f5f69645f31ULL;  // "HIO_id_1"
+
+}  // namespace
+
+HioPipeline::HioPipeline(std::vector<data::AttributeInfo> schema,
+                         HioConfig config)
+    : schema_(std::move(schema)), config_(std::move(config)) {
+  FELIP_CHECK(!schema_.empty());
+  FELIP_CHECK(config_.epsilon > 0.0);
+  FELIP_CHECK(config_.branching >= 2);
+
+  levels_.resize(schema_.size());
+  num_groups_ = 1;
+  for (size_t a = 0; a < schema_.size(); ++a) {
+    const data::AttributeInfo& info = schema_[a];
+    std::vector<uint32_t>& lv = levels_[a];
+    lv.push_back(1);  // root covers the whole domain
+    if (info.domain > 1) {
+      if (info.categorical) {
+        lv.push_back(info.domain);  // categorical: root + leaves only
+      } else {
+        uint64_t cells = 1;
+        while (cells < info.domain) {
+          cells = std::min<uint64_t>(cells * config_.branching, info.domain);
+          lv.push_back(static_cast<uint32_t>(cells));
+        }
+      }
+    }
+    num_groups_ *= lv.size();
+  }
+  g_ = fo::OlhHashRange(config_.epsilon);
+  const double e = std::exp(config_.epsilon);
+  p_ = e / (e + static_cast<double>(g_) - 1.0);
+}
+
+uint64_t HioPipeline::GroupKey(
+    const std::vector<uint32_t>& tuple_levels) const {
+  uint64_t key = 0;
+  for (size_t a = 0; a < tuple_levels.size(); ++a) {
+    key = key * levels_[a].size() + tuple_levels[a];
+  }
+  return key;
+}
+
+uint64_t HioPipeline::IntervalId(const std::vector<uint32_t>& tuple_levels,
+                                 const std::vector<uint32_t>& cells) const {
+  // Hash (levels, cells) down to 64 bits; the interval space can exceed
+  // 2^64, and OLH re-hashes anyway, so collisions are negligible noise.
+  uint64_t h = XxHash64(GroupKey(tuple_levels), kIntervalIdSalt);
+  return XxHash64Bytes(cells.data(), cells.size() * sizeof(uint32_t), h);
+}
+
+void HioPipeline::Collect(const data::Dataset& dataset) {
+  FELIP_CHECK_MSG(!collected_, "Collect() called twice");
+  FELIP_CHECK(dataset.num_attributes() == schema_.size());
+  FELIP_CHECK(dataset.num_rows() > 0);
+  const auto k = static_cast<uint32_t>(schema_.size());
+
+  fo::OlhClient client(config_.epsilon,
+                       std::numeric_limits<uint64_t>::max());
+  Rng rng(config_.seed);
+  std::vector<uint32_t> tuple(k);
+  std::vector<uint32_t> cells(k);
+  for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+    // Uniform level tuple via mixed-radix decode of a uniform index.
+    uint64_t idx = rng.UniformU64(num_groups_);
+    for (uint32_t a = 0; a < k; ++a) {
+      tuple[a] = static_cast<uint32_t>(idx % levels_[a].size());
+      idx /= levels_[a].size();
+    }
+    for (uint32_t a = 0; a < k; ++a) {
+      const Partition1D part(schema_[a].domain, LevelCells(a, tuple[a]));
+      cells[a] = part.CellOf(dataset.Value(row, a));
+    }
+    group_reports_[GroupKey(tuple)].push_back(
+        client.Perturb(IntervalId(tuple, cells), rng));
+  }
+  collected_ = true;
+}
+
+double HioPipeline::EstimateInterval(uint64_t group_key,
+                                     uint64_t interval_id) const {
+  const auto it = group_reports_.find(group_key);
+  if (it == group_reports_.end()) return 0.0;  // empty group
+  const std::vector<fo::OlhReport>& reports = it->second;
+  uint64_t support = 0;
+  for (const fo::OlhReport& r : reports) {
+    if (OlhHash(interval_id, r.seed, g_) == r.hashed_report) ++support;
+  }
+  const auto n = static_cast<double>(reports.size());
+  const double inv_g = 1.0 / static_cast<double>(g_);
+  return (static_cast<double>(support) - n * inv_g) / (n * (p_ - inv_g));
+}
+
+std::vector<HioPipeline::IntervalRef> HioPipeline::DecomposeRange(
+    uint32_t attr, uint32_t lo, uint32_t hi) const {
+  std::vector<IntervalRef> result;
+  const uint32_t num_levels = static_cast<uint32_t>(levels_[attr].size());
+  // Iterative DFS from the root; hierarchy boundaries nest, so children of
+  // a node are exactly the next level's cells inside its value range.
+  std::vector<std::pair<uint32_t, uint32_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    const auto [level, cell] = stack.back();
+    stack.pop_back();
+    const Partition1D part(schema_[attr].domain, LevelCells(attr, level));
+    const uint32_t begin = part.CellBegin(cell);
+    const uint32_t end = part.CellEnd(cell);  // exclusive
+    if (end - 1 < lo || begin > hi) continue;
+    if (begin >= lo && end - 1 <= hi) {
+      result.push_back({level, cell, 1.0});
+      continue;
+    }
+    FELIP_CHECK_MSG(level + 1 < num_levels,
+                    "partially covered leaf interval");
+    const Partition1D child(schema_[attr].domain,
+                            LevelCells(attr, level + 1));
+    const uint32_t c0 = child.CellOf(begin);
+    const uint32_t c1 = child.CellOf(end - 1);
+    for (uint32_t c = c0; c <= c1; ++c) stack.push_back({level + 1, c});
+  }
+  return result;
+}
+
+std::vector<HioPipeline::IntervalRef> HioPipeline::DecomposeSet(
+    uint32_t attr, const std::vector<uint32_t>& values) const {
+  const auto leaf = static_cast<uint32_t>(levels_[attr].size() - 1);
+  if (values.size() >= schema_[attr].domain) return {{0, 0, 1.0}};  // root
+  std::vector<IntervalRef> result;
+  result.reserve(values.size());
+  for (const uint32_t v : values) result.push_back({leaf, v, 1.0});
+  return result;
+}
+
+std::vector<HioPipeline::IntervalRef> HioPipeline::SnapRange(
+    uint32_t attr, uint32_t lo, uint32_t hi, uint64_t budget) const {
+  FELIP_CHECK(budget >= 1);
+  // Finest level whose overlapping-cell count fits the budget (level 0
+  // always fits with one cell).
+  std::vector<IntervalRef> best = {{0, 0, 1.0}};
+  {
+    const Partition1D root(schema_[attr].domain, 1);
+    best[0].weight = root.OverlapFraction(0, lo, hi);
+  }
+  for (uint32_t level = 1; level < levels_[attr].size(); ++level) {
+    const Partition1D part(schema_[attr].domain, LevelCells(attr, level));
+    const uint32_t c0 = part.CellOf(lo);
+    const uint32_t c1 = part.CellOf(hi);
+    if (static_cast<uint64_t>(c1) - c0 + 1 > budget) break;
+    best.clear();
+    for (uint32_t c = c0; c <= c1; ++c) {
+      best.push_back({level, c, part.OverlapFraction(c, lo, hi)});
+    }
+  }
+  return best;
+}
+
+double HioPipeline::AnswerQuery(const query::Query& query) const {
+  FELIP_CHECK_MSG(collected_, "AnswerQuery() requires Collect()");
+  const auto k = static_cast<uint32_t>(schema_.size());
+  for (const query::Predicate& p : query.predicates()) {
+    FELIP_CHECK(p.attr < k);
+  }
+
+  // Expand to all k attributes; remember range bounds for snapping.
+  std::vector<std::vector<IntervalRef>> decomposition(k);
+  std::vector<std::pair<int64_t, int64_t>> range_of(k, {-1, -1});
+  for (uint32_t a = 0; a < k; ++a) {
+    const query::Predicate* p = query.FindPredicate(a);
+    if (p == nullptr) {
+      decomposition[a] = {{0, 0, 1.0}};
+    } else if (p->op == query::Op::kIn) {
+      decomposition[a] = DecomposeSet(a, p->values);
+    } else {
+      const uint32_t hi = p->op == query::Op::kEquals ? p->lo : p->hi;
+      decomposition[a] = DecomposeRange(a, p->lo, hi);
+      range_of[a] = {p->lo, hi};
+    }
+  }
+
+  // Cap the cross-product by snapping the longest range decompositions to
+  // coarser levels (documented approximation; see the header comment).
+  auto term_count = [&]() {
+    double product = 1.0;
+    for (const auto& d : decomposition) {
+      product *= static_cast<double>(d.size());
+    }
+    return product;
+  };
+  while (term_count() > static_cast<double>(config_.max_query_terms)) {
+    uint32_t widest = k;
+    size_t widest_size = 1;
+    for (uint32_t a = 0; a < k; ++a) {
+      if (range_of[a].first >= 0 && decomposition[a].size() > widest_size) {
+        widest = a;
+        widest_size = decomposition[a].size();
+      }
+    }
+    if (widest == k || widest_size <= 2) break;  // nothing left to shrink
+    decomposition[widest] =
+        SnapRange(widest, static_cast<uint32_t>(range_of[widest].first),
+                  static_cast<uint32_t>(range_of[widest].second),
+                  widest_size / 2);
+  }
+
+  // Sum the estimates of all cross-product k-dim intervals.
+  double total = 0.0;
+  std::vector<uint32_t> tuple(k);
+  std::vector<uint32_t> cells(k);
+  std::vector<size_t> cursor(k, 0);
+  while (true) {
+    double weight = 1.0;
+    for (uint32_t a = 0; a < k; ++a) {
+      const IntervalRef& ref = decomposition[a][cursor[a]];
+      tuple[a] = ref.level;
+      cells[a] = ref.index;
+      weight *= ref.weight;
+    }
+    total +=
+        weight * EstimateInterval(GroupKey(tuple), IntervalId(tuple, cells));
+    // Odometer increment over the decomposition lists.
+    uint32_t a = 0;
+    for (; a < k; ++a) {
+      if (++cursor[a] < decomposition[a].size()) break;
+      cursor[a] = 0;
+    }
+    if (a == k) break;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace felip::baselines

@@ -1,0 +1,106 @@
+// HIO baseline (Wang et al., SIGMOD'19; Section 3.1 of the FELIP paper).
+//
+// Each attribute gets a b-ary hierarchy of interval levels (level j splits
+// the domain into ~b^j near-equal intervals; categorical attributes get
+// just root + leaves). Users are divided uniformly over all level-tuple
+// combinations; a user assigned tuple (l_1..l_k) reports — via OLH — the
+// k-dim interval containing their record at those levels. A query is
+// expanded to all k attributes (unconstrained attributes take the root
+// interval), each attribute's constraint is decomposed into the minimal
+// hierarchy intervals, and the estimates of all cross-product k-dim
+// intervals are summed.
+//
+// The k-dim interval space is astronomically large (up to d^k), so the
+// aggregator never materializes frequencies: reports are stored per group
+// and support counts are evaluated lazily per queried interval. When the
+// cross-product of per-attribute decompositions would exceed
+// `max_query_terms`, the longest decompositions are snapped outward to a
+// coarser level (full covering cells, scaled by the covered fraction) — a
+// documented approximation that keeps high-λ queries tractable.
+
+#ifndef FELIP_BASELINES_HIO_H_
+#define FELIP_BASELINES_HIO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "felip/data/dataset.h"
+#include "felip/fo/olh.h"
+#include "felip/query/query.h"
+
+namespace felip::baselines {
+
+struct HioConfig {
+  double epsilon = 1.0;
+  uint32_t branching = 4;  // hierarchy fan-out b
+  uint64_t max_query_terms = 100000;
+  uint64_t seed = 1;
+};
+
+class HioPipeline {
+ public:
+  HioPipeline(std::vector<data::AttributeInfo> schema, HioConfig config);
+
+  // Simulates the LDP collection round over the dataset.
+  void Collect(const data::Dataset& dataset);
+
+  // Estimated fractional answer (clamped to [0, 1]).
+  double AnswerQuery(const query::Query& query) const;
+
+  // Number of level-tuple user groups (h+1)^k — introspection.
+  uint64_t num_groups() const { return num_groups_; }
+  // Number of hierarchy levels of `attr`.
+  uint32_t num_levels(uint32_t attr) const {
+    return static_cast<uint32_t>(levels_[attr].size());
+  }
+
+ private:
+  // One hierarchy interval reference.
+  struct IntervalRef {
+    uint32_t level = 0;
+    uint32_t index = 0;
+    double weight = 1.0;  // < 1 for snapped (coarsened) edge intervals
+  };
+
+  // Number of cells at `level` of `attr`.
+  uint32_t LevelCells(uint32_t attr, uint32_t level) const {
+    return levels_[attr][level];
+  }
+
+  // Greedy minimal decomposition of [lo, hi] into hierarchy intervals.
+  std::vector<IntervalRef> DecomposeRange(uint32_t attr, uint32_t lo,
+                                          uint32_t hi) const;
+  // Decomposition of an arbitrary value set (leaf level).
+  std::vector<IntervalRef> DecomposeSet(
+      uint32_t attr, const std::vector<uint32_t>& values) const;
+  // Snapped single-level decomposition used when the cross-product blows
+  // up: the cells of the coarsest feasible level overlapping the range,
+  // weighted by the fraction of each cell the range covers.
+  std::vector<IntervalRef> SnapRange(uint32_t attr, uint32_t lo, uint32_t hi,
+                                     uint64_t budget) const;
+
+  // Deterministic 64-bit id of a k-dim interval at a level tuple.
+  uint64_t IntervalId(const std::vector<uint32_t>& tuple_levels,
+                      const std::vector<uint32_t>& cells) const;
+  // Mixed-radix index of a level tuple (group key).
+  uint64_t GroupKey(const std::vector<uint32_t>& tuple_levels) const;
+
+  // OLH support-count estimate of one interval id within one group.
+  double EstimateInterval(uint64_t group_key, uint64_t interval_id) const;
+
+  std::vector<data::AttributeInfo> schema_;
+  HioConfig config_;
+  // levels_[attr][level] = number of cells at that level.
+  std::vector<std::vector<uint32_t>> levels_;
+  uint64_t num_groups_ = 1;
+  // OLH parameters (per-user seeds; groups are tiny).
+  uint32_t g_ = 2;
+  double p_ = 0.5;
+  std::unordered_map<uint64_t, std::vector<fo::OlhReport>> group_reports_;
+  bool collected_ = false;
+};
+
+}  // namespace felip::baselines
+
+#endif  // FELIP_BASELINES_HIO_H_

@@ -1,0 +1,88 @@
+// TDG and HDG baselines (Yang et al., VLDB'20; Section 3.2 of the FELIP
+// paper).
+//
+// Both lay grids over attribute pairs and collect them with OLH under user
+// division. Unlike FELIP they use one shared granularity for all 1-D grids
+// (g1) and one for all 2-D grids (g2), derived assuming 50% query
+// selectivity and rounded to the nearest power of two (their divisibility
+// workaround — the limitation Section 3.2 discusses). TDG collects only the
+// 2-D grids and answers under within-cell uniformity; HDG adds 1-D grids
+// for every attribute, enforces consistency, and refines pair answers
+// through response matrices.
+
+#ifndef FELIP_BASELINES_TDG_HDG_H_
+#define FELIP_BASELINES_TDG_HDG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "felip/data/dataset.h"
+#include "felip/fo/frequency_oracle.h"
+#include "felip/grid/grid.h"
+#include "felip/post/response_matrix.h"
+#include "felip/query/query.h"
+
+namespace felip::baselines {
+
+enum class YangStrategy { kTdg, kHdg };
+
+struct TdgHdgConfig {
+  YangStrategy strategy = YangStrategy::kHdg;
+  double epsilon = 1.0;
+  double alpha1 = 0.7;
+  double alpha2 = 0.03;
+  fo::OlhOptions olh_options = {.seed_pool_size = 4096};
+  int consistency_rounds = 3;
+  post::ResponseMatrixOptions response_matrix_options;
+  double lambda_threshold = 1e-7;
+  uint64_t seed = 1;
+};
+
+// Shared-granularity derivations (exposed for tests): the optimal real
+// values at 50% selectivity, before power-of-two rounding.
+double TdgHdgRawG1(double epsilon, uint64_t n, uint64_t m, double alpha1);
+double TdgHdgRawG2(double epsilon, uint64_t n, uint64_t m, double alpha2);
+// Nearest power of two, clamped to [1, domain].
+uint32_t NearestPowerOfTwo(double value, uint32_t domain);
+
+class TdgHdgPipeline {
+ public:
+  // Requires >= 2 attributes.
+  TdgHdgPipeline(std::vector<data::AttributeInfo> schema, uint64_t num_users,
+                 TdgHdgConfig config);
+
+  void Collect(const data::Dataset& dataset);
+  void Finalize();
+  double AnswerQuery(const query::Query& query) const;
+
+  uint32_t g1() const { return g1_; }
+  uint32_t g2() const { return g2_; }
+  uint64_t num_groups() const {
+    return grids_1d_.size() + grids_2d_.size();
+  }
+  const std::vector<grid::Grid2D>& grids_2d() const { return grids_2d_; }
+
+ private:
+  size_t PairGridIndex(uint32_t i, uint32_t j) const;
+  grid::AxisSelection SelectionFor(const query::Query& query,
+                                   uint32_t attr) const;
+  double AnswerPair(uint32_t i, uint32_t j, const grid::AxisSelection& sel_i,
+                    const grid::AxisSelection& sel_j) const;
+
+  std::vector<data::AttributeInfo> schema_;
+  uint64_t num_users_;
+  TdgHdgConfig config_;
+  uint32_t g1_ = 1;  // raw shared granularity before per-attribute capping
+  uint32_t g2_ = 1;
+  std::vector<grid::Grid1D> grids_1d_;  // HDG only; one per attribute
+  std::vector<grid::Grid2D> grids_2d_;  // one per pair, lexicographic
+  std::vector<std::unique_ptr<fo::FrequencyOracle>> oracles_;
+  std::vector<post::ResponseMatrix> response_matrices_;  // HDG only
+  bool collected_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace felip::baselines
+
+#endif  // FELIP_BASELINES_TDG_HDG_H_

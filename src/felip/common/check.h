@@ -1,0 +1,44 @@
+// Lightweight assertion macros for invariant enforcement.
+//
+// FELIP follows the no-exceptions policy common in database C++ codebases:
+// programming errors and violated invariants abort with a message instead of
+// throwing. Recoverable conditions are expressed with std::optional or
+// status enums at the API level, never with these macros.
+
+#ifndef FELIP_COMMON_CHECK_H_
+#define FELIP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace felip::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "FELIP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace felip::internal_check
+
+// Aborts with a diagnostic when `cond` is false. Always on (release builds
+// included): estimation code silently producing garbage is worse than a
+// crash.
+#define FELIP_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::felip::internal_check::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                      \
+  } while (0)
+
+// Like FELIP_CHECK but with an explanatory message.
+#define FELIP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::felip::internal_check::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                       \
+  } while (0)
+
+#endif  // FELIP_COMMON_CHECK_H_

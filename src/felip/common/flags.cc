@@ -1,0 +1,85 @@
+#include "felip/common/flags.h"
+
+#include <cstdlib>
+
+namespace felip {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      if (body.rfind("no-", 0) == 0) {
+        flags_[body.substr(3)] = "false";
+      } else {
+        flags_[body] = "true";
+      }
+    } else {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end == nullptr || *end != '\0') ? default_value : value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? default_value
+                                          : static_cast<int64_t>(value);
+}
+
+uint64_t FlagParser::GetUint(const std::string& name,
+                             uint64_t default_value) {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(it->second.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? default_value
+                                          : static_cast<uint64_t>(value);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::vector<std::string> FlagParser::UnconsumedFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, value] : flags_) {
+    if (consumed_.count(name) == 0) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace felip

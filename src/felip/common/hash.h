@@ -1,0 +1,31 @@
+// Universal hashing for the OLH frequency oracle.
+//
+// OLH requires a public family H of hash functions D -> [0, g). We use
+// xxHash64 (implemented from scratch below; no third-party dependency) keyed
+// by a per-report 64-bit seed: H_seed(v) = XxHash64(v, seed) mod g. Seeded
+// xxHash64 behaves as an (approximately) universal family for this purpose,
+// which is the same construction used by production LDP implementations.
+
+#ifndef FELIP_COMMON_HASH_H_
+#define FELIP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace felip {
+
+// xxHash64 of a 64-bit value under `seed`. Deterministic across platforms.
+uint64_t XxHash64(uint64_t value, uint64_t seed);
+
+// xxHash64 of an arbitrary byte buffer under `seed` (used by the CSV loader
+// for string interning; the hot OLH path uses the fixed-width overload).
+uint64_t XxHash64Bytes(const void* data, size_t len, uint64_t seed);
+
+// OLH hash: maps `value` into [0, g) under `seed`. `g` must be >= 2.
+inline uint32_t OlhHash(uint64_t value, uint64_t seed, uint32_t g) {
+  return static_cast<uint32_t>(XxHash64(value, seed) % g);
+}
+
+}  // namespace felip
+
+#endif  // FELIP_COMMON_HASH_H_

@@ -1,0 +1,86 @@
+#include "felip/common/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+
+namespace felip {
+
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  FELIP_CHECK(lo <= hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    // No sign change: clamp to the better endpoint.
+    return std::fabs(flo) <= std::fabs(fhi) ? lo : hi;
+  }
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double GoldenSectionMinimize(const std::function<double(double)>& f,
+                             double lo, double hi, double tol, int max_iter) {
+  FELIP_CHECK(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  for (int i = 0; i < max_iter && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+uint32_t RoundGridLength(double raw, uint32_t domain,
+                         const std::function<double(double)>& objective) {
+  FELIP_CHECK(domain >= 1);
+  const double clamped = std::clamp(raw, 1.0, static_cast<double>(domain));
+  const auto lo = static_cast<uint32_t>(std::floor(clamped));
+  const uint32_t hi = std::min(domain, lo + 1);
+  if (lo == hi) return lo;
+  return objective(static_cast<double>(lo)) <=
+                 objective(static_cast<double>(hi))
+             ? lo
+             : hi;
+}
+
+}  // namespace felip

@@ -1,0 +1,38 @@
+// Numeric root-finding and minimisation helpers used by the grid-size
+// optimizers (Section 5.2 of the paper).
+
+#ifndef FELIP_COMMON_NUMERIC_H_
+#define FELIP_COMMON_NUMERIC_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace felip {
+
+// Finds a root of `f` in [lo, hi] by bisection. If f(lo) and f(hi) have the
+// same sign the endpoint with the smaller |f| is returned (the optimizers
+// use this to clamp to the feasible interval). `f` must be continuous.
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol = 1e-9, int max_iter = 200);
+
+// Minimizes a unimodal `f` on [lo, hi] by golden-section search and returns
+// the minimizing argument.
+double GoldenSectionMinimize(const std::function<double(double)>& f,
+                             double lo, double hi, double tol = 1e-7,
+                             int max_iter = 300);
+
+// n choose 2 — the number of attribute pairs.
+inline uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
+
+// Binomial coefficient for small arguments (λ <= 16 in practice).
+uint64_t Binomial(uint64_t n, uint64_t k);
+
+// Rounds a positive real grid length to an integer cell count clamped to
+// [1, domain]: both neighbouring integers are candidates; the caller passes
+// the error objective so the better of floor/ceil is chosen.
+uint32_t RoundGridLength(double raw, uint32_t domain,
+                         const std::function<double(double)>& objective);
+
+}  // namespace felip
+
+#endif  // FELIP_COMMON_NUMERIC_H_

@@ -1,0 +1,32 @@
+#include "felip/common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace felip {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 unsigned max_threads) {
+  if (count == 0) return;
+  unsigned threads = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(threads, count));
+  if (threads == 1 || count < 2) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      // Contiguous shards keep cache behaviour predictable.
+      const size_t begin = count * t / threads;
+      const size_t end = count * (t + 1) / threads;
+      for (size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+}  // namespace felip

@@ -1,0 +1,26 @@
+// Minimal data-parallel helper.
+//
+// FELIP's finalization is embarrassingly parallel across grids (estimation)
+// and attribute pairs (response matrices). ParallelFor shards an index
+// range over a bounded number of std::threads; it is deterministic in the
+// sense that iteration i always runs the same work regardless of sharding,
+// and callers only use it where iterations touch disjoint state.
+
+#ifndef FELIP_COMMON_PARALLEL_H_
+#define FELIP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace felip {
+
+// Runs body(i) for i in [0, count), distributing contiguous shards over up
+// to `max_threads` threads (0 = hardware concurrency). Falls back to the
+// calling thread for small counts. `body` must not throw and iterations
+// must be independent.
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 unsigned max_threads = 0);
+
+}  // namespace felip
+
+#endif  // FELIP_COMMON_PARALLEL_H_

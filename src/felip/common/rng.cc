@@ -1,0 +1,138 @@
+#include "felip/common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "felip/common/check.h"
+
+namespace felip {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // xoshiro256++ requires a nonzero state; SplitMix64 of any seed yields
+  // all-zero with probability ~2^-256, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  FELIP_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FELIP_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box–Muller; draw u1 away from zero to keep log() finite.
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Laplace(double b) {
+  FELIP_CHECK(b > 0.0);
+  // Inverse CDF: u in (-1/2, 1/2], x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = UniformDouble() - 0.5;
+  while (u == 0.5 || u == -0.5) u = UniformDouble() - 0.5;
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  FELIP_CHECK(n > 0);
+  FELIP_CHECK(s > 0.0);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) total += std::pow(static_cast<double>(i + 1), -s);
+  double target = UniformDouble() * total;
+  for (uint64_t i = 0; i < n; ++i) {
+    target -= std::pow(static_cast<double>(i + 1), -s);
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) {
+  FELIP_CHECK(n > 0);
+  FELIP_CHECK(s > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // First index whose CDF value exceeds u.
+  uint64_t lo = 0;
+  uint64_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace felip

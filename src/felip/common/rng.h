@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of FELIP (perturbation, synthetic data, query
+// generation, population shuffling) draw from felip::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256++ seeded through SplitMix64, which is fast, has a 256-bit
+// state, and passes BigCrush; <random> engines are avoided because their
+// distributions are not reproducible across standard library
+// implementations.
+
+#ifndef FELIP_COMMON_RNG_H_
+#define FELIP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace felip {
+
+// Stateless SplitMix64 step; used for seeding and cheap hash mixing.
+// Advances `state` and returns the next 64-bit output.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256++ generator with reproducible distribution helpers.
+class Rng {
+ public:
+  // Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  // Next raw 64-bit output.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box–Muller (no cached second value, keeps the
+  // state trajectory simple and reproducible).
+  double Gaussian();
+
+  // Zero-mean Laplace with scale `b` (density exp(-|x|/b) / 2b).
+  double Laplace(double b);
+
+  // Zipf-distributed integer in [0, n) with exponent `s` > 0, drawn by
+  // inverting the CDF over precomputed weights is avoided; this uses
+  // rejection-free linear search for small n and is intended for
+  // domain-sized draws (n <= ~1e5). For repeated draws prefer
+  // ZipfDistribution below.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Derives an independent child generator; used to give each logical
+  // component (per-user perturbation, per-attribute sampling, ...) its own
+  // stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Precomputed-CDF Zipf sampler for repeated draws over a fixed domain.
+class ZipfDistribution {
+ public:
+  // Weights proportional to 1/(rank+1)^s over ranks 0..n-1.
+  ZipfDistribution(uint64_t n, double s);
+
+  // Draws a rank in [0, n) by binary search over the CDF.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace felip
+
+#endif  // FELIP_COMMON_RNG_H_

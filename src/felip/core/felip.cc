@@ -1,0 +1,415 @@
+#include "felip/core/felip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/numeric.h"
+#include "felip/common/parallel.h"
+#include "felip/post/consistency.h"
+#include "felip/post/lambda_estimator.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::core {
+
+namespace {
+
+using data::AttributeInfo;
+using grid::AxisSelection;
+using grid::Grid1D;
+using grid::Grid2D;
+using grid::Partition1D;
+
+bool IsNumerical(const AttributeInfo& info) {
+  return !info.categorical && info.domain > 1;
+}
+
+}  // namespace
+
+FelipClient::FelipClient(const GridAssignment& assignment, uint32_t domain_x,
+                         uint32_t domain_y)
+    : is_2d_(assignment.is_2d),
+      px_(domain_x, assignment.plan.lx),
+      py_(assignment.is_2d ? domain_y : 1,
+          assignment.is_2d ? assignment.plan.ly : 1) {}
+
+uint64_t FelipClient::ProjectToCell(uint32_t value_x,
+                                    uint32_t value_y) const {
+  const uint32_t cx = px_.CellOf(value_x);
+  if (!is_2d_) return cx;
+  return static_cast<uint64_t>(cx) * py_.num_cells() + py_.CellOf(value_y);
+}
+
+uint64_t FelipClient::cell_domain() const {
+  return static_cast<uint64_t>(px_.num_cells()) * py_.num_cells();
+}
+
+FelipPipeline::FelipPipeline(std::vector<AttributeInfo> schema,
+                             uint64_t num_users, FelipConfig config)
+    : schema_(std::move(schema)), num_users_(num_users),
+      config_(std::move(config)) {
+  FELIP_CHECK(!schema_.empty());
+  FELIP_CHECK(num_users_ > 0);
+  FELIP_CHECK(config_.epsilon > 0.0);
+  const auto k = static_cast<uint32_t>(schema_.size());
+
+  // Response-matrix convergence: paper recommends < 1/n.
+  config_.response_matrix_options.threshold =
+      std::min(config_.response_matrix_options.threshold,
+               1.0 / static_cast<double>(num_users_));
+
+  // --- Step 1: decide the grid set and the number of groups m. ---
+  one_dim_index_.assign(k, -1);
+  uint32_t num_one_dim = 0;
+  if (k == 1) {
+    num_one_dim = 1;
+    one_dim_index_[0] = 0;
+  } else if (config_.strategy == Strategy::kOhg) {
+    for (uint32_t a = 0; a < k; ++a) {
+      if (IsNumerical(schema_[a])) one_dim_index_[a] = num_one_dim++;
+    }
+  }
+  const uint64_t num_pairs = k >= 2 ? Choose2(k) : 0;
+  const uint64_t m = num_one_dim + num_pairs;
+  FELIP_CHECK(m >= 1);
+
+  // Budget division (A1 ablation): every user reports every grid with
+  // eps/m, so each grid sees all n reports (optimizer group factor 1).
+  const bool divide_users =
+      config_.partitioning == PartitioningMode::kDivideUsers;
+  per_grid_epsilon_ =
+      divide_users ? config_.epsilon
+                   : config_.epsilon / static_cast<double>(m);
+
+  const auto selectivity_of = [&](uint32_t attr) {
+    if (attr < config_.attribute_selectivity.size()) {
+      return config_.attribute_selectivity[attr];
+    }
+    return config_.default_selectivity;
+  };
+
+  grid::OptimizeParams base_params;
+  base_params.epsilon = per_grid_epsilon_;
+  base_params.n = num_users_;
+  base_params.m = divide_users ? m : 1;
+  base_params.alpha1 = config_.alpha1;
+  base_params.alpha2 = config_.alpha2;
+  base_params.allow_grr = config_.allow_grr;
+  base_params.allow_olh = config_.allow_olh;
+  base_params.allow_oue = config_.allow_oue;
+
+  // --- Step 2: per-grid size optimization + AFO protocol selection. ---
+  // 1-D grids first (matching grids_1d_ order), then pairs in
+  // lexicographic order (matching grids_2d_ order).
+  for (uint32_t a = 0; a < k; ++a) {
+    if (one_dim_index_[a] < 0) continue;
+    grid::OptimizeParams params = base_params;
+    params.rx = selectivity_of(a);
+    const grid::AxisSpec axis{schema_[a].domain, schema_[a].categorical};
+    GridAssignment assignment;
+    assignment.is_2d = false;
+    assignment.attr_x = a;
+    assignment.plan = grid::Optimize1D(axis, params);
+    assignments_.push_back(assignment);
+    grids_1d_.emplace_back(a, Partition1D(schema_[a].domain,
+                                          assignment.plan.lx));
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      grid::OptimizeParams params = base_params;
+      params.rx = selectivity_of(i);
+      params.ry = selectivity_of(j);
+      const grid::AxisSpec x{schema_[i].domain, schema_[i].categorical};
+      const grid::AxisSpec y{schema_[j].domain, schema_[j].categorical};
+      GridAssignment assignment;
+      assignment.is_2d = true;
+      assignment.attr_x = i;
+      assignment.attr_y = j;
+      assignment.plan = grid::Optimize2D(x, y, params);
+      assignments_.push_back(assignment);
+      grids_2d_.emplace_back(i, j,
+                             Partition1D(schema_[i].domain,
+                                         assignment.plan.lx),
+                             Partition1D(schema_[j].domain,
+                                         assignment.plan.ly));
+    }
+  }
+  FELIP_CHECK(assignments_.size() == m);
+}
+
+FelipPipeline FelipPipeline::FromEstimatedGrids(
+    std::vector<data::AttributeInfo> schema, uint64_t num_users,
+    FelipConfig config, std::vector<std::vector<double>> grid_frequencies) {
+  FelipPipeline pipeline(std::move(schema), num_users, std::move(config));
+  FELIP_CHECK_MSG(grid_frequencies.size() == pipeline.assignments_.size(),
+                  "snapshot grid count does not match the planned layout");
+  const size_t n1 = pipeline.grids_1d_.size();
+  for (size_t g = 0; g < grid_frequencies.size(); ++g) {
+    if (g < n1) {
+      pipeline.grids_1d_[g].SetFrequencies(std::move(grid_frequencies[g]));
+    } else {
+      pipeline.grids_2d_[g - n1].SetFrequencies(
+          std::move(grid_frequencies[g]));
+    }
+  }
+  // Response matrices are derived state: rebuild rather than persist.
+  pipeline.response_matrices_.assign(pipeline.grids_2d_.size(),
+                                     post::ResponseMatrix());
+  ParallelFor(pipeline.grids_2d_.size(), [&](size_t idx) {
+    const Grid2D& g2 = pipeline.grids_2d_[idx];
+    pipeline.response_matrices_[idx] = post::ResponseMatrix::Build(
+        g2, pipeline.OneDimGrid(g2.attr_x()),
+        pipeline.OneDimGrid(g2.attr_y()),
+        pipeline.config_.response_matrix_options);
+  });
+  pipeline.collected_ = true;
+  pipeline.finalized_ = true;
+  return pipeline;
+}
+
+std::vector<std::vector<double>> FelipPipeline::ExportGridFrequencies()
+    const {
+  FELIP_CHECK_MSG(finalized_, "ExportGridFrequencies() requires Finalize()");
+  std::vector<std::vector<double>> result;
+  result.reserve(assignments_.size());
+  for (const Grid1D& g : grids_1d_) result.push_back(g.frequencies());
+  for (const Grid2D& g : grids_2d_) result.push_back(g.frequencies());
+  return result;
+}
+
+void FelipPipeline::Collect(const data::Dataset& dataset) {
+  FELIP_CHECK_MSG(!collected_, "Collect() called twice");
+  FELIP_CHECK(dataset.num_attributes() == schema_.size());
+  FELIP_CHECK_MSG(dataset.num_rows() == num_users_,
+                  "dataset size must match the planned population");
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    FELIP_CHECK(dataset.attribute(a).domain == schema_[a].domain);
+  }
+
+  // One frequency oracle per grid, at the per-grid budget.
+  oracles_.clear();
+  for (const GridAssignment& assignment : assignments_) {
+    const uint64_t domain =
+        static_cast<uint64_t>(assignment.plan.lx) * assignment.plan.ly;
+    oracles_.push_back(fo::MakeFrequencyOracle(assignment.plan.protocol,
+                                               per_grid_epsilon_, domain,
+                                               config_.olh_options));
+  }
+
+  const size_t n1 = grids_1d_.size();
+  const auto cell_of = [&](size_t g, uint64_t row) -> uint64_t {
+    const GridAssignment& assignment = assignments_[g];
+    if (!assignment.is_2d) {
+      return grids_1d_[g].CellOf(dataset.Value(row, assignment.attr_x));
+    }
+    const Grid2D& grid = grids_2d_[g - n1];
+    return grid.CellOf(dataset.Value(row, assignment.attr_x),
+                       dataset.Value(row, assignment.attr_y));
+  };
+
+  Rng rng(config_.seed);
+  const size_t m = assignments_.size();
+  if (config_.partitioning == PartitioningMode::kDivideUsers) {
+    for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+      const size_t g = static_cast<size_t>(rng.UniformU64(m));
+      oracles_[g]->SubmitUserValue(cell_of(g, row), rng);
+    }
+  } else {
+    // Sequential composition: every user reports every grid at eps/m.
+    for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+      for (size_t g = 0; g < m; ++g) {
+        oracles_[g]->SubmitUserValue(cell_of(g, row), rng);
+      }
+    }
+  }
+  collected_ = true;
+}
+
+void FelipPipeline::Finalize() {
+  FELIP_CHECK_MSG(collected_, "Finalize() requires Collect()");
+  FELIP_CHECK_MSG(!finalized_, "Finalize() called twice");
+
+  // Estimation + per-grid negativity removal.
+  const size_t n1 = grids_1d_.size();
+  for (size_t g = 0; g < assignments_.size(); ++g) {
+    std::vector<double> freq = oracles_[g]->EstimateFrequencies();
+    post::NormalizeFrequencies(&freq, config_.normalization);
+    if (!assignments_[g].is_2d) {
+      grids_1d_[g].SetFrequencies(std::move(freq));
+    } else {
+      grids_2d_[g - n1].SetFrequencies(std::move(freq));
+    }
+  }
+  oracles_.clear();  // reports are no longer needed
+
+  // Cross-grid consistency (ends with a negativity pass).
+  post::MakeConsistent(static_cast<uint32_t>(schema_.size()), &grids_1d_,
+                       &grids_2d_,
+                       {.rounds = config_.consistency_rounds,
+                        .normalization = config_.normalization});
+
+  // Response matrices for every pair (Γ includes the 1-D grids under OHG).
+  // Pairs are independent, so build them in parallel.
+  response_matrices_.assign(grids_2d_.size(), post::ResponseMatrix());
+  ParallelFor(grids_2d_.size(), [&](size_t idx) {
+    const Grid2D& g2 = grids_2d_[idx];
+    response_matrices_[idx] = post::ResponseMatrix::Build(
+        g2, OneDimGrid(g2.attr_x()), OneDimGrid(g2.attr_y()),
+        config_.response_matrix_options);
+  });
+  finalized_ = true;
+}
+
+size_t FelipPipeline::PairGridIndex(uint32_t i, uint32_t j) const {
+  FELIP_CHECK(i < j);
+  const auto k = static_cast<uint32_t>(schema_.size());
+  FELIP_CHECK(j < k);
+  return static_cast<size_t>(i) * (2 * k - i - 1) / 2 + (j - i - 1);
+}
+
+const Grid1D* FelipPipeline::OneDimGrid(uint32_t attr) const {
+  FELIP_CHECK(attr < one_dim_index_.size());
+  const int idx = one_dim_index_[attr];
+  return idx < 0 ? nullptr : &grids_1d_[static_cast<size_t>(idx)];
+}
+
+AxisSelection FelipPipeline::SelectionFor(const query::Query& query,
+                                          uint32_t attr) const {
+  const query::Predicate* p = query.FindPredicate(attr);
+  if (p == nullptr) return AxisSelection::MakeAll(schema_[attr].domain);
+  return p->ToSelection();
+}
+
+double FelipPipeline::AnswerPair(uint32_t i, uint32_t j,
+                                 const AxisSelection& sel_i,
+                                 const AxisSelection& sel_j) const {
+  return response_matrices_[PairGridIndex(i, j)].Answer(sel_i, sel_j);
+}
+
+double FelipPipeline::AnswerMarginal(uint32_t attr,
+                                     const AxisSelection& sel) const {
+  const Grid1D* g1 = OneDimGrid(attr);
+  if (g1 != nullptr) return g1->Answer(sel);
+  // Marginalize the first response matrix containing the attribute.
+  FELIP_CHECK_MSG(schema_.size() >= 2, "no grid covers the attribute");
+  const uint32_t partner = attr == 0 ? 1 : 0;
+  const uint32_t i = std::min(attr, partner);
+  const uint32_t j = std::max(attr, partner);
+  const AxisSelection all = AxisSelection::MakeAll(schema_[partner].domain);
+  return attr < partner ? AnswerPair(i, j, sel, all)
+                        : AnswerPair(i, j, all, sel);
+}
+
+double FelipPipeline::AnswerQuery(const query::Query& query) const {
+  FELIP_CHECK_MSG(finalized_, "AnswerQuery() requires Finalize()");
+  for (const query::Predicate& p : query.predicates()) {
+    FELIP_CHECK(p.attr < schema_.size());
+  }
+  const uint32_t lambda = query.dimension();
+  if (lambda == 1) {
+    const query::Predicate& p = query.predicates()[0];
+    return std::clamp(AnswerMarginal(p.attr, p.ToSelection()), 0.0, 1.0);
+  }
+
+  // Per-query-attribute selections (predicates are sorted by attribute).
+  std::vector<uint32_t> attrs;
+  std::vector<AxisSelection> selections;
+  attrs.reserve(lambda);
+  selections.reserve(lambda);
+  for (const query::Predicate& p : query.predicates()) {
+    attrs.push_back(p.attr);
+    selections.push_back(p.ToSelection());
+  }
+
+  if (lambda == 2) {
+    return std::clamp(
+        AnswerPair(attrs[0], attrs[1], selections[0], selections[1]), 0.0,
+        1.0);
+  }
+
+  // λ >= 3: Algorithm 4 over the associated 2-D answers.
+  std::vector<double> pair_answers(Choose2(lambda), 0.0);
+  for (uint32_t a = 0; a < lambda; ++a) {
+    for (uint32_t b = a + 1; b < lambda; ++b) {
+      pair_answers[post::PairIndex(a, b, lambda)] =
+          AnswerPair(attrs[a], attrs[b], selections[a], selections[b]);
+    }
+  }
+  post::LambdaEstimatorOptions options;
+  options.threshold = std::min(config_.lambda_threshold,
+                               1.0 / static_cast<double>(num_users_));
+  if (config_.lambda_quadrant_fit) {
+    std::vector<double> marginals(lambda);
+    for (uint32_t a = 0; a < lambda; ++a) {
+      marginals[a] =
+          std::clamp(AnswerMarginal(attrs[a], selections[a]), 0.0, 1.0);
+    }
+    return post::EstimateLambdaQueryQuadrants(lambda, pair_answers,
+                                              marginals, options);
+  }
+  return post::EstimateLambdaQuery(lambda, pair_answers, options);
+}
+
+std::vector<double> FelipPipeline::EstimateMarginal(uint32_t attr) const {
+  FELIP_CHECK_MSG(finalized_, "EstimateMarginal() requires Finalize()");
+  FELIP_CHECK(attr < schema_.size());
+  const uint32_t domain = schema_[attr].domain;
+  std::vector<double> marginal(domain, 0.0);
+  if (const Grid1D* g1 = OneDimGrid(attr); g1 != nullptr) {
+    // Spread each cell's mass uniformly over its values.
+    for (uint32_t c = 0; c < g1->num_cells(); ++c) {
+      const double density =
+          g1->frequencies()[c] /
+          static_cast<double>(g1->partition().CellSize(c));
+      for (uint32_t v = g1->partition().CellBegin(c);
+           v < g1->partition().CellEnd(c); ++v) {
+        marginal[v] = density;
+      }
+    }
+    return marginal;
+  }
+  FELIP_CHECK_MSG(schema_.size() >= 2, "no grid covers the attribute");
+  const uint32_t partner = attr == 0 ? 1 : 0;
+  const uint32_t i = std::min(attr, partner);
+  const uint32_t j = std::max(attr, partner);
+  const std::vector<double> joint =
+      response_matrices_[PairGridIndex(i, j)].ToDense();
+  const uint32_t dj = schema_[j].domain;
+  for (uint32_t x = 0; x < schema_[i].domain; ++x) {
+    for (uint32_t y = 0; y < dj; ++y) {
+      marginal[attr == i ? x : y] += joint[static_cast<size_t>(x) * dj + y];
+    }
+  }
+  return marginal;
+}
+
+std::vector<double> FelipPipeline::EstimateJoint(uint32_t i,
+                                                 uint32_t j) const {
+  FELIP_CHECK_MSG(finalized_, "EstimateJoint() requires Finalize()");
+  FELIP_CHECK(i < schema_.size() && j < schema_.size());
+  FELIP_CHECK_MSG(i != j, "joint needs two distinct attributes");
+  if (i < j) return response_matrices_[PairGridIndex(i, j)].ToDense();
+  // Transpose the (j, i) matrix into (i, j) orientation.
+  const std::vector<double> other =
+      response_matrices_[PairGridIndex(j, i)].ToDense();
+  const uint32_t di = schema_[i].domain;
+  const uint32_t dj = schema_[j].domain;
+  std::vector<double> joint(static_cast<size_t>(di) * dj);
+  for (uint32_t a = 0; a < dj; ++a) {
+    for (uint32_t b = 0; b < di; ++b) {
+      joint[static_cast<size_t>(b) * dj + a] =
+          other[static_cast<size_t>(a) * di + b];
+    }
+  }
+  return joint;
+}
+
+FelipPipeline RunFelip(const data::Dataset& dataset, FelipConfig config) {
+  FelipPipeline pipeline(dataset.attributes(), dataset.num_rows(),
+                         std::move(config));
+  pipeline.Collect(dataset);
+  pipeline.Finalize();
+  return pipeline;
+}
+
+}  // namespace felip::core

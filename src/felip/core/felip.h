@@ -1,0 +1,203 @@
+// FELIP end-to-end pipeline (Section 5).
+//
+// The aggregator plans one grid per attribute pair (plus one 1-D grid per
+// numerical attribute under OHG), divides the population into one group per
+// grid, and sends each user their group's grid configuration. Each user
+// projects their record onto the grid, perturbs the cell index with the
+// protocol AFO selected for that grid, and reports it. The aggregator
+// estimates per-cell frequencies, post-processes (negativity removal +
+// cross-grid consistency), builds per-pair response matrices, and answers
+// λ-dimensional queries by fitting the associated 2-D answers.
+//
+// FelipPipeline simulates the whole round trip in-process; FelipClient is
+// the device-side piece for real deployments.
+
+#ifndef FELIP_CORE_FELIP_H_
+#define FELIP_CORE_FELIP_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/data/dataset.h"
+#include "felip/fo/frequency_oracle.h"
+#include "felip/grid/grid.h"
+#include "felip/grid/optimizer.h"
+#include "felip/post/norm_sub.h"
+#include "felip/post/response_matrix.h"
+#include "felip/query/query.h"
+
+namespace felip::core {
+
+// OUG answers every query from the 2-D grids alone under the within-cell
+// uniformity assumption; OHG additionally collects 1-D grids for numerical
+// attributes and refines pair estimates through response matrices.
+enum class Strategy { kOug, kOhg };
+
+// How the privacy budget is shared across the m grids. FELIP always divides
+// users (Theorem 5.1); kDivideBudget is implemented for the A1 ablation.
+enum class PartitioningMode { kDivideUsers, kDivideBudget };
+
+struct FelipConfig {
+  Strategy strategy = Strategy::kOhg;
+  PartitioningMode partitioning = PartitioningMode::kDivideUsers;
+  double epsilon = 1.0;
+  double alpha1 = 0.7;  // 1-D non-uniformity constant
+  double alpha2 = 0.03; // 2-D non-uniformity constant
+
+  // The aggregator's selectivity prior (Section 5.2): the expected fraction
+  // of each attribute's domain a query selects. `attribute_selectivity`
+  // overrides the default per attribute when non-empty.
+  double default_selectivity = 0.5;
+  std::vector<double> attribute_selectivity;
+
+  // Protocols AFO may pick per grid. The paper's OUG-OLH / OHG-OLH
+  // variants set allow_grr = false.
+  bool allow_grr = true;
+  bool allow_olh = true;
+  bool allow_oue = false;
+
+  fo::OlhOptions olh_options = {.seed_pool_size = 4096};
+
+  int consistency_rounds = 3;
+  // Negativity-removal variant applied after estimation and between
+  // consistency rounds (CALM's design dimension; ablation abl7).
+  post::Normalization normalization = post::Normalization::kNormSub;
+  post::ResponseMatrixOptions response_matrix_options;
+  double lambda_threshold = 1e-7;  // Algorithm 4 convergence
+  // Extension: fit all four sign-quadrants per pair (proper IPF over
+  // pairwise marginals) instead of the paper's positive-positive-only
+  // update. Off by default for paper fidelity; see
+  // post::EstimateLambdaQueryQuadrants.
+  bool lambda_quadrant_fit = false;
+
+  uint64_t seed = 1;  // drives group assignment and perturbation
+};
+
+// One planned grid: which attributes it covers and the optimizer's output.
+struct GridAssignment {
+  bool is_2d = false;
+  uint32_t attr_x = 0;
+  uint32_t attr_y = 0;  // unused for 1-D grids
+  grid::GridPlan plan;
+};
+
+// Device-side FELIP: rebuilds the assigned grid's cell layout from the
+// (public) grid configuration and projects the user's private values onto a
+// cell index. The cell index is then perturbed with the protocol the plan
+// names — GrrClient / OlhClient / OueClient from felip/fo — before leaving
+// the device; only the perturbed report is sent to the aggregator.
+class FelipClient {
+ public:
+  // `domain_x` / `domain_y` are the domains of the assigned attributes
+  // (`domain_y` is ignored for 1-D assignments).
+  FelipClient(const GridAssignment& assignment, uint32_t domain_x,
+              uint32_t domain_y = 1);
+
+  // Cell index of the user's record values; `value_y` is ignored for 1-D
+  // grids. This is the value to feed the frequency-oracle client.
+  uint64_t ProjectToCell(uint32_t value_x, uint32_t value_y = 0) const;
+
+  // The cell domain the frequency oracle perturbs over (lx * ly).
+  uint64_t cell_domain() const;
+
+  const grid::Partition1D& px() const { return px_; }
+  const grid::Partition1D& py() const { return py_; }
+  bool is_2d() const { return is_2d_; }
+
+ private:
+  bool is_2d_;
+  grid::Partition1D px_;
+  grid::Partition1D py_;
+};
+
+// The full simulation pipeline (aggregator + simulated user population).
+class FelipPipeline {
+ public:
+  // Plans grids for `schema` assuming `num_users` participants.
+  FelipPipeline(std::vector<data::AttributeInfo> schema, uint64_t num_users,
+                FelipConfig config);
+
+  // Reconstructs a finalized pipeline from previously estimated,
+  // post-processed grid frequencies (e.g. a loaded snapshot). The grids
+  // must match this configuration's planned layout; response matrices are
+  // rebuilt. Used by wire::LoadSnapshot.
+  static FelipPipeline FromEstimatedGrids(
+      std::vector<data::AttributeInfo> schema, uint64_t num_users,
+      FelipConfig config, std::vector<std::vector<double>> grid_frequencies);
+
+  // Estimated per-grid frequencies in assignment order (1-D grids first).
+  // Requires Finalize(); this is what a snapshot persists.
+  std::vector<std::vector<double>> ExportGridFrequencies() const;
+
+  // Simulates the LDP collection round: every dataset row is one user.
+  // The dataset must match the schema and have exactly `num_users` rows.
+  void Collect(const data::Dataset& dataset);
+
+  // Estimation + post-processing + response matrices. Requires Collect().
+  void Finalize();
+
+  // Estimated fractional answer of a λ-dimensional query. Requires
+  // Finalize().
+  double AnswerQuery(const query::Query& query) const;
+
+  // Post-processed marginal distribution of `attr` over its full domain
+  // (length = domain, non-negative, sums to ~1). Uses the attribute's 1-D
+  // grid under OHG, else the refined pair response matrix. Requires
+  // Finalize().
+  std::vector<double> EstimateMarginal(uint32_t attr) const;
+
+  // Refined joint distribution of the attribute pair (i, j), i != j, as a
+  // dense d_i x d_j row-major matrix. Requires Finalize().
+  std::vector<double> EstimateJoint(uint32_t i, uint32_t j) const;
+
+  // --- Introspection (examples, benches, tests) ---
+  const std::vector<GridAssignment>& assignments() const {
+    return assignments_;
+  }
+  uint64_t num_groups() const { return assignments_.size(); }
+  const std::vector<grid::Grid1D>& grids_1d() const { return grids_1d_; }
+  const std::vector<grid::Grid2D>& grids_2d() const { return grids_2d_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  // Index of the 2-D grid for pair (i, j), i < j.
+  size_t PairGridIndex(uint32_t i, uint32_t j) const;
+  // Pointer to the 1-D grid of `attr`, or nullptr.
+  const grid::Grid1D* OneDimGrid(uint32_t attr) const;
+  // Per-axis selection for `attr` in `query` (whole domain when absent).
+  grid::AxisSelection SelectionFor(const query::Query& query,
+                                   uint32_t attr) const;
+  // Estimated answer of the 2-D query restricted to pair (i, j), i < j.
+  double AnswerPair(uint32_t i, uint32_t j,
+                    const grid::AxisSelection& sel_i,
+                    const grid::AxisSelection& sel_j) const;
+  double AnswerMarginal(uint32_t attr,
+                        const grid::AxisSelection& sel) const;
+
+  std::vector<data::AttributeInfo> schema_;
+  uint64_t num_users_;
+  FelipConfig config_;
+  double per_grid_epsilon_;  // epsilon, or epsilon/m when dividing budget
+
+  std::vector<GridAssignment> assignments_;
+  std::vector<grid::Grid1D> grids_1d_;
+  std::vector<grid::Grid2D> grids_2d_;
+  // grid index (into assignments_) -> oracle; built lazily at Collect.
+  std::vector<std::unique_ptr<fo::FrequencyOracle>> oracles_;
+  // attr -> index into grids_1d_, or -1.
+  std::vector<int> one_dim_index_;
+  // pair order index -> index into grids_2d_ (identity, kept for clarity).
+  std::vector<post::ResponseMatrix> response_matrices_;
+  bool collected_ = false;
+  bool finalized_ = false;
+};
+
+// Convenience: run plan + collect + finalize in one call.
+FelipPipeline RunFelip(const data::Dataset& dataset, FelipConfig config);
+
+}  // namespace felip::core
+
+#endif  // FELIP_CORE_FELIP_H_

@@ -1,0 +1,188 @@
+#include "felip/data/csv_loader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <charconv>
+#include <fstream>
+#include <unordered_map>
+
+namespace felip::data {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+std::optional<double> ParseDouble(const std::string& s) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<CsvLoadResult> LoadCsv(
+    const std::string& path, const std::vector<CsvColumnSpec>& columns,
+    uint64_t max_rows) {
+  if (columns.empty()) return std::nullopt;
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+
+  std::string line;
+  if (!std::getline(file, line)) return std::nullopt;
+  const std::vector<std::string> header = SplitCsvLine(line);
+
+  // Map selected columns to CSV field indices.
+  std::vector<size_t> field_index(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const auto it = std::find(header.begin(), header.end(), columns[c].name);
+    if (it == header.end()) return std::nullopt;
+    field_index[c] = static_cast<size_t>(it - header.begin());
+  }
+
+  // First pass: read raw fields (bounded by max_rows if given).
+  struct RawColumn {
+    std::vector<std::string> labels;  // categorical
+    std::vector<double> values;      // numerical
+  };
+  std::vector<RawColumn> raw(columns.size());
+  uint64_t rows_skipped = 0;
+  uint64_t rows_kept = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    if (max_rows > 0 && rows_kept >= max_rows) break;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    bool ok = fields.size() >= header.size();
+    std::vector<double> parsed(columns.size(), 0.0);
+    if (ok) {
+      for (size_t c = 0; c < columns.size() && ok; ++c) {
+        if (!columns[c].categorical) {
+          const auto v = ParseDouble(fields[field_index[c]]);
+          if (!v.has_value()) {
+            ok = false;
+          } else {
+            parsed[c] = *v;
+          }
+        }
+      }
+    }
+    if (!ok) {
+      ++rows_skipped;
+      continue;
+    }
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c].categorical) {
+        raw[c].labels.push_back(fields[field_index[c]]);
+      } else {
+        raw[c].values.push_back(parsed[c]);
+      }
+    }
+    ++rows_kept;
+  }
+
+  // Second pass: encode.
+  std::vector<AttributeInfo> infos(columns.size());
+  std::vector<std::vector<uint32_t>> encoded(columns.size());
+  std::vector<std::vector<std::string>> dictionaries;
+  std::vector<std::pair<double, double>> numeric_ranges;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    encoded[c].resize(rows_kept);
+    if (columns[c].categorical) {
+      std::unordered_map<std::string, uint32_t> dict;
+      std::vector<std::string> ordered;
+      for (size_t r = 0; r < rows_kept; ++r) {
+        const std::string& label = raw[c].labels[r];
+        auto [it, inserted] =
+            dict.emplace(label, static_cast<uint32_t>(ordered.size()));
+        if (inserted) ordered.push_back(label);
+        encoded[c][r] = it->second;
+      }
+      const auto distinct = static_cast<uint32_t>(ordered.size());
+      if (columns[c].domain != 0 && distinct > columns[c].domain) {
+        return std::nullopt;  // more labels than the declared domain
+      }
+      infos[c] = {columns[c].name,
+                  columns[c].domain != 0 ? columns[c].domain
+                                         : std::max<uint32_t>(distinct, 1),
+                  true};
+      dictionaries.push_back(std::move(ordered));
+    } else {
+      if (columns[c].domain == 0) return std::nullopt;
+      double lo = 0.0;
+      double hi = 0.0;
+      if (rows_kept > 0) {
+        lo = *std::min_element(raw[c].values.begin(), raw[c].values.end());
+        hi = *std::max_element(raw[c].values.begin(), raw[c].values.end());
+      }
+      const double span = hi > lo ? hi - lo : 1.0;
+      const uint32_t d = columns[c].domain;
+      if (columns[c].equi_depth && rows_kept > 0) {
+        // Quantile boundaries: bin k covers values in
+        // [sorted[k*n/d], sorted[(k+1)*n/d]).
+        std::vector<double> sorted = raw[c].values;
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<double> upper(d);
+        for (uint32_t k = 0; k < d; ++k) {
+          // Bin k holds ranks [n*k/d, n*(k+1)/d); its inclusive upper
+          // boundary is the last rank inside it.
+          size_t idx = static_cast<size_t>(rows_kept) * (k + 1) / d;
+          idx = idx == 0 ? 0 : idx - 1;
+          upper[k] = sorted[std::min<size_t>(idx, rows_kept - 1)];
+        }
+        for (size_t r = 0; r < rows_kept; ++r) {
+          const auto it = std::lower_bound(upper.begin(), upper.end() - 1,
+                                           raw[c].values[r]);
+          encoded[c][r] = static_cast<uint32_t>(it - upper.begin());
+        }
+      } else {
+        for (size_t r = 0; r < rows_kept; ++r) {
+          const double frac = (raw[c].values[r] - lo) / span;
+          const auto bin = static_cast<uint32_t>(std::min(
+              static_cast<double>(d - 1), std::floor(frac * d)));
+          encoded[c][r] = bin;
+        }
+      }
+      infos[c] = {columns[c].name, d, false};
+      numeric_ranges.emplace_back(lo, hi);
+    }
+  }
+
+  CsvLoadResult result{
+      Dataset::FromColumns(std::move(infos), std::move(encoded)),
+      std::move(dictionaries), std::move(numeric_ranges), rows_skipped};
+  return result;
+}
+
+}  // namespace felip::data

@@ -1,0 +1,64 @@
+#include "felip/data/dataset.h"
+
+#include <utility>
+
+namespace felip::data {
+
+Dataset::Dataset(std::vector<AttributeInfo> attributes)
+    : attributes_(std::move(attributes)), columns_(attributes_.size()) {
+  FELIP_CHECK_MSG(!attributes_.empty(), "dataset needs >= 1 attribute");
+  for (const AttributeInfo& a : attributes_) {
+    FELIP_CHECK_MSG(a.domain >= 1, "attribute domain must be >= 1");
+  }
+}
+
+void Dataset::AppendRow(const std::vector<uint32_t>& values) {
+  FELIP_CHECK(values.size() == attributes_.size());
+  for (size_t a = 0; a < values.size(); ++a) {
+    FELIP_CHECK_MSG(values[a] < attributes_[a].domain,
+                    "row value out of attribute domain");
+    columns_[a].push_back(values[a]);
+  }
+  ++num_rows_;
+}
+
+Dataset Dataset::FromColumns(std::vector<AttributeInfo> attributes,
+                             std::vector<std::vector<uint32_t>> columns) {
+  Dataset ds(std::move(attributes));
+  FELIP_CHECK(columns.size() == ds.attributes_.size());
+  const uint64_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t a = 0; a < columns.size(); ++a) {
+    FELIP_CHECK_MSG(columns[a].size() == rows, "ragged columns");
+    for (const uint32_t v : columns[a]) {
+      FELIP_CHECK_MSG(v < ds.attributes_[a].domain,
+                      "column value out of attribute domain");
+    }
+  }
+  ds.columns_ = std::move(columns);
+  ds.num_rows_ = rows;
+  return ds;
+}
+
+Dataset Dataset::Prefix(uint64_t n) const {
+  FELIP_CHECK(n <= num_rows_);
+  std::vector<std::vector<uint32_t>> cols(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    cols[a].assign(columns_[a].begin(), columns_[a].begin() + n);
+  }
+  return FromColumns(attributes_, std::move(cols));
+}
+
+Dataset Dataset::SelectAttributes(const std::vector<uint32_t>& attrs) const {
+  std::vector<AttributeInfo> infos;
+  std::vector<std::vector<uint32_t>> cols;
+  infos.reserve(attrs.size());
+  cols.reserve(attrs.size());
+  for (const uint32_t a : attrs) {
+    FELIP_CHECK(a < attributes_.size());
+    infos.push_back(attributes_[a]);
+    cols.push_back(columns_[a]);
+  }
+  return FromColumns(std::move(infos), std::move(cols));
+}
+
+}  // namespace felip::data

@@ -1,0 +1,80 @@
+// In-memory multidimensional dataset.
+//
+// Records are k-dimensional vectors of ordinal-encoded values: every
+// attribute (categorical or numerical) is stored as an integer in
+// [0, domain). Storage is column-major, which is what both the collection
+// loop (one attribute pair per user) and the ground-truth evaluator scan.
+
+#ifndef FELIP_DATA_DATASET_H_
+#define FELIP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "felip/common/check.h"
+
+namespace felip::data {
+
+// Static description of one attribute.
+struct AttributeInfo {
+  std::string name;
+  uint32_t domain = 1;       // number of distinct ordinal values
+  bool categorical = false;  // categorical vs numerical (ordinal)
+};
+
+class Dataset {
+ public:
+  // Creates an empty dataset (0 rows) with the given schema.
+  explicit Dataset(std::vector<AttributeInfo> attributes);
+
+  // Number of user records.
+  uint64_t num_rows() const { return num_rows_; }
+  // Number of attributes k.
+  uint32_t num_attributes() const {
+    return static_cast<uint32_t>(attributes_.size());
+  }
+
+  const AttributeInfo& attribute(uint32_t attr) const {
+    FELIP_CHECK(attr < attributes_.size());
+    return attributes_[attr];
+  }
+  const std::vector<AttributeInfo>& attributes() const { return attributes_; }
+
+  uint32_t Value(uint64_t row, uint32_t attr) const {
+    FELIP_CHECK(attr < columns_.size());
+    FELIP_CHECK(row < num_rows_);
+    return columns_[attr][row];
+  }
+
+  // Whole column, for tight scan loops.
+  const std::vector<uint32_t>& Column(uint32_t attr) const {
+    FELIP_CHECK(attr < columns_.size());
+    return columns_[attr];
+  }
+
+  // Appends one record; `values` must have one in-domain value per
+  // attribute.
+  void AppendRow(const std::vector<uint32_t>& values);
+
+  // Moves a fully formed column set in (each column the same length, values
+  // in range). Used by the generators to avoid per-row overhead.
+  static Dataset FromColumns(std::vector<AttributeInfo> attributes,
+                             std::vector<std::vector<uint32_t>> columns);
+
+  // A dataset with the same schema and the first `n` rows (n <= num_rows).
+  Dataset Prefix(uint64_t n) const;
+
+  // A dataset with the schema and columns restricted to `attrs` (indices
+  // into this dataset's attributes, in the new order).
+  Dataset SelectAttributes(const std::vector<uint32_t>& attrs) const;
+
+ private:
+  std::vector<AttributeInfo> attributes_;
+  std::vector<std::vector<uint32_t>> columns_;  // [attr][row]
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace felip::data
+
+#endif  // FELIP_DATA_DATASET_H_

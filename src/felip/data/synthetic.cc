@@ -1,0 +1,256 @@
+#include "felip/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/rng.h"
+
+namespace felip::data {
+
+namespace {
+
+// Standard normal CDF.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+// Inverse-CDF sample: first index whose cumulative mass exceeds u.
+uint32_t SampleFromCdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const size_t idx = it == cdf.end() ? cdf.size() - 1
+                                     : static_cast<size_t>(it - cdf.begin());
+  return static_cast<uint32_t>(idx);
+}
+
+std::vector<double> CdfFromPmf(const std::vector<double>& pmf) {
+  std::vector<double> cdf(pmf.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    acc += pmf[i];
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // guard against rounding
+  return cdf;
+}
+
+}  // namespace
+
+std::vector<double> MarginalPmf(Distribution distribution, uint32_t domain,
+                                double param) {
+  FELIP_CHECK(domain >= 1);
+  std::vector<double> pmf(domain, 0.0);
+  const double d = static_cast<double>(domain);
+  switch (distribution) {
+    case Distribution::kUniform:
+      std::fill(pmf.begin(), pmf.end(), 1.0 / d);
+      break;
+    case Distribution::kGaussian: {
+      const double mean = (d - 1.0) / 2.0;
+      const double sd = std::max(d / 6.0, 0.5);
+      for (uint32_t v = 0; v < domain; ++v) {
+        const double z = (static_cast<double>(v) - mean) / sd;
+        pmf[v] = std::exp(-0.5 * z * z);
+      }
+      break;
+    }
+    case Distribution::kZipf: {
+      const double s = param > 0.0 ? param : 1.1;
+      for (uint32_t v = 0; v < domain; ++v) {
+        pmf[v] = std::pow(static_cast<double>(v + 1), -s);
+      }
+      break;
+    }
+    case Distribution::kBimodal: {
+      const double sd = std::max(d / 10.0, 0.5);
+      const double m1 = d / 4.0;
+      const double m2 = 3.0 * d / 4.0;
+      for (uint32_t v = 0; v < domain; ++v) {
+        const double z1 = (static_cast<double>(v) - m1) / sd;
+        const double z2 = (static_cast<double>(v) - m2) / sd;
+        pmf[v] = std::exp(-0.5 * z1 * z1) + 0.7 * std::exp(-0.5 * z2 * z2);
+      }
+      break;
+    }
+    case Distribution::kExponential: {
+      const double rate = param > 0.0 ? param : 5.0;
+      for (uint32_t v = 0; v < domain; ++v) {
+        pmf[v] = std::exp(-rate * static_cast<double>(v) / d);
+      }
+      break;
+    }
+  }
+  double total = 0.0;
+  for (const double p : pmf) total += p;
+  FELIP_CHECK(total > 0.0);
+  for (double& p : pmf) p /= total;
+  return pmf;
+}
+
+Dataset GenerateSynthetic(uint64_t n,
+                          const std::vector<SyntheticAttribute>& attributes,
+                          uint64_t seed) {
+  FELIP_CHECK(!attributes.empty());
+  const auto k = static_cast<uint32_t>(attributes.size());
+
+  std::vector<AttributeInfo> infos(k);
+  std::vector<std::vector<double>> cdfs(k);
+  for (uint32_t a = 0; a < k; ++a) {
+    const SyntheticAttribute& spec = attributes[a];
+    FELIP_CHECK_MSG(spec.correlate_with < static_cast<int>(a),
+                    "correlate_with must reference an earlier attribute");
+    FELIP_CHECK(std::fabs(spec.correlation) < 1.0);
+    infos[a] = {spec.name, spec.domain, spec.categorical};
+    cdfs[a] = CdfFromPmf(
+        MarginalPmf(spec.distribution, spec.domain, spec.param));
+  }
+
+  std::vector<std::vector<uint32_t>> columns(k);
+  for (auto& col : columns) col.resize(n);
+
+  Rng rng(seed);
+  std::vector<double> latent(k);  // latent standard normals per row
+  for (uint64_t row = 0; row < n; ++row) {
+    for (uint32_t a = 0; a < k; ++a) {
+      const SyntheticAttribute& spec = attributes[a];
+      double z = rng.Gaussian();
+      if (spec.correlate_with >= 0) {
+        const double rho = spec.correlation;
+        z = rho * latent[spec.correlate_with] +
+            std::sqrt(1.0 - rho * rho) * z;
+      }
+      latent[a] = z;
+      columns[a][row] = SampleFromCdf(cdfs[a], NormalCdf(z));
+    }
+  }
+  return Dataset::FromColumns(std::move(infos), std::move(columns));
+}
+
+namespace {
+
+// Shared recipe for the four named datasets: `num_attributes` attributes
+// alternating numerical/categorical (numerical first), marginals given by
+// the two callbacks.
+Dataset MakeAlternating(
+    uint64_t n, uint32_t num_numerical, uint32_t num_categorical,
+    uint32_t numerical_domain, uint32_t categorical_domain, uint64_t seed,
+    Distribution numerical_dist, Distribution categorical_dist) {
+  FELIP_CHECK(num_numerical + num_categorical >= 1);
+  std::vector<SyntheticAttribute> specs;
+  for (uint32_t i = 0; i < num_numerical; ++i) {
+    specs.push_back({.name = "num" + std::to_string(i),
+                     .domain = numerical_domain,
+                     .categorical = false,
+                     .distribution = numerical_dist});
+  }
+  for (uint32_t i = 0; i < num_categorical; ++i) {
+    specs.push_back({.name = "cat" + std::to_string(i),
+                     .domain = categorical_domain,
+                     .categorical = true,
+                     .distribution = categorical_dist});
+  }
+  return GenerateSynthetic(n, specs, seed);
+}
+
+}  // namespace
+
+Dataset MakeUniform(uint64_t n, uint32_t num_numerical,
+                    uint32_t num_categorical, uint32_t numerical_domain,
+                    uint32_t categorical_domain, uint64_t seed) {
+  return MakeAlternating(n, num_numerical, num_categorical, numerical_domain,
+                         categorical_domain, seed, Distribution::kUniform,
+                         Distribution::kUniform);
+}
+
+Dataset MakeNormal(uint64_t n, uint32_t num_numerical,
+                   uint32_t num_categorical, uint32_t numerical_domain,
+                   uint32_t categorical_domain, uint64_t seed) {
+  return MakeAlternating(n, num_numerical, num_categorical, numerical_domain,
+                         categorical_domain, seed, Distribution::kGaussian,
+                         Distribution::kGaussian);
+}
+
+Dataset MakeIpumsLike(uint64_t n, uint32_t num_attributes,
+                      uint32_t numerical_domain, uint32_t categorical_domain,
+                      uint64_t seed) {
+  FELIP_CHECK(num_attributes >= 1 && num_attributes <= 10);
+  // 10-attribute census-style schema; attributes alternate numerical /
+  // categorical so any prefix keeps a mix of kinds. age↔income and
+  // income↔capital-gain correlate through the copula.
+  const std::vector<SyntheticAttribute> full = {
+      {.name = "age", .domain = numerical_domain, .categorical = false,
+       .distribution = Distribution::kGaussian},
+      {.name = "education", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kZipf, .param = 0.8},
+      {.name = "income", .domain = numerical_domain, .categorical = false,
+       .distribution = Distribution::kExponential, .param = 4.0,
+       .correlate_with = 0, .correlation = 0.45},
+      {.name = "marital_status", .domain = categorical_domain,
+       .categorical = true, .distribution = Distribution::kZipf,
+       .param = 1.2},
+      {.name = "hours_per_week", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kBimodal},
+      {.name = "occupation", .domain = categorical_domain,
+       .categorical = true, .distribution = Distribution::kUniform},
+      {.name = "capital_gain", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kExponential,
+       .param = 7.0, .correlate_with = 2, .correlation = 0.35},
+      {.name = "race", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kZipf, .param = 1.6},
+      {.name = "weeks_worked", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kGaussian},
+      {.name = "sex", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kUniform},
+  };
+  std::vector<SyntheticAttribute> specs(full.begin(),
+                                        full.begin() + num_attributes);
+  // Drop copula links that point past the kept prefix (cannot happen with
+  // this schema, but keep the guard for edits).
+  for (auto& s : specs) {
+    if (s.correlate_with >= static_cast<int>(num_attributes)) {
+      s.correlate_with = -1;
+    }
+  }
+  return GenerateSynthetic(n, specs, seed);
+}
+
+Dataset MakeLoanLike(uint64_t n, uint32_t num_attributes,
+                     uint32_t numerical_domain, uint32_t categorical_domain,
+                     uint64_t seed) {
+  FELIP_CHECK(num_attributes >= 1 && num_attributes <= 10);
+  const std::vector<SyntheticAttribute> full = {
+      {.name = "loan_amount", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kExponential,
+       .param = 3.0},
+      {.name = "grade", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kZipf, .param = 1.4},
+      {.name = "interest_rate", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kGaussian,
+       .correlate_with = 1, .correlation = 0.5},
+      {.name = "home_ownership", .domain = categorical_domain,
+       .categorical = true, .distribution = Distribution::kZipf,
+       .param = 2.0},
+      {.name = "annual_income", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kExponential,
+       .param = 6.0},
+      {.name = "purpose", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kZipf, .param = 1.0},
+      {.name = "credit_score", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kGaussian,
+       .correlate_with = 4, .correlation = 0.4},
+      {.name = "term", .domain = categorical_domain, .categorical = true,
+       .distribution = Distribution::kZipf, .param = 2.5},
+      {.name = "debt_to_income", .domain = numerical_domain,
+       .categorical = false, .distribution = Distribution::kBimodal},
+      {.name = "verification", .domain = categorical_domain,
+       .categorical = true, .distribution = Distribution::kUniform},
+  };
+  std::vector<SyntheticAttribute> specs(full.begin(),
+                                        full.begin() + num_attributes);
+  for (auto& s : specs) {
+    if (s.correlate_with >= static_cast<int>(num_attributes)) {
+      s.correlate_with = -1;
+    }
+  }
+  return GenerateSynthetic(n, specs, seed);
+}
+
+}  // namespace felip::data

@@ -1,0 +1,83 @@
+// Synthetic dataset generators.
+//
+// All generators are driven by per-attribute marginal distributions
+// (sampled by inverse-CDF over a precomputed pmf) and an optional Gaussian
+// copula for pairwise correlation: correlated attributes share a latent
+// standard-normal factor, and each attribute maps its latent percentile
+// through its own marginal inverse CDF. This reproduces the properties the
+// paper's experiments exercise — marginal skew, inter-attribute
+// correlation, and mixed attribute types — with fully reproducible seeds.
+//
+// MakeIpumsLike / MakeLoanLike are the documented substitutes for the
+// paper's IPUMS census extract and Lending Club loan data (see DESIGN.md,
+// "Substitutions").
+
+#ifndef FELIP_DATA_SYNTHETIC_H_
+#define FELIP_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "felip/data/dataset.h"
+
+namespace felip::data {
+
+// Marginal distribution families for one attribute.
+enum class Distribution {
+  kUniform,
+  kGaussian,     // truncated, mean = d/2, sd = d/6 (covers the domain)
+  kZipf,         // pmf ∝ 1/(v+1)^param (param = exponent, default 1.1)
+  kBimodal,      // two Gaussian bumps at d/4 and 3d/4, sd = d/10
+  kExponential,  // right-skewed, pmf ∝ exp(-param * v / d) (default 5)
+};
+
+struct SyntheticAttribute {
+  std::string name;
+  uint32_t domain = 1;
+  bool categorical = false;
+  Distribution distribution = Distribution::kUniform;
+  double param = 0.0;  // family parameter; 0 => family default
+  // Index of an earlier attribute this one correlates with via the Gaussian
+  // copula, or -1 for independence.
+  int correlate_with = -1;
+  double correlation = 0.0;  // in (-1, 1)
+};
+
+// Probability mass function of one marginal over [0, domain); sums to 1.
+std::vector<double> MarginalPmf(Distribution distribution, uint32_t domain,
+                                double param);
+
+// Generates n rows from the attribute specs.
+Dataset GenerateSynthetic(uint64_t n,
+                          const std::vector<SyntheticAttribute>& attributes,
+                          uint64_t seed);
+
+// The paper's "Uniform" dataset: `num_numerical` numerical +
+// `num_categorical` categorical attributes, all marginals uniform.
+Dataset MakeUniform(uint64_t n, uint32_t num_numerical,
+                    uint32_t num_categorical, uint32_t numerical_domain,
+                    uint32_t categorical_domain, uint64_t seed);
+
+// The paper's "Normal" dataset: truncated Gaussians centered mid-domain.
+Dataset MakeNormal(uint64_t n, uint32_t num_numerical,
+                   uint32_t num_categorical, uint32_t numerical_domain,
+                   uint32_t categorical_domain, uint64_t seed);
+
+// IPUMS-like census simulator: 10 attributes (5 categorical + 5 numerical)
+// with heterogeneous skew and age↔income-style correlations. Domains are
+// configurable so the paper's attribute/domain sweeps can reuse it; pass 0
+// to keep only the first `num_attributes` attributes (alternating kinds).
+Dataset MakeIpumsLike(uint64_t n, uint32_t num_attributes,
+                      uint32_t numerical_domain, uint32_t categorical_domain,
+                      uint64_t seed);
+
+// Lending-Club-like simulator: heavier categorical point masses and long
+// right tails on the numerical attributes.
+Dataset MakeLoanLike(uint64_t n, uint32_t num_attributes,
+                     uint32_t numerical_domain, uint32_t categorical_domain,
+                     uint64_t seed);
+
+}  // namespace felip::data
+
+#endif  // FELIP_DATA_SYNTHETIC_H_

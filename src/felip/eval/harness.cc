@@ -1,0 +1,206 @@
+#include "felip/eval/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "felip/baselines/hio.h"
+#include "felip/baselines/tdg_hdg.h"
+#include "felip/common/check.h"
+#include "felip/core/felip.h"
+
+namespace felip::eval {
+
+double MeanAbsoluteError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths) {
+  FELIP_CHECK(estimates.size() == truths.size());
+  FELIP_CHECK(!estimates.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    total += std::fabs(estimates[i] - truths[i]);
+  }
+  return total / static_cast<double>(estimates.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& estimates,
+                            const std::vector<double>& truths) {
+  FELIP_CHECK(estimates.size() == truths.size());
+  FELIP_CHECK(!estimates.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double diff = estimates[i] - truths[i];
+    total += diff * diff;
+  }
+  return std::sqrt(total / static_cast<double>(estimates.size()));
+}
+
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths, double floor) {
+  FELIP_CHECK(estimates.size() == truths.size());
+  FELIP_CHECK(!estimates.empty());
+  FELIP_CHECK(floor > 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    total += std::fabs(estimates[i] - truths[i]) /
+             std::max(truths[i], floor);
+  }
+  return total / static_cast<double>(estimates.size());
+}
+
+std::vector<std::string> KnownMethods() {
+  return {"OUG",     "OHG",        "OUG-OLH", "OHG-OLH", "OHG-GRR",
+          "OHG-OUE", "OHG-BUDGET", "OHG-QFIT", "HIO",    "TDG",
+          "HDG"};
+}
+
+namespace {
+
+core::FelipConfig MakeFelipConfig(std::string_view method,
+                                  const ExperimentParams& params) {
+  core::FelipConfig config;
+  config.epsilon = params.epsilon;
+  config.alpha1 = params.alpha1;
+  config.alpha2 = params.alpha2;
+  config.default_selectivity = params.selectivity_prior;
+  config.olh_options.seed_pool_size = params.olh_seed_pool;
+  config.normalization = params.normalization;
+  config.seed = params.seed;
+  config.strategy = method.starts_with("OUG") ? core::Strategy::kOug
+                                              : core::Strategy::kOhg;
+  if (method.ends_with("-OLH")) {
+    config.allow_grr = false;
+  } else if (method.ends_with("-GRR")) {
+    config.allow_olh = false;
+  } else if (method.ends_with("-OUE")) {
+    config.allow_grr = false;
+    config.allow_olh = false;
+    config.allow_oue = true;
+  } else if (method.ends_with("-BUDGET")) {
+    config.partitioning = core::PartitioningMode::kDivideBudget;
+  } else if (method.ends_with("-QFIT")) {
+    config.lambda_quadrant_fit = true;
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<double> RunMethod(std::string_view method,
+                              const data::Dataset& dataset,
+                              const std::vector<query::Query>& queries,
+                              const ExperimentParams& params) {
+  FELIP_CHECK(!queries.empty());
+  std::vector<double> estimates;
+  estimates.reserve(queries.size());
+
+  if (method == "HIO") {
+    baselines::HioConfig config;
+    config.epsilon = params.epsilon;
+    config.branching = params.hio_branching;
+    config.seed = params.seed;
+    baselines::HioPipeline pipeline(dataset.attributes(), config);
+    pipeline.Collect(dataset);
+    for (const query::Query& q : queries) {
+      estimates.push_back(pipeline.AnswerQuery(q));
+    }
+    return estimates;
+  }
+  if (method == "TDG" || method == "HDG") {
+    baselines::TdgHdgConfig config;
+    config.strategy = method == "TDG" ? baselines::YangStrategy::kTdg
+                                      : baselines::YangStrategy::kHdg;
+    config.epsilon = params.epsilon;
+    config.alpha1 = params.alpha1;
+    config.alpha2 = params.alpha2;
+    config.olh_options.seed_pool_size = params.olh_seed_pool;
+    config.seed = params.seed;
+    baselines::TdgHdgPipeline pipeline(dataset.attributes(),
+                                       dataset.num_rows(), config);
+    pipeline.Collect(dataset);
+    pipeline.Finalize();
+    for (const query::Query& q : queries) {
+      estimates.push_back(pipeline.AnswerQuery(q));
+    }
+    return estimates;
+  }
+
+  bool known = false;
+  for (const std::string& name : KnownMethods()) {
+    if (method == name) known = true;
+  }
+  FELIP_CHECK_MSG(known, "unknown method name");
+  const core::FelipPipeline pipeline =
+      core::RunFelip(dataset, MakeFelipConfig(method, params));
+  for (const query::Query& q : queries) {
+    estimates.push_back(pipeline.AnswerQuery(q));
+  }
+  return estimates;
+}
+
+double RunMethodMae(std::string_view method, const data::Dataset& dataset,
+                    const std::vector<query::Query>& queries,
+                    const std::vector<double>& truths,
+                    const ExperimentParams& params) {
+  return MeanAbsoluteError(RunMethod(method, dataset, queries, params),
+                           truths);
+}
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+}  // namespace
+
+uint64_t BenchUsers(uint64_t fallback) {
+  const char* users = std::getenv("FELIP_BENCH_USERS");
+  if (users != nullptr && users[0] != '\0') {
+    return static_cast<uint64_t>(std::strtoull(users, nullptr, 10));
+  }
+  const double scale = EnvDouble("FELIP_BENCH_SCALE", 1.0);
+  const double scaled = static_cast<double>(fallback) * scale;
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+double BenchScaleFactor() { return EnvDouble("FELIP_BENCH_SCALE", 1.0); }
+
+uint32_t BenchQueries(uint32_t fallback) {
+  return static_cast<uint32_t>(
+      EnvDouble("FELIP_BENCH_QUERIES", static_cast<double>(fallback)));
+}
+
+uint32_t BenchTrials(uint32_t fallback) {
+  return static_cast<uint32_t>(
+      EnvDouble("FELIP_BENCH_TRIALS", static_cast<double>(fallback)));
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> methods)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      methods_(std::move(methods)) {}
+
+void SeriesTable::AddRow(const std::string& x,
+                         const std::vector<double>& values) {
+  FELIP_CHECK(values.size() == methods_.size());
+  rows_.emplace_back(x, values);
+}
+
+void SeriesTable::Print() const {
+  std::printf("=== %s ===\n", title_.c_str());
+  std::printf("%-12s", x_label_.c_str());
+  for (const std::string& m : methods_) std::printf("%12s", m.c_str());
+  std::printf("\n");
+  for (const auto& [x, values] : rows_) {
+    std::printf("%-12s", x.c_str());
+    for (const double v : values) std::printf("%12.5f", v);
+    std::printf("\n");
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace felip::eval

@@ -1,0 +1,112 @@
+// Experiment harness shared by the benchmark binaries and examples.
+//
+// Provides the method registry (every strategy the paper evaluates, by
+// name), MAE scoring, environment-variable scale knobs, and a fixed-width
+// series printer that emits one table per figure panel.
+
+#ifndef FELIP_EVAL_HARNESS_H_
+#define FELIP_EVAL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "felip/data/dataset.h"
+#include "felip/post/norm_sub.h"
+#include "felip/query/query.h"
+
+namespace felip::eval {
+
+// Mean absolute error between estimates and exact answers.
+double MeanAbsoluteError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths);
+
+// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& estimates,
+                            const std::vector<double>& truths);
+
+// Mean relative error with a truth floor: mean(|e - t| / max(t, floor)).
+// The floor keeps near-zero true answers from dominating, following common
+// LDP evaluation practice.
+double MeanRelativeError(const std::vector<double>& estimates,
+                         const std::vector<double>& truths,
+                         double floor = 0.01);
+
+// Parameters shared by all methods in one experiment run.
+struct ExperimentParams {
+  double epsilon = 1.0;
+  // The aggregator's selectivity prior handed to FELIP's optimizer (the
+  // paper's default matches the workload's true selectivity).
+  double selectivity_prior = 0.5;
+  double alpha1 = 0.7;
+  double alpha2 = 0.03;
+  uint32_t hio_branching = 4;
+  uint32_t olh_seed_pool = 4096;  // 0 => per-user seeds
+  // Negativity-removal variant for the FELIP strategies (abl7).
+  post::Normalization normalization = post::Normalization::kNormSub;
+  uint64_t seed = 1;
+};
+
+// Method names understood by RunMethod:
+//   "OUG", "OHG"            — FELIP strategies with the adaptive FO
+//   "OUG-OLH", "OHG-OLH"    — FELIP strategies restricted to OLH
+//   "OHG-GRR"               — FELIP OHG restricted to GRR (ablation)
+//   "OHG-OUE"               — FELIP OHG restricted to OUE (ablation)
+//   "OHG-BUDGET"            — OHG splitting epsilon instead of users (A1)
+//   "OHG-QFIT"              — OHG with the quadrant λ-D fit extension (A8)
+//   "HIO", "TDG", "HDG"     — baselines
+std::vector<std::string> KnownMethods();
+
+// Runs `method` end-to-end on `dataset` (plan, collect, finalize) and
+// answers every query. Aborts on an unknown method name.
+std::vector<double> RunMethod(std::string_view method,
+                              const data::Dataset& dataset,
+                              const std::vector<query::Query>& queries,
+                              const ExperimentParams& params);
+
+// Convenience: RunMethod + MAE against the exact answers.
+double RunMethodMae(std::string_view method, const data::Dataset& dataset,
+                    const std::vector<query::Query>& queries,
+                    const std::vector<double>& truths,
+                    const ExperimentParams& params);
+
+// --- Environment scale knobs (benches) ---
+
+// FELIP_BENCH_USERS overrides the population size, else `fallback` scaled
+// by FELIP_BENCH_SCALE (a double multiplier, default 1.0).
+uint64_t BenchUsers(uint64_t fallback);
+// FELIP_BENCH_SCALE alone (used by sweeps over n, where an absolute
+// override would flatten the sweep).
+double BenchScaleFactor();
+// FELIP_BENCH_QUERIES overrides the per-point query count.
+uint32_t BenchQueries(uint32_t fallback);
+// FELIP_BENCH_TRIALS overrides the number of trials averaged per point.
+uint32_t BenchTrials(uint32_t fallback);
+
+// --- Output ---
+
+// Prints aligned series tables:
+//   === title ===
+//   x        OUG      OHG      HIO
+//   0.25     0.0123   0.0098   0.1021
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> methods);
+
+  void AddRow(const std::string& x, const std::vector<double>& values);
+
+  // Writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> methods_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+}  // namespace felip::eval
+
+#endif  // FELIP_EVAL_HARNESS_H_

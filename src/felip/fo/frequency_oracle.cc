@@ -1,0 +1,90 @@
+#include "felip/fo/frequency_oracle.h"
+
+#include "felip/common/check.h"
+#include "felip/fo/grr.h"
+#include "felip/fo/oue.h"
+
+namespace felip::fo {
+
+namespace {
+
+class GrrOracle final : public FrequencyOracle {
+ public:
+  GrrOracle(double epsilon, uint64_t domain)
+      : client_(epsilon, domain), server_(epsilon, domain) {}
+
+  void SubmitUserValue(uint64_t value, Rng& rng) override {
+    server_.Add(client_.Perturb(value, rng));
+  }
+  std::vector<double> EstimateFrequencies() const override {
+    return server_.EstimateFrequencies();
+  }
+  uint64_t domain() const override { return client_.domain(); }
+  uint64_t num_reports() const override { return server_.num_reports(); }
+  Protocol protocol() const override { return Protocol::kGrr; }
+
+ private:
+  GrrClient client_;
+  GrrServer server_;
+};
+
+class OlhOracle final : public FrequencyOracle {
+ public:
+  OlhOracle(double epsilon, uint64_t domain, OlhOptions options)
+      : client_(epsilon, domain, options),
+        server_(epsilon, domain, options) {}
+
+  void SubmitUserValue(uint64_t value, Rng& rng) override {
+    server_.Add(client_.Perturb(value, rng));
+  }
+  std::vector<double> EstimateFrequencies() const override {
+    return server_.EstimateFrequencies();
+  }
+  uint64_t domain() const override { return client_.domain(); }
+  uint64_t num_reports() const override { return server_.num_reports(); }
+  Protocol protocol() const override { return Protocol::kOlh; }
+
+ private:
+  OlhClient client_;
+  OlhServer server_;
+};
+
+class OueOracle final : public FrequencyOracle {
+ public:
+  OueOracle(double epsilon, uint64_t domain)
+      : client_(epsilon, domain), server_(epsilon, domain) {}
+
+  void SubmitUserValue(uint64_t value, Rng& rng) override {
+    server_.Add(client_.Perturb(value, rng));
+  }
+  std::vector<double> EstimateFrequencies() const override {
+    return server_.EstimateFrequencies();
+  }
+  uint64_t domain() const override { return client_.domain(); }
+  uint64_t num_reports() const override { return server_.num_reports(); }
+  Protocol protocol() const override { return Protocol::kOue; }
+
+ private:
+  OueClient client_;
+  OueServer server_;
+};
+
+}  // namespace
+
+std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(Protocol protocol,
+                                                     double epsilon,
+                                                     uint64_t domain,
+                                                     OlhOptions olh_options) {
+  switch (protocol) {
+    case Protocol::kGrr:
+      return std::make_unique<GrrOracle>(epsilon, domain);
+    case Protocol::kOlh:
+      return std::make_unique<OlhOracle>(epsilon, domain, olh_options);
+    case Protocol::kOue:
+      return std::make_unique<OueOracle>(epsilon, domain);
+  }
+  FELIP_CHECK_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+}  // namespace felip::fo

@@ -1,0 +1,44 @@
+// Protocol-agnostic frequency-oracle facade.
+//
+// The grid-collection code (FELIP core, baselines) only needs "submit one
+// user's value; later, estimate all frequencies". FrequencyOracle wraps a
+// matching client/server pair behind that interface so collectors are
+// independent of the protocol AFO selects. The underlying client/server
+// classes remain public API for deployments that separate the two sides.
+
+#ifndef FELIP_FO_FREQUENCY_ORACLE_H_
+#define FELIP_FO_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/fo/olh.h"
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  // Perturbs `value` with the user's `rng` and accumulates the report.
+  virtual void SubmitUserValue(uint64_t value, Rng& rng) = 0;
+
+  // Unbiased frequency estimates for all domain values (may be negative).
+  virtual std::vector<double> EstimateFrequencies() const = 0;
+
+  virtual uint64_t domain() const = 0;
+  virtual uint64_t num_reports() const = 0;
+  virtual Protocol protocol() const = 0;
+};
+
+// Creates an oracle for `protocol`. `olh_options` applies only to OLH.
+std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(
+    Protocol protocol, double epsilon, uint64_t domain,
+    OlhOptions olh_options = {});
+
+}  // namespace felip::fo
+
+#endif  // FELIP_FO_FREQUENCY_ORACLE_H_

@@ -1,0 +1,120 @@
+#include "felip/fo/histogram_encoding.h"
+
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/numeric.h"
+
+namespace felip::fo {
+
+namespace {
+
+// Laplace(0, scale) upper tail: Pr[X > x].
+double LaplaceTail(double x, double scale) {
+  if (x >= 0.0) return 0.5 * std::exp(-x / scale);
+  return 1.0 - 0.5 * std::exp(x / scale);
+}
+
+}  // namespace
+
+double HeExceedProbability(double theta, double scale, bool is_one) {
+  return LaplaceTail(theta - (is_one ? 1.0 : 0.0), scale);
+}
+
+double OptimalTheThreshold(double epsilon) {
+  FELIP_CHECK(epsilon > 0.0);
+  const double scale = 2.0 / epsilon;
+  // Minimize the (f -> 0) estimator variance q(1-q) / (p-q)^2 over
+  // theta in (1/2, 1); the objective is smooth and unimodal there.
+  const auto variance = [&](double theta) {
+    const double p = HeExceedProbability(theta, scale, true);
+    const double q = HeExceedProbability(theta, scale, false);
+    const double gap = p - q;
+    return q * (1.0 - q) / (gap * gap);
+  };
+  return GoldenSectionMinimize(variance, 0.5 + 1e-6, 1.0 - 1e-6);
+}
+
+SheClient::SheClient(double epsilon, uint64_t domain)
+    : domain_(domain), scale_(2.0 / epsilon) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+}
+
+std::vector<double> SheClient::Perturb(uint64_t value, Rng& rng) const {
+  FELIP_CHECK(value < domain_);
+  std::vector<double> noisy(domain_);
+  for (uint64_t b = 0; b < domain_; ++b) {
+    noisy[b] = (b == value ? 1.0 : 0.0) + rng.Laplace(scale_);
+  }
+  return noisy;
+}
+
+SheServer::SheServer(uint64_t domain) : sums_(domain, 0.0) {
+  FELIP_CHECK(domain >= 1);
+}
+
+void SheServer::Add(const std::vector<double>& report) {
+  FELIP_CHECK(report.size() == sums_.size());
+  for (size_t b = 0; b < report.size(); ++b) sums_[b] += report[b];
+  ++num_reports_;
+}
+
+std::vector<double> SheServer::EstimateFrequencies() const {
+  FELIP_CHECK_MSG(num_reports_ > 0, "no SHE reports collected");
+  std::vector<double> freq(sums_.size());
+  for (size_t b = 0; b < sums_.size(); ++b) {
+    freq[b] = sums_[b] / static_cast<double>(num_reports_);
+  }
+  return freq;
+}
+
+TheClient::TheClient(double epsilon, uint64_t domain, double theta)
+    : domain_(domain), scale_(2.0 / epsilon) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  theta_ = theta > 0.0 ? theta : OptimalTheThreshold(epsilon);
+  FELIP_CHECK(theta_ > 0.5 && theta_ < 1.0);
+  p_ = HeExceedProbability(theta_, scale_, true);
+  q_ = HeExceedProbability(theta_, scale_, false);
+}
+
+std::vector<uint8_t> TheClient::Perturb(uint64_t value, Rng& rng) const {
+  FELIP_CHECK(value < domain_);
+  std::vector<uint8_t> bits(domain_);
+  for (uint64_t b = 0; b < domain_; ++b) {
+    const double noisy = (b == value ? 1.0 : 0.0) + rng.Laplace(scale_);
+    bits[b] = noisy > theta_ ? 1 : 0;
+  }
+  return bits;
+}
+
+TheServer::TheServer(double epsilon, uint64_t domain, double theta)
+    : counts_(domain, 0) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  const double scale = 2.0 / epsilon;
+  const double resolved = theta > 0.0 ? theta : OptimalTheThreshold(epsilon);
+  p_ = HeExceedProbability(resolved, scale, true);
+  q_ = HeExceedProbability(resolved, scale, false);
+}
+
+void TheServer::Add(const std::vector<uint8_t>& report) {
+  FELIP_CHECK(report.size() == counts_.size());
+  for (size_t b = 0; b < report.size(); ++b) {
+    counts_[b] += report[b] != 0 ? 1 : 0;
+  }
+  ++num_reports_;
+}
+
+std::vector<double> TheServer::EstimateFrequencies() const {
+  FELIP_CHECK_MSG(num_reports_ > 0, "no THE reports collected");
+  const double n = static_cast<double>(num_reports_);
+  std::vector<double> freq(counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    freq[b] = (static_cast<double>(counts_[b]) / n - q_) / (p_ - q_);
+  }
+  return freq;
+}
+
+}  // namespace felip::fo

@@ -1,0 +1,106 @@
+// Histogram-encoding frequency oracles (extension protocols).
+//
+// From Wang et al. (USENIX Security'17), the same paper that introduces
+// OLH. Both encode the value as a one-hot histogram and add Laplace(2/eps)
+// noise to every bucket (L1 sensitivity of one-hot is 2, so this satisfies
+// eps-LDP):
+//   * SHE (Summation with Histogram Encoding) reports the whole noisy
+//     vector; the server just averages — no debiasing needed.
+//   * THE (Thresholded Histogram Encoding) reports only the buckets whose
+//     noisy value exceeds a threshold theta; thresholding is
+//     post-processing, so the guarantee is unchanged, and the server
+//     debias uses p = Pr[noisy 1 > theta], q = Pr[noisy 0 > theta].
+//     The threshold is chosen to minimize the estimation variance.
+//
+// Provided for completeness of the FO suite (ablation abl4 exercises the
+// AFO family; these two are standalone like Square Wave).
+
+#ifndef FELIP_FO_HISTOGRAM_ENCODING_H_
+#define FELIP_FO_HISTOGRAM_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/common/rng.h"
+
+namespace felip::fo {
+
+// Pr[Laplace(scale) + indicator > theta] for indicator ∈ {0, 1}.
+double HeExceedProbability(double theta, double scale, bool is_one);
+
+// Variance-minimizing THE threshold in (1/2, 1) for a given epsilon.
+double OptimalTheThreshold(double epsilon);
+
+class SheClient {
+ public:
+  SheClient(double epsilon, uint64_t domain);
+
+  // One-hot encoding of `value` plus iid Laplace(2/eps) noise per bucket.
+  std::vector<double> Perturb(uint64_t value, Rng& rng) const;
+
+  double scale() const { return scale_; }
+  uint64_t domain() const { return domain_; }
+
+ private:
+  uint64_t domain_;
+  double scale_;  // Laplace scale 2 / eps
+};
+
+class SheServer {
+ public:
+  explicit SheServer(uint64_t domain);
+
+  void Add(const std::vector<double>& report);
+
+  // Frequency estimates: per-bucket mean of the noisy reports (unbiased;
+  // the Laplace noise is zero-mean).
+  std::vector<double> EstimateFrequencies() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+
+ private:
+  std::vector<double> sums_;
+  uint64_t num_reports_ = 0;
+};
+
+class TheClient {
+ public:
+  // `theta` <= 0 selects the variance-optimal threshold.
+  TheClient(double epsilon, uint64_t domain, double theta = 0.0);
+
+  // Bit b is 1 iff the noisy histogram exceeds theta at bucket b.
+  std::vector<uint8_t> Perturb(uint64_t value, Rng& rng) const;
+
+  double theta() const { return theta_; }
+  double p() const { return p_; }
+  double q() const { return q_; }
+  uint64_t domain() const { return domain_; }
+
+ private:
+  uint64_t domain_;
+  double scale_;
+  double theta_;
+  double p_;  // Pr[report bit set | true bucket]
+  double q_;  // Pr[report bit set | other bucket]
+};
+
+class TheServer {
+ public:
+  TheServer(double epsilon, uint64_t domain, double theta = 0.0);
+
+  void Add(const std::vector<uint8_t>& report);
+
+  std::vector<double> EstimateFrequencies() const;
+
+  uint64_t num_reports() const { return num_reports_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t num_reports_ = 0;
+  double p_;
+  double q_;
+};
+
+}  // namespace felip::fo
+
+#endif  // FELIP_FO_HISTOGRAM_ENCODING_H_

@@ -1,0 +1,117 @@
+#include "felip/fo/olh.h"
+
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/hash.h"
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+
+namespace {
+
+// Derives the i-th pool seed from the salt. Must agree between client and
+// server, so it lives here rather than in either class.
+inline uint64_t PoolSeed(uint64_t salt, uint32_t index) {
+  return XxHash64(index, salt);
+}
+
+}  // namespace
+
+OlhClient::OlhClient(double epsilon, uint64_t domain, OlhOptions options)
+    : domain_(domain), options_(options), g_(OlhHashRange(epsilon)) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(g_) - 1.0);
+}
+
+OlhReport OlhClient::Perturb(uint64_t value, Rng& rng) const {
+  FELIP_CHECK(value < domain_);
+  OlhReport report;
+  if (options_.seed_pool_size > 0) {
+    report.seed_index =
+        static_cast<uint32_t>(rng.UniformU64(options_.seed_pool_size));
+    report.seed = PoolSeed(options_.pool_salt, report.seed_index);
+  } else {
+    report.seed = rng.Next();
+  }
+  const uint32_t hashed = OlhHash(value, report.seed, g_);
+  // GRR over the hashed domain [0, g).
+  if (rng.Bernoulli(p_)) {
+    report.hashed_report = hashed;
+  } else {
+    const uint64_t other = rng.UniformU64(g_ - 1);
+    report.hashed_report =
+        static_cast<uint32_t>(other >= hashed ? other + 1 : other);
+  }
+  return report;
+}
+
+OlhServer::OlhServer(double epsilon, uint64_t domain, OlhOptions options)
+    : domain_(domain), options_(options), g_(OlhHashRange(epsilon)) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(g_) - 1.0);
+  if (options_.seed_pool_size > 0) {
+    pool_counts_.assign(
+        static_cast<size_t>(options_.seed_pool_size) * g_, 0);
+    pool_seeds_.resize(options_.seed_pool_size);
+    for (uint32_t i = 0; i < options_.seed_pool_size; ++i) {
+      pool_seeds_[i] = PoolSeed(options_.pool_salt, i);
+    }
+  }
+}
+
+void OlhServer::Add(const OlhReport& report) {
+  FELIP_CHECK(report.hashed_report < g_);
+  if (options_.seed_pool_size > 0) {
+    FELIP_CHECK_MSG(report.seed_index < options_.seed_pool_size,
+                    "report missing pool index in pooled OLH mode");
+    ++pool_counts_[static_cast<size_t>(report.seed_index) * g_ +
+                   report.hashed_report];
+  } else {
+    reports_.push_back(report);
+  }
+  ++num_reports_;
+}
+
+double OlhServer::SupportCount(uint64_t value) const {
+  if (options_.seed_pool_size > 0) {
+    uint64_t support = 0;
+    for (uint32_t s = 0; s < options_.seed_pool_size; ++s) {
+      const uint32_t h = OlhHash(value, pool_seeds_[s], g_);
+      support += pool_counts_[static_cast<size_t>(s) * g_ + h];
+    }
+    return static_cast<double>(support);
+  }
+  uint64_t support = 0;
+  for (const OlhReport& r : reports_) {
+    if (OlhHash(value, r.seed, g_) == r.hashed_report) ++support;
+  }
+  return static_cast<double>(support);
+}
+
+double OlhServer::Debias(double support) const {
+  const double n = static_cast<double>(num_reports_);
+  const double inv_g = 1.0 / static_cast<double>(g_);
+  return (support - n * inv_g) / (n * (p_ - inv_g));
+}
+
+std::vector<double> OlhServer::EstimateFrequencies() const {
+  FELIP_CHECK_MSG(num_reports_ > 0, "no OLH reports collected");
+  std::vector<double> freq(domain_);
+  for (uint64_t v = 0; v < domain_; ++v) {
+    freq[v] = Debias(SupportCount(v));
+  }
+  return freq;
+}
+
+double OlhServer::EstimateValue(uint64_t value) const {
+  FELIP_CHECK(value < domain_);
+  FELIP_CHECK_MSG(num_reports_ > 0, "no OLH reports collected");
+  return Debias(SupportCount(value));
+}
+
+}  // namespace felip::fo

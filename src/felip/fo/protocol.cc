@@ -1,0 +1,60 @@
+#include "felip/fo/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+
+namespace felip::fo {
+
+std::string_view ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kGrr:
+      return "GRR";
+    case Protocol::kOlh:
+      return "OLH";
+    case Protocol::kOue:
+      return "OUE";
+  }
+  return "unknown";
+}
+
+double GrrVariance(double epsilon, uint64_t domain, uint64_t n) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 2);
+  FELIP_CHECK(n > 0);
+  const double e = std::exp(epsilon);
+  return (e + static_cast<double>(domain) - 2.0) /
+         (static_cast<double>(n) * (e - 1.0) * (e - 1.0));
+}
+
+double OlhVariance(double epsilon, uint64_t n) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(n > 0);
+  const double e = std::exp(epsilon);
+  return 4.0 * e / (static_cast<double>(n) * (e - 1.0) * (e - 1.0));
+}
+
+double OueVariance(double epsilon, uint64_t n) { return OlhVariance(epsilon, n); }
+
+double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
+                        uint64_t n) {
+  switch (protocol) {
+    case Protocol::kGrr:
+      return GrrVariance(epsilon, domain, n);
+    case Protocol::kOlh:
+      return OlhVariance(epsilon, n);
+    case Protocol::kOue:
+      return OueVariance(epsilon, n);
+  }
+  FELIP_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+uint32_t OlhHashRange(double epsilon) {
+  FELIP_CHECK(epsilon > 0.0);
+  const double g = std::ceil(std::exp(epsilon) + 1.0);
+  return std::max<uint32_t>(2, static_cast<uint32_t>(g));
+}
+
+}  // namespace felip::fo

@@ -1,0 +1,43 @@
+// Frequency-oracle protocol identifiers and closed-form variance models
+// (Section 2.2 and Eq. 13 of the paper).
+
+#ifndef FELIP_FO_PROTOCOL_H_
+#define FELIP_FO_PROTOCOL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace felip::fo {
+
+// LDP frequency-oracle protocols implemented by this library. GRR and OLH
+// are the two protocols FELIP's adaptive oracle (AFO) selects between; OUE
+// is provided as an extension (same asymptotic variance as OLH, no hashing).
+enum class Protocol {
+  kGrr,
+  kOlh,
+  kOue,
+};
+
+std::string_view ProtocolName(Protocol protocol);
+
+// Per-value estimation variance of GRR with `n` reports over a domain of
+// size `domain` (Eq. 2): (e^eps + |D| - 2) / (n (e^eps - 1)^2).
+double GrrVariance(double epsilon, uint64_t domain, uint64_t n);
+
+// Per-value estimation variance of OLH with `n` reports (Section 2.2.2):
+// 4 e^eps / (n (e^eps - 1)^2). Independent of the domain size.
+double OlhVariance(double epsilon, uint64_t n);
+
+// Per-value estimation variance of OUE; identical to OLH's closed form.
+double OueVariance(double epsilon, uint64_t n);
+
+// Variance of `protocol` for a domain of size `domain` with `n` reports.
+double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
+                        uint64_t n);
+
+// The optimal OLH hash range g = ceil(e^eps + 1), never below 2.
+uint32_t OlhHashRange(double epsilon);
+
+}  // namespace felip::fo
+
+#endif  // FELIP_FO_PROTOCOL_H_

@@ -1,0 +1,139 @@
+#include "felip/grid/grid.h"
+
+#include <algorithm>
+
+#include "felip/common/check.h"
+
+namespace felip::grid {
+
+AxisSelection AxisSelection::MakeRange(uint32_t lo, uint32_t hi) {
+  FELIP_CHECK(lo <= hi);
+  AxisSelection s;
+  s.is_range_ = true;
+  s.lo_ = lo;
+  s.hi_ = hi;
+  return s;
+}
+
+AxisSelection AxisSelection::MakeSet(std::vector<uint32_t> values) {
+  FELIP_CHECK_MSG(!values.empty(), "IN selection must list at least 1 value");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  AxisSelection s;
+  s.is_range_ = false;
+  s.values_ = std::move(values);
+  return s;
+}
+
+AxisSelection AxisSelection::MakeAll(uint32_t domain) {
+  FELIP_CHECK(domain >= 1);
+  return MakeRange(0, domain - 1);
+}
+
+bool AxisSelection::Contains(uint32_t value) const {
+  if (is_range_) return value >= lo_ && value <= hi_;
+  return std::binary_search(values_.begin(), values_.end(), value);
+}
+
+uint64_t AxisSelection::SelectedCount(uint32_t domain) const {
+  if (is_range_) {
+    const uint32_t hi = std::min(hi_, domain - 1);
+    if (lo_ > hi) return 0;
+    return static_cast<uint64_t>(hi) - lo_ + 1;
+  }
+  return values_.size();
+}
+
+double AxisSelection::CoverageOfCell(const Partition1D& partition,
+                                     uint32_t cell) const {
+  return CoverageOfInterval(partition.CellBegin(cell),
+                            partition.CellEnd(cell));
+}
+
+double AxisSelection::CoverageOfInterval(uint32_t begin, uint32_t end) const {
+  FELIP_CHECK(begin < end);
+  if (is_range_) {
+    const uint32_t ov_lo = std::max(begin, lo_);
+    const uint32_t ov_hi = std::min(end - 1, hi_);
+    if (ov_lo > ov_hi) return 0.0;
+    return static_cast<double>(ov_hi - ov_lo + 1) /
+           static_cast<double>(end - begin);
+  }
+  const auto first = std::lower_bound(values_.begin(), values_.end(), begin);
+  const auto last = std::lower_bound(values_.begin(), values_.end(), end);
+  const auto inside = static_cast<double>(last - first);
+  return inside / static_cast<double>(end - begin);
+}
+
+Grid1D::Grid1D(uint32_t attr, Partition1D partition)
+    : attr_(attr),
+      partition_(partition),
+      frequencies_(partition.num_cells(), 0.0) {}
+
+void Grid1D::SetFrequencies(std::vector<double> frequencies) {
+  FELIP_CHECK(frequencies.size() == partition_.num_cells());
+  frequencies_ = std::move(frequencies);
+}
+
+double Grid1D::Answer(const AxisSelection& selection) const {
+  double total = 0.0;
+  for (uint32_t c = 0; c < partition_.num_cells(); ++c) {
+    const double cover = selection.CoverageOfCell(partition_, c);
+    if (cover > 0.0) total += frequencies_[c] * cover;
+  }
+  return total;
+}
+
+Grid2D::Grid2D(uint32_t attr_x, uint32_t attr_y, Partition1D px,
+               Partition1D py)
+    : attr_x_(attr_x),
+      attr_y_(attr_y),
+      px_(px),
+      py_(py),
+      frequencies_(static_cast<size_t>(px.num_cells()) * py.num_cells(),
+                   0.0) {
+  FELIP_CHECK_MSG(attr_x != attr_y, "2-D grid needs two distinct attributes");
+}
+
+uint32_t Grid2D::CellIndex(uint32_t cx, uint32_t cy) const {
+  FELIP_CHECK(cx < px_.num_cells());
+  FELIP_CHECK(cy < py_.num_cells());
+  return cx * py_.num_cells() + cy;
+}
+
+uint32_t Grid2D::CellOf(uint32_t value_x, uint32_t value_y) const {
+  return CellIndex(px_.CellOf(value_x), py_.CellOf(value_y));
+}
+
+void Grid2D::SetFrequencies(std::vector<double> frequencies) {
+  FELIP_CHECK(frequencies.size() ==
+              static_cast<size_t>(px_.num_cells()) * py_.num_cells());
+  frequencies_ = std::move(frequencies);
+}
+
+double Grid2D::Answer(const AxisSelection& sel_x,
+                      const AxisSelection& sel_y) const {
+  // Precompute per-axis coverage; the answer is a weighted double sum.
+  std::vector<double> cover_x(px_.num_cells());
+  std::vector<double> cover_y(py_.num_cells());
+  for (uint32_t cx = 0; cx < px_.num_cells(); ++cx) {
+    cover_x[cx] = sel_x.CoverageOfCell(px_, cx);
+  }
+  for (uint32_t cy = 0; cy < py_.num_cells(); ++cy) {
+    cover_y[cy] = sel_y.CoverageOfCell(py_, cy);
+  }
+  double total = 0.0;
+  for (uint32_t cx = 0; cx < px_.num_cells(); ++cx) {
+    if (cover_x[cx] == 0.0) continue;
+    const double* row = &frequencies_[static_cast<size_t>(cx) * py_.num_cells()];
+    double row_sum = 0.0;
+    for (uint32_t cy = 0; cy < py_.num_cells(); ++cy) {
+      if (cover_y[cy] == 0.0) continue;
+      row_sum += row[cy] * cover_y[cy];
+    }
+    total += row_sum * cover_x[cx];
+  }
+  return total;
+}
+
+}  // namespace felip::grid

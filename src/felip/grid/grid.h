@@ -1,0 +1,112 @@
+// 1-D and 2-D grid containers.
+//
+// A grid binds one or two attributes to Partition1D axes and, after
+// collection and estimation, holds one frequency per cell. Answering a
+// selection from a grid uses the within-cell uniformity assumption: a cell
+// contributes its frequency scaled by the fraction of its values that the
+// selection covers (Section 5.2, "non-uniformity error").
+
+#ifndef FELIP_GRID_GRID_H_
+#define FELIP_GRID_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/grid/partition.h"
+
+namespace felip::grid {
+
+// A per-axis selection: either an inclusive ordinal range (BETWEEN) or an
+// explicit value set (IN / =). Point queries are one-element ranges.
+class AxisSelection {
+ public:
+  static AxisSelection MakeRange(uint32_t lo, uint32_t hi);
+  static AxisSelection MakeSet(std::vector<uint32_t> values);
+  // Selects the whole domain (used when an attribute is not constrained).
+  static AxisSelection MakeAll(uint32_t domain);
+
+  bool is_range() const { return is_range_; }
+  uint32_t lo() const { return lo_; }
+  uint32_t hi() const { return hi_; }
+  const std::vector<uint32_t>& values() const { return values_; }
+
+  bool Contains(uint32_t value) const;
+
+  // Number of domain values selected (assumes set values are within the
+  // domain, which the query layer guarantees).
+  uint64_t SelectedCount(uint32_t domain) const;
+
+  // Fraction of `cell`'s values covered by this selection, in [0, 1].
+  double CoverageOfCell(const Partition1D& partition, uint32_t cell) const;
+
+  // Fraction of the half-open value interval [begin, end) covered by this
+  // selection, in [0, 1]. Requires begin < end.
+  double CoverageOfInterval(uint32_t begin, uint32_t end) const;
+
+ private:
+  AxisSelection() = default;
+
+  bool is_range_ = true;
+  uint32_t lo_ = 0;
+  uint32_t hi_ = 0;
+  std::vector<uint32_t> values_;  // sorted, deduplicated (set form only)
+};
+
+// A one-attribute grid.
+class Grid1D {
+ public:
+  Grid1D(uint32_t attr, Partition1D partition);
+
+  uint32_t attr() const { return attr_; }
+  const Partition1D& partition() const { return partition_; }
+  uint32_t num_cells() const { return partition_.num_cells(); }
+
+  uint32_t CellOf(uint32_t value) const { return partition_.CellOf(value); }
+
+  // Frequencies are set by the aggregator after estimation.
+  void SetFrequencies(std::vector<double> frequencies);
+  const std::vector<double>& frequencies() const { return frequencies_; }
+  std::vector<double>* mutable_frequencies() { return &frequencies_; }
+
+  // Estimated frequency of `selection` under within-cell uniformity.
+  double Answer(const AxisSelection& selection) const;
+
+ private:
+  uint32_t attr_;
+  Partition1D partition_;
+  std::vector<double> frequencies_;  // size num_cells()
+};
+
+// A two-attribute grid; cells are stored row-major (x-major).
+class Grid2D {
+ public:
+  Grid2D(uint32_t attr_x, uint32_t attr_y, Partition1D px, Partition1D py);
+
+  uint32_t attr_x() const { return attr_x_; }
+  uint32_t attr_y() const { return attr_y_; }
+  const Partition1D& px() const { return px_; }
+  const Partition1D& py() const { return py_; }
+  uint32_t num_cells() const { return px_.num_cells() * py_.num_cells(); }
+
+  uint32_t CellIndex(uint32_t cx, uint32_t cy) const;
+  uint32_t CellOf(uint32_t value_x, uint32_t value_y) const;
+
+  void SetFrequencies(std::vector<double> frequencies);
+  const std::vector<double>& frequencies() const { return frequencies_; }
+  std::vector<double>* mutable_frequencies() { return &frequencies_; }
+
+  // Estimated frequency of the conjunction of two per-axis selections
+  // under within-cell uniformity.
+  double Answer(const AxisSelection& sel_x, const AxisSelection& sel_y) const;
+
+ private:
+  uint32_t attr_x_;
+  uint32_t attr_y_;
+  Partition1D px_;
+  Partition1D py_;
+  std::vector<double> frequencies_;  // size num_cells()
+};
+
+}  // namespace felip::grid
+
+#endif  // FELIP_GRID_GRID_H_

@@ -1,0 +1,321 @@
+#include "felip/grid/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/numeric.h"
+
+namespace felip::grid {
+
+namespace {
+
+using fo::Protocol;
+
+constexpr double kMinSelectivity = 1e-3;
+
+double ClampSelectivity(double r) {
+  return std::clamp(r, kMinSelectivity, 1.0);
+}
+
+// m / (n (e^eps - 1)^2) — the factor shared by all noise terms.
+double BaseNoiseFactor(double epsilon, uint64_t n, uint64_t m) {
+  const double e = std::exp(epsilon);
+  return static_cast<double>(m) /
+         (static_cast<double>(n) * (e - 1.0) * (e - 1.0));
+}
+
+void ValidateParams(const OptimizeParams& params) {
+  FELIP_CHECK(params.epsilon > 0.0);
+  FELIP_CHECK(params.n > 0);
+  FELIP_CHECK(params.m > 0);
+  FELIP_CHECK_MSG(params.allow_grr || params.allow_olh || params.allow_oue,
+                  "AFO needs at least one enabled protocol");
+}
+
+std::vector<Protocol> EnabledProtocols(const OptimizeParams& params) {
+  std::vector<Protocol> protocols;
+  if (params.allow_grr) protocols.push_back(Protocol::kGrr);
+  if (params.allow_olh) protocols.push_back(Protocol::kOlh);
+  if (params.allow_oue) protocols.push_back(Protocol::kOue);
+  return protocols;
+}
+
+// Derivative of the noise term with respect to lx for the 2-D models, with
+// `ly` (and its selectivity) folded into `row_factor` = rx*ly*ry.
+double NoiseDerivative2D(Protocol protocol, double epsilon, uint64_t n,
+                         uint64_t m, double lx, double ly,
+                         double row_factor) {
+  const double e = std::exp(epsilon);
+  const double base = BaseNoiseFactor(epsilon, n, m);
+  switch (protocol) {
+    case Protocol::kGrr:
+      return row_factor * base * (e + 2.0 * lx * ly - 2.0);
+    case Protocol::kOlh:
+    case Protocol::kOue:
+      return row_factor * base * 4.0 * e;
+  }
+  FELIP_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace
+
+double NoiseError(Protocol protocol, double epsilon, uint64_t n, uint64_t m,
+                  double total_cells, double cells_in_query) {
+  const double e = std::exp(epsilon);
+  const double base = BaseNoiseFactor(epsilon, n, m);
+  switch (protocol) {
+    case Protocol::kGrr:
+      return cells_in_query * base * (e + total_cells - 2.0);
+    case Protocol::kOlh:
+    case Protocol::kOue:
+      return cells_in_query * base * 4.0 * e;
+  }
+  FELIP_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+double Error1DNumerical(Protocol protocol, const OptimizeParams& params,
+                        double l) {
+  const double r = ClampSelectivity(params.rx);
+  const double non_uniformity = params.alpha1 / l;
+  return non_uniformity * non_uniformity +
+         NoiseError(protocol, params.epsilon, params.n, params.m, l, l * r);
+}
+
+double Error2DNumNum(Protocol protocol, const OptimizeParams& params,
+                     double lx, double ly) {
+  const double rx = ClampSelectivity(params.rx);
+  const double ry = ClampSelectivity(params.ry);
+  const double non_uniformity =
+      2.0 * params.alpha2 * (lx * rx + ly * ry) / (lx * ly);
+  return non_uniformity * non_uniformity +
+         NoiseError(protocol, params.epsilon, params.n, params.m, lx * ly,
+                    lx * rx * ly * ry);
+}
+
+double Error2DNumCat(Protocol protocol, const OptimizeParams& params,
+                     double lx, double ly) {
+  const double rx = ClampSelectivity(params.rx);
+  const double ry = ClampSelectivity(params.ry);
+  const double non_uniformity = 2.0 * params.alpha2 * ry / lx;
+  return non_uniformity * non_uniformity +
+         NoiseError(protocol, params.epsilon, params.n, params.m, lx * ly,
+                    lx * rx * ly * ry);
+}
+
+double ErrorCategorical(Protocol protocol, const OptimizeParams& params,
+                        double total_cells, double cells_in_query) {
+  return NoiseError(protocol, params.epsilon, params.n, params.m, total_cells,
+                    cells_in_query);
+}
+
+namespace {
+
+// Optimal real-valued l for a 1-D numerical grid under `protocol`.
+double Solve1D(Protocol protocol, const OptimizeParams& params,
+               uint32_t domain) {
+  const double r = ClampSelectivity(params.rx);
+  const double e = std::exp(params.epsilon);
+  const double a1 = params.alpha1;
+  const double lo = 1.0;
+  const double hi = static_cast<double>(domain);
+  if (protocol == Protocol::kOlh || protocol == Protocol::kOue) {
+    // Eq. 5: closed form from -2 a1^2/l^3 + 4 e^eps m r / (n(e-1)^2) = 0.
+    const double l = std::cbrt(static_cast<double>(params.n) * a1 * a1 *
+                               (e - 1.0) * (e - 1.0) /
+                               (2.0 * static_cast<double>(params.m) * r * e));
+    return std::clamp(l, lo, hi);
+  }
+  // GRR: bisect the corrected derivative of Eq. 4.
+  const double base = BaseNoiseFactor(params.epsilon, params.n, params.m);
+  const auto derivative = [&](double l) {
+    return -2.0 * a1 * a1 / (l * l * l) + r * base * (e + 2.0 * l - 2.0);
+  };
+  return Bisect(derivative, lo, hi);
+}
+
+// Optimal real-valued lx for a numerical(x) x categorical(y) grid.
+double SolveNumCat(Protocol protocol, const OptimizeParams& params,
+                   uint32_t domain_x, double ly) {
+  const double rx = ClampSelectivity(params.rx);
+  const double ry = ClampSelectivity(params.ry);
+  const double e = std::exp(params.epsilon);
+  const double a2 = params.alpha2;
+  const double lo = 1.0;
+  const double hi = static_cast<double>(domain_x);
+  if (protocol == Protocol::kOlh || protocol == Protocol::kOue) {
+    // Closed form from -2 (2 a2 ry)^2 / lx^3 + 4 e m rx ly ry/(n(e-1)^2) = 0.
+    const double l =
+        std::cbrt(2.0 * a2 * a2 * ry * static_cast<double>(params.n) *
+                  (e - 1.0) * (e - 1.0) /
+                  (static_cast<double>(params.m) * e * rx * ly));
+    return std::clamp(l, lo, hi);
+  }
+  const auto derivative = [&](double lx) {
+    const double t = 2.0 * a2 * ry;
+    return -2.0 * t * t / (lx * lx * lx) +
+           NoiseDerivative2D(protocol, params.epsilon, params.n, params.m, lx,
+                             ly, rx * ly * ry);
+  };
+  return Bisect(derivative, lo, hi);
+}
+
+// Partial derivative of the num x num objective with respect to lx at
+// (lx, ly); the ly case follows by symmetry (swap axes and selectivities).
+double NumNumPartialX(Protocol protocol, const OptimizeParams& params,
+                      double lx, double ly) {
+  const double rx = ClampSelectivity(params.rx);
+  const double ry = ClampSelectivity(params.ry);
+  const double a = 2.0 * params.alpha2;
+  const double big_n = lx * rx + ly * ry;
+  const double d_nonuniform = -2.0 * a * a * big_n * ry / (lx * lx * lx * ly);
+  return d_nonuniform + NoiseDerivative2D(protocol, params.epsilon, params.n,
+                                          params.m, lx, ly, rx * ly * ry);
+}
+
+// Alternating bisection on the two partials of the num x num system.
+void SolveNumNum(Protocol protocol, const OptimizeParams& params,
+                 uint32_t domain_x, uint32_t domain_y, double* lx,
+                 double* ly) {
+  const double hix = static_cast<double>(domain_x);
+  const double hiy = static_cast<double>(domain_y);
+  *lx = std::clamp(*lx, 1.0, hix);
+  *ly = std::clamp(*ly, 1.0, hiy);
+  OptimizeParams swapped = params;
+  std::swap(swapped.rx, swapped.ry);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double prev_x = *lx;
+    const double prev_y = *ly;
+    *lx = Bisect(
+        [&](double l) { return NumNumPartialX(protocol, params, l, *ly); },
+        1.0, hix);
+    *ly = Bisect(
+        [&](double l) { return NumNumPartialX(protocol, swapped, l, *lx); },
+        1.0, hiy);
+    if (std::fabs(*lx - prev_x) + std::fabs(*ly - prev_y) < 1e-8) break;
+  }
+}
+
+// Picks the best integer neighbour of a real-valued 1-D solution.
+uint32_t RoundL(double raw, uint32_t domain,
+                const std::function<double(double)>& objective) {
+  return RoundGridLength(raw, domain, objective);
+}
+
+}  // namespace
+
+GridPlan Optimize1D(const AxisSpec& axis, const OptimizeParams& params) {
+  ValidateParams(params);
+  FELIP_CHECK(axis.domain >= 1);
+  GridPlan best;
+  bool have_best = false;
+  for (const Protocol protocol : EnabledProtocols(params)) {
+    GridPlan plan;
+    plan.protocol = protocol;
+    plan.ly = 1;
+    if (axis.categorical || axis.domain == 1) {
+      plan.lx = axis.domain;
+      const double r = ClampSelectivity(params.rx);
+      plan.predicted_error = ErrorCategorical(
+          protocol, params, axis.domain, r * static_cast<double>(axis.domain));
+    } else {
+      const double raw = Solve1D(protocol, params, axis.domain);
+      const auto objective = [&](double l) {
+        return Error1DNumerical(protocol, params, l);
+      };
+      plan.lx = RoundL(raw, axis.domain, objective);
+      plan.predicted_error = objective(plan.lx);
+    }
+    if (!have_best || plan.predicted_error < best.predicted_error) {
+      best = plan;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+GridPlan Optimize2D(const AxisSpec& x, const AxisSpec& y,
+                    const OptimizeParams& params) {
+  ValidateParams(params);
+  FELIP_CHECK(x.domain >= 1);
+  FELIP_CHECK(y.domain >= 1);
+  const bool cat_x = x.categorical || x.domain == 1;
+  const bool cat_y = y.categorical || y.domain == 1;
+  GridPlan best;
+  bool have_best = false;
+  for (const Protocol protocol : EnabledProtocols(params)) {
+    GridPlan plan;
+    plan.protocol = protocol;
+    if (cat_x && cat_y) {
+      plan.lx = x.domain;
+      plan.ly = y.domain;
+      const double rx = ClampSelectivity(params.rx);
+      const double ry = ClampSelectivity(params.ry);
+      plan.predicted_error = ErrorCategorical(
+          protocol, params,
+          static_cast<double>(x.domain) * static_cast<double>(y.domain),
+          rx * x.domain * ry * y.domain);
+    } else if (cat_x != cat_y) {
+      // One categorical axis: it keeps its full domain; optimize the other.
+      // Error2DNumCat treats x as numerical and y as categorical, so swap
+      // the view when x is the categorical one.
+      OptimizeParams view = params;
+      uint32_t num_domain = x.domain;
+      uint32_t cat_domain = y.domain;
+      if (cat_x) {
+        std::swap(view.rx, view.ry);
+        num_domain = y.domain;
+        cat_domain = x.domain;
+      }
+      const double ly_fixed = static_cast<double>(cat_domain);
+      const double raw = SolveNumCat(protocol, view, num_domain, ly_fixed);
+      const auto objective = [&](double l) {
+        return Error2DNumCat(protocol, view, l, ly_fixed);
+      };
+      const uint32_t l_num = RoundL(raw, num_domain, objective);
+      plan.predicted_error = objective(l_num);
+      plan.lx = cat_x ? cat_domain : l_num;
+      plan.ly = cat_x ? l_num : cat_domain;
+    } else {
+      // Numerical x numerical: alternating bisection, then evaluate the
+      // four integer-neighbour combinations.
+      double lx = std::cbrt(static_cast<double>(params.n));
+      double ly = lx;
+      SolveNumNum(protocol, params, x.domain, y.domain, &lx, &ly);
+      const auto objective = [&](double a, double b) {
+        return Error2DNumNum(protocol, params, a, b);
+      };
+      uint32_t best_lx = 1;
+      uint32_t best_ly = 1;
+      double best_err = 0.0;
+      bool have = false;
+      for (const double cand_x : {std::floor(lx), std::ceil(lx)}) {
+        for (const double cand_y : {std::floor(ly), std::ceil(ly)}) {
+          const auto ix = static_cast<uint32_t>(
+              std::clamp(cand_x, 1.0, static_cast<double>(x.domain)));
+          const auto iy = static_cast<uint32_t>(
+              std::clamp(cand_y, 1.0, static_cast<double>(y.domain)));
+          const double err = objective(ix, iy);
+          if (!have || err < best_err) {
+            best_lx = ix;
+            best_ly = iy;
+            best_err = err;
+            have = true;
+          }
+        }
+      }
+      plan.lx = best_lx;
+      plan.ly = best_ly;
+      plan.predicted_error = best_err;
+    }
+    if (!have_best || plan.predicted_error < best.predicted_error) {
+      best = plan;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace felip::grid

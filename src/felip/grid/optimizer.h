@@ -1,0 +1,97 @@
+// Per-grid size optimization and adaptive protocol selection
+// (Sections 5.2 and 5.3).
+//
+// For every grid, FELIP minimizes the modeled squared error
+//   E = non_uniformity^2 + noise_and_sampling
+// over the grid dimensions, separately under GRR and OLH (and optionally
+// OUE), then picks the protocol whose optimum has the smaller predicted
+// error — the Adaptive Frequency Oracle. The error models are Eqs. 3-12 of
+// the paper; closed forms are used where the stationarity condition is
+// solvable (OLH 1-D and categorical x numerical), bisection on the analytic
+// partial derivative otherwise, and alternating bisection for the
+// numerical x numerical two-variable system.
+//
+// Note: the paper's printed Eq. 6 (the GRR 1-D derivative) contains two
+// typos (a stray `ms` factor and an unsquared alpha_1); we use the correct
+// derivative of Eq. 4: dE/dl = -2*a1^2/l^3 + r*m*(e^eps + 2l - 2)/(n*(e^eps-1)^2).
+
+#ifndef FELIP_GRID_OPTIMIZER_H_
+#define FELIP_GRID_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/fo/protocol.h"
+
+namespace felip::grid {
+
+// One grid axis: attribute domain size and kind. Categorical axes always
+// get one cell per value; numerical (ordinal) axes are optimized.
+struct AxisSpec {
+  uint32_t domain = 1;
+  bool categorical = false;
+};
+
+struct OptimizeParams {
+  double epsilon = 1.0;
+  uint64_t n = 0;  // total user population
+  uint64_t m = 1;  // number of user groups (grids)
+  double alpha1 = 0.7;
+  double alpha2 = 0.03;
+  // Expected per-axis query selectivity (fraction of the domain selected);
+  // the aggregator may plug in prior workload knowledge here.
+  double rx = 0.5;
+  double ry = 0.5;
+  // Protocols AFO may choose between. At least one must be enabled.
+  bool allow_grr = true;
+  bool allow_olh = true;
+  bool allow_oue = false;
+};
+
+// The optimizer's decision for one grid.
+struct GridPlan {
+  uint32_t lx = 1;
+  uint32_t ly = 1;  // stays 1 for 1-D grids
+  fo::Protocol protocol = fo::Protocol::kOlh;
+  double predicted_error = 0.0;  // modeled squared error at (lx, ly)
+};
+
+// --- Error models (exposed for tests and the ablation benches) ---
+
+// Squared noise+sampling error of answering a query that touches
+// `cells_in_query` cells of a grid with `total_cells` cells, collected from
+// n/m users under `protocol` (Eqs. 7-8 specialized by the caller).
+double NoiseError(fo::Protocol protocol, double epsilon, uint64_t n,
+                  uint64_t m, double total_cells, double cells_in_query);
+
+// Full modeled squared error of a 1-D numerical grid with l cells (Eqs. 3-4).
+double Error1DNumerical(fo::Protocol protocol, const OptimizeParams& params,
+                        double l);
+
+// Full modeled squared error of a numerical x numerical 2-D grid (Eqs. 9-10).
+double Error2DNumNum(fo::Protocol protocol, const OptimizeParams& params,
+                     double lx, double ly);
+
+// Full modeled squared error of a numerical(x) x categorical(y) 2-D grid
+// with the categorical axis fixed at ly cells (Eqs. 11-12).
+double Error2DNumCat(fo::Protocol protocol, const OptimizeParams& params,
+                     double lx, double ly);
+
+// Full modeled squared error of a categorical grid (1-D with l = d, or 2-D
+// with lx = dx, ly = dy): pure noise, no non-uniformity term.
+double ErrorCategorical(fo::Protocol protocol, const OptimizeParams& params,
+                        double total_cells, double cells_in_query);
+
+// --- Optimizers ---
+
+// Plans a 1-D grid for `axis`. Categorical axes get lx = domain.
+GridPlan Optimize1D(const AxisSpec& axis, const OptimizeParams& params);
+
+// Plans a 2-D grid for the (x, y) axes, handling all four kind
+// combinations. `params.rx`/`ry` are the selectivities along x and y.
+GridPlan Optimize2D(const AxisSpec& x, const AxisSpec& y,
+                    const OptimizeParams& params);
+
+}  // namespace felip::grid
+
+#endif  // FELIP_GRID_OPTIMIZER_H_

@@ -1,0 +1,76 @@
+#include "felip/grid/partition.h"
+
+#include <algorithm>
+
+#include "felip/common/check.h"
+
+namespace felip::grid {
+
+Partition1D::Partition1D(uint32_t domain, uint32_t num_cells)
+    : domain_(domain), num_cells_(num_cells) {
+  FELIP_CHECK(domain >= 1);
+  FELIP_CHECK(num_cells >= 1);
+  FELIP_CHECK_MSG(num_cells <= domain,
+                  "a partition cannot have more cells than domain values");
+}
+
+uint32_t Partition1D::CellBegin(uint32_t cell) const {
+  FELIP_CHECK(cell < num_cells_);
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(cell) * domain_) / num_cells_);
+}
+
+uint32_t Partition1D::CellEnd(uint32_t cell) const {
+  FELIP_CHECK(cell < num_cells_);
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(cell + 1) * domain_) / num_cells_);
+}
+
+uint32_t Partition1D::CellSize(uint32_t cell) const {
+  return CellEnd(cell) - CellBegin(cell);
+}
+
+uint32_t Partition1D::CellOf(uint32_t value) const {
+  FELIP_CHECK(value < domain_);
+  // Inverse of CellBegin's floor(i*d/l): the containing cell is
+  // floor(((value+1)*l - 1) / d). Verified exhaustively in tests.
+  return static_cast<uint32_t>(
+      ((static_cast<uint64_t>(value) + 1) * num_cells_ - 1) / domain_);
+}
+
+double Partition1D::OverlapFraction(uint32_t cell, uint32_t lo,
+                                    uint32_t hi) const {
+  if (lo > hi) return 0.0;
+  const uint32_t begin = CellBegin(cell);
+  const uint32_t end = CellEnd(cell);  // exclusive
+  const uint32_t ov_lo = std::max(begin, lo);
+  const uint32_t ov_hi = std::min(end - 1, hi);
+  if (ov_lo > ov_hi) return 0.0;
+  return static_cast<double>(ov_hi - ov_lo + 1) /
+         static_cast<double>(end - begin);
+}
+
+std::vector<uint32_t> Partition1D::Boundaries() const {
+  std::vector<uint32_t> b(num_cells_ + 1);
+  for (uint32_t i = 0; i < num_cells_; ++i) b[i] = CellBegin(i);
+  b[num_cells_] = domain_;
+  return b;
+}
+
+std::vector<uint32_t> CommonRefinementBoundaries(
+    const std::vector<const Partition1D*>& partitions) {
+  FELIP_CHECK(!partitions.empty());
+  const uint32_t domain = partitions[0]->domain();
+  std::vector<uint32_t> merged;
+  for (const Partition1D* p : partitions) {
+    FELIP_CHECK_MSG(p->domain() == domain,
+                    "refinement requires equal domains");
+    const std::vector<uint32_t> b = p->Boundaries();
+    merged.insert(merged.end(), b.begin(), b.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace felip::grid

@@ -1,0 +1,59 @@
+// 1-D domain partition with unequal cell sizes.
+//
+// FELIP deliberately allows cells within a grid to differ in size so the
+// optimizer's cell count never has to be rounded to a divisor (or power of
+// two) of the domain — the limitation of TDG/HDG discussed in Section 3.2.
+// Partition1D splits a domain of `d` ordinal values into `l` cells whose
+// sizes are floor(d/l) or ceil(d/l), spread evenly: cell i covers
+// [floor(i*d/l), floor((i+1)*d/l)).
+
+#ifndef FELIP_GRID_PARTITION_H_
+#define FELIP_GRID_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace felip::grid {
+
+class Partition1D {
+ public:
+  // Requires 1 <= num_cells <= domain.
+  Partition1D(uint32_t domain, uint32_t num_cells);
+
+  uint32_t domain() const { return domain_; }
+  uint32_t num_cells() const { return num_cells_; }
+
+  // First value covered by `cell` (inclusive).
+  uint32_t CellBegin(uint32_t cell) const;
+  // One past the last value covered by `cell` (exclusive).
+  uint32_t CellEnd(uint32_t cell) const;
+  uint32_t CellSize(uint32_t cell) const;
+
+  // Index of the cell containing `value`.
+  uint32_t CellOf(uint32_t value) const;
+
+  // Fraction of `cell`'s values that lie inside the inclusive range
+  // [lo, hi]; in [0, 1]. Used when answering range queries under the
+  // within-cell uniformity assumption.
+  double OverlapFraction(uint32_t cell, uint32_t lo, uint32_t hi) const;
+
+  // The num_cells + 1 boundary values: boundaries()[i] == CellBegin(i) and
+  // boundaries().back() == domain.
+  std::vector<uint32_t> Boundaries() const;
+
+  friend bool operator==(const Partition1D&, const Partition1D&) = default;
+
+ private:
+  uint32_t domain_;
+  uint32_t num_cells_;
+};
+
+// Merges the boundary sets of several partitions over the same domain and
+// returns the sorted unique boundary list of the common refinement (always
+// includes 0 and the domain size).
+std::vector<uint32_t> CommonRefinementBoundaries(
+    const std::vector<const Partition1D*>& partitions);
+
+}  // namespace felip::grid
+
+#endif  // FELIP_GRID_PARTITION_H_

@@ -1,0 +1,173 @@
+#include "felip/post/consistency.h"
+
+#include <algorithm>
+
+#include "felip/common/check.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::post {
+
+namespace {
+
+using grid::Grid1D;
+using grid::Grid2D;
+using grid::Partition1D;
+
+// A grid seen "along" one attribute: a sequence of slices (one per cell of
+// the attribute's axis), each slice holding `slice_cells` cells of the
+// other axis (1 for 1-D grids).
+struct AttributeView {
+  const Partition1D* partition = nullptr;
+  uint32_t slice_cells = 1;
+  std::vector<double>* freqs = nullptr;
+  // Indexing into *freqs for slice `s`, element `e` in [0, slice_cells).
+  size_t stride_slice = 1;
+  size_t stride_elem = 0;
+
+  double SliceSum(uint32_t s) const {
+    double sum = 0.0;
+    for (uint32_t e = 0; e < slice_cells; ++e) {
+      sum += (*freqs)[s * stride_slice + e * stride_elem];
+    }
+    return sum;
+  }
+  void SliceAdd(uint32_t s, double delta) const {
+    for (uint32_t e = 0; e < slice_cells; ++e) {
+      (*freqs)[s * stride_slice + e * stride_elem] += delta;
+    }
+  }
+};
+
+std::vector<AttributeView> CollectViews(uint32_t attr,
+                                        std::vector<Grid1D>* grids_1d,
+                                        std::vector<Grid2D>* grids_2d) {
+  std::vector<AttributeView> views;
+  for (Grid1D& g : *grids_1d) {
+    if (g.attr() != attr) continue;
+    AttributeView v;
+    v.partition = &g.partition();
+    v.slice_cells = 1;
+    v.freqs = g.mutable_frequencies();
+    v.stride_slice = 1;
+    v.stride_elem = 0;
+    views.push_back(v);
+  }
+  for (Grid2D& g : *grids_2d) {
+    if (g.attr_x() == attr) {
+      AttributeView v;
+      v.partition = &g.px();
+      v.slice_cells = g.py().num_cells();
+      v.freqs = g.mutable_frequencies();
+      v.stride_slice = g.py().num_cells();  // row-major, x-major
+      v.stride_elem = 1;
+      views.push_back(v);
+    } else if (g.attr_y() == attr) {
+      AttributeView v;
+      v.partition = &g.py();
+      v.slice_cells = g.px().num_cells();
+      v.freqs = g.mutable_frequencies();
+      v.stride_slice = 1;
+      v.stride_elem = g.py().num_cells();
+      views.push_back(v);
+    }
+  }
+  return views;
+}
+
+}  // namespace
+
+void MakeAttributeConsistent(uint32_t attr, std::vector<Grid1D>* grids_1d,
+                             std::vector<Grid2D>* grids_2d) {
+  FELIP_CHECK(grids_1d != nullptr && grids_2d != nullptr);
+  std::vector<AttributeView> views = CollectViews(attr, grids_1d, grids_2d);
+  if (views.size() < 2) return;
+
+  // Subdomains: the coarsest related partition; a 1-D grid (slice_cells==1)
+  // wins ties so OHG uses its finer-grained marginal grid's cells.
+  const AttributeView* anchor = &views[0];
+  for (const AttributeView& v : views) {
+    const bool coarser =
+        v.partition->num_cells() < anchor->partition->num_cells();
+    const bool tie_breaker =
+        v.partition->num_cells() == anchor->partition->num_cells() &&
+        v.slice_cells < anchor->slice_cells;
+    if (coarser || tie_breaker) anchor = &v;
+  }
+  const Partition1D& subdomains = *anchor->partition;
+
+  // Scratch per view: overlap weights of every slice with one subdomain.
+  std::vector<std::vector<double>> weights(views.size());
+
+  for (uint32_t i = 0; i < subdomains.num_cells(); ++i) {
+    const uint32_t lo = subdomains.CellBegin(i);
+    const uint32_t hi = subdomains.CellEnd(i) - 1;  // inclusive
+
+    // Per-view sum S_j and effective summed-cell count L_j.
+    std::vector<double> sums(views.size(), 0.0);
+    std::vector<double> counts(views.size(), 0.0);
+    for (size_t j = 0; j < views.size(); ++j) {
+      const AttributeView& v = views[j];
+      weights[j].assign(v.partition->num_cells(), 0.0);
+      double sum = 0.0;
+      double weight_sq = 0.0;
+      for (uint32_t s = 0; s < v.partition->num_cells(); ++s) {
+        const double w = v.partition->OverlapFraction(s, lo, hi);
+        weights[j][s] = w;
+        if (w == 0.0) continue;
+        sum += w * v.SliceSum(s);
+        weight_sq += w * w;
+      }
+      sums[j] = sum;
+      counts[j] = weight_sq * static_cast<double>(v.slice_cells);
+    }
+
+    // Variance-minimizing weighted average: theta_j ∝ 1 / L_j.
+    double inv_count_total = 0.0;
+    for (const double c : counts) {
+      FELIP_CHECK_MSG(c > 0.0, "subdomain with no overlapping cells");
+      inv_count_total += 1.0 / c;
+    }
+    double target = 0.0;
+    for (size_t j = 0; j < views.size(); ++j) {
+      target += (1.0 / counts[j]) / inv_count_total * sums[j];
+    }
+
+    // Redistribute the correction over contributing cells, proportional to
+    // overlap (equal split when boundaries align).
+    for (size_t j = 0; j < views.size(); ++j) {
+      const AttributeView& v = views[j];
+      const double diff = target - sums[j];
+      if (diff == 0.0) continue;
+      double weight_sq = 0.0;
+      for (const double w : weights[j]) weight_sq += w * w;
+      const double scale =
+          diff / (weight_sq * static_cast<double>(v.slice_cells));
+      for (uint32_t s = 0; s < v.partition->num_cells(); ++s) {
+        if (weights[j][s] > 0.0) v.SliceAdd(s, scale * weights[j][s]);
+      }
+    }
+  }
+}
+
+void MakeConsistent(uint32_t num_attributes, std::vector<Grid1D>* grids_1d,
+                    std::vector<Grid2D>* grids_2d,
+                    const ConsistencyOptions& options) {
+  FELIP_CHECK(grids_1d != nullptr && grids_2d != nullptr);
+  FELIP_CHECK(options.rounds >= 1);
+  const auto clamp_all = [&]() {
+    for (Grid1D& g : *grids_1d) {
+      NormalizeFrequencies(g.mutable_frequencies(), options.normalization);
+    }
+    for (Grid2D& g : *grids_2d) {
+      NormalizeFrequencies(g.mutable_frequencies(), options.normalization);
+    }
+  };
+  for (int round = 0; round < options.rounds; ++round) {
+    for (uint32_t a = 0; a < num_attributes; ++a) {
+      MakeAttributeConsistent(a, grids_1d, grids_2d);
+    }
+    clamp_all();
+  }
+}
+
+}  // namespace felip::post

@@ -1,0 +1,51 @@
+// Cross-grid consistency (Algorithm 2).
+//
+// Every attribute appears in several grids (its 1-D grid plus one 2-D grid
+// per partner attribute). Their marginal estimates disagree; replacing each
+// grid's per-subdomain sum with the variance-weighted average of all grids'
+// sums reduces error (CALM-style consistency, Zhang et al. CCS'18).
+//
+// FELIP grids are sized independently, so cell boundaries along a shared
+// attribute need not align. Subdomains are taken from the attribute's 1-D
+// grid when present, else from the coarsest related axis; per-grid sums use
+// fractional (within-cell uniform) overlap, and the correction is spread
+// over contributing cells proportionally to their overlap (the
+// least-squares-minimal update, which reduces to CALM's equal split when
+// boundaries align).
+
+#ifndef FELIP_POST_CONSISTENCY_H_
+#define FELIP_POST_CONSISTENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/grid/grid.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::post {
+
+struct ConsistencyOptions {
+  // Rounds of (consistency, negativity-removal); the sequence always ends
+  // with a negativity-removal pass so downstream response-matrix building
+  // sees non-negative cell frequencies.
+  int rounds = 3;
+  // Which negativity-removal variant to interleave.
+  Normalization normalization = Normalization::kNormSub;
+};
+
+// Makes the grids' marginals consistent for every attribute in
+// [0, num_attributes). Grids may be any mix of 1-D and 2-D; an attribute
+// with fewer than two related grids is left untouched.
+void MakeConsistent(uint32_t num_attributes,
+                    std::vector<grid::Grid1D>* grids_1d,
+                    std::vector<grid::Grid2D>* grids_2d,
+                    const ConsistencyOptions& options = {});
+
+// One consistency pass for a single attribute (exposed for tests).
+void MakeAttributeConsistent(uint32_t attr,
+                             std::vector<grid::Grid1D>* grids_1d,
+                             std::vector<grid::Grid2D>* grids_2d);
+
+}  // namespace felip::post
+
+#endif  // FELIP_POST_CONSISTENCY_H_

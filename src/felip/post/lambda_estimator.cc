@@ -1,0 +1,163 @@
+#include "felip/post/lambda_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/numeric.h"
+
+namespace felip::post {
+
+uint32_t PairIndex(uint32_t i, uint32_t j, uint32_t lambda) {
+  FELIP_CHECK(i < j && j < lambda);
+  // Pairs (0,1), (0,2), ..., (0,λ-1), (1,2), ... — lexicographic.
+  return static_cast<uint32_t>(Choose2(lambda) - Choose2(lambda - i)) +
+         (j - i - 1);
+}
+
+std::vector<double> FitSignCombinations(
+    uint32_t lambda, const std::vector<double>& pair_answers,
+    const LambdaEstimatorOptions& options) {
+  FELIP_CHECK(lambda >= 2);
+  FELIP_CHECK_MSG(lambda <= 20, "2^lambda table would be too large");
+  FELIP_CHECK(pair_answers.size() == Choose2(lambda));
+
+  const uint32_t size = 1u << lambda;
+  std::vector<double> z(size, 1.0 / static_cast<double>(size));
+
+  // Clamp the noisy 2-D answers into [0, 1].
+  std::vector<double> targets(pair_answers.size());
+  for (size_t i = 0; i < pair_answers.size(); ++i) {
+    targets[i] = std::clamp(pair_answers[i], 0.0, 1.0);
+  }
+
+  // Enumerate constrained index sets once: for pair (i, j), the entries
+  // with bits i and j set.
+  std::vector<std::vector<uint32_t>> constrained(pair_answers.size());
+  for (uint32_t i = 0; i < lambda; ++i) {
+    for (uint32_t j = i + 1; j < lambda; ++j) {
+      std::vector<uint32_t>& set = constrained[PairIndex(i, j, lambda)];
+      const uint32_t need = (1u << i) | (1u << j);
+      for (uint32_t mask = 0; mask < size; ++mask) {
+        if ((mask & need) == need) set.push_back(mask);
+      }
+    }
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (size_t c = 0; c < constrained.size(); ++c) {
+      double sum = 0.0;
+      for (const uint32_t mask : constrained[c]) sum += z[mask];
+      if (sum <= 0.0) continue;  // Algorithm 4 line 6: skip Y == 0
+      const double scale = targets[c] / sum;
+      if (scale == 1.0) continue;
+      for (const uint32_t mask : constrained[c]) {
+        const double updated = z[mask] * scale;
+        total_change += std::fabs(updated - z[mask]);
+        z[mask] = updated;
+      }
+    }
+    if (total_change < options.threshold) break;
+  }
+  return z;
+}
+
+double EstimateLambdaQuery(uint32_t lambda,
+                           const std::vector<double>& pair_answers,
+                           const LambdaEstimatorOptions& options) {
+  if (lambda == 2) {
+    FELIP_CHECK(pair_answers.size() == 1);
+    return std::clamp(pair_answers[0], 0.0, 1.0);
+  }
+  const std::vector<double> z = FitSignCombinations(lambda, pair_answers,
+                                                    options);
+  return z[(1u << lambda) - 1];
+}
+
+double EstimateLambdaQueryQuadrants(
+    uint32_t lambda, const std::vector<double>& pair_answers,
+    const std::vector<double>& marginal_answers,
+    const LambdaEstimatorOptions& options) {
+  FELIP_CHECK(lambda >= 2);
+  FELIP_CHECK_MSG(lambda <= 20, "2^lambda table would be too large");
+  FELIP_CHECK(pair_answers.size() == Choose2(lambda));
+  FELIP_CHECK(marginal_answers.size() == lambda);
+  if (lambda == 2) return std::clamp(pair_answers[0], 0.0, 1.0);
+
+  const uint32_t size = 1u << lambda;
+  std::vector<double> z(size, 1.0 / static_cast<double>(size));
+
+  // Four constraints per pair, one per sign quadrant; targets follow from
+  // inclusion–exclusion and are clamped into a consistent simplex.
+  struct Constraint {
+    std::vector<uint32_t> masks;
+    double target;
+  };
+  std::vector<Constraint> constraints;
+  constraints.reserve(4 * pair_answers.size());
+  for (uint32_t i = 0; i < lambda; ++i) {
+    for (uint32_t j = i + 1; j < lambda; ++j) {
+      const double f = std::clamp(pair_answers[PairIndex(i, j, lambda)],
+                                  0.0, 1.0);
+      const double mi = std::clamp(marginal_answers[i], f, 1.0);
+      const double mj = std::clamp(marginal_answers[j], f, 1.0);
+      double t11 = f;
+      double t10 = mi - f;
+      double t01 = mj - f;
+      double t00 = std::max(0.0, 1.0 - mi - mj + f);
+      // Renormalize the quadrant targets so each pair's constraints are
+      // mutually consistent (sum to 1).
+      const double total = t11 + t10 + t01 + t00;
+      if (total > 0.0) {
+        t11 /= total;
+        t10 /= total;
+        t01 /= total;
+        t00 /= total;
+      }
+      const uint32_t bit_i = 1u << i;
+      const uint32_t bit_j = 1u << j;
+      Constraint c11{{}, t11};
+      Constraint c10{{}, t10};
+      Constraint c01{{}, t01};
+      Constraint c00{{}, t00};
+      for (uint32_t mask = 0; mask < size; ++mask) {
+        const bool has_i = (mask & bit_i) != 0;
+        const bool has_j = (mask & bit_j) != 0;
+        if (has_i && has_j) {
+          c11.masks.push_back(mask);
+        } else if (has_i) {
+          c10.masks.push_back(mask);
+        } else if (has_j) {
+          c01.masks.push_back(mask);
+        } else {
+          c00.masks.push_back(mask);
+        }
+      }
+      constraints.push_back(std::move(c11));
+      constraints.push_back(std::move(c10));
+      constraints.push_back(std::move(c01));
+      constraints.push_back(std::move(c00));
+    }
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (const Constraint& c : constraints) {
+      double sum = 0.0;
+      for (const uint32_t mask : c.masks) sum += z[mask];
+      if (sum <= 0.0) continue;
+      const double scale = c.target / sum;
+      if (scale == 1.0) continue;
+      for (const uint32_t mask : c.masks) {
+        const double updated = z[mask] * scale;
+        total_change += std::fabs(updated - z[mask]);
+        z[mask] = updated;
+      }
+    }
+    if (total_change < options.threshold) break;
+  }
+  return z[size - 1];
+}
+
+}  // namespace felip::post

@@ -1,0 +1,126 @@
+#include "felip/post/norm_sub.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "felip/common/check.h"
+
+namespace felip::post {
+
+void RemoveNegativity(std::vector<double>* frequencies,
+                      const NormSubOptions& options) {
+  FELIP_CHECK(frequencies != nullptr);
+  FELIP_CHECK(!frequencies->empty());
+  FELIP_CHECK(options.target_sum >= 0.0);
+  std::vector<double>& f = *frequencies;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool any_negative = false;
+    double positive_sum = 0.0;
+    uint64_t positive_count = 0;
+    for (double& v : f) {
+      if (v < 0.0) {
+        v = 0.0;
+        any_negative = true;
+      } else if (v > 0.0) {
+        positive_sum += v;
+        ++positive_count;
+      }
+    }
+    const double diff = options.target_sum - positive_sum;
+    if (!any_negative && std::fabs(diff) <= options.tolerance) return;
+    if (positive_count == 0) {
+      // Everything was clamped: fall back to the uniform distribution.
+      const double uniform =
+          options.target_sum / static_cast<double>(f.size());
+      for (double& v : f) v = uniform;
+      return;
+    }
+    const double shift = diff / static_cast<double>(positive_count);
+    for (double& v : f) {
+      if (v > 0.0) v += shift;
+    }
+  }
+  // Max iterations reached (possible when a tiny positive entry flips sign
+  // each round): finish with a plain clamp-and-rescale, which preserves the
+  // postconditions at the cost of exactness of the shift rule.
+  double sum = 0.0;
+  for (double& v : f) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    const double uniform = options.target_sum / static_cast<double>(f.size());
+    for (double& v : f) v = uniform;
+    return;
+  }
+  for (double& v : f) v *= options.target_sum / sum;
+}
+
+namespace {
+
+void NormMul(std::vector<double>* frequencies,
+             const NormSubOptions& options) {
+  std::vector<double>& f = *frequencies;
+  double sum = 0.0;
+  for (double& v : f) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    const double uniform = options.target_sum / static_cast<double>(f.size());
+    for (double& v : f) v = uniform;
+    return;
+  }
+  const double scale = options.target_sum / sum;
+  for (double& v : f) v *= scale;
+}
+
+void NormCut(std::vector<double>* frequencies,
+             const NormSubOptions& options) {
+  std::vector<double>& f = *frequencies;
+  double sum = 0.0;
+  for (double& v : f) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum <= options.target_sum) return;  // Norm-Cut never adds mass
+  // Zero the smallest positive entries until the sum drops to the target;
+  // the entry that crosses the boundary is partially kept.
+  std::vector<size_t> order(f.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return f[a] < f[b]; });
+  for (const size_t idx : order) {
+    if (f[idx] <= 0.0) continue;
+    const double excess = sum - options.target_sum;
+    if (excess <= 0.0) break;
+    const double removed = std::min(f[idx], excess);
+    f[idx] -= removed;
+    sum -= removed;
+  }
+}
+
+}  // namespace
+
+void NormalizeFrequencies(std::vector<double>* frequencies,
+                          Normalization method,
+                          const NormSubOptions& options) {
+  FELIP_CHECK(frequencies != nullptr);
+  FELIP_CHECK(!frequencies->empty());
+  switch (method) {
+    case Normalization::kNormSub:
+      RemoveNegativity(frequencies, options);
+      return;
+    case Normalization::kNormMul:
+      NormMul(frequencies, options);
+      return;
+    case Normalization::kNormCut:
+      NormCut(frequencies, options);
+      return;
+  }
+  FELIP_CHECK_MSG(false, "unknown normalization");
+}
+
+}  // namespace felip::post

@@ -1,0 +1,43 @@
+// Norm-Sub negativity removal (Algorithm 1).
+//
+// LDP estimates are unbiased but individually noisy, so many are negative
+// and they rarely sum to exactly 1. Norm-Sub repeatedly clamps negatives to
+// zero and shifts the remaining positives uniformly until the vector is a
+// proper distribution.
+
+#ifndef FELIP_POST_NORM_SUB_H_
+#define FELIP_POST_NORM_SUB_H_
+
+#include <vector>
+
+namespace felip::post {
+
+struct NormSubOptions {
+  double target_sum = 1.0;
+  double tolerance = 1e-12;
+  int max_iterations = 10000;
+};
+
+// In-place Norm-Sub. Postconditions: every entry >= 0 and the entries sum
+// to target_sum (within tolerance). If every entry is clamped away the mass
+// is distributed uniformly.
+void RemoveNegativity(std::vector<double>* frequencies,
+                      const NormSubOptions& options = {});
+
+// Alternative normalizations studied by CALM (Zhang et al., CCS'18). All
+// share Norm-Sub's postconditions except Norm-Cut, which does not add mass
+// when the clamped sum falls below the target.
+enum class Normalization {
+  kNormSub,  // clamp negatives, shift positives uniformly (Algorithm 1)
+  kNormMul,  // clamp negatives, scale positives multiplicatively
+  kNormCut,  // clamp negatives, zero the smallest positives until <= target
+};
+
+// Dispatches to the selected normalization, in place.
+void NormalizeFrequencies(std::vector<double>* frequencies,
+                          Normalization method,
+                          const NormSubOptions& options = {});
+
+}  // namespace felip::post
+
+#endif  // FELIP_POST_NORM_SUB_H_

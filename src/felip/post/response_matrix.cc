@@ -1,0 +1,250 @@
+#include "felip/post/response_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+
+namespace felip::post {
+
+namespace {
+
+using grid::Grid1D;
+using grid::Grid2D;
+using grid::Partition1D;
+
+// One proportional-fitting constraint: the blocks in the rectangle
+// [x0, x1) x [y0, y1) (block indices) must sum to `target`.
+struct Constraint {
+  uint32_t x0, x1, y0, y1;
+  double target;
+};
+
+// Index of `value` in the block boundary list `b` (first i with
+// b[i] <= value < b[i+1]).
+uint32_t BlockOf(const std::vector<uint32_t>& b, uint32_t value) {
+  const auto it = std::upper_bound(b.begin(), b.end(), value);
+  FELIP_CHECK(it != b.begin());
+  return static_cast<uint32_t>(it - b.begin()) - 1;
+}
+
+// Maps a cell's half-open value interval to a half-open block range.
+// Boundaries refine the cells, so the mapping is exact.
+std::pair<uint32_t, uint32_t> BlockRange(const std::vector<uint32_t>& b,
+                                         uint32_t begin, uint32_t end) {
+  const uint32_t b0 = BlockOf(b, begin);
+  const uint32_t b1 = BlockOf(b, end - 1) + 1;
+  FELIP_CHECK(b[b0] == begin);
+  FELIP_CHECK(b[b1] == end);
+  return {b0, b1};
+}
+
+// Builds all constraints for the related grids, in Γ order (1-D x, 1-D y,
+// then the 2-D grid) — the order the dense reference also uses.
+std::vector<Constraint> BuildConstraints(const Grid2D& g2, const Grid1D* gx,
+                                         const Grid1D* gy,
+                                         const std::vector<uint32_t>& bx,
+                                         const std::vector<uint32_t>& by) {
+  std::vector<Constraint> constraints;
+  const auto nby = static_cast<uint32_t>(by.size() - 1);
+  const auto nbx = static_cast<uint32_t>(bx.size() - 1);
+  if (gx != nullptr) {
+    for (uint32_t c = 0; c < gx->num_cells(); ++c) {
+      const auto [x0, x1] = BlockRange(bx, gx->partition().CellBegin(c),
+                                       gx->partition().CellEnd(c));
+      constraints.push_back({x0, x1, 0, nby, gx->frequencies()[c]});
+    }
+  }
+  if (gy != nullptr) {
+    for (uint32_t c = 0; c < gy->num_cells(); ++c) {
+      const auto [y0, y1] = BlockRange(by, gy->partition().CellBegin(c),
+                                       gy->partition().CellEnd(c));
+      constraints.push_back({0, nbx, y0, y1, gy->frequencies()[c]});
+    }
+  }
+  for (uint32_t cx = 0; cx < g2.px().num_cells(); ++cx) {
+    const auto [x0, x1] =
+        BlockRange(bx, g2.px().CellBegin(cx), g2.px().CellEnd(cx));
+    for (uint32_t cy = 0; cy < g2.py().num_cells(); ++cy) {
+      const auto [y0, y1] =
+          BlockRange(by, g2.py().CellBegin(cy), g2.py().CellEnd(cy));
+      constraints.push_back(
+          {x0, x1, y0, y1, g2.frequencies()[g2.CellIndex(cx, cy)]});
+    }
+  }
+  return constraints;
+}
+
+void ValidateInputs(const Grid2D& g2, const Grid1D* gx, const Grid1D* gy) {
+  if (gx != nullptr) {
+    FELIP_CHECK_MSG(gx->attr() == g2.attr_x(), "gx is not the x attribute");
+    FELIP_CHECK(gx->partition().domain() == g2.px().domain());
+  }
+  if (gy != nullptr) {
+    FELIP_CHECK_MSG(gy->attr() == g2.attr_y(), "gy is not the y attribute");
+    FELIP_CHECK(gy->partition().domain() == g2.py().domain());
+  }
+}
+
+}  // namespace
+
+ResponseMatrix ResponseMatrix::Build(const Grid2D& g2, const Grid1D* gx,
+                                     const Grid1D* gy,
+                                     const ResponseMatrixOptions& options) {
+  ValidateInputs(g2, gx, gy);
+  ResponseMatrix m;
+  m.domain_x_ = g2.px().domain();
+  m.domain_y_ = g2.py().domain();
+
+  std::vector<const Partition1D*> parts_x = {&g2.px()};
+  if (gx != nullptr) parts_x.push_back(&gx->partition());
+  std::vector<const Partition1D*> parts_y = {&g2.py()};
+  if (gy != nullptr) parts_y.push_back(&gy->partition());
+  m.bx_ = grid::CommonRefinementBoundaries(parts_x);
+  m.by_ = grid::CommonRefinementBoundaries(parts_y);
+
+  const auto nbx = static_cast<uint32_t>(m.bx_.size() - 1);
+  const auto nby = static_cast<uint32_t>(m.by_.size() - 1);
+  m.mass_.resize(static_cast<size_t>(nbx) * nby);
+
+  // Uniform joint start: block mass proportional to block area.
+  const double inv_total =
+      1.0 / (static_cast<double>(m.domain_x_) * m.domain_y_);
+  for (uint32_t i = 0; i < nbx; ++i) {
+    const double w = m.bx_[i + 1] - m.bx_[i];
+    for (uint32_t j = 0; j < nby; ++j) {
+      const double h = m.by_[j + 1] - m.by_[j];
+      m.mass_[static_cast<size_t>(i) * nby + j] = w * h * inv_total;
+    }
+  }
+
+  const std::vector<Constraint> constraints =
+      BuildConstraints(g2, gx, gy, m.bx_, m.by_);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (const Constraint& c : constraints) {
+      double sum = 0.0;
+      for (uint32_t i = c.x0; i < c.x1; ++i) {
+        const double* row = &m.mass_[static_cast<size_t>(i) * nby];
+        for (uint32_t j = c.y0; j < c.y1; ++j) sum += row[j];
+      }
+      if (sum <= 0.0) continue;  // Algorithm 3 line 8: skip S == 0
+      const double scale = c.target / sum;
+      if (scale == 1.0) continue;
+      for (uint32_t i = c.x0; i < c.x1; ++i) {
+        double* row = &m.mass_[static_cast<size_t>(i) * nby];
+        for (uint32_t j = c.y0; j < c.y1; ++j) {
+          const double updated = row[j] * scale;
+          total_change += std::fabs(updated - row[j]);
+          row[j] = updated;
+        }
+      }
+    }
+    if (total_change < options.threshold) break;
+  }
+  return m;
+}
+
+double ResponseMatrix::Answer(const grid::AxisSelection& sel_x,
+                              const grid::AxisSelection& sel_y) const {
+  const auto nbx = static_cast<uint32_t>(bx_.size() - 1);
+  const auto nby = static_cast<uint32_t>(by_.size() - 1);
+  std::vector<double> cover_y(nby);
+  for (uint32_t j = 0; j < nby; ++j) {
+    cover_y[j] = sel_y.CoverageOfInterval(by_[j], by_[j + 1]);
+  }
+  double total = 0.0;
+  for (uint32_t i = 0; i < nbx; ++i) {
+    const double cx = sel_x.CoverageOfInterval(bx_[i], bx_[i + 1]);
+    if (cx == 0.0) continue;
+    const double* row = &mass_[static_cast<size_t>(i) * nby];
+    double row_sum = 0.0;
+    for (uint32_t j = 0; j < nby; ++j) {
+      if (cover_y[j] != 0.0) row_sum += row[j] * cover_y[j];
+    }
+    total += row_sum * cx;
+  }
+  return total;
+}
+
+std::vector<double> ResponseMatrix::ToDense() const {
+  const auto nby = static_cast<uint32_t>(by_.size() - 1);
+  std::vector<double> dense(static_cast<size_t>(domain_x_) * domain_y_);
+  for (uint32_t i = 0; i + 1 < bx_.size(); ++i) {
+    const double w = bx_[i + 1] - bx_[i];
+    for (uint32_t j = 0; j + 1 < by_.size(); ++j) {
+      const double h = by_[j + 1] - by_[j];
+      const double density = mass_[static_cast<size_t>(i) * nby + j] / (w * h);
+      for (uint32_t x = bx_[i]; x < bx_[i + 1]; ++x) {
+        for (uint32_t y = by_[j]; y < by_[j + 1]; ++y) {
+          dense[static_cast<size_t>(x) * domain_y_ + y] = density;
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+std::vector<double> BuildResponseMatrixDense(
+    const Grid2D& g2, const Grid1D* gx, const Grid1D* gy,
+    const ResponseMatrixOptions& options) {
+  ValidateInputs(g2, gx, gy);
+  const uint32_t dx = g2.px().domain();
+  const uint32_t dy = g2.py().domain();
+  std::vector<double> m(static_cast<size_t>(dx) * dy,
+                        1.0 / (static_cast<double>(dx) * dy));
+
+  // Value-space constraints in the same Γ order as the block version.
+  struct Region {
+    uint32_t x0, x1, y0, y1;  // half-open value ranges
+    double target;
+  };
+  std::vector<Region> regions;
+  if (gx != nullptr) {
+    for (uint32_t c = 0; c < gx->num_cells(); ++c) {
+      regions.push_back({gx->partition().CellBegin(c),
+                         gx->partition().CellEnd(c), 0, dy,
+                         gx->frequencies()[c]});
+    }
+  }
+  if (gy != nullptr) {
+    for (uint32_t c = 0; c < gy->num_cells(); ++c) {
+      regions.push_back({0, dx, gy->partition().CellBegin(c),
+                         gy->partition().CellEnd(c), gy->frequencies()[c]});
+    }
+  }
+  for (uint32_t cx = 0; cx < g2.px().num_cells(); ++cx) {
+    for (uint32_t cy = 0; cy < g2.py().num_cells(); ++cy) {
+      regions.push_back({g2.px().CellBegin(cx), g2.px().CellEnd(cx),
+                         g2.py().CellBegin(cy), g2.py().CellEnd(cy),
+                         g2.frequencies()[g2.CellIndex(cx, cy)]});
+    }
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double total_change = 0.0;
+    for (const Region& r : regions) {
+      double sum = 0.0;
+      for (uint32_t x = r.x0; x < r.x1; ++x) {
+        const double* row = &m[static_cast<size_t>(x) * dy];
+        for (uint32_t y = r.y0; y < r.y1; ++y) sum += row[y];
+      }
+      if (sum <= 0.0) continue;
+      const double scale = r.target / sum;
+      if (scale == 1.0) continue;
+      for (uint32_t x = r.x0; x < r.x1; ++x) {
+        double* row = &m[static_cast<size_t>(x) * dy];
+        for (uint32_t y = r.y0; y < r.y1; ++y) {
+          const double updated = row[y] * scale;
+          total_change += std::fabs(updated - row[y]);
+          row[y] = updated;
+        }
+      }
+    }
+    if (total_change < options.threshold) break;
+  }
+  return m;
+}
+
+}  // namespace felip::post

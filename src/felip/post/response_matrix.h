@@ -1,0 +1,77 @@
+// Response matrix construction (Algorithm 3, Weighted Update).
+//
+// For an attribute pair (a_i, a_j), the response matrix M estimates the
+// joint frequency of every 2-D value from the pair's related grids
+// Γ = {G(i), G(j), G(i,j)} (the 1-D grids are absent under OUG and for
+// categorical attributes). Starting from the uniform joint, each grid cell
+// imposes "mass of my region == my frequency"; iterating the proportional
+// rescale converges to a joint consistent with all grids.
+//
+// Every rescale preserves piecewise-constancy of M on the common refinement
+// of the related grids' partitions, so the production implementation
+// (ResponseMatrix) stores one mass per refined *block* — O(blocks) per
+// sweep instead of O(d_i * d_j). BuildResponseMatrixDense is the literal
+// Algorithm 3 over the dense matrix, kept as the reference implementation;
+// property tests assert the two agree.
+
+#ifndef FELIP_POST_RESPONSE_MATRIX_H_
+#define FELIP_POST_RESPONSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "felip/grid/grid.h"
+
+namespace felip::post {
+
+struct ResponseMatrixOptions {
+  // Convergence: total absolute mass change per sweep below this. The
+  // paper recommends < 1/n; callers pass their population size.
+  double threshold = 1e-7;
+  int max_iterations = 200;
+};
+
+class ResponseMatrix {
+ public:
+  // An empty placeholder; assign a Build() result before use.
+  ResponseMatrix() = default;
+
+  // Builds the matrix for `g2`'s attribute pair from the related grids.
+  // `gx` / `gy` are the 1-D grids of the x / y attributes, or nullptr when
+  // absent. All grids must carry non-negative post-processed frequencies.
+  static ResponseMatrix Build(const grid::Grid2D& g2, const grid::Grid1D* gx,
+                              const grid::Grid1D* gy,
+                              const ResponseMatrixOptions& options = {});
+
+  uint32_t domain_x() const { return domain_x_; }
+  uint32_t domain_y() const { return domain_y_; }
+
+  // Estimated frequency of the conjunction of two per-axis selections.
+  double Answer(const grid::AxisSelection& sel_x,
+                const grid::AxisSelection& sel_y) const;
+
+  // Dense d_i x d_j export (row-major, x-major); for tests and small
+  // domains.
+  std::vector<double> ToDense() const;
+
+  // Block structure introspection (tests, benchmarks).
+  size_t num_blocks() const { return mass_.size(); }
+
+ private:
+  uint32_t domain_x_ = 0;
+  uint32_t domain_y_ = 0;
+  std::vector<uint32_t> bx_;   // x block boundaries, size nbx + 1
+  std::vector<uint32_t> by_;   // y block boundaries, size nby + 1
+  std::vector<double> mass_;   // nbx * nby, row-major, total mass per block
+};
+
+// Literal Algorithm 3 over the dense d_i x d_j matrix (reference
+// implementation; O(d_i * d_j) per sweep).
+std::vector<double> BuildResponseMatrixDense(
+    const grid::Grid2D& g2, const grid::Grid1D* gx, const grid::Grid1D* gy,
+    const ResponseMatrixOptions& options = {});
+
+}  // namespace felip::post
+
+#endif  // FELIP_POST_RESPONSE_MATRIX_H_

@@ -1,0 +1,86 @@
+#include "felip/query/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "felip/common/check.h"
+
+namespace felip::query {
+
+Query GenerateQuery(const data::Dataset& dataset,
+                    const GeneratorOptions& options, Rng& rng) {
+  FELIP_CHECK(options.dimension >= 1);
+  FELIP_CHECK(options.selectivity > 0.0 && options.selectivity <= 1.0);
+
+  // Candidate attributes.
+  std::vector<uint32_t> candidates;
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    if (options.range_only && dataset.attribute(a).categorical) continue;
+    candidates.push_back(a);
+  }
+  FELIP_CHECK_MSG(!candidates.empty(), "no eligible attributes for queries");
+  const uint32_t lambda =
+      std::min<uint32_t>(options.dimension,
+                         static_cast<uint32_t>(candidates.size()));
+
+  // Partial Fisher–Yates draw of λ distinct attributes.
+  for (uint32_t i = 0; i < lambda; ++i) {
+    const auto j =
+        i + static_cast<uint32_t>(rng.UniformU64(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+  }
+
+  std::vector<Predicate> predicates;
+  predicates.reserve(lambda);
+  for (uint32_t i = 0; i < lambda; ++i) {
+    const uint32_t attr = candidates[i];
+    const data::AttributeInfo& info = dataset.attribute(attr);
+    const auto selected = std::max<uint32_t>(
+        1, static_cast<uint32_t>(
+               std::llround(options.selectivity * info.domain)));
+    Predicate p;
+    p.attr = attr;
+    if (info.categorical && !options.range_only) {
+      // IN over `selected` distinct random values.
+      std::vector<uint32_t> values(info.domain);
+      for (uint32_t v = 0; v < info.domain; ++v) values[v] = v;
+      for (uint32_t v = 0; v < selected; ++v) {
+        const auto j =
+            v + static_cast<uint32_t>(rng.UniformU64(values.size() - v));
+        std::swap(values[v], values[j]);
+      }
+      values.resize(selected);
+      if (selected == 1) {
+        p.op = Op::kEquals;
+        p.lo = p.hi = values[0];
+      } else {
+        p.op = Op::kIn;
+        p.values = std::move(values);
+      }
+    } else {
+      // BETWEEN over a random interval of `selected` values.
+      const uint32_t span = std::min(selected, info.domain);
+      const auto start = static_cast<uint32_t>(
+          rng.UniformU64(info.domain - span + 1));
+      p.op = Op::kBetween;
+      p.lo = start;
+      p.hi = start + span - 1;
+    }
+    predicates.push_back(std::move(p));
+  }
+  return Query(std::move(predicates));
+}
+
+std::vector<Query> GenerateQueries(const data::Dataset& dataset,
+                                   uint32_t count,
+                                   const GeneratorOptions& options,
+                                   Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    queries.push_back(GenerateQuery(dataset, options, rng));
+  }
+  return queries;
+}
+
+}  // namespace felip::query

@@ -1,0 +1,39 @@
+// Random workload generation (Section 6.2).
+//
+// Mirrors the paper's evaluation: λ attributes are drawn at random; each
+// numerical attribute gets a BETWEEN predicate covering a fraction s of its
+// domain at a random offset, each categorical attribute an IN predicate
+// over ceil(s * d) random values.
+
+#ifndef FELIP_QUERY_GENERATOR_H_
+#define FELIP_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/data/dataset.h"
+#include "felip/query/query.h"
+
+namespace felip::query {
+
+struct GeneratorOptions {
+  uint32_t dimension = 2;    // λ, clamped to the number of attributes
+  double selectivity = 0.5;  // per-attribute fraction s in (0, 1]
+  // Restrict to numerical attributes with BETWEEN predicates only (the
+  // Section 6.3 range-query setting used against TDG/HDG).
+  bool range_only = false;
+};
+
+// Generates one random query.
+Query GenerateQuery(const data::Dataset& dataset,
+                    const GeneratorOptions& options, Rng& rng);
+
+// Generates `count` independent random queries.
+std::vector<Query> GenerateQueries(const data::Dataset& dataset,
+                                   uint32_t count,
+                                   const GeneratorOptions& options, Rng& rng);
+
+}  // namespace felip::query
+
+#endif  // FELIP_QUERY_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "felip/query/query.h"
+
+#include <algorithm>
+
+#include "felip/common/check.h"
+
+namespace felip::query {
+
+bool Predicate::Matches(uint32_t value) const {
+  switch (op) {
+    case Op::kEquals:
+      return value == lo;
+    case Op::kBetween:
+      return value >= lo && value <= hi;
+    case Op::kIn:
+      return std::find(values.begin(), values.end(), value) != values.end();
+  }
+  return false;
+}
+
+grid::AxisSelection Predicate::ToSelection() const {
+  switch (op) {
+    case Op::kEquals:
+      return grid::AxisSelection::MakeRange(lo, lo);
+    case Op::kBetween:
+      return grid::AxisSelection::MakeRange(lo, hi);
+    case Op::kIn:
+      return grid::AxisSelection::MakeSet(values);
+  }
+  FELIP_CHECK_MSG(false, "unreachable");
+  return grid::AxisSelection::MakeRange(0, 0);
+}
+
+uint64_t Predicate::SelectedCount(uint32_t domain) const {
+  return ToSelection().SelectedCount(domain);
+}
+
+Query::Query(std::vector<Predicate> predicates)
+    : predicates_(std::move(predicates)) {
+  FELIP_CHECK_MSG(!predicates_.empty(), "query needs >= 1 predicate");
+  std::sort(predicates_.begin(), predicates_.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.attr < b.attr;
+            });
+  for (size_t i = 1; i < predicates_.size(); ++i) {
+    FELIP_CHECK_MSG(predicates_[i - 1].attr != predicates_[i].attr,
+                    "duplicate attribute in query");
+  }
+  for (const Predicate& p : predicates_) {
+    if (p.op == Op::kBetween) FELIP_CHECK(p.lo <= p.hi);
+    if (p.op == Op::kIn) FELIP_CHECK(!p.values.empty());
+  }
+}
+
+const Predicate* Query::FindPredicate(uint32_t attr) const {
+  for (const Predicate& p : predicates_) {
+    if (p.attr == attr) return &p;
+  }
+  return nullptr;
+}
+
+bool Query::Matches(const data::Dataset& dataset, uint64_t row) const {
+  for (const Predicate& p : predicates_) {
+    if (!p.Matches(dataset.Value(row, p.attr))) return false;
+  }
+  return true;
+}
+
+double TrueAnswer(const data::Dataset& dataset, const Query& query) {
+  FELIP_CHECK(dataset.num_rows() > 0);
+  for (const Predicate& p : query.predicates()) {
+    FELIP_CHECK(p.attr < dataset.num_attributes());
+  }
+  // Column-wise evaluation: intersect per-predicate match masks.
+  std::vector<uint8_t> match(dataset.num_rows(), 1);
+  for (const Predicate& p : query.predicates()) {
+    const std::vector<uint32_t>& col = dataset.Column(p.attr);
+    if (p.op == Op::kBetween || p.op == Op::kEquals) {
+      const uint32_t lo = p.lo;
+      const uint32_t hi = p.op == Op::kEquals ? p.lo : p.hi;
+      for (uint64_t r = 0; r < col.size(); ++r) {
+        match[r] &= static_cast<uint8_t>(col[r] >= lo && col[r] <= hi);
+      }
+    } else {
+      std::vector<uint32_t> sorted = p.values;
+      std::sort(sorted.begin(), sorted.end());
+      for (uint64_t r = 0; r < col.size(); ++r) {
+        match[r] &= static_cast<uint8_t>(
+            std::binary_search(sorted.begin(), sorted.end(), col[r]));
+      }
+    }
+  }
+  uint64_t count = 0;
+  for (const uint8_t m : match) count += m;
+  return static_cast<double>(count) / static_cast<double>(dataset.num_rows());
+}
+
+}  // namespace felip::query

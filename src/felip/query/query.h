@@ -1,0 +1,65 @@
+// Multi-dimensional counting queries (Section 4).
+//
+// A λ-dimensional query is a conjunction of per-attribute predicates:
+// equality / IN over categorical values, BETWEEN over ordinal ranges. Its
+// answer is the fraction of records satisfying every predicate.
+
+#ifndef FELIP_QUERY_QUERY_H_
+#define FELIP_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/data/dataset.h"
+#include "felip/grid/grid.h"
+
+namespace felip::query {
+
+enum class Op {
+  kEquals,   // attribute == value (lo == hi)
+  kIn,       // attribute in {values}
+  kBetween,  // lo <= attribute <= hi
+};
+
+struct Predicate {
+  uint32_t attr = 0;
+  Op op = Op::kBetween;
+  uint32_t lo = 0;  // kBetween / kEquals
+  uint32_t hi = 0;
+  std::vector<uint32_t> values;  // kIn
+
+  // True when `value` satisfies this predicate.
+  bool Matches(uint32_t value) const;
+
+  // Grid-layer selection equivalent to this predicate.
+  grid::AxisSelection ToSelection() const;
+
+  // Number of domain values the predicate selects.
+  uint64_t SelectedCount(uint32_t domain) const;
+};
+
+class Query {
+ public:
+  // Predicates must reference distinct attributes.
+  explicit Query(std::vector<Predicate> predicates);
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  uint32_t dimension() const {
+    return static_cast<uint32_t>(predicates_.size());
+  }
+
+  // The predicate on `attr`, or nullptr when unconstrained.
+  const Predicate* FindPredicate(uint32_t attr) const;
+
+  bool Matches(const data::Dataset& dataset, uint64_t row) const;
+
+ private:
+  std::vector<Predicate> predicates_;  // sorted by attribute index
+};
+
+// Exact answer of `query` over `dataset`, as a fraction of records.
+double TrueAnswer(const data::Dataset& dataset, const Query& query);
+
+}  // namespace felip::query
+
+#endif  // FELIP_QUERY_QUERY_H_

@@ -1,0 +1,52 @@
+#include "felip/stream/streaming.h"
+
+#include "felip/common/check.h"
+
+namespace felip::stream {
+
+StreamingCollector::StreamingCollector(
+    std::vector<data::AttributeInfo> schema, StreamConfig config)
+    : schema_(std::move(schema)), config_(std::move(config)) {
+  FELIP_CHECK(!schema_.empty());
+  FELIP_CHECK(config_.decay > 0.0 && config_.decay <= 1.0);
+  FELIP_CHECK(config_.max_epochs >= 1);
+}
+
+void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
+  FELIP_CHECK(epoch.num_attributes() == schema_.size());
+  FELIP_CHECK_MSG(epoch.num_rows() > 0, "empty epoch");
+  for (uint32_t a = 0; a < epoch.num_attributes(); ++a) {
+    FELIP_CHECK(epoch.attribute(a).domain == schema_[a].domain);
+  }
+  core::FelipConfig felip = config_.felip;
+  // Decorrelate epoch randomness while keeping runs reproducible.
+  felip.seed = felip.seed * 1000003 + epochs_ingested_ + 1;
+  auto pipeline = std::make_unique<core::FelipPipeline>(
+      schema_, epoch.num_rows(), felip);
+  pipeline->Collect(epoch);
+  pipeline->Finalize();
+  history_.push_back(std::move(pipeline));
+  if (history_.size() > config_.max_epochs) history_.pop_front();
+  ++epochs_ingested_;
+}
+
+double StreamingCollector::AnswerQuery(const query::Query& query) const {
+  FELIP_CHECK_MSG(!history_.empty(), "no epochs ingested");
+  double weight = 1.0;  // newest epoch
+  double total_weight = 0.0;
+  double total = 0.0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    total += weight * (*it)->AnswerQuery(query);
+    total_weight += weight;
+    weight *= config_.decay;
+  }
+  return total / total_weight;
+}
+
+double StreamingCollector::AnswerQueryLatest(
+    const query::Query& query) const {
+  FELIP_CHECK_MSG(!history_.empty(), "no epochs ingested");
+  return history_.back()->AnswerQuery(query);
+}
+
+}  // namespace felip::stream

@@ -1,0 +1,64 @@
+// Streaming FELIP — the paper's closing future-work direction ("leverage
+// low-dimensional grids to answer queries over data streams").
+//
+// Users arrive over time in epochs and each user reports exactly once, in
+// their arrival epoch, so the per-user privacy guarantee is the plain
+// eps-LDP of that epoch's collection (no budget accumulation over time).
+// The aggregator runs one FELIP round per epoch and answers queries against
+// an exponentially decayed mixture of the per-epoch estimates:
+//
+//   answer_t(q) = Σ_e decay^(t-e) · answer_e(q) / Σ_e decay^(t-e)
+//
+// keeping only the most recent `max_epochs` rounds, which bounds memory and
+// lets the estimate track drifting populations.
+
+#ifndef FELIP_STREAM_STREAMING_H_
+#define FELIP_STREAM_STREAMING_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "felip/core/felip.h"
+#include "felip/data/dataset.h"
+#include "felip/query/query.h"
+
+namespace felip::stream {
+
+struct StreamConfig {
+  core::FelipConfig felip;   // per-epoch collection configuration
+  double decay = 0.6;        // weight ratio between consecutive epochs, (0, 1]
+  uint32_t max_epochs = 8;   // history window (older epochs are dropped)
+};
+
+class StreamingCollector {
+ public:
+  StreamingCollector(std::vector<data::AttributeInfo> schema,
+                     StreamConfig config);
+
+  // Runs one full FELIP round over this epoch's arrivals. The epoch's
+  // schema must match; each record is one (new) user.
+  void IngestEpoch(const data::Dataset& epoch);
+
+  // Decay-weighted estimate over the retained epochs. Requires at least
+  // one ingested epoch.
+  double AnswerQuery(const query::Query& query) const;
+
+  // Estimate from the newest epoch only (no history smoothing).
+  double AnswerQueryLatest(const query::Query& query) const;
+
+  uint64_t epochs_ingested() const { return epochs_ingested_; }
+  size_t epochs_retained() const { return history_.size(); }
+
+ private:
+  std::vector<data::AttributeInfo> schema_;
+  StreamConfig config_;
+  uint64_t epochs_ingested_ = 0;
+  // Newest epoch at the back.
+  std::deque<std::unique_ptr<core::FelipPipeline>> history_;
+};
+
+}  // namespace felip::stream
+
+#endif  // FELIP_STREAM_STREAMING_H_

@@ -1,0 +1,457 @@
+#include "felip/wire/wire.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "felip/common/check.h"
+#include "felip/common/hash.h"
+
+namespace felip::wire {
+
+namespace {
+
+// Little-endian primitive writer/reader over a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+  void PutBytes(const uint8_t* data, size_t len) {
+    out_->insert(out_->end(), data, data + len);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > in_.size()) return false;
+    std::memcpy(value, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool GetBytes(uint8_t* data, size_t len) {
+    if (pos_ + len > in_.size()) return false;
+    std::memcpy(data, in_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& in_;
+  size_t pos_ = 0;
+};
+
+enum class MessageKind : uint8_t {
+  kGridConfig = 1,
+  kReport = 2,
+  kReportBatch = 3,
+  kSnapshot = 4,
+};
+
+constexpr uint64_t kChecksumSalt = 0x77697265'6373756dULL;
+
+void WriteHeader(Writer& w, MessageKind kind) {
+  w.Put<uint32_t>(kMagic);
+  w.Put<uint8_t>(kVersion);
+  w.Put<uint8_t>(static_cast<uint8_t>(kind));
+}
+
+// Appends the xxHash64 of everything written so far.
+void SealChecksum(std::vector<uint8_t>* buffer) {
+  const uint64_t checksum =
+      XxHash64Bytes(buffer->data(), buffer->size(), kChecksumSalt);
+  Writer w(buffer);
+  w.Put<uint64_t>(checksum);
+}
+
+// Verifies magic/version/kind and the trailing checksum; on success returns
+// a Reader positioned after the header with the checksum stripped from the
+// logical payload length.
+std::optional<size_t> ValidateEnvelope(const std::vector<uint8_t>& buffer,
+                                       MessageKind expected_kind) {
+  constexpr size_t kHeader = 4 + 1 + 1;
+  constexpr size_t kTrailer = 8;
+  if (buffer.size() < kHeader + kTrailer) return std::nullopt;
+  const size_t payload_end = buffer.size() - kTrailer;
+  uint64_t stored = 0;
+  std::memcpy(&stored, buffer.data() + payload_end, sizeof(stored));
+  if (XxHash64Bytes(buffer.data(), payload_end, kChecksumSalt) != stored) {
+    return std::nullopt;
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, buffer.data(), sizeof(magic));
+  if (magic != kMagic) return std::nullopt;
+  if (buffer[4] != kVersion) return std::nullopt;
+  if (buffer[5] != static_cast<uint8_t>(expected_kind)) return std::nullopt;
+  return payload_end;
+}
+
+bool ValidProtocol(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(fo::Protocol::kOue);
+}
+
+void EncodeReportBody(Writer& w, const ReportMessage& m) {
+  w.Put<uint32_t>(m.grid_index);
+  w.Put<uint8_t>(static_cast<uint8_t>(m.protocol));
+  switch (m.protocol) {
+    case fo::Protocol::kGrr:
+      w.Put<uint64_t>(m.grr_report);
+      break;
+    case fo::Protocol::kOlh:
+      w.Put<uint64_t>(m.olh.seed);
+      w.Put<uint32_t>(m.olh.hashed_report);
+      w.Put<uint32_t>(m.olh.seed_index);
+      break;
+    case fo::Protocol::kOue:
+      w.Put<uint32_t>(static_cast<uint32_t>(m.oue_bits.size()));
+      w.PutBytes(m.oue_bits.data(), m.oue_bits.size());
+      break;
+  }
+}
+
+bool DecodeReportBody(Reader& r, ReportMessage* m) {
+  uint8_t protocol = 0;
+  if (!r.Get(&m->grid_index) || !r.Get(&protocol)) return false;
+  if (!ValidProtocol(protocol)) return false;
+  m->protocol = static_cast<fo::Protocol>(protocol);
+  switch (m->protocol) {
+    case fo::Protocol::kGrr:
+      return r.Get(&m->grr_report);
+    case fo::Protocol::kOlh:
+      return r.Get(&m->olh.seed) && r.Get(&m->olh.hashed_report) &&
+             r.Get(&m->olh.seed_index);
+    case fo::Protocol::kOue: {
+      uint32_t len = 0;
+      if (!r.Get(&len)) return false;
+      if (len > r.remaining()) return false;  // reject absurd lengths early
+      m->oue_bits.resize(len);
+      if (!r.GetBytes(m->oue_bits.data(), len)) return false;
+      for (const uint8_t b : m->oue_bits) {
+        if (b > 1) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kGridConfig);
+  w.Put<uint32_t>(m.grid_index);
+  w.Put<uint8_t>(m.is_2d ? 1 : 0);
+  w.Put<uint32_t>(m.attr_x);
+  w.Put<uint32_t>(m.attr_y);
+  w.Put<uint32_t>(m.domain_x);
+  w.Put<uint32_t>(m.domain_y);
+  w.Put<uint32_t>(m.lx);
+  w.Put<uint32_t>(m.ly);
+  w.Put<uint8_t>(static_cast<uint8_t>(m.protocol));
+  w.Put<double>(m.epsilon);
+  w.Put<uint32_t>(m.seed_pool_size);
+  w.Put<uint64_t>(m.pool_salt);
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+std::optional<GridConfigMessage> DecodeGridConfig(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kGridConfig);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  uint8_t skip[6];
+  if (!r.GetBytes(skip, sizeof(skip))) return std::nullopt;
+
+  GridConfigMessage m;
+  uint8_t is_2d = 0;
+  uint8_t protocol = 0;
+  if (!r.Get(&m.grid_index) || !r.Get(&is_2d) || !r.Get(&m.attr_x) ||
+      !r.Get(&m.attr_y) || !r.Get(&m.domain_x) || !r.Get(&m.domain_y) ||
+      !r.Get(&m.lx) || !r.Get(&m.ly) || !r.Get(&protocol) ||
+      !r.Get(&m.epsilon) || !r.Get(&m.seed_pool_size) ||
+      !r.Get(&m.pool_salt)) {
+    return std::nullopt;
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+  if (!ValidProtocol(protocol)) return std::nullopt;
+  m.is_2d = is_2d != 0;
+  m.protocol = static_cast<fo::Protocol>(protocol);
+  // Semantic validation: layouts must be feasible.
+  if (m.domain_x == 0 || m.domain_y == 0 || m.lx == 0 || m.ly == 0) {
+    return std::nullopt;
+  }
+  if (m.lx > m.domain_x || m.ly > m.domain_y) return std::nullopt;
+  if (!(m.epsilon > 0.0) || m.epsilon > 100.0) return std::nullopt;
+  return m;
+}
+
+std::vector<uint8_t> EncodeReport(const ReportMessage& m) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kReport);
+  EncodeReportBody(w, m);
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
+  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kReport);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  uint8_t skip[6];
+  if (!r.GetBytes(skip, sizeof(skip))) return std::nullopt;
+  ReportMessage m;
+  if (!DecodeReportBody(r, &m)) return std::nullopt;
+  if (r.position() != *payload_end) return std::nullopt;
+  return m;
+}
+
+std::vector<uint8_t> EncodeReportBatch(
+    const std::vector<ReportMessage>& reports) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kReportBatch);
+  w.Put<uint32_t>(static_cast<uint32_t>(reports.size()));
+  for (const ReportMessage& m : reports) EncodeReportBody(w, m);
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+std::optional<std::vector<ReportMessage>> DecodeReportBatch(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kReportBatch);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  uint8_t skip[6];
+  if (!r.GetBytes(skip, sizeof(skip))) return std::nullopt;
+  uint32_t count = 0;
+  if (!r.Get(&count)) return std::nullopt;
+  std::vector<ReportMessage> reports;
+  reports.reserve(std::min<uint32_t>(count, 1 << 20));
+  for (uint32_t i = 0; i < count; ++i) {
+    ReportMessage m;
+    if (!DecodeReportBody(r, &m)) return std::nullopt;
+    reports.push_back(std::move(m));
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+  return reports;
+}
+
+std::vector<uint8_t> EncodeSnapshot(
+    const core::FelipPipeline& pipeline,
+    const std::vector<data::AttributeInfo>& schema, uint64_t num_users,
+    const core::FelipConfig& config) {
+  FELIP_CHECK_MSG(pipeline.finalized(), "snapshot requires Finalize()");
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kSnapshot);
+
+  // Layout-affecting configuration.
+  w.Put<uint8_t>(static_cast<uint8_t>(config.strategy));
+  w.Put<uint8_t>(static_cast<uint8_t>(config.partitioning));
+  w.Put<double>(config.epsilon);
+  w.Put<double>(config.alpha1);
+  w.Put<double>(config.alpha2);
+  w.Put<double>(config.default_selectivity);
+  w.Put<uint32_t>(static_cast<uint32_t>(config.attribute_selectivity.size()));
+  for (const double s : config.attribute_selectivity) w.Put<double>(s);
+  w.Put<uint8_t>(config.allow_grr ? 1 : 0);
+  w.Put<uint8_t>(config.allow_olh ? 1 : 0);
+  w.Put<uint8_t>(config.allow_oue ? 1 : 0);
+  w.Put<uint8_t>(config.lambda_quadrant_fit ? 1 : 0);
+  w.Put<uint64_t>(num_users);
+
+  // Schema.
+  w.Put<uint32_t>(static_cast<uint32_t>(schema.size()));
+  for (const data::AttributeInfo& a : schema) {
+    w.Put<uint32_t>(static_cast<uint32_t>(a.name.size()));
+    w.PutBytes(reinterpret_cast<const uint8_t*>(a.name.data()),
+               a.name.size());
+    w.Put<uint32_t>(a.domain);
+    w.Put<uint8_t>(a.categorical ? 1 : 0);
+  }
+
+  // Estimated grid frequencies, assignment order.
+  const std::vector<std::vector<double>> grids =
+      pipeline.ExportGridFrequencies();
+  w.Put<uint32_t>(static_cast<uint32_t>(grids.size()));
+  for (const std::vector<double>& f : grids) {
+    w.Put<uint32_t>(static_cast<uint32_t>(f.size()));
+    for (const double v : f) w.Put<double>(v);
+  }
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+std::optional<core::FelipPipeline> DecodeSnapshot(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kSnapshot);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  uint8_t skip[6];
+  if (!r.GetBytes(skip, sizeof(skip))) return std::nullopt;
+
+  core::FelipConfig config;
+  uint8_t strategy = 0;
+  uint8_t partitioning = 0;
+  uint32_t num_selectivities = 0;
+  uint8_t allow_grr = 0;
+  uint8_t allow_olh = 0;
+  uint8_t allow_oue = 0;
+  uint8_t quadrant = 0;
+  uint64_t num_users = 0;
+  if (!r.Get(&strategy) || !r.Get(&partitioning) || !r.Get(&config.epsilon) ||
+      !r.Get(&config.alpha1) || !r.Get(&config.alpha2) ||
+      !r.Get(&config.default_selectivity) || !r.Get(&num_selectivities)) {
+    return std::nullopt;
+  }
+  if (strategy > 1 || partitioning > 1) return std::nullopt;
+  if (!(config.epsilon > 0.0) || config.epsilon > 100.0) return std::nullopt;
+  if (num_selectivities > 4096) return std::nullopt;
+  config.strategy = static_cast<core::Strategy>(strategy);
+  config.partitioning = static_cast<core::PartitioningMode>(partitioning);
+  config.attribute_selectivity.resize(num_selectivities);
+  for (double& s : config.attribute_selectivity) {
+    if (!r.Get(&s)) return std::nullopt;
+  }
+  if (!r.Get(&allow_grr) || !r.Get(&allow_olh) || !r.Get(&allow_oue) ||
+      !r.Get(&quadrant) || !r.Get(&num_users)) {
+    return std::nullopt;
+  }
+  config.allow_grr = allow_grr != 0;
+  config.allow_olh = allow_olh != 0;
+  config.allow_oue = allow_oue != 0;
+  config.lambda_quadrant_fit = quadrant != 0;
+  if (!(config.allow_grr || config.allow_olh || config.allow_oue)) {
+    return std::nullopt;
+  }
+  if (num_users == 0) return std::nullopt;
+
+  uint32_t num_attributes = 0;
+  if (!r.Get(&num_attributes)) return std::nullopt;
+  if (num_attributes == 0 || num_attributes > 4096) return std::nullopt;
+  std::vector<data::AttributeInfo> schema(num_attributes);
+  for (data::AttributeInfo& a : schema) {
+    uint32_t name_len = 0;
+    if (!r.Get(&name_len)) return std::nullopt;
+    if (name_len > r.remaining()) return std::nullopt;
+    a.name.resize(name_len);
+    if (!r.GetBytes(reinterpret_cast<uint8_t*>(a.name.data()), name_len)) {
+      return std::nullopt;
+    }
+    uint8_t categorical = 0;
+    if (!r.Get(&a.domain) || !r.Get(&categorical)) return std::nullopt;
+    if (a.domain == 0) return std::nullopt;
+    a.categorical = categorical != 0;
+  }
+
+  uint32_t num_grids = 0;
+  if (!r.Get(&num_grids)) return std::nullopt;
+  if (num_grids > 1u << 20) return std::nullopt;
+  std::vector<std::vector<double>> grids(num_grids);
+  for (std::vector<double>& f : grids) {
+    uint32_t cells = 0;
+    if (!r.Get(&cells)) return std::nullopt;
+    if (static_cast<size_t>(cells) * sizeof(double) > r.remaining()) {
+      return std::nullopt;
+    }
+    f.resize(cells);
+    for (double& v : f) {
+      if (!r.Get(&v)) return std::nullopt;
+      if (!std::isfinite(v)) return std::nullopt;
+    }
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+
+  // Re-plan and verify the persisted grids fit the layout. A mismatched
+  // grid count aborts inside FromEstimatedGrids; catch the cheap case
+  // here and let cell-count mismatches be caught by SetFrequencies.
+  core::FelipPipeline probe(schema, num_users, config);
+  if (probe.assignments().size() != num_grids) return std::nullopt;
+  const size_t n1 = probe.grids_1d().size();
+  for (size_t g = 0; g < num_grids; ++g) {
+    const size_t expected = g < n1
+                                ? probe.grids_1d()[g].num_cells()
+                                : probe.grids_2d()[g - n1].num_cells();
+    if (grids[g].size() != expected) return std::nullopt;
+  }
+  return core::FelipPipeline::FromEstimatedGrids(
+      std::move(schema), num_users, std::move(config), std::move(grids));
+}
+
+bool SaveSnapshot(const core::FelipPipeline& pipeline,
+                  const std::vector<data::AttributeInfo>& schema,
+                  uint64_t num_users, const core::FelipConfig& config,
+                  const std::string& path) {
+  const std::vector<uint8_t> buffer =
+      EncodeSnapshot(pipeline, schema, num_users, config);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const size_t written =
+      std::fwrite(buffer.data(), 1, buffer.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == buffer.size();
+  return ok;
+}
+
+std::optional<core::FelipPipeline> LoadSnapshot(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<uint8_t> buffer;
+  uint8_t chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  return DecodeSnapshot(buffer);
+}
+
+GridConfigMessage MakeGridConfig(
+    const core::FelipPipeline& pipeline,
+    const std::vector<data::AttributeInfo>& schema, uint32_t grid_index,
+    double epsilon, const fo::OlhOptions& olh_options) {
+  FELIP_CHECK(grid_index < pipeline.assignments().size());
+  const core::GridAssignment& a = pipeline.assignments()[grid_index];
+  GridConfigMessage m;
+  m.grid_index = grid_index;
+  m.is_2d = a.is_2d;
+  m.attr_x = a.attr_x;
+  m.attr_y = a.attr_y;
+  FELIP_CHECK(a.attr_x < schema.size());
+  m.domain_x = schema[a.attr_x].domain;
+  m.domain_y = a.is_2d ? schema[a.attr_y].domain : 1;
+  m.lx = a.plan.lx;
+  m.ly = a.is_2d ? a.plan.ly : 1;
+  m.protocol = a.plan.protocol;
+  m.epsilon = epsilon;
+  if (a.plan.protocol == fo::Protocol::kOlh) {
+    m.seed_pool_size = olh_options.seed_pool_size;
+    m.pool_salt = olh_options.pool_salt;
+  }
+  return m;
+}
+
+}  // namespace felip::wire

@@ -1,0 +1,113 @@
+// Wire format for client↔aggregator messages.
+//
+// A real FELIP deployment ships three kinds of messages:
+//   * GridConfig (aggregator -> client): which grid the client is assigned,
+//     its cell layout, the protocol and epsilon to perturb with.
+//   * Report (client -> aggregator): one perturbed cell report.
+//   * ReportBatch: length-prefixed sequence of reports from a relay.
+//
+// Encoding is a compact little-endian binary format with a 4-byte magic, a
+// format version, and an xxHash64 trailer so truncation and corruption are
+// detected instead of silently mis-decoded. Decoding never aborts: all
+// failures surface as std::nullopt (reports come from untrusted devices).
+
+#ifndef FELIP_WIRE_WIRE_H_
+#define FELIP_WIRE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "felip/core/felip.h"
+#include "felip/fo/olh.h"
+#include "felip/fo/protocol.h"
+
+namespace felip::wire {
+
+inline constexpr uint32_t kMagic = 0x46454c50;  // "FELP"
+inline constexpr uint8_t kVersion = 1;
+
+// Aggregator -> client: everything a device needs to produce its report.
+struct GridConfigMessage {
+  uint32_t grid_index = 0;  // index into the aggregator's assignment list
+  bool is_2d = false;
+  uint32_t attr_x = 0;
+  uint32_t attr_y = 0;
+  uint32_t domain_x = 1;
+  uint32_t domain_y = 1;
+  uint32_t lx = 1;
+  uint32_t ly = 1;
+  fo::Protocol protocol = fo::Protocol::kOlh;
+  double epsilon = 1.0;
+  // OLH only:
+  uint32_t seed_pool_size = 0;
+  uint64_t pool_salt = 0;
+
+  friend bool operator==(const GridConfigMessage&,
+                         const GridConfigMessage&) = default;
+};
+
+// Client -> aggregator: one perturbed report. Exactly one payload is
+// meaningful, selected by `protocol`:
+//   GRR -> grr_report; OLH -> olh fields; OUE -> oue_bits.
+struct ReportMessage {
+  uint32_t grid_index = 0;
+  fo::Protocol protocol = fo::Protocol::kGrr;
+  uint64_t grr_report = 0;
+  fo::OlhReport olh;
+  std::vector<uint8_t> oue_bits;
+
+  friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
+};
+
+// --- Encoding (never fails) ---
+std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& message);
+std::vector<uint8_t> EncodeReport(const ReportMessage& message);
+std::vector<uint8_t> EncodeReportBatch(
+    const std::vector<ReportMessage>& reports);
+
+// --- Decoding (nullopt on any malformed input) ---
+std::optional<GridConfigMessage> DecodeGridConfig(
+    const std::vector<uint8_t>& buffer);
+std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer);
+std::optional<std::vector<ReportMessage>> DecodeReportBatch(
+    const std::vector<uint8_t>& buffer);
+
+// Builds the config message for one of a pipeline's planned grids — the
+// aggregator-side glue between planning and the wire.
+GridConfigMessage MakeGridConfig(const core::FelipPipeline& pipeline,
+                                 const std::vector<data::AttributeInfo>& schema,
+                                 uint32_t grid_index, double epsilon,
+                                 const fo::OlhOptions& olh_options);
+
+// --- Aggregator snapshots ---
+//
+// A snapshot persists a finalized pipeline's estimated grid frequencies
+// plus everything needed to re-plan the identical grid layout (schema,
+// population size, and the layout-affecting config fields). Response
+// matrices are derived state and are rebuilt on load. The file uses the
+// same checksummed envelope as the other wire messages.
+
+// Serializes `pipeline` (must be finalized). `schema` and `config` must be
+// the ones the pipeline was built with.
+std::vector<uint8_t> EncodeSnapshot(
+    const core::FelipPipeline& pipeline,
+    const std::vector<data::AttributeInfo>& schema, uint64_t num_users,
+    const core::FelipConfig& config);
+
+// Rebuilds a finalized pipeline from an encoded snapshot; nullopt on any
+// malformed input.
+std::optional<core::FelipPipeline> DecodeSnapshot(
+    const std::vector<uint8_t>& buffer);
+
+// File convenience wrappers. SaveSnapshot returns false on I/O failure.
+bool SaveSnapshot(const core::FelipPipeline& pipeline,
+                  const std::vector<data::AttributeInfo>& schema,
+                  uint64_t num_users, const core::FelipConfig& config,
+                  const std::string& path);
+std::optional<core::FelipPipeline> LoadSnapshot(const std::string& path);
+
+}  // namespace felip::wire
+
+#endif  // FELIP_WIRE_WIRE_H_

@@ -1,0 +1,116 @@
+#include "felip/baselines/hio.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/synthetic.h"
+#include "felip/query/generator.h"
+
+namespace felip::baselines {
+namespace {
+
+TEST(HioPipelineTest, HierarchyLevelCounts) {
+  // Numerical domain 100 with b = 4: levels 1, 4, 16, 64, 100 -> 5 levels.
+  // Categorical domain 8: root + leaves -> 2 levels.
+  const std::vector<data::AttributeInfo> schema = {
+      {"num", 100, false}, {"cat", 8, true}};
+  const HioPipeline pipeline(schema, {.epsilon = 1.0, .branching = 4});
+  EXPECT_EQ(pipeline.num_levels(0), 5u);
+  EXPECT_EQ(pipeline.num_levels(1), 2u);
+  EXPECT_EQ(pipeline.num_groups(), 10u);
+}
+
+TEST(HioPipelineTest, GroupCountGrowsExponentiallyWithAttributes) {
+  std::vector<data::AttributeInfo> schema;
+  for (int k = 0; k < 4; ++k) schema.push_back({"a", 64, false});
+  // 64 with b=4: levels 1,4,16,64 -> 4 levels; 4 attrs -> 4^4 groups.
+  const HioPipeline pipeline(schema, {.epsilon = 1.0, .branching = 4});
+  EXPECT_EQ(pipeline.num_groups(), 256u);
+}
+
+TEST(HioPipelineTest, DomainOfOneHasSingleLevel) {
+  const HioPipeline pipeline({{"const", 1, false}}, {});
+  EXPECT_EQ(pipeline.num_levels(0), 1u);
+}
+
+TEST(HioPipelineTest, RecoversSimpleRangeQuery) {
+  // Single attribute, plenty of users, high epsilon.
+  const data::Dataset ds = data::MakeUniform(60000, 1, 0, 64, 2, 1);
+  HioPipeline pipeline(ds.attributes(), {.epsilon = 4.0, .seed = 2});
+  pipeline.Collect(ds);
+  const query::Query q(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 31}});
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.5, 0.1);
+}
+
+TEST(HioPipelineTest, RecoversTwoDimensionalQuery) {
+  const data::Dataset ds = data::MakeUniform(80000, 2, 0, 16, 2, 3);
+  HioPipeline pipeline(ds.attributes(), {.epsilon = 4.0, .seed = 4});
+  pipeline.Collect(ds);
+  const query::Query q(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 7},
+       {.attr = 1, .op = query::Op::kBetween, .lo = 0, .hi = 7}});
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.25, 0.12);
+}
+
+TEST(HioPipelineTest, CategoricalInQuery) {
+  const data::Dataset ds = data::MakeUniform(60000, 1, 1, 16, 8, 5);
+  HioPipeline pipeline(ds.attributes(), {.epsilon = 4.0, .seed = 6});
+  pipeline.Collect(ds);
+  const query::Query q(
+      {{.attr = 1, .op = query::Op::kIn, .values = {0, 1, 2, 3}}});
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.5, 0.12);
+}
+
+TEST(HioPipelineTest, AnswersAreClamped) {
+  const data::Dataset ds = data::MakeUniform(500, 3, 0, 64, 2, 7);
+  HioPipeline pipeline(ds.attributes(), {.epsilon = 0.2, .seed = 8});
+  pipeline.Collect(ds);
+  Rng rng(9);
+  const auto queries = query::GenerateQueries(
+      ds, 10, {.dimension = 3, .selectivity = 0.5}, rng);
+  for (const auto& q : queries) {
+    const double estimate = pipeline.AnswerQuery(q);
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, 1.0);
+  }
+}
+
+TEST(HioPipelineTest, HighLambdaQueryIsTractable) {
+  // 8 attributes: the term cap must keep the cross-product bounded.
+  const data::Dataset ds = data::MakeUniform(5000, 8, 0, 100, 2, 10);
+  HioConfig config;
+  config.epsilon = 1.0;
+  config.max_query_terms = 5000;
+  config.seed = 11;
+  HioPipeline pipeline(ds.attributes(), config);
+  pipeline.Collect(ds);
+  Rng rng(12);
+  const auto queries = query::GenerateQueries(
+      ds, 2, {.dimension = 8, .selectivity = 0.5}, rng);
+  for (const auto& q : queries) {
+    const double estimate = pipeline.AnswerQuery(q);
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, 1.0);
+  }
+}
+
+TEST(HioPipelineTest, UnconstrainedQueryOverAllAttributesIsOne) {
+  const data::Dataset ds = data::MakeUniform(40000, 2, 0, 32, 2, 13);
+  HioPipeline pipeline(ds.attributes(), {.epsilon = 4.0, .seed = 14});
+  pipeline.Collect(ds);
+  const query::Query q(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 31}});
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 1.0, 0.1);
+}
+
+TEST(HioPipelineDeathTest, AnswerBeforeCollect) {
+  const HioPipeline pipeline({{"a", 8, false}}, {});
+  const query::Query q({{.attr = 0, .op = query::Op::kEquals, .lo = 1}});
+  EXPECT_DEATH(pipeline.AnswerQuery(q), "Collect");
+}
+
+}  // namespace
+}  // namespace felip::baselines

@@ -1,0 +1,88 @@
+#include "felip/common/hash.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip {
+namespace {
+
+TEST(XxHash64Test, DeterministicForFixedInput) {
+  EXPECT_EQ(XxHash64(123, 456), XxHash64(123, 456));
+}
+
+TEST(XxHash64Test, SeedChangesOutput) {
+  EXPECT_NE(XxHash64(123, 1), XxHash64(123, 2));
+}
+
+TEST(XxHash64Test, ValueChangesOutput) {
+  EXPECT_NE(XxHash64(1, 7), XxHash64(2, 7));
+}
+
+TEST(XxHash64Test, FixedWidthMatchesByteOverload) {
+  // The specialized 8-byte path must agree with the generic byte hasher.
+  for (uint64_t v : {0ull, 1ull, 42ull, 0xdeadbeefcafef00dull}) {
+    for (uint64_t seed : {0ull, 9ull, 0xabcdefull}) {
+      uint64_t buf;
+      std::memcpy(&buf, &v, sizeof(v));
+      EXPECT_EQ(XxHash64(v, seed), XxHash64Bytes(&buf, sizeof(buf), seed))
+          << "v=" << v << " seed=" << seed;
+    }
+  }
+}
+
+TEST(XxHash64BytesTest, HandlesAllLengthClasses) {
+  // Cover: empty, < 4, < 8, 8-31, and >= 32 byte inputs.
+  const std::string data(100, 'x');
+  std::vector<uint64_t> hashes;
+  for (size_t len : {0u, 1u, 3u, 5u, 9u, 20u, 32u, 33u, 64u, 100u}) {
+    hashes.push_back(XxHash64Bytes(data.data(), len, 0));
+  }
+  // All distinct (prefixes of the same buffer must not collide).
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    for (size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(XxHash64BytesTest, MatchesKnownVector) {
+  // Reference value from the canonical xxHash64 implementation:
+  // XXH64 of the empty input with seed 0 is 0xEF46DB3751D8E999.
+  EXPECT_EQ(XxHash64Bytes("", 0, 0), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(OlhHashTest, OutputWithinRange) {
+  for (uint32_t g : {2u, 4u, 7u, 100u}) {
+    for (uint64_t v = 0; v < 200; ++v) {
+      EXPECT_LT(OlhHash(v, 99, g), g);
+    }
+  }
+}
+
+TEST(OlhHashTest, RoughlyUniformOverBuckets) {
+  constexpr uint32_t kG = 4;
+  std::vector<int> counts(kG, 0);
+  for (uint64_t v = 0; v < 40000; ++v) ++counts[OlhHash(v, 12345, kG)];
+  for (uint32_t b = 0; b < kG; ++b) {
+    EXPECT_GT(counts[b], 9200) << "bucket " << b;
+    EXPECT_LT(counts[b], 10800) << "bucket " << b;
+  }
+}
+
+TEST(OlhHashTest, DifferentSeedsGiveDifferentPartitions) {
+  // Universal-family sanity: for two values that collide under one seed,
+  // they must not collide under (almost) all seeds.
+  int collisions = 0;
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    if (OlhHash(17, seed, 16) == OlhHash(61, seed, 16)) ++collisions;
+  }
+  // Expected ~1/16 of 1000 ≈ 62.
+  EXPECT_GT(collisions, 20);
+  EXPECT_LT(collisions, 130);
+}
+
+}  // namespace
+}  // namespace felip

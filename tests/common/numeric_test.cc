@@ -1,0 +1,84 @@
+#include "felip/common/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace felip {
+namespace {
+
+TEST(BisectTest, FindsSimpleRoot) {
+  const double root = Bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-7);
+}
+
+TEST(BisectTest, FindsRootOfDecreasingFunction) {
+  const double root = Bisect([](double x) { return 1.0 - x; }, 0.0, 5.0);
+  EXPECT_NEAR(root, 1.0, 1e-7);
+}
+
+TEST(BisectTest, ExactRootAtEndpoint) {
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(BisectTest, NoSignChangeClampsToBetterEndpoint) {
+  // f > 0 everywhere and increasing: lo has the smaller |f|.
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x + 10.0; }, 0.0, 5.0), 0.0);
+  // f < 0 everywhere and increasing: hi has the smaller |f|.
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x - 10.0; }, 0.0, 5.0), 5.0);
+}
+
+TEST(GoldenSectionTest, MinimizesParabola) {
+  const double x = GoldenSectionMinimize(
+      [](double v) { return (v - 3.0) * (v - 3.0) + 1.0; }, 0.0, 10.0);
+  EXPECT_NEAR(x, 3.0, 1e-5);
+}
+
+TEST(GoldenSectionTest, MinimumAtBoundary) {
+  const double x =
+      GoldenSectionMinimize([](double v) { return v; }, 2.0, 9.0);
+  EXPECT_NEAR(x, 2.0, 1e-4);
+}
+
+TEST(Choose2Test, SmallValues) {
+  EXPECT_EQ(Choose2(0), 0u);
+  EXPECT_EQ(Choose2(1), 0u);
+  EXPECT_EQ(Choose2(2), 1u);
+  EXPECT_EQ(Choose2(6), 15u);
+  EXPECT_EQ(Choose2(10), 45u);
+}
+
+TEST(BinomialTest, MatchesPascal) {
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 4), 210u);
+  EXPECT_EQ(Binomial(4, 5), 0u);
+}
+
+TEST(RoundGridLengthTest, PicksBetterNeighbour) {
+  // Objective minimized at 3.2: floor=3 is better than ceil=4.
+  const auto objective = [](double l) { return (l - 3.2) * (l - 3.2); };
+  EXPECT_EQ(RoundGridLength(3.4, 100, objective), 3u);
+  // Minimized at 3.8: ceil wins.
+  const auto objective2 = [](double l) { return (l - 3.8) * (l - 3.8); };
+  EXPECT_EQ(RoundGridLength(3.6, 100, objective2), 4u);
+}
+
+TEST(RoundGridLengthTest, ClampsToDomain) {
+  const auto prefers_larger = [](double l) { return -l; };
+  EXPECT_EQ(RoundGridLength(500.0, 10, prefers_larger), 10u);
+  // Below 1 the candidates are 1 and 2; the objective arbitrates.
+  EXPECT_EQ(RoundGridLength(0.2, 10, prefers_larger), 2u);
+  const auto prefers_smaller = [](double l) { return l; };
+  EXPECT_EQ(RoundGridLength(0.2, 10, prefers_smaller), 1u);
+}
+
+TEST(RoundGridLengthTest, DomainOfOne) {
+  const auto objective = [](double l) { return l; };
+  EXPECT_EQ(RoundGridLength(5.0, 1, objective), 1u);
+}
+
+}  // namespace
+}  // namespace felip

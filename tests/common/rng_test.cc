@@ -1,0 +1,193 @@
+#include "felip/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 42;
+  const uint64_t a = SplitMix64(s);
+  const uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(1);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllValues) {
+  Rng rng(2);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.UniformU64(8)];
+  for (int v = 0; v < 8; ++v) {
+    // Expected 500 each; allow generous slack.
+    EXPECT_GT(seen[v], 350) << "value " << v;
+    EXPECT_LT(seen[v], 650) << "value " << v;
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(7);
+  const int trials = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double z = rng.Gaussian();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.03);
+}
+
+TEST(RngTest, LaplaceMomentsMatchTheory) {
+  Rng rng(12);
+  const double b = 2.0;
+  const int trials = 60000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.Laplace(b);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  // Var[Laplace(b)] = 2 b^2 = 8.
+  EXPECT_NEAR(sum_sq / trials, 8.0, 0.5);
+}
+
+TEST(RngTest, LaplaceTailProbability) {
+  Rng rng(13);
+  const double b = 1.0;
+  int above_one = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Laplace(b) > 1.0) ++above_one;
+  }
+  // Pr[Lap(1) > 1] = e^{-1} / 2 ≈ 0.1839.
+  EXPECT_NEAR(static_cast<double>(above_one) / trials, 0.5 * std::exp(-1.0),
+              0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(8);
+  Rng child = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkewsLow) {
+  Rng rng(9);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.2);
+    ASSERT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  // A Zipf(1.2) over 100 values puts well over half the mass on the first
+  // ten ranks.
+  EXPECT_GT(low, 1000);
+}
+
+TEST(ZipfDistributionTest, MatchesDirectSampler) {
+  Rng rng(10);
+  const ZipfDistribution dist(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[dist.Sample(rng)];
+  // Monotone-ish decreasing head: rank 0 clearly above rank 5, which is
+  // above rank 30.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[30]);
+  EXPECT_EQ(dist.n(), 50u);
+}
+
+TEST(ZipfDistributionTest, SingleValueDomain) {
+  Rng rng(11);
+  const ZipfDistribution dist(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace felip

@@ -1,0 +1,106 @@
+// Tests for the marginal / joint distribution release API.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+
+namespace felip::core {
+namespace {
+
+FelipConfig FastConfig() {
+  FelipConfig config;
+  config.epsilon = 2.0;
+  config.olh_options.seed_pool_size = 1024;
+  config.seed = 3;
+  return config;
+}
+
+// Exact marginal of one attribute.
+std::vector<double> ExactMarginal(const data::Dataset& ds, uint32_t attr) {
+  std::vector<double> m(ds.attribute(attr).domain, 0.0);
+  for (const uint32_t v : ds.Column(attr)) m[v] += 1.0;
+  for (double& p : m) p /= static_cast<double>(ds.num_rows());
+  return m;
+}
+
+TEST(MarginalReleaseTest, NumericalMarginalTracksTruth) {
+  const data::Dataset ds = data::MakeNormal(80000, 2, 1, 32, 4, 1);
+  const FelipPipeline pipeline = RunFelip(ds, FastConfig());
+  const std::vector<double> estimate = pipeline.EstimateMarginal(0);
+  const std::vector<double> truth = ExactMarginal(ds, 0);
+  ASSERT_EQ(estimate.size(), truth.size());
+  double sum = 0.0;
+  double mae = 0.0;
+  for (size_t v = 0; v < truth.size(); ++v) {
+    EXPECT_GE(estimate[v], 0.0);
+    sum += estimate[v];
+    mae += std::fabs(estimate[v] - truth[v]);
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02);
+  EXPECT_LT(mae / static_cast<double>(truth.size()), 0.02);
+}
+
+TEST(MarginalReleaseTest, CategoricalMarginalFromPairMatrix) {
+  const data::Dataset ds = data::MakeIpumsLike(60000, 4, 32, 6, 2);
+  const FelipPipeline pipeline = RunFelip(ds, FastConfig());
+  // Attribute 1 ("education") is categorical: no 1-D grid under OHG.
+  const std::vector<double> estimate = pipeline.EstimateMarginal(1);
+  const std::vector<double> truth = ExactMarginal(ds, 1);
+  double mae = 0.0;
+  for (size_t v = 0; v < truth.size(); ++v) {
+    mae += std::fabs(estimate[v] - truth[v]);
+  }
+  EXPECT_LT(mae / static_cast<double>(truth.size()), 0.05);
+  // Zipf marginal: the first category clearly dominates the last.
+  EXPECT_GT(estimate[0], estimate[truth.size() - 1]);
+}
+
+TEST(MarginalReleaseTest, JointSumsToOneAndMatchesOrientation) {
+  const data::Dataset ds = data::MakeUniform(40000, 2, 1, 16, 4, 3);
+  const FelipPipeline pipeline = RunFelip(ds, FastConfig());
+  const std::vector<double> joint01 = pipeline.EstimateJoint(0, 1);
+  ASSERT_EQ(joint01.size(), 16u * 16u);
+  EXPECT_NEAR(std::accumulate(joint01.begin(), joint01.end(), 0.0), 1.0,
+              0.02);
+  // Transposed orientation must agree element-wise.
+  const std::vector<double> joint10 = pipeline.EstimateJoint(1, 0);
+  for (uint32_t a = 0; a < 16; ++a) {
+    for (uint32_t b = 0; b < 16; ++b) {
+      EXPECT_NEAR(joint01[a * 16 + b], joint10[b * 16 + a], 1e-12);
+    }
+  }
+}
+
+TEST(MarginalReleaseTest, JointMarginalizesToMarginal) {
+  const data::Dataset ds = data::MakeNormal(50000, 2, 0, 24, 2, 4);
+  const FelipPipeline pipeline = RunFelip(ds, FastConfig());
+  const std::vector<double> joint = pipeline.EstimateJoint(0, 1);
+  const std::vector<double> marginal = pipeline.EstimateMarginal(0);
+  for (uint32_t x = 0; x < 24; ++x) {
+    double row = 0.0;
+    for (uint32_t y = 0; y < 24; ++y) row += joint[x * 24 + y];
+    // The response matrix is fit against the 1-D grid, so its marginal is
+    // close to (not identical to) the released marginal.
+    EXPECT_NEAR(row, marginal[x], 0.02) << "x " << x;
+  }
+}
+
+TEST(MarginalReleaseDeathTest, RequiresDistinctAttributes) {
+  const data::Dataset ds = data::MakeUniform(2000, 2, 0, 8, 2, 5);
+  const FelipPipeline pipeline = RunFelip(ds, FastConfig());
+  EXPECT_DEATH(pipeline.EstimateJoint(1, 1), "distinct");
+}
+
+TEST(MarginalReleaseDeathTest, RequiresFinalize) {
+  const data::Dataset ds = data::MakeUniform(2000, 2, 0, 8, 2, 6);
+  const FelipPipeline pipeline(ds.attributes(), ds.num_rows(), FastConfig());
+  EXPECT_DEATH(pipeline.EstimateMarginal(0), "Finalize");
+}
+
+}  // namespace
+}  // namespace felip::core

@@ -1,0 +1,78 @@
+#include "felip/data/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::data {
+namespace {
+
+std::vector<AttributeInfo> Schema() {
+  return {{"age", 100, false}, {"sex", 2, true}, {"income", 50, false}};
+}
+
+TEST(DatasetTest, StartsEmpty) {
+  const Dataset ds(Schema());
+  EXPECT_EQ(ds.num_rows(), 0u);
+  EXPECT_EQ(ds.num_attributes(), 3u);
+  EXPECT_EQ(ds.attribute(1).name, "sex");
+  EXPECT_TRUE(ds.attribute(1).categorical);
+}
+
+TEST(DatasetTest, AppendAndRead) {
+  Dataset ds(Schema());
+  ds.AppendRow({30, 1, 20});
+  ds.AppendRow({45, 0, 35});
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.Value(0, 0), 30u);
+  EXPECT_EQ(ds.Value(1, 2), 35u);
+  EXPECT_EQ(ds.Column(1).size(), 2u);
+}
+
+TEST(DatasetTest, FromColumns) {
+  const Dataset ds = Dataset::FromColumns(
+      Schema(), {{10, 20, 30}, {0, 1, 0}, {5, 6, 7}});
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.Value(2, 0), 30u);
+}
+
+TEST(DatasetTest, PrefixKeepsFirstRows) {
+  const Dataset ds = Dataset::FromColumns(
+      Schema(), {{10, 20, 30}, {0, 1, 0}, {5, 6, 7}});
+  const Dataset prefix = ds.Prefix(2);
+  EXPECT_EQ(prefix.num_rows(), 2u);
+  EXPECT_EQ(prefix.Value(1, 0), 20u);
+  EXPECT_EQ(prefix.num_attributes(), 3u);
+}
+
+TEST(DatasetTest, SelectAttributesReorders) {
+  const Dataset ds = Dataset::FromColumns(
+      Schema(), {{10, 20}, {0, 1}, {5, 6}});
+  const Dataset projected = ds.SelectAttributes({2, 0});
+  EXPECT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.attribute(0).name, "income");
+  EXPECT_EQ(projected.Value(0, 0), 5u);
+  EXPECT_EQ(projected.Value(0, 1), 10u);
+}
+
+TEST(DatasetDeathTest, RejectsOutOfDomainValue) {
+  Dataset ds(Schema());
+  EXPECT_DEATH(ds.AppendRow({30, 2, 20}), "domain");
+}
+
+TEST(DatasetDeathTest, RejectsWrongArity) {
+  Dataset ds(Schema());
+  EXPECT_DEATH(ds.AppendRow({30, 1}), "FELIP_CHECK");
+}
+
+TEST(DatasetDeathTest, RejectsRaggedColumns) {
+  EXPECT_DEATH(
+      Dataset::FromColumns(Schema(), {{1, 2}, {0}, {3, 4}}), "ragged");
+}
+
+TEST(DatasetDeathTest, RejectsEmptySchema) {
+  EXPECT_DEATH(Dataset({}), "attribute");
+}
+
+}  // namespace
+}  // namespace felip::data

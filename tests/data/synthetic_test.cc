@@ -1,0 +1,174 @@
+#include "felip/data/synthetic.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::data {
+namespace {
+
+// Empirical marginal of one column.
+std::vector<double> EmpiricalPmf(const Dataset& ds, uint32_t attr) {
+  std::vector<double> pmf(ds.attribute(attr).domain, 0.0);
+  for (const uint32_t v : ds.Column(attr)) pmf[v] += 1.0;
+  for (double& p : pmf) p /= static_cast<double>(ds.num_rows());
+  return pmf;
+}
+
+double PearsonCorrelation(const Dataset& ds, uint32_t a, uint32_t b) {
+  const auto& x = ds.Column(a);
+  const auto& y = ds.Column(b);
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(MarginalPmfTest, AllFamiliesAreDistributions) {
+  for (const Distribution dist :
+       {Distribution::kUniform, Distribution::kGaussian, Distribution::kZipf,
+        Distribution::kBimodal, Distribution::kExponential}) {
+    for (const uint32_t d : {1u, 2u, 10u, 100u}) {
+      const std::vector<double> pmf = MarginalPmf(dist, d, 0.0);
+      ASSERT_EQ(pmf.size(), d);
+      const double sum = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      for (const double p : pmf) EXPECT_GE(p, 0.0);
+    }
+  }
+}
+
+TEST(MarginalPmfTest, UniformIsFlat) {
+  const std::vector<double> pmf = MarginalPmf(Distribution::kUniform, 8, 0);
+  for (const double p : pmf) EXPECT_DOUBLE_EQ(p, 0.125);
+}
+
+TEST(MarginalPmfTest, GaussianPeaksAtCenter) {
+  const std::vector<double> pmf =
+      MarginalPmf(Distribution::kGaussian, 101, 0);
+  EXPECT_GT(pmf[50], pmf[10]);
+  EXPECT_GT(pmf[50], pmf[90]);
+  EXPECT_NEAR(pmf[30], pmf[70], 1e-9);  // symmetric
+}
+
+TEST(MarginalPmfTest, ZipfIsDecreasing) {
+  const std::vector<double> pmf = MarginalPmf(Distribution::kZipf, 20, 1.2);
+  for (size_t v = 1; v < pmf.size(); ++v) EXPECT_LT(pmf[v], pmf[v - 1]);
+}
+
+TEST(MarginalPmfTest, ExponentialIsRightSkewed) {
+  const std::vector<double> pmf =
+      MarginalPmf(Distribution::kExponential, 50, 5.0);
+  EXPECT_GT(pmf[0], pmf[25]);
+  EXPECT_GT(pmf[25], pmf[49]);
+}
+
+TEST(GenerateSyntheticTest, MarginalsMatchPmf) {
+  const std::vector<SyntheticAttribute> specs = {
+      {.name = "a", .domain = 10, .categorical = false,
+       .distribution = Distribution::kGaussian},
+  };
+  const Dataset ds = GenerateSynthetic(50000, specs, 7);
+  const std::vector<double> expected =
+      MarginalPmf(Distribution::kGaussian, 10, 0);
+  const std::vector<double> observed = EmpiricalPmf(ds, 0);
+  for (uint32_t v = 0; v < 10; ++v) {
+    EXPECT_NEAR(observed[v], expected[v], 0.01) << "value " << v;
+  }
+}
+
+TEST(GenerateSyntheticTest, ReproducibleBySeed) {
+  const std::vector<SyntheticAttribute> specs = {
+      {.name = "a", .domain = 16, .categorical = false,
+       .distribution = Distribution::kUniform},
+  };
+  const Dataset a = GenerateSynthetic(100, specs, 5);
+  const Dataset b = GenerateSynthetic(100, specs, 5);
+  const Dataset c = GenerateSynthetic(100, specs, 6);
+  EXPECT_EQ(a.Column(0), b.Column(0));
+  EXPECT_NE(a.Column(0), c.Column(0));
+}
+
+TEST(GenerateSyntheticTest, CopulaInducesCorrelation) {
+  const std::vector<SyntheticAttribute> specs = {
+      {.name = "a", .domain = 50, .categorical = false,
+       .distribution = Distribution::kGaussian},
+      {.name = "b", .domain = 50, .categorical = false,
+       .distribution = Distribution::kGaussian, .correlate_with = 0,
+       .correlation = 0.7},
+      {.name = "c", .domain = 50, .categorical = false,
+       .distribution = Distribution::kGaussian},
+  };
+  const Dataset ds = GenerateSynthetic(30000, specs, 11);
+  EXPECT_GT(PearsonCorrelation(ds, 0, 1), 0.5);
+  EXPECT_LT(std::fabs(PearsonCorrelation(ds, 0, 2)), 0.05);
+}
+
+TEST(MakeUniformTest, SchemaShape) {
+  const Dataset ds = MakeUniform(1000, 3, 3, 100, 8, 1);
+  ASSERT_EQ(ds.num_attributes(), 6u);
+  EXPECT_FALSE(ds.attribute(0).categorical);
+  EXPECT_EQ(ds.attribute(0).domain, 100u);
+  EXPECT_TRUE(ds.attribute(3).categorical);
+  EXPECT_EQ(ds.attribute(3).domain, 8u);
+  EXPECT_EQ(ds.num_rows(), 1000u);
+}
+
+TEST(MakeNormalTest, ValuesConcentrateMidDomain) {
+  const Dataset ds = MakeNormal(20000, 1, 0, 100, 8, 2);
+  const std::vector<double> pmf = EmpiricalPmf(ds, 0);
+  double center_mass = 0.0;
+  for (uint32_t v = 33; v < 67; ++v) center_mass += pmf[v];
+  EXPECT_GT(center_mass, 0.6);
+}
+
+TEST(MakeIpumsLikeTest, TenAttributesMixedKinds) {
+  const Dataset ds = MakeIpumsLike(500, 10, 100, 8, 3);
+  EXPECT_EQ(ds.num_attributes(), 10u);
+  uint32_t categorical = 0;
+  for (uint32_t a = 0; a < 10; ++a) {
+    categorical += ds.attribute(a).categorical ? 1 : 0;
+  }
+  EXPECT_EQ(categorical, 5u);
+}
+
+TEST(MakeIpumsLikeTest, PrefixKeepsKindMix) {
+  const Dataset ds = MakeIpumsLike(100, 4, 64, 4, 3);
+  EXPECT_EQ(ds.num_attributes(), 4u);
+  EXPECT_FALSE(ds.attribute(0).categorical);
+  EXPECT_TRUE(ds.attribute(1).categorical);
+}
+
+TEST(MakeIpumsLikeTest, AgeIncomeCorrelated) {
+  const Dataset ds = MakeIpumsLike(30000, 10, 100, 8, 4);
+  EXPECT_GT(PearsonCorrelation(ds, 0, 2), 0.2);  // age vs income
+}
+
+TEST(MakeLoanLikeTest, SchemaAndSkew) {
+  const Dataset ds = MakeLoanLike(20000, 10, 100, 8, 5);
+  EXPECT_EQ(ds.num_attributes(), 10u);
+  // grade (attr 1) is Zipf: first category dominates.
+  const std::vector<double> pmf = EmpiricalPmf(ds, 1);
+  EXPECT_GT(pmf[0], pmf[7]);
+}
+
+}  // namespace
+}  // namespace felip::data

@@ -1,0 +1,135 @@
+#include "felip/eval/harness.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/synthetic.h"
+#include "felip/query/generator.h"
+
+namespace felip::eval {
+namespace {
+
+TEST(MetricsTest, MaeRmseMreOnKnownVectors) {
+  const std::vector<double> est = {0.1, 0.4, 0.9};
+  const std::vector<double> truth = {0.2, 0.4, 0.5};
+  EXPECT_NEAR(MeanAbsoluteError(est, truth), (0.1 + 0.0 + 0.4) / 3.0, 1e-12);
+  EXPECT_NEAR(RootMeanSquaredError(est, truth),
+              std::sqrt((0.01 + 0.0 + 0.16) / 3.0), 1e-12);
+  EXPECT_NEAR(MeanRelativeError(est, truth),
+              (0.1 / 0.2 + 0.0 / 0.4 + 0.4 / 0.5) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MreFloorShieldsTinyTruths) {
+  const std::vector<double> est = {0.05};
+  const std::vector<double> truth = {1e-9};
+  // Without the floor this would be ~5e7; with floor 0.01 it is ~5.
+  EXPECT_NEAR(MeanRelativeError(est, truth, 0.01), 5.0, 0.01);
+}
+
+TEST(MetricsTest, RmseAtLeastMae) {
+  const std::vector<double> est = {0.0, 0.5, 1.0, 0.2};
+  const std::vector<double> truth = {0.1, 0.1, 0.1, 0.1};
+  EXPECT_GE(RootMeanSquaredError(est, truth), MeanAbsoluteError(est, truth));
+}
+
+TEST(MetricsDeathTest, SizeMismatch) {
+  EXPECT_DEATH(MeanAbsoluteError({0.1}, {0.1, 0.2}), "FELIP_CHECK");
+  EXPECT_DEATH(RootMeanSquaredError({}, {}), "FELIP_CHECK");
+}
+
+TEST(KnownMethodsTest, RegistryIsStable) {
+  const std::vector<std::string> methods = KnownMethods();
+  EXPECT_GE(methods.size(), 8u);
+  // The headline strategies must be present.
+  const auto has = [&](const std::string& name) {
+    for (const auto& m : methods) {
+      if (m == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("OUG"));
+  EXPECT_TRUE(has("OHG"));
+  EXPECT_TRUE(has("HIO"));
+  EXPECT_TRUE(has("TDG"));
+  EXPECT_TRUE(has("HDG"));
+}
+
+TEST(RunMethodTest, DeterministicForFixedSeed) {
+  const data::Dataset ds = data::MakeUniform(10000, 2, 1, 32, 4, 1);
+  Rng rng(2);
+  const auto queries =
+      query::GenerateQueries(ds, 4, {.dimension = 2, .selectivity = 0.5},
+                             rng);
+  ExperimentParams params;
+  params.epsilon = 1.0;
+  params.seed = 42;
+  const std::vector<double> a = RunMethod("OHG", ds, queries, params);
+  const std::vector<double> b = RunMethod("OHG", ds, queries, params);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunMethodTest, DifferentSeedsDiffer) {
+  const data::Dataset ds = data::MakeUniform(10000, 2, 1, 32, 4, 1);
+  Rng rng(3);
+  const auto queries =
+      query::GenerateQueries(ds, 4, {.dimension = 2, .selectivity = 0.5},
+                             rng);
+  ExperimentParams a;
+  a.seed = 1;
+  ExperimentParams b;
+  b.seed = 2;
+  EXPECT_NE(RunMethod("OHG", ds, queries, a),
+            RunMethod("OHG", ds, queries, b));
+}
+
+TEST(RunMethodTest, NormalizationVariantsRun) {
+  const data::Dataset ds = data::MakeNormal(15000, 2, 1, 32, 4, 4);
+  Rng rng(5);
+  const auto queries =
+      query::GenerateQueries(ds, 4, {.dimension = 2, .selectivity = 0.5},
+                             rng);
+  for (const post::Normalization norm :
+       {post::Normalization::kNormSub, post::Normalization::kNormMul,
+        post::Normalization::kNormCut}) {
+    ExperimentParams params;
+    params.normalization = norm;
+    const std::vector<double> estimates =
+        RunMethod("OHG", ds, queries, params);
+    for (const double e : estimates) {
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(SeriesTableTest, PrintsAlignedRows) {
+  SeriesTable table("demo", "eps", {"A", "B"});
+  table.AddRow("0.5", {0.125, 0.25});
+  table.AddRow("1.0", {0.0625, 0.125});
+  ::testing::internal::CaptureStdout();
+  table.Print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(out.find("eps"), std::string::npos);
+  EXPECT_NE(out.find("0.12500"), std::string::npos);
+  EXPECT_NE(out.find("0.06250"), std::string::npos);
+}
+
+TEST(SeriesTableDeathTest, RowArityMustMatchMethods) {
+  SeriesTable table("demo", "x", {"A", "B"});
+  EXPECT_DEATH(table.AddRow("1", {0.5}), "FELIP_CHECK");
+}
+
+TEST(RunMethodDeathTest, UnknownMethodAborts) {
+  const data::Dataset ds = data::MakeUniform(1000, 2, 0, 8, 2, 6);
+  Rng rng(7);
+  const auto queries =
+      query::GenerateQueries(ds, 1, {.dimension = 2, .selectivity = 0.5},
+                             rng);
+  EXPECT_DEATH(RunMethod("NOPE", ds, queries, {}), "unknown method");
+}
+
+}  // namespace
+}  // namespace felip::eval

@@ -1,0 +1,152 @@
+#include "felip/fo/grr.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+namespace {
+
+TEST(GrrClientTest, ProbabilitiesSatisfyLdpRatio) {
+  // p/q must equal e^eps — the definition of eps-LDP for GRR.
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    for (uint64_t d : {2ull, 5ull, 100ull}) {
+      const GrrClient client(eps, d);
+      EXPECT_NEAR(client.p() / client.q(), std::exp(eps), 1e-9)
+          << "eps=" << eps << " d=" << d;
+    }
+  }
+}
+
+TEST(GrrClientTest, ProbabilitiesFormDistribution) {
+  for (double eps : {0.5, 1.0}) {
+    for (uint64_t d : {2ull, 7ull, 64ull}) {
+      const GrrClient client(eps, d);
+      EXPECT_NEAR(client.p() + (static_cast<double>(d) - 1.0) * client.q(),
+                  1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GrrClientTest, OutputAlwaysInDomain) {
+  const GrrClient client(0.5, 5);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(client.Perturb(3, rng), 5u);
+  }
+}
+
+TEST(GrrClientTest, DegenerateDomainOfOne) {
+  const GrrClient client(1.0, 1);
+  Rng rng(2);
+  EXPECT_EQ(client.Perturb(0, rng), 0u);
+  EXPECT_DOUBLE_EQ(client.p(), 1.0);
+}
+
+TEST(GrrClientTest, HighEpsilonMostlyTruthful) {
+  const GrrClient client(8.0, 4);
+  Rng rng(3);
+  int truthful = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (client.Perturb(2, rng) == 2) ++truthful;
+  }
+  EXPECT_GT(truthful, 950);
+}
+
+TEST(GrrClientTest, PerturbedValueDistributionMatchesPq) {
+  const double eps = 1.0;
+  const GrrClient client(eps, 4);
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[client.Perturb(1, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, client.p(), 0.01);
+  for (int v : {0, 2, 3}) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, client.q(), 0.01);
+  }
+}
+
+// End-to-end estimation quality over a known distribution.
+class GrrEstimationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GrrEstimationTest, EstimatesAreUnbiased) {
+  const double eps = GetParam();
+  constexpr uint64_t kDomain = 8;
+  constexpr int kUsers = 60000;
+  // True distribution: value v has frequency (v+1)/36.
+  const GrrClient client(eps, kDomain);
+  GrrServer server(eps, kDomain);
+  Rng rng(42);
+  for (int i = 0; i < kUsers; ++i) {
+    // Inverse-CDF draw from the triangular distribution.
+    const double u = rng.UniformDouble() * 36.0;
+    uint64_t v = 0;
+    double acc = 0.0;
+    while (v < kDomain - 1 && acc + static_cast<double>(v + 1) < u) {
+      acc += static_cast<double>(v + 1);
+      ++v;
+    }
+    server.Add(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  // Tolerance: 5 standard deviations of the estimator.
+  const double sd = std::sqrt(GrrVariance(eps, kDomain, kUsers));
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    const double truth = static_cast<double>(v + 1) / 36.0;
+    EXPECT_NEAR(est[v], truth, 5.0 * sd + 0.01) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GrrEstimationTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+TEST(GrrServerTest, EstimatesSumToApproximatelyOne) {
+  const GrrClient client(1.0, 16);
+  GrrServer server(1.0, 16);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(16), rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  double sum = 0.0;
+  for (const double f : est) sum += f;
+  EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(GrrServerTest, EstimateValueMatchesVector) {
+  const GrrClient client(1.0, 6);
+  GrrServer server(1.0, 6);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(6), rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  for (uint64_t v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(server.EstimateValue(v), est[v]);
+  }
+}
+
+TEST(GrrServerTest, CountsReports) {
+  GrrServer server(1.0, 3);
+  EXPECT_EQ(server.num_reports(), 0u);
+  server.Add(0);
+  server.Add(2);
+  EXPECT_EQ(server.num_reports(), 2u);
+  EXPECT_EQ(server.domain(), 3u);
+}
+
+TEST(GrrServerDeathTest, RejectsOutOfDomainReport) {
+  GrrServer server(1.0, 3);
+  EXPECT_DEATH(server.Add(3), "FELIP_CHECK");
+}
+
+TEST(GrrServerDeathTest, EstimateWithoutReportsAborts) {
+  GrrServer server(1.0, 3);
+  EXPECT_DEATH(server.EstimateFrequencies(), "no GRR reports");
+}
+
+}  // namespace
+}  // namespace felip::fo

@@ -1,0 +1,135 @@
+#include "felip/fo/histogram_encoding.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::fo {
+namespace {
+
+TEST(HeExceedProbabilityTest, MatchesLaplaceTail) {
+  // scale 2 (eps = 1): Pr[Lap(2) > 0.75] = 0.5 e^{-0.375}.
+  EXPECT_NEAR(HeExceedProbability(0.75, 2.0, false),
+              0.5 * std::exp(-0.375), 1e-12);
+  // One-bucket: Pr[1 + Lap(2) > 0.75] = Pr[Lap > -0.25] = 1 - 0.5 e^{-0.125}.
+  EXPECT_NEAR(HeExceedProbability(0.75, 2.0, true),
+              1.0 - 0.5 * std::exp(-0.125), 1e-12);
+}
+
+TEST(OptimalTheThresholdTest, InsideHalfOneAndBeatsNeighbours) {
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double theta = OptimalTheThreshold(eps);
+    EXPECT_GT(theta, 0.5) << eps;
+    EXPECT_LT(theta, 1.0) << eps;
+    const double scale = 2.0 / eps;
+    const auto variance = [&](double t) {
+      const double p = HeExceedProbability(t, scale, true);
+      const double q = HeExceedProbability(t, scale, false);
+      return q * (1.0 - q) / ((p - q) * (p - q));
+    };
+    EXPECT_LE(variance(theta), variance(theta - 0.05) + 1e-9);
+    EXPECT_LE(variance(theta), variance(theta + 0.05) + 1e-9);
+  }
+}
+
+TEST(SheTest, ReportsHaveNoiseButCorrectShape) {
+  const SheClient client(1.0, 6);
+  Rng rng(1);
+  const std::vector<double> report = client.Perturb(2, rng);
+  ASSERT_EQ(report.size(), 6u);
+  // With continuous noise, hitting exact 0/1 has probability 0.
+  for (const double v : report) {
+    EXPECT_NE(v, 0.0);
+    EXPECT_NE(v, 1.0);
+  }
+}
+
+TEST(SheTest, RecoversSkewedDistribution) {
+  constexpr uint64_t kDomain = 8;
+  constexpr int kUsers = 40000;
+  const SheClient client(1.0, kDomain);
+  SheServer server(kDomain);
+  Rng rng(2);
+  for (int i = 0; i < kUsers; ++i) {
+    server.Add(client.Perturb(rng.Bernoulli(0.7) ? 1 : 5, rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  EXPECT_NEAR(est[1], 0.7, 0.05);
+  EXPECT_NEAR(est[5], 0.3, 0.05);
+  EXPECT_NEAR(est[0], 0.0, 0.05);
+}
+
+TEST(SheTest, EmpiricalVarianceMatchesLaplaceTheory) {
+  // Var of one bucket's estimate = 2*(2/eps)^2 / n (+ tiny data variance).
+  constexpr int kTrials = 150;
+  constexpr int kUsers = 400;
+  const double eps = 1.0;
+  Rng rng(3);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const SheClient client(eps, 4);
+    SheServer server(4);
+    for (int i = 0; i < kUsers; ++i) server.Add(client.Perturb(0, rng));
+    const double est = server.EstimateFrequencies()[2];  // true freq 0
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  const double predicted = 2.0 * (2.0 / eps) * (2.0 / eps) / kUsers;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_GT(var, predicted * 0.5);
+  EXPECT_LT(var, predicted * 2.0);
+}
+
+TEST(TheTest, BitRatesMatchPq) {
+  const TheClient client(1.0, 5);
+  Rng rng(4);
+  int ones_true = 0;
+  int ones_other = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<uint8_t> bits = client.Perturb(2, rng);
+    ones_true += bits[2];
+    ones_other += bits[0];
+  }
+  EXPECT_NEAR(static_cast<double>(ones_true) / trials, client.p(), 0.01);
+  EXPECT_NEAR(static_cast<double>(ones_other) / trials, client.q(), 0.01);
+}
+
+TEST(TheTest, RecoversPointMass) {
+  constexpr uint64_t kDomain = 10;
+  constexpr int kUsers = 30000;
+  const TheClient client(1.0, kDomain);
+  TheServer server(1.0, kDomain);
+  Rng rng(5);
+  for (int i = 0; i < kUsers; ++i) server.Add(client.Perturb(7, rng));
+  const std::vector<double> est = server.EstimateFrequencies();
+  EXPECT_NEAR(est[7], 1.0, 0.08);
+  EXPECT_NEAR(est[0], 0.0, 0.08);
+}
+
+TEST(TheTest, ExplicitThresholdHonored) {
+  const TheClient client(1.0, 4, 0.8);
+  EXPECT_DOUBLE_EQ(client.theta(), 0.8);
+  TheServer server(1.0, 4, 0.8);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) server.Add(client.Perturb(1, rng));
+  EXPECT_NEAR(server.EstimateFrequencies()[1], 1.0, 0.1);
+}
+
+TEST(TheDeathTest, RejectsMismatchedReport) {
+  TheServer server(1.0, 4);
+  EXPECT_DEATH(server.Add(std::vector<uint8_t>(3, 0)), "FELIP_CHECK");
+}
+
+TEST(SheDeathTest, EstimateNeedsReports) {
+  SheServer server(4);
+  EXPECT_DEATH(server.EstimateFrequencies(), "no SHE reports");
+}
+
+}  // namespace
+}  // namespace felip::fo

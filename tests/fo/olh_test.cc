@@ -1,0 +1,143 @@
+#include "felip/fo/olh.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+namespace {
+
+TEST(OlhClientTest, HashRangeMatchesEpsilon) {
+  EXPECT_EQ(OlhClient(1.0, 100).g(), OlhHashRange(1.0));
+  EXPECT_EQ(OlhClient(2.0, 100).g(), OlhHashRange(2.0));
+}
+
+TEST(OlhClientTest, ReportsWithinHashRange) {
+  const OlhClient client(1.0, 50);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const OlhReport r = client.Perturb(7, rng);
+    EXPECT_LT(r.hashed_report, client.g());
+    EXPECT_EQ(r.seed_index, OlhReport::kNoPool);
+  }
+}
+
+TEST(OlhClientTest, PoolModeUsesPoolSeeds) {
+  const OlhOptions options{.seed_pool_size = 16, .pool_salt = 99};
+  const OlhClient client(1.0, 50, options);
+  Rng rng(2);
+  std::vector<int> seen(16, 0);
+  for (int i = 0; i < 800; ++i) {
+    const OlhReport r = client.Perturb(3, rng);
+    ASSERT_LT(r.seed_index, 16u);
+    ++seen[r.seed_index];
+  }
+  // Every pool seed should be hit at least once in 800 draws.
+  for (int s = 0; s < 16; ++s) EXPECT_GT(seen[s], 0) << "seed " << s;
+}
+
+// Estimation quality, parameterized over (epsilon, pool size).
+struct OlhCase {
+  double epsilon;
+  uint32_t pool;
+};
+
+class OlhEstimationTest : public ::testing::TestWithParam<OlhCase> {};
+
+TEST_P(OlhEstimationTest, EstimatesSkewedDistribution) {
+  const auto [eps, pool] = GetParam();
+  constexpr uint64_t kDomain = 32;
+  constexpr int kUsers = 60000;
+  const OlhOptions options{.seed_pool_size = pool, .pool_salt = 1234};
+  const OlhClient client(eps, kDomain, options);
+  OlhServer server(eps, kDomain, options);
+  Rng rng(5);
+  // Half the users hold value 3, the rest uniform.
+  for (int i = 0; i < kUsers; ++i) {
+    const uint64_t v = rng.Bernoulli(0.5) ? 3 : rng.UniformU64(kDomain);
+    server.Add(client.Perturb(v, rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  const double sd = std::sqrt(OlhVariance(eps, kUsers));
+  EXPECT_NEAR(est[3], 0.5 + 0.5 / kDomain, 5.0 * sd + 0.01);
+  EXPECT_NEAR(est[10], 0.5 / kDomain, 5.0 * sd + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonsAndPools, OlhEstimationTest,
+    ::testing::Values(OlhCase{0.5, 0}, OlhCase{1.0, 0}, OlhCase{1.0, 1024},
+                      OlhCase{2.0, 2048}, OlhCase{4.0, 512}));
+
+TEST(OlhServerTest, PooledAndExactModesAgreeStatistically) {
+  // Same data collected under both modes should give estimates within a
+  // few standard deviations of each other.
+  constexpr uint64_t kDomain = 16;
+  constexpr int kUsers = 40000;
+  const double eps = 1.0;
+  const OlhOptions pooled{.seed_pool_size = 2048, .pool_salt = 77};
+  const OlhClient client_exact(eps, kDomain);
+  const OlhClient client_pool(eps, kDomain, pooled);
+  OlhServer server_exact(eps, kDomain);
+  OlhServer server_pool(eps, kDomain, pooled);
+  Rng rng(6);
+  for (int i = 0; i < kUsers; ++i) {
+    const uint64_t v = rng.UniformU64(4);  // mass on first 4 values
+    server_exact.Add(client_exact.Perturb(v, rng));
+    server_pool.Add(client_pool.Perturb(v, rng));
+  }
+  const double sd = std::sqrt(OlhVariance(eps, kUsers));
+  const std::vector<double> exact = server_exact.EstimateFrequencies();
+  const std::vector<double> pool = server_pool.EstimateFrequencies();
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    EXPECT_NEAR(exact[v], pool[v], 8.0 * sd) << "value " << v;
+  }
+}
+
+TEST(OlhServerTest, EstimateValueMatchesVector) {
+  const OlhClient client(1.0, 8);
+  OlhServer server(1.0, 8);
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(8), rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(server.EstimateValue(v), est[v]);
+  }
+}
+
+TEST(OlhServerTest, EstimatesSumNearOne) {
+  const OlhOptions options{.seed_pool_size = 1024};
+  const OlhClient client(1.0, 20, options);
+  OlhServer server(1.0, 20, options);
+  Rng rng(8);
+  for (int i = 0; i < 30000; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(20), rng));
+  }
+  double sum = 0.0;
+  for (const double f : server.EstimateFrequencies()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 0.1);
+}
+
+TEST(OlhServerDeathTest, PooledServerRejectsUnpooledReport) {
+  const OlhOptions pooled{.seed_pool_size = 64};
+  OlhServer server(1.0, 8, pooled);
+  OlhReport report;
+  report.seed = 1;
+  report.hashed_report = 0;
+  report.seed_index = OlhReport::kNoPool;
+  EXPECT_DEATH(server.Add(report), "pool");
+}
+
+TEST(OlhServerDeathTest, RejectsOutOfRangeHashedReport) {
+  OlhServer server(1.0, 8);
+  OlhReport report;
+  report.hashed_report = 1000;  // >> g
+  EXPECT_DEATH(server.Add(report), "FELIP_CHECK");
+}
+
+}  // namespace
+}  // namespace felip::fo

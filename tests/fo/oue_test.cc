@@ -1,0 +1,104 @@
+#include "felip/fo/oue.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+namespace {
+
+TEST(OueClientTest, BitVectorHasDomainLength) {
+  const OueClient client(1.0, 12);
+  Rng rng(1);
+  EXPECT_EQ(client.Perturb(0, rng).size(), 12u);
+}
+
+TEST(OueClientTest, ProbabilitiesMatchDefinition) {
+  const OueClient client(1.0, 5);
+  EXPECT_DOUBLE_EQ(client.p(), 0.5);
+  EXPECT_NEAR(client.q(), 1.0 / (std::exp(1.0) + 1.0), 1e-12);
+}
+
+TEST(OueClientTest, BitFlipRatesMatchPq) {
+  const OueClient client(1.0, 6);
+  Rng rng(2);
+  int one_kept = 0;
+  int zero_flipped = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<uint8_t> bits = client.Perturb(2, rng);
+    one_kept += bits[2];
+    zero_flipped += bits[4];
+  }
+  EXPECT_NEAR(static_cast<double>(one_kept) / trials, 0.5, 0.015);
+  EXPECT_NEAR(static_cast<double>(zero_flipped) / trials, client.q(), 0.01);
+}
+
+TEST(OueEstimationTest, RecoversPointMass) {
+  constexpr uint64_t kDomain = 10;
+  constexpr int kUsers = 30000;
+  const double eps = 1.0;
+  const OueClient client(eps, kDomain);
+  OueServer server(eps, kDomain);
+  Rng rng(3);
+  for (int i = 0; i < kUsers; ++i) {
+    server.Add(client.Perturb(7, rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  const double sd = std::sqrt(OueVariance(eps, kUsers));
+  EXPECT_NEAR(est[7], 1.0, 5.0 * sd);
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    if (v != 7) EXPECT_NEAR(est[v], 0.0, 5.0 * sd) << "value " << v;
+  }
+}
+
+TEST(OueEstimationTest, EmpiricalVarianceNearClosedForm) {
+  // Repeated small collections of a fixed value; the spread of the
+  // estimate should match OueVariance.
+  constexpr int kTrials = 200;
+  constexpr int kUsers = 500;
+  const double eps = 1.0;
+  Rng rng(4);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const OueClient client(eps, 4);
+    OueServer server(eps, 4);
+    for (int i = 0; i < kUsers; ++i) server.Add(client.Perturb(1, rng));
+    const double est = server.EstimateValue(1);
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  // True-frequency-1 variance is p(1-p)/n(p-q)^2-ish; the closed form is
+  // the f->0 approximation, so allow a factor-2 band.
+  const double predicted = OueVariance(eps, kUsers);
+  EXPECT_GT(var, predicted * 0.2);
+  EXPECT_LT(var, predicted * 5.0);
+}
+
+TEST(OueServerTest, EstimateValueMatchesVector) {
+  const OueClient client(1.0, 5);
+  OueServer server(1.0, 5);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    server.Add(client.Perturb(rng.UniformU64(5), rng));
+  }
+  const std::vector<double> est = server.EstimateFrequencies();
+  for (uint64_t v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(server.EstimateValue(v), est[v]);
+  }
+}
+
+TEST(OueServerDeathTest, RejectsWrongLengthReport) {
+  OueServer server(1.0, 5);
+  EXPECT_DEATH(server.Add(std::vector<uint8_t>(4, 0)), "FELIP_CHECK");
+}
+
+}  // namespace
+}  // namespace felip::fo

@@ -1,0 +1,77 @@
+#include "felip/fo/protocol.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace felip::fo {
+namespace {
+
+TEST(ProtocolNameTest, AllNamesDistinct) {
+  EXPECT_EQ(ProtocolName(Protocol::kGrr), "GRR");
+  EXPECT_EQ(ProtocolName(Protocol::kOlh), "OLH");
+  EXPECT_EQ(ProtocolName(Protocol::kOue), "OUE");
+}
+
+TEST(VarianceTest, GrrMatchesClosedForm) {
+  // Eq. 2: (e^eps + |D| - 2) / (n (e^eps - 1)^2).
+  const double eps = 1.0;
+  const double e = std::exp(eps);
+  EXPECT_DOUBLE_EQ(GrrVariance(eps, 10, 1000),
+                   (e + 8.0) / (1000.0 * (e - 1.0) * (e - 1.0)));
+}
+
+TEST(VarianceTest, OlhMatchesClosedForm) {
+  const double eps = 0.5;
+  const double e = std::exp(eps);
+  EXPECT_DOUBLE_EQ(OlhVariance(eps, 500),
+                   4.0 * e / (500.0 * (e - 1.0) * (e - 1.0)));
+}
+
+TEST(VarianceTest, OueEqualsOlh) {
+  EXPECT_DOUBLE_EQ(OueVariance(1.3, 777), OlhVariance(1.3, 777));
+}
+
+TEST(VarianceTest, GrrGrowsLinearlyWithDomain) {
+  const double v10 = GrrVariance(1.0, 10, 100);
+  const double v100 = GrrVariance(1.0, 100, 100);
+  EXPECT_GT(v100, v10);
+  // Linear in |D|: the increments match.
+  const double v55 = GrrVariance(1.0, 55, 100);
+  EXPECT_NEAR(v55, (v10 + v100) / 2.0, 1e-12);
+}
+
+TEST(VarianceTest, OlhIndependentOfDomain) {
+  EXPECT_DOUBLE_EQ(ProtocolVariance(Protocol::kOlh, 1.0, 10, 100),
+                   ProtocolVariance(Protocol::kOlh, 1.0, 100000, 100));
+}
+
+TEST(VarianceTest, CrossoverAroundThreeEpsPlusTwo) {
+  // GRR beats OLH iff |D| < 3 e^eps + 2 (from Eq. 13).
+  const double eps = 1.0;
+  const double threshold = 3.0 * std::exp(eps) + 2.0;
+  const auto below = static_cast<uint64_t>(threshold - 1.0);
+  const auto above = static_cast<uint64_t>(threshold + 2.0);
+  EXPECT_LT(GrrVariance(eps, below, 100), OlhVariance(eps, 100));
+  EXPECT_GT(GrrVariance(eps, above, 100), OlhVariance(eps, 100));
+}
+
+TEST(VarianceTest, MoreUsersLowerVariance) {
+  EXPECT_GT(GrrVariance(1.0, 10, 100), GrrVariance(1.0, 10, 1000));
+  EXPECT_GT(OlhVariance(1.0, 100), OlhVariance(1.0, 1000));
+}
+
+TEST(OlhHashRangeTest, MatchesCeilFormula) {
+  // g = ceil(e^eps + 1).
+  EXPECT_EQ(OlhHashRange(1.0), 4u);                  // e + 1 = 3.72
+  EXPECT_EQ(OlhHashRange(2.0), 9u);                  // e^2 + 1 = 8.39
+  EXPECT_EQ(OlhHashRange(0.1), 3u);                  // 1.105 + 1 = 2.105
+  EXPECT_EQ(OlhHashRange(std::log(3.0)), 4u);        // exactly 4
+}
+
+TEST(OlhHashRangeTest, NeverBelowTwo) {
+  EXPECT_GE(OlhHashRange(1e-6), 2u);
+}
+
+}  // namespace
+}  // namespace felip::fo

@@ -1,0 +1,141 @@
+#include "felip/fo/square_wave.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/synthetic.h"
+
+namespace felip::fo {
+namespace {
+
+TEST(SquareWaveHalfWidthTest, PositiveAndBounded) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double b = SquareWaveHalfWidth(eps);
+    EXPECT_GT(b, 0.0) << eps;
+    EXPECT_LE(b, 10.0) << eps;
+  }
+}
+
+TEST(SquareWaveHalfWidthTest, ShrinksWithEpsilon) {
+  // Larger budgets concentrate the wave around the true value.
+  EXPECT_GT(SquareWaveHalfWidth(0.5), SquareWaveHalfWidth(2.0));
+  EXPECT_GT(SquareWaveHalfWidth(2.0), SquareWaveHalfWidth(5.0));
+}
+
+TEST(SwClientTest, DensitiesSatisfyLdpRatioAndNormalization) {
+  for (double eps : {0.5, 1.0, 3.0}) {
+    const SwClient client(eps, 32);
+    EXPECT_NEAR(client.p() / client.q(), std::exp(eps), 1e-9);
+    // Total mass: p over the 2b window + q over the remaining length 1.
+    EXPECT_NEAR(client.p() * 2.0 * client.b() + client.q() * 1.0, 1.0,
+                1e-9);
+  }
+}
+
+TEST(SwClientTest, ReportsStayInSupport) {
+  const SwClient client(1.0, 16);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double report =
+        client.Perturb(static_cast<uint32_t>(rng.UniformU64(16)), rng);
+    EXPECT_GE(report, -client.b() - 1e-12);
+    EXPECT_LE(report, 1.0 + client.b() + 1e-12);
+  }
+}
+
+TEST(SwClientTest, WindowMassMatchesExpectation) {
+  const SwClient client(1.0, 10);
+  Rng rng(2);
+  const uint32_t value = 5;
+  const double v = (value + 0.5) / 10.0;
+  int inside = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double r = client.Perturb(value, rng);
+    if (r >= v - client.b() && r <= v + client.b()) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / trials,
+              client.p() * 2.0 * client.b(), 0.02);
+}
+
+TEST(SwServerTest, OutputIsDistribution) {
+  const SwClient client(1.0, 24);
+  SwServer server(1.0, 24);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    server.Add(client.Perturb(static_cast<uint32_t>(rng.UniformU64(24)), rng));
+  }
+  const std::vector<double> f = server.EstimateFrequencies();
+  ASSERT_EQ(f.size(), 24u);
+  for (const double v : f) EXPECT_GE(v, 0.0);
+  EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-6);
+}
+
+TEST(SwServerTest, RecoversGaussianShape) {
+  constexpr uint32_t kDomain = 32;
+  const std::vector<double> truth =
+      data::MarginalPmf(data::Distribution::kGaussian, kDomain, 0.0);
+  const SwClient client(2.0, kDomain);
+  SwServer server(2.0, kDomain);
+  Rng rng(4);
+  // Sample 60k users from the Gaussian marginal via CDF inversion.
+  std::vector<double> cdf(kDomain);
+  double acc = 0.0;
+  for (uint32_t v = 0; v < kDomain; ++v) {
+    acc += truth[v];
+    cdf[v] = acc;
+  }
+  for (int i = 0; i < 60000; ++i) {
+    const double u = rng.UniformDouble();
+    uint32_t v = 0;
+    while (v + 1 < kDomain && cdf[v] < u) ++v;
+    server.Add(client.Perturb(v, rng));
+  }
+  const std::vector<double> estimate = server.EstimateFrequencies();
+  double mae = 0.0;
+  for (uint32_t v = 0; v < kDomain; ++v) {
+    mae += std::fabs(estimate[v] - truth[v]);
+  }
+  mae /= kDomain;
+  EXPECT_LT(mae, 0.01);
+  // The reconstruction must peak near the center.
+  const auto peak = static_cast<uint32_t>(
+      std::max_element(estimate.begin(), estimate.end()) - estimate.begin());
+  EXPECT_GE(peak, kDomain / 2 - 4);
+  EXPECT_LE(peak, kDomain / 2 + 4);
+}
+
+TEST(SwServerTest, SmoothingCanBeDisabled) {
+  SwServerOptions options;
+  options.smoothing = false;
+  const SwClient client(1.0, 8);
+  SwServer server(1.0, 8, options);
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) server.Add(client.Perturb(3, rng));
+  const std::vector<double> f = server.EstimateFrequencies();
+  // A point mass should still dominate the estimate.
+  const auto peak = static_cast<uint32_t>(
+      std::max_element(f.begin(), f.end()) - f.begin());
+  EXPECT_EQ(peak, 3u);
+}
+
+TEST(SwServerTest, HostileReportsAreClamped) {
+  SwServer server(1.0, 8);
+  server.Add(1000.0);
+  server.Add(-1000.0);
+  server.Add(0.5);
+  EXPECT_EQ(server.num_reports(), 3u);
+  const std::vector<double> f = server.EstimateFrequencies();
+  EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-6);
+}
+
+TEST(SwServerDeathTest, EstimateWithoutReports) {
+  SwServer server(1.0, 8);
+  EXPECT_DEATH(server.EstimateFrequencies(), "no SW reports");
+}
+
+}  // namespace
+}  // namespace felip::fo

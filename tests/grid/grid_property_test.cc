@@ -1,0 +1,116 @@
+// Property sweeps for the grid layer: grid answers equal brute-force
+// per-value sums under within-cell uniformity, and the optimizer depends on
+// (n/m) only through their ratio.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/grid/grid.h"
+#include "felip/grid/optimizer.h"
+
+namespace felip::grid {
+namespace {
+
+// Per-value density implied by a 2-D grid (uniform within each cell).
+double DensityAt(const Grid2D& g, uint32_t x, uint32_t y) {
+  const uint32_t cx = g.px().CellOf(x);
+  const uint32_t cy = g.py().CellOf(y);
+  const double cell_values = static_cast<double>(g.px().CellSize(cx)) *
+                             static_cast<double>(g.py().CellSize(cy));
+  return g.frequencies()[g.CellIndex(cx, cy)] / cell_values;
+}
+
+class GridAnswerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridAnswerPropertyTest, AnswerMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dx = static_cast<uint32_t>(4 + rng.UniformU64(30));
+    const auto dy = static_cast<uint32_t>(4 + rng.UniformU64(30));
+    const auto lx = static_cast<uint32_t>(1 + rng.UniformU64(dx));
+    const auto ly = static_cast<uint32_t>(1 + rng.UniformU64(dy));
+    Grid2D g(0, 1, Partition1D(dx, lx), Partition1D(dy, ly));
+    std::vector<double> f(g.num_cells());
+    double total = 0.0;
+    for (double& v : f) {
+      v = rng.UniformDouble();
+      total += v;
+    }
+    for (double& v : f) v /= total;
+    g.SetFrequencies(f);
+
+    // Random range on x, random set on y.
+    const auto xlo = static_cast<uint32_t>(rng.UniformU64(dx));
+    const auto xhi =
+        xlo + static_cast<uint32_t>(rng.UniformU64(dx - xlo));
+    std::vector<uint32_t> values;
+    for (uint32_t v = 0; v < dy; ++v) {
+      if (rng.Bernoulli(0.4)) values.push_back(v);
+    }
+    if (values.empty()) values.push_back(0);
+    const AxisSelection sx = AxisSelection::MakeRange(xlo, xhi);
+    const AxisSelection sy = AxisSelection::MakeSet(values);
+
+    double brute = 0.0;
+    for (uint32_t x = xlo; x <= xhi; ++x) {
+      for (const uint32_t y : values) brute += DensityAt(g, x, y);
+    }
+    ASSERT_NEAR(g.Answer(sx, sy), brute, 1e-9)
+        << "dx=" << dx << " dy=" << dy << " lx=" << lx << " ly=" << ly;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridAnswerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(OptimizerInvarianceTest, PlanDependsOnNOverMRatio) {
+  // The error model's noise factor is m/n, so scaling both leaves the
+  // optimum unchanged.
+  OptimizeParams a;
+  a.epsilon = 1.0;
+  a.n = 100000;
+  a.m = 10;
+  a.rx = 0.4;
+  a.ry = 0.6;
+  OptimizeParams b = a;
+  b.n = 400000;
+  b.m = 40;
+  const GridPlan plan_a = Optimize2D({200, false}, {150, false}, a);
+  const GridPlan plan_b = Optimize2D({200, false}, {150, false}, b);
+  EXPECT_EQ(plan_a.lx, plan_b.lx);
+  EXPECT_EQ(plan_a.ly, plan_b.ly);
+  EXPECT_EQ(plan_a.protocol, plan_b.protocol);
+  EXPECT_NEAR(plan_a.predicted_error, plan_b.predicted_error, 1e-15);
+}
+
+TEST(OptimizerMonotonicityTest, HigherEpsilonNeverHurtsPredictedError) {
+  OptimizeParams params;
+  params.n = 1000000;
+  params.m = 28;
+  double previous = 1e18;
+  for (const double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    params.epsilon = eps;
+    const GridPlan plan = Optimize2D({100, false}, {100, false}, params);
+    EXPECT_LT(plan.predicted_error, previous) << "eps=" << eps;
+    previous = plan.predicted_error;
+  }
+}
+
+TEST(OptimizerMonotonicityTest, FinerGridsWithMoreUsers) {
+  OptimizeParams params;
+  params.epsilon = 1.0;
+  params.m = 28;
+  uint64_t previous_cells = 0;
+  for (const uint64_t n : {10000ull, 100000ull, 1000000ull, 10000000ull}) {
+    params.n = n;
+    const GridPlan plan = Optimize1D({100000, false}, params);
+    EXPECT_GE(plan.lx, previous_cells) << "n=" << n;
+    previous_cells = plan.lx;
+  }
+}
+
+}  // namespace
+}  // namespace felip::grid

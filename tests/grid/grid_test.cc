@@ -1,0 +1,142 @@
+#include "felip/grid/grid.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::grid {
+namespace {
+
+TEST(AxisSelectionTest, RangeContains) {
+  const AxisSelection s = AxisSelection::MakeRange(3, 7);
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+  EXPECT_EQ(s.SelectedCount(100), 5u);
+}
+
+TEST(AxisSelectionTest, SetContainsAndDeduplicates) {
+  const AxisSelection s = AxisSelection::MakeSet({5, 1, 5, 9});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.SelectedCount(10), 3u);
+}
+
+TEST(AxisSelectionTest, MakeAllCoversDomain) {
+  const AxisSelection s = AxisSelection::MakeAll(6);
+  for (uint32_t v = 0; v < 6; ++v) EXPECT_TRUE(s.Contains(v));
+  EXPECT_EQ(s.SelectedCount(6), 6u);
+}
+
+TEST(AxisSelectionTest, RangeSelectedCountClampsToDomain) {
+  const AxisSelection s = AxisSelection::MakeRange(8, 20);
+  EXPECT_EQ(s.SelectedCount(10), 2u);  // only values 8, 9 exist
+}
+
+TEST(AxisSelectionTest, CoverageOfIntervalRange) {
+  const AxisSelection s = AxisSelection::MakeRange(2, 5);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(0, 10), 0.4);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(2, 6), 1.0);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(6, 10), 0.0);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(4, 8), 0.5);
+}
+
+TEST(AxisSelectionTest, CoverageOfIntervalSet) {
+  const AxisSelection s = AxisSelection::MakeSet({1, 3, 8});
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(0, 4), 0.5);   // {1,3} of 4
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(4, 8), 0.0);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(8, 10), 0.5);  // {8} of 2
+}
+
+TEST(AxisSelectionTest, CoverageOfCellMatchesInterval) {
+  const Partition1D p(10, 4);
+  const AxisSelection s = AxisSelection::MakeRange(1, 6);
+  for (uint32_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(s.CoverageOfCell(p, c),
+                     s.CoverageOfInterval(p.CellBegin(c), p.CellEnd(c)));
+  }
+}
+
+TEST(Grid1DTest, AnswerExactWhenAligned) {
+  Grid1D g(0, Partition1D(10, 5));
+  g.SetFrequencies({0.1, 0.2, 0.3, 0.25, 0.15});
+  // [2,5] covers cells 1 and 2 fully.
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeRange(2, 5)), 0.5, 1e-12);
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeAll(10)), 1.0, 1e-12);
+}
+
+TEST(Grid1DTest, AnswerUsesUniformityForPartialCells) {
+  Grid1D g(0, Partition1D(10, 2));
+  g.SetFrequencies({0.6, 0.4});
+  // [0,2] covers 3 of the 5 values of cell 0.
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeRange(0, 2)), 0.6 * 0.6, 1e-12);
+}
+
+TEST(Grid1DTest, CellOfDelegatesToPartition) {
+  const Grid1D g(3, Partition1D(8, 4));
+  EXPECT_EQ(g.CellOf(5), 2u);
+  EXPECT_EQ(g.attr(), 3u);
+  EXPECT_EQ(g.num_cells(), 4u);
+}
+
+TEST(Grid2DTest, CellIndexRowMajor) {
+  const Grid2D g(0, 1, Partition1D(10, 2), Partition1D(9, 3));
+  EXPECT_EQ(g.CellIndex(0, 0), 0u);
+  EXPECT_EQ(g.CellIndex(0, 2), 2u);
+  EXPECT_EQ(g.CellIndex(1, 0), 3u);
+  EXPECT_EQ(g.num_cells(), 6u);
+}
+
+TEST(Grid2DTest, CellOfCombinesAxes) {
+  const Grid2D g(0, 1, Partition1D(10, 2), Partition1D(9, 3));
+  EXPECT_EQ(g.CellOf(0, 0), 0u);
+  EXPECT_EQ(g.CellOf(9, 8), 5u);
+  EXPECT_EQ(g.CellOf(4, 5), g.CellIndex(0, 1));
+}
+
+TEST(Grid2DTest, AnswerExactOnAlignedRectangle) {
+  Grid2D g(0, 1, Partition1D(4, 2), Partition1D(4, 2));
+  g.SetFrequencies({0.1, 0.2, 0.3, 0.4});
+  // Whole domain.
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeAll(4), AxisSelection::MakeAll(4)),
+              1.0, 1e-12);
+  // x in [0,1] (cell 0), y in [2,3] (cell 1) -> frequency 0.2.
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeRange(0, 1),
+                       AxisSelection::MakeRange(2, 3)),
+              0.2, 1e-12);
+}
+
+TEST(Grid2DTest, AnswerMultipliesAxisCoverages) {
+  Grid2D g(0, 1, Partition1D(4, 1), Partition1D(4, 1));
+  g.SetFrequencies({1.0});
+  // Half of x, quarter of y -> 1/8 under uniformity.
+  EXPECT_NEAR(g.Answer(AxisSelection::MakeRange(0, 1),
+                       AxisSelection::MakeRange(0, 0)),
+              0.5 * 0.25, 1e-12);
+}
+
+TEST(Grid2DTest, SetSelectionOnCategoricalAxis) {
+  // y axis is categorical with identity partition.
+  Grid2D g(0, 1, Partition1D(4, 2), Partition1D(3, 3));
+  g.SetFrequencies({0.1, 0.1, 0.2, 0.2, 0.15, 0.25});
+  const double answer = g.Answer(AxisSelection::MakeAll(4),
+                                 AxisSelection::MakeSet({0, 2}));
+  EXPECT_NEAR(answer, 0.1 + 0.2 + 0.2 + 0.25, 1e-12);
+}
+
+TEST(Grid2DDeathTest, RejectsSameAttributeTwice) {
+  EXPECT_DEATH(Grid2D(2, 2, Partition1D(4, 2), Partition1D(4, 2)),
+               "distinct");
+}
+
+TEST(Grid1DDeathTest, RejectsWrongFrequencyLength) {
+  Grid1D g(0, Partition1D(10, 5));
+  EXPECT_DEATH(g.SetFrequencies({0.5, 0.5}), "FELIP_CHECK");
+}
+
+}  // namespace
+}  // namespace felip::grid

@@ -1,0 +1,212 @@
+#include "felip/grid/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "felip/fo/protocol.h"
+
+namespace felip::grid {
+namespace {
+
+using fo::Protocol;
+
+OptimizeParams BaseParams() {
+  OptimizeParams p;
+  p.epsilon = 1.0;
+  p.n = 1000000;
+  p.m = 28;
+  p.alpha1 = 0.7;
+  p.alpha2 = 0.03;
+  p.rx = 0.5;
+  p.ry = 0.5;
+  return p;
+}
+
+TEST(ErrorModelTest, NoiseErrorMatchesVarianceFormulas) {
+  const OptimizeParams p = BaseParams();
+  const double e = std::exp(p.epsilon);
+  // OLH: cells_in_query * 4 m e / (n (e-1)^2).
+  EXPECT_NEAR(NoiseError(Protocol::kOlh, p.epsilon, p.n, p.m, 100.0, 10.0),
+              10.0 * 4.0 * 28.0 * e / (1e6 * (e - 1.0) * (e - 1.0)), 1e-15);
+  // GRR grows with the total cell count L.
+  EXPECT_GT(NoiseError(Protocol::kGrr, p.epsilon, p.n, p.m, 1000.0, 10.0),
+            NoiseError(Protocol::kGrr, p.epsilon, p.n, p.m, 100.0, 10.0));
+}
+
+TEST(ErrorModelTest, Error1DHasBiasVarianceShape) {
+  const OptimizeParams p = BaseParams();
+  // Very coarse grid: non-uniformity dominates; very fine: noise dominates.
+  const double coarse = Error1DNumerical(Protocol::kOlh, p, 1.0);
+  const double mid = Error1DNumerical(Protocol::kOlh, p, 25.0);
+  const double fine = Error1DNumerical(Protocol::kOlh, p, 100000.0);
+  EXPECT_GT(coarse, mid);
+  EXPECT_GT(fine, mid);
+}
+
+TEST(Optimize1DTest, OlhClosedFormMatchesEq5) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;
+  const double e = std::exp(p.epsilon);
+  const double expected = std::cbrt(
+      static_cast<double>(p.n) * p.alpha1 * p.alpha1 * (e - 1.0) * (e - 1.0) /
+      (2.0 * static_cast<double>(p.m) * p.rx * e));
+  const GridPlan plan = Optimize1D({1000, false}, p);
+  EXPECT_EQ(plan.protocol, Protocol::kOlh);
+  EXPECT_NEAR(static_cast<double>(plan.lx), expected, 1.0);
+  EXPECT_EQ(plan.ly, 1u);
+}
+
+TEST(Optimize1DTest, StationaryPointBeatsNeighbours) {
+  for (const bool grr_only : {false, true}) {
+    OptimizeParams p = BaseParams();
+    p.allow_grr = grr_only;
+    p.allow_olh = !grr_only;
+    const GridPlan plan = Optimize1D({1000, false}, p);
+    const Protocol protocol = grr_only ? Protocol::kGrr : Protocol::kOlh;
+    const double at = Error1DNumerical(protocol, p, plan.lx);
+    if (plan.lx > 1) {
+      EXPECT_LE(at, Error1DNumerical(protocol, p, plan.lx - 1));
+    }
+    EXPECT_LE(at, Error1DNumerical(protocol, p, plan.lx + 1));
+  }
+}
+
+TEST(Optimize1DTest, CategoricalUsesFullDomain) {
+  const GridPlan plan = Optimize1D({8, true}, BaseParams());
+  EXPECT_EQ(plan.lx, 8u);
+}
+
+TEST(Optimize1DTest, SmallCategoricalDomainPrefersGrr) {
+  // For |D| < 3 e^eps + 2 GRR has lower variance (Eq. 13).
+  const GridPlan plan = Optimize1D({4, true}, BaseParams());
+  EXPECT_EQ(plan.protocol, Protocol::kGrr);
+}
+
+TEST(Optimize1DTest, LargeCategoricalDomainPrefersOlh) {
+  const GridPlan plan = Optimize1D({512, true}, BaseParams());
+  EXPECT_EQ(plan.protocol, Protocol::kOlh);
+}
+
+TEST(Optimize1DTest, ClampsToDomain) {
+  OptimizeParams p = BaseParams();
+  p.n = 100000000000ull;  // enormous population -> wants a huge grid
+  const GridPlan plan = Optimize1D({50, false}, p);
+  EXPECT_LE(plan.lx, 50u);
+}
+
+TEST(Optimize1DTest, SelectivityShiftsOptimum) {
+  // Wider queries (larger r) touch more cells, so the optimizer should
+  // choose coarser grids.
+  OptimizeParams narrow = BaseParams();
+  narrow.rx = 0.1;
+  OptimizeParams wide = BaseParams();
+  wide.rx = 0.9;
+  const GridPlan plan_narrow = Optimize1D({1000, false}, narrow);
+  const GridPlan plan_wide = Optimize1D({1000, false}, wide);
+  EXPECT_GT(plan_narrow.lx, plan_wide.lx);
+}
+
+TEST(Optimize2DTest, CategoricalPairUsesFullDomains) {
+  const GridPlan plan = Optimize2D({6, true}, {4, true}, BaseParams());
+  EXPECT_EQ(plan.lx, 6u);
+  EXPECT_EQ(plan.ly, 4u);
+}
+
+TEST(Optimize2DTest, SymmetricNumericalPairGetsSymmetricGrid) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;
+  const GridPlan plan = Optimize2D({100, false}, {100, false}, p);
+  // Identical domains and selectivities: |lx - ly| <= 1 after rounding.
+  EXPECT_LE(plan.lx > plan.ly ? plan.lx - plan.ly : plan.ly - plan.lx, 1u);
+}
+
+TEST(Optimize2DTest, NumNumBeatsBruteForceNeighbours) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;
+  const GridPlan plan = Optimize2D({100, false}, {100, false}, p);
+  const double at = Error2DNumNum(Protocol::kOlh, p, plan.lx, plan.ly);
+  // Compare against a coarse brute-force sweep.
+  double best_sweep = at;
+  for (uint32_t lx = 1; lx <= 40; ++lx) {
+    for (uint32_t ly = 1; ly <= 40; ++ly) {
+      best_sweep = std::min(best_sweep,
+                            Error2DNumNum(Protocol::kOlh, p, lx, ly));
+    }
+  }
+  EXPECT_NEAR(at, best_sweep, best_sweep * 0.05);
+}
+
+TEST(Optimize2DTest, NumNumGrrBeatsBruteForceNeighbours) {
+  OptimizeParams p = BaseParams();
+  p.allow_olh = false;
+  const GridPlan plan = Optimize2D({100, false}, {100, false}, p);
+  const double at = Error2DNumNum(Protocol::kGrr, p, plan.lx, plan.ly);
+  double best_sweep = at;
+  for (uint32_t lx = 1; lx <= 40; ++lx) {
+    for (uint32_t ly = 1; ly <= 40; ++ly) {
+      best_sweep = std::min(best_sweep,
+                            Error2DNumNum(Protocol::kGrr, p, lx, ly));
+    }
+  }
+  EXPECT_NEAR(at, best_sweep, best_sweep * 0.05);
+}
+
+TEST(Optimize2DTest, CatNumKeepsCategoricalAxisFixed) {
+  const GridPlan xy = Optimize2D({100, false}, {8, true}, BaseParams());
+  EXPECT_EQ(xy.ly, 8u);
+  EXPECT_GE(xy.lx, 1u);
+  // Swapped orientation mirrors the result.
+  const GridPlan yx = Optimize2D({8, true}, {100, false}, BaseParams());
+  EXPECT_EQ(yx.lx, 8u);
+  EXPECT_EQ(yx.ly, xy.lx);
+}
+
+TEST(Optimize2DTest, CatNumOlhStationaryPoint) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;
+  const GridPlan plan = Optimize2D({200, false}, {5, true}, p);
+  const double at = Error2DNumCat(Protocol::kOlh, p, plan.lx, 5.0);
+  if (plan.lx > 1) {
+    EXPECT_LE(at, Error2DNumCat(Protocol::kOlh, p, plan.lx - 1, 5.0));
+  }
+  EXPECT_LE(at, Error2DNumCat(Protocol::kOlh, p, plan.lx + 1, 5.0));
+}
+
+TEST(Optimize2DTest, PredictedErrorIsMinOverProtocols) {
+  OptimizeParams both = BaseParams();
+  OptimizeParams grr_only = both;
+  grr_only.allow_olh = false;
+  OptimizeParams olh_only = both;
+  olh_only.allow_grr = false;
+  const GridPlan adaptive = Optimize2D({100, false}, {100, false}, both);
+  const GridPlan grr = Optimize2D({100, false}, {100, false}, grr_only);
+  const GridPlan olh = Optimize2D({100, false}, {100, false}, olh_only);
+  EXPECT_NEAR(adaptive.predicted_error,
+              std::min(grr.predicted_error, olh.predicted_error), 1e-15);
+}
+
+TEST(Optimize2DTest, FewUsersForcesCoarserGrids) {
+  OptimizeParams many = BaseParams();
+  OptimizeParams few = BaseParams();
+  few.n = 10000;
+  const GridPlan plan_many = Optimize2D({400, false}, {400, false}, many);
+  const GridPlan plan_few = Optimize2D({400, false}, {400, false}, few);
+  EXPECT_LE(plan_few.lx * plan_few.ly, plan_many.lx * plan_many.ly);
+}
+
+TEST(OptimizeDeathTest, RequiresAtLeastOneProtocol) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;
+  p.allow_olh = false;
+  p.allow_oue = false;
+  EXPECT_DEATH(Optimize1D({10, false}, p), "protocol");
+}
+
+TEST(OptimizeTest, DomainOfOneIsSingleCell) {
+  const GridPlan plan = Optimize1D({1, false}, BaseParams());
+  EXPECT_EQ(plan.lx, 1u);
+}
+
+}  // namespace
+}  // namespace felip::grid

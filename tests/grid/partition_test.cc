@@ -1,0 +1,126 @@
+#include "felip/grid/partition.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::grid {
+namespace {
+
+TEST(Partition1DTest, EvenSplit) {
+  const Partition1D p(10, 5);
+  for (uint32_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(p.CellSize(c), 2u);
+    EXPECT_EQ(p.CellBegin(c), c * 2);
+    EXPECT_EQ(p.CellEnd(c), c * 2 + 2);
+  }
+}
+
+TEST(Partition1DTest, UnevenSplitSizesDifferByAtMostOne) {
+  // 100 values into 7 cells: sizes must be 14 or 15 and cover everything.
+  const Partition1D p(100, 7);
+  uint32_t total = 0;
+  for (uint32_t c = 0; c < 7; ++c) {
+    const uint32_t size = p.CellSize(c);
+    EXPECT_GE(size, 14u);
+    EXPECT_LE(size, 15u);
+    total += size;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition1DTest, SingleCellCoversDomain) {
+  const Partition1D p(42, 1);
+  EXPECT_EQ(p.CellBegin(0), 0u);
+  EXPECT_EQ(p.CellEnd(0), 42u);
+  EXPECT_EQ(p.CellOf(0), 0u);
+  EXPECT_EQ(p.CellOf(41), 0u);
+}
+
+TEST(Partition1DTest, IdentityPartition) {
+  const Partition1D p(9, 9);
+  for (uint32_t v = 0; v < 9; ++v) {
+    EXPECT_EQ(p.CellOf(v), v);
+    EXPECT_EQ(p.CellSize(v), 1u);
+  }
+}
+
+// Property: CellOf is the exact inverse of the [CellBegin, CellEnd) layout
+// for every (domain, cells) combination in a broad sweep.
+class PartitionInverseTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(PartitionInverseTest, CellOfMatchesLayout) {
+  const auto [domain, cells] = GetParam();
+  const Partition1D p(domain, cells);
+  for (uint32_t c = 0; c < cells; ++c) {
+    for (uint32_t v = p.CellBegin(c); v < p.CellEnd(c); ++v) {
+      ASSERT_EQ(p.CellOf(v), c) << "domain=" << domain << " cells=" << cells
+                                << " v=" << v;
+    }
+  }
+  // Boundaries are monotone and exhaustive.
+  EXPECT_EQ(p.CellBegin(0), 0u);
+  EXPECT_EQ(p.CellEnd(cells - 1), domain);
+  for (uint32_t c = 1; c < cells; ++c) {
+    EXPECT_EQ(p.CellBegin(c), p.CellEnd(c - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionInverseTest,
+    ::testing::ValuesIn(std::vector<std::pair<uint32_t, uint32_t>>{
+        {1, 1}, {2, 1}, {2, 2}, {5, 2}, {5, 3}, {6, 4}, {7, 7}, {100, 1},
+        {100, 7}, {100, 32}, {100, 99}, {101, 13}, {1024, 31}, {1600, 27},
+        {1600, 1600}}));
+
+TEST(Partition1DTest, OverlapFractionFullPartialNone) {
+  const Partition1D p(10, 2);  // cells [0,5), [5,10)
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(0, 0, 9), 1.0);
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(0, 0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(0, 0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(0, 5, 9), 0.0);
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(1, 7, 7), 0.2);
+  EXPECT_DOUBLE_EQ(p.OverlapFraction(1, 9, 3), 0.0);  // inverted range
+}
+
+TEST(Partition1DTest, BoundariesVector) {
+  const Partition1D p(10, 4);
+  const std::vector<uint32_t> b = p.Boundaries();
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 10u);
+}
+
+TEST(Partition1DTest, EqualityOperator) {
+  EXPECT_EQ(Partition1D(10, 4), Partition1D(10, 4));
+  EXPECT_NE(Partition1D(10, 4), Partition1D(10, 5));
+  EXPECT_NE(Partition1D(10, 4), Partition1D(11, 4));
+}
+
+TEST(Partition1DDeathTest, RejectsMoreCellsThanValues) {
+  EXPECT_DEATH(Partition1D(3, 4), "cells");
+}
+
+TEST(CommonRefinementTest, MergesBoundaries) {
+  const Partition1D a(12, 3);  // 0,4,8,12
+  const Partition1D b(12, 4);  // 0,3,6,9,12
+  const std::vector<uint32_t> merged = CommonRefinementBoundaries({&a, &b});
+  const std::vector<uint32_t> expected = {0, 3, 4, 6, 8, 9, 12};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(CommonRefinementTest, SinglePartitionIsItsOwnRefinement) {
+  const Partition1D a(10, 2);
+  const std::vector<uint32_t> merged = CommonRefinementBoundaries({&a});
+  EXPECT_EQ(merged, a.Boundaries());
+}
+
+TEST(CommonRefinementDeathTest, RejectsMismatchedDomains) {
+  const Partition1D a(10, 2);
+  const Partition1D b(12, 2);
+  EXPECT_DEATH(CommonRefinementBoundaries({&a, &b}), "equal domains");
+}
+
+}  // namespace
+}  // namespace felip::grid

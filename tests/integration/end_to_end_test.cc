@@ -1,0 +1,162 @@
+// Cross-module integration tests: every method in the harness registry runs
+// end-to-end on realistic mixed datasets, and the paper's headline
+// qualitative claims hold at small scale.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/data/synthetic.h"
+#include "felip/eval/harness.h"
+#include "felip/query/generator.h"
+#include "felip/query/query.h"
+
+namespace felip {
+namespace {
+
+struct Workload {
+  data::Dataset dataset;
+  std::vector<query::Query> queries;
+  std::vector<double> truths;
+};
+
+Workload MakeWorkload(uint64_t n, uint32_t lambda, double selectivity,
+                      bool range_only, uint64_t seed) {
+  Workload w{data::MakeIpumsLike(n, 6, 48, 6, seed), {}, {}};
+  Rng rng(seed + 1000);
+  w.queries = query::GenerateQueries(
+      w.dataset, 10,
+      {.dimension = lambda, .selectivity = selectivity,
+       .range_only = range_only},
+      rng);
+  for (const auto& q : w.queries) {
+    w.truths.push_back(query::TrueAnswer(w.dataset, q));
+  }
+  return w;
+}
+
+eval::ExperimentParams Params(double epsilon) {
+  eval::ExperimentParams p;
+  p.epsilon = epsilon;
+  p.olh_seed_pool = 1024;
+  p.seed = 99;
+  return p;
+}
+
+class AllMethodsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllMethodsTest, RunsAndProducesBoundedEstimates) {
+  const Workload w = MakeWorkload(20000, 2, 0.5, false, 1);
+  const std::vector<double> estimates =
+      eval::RunMethod(GetParam(), w.dataset, w.queries, Params(1.0));
+  ASSERT_EQ(estimates.size(), w.queries.size());
+  for (const double e : estimates) {
+    EXPECT_GE(e, -0.5);
+    EXPECT_LE(e, 1.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllMethodsTest,
+                         ::testing::ValuesIn(eval::KnownMethods()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EndToEndTest, OhgBeatsHioAtDefaultSettings) {
+  const Workload w = MakeWorkload(60000, 2, 0.5, false, 2);
+  const double ohg =
+      eval::RunMethodMae("OHG", w.dataset, w.queries, w.truths, Params(1.0));
+  const double hio =
+      eval::RunMethodMae("HIO", w.dataset, w.queries, w.truths, Params(1.0));
+  EXPECT_LT(ohg, hio);
+}
+
+TEST(EndToEndTest, UserDivisionBeatsBudgetDivision) {
+  // Theorem 5.1, measured: OHG with user division should beat the
+  // eps-splitting variant.
+  const Workload w = MakeWorkload(30000, 2, 0.5, false, 3);
+  const double divide_users =
+      eval::RunMethodMae("OHG", w.dataset, w.queries, w.truths, Params(1.0));
+  const double divide_budget = eval::RunMethodMae(
+      "OHG-BUDGET", w.dataset, w.queries, w.truths, Params(1.0));
+  EXPECT_LT(divide_users, divide_budget);
+}
+
+TEST(EndToEndTest, EpsilonMonotonicityAcrossMethods) {
+  const Workload w = MakeWorkload(40000, 2, 0.5, false, 4);
+  for (const std::string method : {"OUG", "OHG"}) {
+    const double loose =
+        eval::RunMethodMae(method, w.dataset, w.queries, w.truths,
+                           Params(8.0));
+    const double tight =
+        eval::RunMethodMae(method, w.dataset, w.queries, w.truths,
+                           Params(0.1));
+    EXPECT_LT(loose, tight) << method;
+  }
+}
+
+TEST(EndToEndTest, RangeOnlyComparisonAgainstHdg) {
+  // Section 6.3 setting (all-numerical, range queries): OHG should be at
+  // least competitive with HDG at small scale.
+  Workload w{data::MakeNormal(50000, 6, 0, 64, 2, 5), {}, {}};
+  Rng rng(6);
+  w.queries = query::GenerateQueries(
+      w.dataset, 10,
+      {.dimension = 3, .selectivity = 0.5, .range_only = true}, rng);
+  for (const auto& q : w.queries) {
+    w.truths.push_back(query::TrueAnswer(w.dataset, q));
+  }
+  const double ohg =
+      eval::RunMethodMae("OHG", w.dataset, w.queries, w.truths, Params(1.0));
+  const double hdg =
+      eval::RunMethodMae("HDG", w.dataset, w.queries, w.truths, Params(1.0));
+  // Allow slack: at this scale the gap is noisy, but OHG must not be
+  // drastically worse.
+  EXPECT_LT(ohg, hdg * 2.0);
+}
+
+TEST(EndToEndTest, MaeHelperMatchesManualComputation) {
+  const std::vector<double> est = {0.1, 0.5, 0.9};
+  const std::vector<double> truth = {0.2, 0.5, 0.7};
+  EXPECT_NEAR(eval::MeanAbsoluteError(est, truth), 0.1, 1e-12);
+}
+
+TEST(EndToEndTest, HigherLambdaStillAnswerable) {
+  const Workload w = MakeWorkload(30000, 5, 0.5, false, 7);
+  const std::vector<double> estimates =
+      eval::RunMethod("OHG", w.dataset, w.queries, Params(1.0));
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    EXPECT_GE(estimates[i], 0.0);
+    EXPECT_LE(estimates[i], 1.0);
+  }
+}
+
+TEST(EndToEndTest, EnvKnobsDefaultWhenUnset) {
+  unsetenv("FELIP_BENCH_USERS");
+  unsetenv("FELIP_BENCH_SCALE");
+  unsetenv("FELIP_BENCH_QUERIES");
+  EXPECT_EQ(eval::BenchUsers(1234), 1234u);
+  EXPECT_EQ(eval::BenchQueries(10), 10u);
+  EXPECT_EQ(eval::BenchTrials(3), 3u);
+}
+
+TEST(EndToEndTest, EnvKnobsOverride) {
+  setenv("FELIP_BENCH_USERS", "555", 1);
+  setenv("FELIP_BENCH_QUERIES", "7", 1);
+  EXPECT_EQ(eval::BenchUsers(1234), 555u);
+  EXPECT_EQ(eval::BenchQueries(10), 7u);
+  unsetenv("FELIP_BENCH_USERS");
+  setenv("FELIP_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(eval::BenchUsers(1000), 500u);
+  unsetenv("FELIP_BENCH_SCALE");
+  unsetenv("FELIP_BENCH_QUERIES");
+}
+
+}  // namespace
+}  // namespace felip

@@ -1,0 +1,188 @@
+// Failure injection and degenerate-shape coverage across the pipeline:
+// constant attributes, all-categorical schemas, tiny populations, extreme
+// selectivities, and hostile query shapes must all either work or fail
+// loudly — never return garbage silently.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/baselines/hio.h"
+#include "felip/baselines/tdg_hdg.h"
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/query/generator.h"
+#include "felip/query/query.h"
+
+namespace felip {
+namespace {
+
+core::FelipConfig FastConfig() {
+  core::FelipConfig config;
+  config.epsilon = 2.0;
+  config.olh_options.seed_pool_size = 512;
+  config.seed = 13;
+  return config;
+}
+
+TEST(FailureInjectionTest, ConstantAttributeDomainOne) {
+  // A domain-1 attribute carries no information; the pipeline must still
+  // plan, collect, and answer.
+  std::vector<data::AttributeInfo> schema = {
+      {"constant", 1, false}, {"value", 16, false}};
+  data::Dataset ds(schema);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    ds.AppendRow({0, static_cast<uint32_t>(rng.UniformU64(16))});
+  }
+  core::FelipPipeline pipeline(schema, ds.num_rows(), FastConfig());
+  pipeline.Collect(ds);
+  pipeline.Finalize();
+  const query::Query q({
+      {.attr = 0, .op = query::Op::kEquals, .lo = 0, .hi = 0},
+      {.attr = 1, .op = query::Op::kBetween, .lo = 0, .hi = 7},
+  });
+  EXPECT_NEAR(pipeline.AnswerQuery(q), query::TrueAnswer(ds, q), 0.15);
+}
+
+TEST(FailureInjectionTest, AllCategoricalSchemaHasNo1DGrids) {
+  const data::Dataset ds = data::MakeUniform(20000, 0, 4, 2, 5, 2);
+  core::FelipConfig config = FastConfig();
+  config.strategy = core::Strategy::kOhg;
+  core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(), config);
+  EXPECT_TRUE(pipeline.grids_1d().empty());  // OHG: 1-D only for numerical
+  pipeline.Collect(ds);
+  pipeline.Finalize();
+  const query::Query q({
+      {.attr = 0, .op = query::Op::kIn, .values = {0, 2}},
+      {.attr = 3, .op = query::Op::kEquals, .lo = 1, .hi = 1},
+  });
+  EXPECT_NEAR(pipeline.AnswerQuery(q), query::TrueAnswer(ds, q), 0.1);
+}
+
+TEST(FailureInjectionTest, TinyPopulationStillWellFormed) {
+  const data::Dataset ds = data::MakeUniform(50, 2, 1, 16, 3, 3);
+  const core::FelipPipeline pipeline = core::RunFelip(ds, FastConfig());
+  Rng rng(4);
+  const auto queries = query::GenerateQueries(
+      ds, 5, {.dimension = 2, .selectivity = 0.5}, rng);
+  for (const auto& q : queries) {
+    const double estimate = pipeline.AnswerQuery(q);
+    EXPECT_TRUE(std::isfinite(estimate));
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, 1.0);
+  }
+}
+
+TEST(FailureInjectionTest, FullDomainQueryBiasAndQuadrantFix) {
+  // λ=3 with all associated 2-D answers ~1: Algorithm 4's
+  // positive-positive-only update converges to a non-truth fixed point
+  // (~0.77 from a uniform start) — a documented property of the published
+  // algorithm. The quadrant-fit extension recovers the exact answer.
+  const data::Dataset ds = data::MakeNormal(30000, 3, 0, 32, 2, 5);
+  const query::Query q({
+      {.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 31},
+      {.attr = 1, .op = query::Op::kBetween, .lo = 0, .hi = 31},
+      {.attr = 2, .op = query::Op::kBetween, .lo = 0, .hi = 31},
+  });
+  const core::FelipPipeline paper = core::RunFelip(ds, FastConfig());
+  EXPECT_NEAR(paper.AnswerQuery(q), 0.77, 0.08);
+
+  core::FelipConfig quadrant_config = FastConfig();
+  quadrant_config.lambda_quadrant_fit = true;
+  const core::FelipPipeline quadrant = core::RunFelip(ds, quadrant_config);
+  EXPECT_NEAR(quadrant.AnswerQuery(q), 1.0, 0.05);
+}
+
+TEST(FailureInjectionTest, EmptySelectionAnswersNearZero) {
+  const data::Dataset ds = data::MakeNormal(30000, 2, 0, 64, 2, 6);
+  const core::FelipPipeline pipeline = core::RunFelip(ds, FastConfig());
+  // A range in the far tail of a centered normal: truth ~ 0.
+  const query::Query q({
+      {.attr = 0, .op = query::Op::kBetween, .lo = 63, .hi = 63},
+      {.attr = 1, .op = query::Op::kBetween, .lo = 0, .hi = 0},
+  });
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.0, 0.05);
+}
+
+TEST(FailureInjectionTest, QueryOnUnknownAttributeAborts) {
+  const data::Dataset ds = data::MakeUniform(1000, 2, 0, 8, 2, 7);
+  const core::FelipPipeline pipeline = core::RunFelip(ds, FastConfig());
+  const query::Query q({{.attr = 9, .op = query::Op::kEquals, .lo = 0}});
+  EXPECT_DEATH(pipeline.AnswerQuery(q), "FELIP_CHECK");
+}
+
+TEST(FailureInjectionTest, HioHandlesDegenerateDomains) {
+  std::vector<data::AttributeInfo> schema = {
+      {"flat", 1, true}, {"bin", 2, true}, {"wide", 64, false}};
+  data::Dataset ds(schema);
+  Rng rng(8);
+  for (int i = 0; i < 8000; ++i) {
+    ds.AppendRow({0, static_cast<uint32_t>(rng.UniformU64(2)),
+                  static_cast<uint32_t>(rng.UniformU64(64))});
+  }
+  baselines::HioPipeline pipeline(schema, {.epsilon = 2.0, .seed = 9});
+  pipeline.Collect(ds);
+  const query::Query q({
+      {.attr = 1, .op = query::Op::kEquals, .lo = 1, .hi = 1},
+      {.attr = 2, .op = query::Op::kBetween, .lo = 0, .hi = 31},
+  });
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.25, 0.2);
+}
+
+TEST(FailureInjectionTest, TdgHdgMixedDomainsCapGranularity) {
+  // One attribute with a tiny domain: the shared granularity must be
+  // capped per-attribute instead of crashing.
+  std::vector<data::AttributeInfo> schema = {
+      {"tiny", 2, false}, {"wide", 256, false}};
+  data::Dataset ds(schema);
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    ds.AppendRow({static_cast<uint32_t>(rng.UniformU64(2)),
+                  static_cast<uint32_t>(rng.UniformU64(256))});
+  }
+  baselines::TdgHdgConfig config;
+  config.strategy = baselines::YangStrategy::kHdg;
+  config.epsilon = 1.0;
+  config.seed = 11;
+  baselines::TdgHdgPipeline pipeline(schema, ds.num_rows(), config);
+  pipeline.Collect(ds);
+  pipeline.Finalize();
+  const query::Query q({
+      {.attr = 0, .op = query::Op::kEquals, .lo = 0, .hi = 0},
+      {.attr = 1, .op = query::Op::kBetween, .lo = 0, .hi = 127},
+  });
+  EXPECT_NEAR(pipeline.AnswerQuery(q), 0.25, 0.1);
+}
+
+TEST(FailureInjectionTest, ExtremeSelectivityPriorsStillPlan) {
+  const data::Dataset ds = data::MakeUniform(20000, 3, 0, 100, 2, 12);
+  for (const double prior : {1e-6, 0.001, 0.999, 1.0}) {
+    core::FelipConfig config = FastConfig();
+    config.default_selectivity = prior;
+    const core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(),
+                                       config);
+    for (const core::GridAssignment& a : pipeline.assignments()) {
+      EXPECT_GE(a.plan.lx, 1u) << "prior " << prior;
+      EXPECT_TRUE(std::isfinite(a.plan.predicted_error));
+    }
+  }
+}
+
+TEST(FailureInjectionTest, PerAttributeSelectivityOverride) {
+  const data::Dataset ds = data::MakeUniform(50000, 3, 0, 200, 2, 13);
+  core::FelipConfig config = FastConfig();
+  config.default_selectivity = 0.5;
+  config.attribute_selectivity = {0.05, 0.5, 0.95};
+  const core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(),
+                                     config);
+  // Attribute 0 (narrow queries) should get a finer 1-D grid than
+  // attribute 2 (wide queries).
+  const grid::GridPlan& plan0 = pipeline.assignments()[0].plan;
+  const grid::GridPlan& plan2 = pipeline.assignments()[2].plan;
+  EXPECT_GT(plan0.lx, plan2.lx);
+}
+
+}  // namespace
+}  // namespace felip

@@ -1,0 +1,198 @@
+#include "felip/post/consistency.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/grid/grid.h"
+#include "felip/grid/partition.h"
+
+namespace felip::post {
+namespace {
+
+using grid::AxisSelection;
+using grid::Grid1D;
+using grid::Grid2D;
+using grid::Partition1D;
+
+double GridSum(const std::vector<double>& f) {
+  return std::accumulate(f.begin(), f.end(), 0.0);
+}
+
+// Marginal of a 2-D grid along x.
+std::vector<double> MarginalX(const Grid2D& g) {
+  std::vector<double> m(g.px().num_cells(), 0.0);
+  for (uint32_t cx = 0; cx < g.px().num_cells(); ++cx) {
+    for (uint32_t cy = 0; cy < g.py().num_cells(); ++cy) {
+      m[cx] += g.frequencies()[g.CellIndex(cx, cy)];
+    }
+  }
+  return m;
+}
+
+TEST(ConsistencyTest, AlignedGridsAgreeAfterOnePass) {
+  // 1-D grid and 2-D grid share attribute 0 with aligned boundaries
+  // (both split domain 8 into 4 cells along x).
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(8, 4));
+  g1[0].SetFrequencies({0.4, 0.3, 0.2, 0.1});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(8, 4), Partition1D(4, 2));
+  g2[0].SetFrequencies({0.05, 0.05, 0.10, 0.10,
+                        0.15, 0.15, 0.10, 0.30});
+
+  MakeAttributeConsistent(0, &g1, &g2);
+
+  const std::vector<double> m = MarginalX(g2[0]);
+  for (uint32_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(g1[0].frequencies()[c], m[c], 1e-9) << "cell " << c;
+  }
+}
+
+TEST(ConsistencyTest, WeightedAverageFavorsFewerCells) {
+  // The 1-D grid sums one cell per subdomain; the 2-D grid sums two. CALM
+  // weights 1/L: theta_1d = 2/3, theta_2d = 1/3.
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(4, 2));
+  g1[0].SetFrequencies({0.9, 0.1});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(4, 2), Partition1D(2, 2));
+  g2[0].SetFrequencies({0.3, 0.3, 0.2, 0.2});  // marginal x: 0.6, 0.4
+
+  MakeAttributeConsistent(0, &g1, &g2);
+  // Target for subdomain 0: (2/3)*0.9 + (1/3)*0.6 = 0.8.
+  EXPECT_NEAR(g1[0].frequencies()[0], 0.8, 1e-9);
+  EXPECT_NEAR(MarginalX(g2[0])[0], 0.8, 1e-9);
+}
+
+TEST(ConsistencyTest, TotalMassPreservedWhenAligned) {
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(6, 3));
+  g1[0].SetFrequencies({0.5, 0.3, 0.2});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(6, 3), Partition1D(3, 3));
+  std::vector<double> f(9, 1.0 / 9.0);
+  g2[0].SetFrequencies(f);
+
+  MakeAttributeConsistent(0, &g1, &g2);
+  EXPECT_NEAR(GridSum(g1[0].frequencies()), 1.0, 1e-9);
+  EXPECT_NEAR(GridSum(g2[0].frequencies()), 1.0, 1e-9);
+}
+
+TEST(ConsistencyTest, SingleGridUntouched) {
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(4, 2));
+  g1[0].SetFrequencies({0.7, 0.3});
+  std::vector<Grid2D> g2;
+  MakeAttributeConsistent(0, &g1, &g2);
+  EXPECT_DOUBLE_EQ(g1[0].frequencies()[0], 0.7);
+}
+
+TEST(ConsistencyTest, NonAlignedPartitionsConverge) {
+  // Different granularities along the shared attribute: 3 cells vs 4x2.
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(12, 3));
+  g1[0].SetFrequencies({0.5, 0.25, 0.25});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(12, 4), Partition1D(2, 2));
+  g2[0].SetFrequencies({0.05, 0.05, 0.10, 0.10, 0.15, 0.15, 0.20, 0.20});
+
+  // Non-aligned boundaries mean one pass is not exact (later subdomain
+  // updates perturb earlier sums), but repeated passes must contract the
+  // disagreement between the subdomain sums.
+  const auto disagreement = [&]() {
+    double total = 0.0;
+    const std::vector<double> mx = MarginalX(g2[0]);
+    for (uint32_t i = 0; i < 3; ++i) {
+      const uint32_t lo = g1[0].partition().CellBegin(i);
+      const uint32_t hi = g1[0].partition().CellEnd(i) - 1;
+      double s2 = 0.0;
+      for (uint32_t c = 0; c < 4; ++c) {
+        s2 += g2[0].px().OverlapFraction(c, lo, hi) * mx[c];
+      }
+      total += std::fabs(g1[0].frequencies()[i] - s2);
+    }
+    return total;
+  };
+  const double before = disagreement();
+  for (int pass = 0; pass < 25; ++pass) {
+    MakeAttributeConsistent(0, &g1, &g2);
+  }
+  EXPECT_LT(disagreement(), before * 0.2);
+  EXPECT_LT(disagreement(), 0.02);
+}
+
+TEST(ConsistencyTest, ThreeGridsSharingAnAttribute) {
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(4, 2));
+  g1[0].SetFrequencies({0.6, 0.4});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(4, 2), Partition1D(2, 2));
+  g2[0].SetFrequencies({0.2, 0.2, 0.3, 0.3});  // marginal: 0.4, 0.6
+  g2.emplace_back(0, 2, Partition1D(4, 2), Partition1D(2, 2));
+  g2[1].SetFrequencies({0.25, 0.25, 0.25, 0.25});  // marginal: 0.5, 0.5
+
+  MakeAttributeConsistent(0, &g1, &g2);
+  const double target = g1[0].frequencies()[0];
+  EXPECT_NEAR(MarginalX(g2[0])[0], target, 1e-9);
+  EXPECT_NEAR(MarginalX(g2[1])[0], target, 1e-9);
+}
+
+TEST(MakeConsistentTest, EndsNonNegativeAndNormalized) {
+  Rng rng(3);
+  std::vector<Grid1D> g1;
+  std::vector<Grid2D> g2;
+  for (uint32_t a = 0; a < 3; ++a) {
+    g1.emplace_back(a, Partition1D(10, 3 + a));
+    std::vector<double> f(3 + a);
+    for (double& v : f) v = rng.Gaussian() * 0.3 + 0.2;
+    g1[a].SetFrequencies(f);
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = i + 1; j < 3; ++j) {
+      g2.emplace_back(i, j, Partition1D(10, 4), Partition1D(10, 5));
+      std::vector<double> f(20);
+      for (double& v : f) v = rng.Gaussian() * 0.1 + 0.05;
+      g2.back().SetFrequencies(f);
+    }
+  }
+  MakeConsistent(3, &g1, &g2);
+  for (const Grid1D& g : g1) {
+    for (const double v : g.frequencies()) EXPECT_GE(v, 0.0);
+    EXPECT_NEAR(GridSum(g.frequencies()), 1.0, 1e-6);
+  }
+  for (const Grid2D& g : g2) {
+    for (const double v : g.frequencies()) EXPECT_GE(v, 0.0);
+    EXPECT_NEAR(GridSum(g.frequencies()), 1.0, 1e-6);
+  }
+}
+
+TEST(MakeConsistentTest, ConsistencyReducesMarginalDisagreement) {
+  Rng rng(4);
+  std::vector<Grid1D> g1;
+  g1.emplace_back(0, Partition1D(8, 4));
+  g1[0].SetFrequencies({0.4, 0.3, 0.2, 0.1});
+  std::vector<Grid2D> g2;
+  g2.emplace_back(0, 1, Partition1D(8, 4), Partition1D(4, 2));
+  std::vector<double> noisy(8, 0.125);
+  for (double& v : noisy) v += rng.Gaussian() * 0.05;
+  g2[0].SetFrequencies(noisy);
+
+  const auto disagreement = [&]() {
+    const std::vector<double> mx = MarginalX(g2[0]);
+    double d = 0.0;
+    for (uint32_t c = 0; c < 4; ++c) {
+      d += std::fabs(mx[c] - g1[0].frequencies()[c]);
+    }
+    return d;
+  };
+  const double before = disagreement();
+  MakeConsistent(2, &g1, &g2);
+  EXPECT_LT(disagreement(), before);
+}
+
+}  // namespace
+}  // namespace felip::post

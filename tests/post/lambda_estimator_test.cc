@@ -1,0 +1,178 @@
+#include "felip/post/lambda_estimator.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/numeric.h"
+
+namespace felip::post {
+namespace {
+
+TEST(PairIndexTest, LexicographicOrder) {
+  // λ = 4: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+  EXPECT_EQ(PairIndex(0, 1, 4), 0u);
+  EXPECT_EQ(PairIndex(0, 2, 4), 1u);
+  EXPECT_EQ(PairIndex(0, 3, 4), 2u);
+  EXPECT_EQ(PairIndex(1, 2, 4), 3u);
+  EXPECT_EQ(PairIndex(1, 3, 4), 4u);
+  EXPECT_EQ(PairIndex(2, 3, 4), 5u);
+}
+
+TEST(PairIndexTest, CoversAllPairsExactlyOnce) {
+  for (uint32_t lambda : {2u, 3u, 5u, 8u}) {
+    std::vector<bool> seen(Choose2(lambda), false);
+    for (uint32_t i = 0; i < lambda; ++i) {
+      for (uint32_t j = i + 1; j < lambda; ++j) {
+        const uint32_t idx = PairIndex(i, j, lambda);
+        ASSERT_LT(idx, seen.size());
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+TEST(LambdaEstimatorTest, LambdaTwoPassesThrough) {
+  EXPECT_DOUBLE_EQ(EstimateLambdaQuery(2, {0.37}), 0.37);
+  // Negative noisy input clamps to zero, > 1 clamps to one.
+  EXPECT_DOUBLE_EQ(EstimateLambdaQuery(2, {-0.2}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateLambdaQuery(2, {1.4}), 1.0);
+}
+
+TEST(LambdaEstimatorTest, IndependentPredicatesFactorize) {
+  // Three independent predicates with marginals 0.5 each: every pairwise
+  // answer is 0.25 and the 3-D answer should come out near 0.125.
+  const std::vector<double> pairs(3, 0.25);
+  const double estimate = EstimateLambdaQuery(3, pairs);
+  EXPECT_NEAR(estimate, 0.125, 0.02);
+}
+
+TEST(LambdaEstimatorTest, PerfectlyCorrelatedPredicates) {
+  // All three predicates hold for exactly the same 30% of users: pairwise
+  // answers are all 0.3 and the best λ-D answer is 0.3.
+  const std::vector<double> pairs(3, 0.3);
+  const double estimate = EstimateLambdaQuery(3, pairs);
+  // Iterative scaling can't exceed the pairwise answers.
+  EXPECT_GT(estimate, 0.15);
+  EXPECT_LE(estimate, 0.3 + 1e-6);
+}
+
+TEST(LambdaEstimatorTest, ZeroPairForcesZero) {
+  // If one 2-D answer is 0, the λ-D answer must be 0.
+  const std::vector<double> pairs = {0.0, 0.25, 0.25};
+  EXPECT_NEAR(EstimateLambdaQuery(3, pairs), 0.0, 1e-6);
+}
+
+TEST(LambdaEstimatorTest, ConsistentInputsRecovered) {
+  // Ground truth: 4 independent binary attributes, predicate t holds with
+  // probability p_t. Pair answers p_a * p_b; λ-D answer ∏ p_t.
+  const std::vector<double> p = {0.8, 0.5, 0.6, 0.4};
+  std::vector<double> pairs(Choose2(4));
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = a + 1; b < 4; ++b) {
+      pairs[PairIndex(a, b, 4)] = p[a] * p[b];
+    }
+  }
+  const double expected = p[0] * p[1] * p[2] * p[3];
+  EXPECT_NEAR(EstimateLambdaQuery(4, pairs), expected, 0.03);
+}
+
+TEST(FitSignCombinationsTest, OutputLengthAndMass) {
+  const std::vector<double> pairs(Choose2(3), 0.25);
+  const std::vector<double> z = FitSignCombinations(3, pairs);
+  ASSERT_EQ(z.size(), 8u);
+  for (const double v : z) EXPECT_GE(v, 0.0);
+  // Fitting from a uniform start with consistent inputs keeps total mass
+  // near 1.
+  EXPECT_NEAR(std::accumulate(z.begin(), z.end(), 0.0), 1.0, 0.1);
+}
+
+TEST(FitSignCombinationsTest, PairConstraintsSatisfied) {
+  const std::vector<double> p = {0.7, 0.4, 0.5};
+  std::vector<double> pairs(Choose2(3));
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = a + 1; b < 3; ++b) {
+      pairs[PairIndex(a, b, 3)] = p[a] * p[b];
+    }
+  }
+  LambdaEstimatorOptions options;
+  options.threshold = 1e-12;
+  options.max_iterations = 2000;
+  const std::vector<double> z = FitSignCombinations(3, pairs, options);
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = a + 1; b < 3; ++b) {
+      const uint32_t need = (1u << a) | (1u << b);
+      double sum = 0.0;
+      for (uint32_t mask = 0; mask < 8; ++mask) {
+        if ((mask & need) == need) sum += z[mask];
+      }
+      EXPECT_NEAR(sum, pairs[PairIndex(a, b, 3)], 1e-3)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(LambdaEstimatorTest, HighLambdaRuns) {
+  const uint32_t lambda = 10;
+  std::vector<double> pairs(Choose2(lambda), 0.25);
+  const double estimate = EstimateLambdaQuery(lambda, pairs);
+  EXPECT_GE(estimate, 0.0);
+  EXPECT_LE(estimate, 1.0);
+}
+
+TEST(QuadrantFitTest, RecoversBoundaryTruth) {
+  // All pair answers 1 with marginals 1: the plain fit stalls at ~0.77
+  // while the quadrant fit reaches 1.
+  const std::vector<double> pairs(3, 1.0);
+  const std::vector<double> marginals(3, 1.0);
+  EXPECT_NEAR(EstimateLambdaQuery(3, pairs), 0.7708, 0.01);
+  EXPECT_NEAR(EstimateLambdaQueryQuadrants(3, pairs, marginals), 1.0, 1e-3);
+}
+
+TEST(QuadrantFitTest, IndependentCaseMatchesProduct) {
+  const std::vector<double> p = {0.8, 0.5, 0.6, 0.4};
+  std::vector<double> pairs(Choose2(4));
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = a + 1; b < 4; ++b) {
+      pairs[PairIndex(a, b, 4)] = p[a] * p[b];
+    }
+  }
+  const double expected = p[0] * p[1] * p[2] * p[3];
+  EXPECT_NEAR(EstimateLambdaQueryQuadrants(4, pairs, p), expected, 0.01);
+}
+
+TEST(QuadrantFitTest, ZeroPairForcesZero) {
+  const std::vector<double> pairs = {0.0, 0.25, 0.25};
+  const std::vector<double> marginals = {0.5, 0.5, 0.5};
+  EXPECT_NEAR(EstimateLambdaQueryQuadrants(3, pairs, marginals), 0.0, 1e-6);
+}
+
+TEST(QuadrantFitTest, InconsistentInputsAreRenormalized) {
+  // Marginals below the pair answers (impossible inputs from noise) must
+  // not crash and must return something in [0, 1].
+  const std::vector<double> pairs = {0.6, 0.5, 0.7};
+  const std::vector<double> marginals = {0.1, 0.2, 0.1};
+  const double est = EstimateLambdaQueryQuadrants(3, pairs, marginals);
+  EXPECT_GE(est, 0.0);
+  EXPECT_LE(est, 1.0);
+}
+
+TEST(QuadrantFitTest, LambdaTwoPassThrough) {
+  EXPECT_DOUBLE_EQ(
+      EstimateLambdaQueryQuadrants(2, {0.42}, {0.6, 0.7}), 0.42);
+}
+
+TEST(LambdaEstimatorDeathTest, RejectsWrongPairCount) {
+  EXPECT_DEATH(EstimateLambdaQuery(3, {0.1, 0.2}), "FELIP_CHECK");
+}
+
+TEST(LambdaEstimatorDeathTest, RejectsHugeLambda) {
+  EXPECT_DEATH(FitSignCombinations(21, std::vector<double>(Choose2(21), 0.1)),
+               "too large");
+}
+
+}  // namespace
+}  // namespace felip::post

@@ -1,0 +1,106 @@
+#include "felip/post/norm_sub.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+
+namespace felip::post {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(NormSubTest, AlreadyValidIsUntouched) {
+  std::vector<double> f = {0.25, 0.25, 0.5};
+  RemoveNegativity(&f);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_DOUBLE_EQ(f[2], 0.5);
+}
+
+TEST(NormSubTest, ClampsNegativesAndRenormalizes) {
+  std::vector<double> f = {0.6, -0.1, 0.6, -0.1};
+  RemoveNegativity(&f);
+  for (const double v : f) EXPECT_GE(v, 0.0);
+  EXPECT_NEAR(Sum(f), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+  EXPECT_NEAR(f[0], 0.5, 1e-9);
+}
+
+TEST(NormSubTest, PreservesOrderingOfPositives) {
+  std::vector<double> f = {0.9, 0.5, -0.2, 0.1};
+  RemoveNegativity(&f);
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_GT(f[1], f[3]);
+}
+
+TEST(NormSubTest, AllNegativeFallsBackToUniform) {
+  std::vector<double> f = {-0.5, -0.2, -0.9};
+  RemoveNegativity(&f);
+  for (const double v : f) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(NormSubTest, AllZerosBecomesUniform) {
+  std::vector<double> f = {0.0, 0.0};
+  RemoveNegativity(&f);
+  EXPECT_NEAR(Sum(f), 1.0, 1e-12);
+}
+
+TEST(NormSubTest, SingleElement) {
+  std::vector<double> f = {-2.0};
+  RemoveNegativity(&f);
+  EXPECT_NEAR(f[0], 1.0, 1e-12);
+}
+
+TEST(NormSubTest, CustomTargetSum) {
+  std::vector<double> f = {1.0, 2.0, -1.0};
+  NormSubOptions options;
+  options.target_sum = 6.0;
+  RemoveNegativity(&f, options);
+  EXPECT_NEAR(Sum(f), 6.0, 1e-9);
+  for (const double v : f) EXPECT_GE(v, 0.0);
+}
+
+TEST(NormSubTest, SumAboveOneIsReducedNotScaled) {
+  // Norm-Sub subtracts uniformly from positives (not multiplicative).
+  std::vector<double> f = {1.0, 0.5, 0.5};
+  RemoveNegativity(&f);
+  EXPECT_NEAR(Sum(f), 1.0, 1e-9);
+  // Uniform subtraction keeps differences: 1.0 - 0.5 stays 0.5 apart.
+  EXPECT_NEAR(f[0] - f[1], 0.5, 1e-9);
+}
+
+// Property sweep: output is always a distribution, for adversarial inputs.
+class NormSubPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormSubPropertyTest, OutputIsAlwaysDistribution) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto size = static_cast<size_t>(1 + rng.UniformU64(64));
+    std::vector<double> f(size);
+    for (double& v : f) v = rng.Gaussian() * 2.0;
+    RemoveNegativity(&f);
+    double sum = 0.0;
+    for (const double v : f) {
+      ASSERT_GE(v, 0.0);
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormSubPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(NormSubDeathTest, RejectsEmptyVector) {
+  std::vector<double> f;
+  EXPECT_DEATH(RemoveNegativity(&f), "FELIP_CHECK");
+}
+
+}  // namespace
+}  // namespace felip::post

@@ -1,0 +1,109 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::post {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(NormMulTest, ScalesMultiplicatively) {
+  std::vector<double> f = {0.8, -0.2, 0.8};  // positives sum to 1.6
+  NormalizeFrequencies(&f, Normalization::kNormMul);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_NEAR(f[0], 0.5, 1e-12);
+  EXPECT_NEAR(f[2], 0.5, 1e-12);
+  // Multiplicative scaling preserves ratios (Norm-Sub preserves gaps).
+  std::vector<double> g = {0.9, 0.3, -0.1};
+  NormalizeFrequencies(&g, Normalization::kNormMul);
+  EXPECT_NEAR(g[0] / g[1], 3.0, 1e-9);
+}
+
+TEST(NormMulTest, AllNonPositiveFallsBackToUniform) {
+  std::vector<double> f = {-0.1, -0.4};
+  NormalizeFrequencies(&f, Normalization::kNormMul);
+  EXPECT_NEAR(f[0], 0.5, 1e-12);
+  EXPECT_NEAR(f[1], 0.5, 1e-12);
+}
+
+TEST(NormCutTest, CutsSmallestFirst) {
+  // Sum of positives is 1.4; cutting must remove 0.4 starting with the
+  // smallest entries: 0.1 then 0.3 are zeroed entirely (0.4 removed).
+  std::vector<double> f = {0.7, 0.3, 0.1, 0.3, -0.2};
+  NormalizeFrequencies(&f, Normalization::kNormCut);
+  EXPECT_NEAR(Sum(f), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f[0], 0.7);   // largest untouched
+  EXPECT_DOUBLE_EQ(f[2], 0.0);   // smallest zeroed
+  EXPECT_DOUBLE_EQ(f[4], 0.0);   // negative clamped
+}
+
+TEST(NormCutTest, PartialCutAtBoundary) {
+  std::vector<double> f = {0.9, 0.25};  // remove 0.15 from the smaller one
+  NormalizeFrequencies(&f, Normalization::kNormCut);
+  EXPECT_DOUBLE_EQ(f[0], 0.9);
+  EXPECT_NEAR(f[1], 0.1, 1e-12);
+}
+
+TEST(NormCutTest, DoesNotAddMass) {
+  std::vector<double> f = {0.2, -0.1, 0.3};  // clamped sum 0.5 < 1
+  NormalizeFrequencies(&f, Normalization::kNormCut);
+  EXPECT_NEAR(Sum(f), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+}
+
+TEST(NormalizationTest, SubDispatchMatchesRemoveNegativity) {
+  std::vector<double> a = {0.6, -0.1, 0.6, -0.1};
+  std::vector<double> b = a;
+  NormalizeFrequencies(&a, Normalization::kNormSub);
+  RemoveNegativity(&b);
+  EXPECT_EQ(a, b);
+}
+
+// Property: every variant yields non-negative output, and Sub/Mul hit the
+// target sum exactly.
+class NormalizationPropertyTest
+    : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(NormalizationPropertyTest, NonNegativeOutput) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> f(1 + rng.UniformU64(32));
+    for (double& v : f) v = rng.Gaussian();
+    NormalizeFrequencies(&f, GetParam());
+    double sum = 0.0;
+    for (const double v : f) {
+      ASSERT_GE(v, 0.0);
+      sum += v;
+    }
+    if (GetParam() != Normalization::kNormCut) {
+      ASSERT_NEAR(sum, 1.0, 1e-6);
+    } else {
+      ASSERT_LE(sum, 1.0 + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, NormalizationPropertyTest,
+                         ::testing::Values(Normalization::kNormSub,
+                                           Normalization::kNormMul,
+                                           Normalization::kNormCut),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Normalization::kNormSub:
+                               return "NormSub";
+                             case Normalization::kNormMul:
+                               return "NormMul";
+                             case Normalization::kNormCut:
+                               return "NormCut";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace felip::post

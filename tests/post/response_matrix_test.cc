@@ -1,0 +1,173 @@
+#include "felip/post/response_matrix.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/grid/grid.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::post {
+namespace {
+
+using grid::AxisSelection;
+using grid::Grid1D;
+using grid::Grid2D;
+using grid::Partition1D;
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// A 2-D grid with random non-negative normalized frequencies.
+Grid2D RandomGrid2D(uint32_t dx, uint32_t dy, uint32_t lx, uint32_t ly,
+                    uint64_t seed) {
+  Grid2D g(0, 1, Partition1D(dx, lx), Partition1D(dy, ly));
+  Rng rng(seed);
+  std::vector<double> f(g.num_cells());
+  for (double& v : f) v = rng.UniformDouble() + 0.01;
+  const double total = Sum(f);
+  for (double& v : f) v /= total;
+  g.SetFrequencies(f);
+  return g;
+}
+
+Grid1D RandomGrid1D(uint32_t attr, uint32_t domain, uint32_t cells,
+                    uint64_t seed) {
+  Grid1D g(attr, Partition1D(domain, cells));
+  Rng rng(seed);
+  std::vector<double> f(cells);
+  for (double& v : f) v = rng.UniformDouble() + 0.01;
+  const double total = Sum(f);
+  for (double& v : f) v /= total;
+  g.SetFrequencies(f);
+  return g;
+}
+
+TEST(ResponseMatrixTest, GridOnlyReproducesGridAnswer) {
+  // With Γ = {G(i,j)} the response matrix must equal the grid's own
+  // uniformity-based answer for any selection.
+  const Grid2D g2 = RandomGrid2D(10, 8, 4, 3, 1);
+  const ResponseMatrix m = ResponseMatrix::Build(g2, nullptr, nullptr);
+  for (const auto& [xlo, xhi, ylo, yhi] :
+       std::vector<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>>{
+           {0, 9, 0, 7}, {2, 5, 1, 6}, {0, 0, 7, 7}, {3, 9, 0, 3}}) {
+    const AxisSelection sx = AxisSelection::MakeRange(xlo, xhi);
+    const AxisSelection sy = AxisSelection::MakeRange(ylo, yhi);
+    EXPECT_NEAR(m.Answer(sx, sy), g2.Answer(sx, sy), 1e-9);
+  }
+}
+
+TEST(ResponseMatrixTest, MassSumsToOne) {
+  const Grid2D g2 = RandomGrid2D(12, 12, 5, 4, 2);
+  const Grid1D gx = RandomGrid1D(0, 12, 7, 3);
+  const Grid1D gy = RandomGrid1D(1, 12, 6, 4);
+  const ResponseMatrix m = ResponseMatrix::Build(g2, &gx, &gy);
+  EXPECT_NEAR(
+      m.Answer(AxisSelection::MakeAll(12), AxisSelection::MakeAll(12)), 1.0,
+      0.01);
+}
+
+TEST(ResponseMatrixTest, BlockMatchesDenseReference) {
+  // The block implementation must agree with the literal Algorithm 3.
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Grid2D g2 = RandomGrid2D(15, 9, 4, 3, seed);
+    const Grid1D gx = RandomGrid1D(0, 15, 6, seed + 10);
+    const Grid1D gy = RandomGrid1D(1, 9, 4, seed + 20);
+    ResponseMatrixOptions options;
+    options.threshold = 1e-10;
+    options.max_iterations = 300;
+    const ResponseMatrix block =
+        ResponseMatrix::Build(g2, &gx, &gy, options);
+    const std::vector<double> dense =
+        BuildResponseMatrixDense(g2, &gx, &gy, options);
+    const std::vector<double> block_dense = block.ToDense();
+    ASSERT_EQ(block_dense.size(), dense.size());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      ASSERT_NEAR(block_dense[i], dense[i], 1e-6) << "element " << i;
+    }
+  }
+}
+
+TEST(ResponseMatrixTest, SatisfiesGridConstraints) {
+  // After convergence, summing the matrix over each 2-D grid cell must
+  // reproduce (approximately) that cell's frequency.
+  const Grid2D g2 = RandomGrid2D(12, 10, 3, 2, 7);
+  const Grid1D gx = RandomGrid1D(0, 12, 4, 8);
+  ResponseMatrixOptions options;
+  options.threshold = 1e-12;
+  options.max_iterations = 500;
+  const ResponseMatrix m = ResponseMatrix::Build(g2, &gx, nullptr, options);
+  for (uint32_t cx = 0; cx < 3; ++cx) {
+    for (uint32_t cy = 0; cy < 2; ++cy) {
+      const AxisSelection sx = AxisSelection::MakeRange(
+          g2.px().CellBegin(cx), g2.px().CellEnd(cx) - 1);
+      const AxisSelection sy = AxisSelection::MakeRange(
+          g2.py().CellBegin(cy), g2.py().CellEnd(cy) - 1);
+      EXPECT_NEAR(m.Answer(sx, sy), g2.frequencies()[g2.CellIndex(cx, cy)],
+                  0.02);
+    }
+  }
+}
+
+TEST(ResponseMatrixTest, OneDimGridRefinesMarginal) {
+  // A 1-D grid with a strong skew must pull the matrix marginal toward it.
+  Grid2D g2(0, 1, Partition1D(8, 1), Partition1D(4, 1));
+  g2.SetFrequencies({1.0});  // totally uninformative 2-D grid
+  Grid1D gx(0, Partition1D(8, 4));
+  gx.SetFrequencies({0.7, 0.1, 0.1, 0.1});
+  const ResponseMatrix m = ResponseMatrix::Build(g2, &gx, nullptr);
+  const double head = m.Answer(AxisSelection::MakeRange(0, 1),
+                               AxisSelection::MakeAll(4));
+  EXPECT_NEAR(head, 0.7, 0.01);
+}
+
+TEST(ResponseMatrixTest, CategoricalIdentityGrid) {
+  // Identity partitions (categorical x categorical): the matrix equals the
+  // grid exactly, cell for cell.
+  const Grid2D g2 = RandomGrid2D(5, 4, 5, 4, 9);
+  const ResponseMatrix m = ResponseMatrix::Build(g2, nullptr, nullptr);
+  const std::vector<double> dense = m.ToDense();
+  for (uint32_t x = 0; x < 5; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      EXPECT_NEAR(dense[x * 4 + y], g2.frequencies()[g2.CellIndex(x, y)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(ResponseMatrixTest, SetSelectionsSupported) {
+  const Grid2D g2 = RandomGrid2D(6, 6, 3, 3, 11);
+  const ResponseMatrix m = ResponseMatrix::Build(g2, nullptr, nullptr);
+  const double all = m.Answer(AxisSelection::MakeSet({0, 1, 2, 3, 4, 5}),
+                              AxisSelection::MakeAll(6));
+  EXPECT_NEAR(all, 1.0, 1e-6);
+  const double partial = m.Answer(AxisSelection::MakeSet({0, 3}),
+                                  AxisSelection::MakeAll(6));
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, all);
+}
+
+TEST(ResponseMatrixTest, NumBlocksBoundedByRefinement) {
+  const Grid2D g2 = RandomGrid2D(100, 100, 10, 10, 12);
+  const Grid1D gx = RandomGrid1D(0, 100, 27, 13);
+  const Grid1D gy = RandomGrid1D(1, 100, 27, 14);
+  const ResponseMatrix m = ResponseMatrix::Build(g2, &gx, &gy);
+  // At most (10 + 27 + 1) boundaries per axis -> 36 * 36 blocks, far less
+  // than the 10,000-entry dense matrix.
+  EXPECT_LE(m.num_blocks(), 36u * 36u);
+  EXPECT_EQ(m.domain_x(), 100u);
+}
+
+TEST(ResponseMatrixDeathTest, RejectsMismatchedOneDimGrid) {
+  const Grid2D g2 = RandomGrid2D(10, 10, 2, 2, 15);
+  Grid1D wrong_attr(5, Partition1D(10, 2));
+  EXPECT_DEATH(ResponseMatrix::Build(g2, &wrong_attr, nullptr),
+               "x attribute");
+}
+
+}  // namespace
+}  // namespace felip::post

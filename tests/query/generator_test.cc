@@ -1,0 +1,123 @@
+#include "felip/query/generator.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/synthetic.h"
+
+namespace felip::query {
+namespace {
+
+data::Dataset TestDataset() {
+  return data::MakeUniform(200, 3, 3, 100, 8, 1);
+}
+
+TEST(GeneratorTest, ProducesRequestedDimension) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(1);
+  for (uint32_t lambda : {1u, 2u, 4u, 6u}) {
+    const Query q = GenerateQuery(ds, {lambda, 0.5, false}, rng);
+    EXPECT_EQ(q.dimension(), lambda);
+  }
+}
+
+TEST(GeneratorTest, DimensionClampedToAttributeCount) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(2);
+  const Query q = GenerateQuery(ds, {12, 0.5, false}, rng);
+  EXPECT_EQ(q.dimension(), 6u);
+}
+
+TEST(GeneratorTest, AttributesAreDistinct) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Query q = GenerateQuery(ds, {4, 0.3, false}, rng);
+    std::set<uint32_t> attrs;
+    for (const Predicate& p : q.predicates()) attrs.insert(p.attr);
+    EXPECT_EQ(attrs.size(), 4u);
+  }
+}
+
+TEST(GeneratorTest, NumericalPredicatesHitTargetSelectivity) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Query q = GenerateQuery(ds, {6, 0.3, false}, rng);
+    for (const Predicate& p : q.predicates()) {
+      const uint32_t domain = ds.attribute(p.attr).domain;
+      const double fraction =
+          static_cast<double>(p.SelectedCount(domain)) / domain;
+      // ceil/round slack on small domains.
+      EXPECT_NEAR(fraction, 0.3, 0.15)
+          << "attr " << p.attr << " domain " << domain;
+    }
+  }
+}
+
+TEST(GeneratorTest, CategoricalAttributesGetSetPredicates) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(5);
+  bool saw_set = false;
+  for (int i = 0; i < 50; ++i) {
+    const Query q = GenerateQuery(ds, {6, 0.5, false}, rng);
+    for (const Predicate& p : q.predicates()) {
+      if (ds.attribute(p.attr).categorical) {
+        EXPECT_TRUE(p.op == Op::kIn || p.op == Op::kEquals);
+        saw_set |= p.op == Op::kIn;
+      } else {
+        EXPECT_EQ(p.op, Op::kBetween);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_set);
+}
+
+TEST(GeneratorTest, RangeOnlySkipsCategorical) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const Query q = GenerateQuery(ds, {3, 0.5, true}, rng);
+    for (const Predicate& p : q.predicates()) {
+      EXPECT_FALSE(ds.attribute(p.attr).categorical);
+      EXPECT_EQ(p.op, Op::kBetween);
+    }
+  }
+}
+
+TEST(GeneratorTest, RangesStayInsideDomain) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Query q = GenerateQuery(ds, {6, 0.9, false}, rng);
+    for (const Predicate& p : q.predicates()) {
+      const uint32_t domain = ds.attribute(p.attr).domain;
+      if (p.op == Op::kBetween) {
+        EXPECT_LT(p.hi, domain);
+      } else if (p.op == Op::kIn) {
+        for (const uint32_t v : p.values) EXPECT_LT(v, domain);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, TinySelectivityGivesPointQueries) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(8);
+  const Query q = GenerateQuery(ds, {6, 0.001, false}, rng);
+  for (const Predicate& p : q.predicates()) {
+    EXPECT_EQ(p.SelectedCount(ds.attribute(p.attr).domain), 1u);
+  }
+}
+
+TEST(GeneratorTest, BatchGeneration) {
+  const data::Dataset ds = TestDataset();
+  Rng rng(9);
+  const std::vector<Query> queries = GenerateQueries(ds, 25, {2, 0.5}, rng);
+  EXPECT_EQ(queries.size(), 25u);
+}
+
+}  // namespace
+}  // namespace felip::query

@@ -1,0 +1,124 @@
+#include "felip/query/query.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/dataset.h"
+
+namespace felip::query {
+namespace {
+
+data::Dataset SmallDataset() {
+  // 3 attributes: age (domain 100), education (domain 4), salary (domain 10).
+  return data::Dataset::FromColumns(
+      {{"age", 100, false}, {"education", 4, true}, {"salary", 10, false}},
+      {{29, 55, 48, 35, 23},
+       {0, 1, 2, 3, 0},
+       {5, 9, 7, 4, 3}});
+}
+
+TEST(PredicateTest, MatchesOperators) {
+  Predicate eq{.attr = 0, .op = Op::kEquals, .lo = 5, .hi = 5};
+  EXPECT_TRUE(eq.Matches(5));
+  EXPECT_FALSE(eq.Matches(6));
+
+  Predicate between{.attr = 0, .op = Op::kBetween, .lo = 2, .hi = 4};
+  EXPECT_FALSE(between.Matches(1));
+  EXPECT_TRUE(between.Matches(2));
+  EXPECT_TRUE(between.Matches(4));
+  EXPECT_FALSE(between.Matches(5));
+
+  Predicate in{.attr = 0, .op = Op::kIn, .values = {1, 7}};
+  EXPECT_TRUE(in.Matches(1));
+  EXPECT_TRUE(in.Matches(7));
+  EXPECT_FALSE(in.Matches(3));
+}
+
+TEST(PredicateTest, ToSelectionRoundTrips) {
+  Predicate between{.attr = 0, .op = Op::kBetween, .lo = 2, .hi = 6};
+  const grid::AxisSelection s = between.ToSelection();
+  EXPECT_TRUE(s.is_range());
+  EXPECT_EQ(s.lo(), 2u);
+  EXPECT_EQ(s.hi(), 6u);
+
+  Predicate in{.attr = 0, .op = Op::kIn, .values = {3, 1}};
+  const grid::AxisSelection si = in.ToSelection();
+  EXPECT_FALSE(si.is_range());
+  EXPECT_EQ(si.SelectedCount(10), 2u);
+
+  Predicate eq{.attr = 0, .op = Op::kEquals, .lo = 4};
+  EXPECT_EQ(eq.SelectedCount(10), 1u);
+}
+
+TEST(QueryTest, SortsPredicatesByAttribute) {
+  const Query q({{.attr = 2, .op = Op::kBetween, .lo = 0, .hi = 5},
+                 {.attr = 0, .op = Op::kBetween, .lo = 10, .hi = 20}});
+  EXPECT_EQ(q.dimension(), 2u);
+  EXPECT_EQ(q.predicates()[0].attr, 0u);
+  EXPECT_EQ(q.predicates()[1].attr, 2u);
+}
+
+TEST(QueryTest, FindPredicate) {
+  const Query q({{.attr = 1, .op = Op::kIn, .values = {0, 2}}});
+  EXPECT_NE(q.FindPredicate(1), nullptr);
+  EXPECT_EQ(q.FindPredicate(0), nullptr);
+}
+
+TEST(QueryDeathTest, RejectsDuplicateAttributes) {
+  EXPECT_DEATH(Query({{.attr = 1, .op = Op::kEquals, .lo = 0},
+                      {.attr = 1, .op = Op::kEquals, .lo = 1}}),
+               "duplicate");
+}
+
+TEST(QueryDeathTest, RejectsEmptyQuery) {
+  EXPECT_DEATH(Query({}), "predicate");
+}
+
+TEST(QueryDeathTest, RejectsInvertedRange) {
+  EXPECT_DEATH(Query({{.attr = 0, .op = Op::kBetween, .lo = 5, .hi = 2}}),
+               "FELIP_CHECK");
+}
+
+TEST(TrueAnswerTest, PaperExampleQuery) {
+  // The paper's Section 4 example: Age BETWEEN 30 AND 60 AND Education IN
+  // {1, 2} AND Salary <= 8 matches only record 2 -> 1/5.
+  const data::Dataset ds = SmallDataset();
+  const Query q({{.attr = 0, .op = Op::kBetween, .lo = 30, .hi = 60},
+                 {.attr = 1, .op = Op::kIn, .values = {1, 2}},
+                 {.attr = 2, .op = Op::kBetween, .lo = 0, .hi = 8}});
+  EXPECT_DOUBLE_EQ(TrueAnswer(ds, q), 0.2);
+}
+
+TEST(TrueAnswerTest, SinglePredicate) {
+  const data::Dataset ds = SmallDataset();
+  const Query q({{.attr = 1, .op = Op::kEquals, .lo = 0}});
+  EXPECT_DOUBLE_EQ(TrueAnswer(ds, q), 0.4);  // records 0 and 4
+}
+
+TEST(TrueAnswerTest, EmptySelection) {
+  const data::Dataset ds = SmallDataset();
+  const Query q({{.attr = 0, .op = Op::kBetween, .lo = 98, .hi = 99}});
+  EXPECT_DOUBLE_EQ(TrueAnswer(ds, q), 0.0);
+}
+
+TEST(TrueAnswerTest, FullDomainSelectsEverything) {
+  const data::Dataset ds = SmallDataset();
+  const Query q({{.attr = 0, .op = Op::kBetween, .lo = 0, .hi = 99}});
+  EXPECT_DOUBLE_EQ(TrueAnswer(ds, q), 1.0);
+}
+
+TEST(TrueAnswerTest, MatchesRowByRowEvaluation) {
+  const data::Dataset ds = SmallDataset();
+  const Query q({{.attr = 0, .op = Op::kBetween, .lo = 25, .hi = 50},
+                 {.attr = 2, .op = Op::kBetween, .lo = 4, .hi = 7}});
+  uint64_t count = 0;
+  for (uint64_t r = 0; r < ds.num_rows(); ++r) {
+    count += q.Matches(ds, r) ? 1 : 0;
+  }
+  EXPECT_DOUBLE_EQ(TrueAnswer(ds, q),
+                   static_cast<double>(count) / ds.num_rows());
+}
+
+}  // namespace
+}  // namespace felip::query

@@ -1,0 +1,138 @@
+#include "felip/stream/streaming.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "felip/data/synthetic.h"
+#include "felip/query/query.h"
+
+namespace felip::stream {
+namespace {
+
+StreamConfig FastConfig() {
+  StreamConfig config;
+  config.felip.epsilon = 2.0;
+  config.felip.olh_options.seed_pool_size = 512;
+  config.felip.seed = 5;
+  config.decay = 0.5;
+  config.max_epochs = 3;
+  return config;
+}
+
+query::Query HalfRangeQuery() {
+  return query::Query(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 15}});
+}
+
+TEST(StreamingCollectorTest, TracksEpochCounts) {
+  const data::Dataset epoch = data::MakeUniform(5000, 2, 0, 32, 2, 1);
+  StreamingCollector collector(epoch.attributes(), FastConfig());
+  EXPECT_EQ(collector.epochs_ingested(), 0u);
+  collector.IngestEpoch(epoch);
+  collector.IngestEpoch(epoch);
+  EXPECT_EQ(collector.epochs_ingested(), 2u);
+  EXPECT_EQ(collector.epochs_retained(), 2u);
+}
+
+TEST(StreamingCollectorTest, HistoryWindowBoundsMemory) {
+  const data::Dataset epoch = data::MakeUniform(2000, 2, 0, 16, 2, 2);
+  StreamingCollector collector(epoch.attributes(), FastConfig());
+  for (int e = 0; e < 7; ++e) collector.IngestEpoch(epoch);
+  EXPECT_EQ(collector.epochs_ingested(), 7u);
+  EXPECT_EQ(collector.epochs_retained(), 3u);  // max_epochs
+}
+
+TEST(StreamingCollectorTest, StationaryStreamAnswersAccurately) {
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 32, 2, 3).attributes(), FastConfig());
+  for (int e = 0; e < 3; ++e) {
+    collector.IngestEpoch(data::MakeUniform(20000, 2, 0, 32, 2, 10 + e));
+  }
+  const double estimate = collector.AnswerQuery(HalfRangeQuery());
+  EXPECT_NEAR(estimate, 0.5, 0.08);
+}
+
+TEST(StreamingCollectorTest, AdaptsToDistributionShift) {
+  // Uniform epochs followed by strongly skewed epochs: the decayed answer
+  // must move toward the new distribution.
+  const auto skewed = [](uint64_t n, uint64_t seed) {
+    // All mass in the lower half of attr 0.
+    std::vector<data::SyntheticAttribute> specs = {
+        {.name = "a", .domain = 32, .categorical = false,
+         .distribution = data::Distribution::kExponential, .param = 12.0},
+        {.name = "b", .domain = 32, .categorical = false,
+         .distribution = data::Distribution::kUniform},
+    };
+    return data::GenerateSynthetic(n, specs, seed);
+  };
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 32, 2, 4).attributes(), FastConfig());
+  collector.IngestEpoch(data::MakeUniform(20000, 2, 0, 32, 2, 20));
+  const double before = collector.AnswerQuery(HalfRangeQuery());
+  for (int e = 0; e < 3; ++e) {
+    collector.IngestEpoch(skewed(20000, 30 + e));
+  }
+  const double after = collector.AnswerQuery(HalfRangeQuery());
+  EXPECT_NEAR(before, 0.5, 0.1);
+  EXPECT_GT(after, 0.8);  // exponential(12) puts ~all mass below 16
+}
+
+TEST(StreamingCollectorTest, LatestIgnoresHistory) {
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 32, 2, 5).attributes(), FastConfig());
+  collector.IngestEpoch(data::MakeUniform(20000, 2, 0, 32, 2, 40));
+  collector.IngestEpoch(data::MakeNormal(20000, 2, 0, 32, 2, 41));
+  const query::Query center(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 8, .hi = 23}});
+  const double latest = collector.AnswerQueryLatest(center);
+  const double mixed = collector.AnswerQuery(center);
+  // The normal epoch concentrates mass in the center (> uniform's 0.5);
+  // mixing with the uniform epoch pulls the estimate down.
+  EXPECT_GT(latest, mixed);
+}
+
+TEST(StreamingCollectorTest, VaryingEpochSizesSupported) {
+  // Each epoch plans its own grids for its own population size.
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 32, 2, 50).attributes(), FastConfig());
+  for (const uint64_t n : {3000ull, 12000ull, 800ull, 25000ull}) {
+    collector.IngestEpoch(data::MakeUniform(n, 2, 0, 32, 2, 60 + n));
+  }
+  const double estimate = collector.AnswerQuery(HalfRangeQuery());
+  EXPECT_GE(estimate, 0.0);
+  EXPECT_LE(estimate, 1.0);
+  EXPECT_NEAR(estimate, 0.5, 0.15);
+}
+
+TEST(StreamingCollectorTest, DecayOneAveragesUniformly) {
+  StreamConfig config = FastConfig();
+  config.decay = 1.0;  // plain average over the window
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 32, 2, 51).attributes(), config);
+  collector.IngestEpoch(data::MakeUniform(15000, 2, 0, 32, 2, 70));
+  collector.IngestEpoch(data::MakeUniform(15000, 2, 0, 32, 2, 71));
+  const query::Query q = HalfRangeQuery();
+  // With decay 1 the mixed answer is the plain mean over the window, which
+  // averages the two epochs' independent noise.
+  const double mixed = collector.AnswerQuery(q);
+  const double latest = collector.AnswerQueryLatest(q);
+  EXPECT_NEAR(mixed, 0.5, 0.1);
+  EXPECT_NEAR(latest, 0.5, 0.15);
+}
+
+TEST(StreamingCollectorDeathTest, QueriesNeedAnEpoch) {
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 16, 2, 6).attributes(), FastConfig());
+  EXPECT_DEATH(collector.AnswerQuery(HalfRangeQuery()), "no epochs");
+}
+
+TEST(StreamingCollectorDeathTest, RejectsSchemaMismatch) {
+  StreamingCollector collector(
+      data::MakeUniform(1, 2, 0, 16, 2, 7).attributes(), FastConfig());
+  EXPECT_DEATH(collector.IngestEpoch(data::MakeUniform(100, 2, 0, 32, 2, 8)),
+               "FELIP_CHECK");
+}
+
+}  // namespace
+}  // namespace felip::stream

@@ -1,0 +1,279 @@
+#include "felip/wire/wire.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/data/synthetic.h"
+
+namespace felip::wire {
+namespace {
+
+GridConfigMessage SampleConfig() {
+  GridConfigMessage m;
+  m.grid_index = 7;
+  m.is_2d = true;
+  m.attr_x = 1;
+  m.attr_y = 4;
+  m.domain_x = 100;
+  m.domain_y = 8;
+  m.lx = 13;
+  m.ly = 8;
+  m.protocol = fo::Protocol::kOlh;
+  m.epsilon = 1.25;
+  m.seed_pool_size = 4096;
+  m.pool_salt = 0x1234;
+  return m;
+}
+
+TEST(WireGridConfigTest, RoundTrips) {
+  const GridConfigMessage original = SampleConfig();
+  const std::vector<uint8_t> encoded = EncodeGridConfig(original);
+  const auto decoded = DecodeGridConfig(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(WireGridConfigTest, DetectsBitFlips) {
+  const std::vector<uint8_t> encoded = EncodeGridConfig(SampleConfig());
+  // Flip every byte in turn; every corruption must be caught.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::vector<uint8_t> corrupted = encoded;
+    corrupted[i] ^= 0x40;
+    EXPECT_FALSE(DecodeGridConfig(corrupted).has_value())
+        << "byte " << i << " flip went undetected";
+  }
+}
+
+TEST(WireGridConfigTest, DetectsTruncation) {
+  const std::vector<uint8_t> encoded = EncodeGridConfig(SampleConfig());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    const std::vector<uint8_t> truncated(encoded.begin(),
+                                         encoded.begin() + len);
+    EXPECT_FALSE(DecodeGridConfig(truncated).has_value()) << "len " << len;
+  }
+}
+
+TEST(WireGridConfigTest, RejectsInfeasibleLayout) {
+  GridConfigMessage bad = SampleConfig();
+  bad.lx = 1000;  // more cells than the domain
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(bad)).has_value());
+  GridConfigMessage zero = SampleConfig();
+  zero.domain_x = 0;
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(zero)).has_value());
+  GridConfigMessage eps = SampleConfig();
+  eps.epsilon = -1.0;
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(eps)).has_value());
+}
+
+TEST(WireGridConfigTest, RejectsWrongKind) {
+  ReportMessage r;
+  r.protocol = fo::Protocol::kGrr;
+  EXPECT_FALSE(DecodeGridConfig(EncodeReport(r)).has_value());
+}
+
+TEST(WireReportTest, GrrRoundTrip) {
+  ReportMessage m;
+  m.grid_index = 3;
+  m.protocol = fo::Protocol::kGrr;
+  m.grr_report = 42;
+  const auto decoded = DecodeReport(EncodeReport(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireReportTest, OlhRoundTrip) {
+  ReportMessage m;
+  m.grid_index = 9;
+  m.protocol = fo::Protocol::kOlh;
+  m.olh.seed = 0xdeadbeef;
+  m.olh.hashed_report = 2;
+  m.olh.seed_index = 17;
+  const auto decoded = DecodeReport(EncodeReport(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireReportTest, OueRoundTrip) {
+  ReportMessage m;
+  m.grid_index = 0;
+  m.protocol = fo::Protocol::kOue;
+  m.oue_bits = {1, 0, 0, 1, 1, 0};
+  const auto decoded = DecodeReport(EncodeReport(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireReportTest, RejectsNonBinaryOueBits) {
+  ReportMessage m;
+  m.protocol = fo::Protocol::kOue;
+  m.oue_bits = {1, 2, 0};
+  // The encoder writes whatever it is given; the decoder must reject it.
+  EXPECT_FALSE(DecodeReport(EncodeReport(m)).has_value());
+}
+
+TEST(WireReportTest, EmptyBufferFails) {
+  EXPECT_FALSE(DecodeReport({}).has_value());
+}
+
+TEST(WireBatchTest, RoundTripsMixedProtocols) {
+  std::vector<ReportMessage> batch(3);
+  batch[0].protocol = fo::Protocol::kGrr;
+  batch[0].grr_report = 5;
+  batch[1].protocol = fo::Protocol::kOlh;
+  batch[1].olh.seed = 77;
+  batch[1].olh.hashed_report = 1;
+  batch[2].protocol = fo::Protocol::kOue;
+  batch[2].oue_bits = {0, 1};
+  const auto decoded = DecodeReportBatch(EncodeReportBatch(batch));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*decoded)[i], batch[i]);
+}
+
+TEST(WireBatchTest, EmptyBatchAllowed) {
+  const auto decoded = DecodeReportBatch(EncodeReportBatch({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(WireBatchTest, CorruptedCountFails) {
+  std::vector<ReportMessage> batch(2);
+  batch[0].protocol = fo::Protocol::kGrr;
+  batch[1].protocol = fo::Protocol::kGrr;
+  std::vector<uint8_t> encoded = EncodeReportBatch(batch);
+  encoded[6] = 200;  // claim 200 reports
+  EXPECT_FALSE(DecodeReportBatch(encoded).has_value());
+}
+
+TEST(WireFormatStabilityTest, GoldenBytesForGrrReport) {
+  // Wire-format regression guard: these exact bytes are version 1 of the
+  // format. If this test breaks, bump kVersion instead of silently
+  // changing the encoding under deployed clients.
+  ReportMessage m;
+  m.grid_index = 0x01020304;
+  m.protocol = fo::Protocol::kGrr;
+  m.grr_report = 0x1122334455667788ULL;
+  const std::vector<uint8_t> encoded = EncodeReport(m);
+  // magic "FELP" LE, version 1, kind 2, grid index LE, protocol 0,
+  // payload LE, then an 8-byte checksum.
+  const std::vector<uint8_t> expected_prefix = {
+      0x50, 0x4c, 0x45, 0x46, 0x01, 0x02, 0x04, 0x03, 0x02, 0x01, 0x00,
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11};
+  ASSERT_EQ(encoded.size(), expected_prefix.size() + 8);
+  for (size_t i = 0; i < expected_prefix.size(); ++i) {
+    EXPECT_EQ(encoded[i], expected_prefix[i]) << "byte " << i;
+  }
+  // The trailer must be the xxHash64 of the prefix under the fixed salt —
+  // verified indirectly: decoding succeeds and round-trips.
+  const auto decoded = DecodeReport(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireFuzzTest, RandomBuffersNeverDecode) {
+  // Random bytes must be rejected (the checksum makes accidental
+  // acceptance a ~2^-64 event), and must never crash.
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> buffer(rng.UniformU64(200));
+    for (uint8_t& b : buffer) b = static_cast<uint8_t>(rng.UniformU64(256));
+    EXPECT_FALSE(DecodeGridConfig(buffer).has_value());
+    EXPECT_FALSE(DecodeReport(buffer).has_value());
+    EXPECT_FALSE(DecodeReportBatch(buffer).has_value());
+  }
+}
+
+TEST(WireFuzzTest, ValidPrefixWithGarbageTailFails) {
+  ReportMessage m;
+  m.protocol = fo::Protocol::kGrr;
+  m.grr_report = 1;
+  std::vector<uint8_t> buffer = EncodeReport(m);
+  buffer.push_back(0xab);
+  EXPECT_FALSE(DecodeReport(buffer).has_value());
+}
+
+TEST(WireDeviceIntegrationTest, DeviceSideRoundTripEstimates) {
+  // Full device-side flow: the aggregator publishes a grid config over the
+  // wire; devices decode it, project with FelipClient, perturb with the
+  // named protocol, and ship reports back over the wire; the aggregator
+  // feeds a matching server and the estimate tracks the truth.
+  const data::Dataset ds = data::MakeNormal(30000, 2, 0, 32, 2, 7);
+  core::FelipConfig config;
+  config.epsilon = 2.0;
+  config.allow_grr = false;  // force OLH so the wire OLH path is exercised
+  const core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(), config);
+
+  // Pick the 1-D grid of attribute 0 (assignment order: 1-D grids first).
+  const uint32_t grid_index = 0;
+  ASSERT_FALSE(pipeline.assignments()[grid_index].is_2d);
+  const std::vector<uint8_t> config_wire =
+      EncodeGridConfig(MakeGridConfig(pipeline, ds.attributes(), grid_index,
+                                      config.epsilon, config.olh_options));
+
+  // Device side.
+  const auto device_config = DecodeGridConfig(config_wire);
+  ASSERT_TRUE(device_config.has_value());
+  ASSERT_EQ(device_config->protocol, fo::Protocol::kOlh);
+  core::GridAssignment assignment;
+  assignment.is_2d = device_config->is_2d;
+  assignment.attr_x = device_config->attr_x;
+  assignment.plan.lx = device_config->lx;
+  assignment.plan.ly = device_config->ly;
+  const core::FelipClient device(assignment, device_config->domain_x,
+                                 device_config->domain_y);
+  fo::OlhOptions olh_options;
+  olh_options.seed_pool_size = device_config->seed_pool_size;
+  olh_options.pool_salt = device_config->pool_salt;
+  const fo::OlhClient olh_client(device_config->epsilon,
+                                 device.cell_domain(), olh_options);
+
+  Rng rng(8);
+  std::vector<ReportMessage> batch;
+  for (uint64_t row = 0; row < ds.num_rows(); ++row) {
+    ReportMessage report;
+    report.grid_index = device_config->grid_index;
+    report.protocol = fo::Protocol::kOlh;
+    report.olh =
+        olh_client.Perturb(device.ProjectToCell(ds.Value(row, 0)), rng);
+    batch.push_back(report);
+  }
+
+  // Aggregator side.
+  const auto received = DecodeReportBatch(EncodeReportBatch(batch));
+  ASSERT_TRUE(received.has_value());
+  fo::OlhServer server(device_config->epsilon, device.cell_domain(),
+                       olh_options);
+  for (const ReportMessage& r : *received) server.Add(r.olh);
+  const std::vector<double> est = server.EstimateFrequencies();
+
+  // Compare to the exact cell histogram.
+  std::vector<double> truth(device.cell_domain(), 0.0);
+  for (const uint32_t v : ds.Column(0)) {
+    truth[device.ProjectToCell(v)] += 1.0;
+  }
+  for (double& t : truth) t /= static_cast<double>(ds.num_rows());
+  for (size_t c = 0; c < truth.size(); ++c) {
+    EXPECT_NEAR(est[c], truth[c], 0.05) << "cell " << c;
+  }
+}
+
+TEST(WireIntegrationTest, ConfigFromPipelinePlan) {
+  const data::Dataset ds = data::MakeUniform(5000, 2, 1, 50, 4, 1);
+  core::FelipConfig config;
+  config.epsilon = 1.0;
+  const core::FelipPipeline pipeline(ds.attributes(), ds.num_rows(), config);
+  for (uint32_t g = 0; g < pipeline.assignments().size(); ++g) {
+    const GridConfigMessage m = MakeGridConfig(
+        pipeline, ds.attributes(), g, config.epsilon, config.olh_options);
+    const auto decoded = DecodeGridConfig(EncodeGridConfig(m));
+    ASSERT_TRUE(decoded.has_value()) << "grid " << g;
+    EXPECT_EQ(decoded->grid_index, g);
+    EXPECT_LE(decoded->lx, decoded->domain_x);
+    EXPECT_LE(decoded->ly, decoded->domain_y);
+  }
+}
+
+}  // namespace
+}  // namespace felip::wire
