@@ -21,8 +21,7 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& body,
   for (unsigned t = 0; t < threads; ++t) {
     pool.emplace_back([&, t]() {
       // Contiguous shards keep cache behaviour predictable.
-      const size_t begin = count * t / threads;
-      const size_t end = count * (t + 1) / threads;
+      const auto [begin, end] = SliceRange(count, t, threads);
       for (size_t i = begin; i < end; ++i) body(i);
     });
   }

@@ -207,20 +207,27 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
                        dataset.Value(row, assignment.attr_y));
   };
 
+  // Perturbation stays a single serial pass (the rng trajectory defines
+  // the simulated population and must not depend on thread count); the
+  // perturbed reports are buffered per grid and aggregated afterwards via
+  // each oracle's sharded parallel path.
   Rng rng(config_.seed);
   const size_t m = assignments_.size();
   if (config_.partitioning == PartitioningMode::kDivideUsers) {
     for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
       const size_t g = static_cast<size_t>(rng.UniformU64(m));
-      oracles_[g]->SubmitUserValue(cell_of(g, row), rng);
+      oracles_[g]->BufferUserValue(cell_of(g, row), rng);
     }
   } else {
     // Sequential composition: every user reports every grid at eps/m.
     for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
       for (size_t g = 0; g < m; ++g) {
-        oracles_[g]->SubmitUserValue(cell_of(g, row), rng);
+        oracles_[g]->BufferUserValue(cell_of(g, row), rng);
       }
     }
+  }
+  for (auto& oracle : oracles_) {
+    oracle->FlushReports(config_.aggregation_threads);
   }
   collected_ = true;
 }
@@ -232,7 +239,8 @@ void FelipPipeline::Finalize() {
   // Estimation + per-grid negativity removal.
   const size_t n1 = grids_1d_.size();
   for (size_t g = 0; g < assignments_.size(); ++g) {
-    std::vector<double> freq = oracles_[g]->EstimateFrequencies();
+    std::vector<double> freq =
+        oracles_[g]->EstimateFrequencies(config_.aggregation_threads);
     post::NormalizeFrequencies(&freq, config_.normalization);
     if (!assignments_[g].is_2d) {
       grids_1d_[g].SetFrequencies(std::move(freq));

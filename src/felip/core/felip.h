@@ -73,6 +73,12 @@ struct FelipConfig {
   // post::EstimateLambdaQueryQuadrants.
   bool lambda_quadrant_fit = false;
 
+  // Threads for the sharded report-aggregation and estimation paths
+  // (0 = hardware concurrency, 1 = serial). Shard boundaries are fixed and
+  // reductions ordered, so estimates are bit-identical for every setting;
+  // see docs/aggregation.md.
+  unsigned aggregation_threads = 0;
+
   uint64_t seed = 1;  // drives group assignment and perturbation
 };
 

@@ -16,7 +16,16 @@ class GrrOracle final : public FrequencyOracle {
   void SubmitUserValue(uint64_t value, Rng& rng) override {
     server_.Add(client_.Perturb(value, rng));
   }
-  std::vector<double> EstimateFrequencies() const override {
+  void BufferUserValue(uint64_t value, Rng& rng) override {
+    buffer_.push_back(client_.Perturb(value, rng));
+  }
+  void FlushReports(unsigned thread_count) override {
+    server_.AggregateReports(buffer_, thread_count);
+    buffer_.clear();
+  }
+  size_t buffered_reports() const override { return buffer_.size(); }
+  std::vector<double> EstimateFrequencies(unsigned) const override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
     return server_.EstimateFrequencies();
   }
   uint64_t domain() const override { return client_.domain(); }
@@ -26,6 +35,7 @@ class GrrOracle final : public FrequencyOracle {
  private:
   GrrClient client_;
   GrrServer server_;
+  std::vector<uint64_t> buffer_;
 };
 
 class OlhOracle final : public FrequencyOracle {
@@ -37,8 +47,18 @@ class OlhOracle final : public FrequencyOracle {
   void SubmitUserValue(uint64_t value, Rng& rng) override {
     server_.Add(client_.Perturb(value, rng));
   }
-  std::vector<double> EstimateFrequencies() const override {
-    return server_.EstimateFrequencies();
+  void BufferUserValue(uint64_t value, Rng& rng) override {
+    buffer_.push_back(client_.Perturb(value, rng));
+  }
+  void FlushReports(unsigned thread_count) override {
+    server_.AggregateReports(buffer_, thread_count);
+    buffer_.clear();
+  }
+  size_t buffered_reports() const override { return buffer_.size(); }
+  std::vector<double> EstimateFrequencies(
+      unsigned thread_count) const override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    return server_.EstimateFrequencies(thread_count);
   }
   uint64_t domain() const override { return client_.domain(); }
   uint64_t num_reports() const override { return server_.num_reports(); }
@@ -47,6 +67,7 @@ class OlhOracle final : public FrequencyOracle {
  private:
   OlhClient client_;
   OlhServer server_;
+  std::vector<OlhReport> buffer_;
 };
 
 class OueOracle final : public FrequencyOracle {
@@ -57,7 +78,16 @@ class OueOracle final : public FrequencyOracle {
   void SubmitUserValue(uint64_t value, Rng& rng) override {
     server_.Add(client_.Perturb(value, rng));
   }
-  std::vector<double> EstimateFrequencies() const override {
+  void BufferUserValue(uint64_t value, Rng& rng) override {
+    buffer_.push_back(client_.Perturb(value, rng));
+  }
+  void FlushReports(unsigned thread_count) override {
+    server_.AggregateReports(buffer_, thread_count);
+    buffer_.clear();
+  }
+  size_t buffered_reports() const override { return buffer_.size(); }
+  std::vector<double> EstimateFrequencies(unsigned) const override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
     return server_.EstimateFrequencies();
   }
   uint64_t domain() const override { return client_.domain(); }
@@ -67,9 +97,16 @@ class OueOracle final : public FrequencyOracle {
  private:
   OueClient client_;
   OueServer server_;
+  std::vector<std::vector<uint8_t>> buffer_;
 };
 
 }  // namespace
+
+void FrequencyOracle::SubmitUserValues(std::span<const uint64_t> values,
+                                       Rng& rng, unsigned thread_count) {
+  for (const uint64_t value : values) BufferUserValue(value, rng);
+  FlushReports(thread_count);
+}
 
 std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(Protocol protocol,
                                                      double epsilon,

@@ -5,12 +5,22 @@
 // matching client/server pair behind that interface so collectors are
 // independent of the protocol AFO selects. The underlying client/server
 // classes remain public API for deployments that separate the two sides.
+//
+// Two ingestion paths exist:
+//   * SubmitUserValue — perturb and aggregate immediately (one report).
+//   * BufferUserValue + FlushReports — perturb with the exact same rng
+//     trajectory, but park the report in a buffer; FlushReports hands the
+//     whole buffer to the server's sharded AggregateReports, which spreads
+//     the accumulation over threads with fixed shard boundaries and an
+//     ordered reduction, so estimates are bit-identical to the serial path
+//     for every thread count. See docs/aggregation.md.
 
 #ifndef FELIP_FO_FREQUENCY_ORACLE_H_
 #define FELIP_FO_FREQUENCY_ORACLE_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -26,12 +36,34 @@ class FrequencyOracle {
   // Perturbs `value` with the user's `rng` and accumulates the report.
   virtual void SubmitUserValue(uint64_t value, Rng& rng) = 0;
 
+  // Perturbs `value` exactly like SubmitUserValue (identical rng
+  // trajectory) but parks the perturbed report in a buffer instead of
+  // aggregating it.
+  virtual void BufferUserValue(uint64_t value, Rng& rng) = 0;
+
+  // Aggregates all buffered reports with the server's sharded parallel
+  // path over up to `thread_count` threads (0 = hardware concurrency, 1 =
+  // serial) and clears the buffer. Estimates are identical for every
+  // thread count.
+  virtual void FlushReports(unsigned thread_count = 0) = 0;
+
+  // Reports buffered but not yet flushed.
+  virtual size_t buffered_reports() const = 0;
+
   // Unbiased frequency estimates for all domain values (may be negative).
-  virtual std::vector<double> EstimateFrequencies() const = 0;
+  // Requires an empty buffer (call FlushReports first); `thread_count`
+  // bounds the threads used by protocols that parallelize estimation.
+  virtual std::vector<double> EstimateFrequencies(
+      unsigned thread_count = 0) const = 0;
 
   virtual uint64_t domain() const = 0;
   virtual uint64_t num_reports() const = 0;
   virtual Protocol protocol() const = 0;
+
+  // Convenience: buffer every value in order (same rng trajectory as
+  // submitting them one by one), then flush once with `thread_count`.
+  void SubmitUserValues(std::span<const uint64_t> values, Rng& rng,
+                        unsigned thread_count = 0);
 };
 
 // Creates an oracle for `protocol`. `olh_options` applies only to OLH.

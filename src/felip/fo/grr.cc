@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "felip/common/check.h"
+#include "felip/common/parallel.h"
 
 namespace felip::fo {
 
@@ -47,6 +48,27 @@ void GrrServer::Add(uint64_t report) {
   FELIP_CHECK(report < counts_.size());
   ++counts_[report];
   ++num_reports_;
+}
+
+void GrrServer::AggregateReports(std::span<const uint64_t> reports,
+                                 unsigned thread_count) {
+  if (reports.empty()) return;
+  const size_t domain = counts_.size();
+  const std::vector<uint64_t> merged = ParallelReduce(
+      reports.size(),
+      [domain] { return std::vector<uint64_t>(domain, 0); },
+      [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          FELIP_CHECK(reports[i] < acc.size());
+          ++acc[reports[i]];
+        }
+      },
+      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+      },
+      thread_count);
+  for (size_t v = 0; v < domain; ++v) counts_[v] += merged[v];
+  num_reports_ += reports.size();
 }
 
 std::vector<double> GrrServer::EstimateFrequencies() const {

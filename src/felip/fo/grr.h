@@ -10,6 +10,7 @@
 #define FELIP_FO_GRR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -44,6 +45,14 @@ class GrrServer {
 
   // Accumulates one perturbed report in [0, domain).
   void Add(uint64_t report);
+
+  // Batch ingestion, equivalent to Add() on every report: the reports are
+  // histogrammed in fixed shards over up to `thread_count` threads (0 =
+  // hardware concurrency) and the shard histograms are reduced in shard
+  // order, so the resulting counts are bit-identical to the serial path
+  // for every thread count.
+  void AggregateReports(std::span<const uint64_t> reports,
+                        unsigned thread_count = 0);
 
   // Unbiased frequency estimates for all values (Eq. 1). Entries may be
   // negative; they sum to ~1 in expectation. Requires at least one report.

@@ -4,6 +4,7 @@
 
 #include "felip/common/check.h"
 #include "felip/common/numeric.h"
+#include "felip/common/parallel.h"
 
 namespace felip::fo {
 
@@ -60,6 +61,28 @@ void SheServer::Add(const std::vector<double>& report) {
   ++num_reports_;
 }
 
+void SheServer::AggregateReports(std::span<const std::vector<double>> reports,
+                                 unsigned thread_count) {
+  if (reports.empty()) return;
+  const size_t domain = sums_.size();
+  const std::vector<double> merged = ParallelReduce(
+      reports.size(),
+      [domain] { return std::vector<double>(domain, 0.0); },
+      [&](std::vector<double>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<double>& noisy = reports[i];
+          FELIP_CHECK(noisy.size() == acc.size());
+          for (size_t b = 0; b < noisy.size(); ++b) acc[b] += noisy[b];
+        }
+      },
+      [](std::vector<double>& into, std::vector<double>&& from) {
+        for (size_t b = 0; b < into.size(); ++b) into[b] += from[b];
+      },
+      thread_count);
+  for (size_t b = 0; b < domain; ++b) sums_[b] += merged[b];
+  num_reports_ += reports.size();
+}
+
 std::vector<double> SheServer::EstimateFrequencies() const {
   FELIP_CHECK_MSG(num_reports_ > 0, "no SHE reports collected");
   std::vector<double> freq(sums_.size());
@@ -105,6 +128,30 @@ void TheServer::Add(const std::vector<uint8_t>& report) {
     counts_[b] += report[b] != 0 ? 1 : 0;
   }
   ++num_reports_;
+}
+
+void TheServer::AggregateReports(
+    std::span<const std::vector<uint8_t>> reports, unsigned thread_count) {
+  if (reports.empty()) return;
+  const size_t domain = counts_.size();
+  const std::vector<uint64_t> merged = ParallelReduce(
+      reports.size(),
+      [domain] { return std::vector<uint64_t>(domain, 0); },
+      [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint8_t>& bits = reports[i];
+          FELIP_CHECK(bits.size() == acc.size());
+          for (size_t b = 0; b < bits.size(); ++b) {
+            acc[b] += bits[b] != 0 ? 1 : 0;
+          }
+        }
+      },
+      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        for (size_t b = 0; b < into.size(); ++b) into[b] += from[b];
+      },
+      thread_count);
+  for (size_t b = 0; b < domain; ++b) counts_[b] += merged[b];
+  num_reports_ += reports.size();
 }
 
 std::vector<double> TheServer::EstimateFrequencies() const {

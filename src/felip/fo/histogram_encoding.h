@@ -19,6 +19,7 @@
 #define FELIP_FO_HISTOGRAM_ENCODING_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -51,6 +52,15 @@ class SheServer {
   explicit SheServer(uint64_t domain);
 
   void Add(const std::vector<double>& report);
+
+  // Batch ingestion: per-shard partial sums over fixed shard boundaries,
+  // folded in shard order. The result is bit-identical for every
+  // `thread_count` (0 = hardware concurrency) — though not to a
+  // report-by-report Add() loop, since floating-point addition is not
+  // associative; don't mix the two paths on one server when exact
+  // reproducibility matters.
+  void AggregateReports(std::span<const std::vector<double>> reports,
+                        unsigned thread_count = 0);
 
   // Frequency estimates: per-bucket mean of the noisy reports (unbiased;
   // the Laplace noise is zero-mean).
@@ -89,6 +99,12 @@ class TheServer {
   TheServer(double epsilon, uint64_t domain, double theta = 0.0);
 
   void Add(const std::vector<uint8_t>& report);
+
+  // Batch ingestion, equivalent to Add() on every report; sharded bit
+  // summation as in OueServer::AggregateReports, bit-identical to the
+  // serial path for every thread count.
+  void AggregateReports(std::span<const std::vector<uint8_t>> reports,
+                        unsigned thread_count = 0);
 
   std::vector<double> EstimateFrequencies() const;
 

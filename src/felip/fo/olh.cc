@@ -4,6 +4,7 @@
 
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
+#include "felip/common/parallel.h"
 #include "felip/fo/protocol.h"
 
 namespace felip::fo {
@@ -77,6 +78,39 @@ void OlhServer::Add(const OlhReport& report) {
   ++num_reports_;
 }
 
+void OlhServer::AggregateReports(std::span<const OlhReport> reports,
+                                 unsigned thread_count) {
+  if (reports.empty()) return;
+  if (options_.seed_pool_size > 0) {
+    const size_t bins = pool_counts_.size();
+    const std::vector<uint64_t> merged = ParallelReduce(
+        reports.size(),
+        [bins] { return std::vector<uint64_t>(bins, 0); },
+        [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const OlhReport& r = reports[i];
+            FELIP_CHECK(r.hashed_report < g_);
+            FELIP_CHECK_MSG(r.seed_index < options_.seed_pool_size,
+                            "report missing pool index in pooled OLH mode");
+            ++acc[static_cast<size_t>(r.seed_index) * g_ + r.hashed_report];
+          }
+        },
+        [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+          for (size_t b = 0; b < into.size(); ++b) into[b] += from[b];
+        },
+        thread_count);
+    for (size_t b = 0; b < bins; ++b) {
+      pool_counts_[b] += static_cast<uint32_t>(merged[b]);
+    }
+  } else {
+    for (const OlhReport& r : reports) {
+      FELIP_CHECK(r.hashed_report < g_);
+    }
+    reports_.insert(reports_.end(), reports.begin(), reports.end());
+  }
+  num_reports_ += reports.size();
+}
+
 double OlhServer::SupportCount(uint64_t value) const {
   if (options_.seed_pool_size > 0) {
     uint64_t support = 0;
@@ -99,12 +133,38 @@ double OlhServer::Debias(double support) const {
   return (support - n * inv_g) / (n * (p_ - inv_g));
 }
 
-std::vector<double> OlhServer::EstimateFrequencies() const {
+std::vector<double> OlhServer::EstimateFrequencies(
+    unsigned thread_count) const {
   FELIP_CHECK_MSG(num_reports_ > 0, "no OLH reports collected");
   std::vector<double> freq(domain_);
-  for (uint64_t v = 0; v < domain_; ++v) {
-    freq[v] = Debias(SupportCount(v));
+  if (options_.seed_pool_size == 0) {
+    // Per-user mode: shard the O(n * |D|) support count over the reports.
+    // Integer shard supports reduce to thread-count-independent totals.
+    const uint64_t domain = domain_;
+    const std::vector<uint64_t> support = ParallelReduce(
+        reports_.size(),
+        [domain] { return std::vector<uint64_t>(domain, 0); },
+        [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const OlhReport& r = reports_[i];
+            for (uint64_t v = 0; v < domain; ++v) {
+              if (OlhHash(v, r.seed, g_) == r.hashed_report) ++acc[v];
+            }
+          }
+        },
+        [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+          for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+        },
+        thread_count);
+    for (uint64_t v = 0; v < domain_; ++v) {
+      freq[v] = Debias(static_cast<double>(support[v]));
+    }
+    return freq;
   }
+  // Pool mode: each value's O(K) support is independent of the others.
+  ParallelFor(
+      domain_, [&](size_t v) { freq[v] = Debias(SupportCount(v)); },
+      thread_count);
   return freq;
 }
 

@@ -16,6 +16,7 @@
 #define FELIP_FO_OLH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -69,8 +70,21 @@ class OlhServer {
 
   void Add(const OlhReport& report);
 
-  // Unbiased frequency estimates for all domain values.
-  std::vector<double> EstimateFrequencies() const;
+  // Batch ingestion, equivalent to Add() on every report. In pool mode the
+  // (seed, y) histogram is accumulated in fixed shards over up to
+  // `thread_count` threads (0 = hardware concurrency) and reduced in shard
+  // order, so the counts are bit-identical to the serial path for every
+  // thread count. In per-user mode reports are validated and appended; the
+  // parallel work happens in EstimateFrequencies, which shards the
+  // O(n * |D|) support count.
+  void AggregateReports(std::span<const OlhReport> reports,
+                        unsigned thread_count = 0);
+
+  // Unbiased frequency estimates for all domain values. Support counting
+  // is sharded over up to `thread_count` threads (0 = hardware
+  // concurrency); supports are integers, so the estimates are identical
+  // for every thread count.
+  std::vector<double> EstimateFrequencies(unsigned thread_count = 0) const;
 
   // Unbiased frequency estimate of one value. In per-user mode this is
   // O(n); in pool mode O(K).

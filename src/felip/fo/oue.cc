@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "felip/common/check.h"
+#include "felip/common/parallel.h"
 
 namespace felip::fo {
 
@@ -34,6 +35,30 @@ void OueServer::Add(const std::vector<uint8_t>& report) {
     counts_[i] += report[i] != 0 ? 1 : 0;
   }
   ++num_reports_;
+}
+
+void OueServer::AggregateReports(
+    std::span<const std::vector<uint8_t>> reports, unsigned thread_count) {
+  if (reports.empty()) return;
+  const size_t domain = counts_.size();
+  const std::vector<uint64_t> merged = ParallelReduce(
+      reports.size(),
+      [domain] { return std::vector<uint64_t>(domain, 0); },
+      [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint8_t>& bits = reports[i];
+          FELIP_CHECK(bits.size() == acc.size());
+          for (size_t v = 0; v < bits.size(); ++v) {
+            acc[v] += bits[v] != 0 ? 1 : 0;
+          }
+        }
+      },
+      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+      },
+      thread_count);
+  for (size_t v = 0; v < domain; ++v) counts_[v] += merged[v];
+  num_reports_ += reports.size();
 }
 
 std::vector<double> OueServer::EstimateFrequencies() const {

@@ -11,6 +11,7 @@
 #define FELIP_FO_OUE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -39,6 +40,13 @@ class OueServer {
 
   // Accumulates one perturbed bit vector (length must equal |D|).
   void Add(const std::vector<uint8_t>& report);
+
+  // Batch ingestion, equivalent to Add() on every report: the O(n * |D|)
+  // bit summation runs in fixed shards over up to `thread_count` threads
+  // (0 = hardware concurrency), reduced in shard order, so the counts are
+  // bit-identical to the serial path for every thread count.
+  void AggregateReports(std::span<const std::vector<uint8_t>> reports,
+                        unsigned thread_count = 0);
 
   std::vector<double> EstimateFrequencies() const;
   double EstimateValue(uint64_t value) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "felip/common/check.h"
+#include "felip/common/parallel.h"
 
 namespace felip::fo {
 
@@ -91,16 +92,38 @@ SwServer::SwServer(double epsilon, uint32_t domain, SwServerOptions options)
   }
 }
 
-void SwServer::Add(double report) {
+uint32_t SwServer::BucketOf(double report) const {
   const double lo = -b_;
   const double span = 1.0 + 2.0 * b_;
   const double clamped =
       std::clamp(report, lo, lo + span - 1e-12);
   const auto bucket = static_cast<uint32_t>(
       (clamped - lo) / span * static_cast<double>(bucket_counts_.size()));
-  ++bucket_counts_[std::min<uint32_t>(
-      bucket, static_cast<uint32_t>(bucket_counts_.size() - 1))];
+  return std::min<uint32_t>(
+      bucket, static_cast<uint32_t>(bucket_counts_.size() - 1));
+}
+
+void SwServer::Add(double report) {
+  ++bucket_counts_[BucketOf(report)];
   ++num_reports_;
+}
+
+void SwServer::AggregateReports(std::span<const double> reports,
+                                unsigned thread_count) {
+  if (reports.empty()) return;
+  const size_t buckets = bucket_counts_.size();
+  const std::vector<uint64_t> merged = ParallelReduce(
+      reports.size(),
+      [buckets] { return std::vector<uint64_t>(buckets, 0); },
+      [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++acc[BucketOf(reports[i])];
+      },
+      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        for (size_t b = 0; b < into.size(); ++b) into[b] += from[b];
+      },
+      thread_count);
+  for (size_t b = 0; b < buckets; ++b) bucket_counts_[b] += merged[b];
+  num_reports_ += reports.size();
 }
 
 std::vector<double> SwServer::EstimateFrequencies() const {

@@ -17,6 +17,7 @@
 #define FELIP_FO_SQUARE_WAVE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -61,6 +62,13 @@ class SwServer {
   // hostile clients outside the support are clamped to the boundary).
   void Add(double report);
 
+  // Batch ingestion, equivalent to Add() on every report: bucketing is
+  // per-report and the bucket histogram is integer, so the sharded path
+  // (fixed shards over up to `thread_count` threads, reduced in shard
+  // order) is bit-identical to the serial path for every thread count.
+  void AggregateReports(std::span<const double> reports,
+                        unsigned thread_count = 0);
+
   // EM-reconstructed histogram over the `domain` input bins; non-negative,
   // sums to 1.
   std::vector<double> EstimateFrequencies() const;
@@ -71,6 +79,9 @@ class SwServer {
   }
 
  private:
+  // Output bucket of one (clamped) report.
+  uint32_t BucketOf(double report) const;
+
   uint32_t domain_;
   SwServerOptions options_;
   double b_;

@@ -21,6 +21,9 @@ void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
   core::FelipConfig felip = config_.felip;
   // Decorrelate epoch randomness while keeping runs reproducible.
   felip.seed = felip.seed * 1000003 + epochs_ingested_ + 1;
+  if (config_.aggregation_threads != 0) {
+    felip.aggregation_threads = config_.aggregation_threads;
+  }
   auto pipeline = std::make_unique<core::FelipPipeline>(
       schema_, epoch.num_rows(), felip);
   pipeline->Collect(epoch);

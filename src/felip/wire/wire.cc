@@ -6,6 +6,7 @@
 
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
+#include "felip/common/parallel.h"
 
 namespace felip::wire {
 
@@ -52,6 +53,15 @@ class Reader {
     return true;
   }
 
+  bool Skip(size_t len) {
+    if (pos_ + len > in_.size()) return false;
+    pos_ += len;
+    return true;
+  }
+
+  // Bytes at the current position (valid for remaining() bytes).
+  const uint8_t* cursor() const { return in_.data() + pos_; }
+
   size_t position() const { return pos_; }
   size_t remaining() const { return in_.size() - pos_; }
 
@@ -66,8 +76,6 @@ enum class MessageKind : uint8_t {
   kReportBatch = 3,
   kSnapshot = 4,
 };
-
-constexpr uint64_t kChecksumSalt = 0x77697265'6373756dULL;
 
 void WriteHeader(Writer& w, MessageKind kind) {
   w.Put<uint32_t>(kMagic);
@@ -154,7 +162,78 @@ bool DecodeReportBody(Reader& r, ReportMessage* m) {
   return false;
 }
 
+// Validates one report record's structure without materializing it: the
+// index pass of the sharded decoder. Must accept exactly the inputs
+// DecodeReportBody accepts (including the OUE bit-value check) so the
+// decode pass cannot fail after this pass succeeds.
+bool SkipReportBody(Reader& r) {
+  uint32_t grid_index = 0;
+  uint8_t protocol = 0;
+  if (!r.Get(&grid_index) || !r.Get(&protocol)) return false;
+  if (!ValidProtocol(protocol)) return false;
+  switch (static_cast<fo::Protocol>(protocol)) {
+    case fo::Protocol::kGrr:
+      return r.Skip(sizeof(uint64_t));
+    case fo::Protocol::kOlh:
+      return r.Skip(sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t));
+    case fo::Protocol::kOue: {
+      uint32_t len = 0;
+      if (!r.Get(&len)) return false;
+      if (len > r.remaining()) return false;
+      const uint8_t* bits = r.cursor();
+      for (uint32_t i = 0; i < len; ++i) {
+        if (bits[i] > 1) return false;
+      }
+      return r.Skip(len);
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+size_t ReportBatchShardCount(size_t count) { return ReduceShardCount(count); }
+
+std::optional<size_t> DecodeReportBatchSharded(
+    const std::vector<uint8_t>& buffer,
+    const std::function<void(size_t shard_index, size_t report_index,
+                             ReportMessage&& message)>& sink,
+    unsigned thread_count) {
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kReportBatch);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  if (!r.Skip(6)) return std::nullopt;
+  uint32_t count = 0;
+  if (!r.Get(&count)) return std::nullopt;
+
+  // Index pass: record each report's byte offset while validating its
+  // structure. After this loop every record is known well-formed, so the
+  // decode pass below cannot fail.
+  std::vector<size_t> offsets;
+  offsets.reserve(std::min<uint32_t>(count, 1 << 20));
+  for (uint32_t i = 0; i < count; ++i) {
+    offsets.push_back(r.position());
+    if (!SkipReportBody(r)) return std::nullopt;
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+
+  const size_t num_shards = ReportBatchShardCount(count);
+  ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        const auto [begin, end] = SliceRange(count, s, num_shards);
+        Reader shard_reader(buffer);
+        if (begin < end) FELIP_CHECK(shard_reader.Skip(offsets[begin]));
+        for (size_t i = begin; i < end; ++i) {
+          ReportMessage m;
+          FELIP_CHECK(DecodeReportBody(shard_reader, &m));
+          sink(s, i, std::move(m));
+        }
+      },
+      thread_count);
+  return count;
+}
 
 std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
   std::vector<uint8_t> buffer;
@@ -241,22 +320,16 @@ std::vector<uint8_t> EncodeReportBatch(
 
 std::optional<std::vector<ReportMessage>> DecodeReportBatch(
     const std::vector<uint8_t>& buffer) {
-  const auto payload_end =
-      ValidateEnvelope(buffer, MessageKind::kReportBatch);
-  if (!payload_end.has_value()) return std::nullopt;
-  Reader r(buffer);
-  uint8_t skip[6];
-  if (!r.GetBytes(skip, sizeof(skip))) return std::nullopt;
-  uint32_t count = 0;
-  if (!r.Get(&count)) return std::nullopt;
+  // The sharded decoder with thread_count == 1 visits reports in index
+  // order on the calling thread, so a plain push_back rebuilds the batch.
   std::vector<ReportMessage> reports;
-  reports.reserve(std::min<uint32_t>(count, 1 << 20));
-  for (uint32_t i = 0; i < count; ++i) {
-    ReportMessage m;
-    if (!DecodeReportBody(r, &m)) return std::nullopt;
-    reports.push_back(std::move(m));
-  }
-  if (r.position() != *payload_end) return std::nullopt;
+  const auto count = DecodeReportBatchSharded(
+      buffer,
+      [&reports](size_t /*shard*/, size_t /*index*/, ReportMessage&& m) {
+        reports.push_back(std::move(m));
+      },
+      /*thread_count=*/1);
+  if (!count.has_value()) return std::nullopt;
   return reports;
 }
 

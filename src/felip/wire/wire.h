@@ -15,6 +15,7 @@
 #define FELIP_WIRE_WIRE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@ namespace felip::wire {
 
 inline constexpr uint32_t kMagic = 0x46454c50;  // "FELP"
 inline constexpr uint8_t kVersion = 1;
+// Salt of the xxHash64 trailer sealing every message ("wirecsum"). Part of
+// the format: a relay re-framing messages must use the same salt.
+inline constexpr uint64_t kChecksumSalt = 0x77697265'6373756dULL;
 
 // Aggregator -> client: everything a device needs to produce its report.
 struct GridConfigMessage {
@@ -73,6 +77,33 @@ std::optional<GridConfigMessage> DecodeGridConfig(
 std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer);
 std::optional<std::vector<ReportMessage>> DecodeReportBatch(
     const std::vector<uint8_t>& buffer);
+
+// --- Sharded batch decoding ---
+//
+// DecodeReportBatch materializes every report before the caller can
+// aggregate any of them. The sharded variant instead validates the whole
+// batch up front (envelope, checksum, and every record boundary — any
+// malformed input returns nullopt before the sink sees a single report),
+// then decodes fixed shards of records concurrently, handing each report
+// to `sink(shard_index, report_index, message)` as it is decoded — no
+// intermediate vector of all decoded reports exists.
+//
+// Shard boundaries depend only on the report count (never on
+// `thread_count`), shard_index < ReportBatchShardCount(count), and reports
+// within a shard arrive in increasing report_index order. Different shards
+// may run on different threads, so the sink must only mutate state keyed
+// by shard_index; fold the per-shard state in shard order afterwards for
+// thread-count-independent results. With thread_count == 1 the sink runs
+// entirely on the calling thread in increasing report_index order.
+// Returns the report count.
+std::optional<size_t> DecodeReportBatchSharded(
+    const std::vector<uint8_t>& buffer,
+    const std::function<void(size_t shard_index, size_t report_index,
+                             ReportMessage&& message)>& sink,
+    unsigned thread_count = 0);
+
+// Number of shards DecodeReportBatchSharded uses for `count` reports.
+size_t ReportBatchShardCount(size_t count);
 
 // Builds the config message for one of a pipeline's planned grids — the
 // aggregator-side glue between planning and the wire.

@@ -1,0 +1,150 @@
+// ParallelReduce determinism contract: shard boundaries are a pure
+// function of the element count (SliceRange over ReduceShardCount shards)
+// and partials fold left-to-right in shard order, so results are bitwise
+// identical for every max_threads — including non-associative accumulators
+// like doubles and strings.
+
+#include "felip/common/parallel.h"
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip {
+namespace {
+
+// A double sum whose terms vary in magnitude enough that reassociation
+// would change the bits.
+double ShardOrderedSum(size_t count, unsigned max_threads) {
+  return ParallelReduce(
+      count, [] { return 0.0; },
+      [](double& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          acc += 1.0 / (1.0 + static_cast<double>(i));
+        }
+      },
+      [](double& acc, double other) { acc += other; }, max_threads);
+}
+
+TEST(ParallelReduceTest, DoubleSumBitIdenticalAcrossThreadCounts) {
+  constexpr size_t kCount = 100000;  // 24 shards
+  const double want = ShardOrderedSum(kCount, 1);
+  for (const unsigned threads : {2u, 3u, 4u, 8u, 64u}) {
+    const double got = ShardOrderedSum(kCount, threads);
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelReduceTest, FoldsPartialsInShardOrder) {
+  // A string accumulator makes the fold order directly observable: the
+  // result must equal the fully serial left-to-right concatenation.
+  constexpr size_t kCount = 30000;
+  std::string serial;
+  for (size_t i = 0; i < kCount; ++i) serial += std::to_string(i % 10);
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    const std::string got = ParallelReduce(
+        kCount, [] { return std::string(); },
+        [](std::string& acc, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) acc += std::to_string(i % 10);
+        },
+        [](std::string& acc, std::string other) { acc += other; }, threads);
+    EXPECT_EQ(got, serial) << "threads " << threads;
+  }
+}
+
+TEST(ParallelReduceTest, ZeroCountReturnsFreshAccumulator) {
+  bool mapped = false;
+  const int result = ParallelReduce(
+      0, [] { return 42; },
+      [&mapped](int&, size_t, size_t) { mapped = true; },
+      [](int& acc, int other) { acc += other; });
+  EXPECT_EQ(result, 42);
+  EXPECT_FALSE(mapped);
+}
+
+TEST(ParallelReduceTest, SingleElementAndSubShardCountsRunSerially) {
+  for (const size_t count : {size_t{1}, size_t{7}, size_t{4095}}) {
+    ASSERT_EQ(ReduceShardCount(count), 1u) << count;
+    const uint64_t got = ParallelReduce(
+        count, [] { return uint64_t{0}; },
+        [](uint64_t& acc, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) acc += i + 1;
+        },
+        [](uint64_t& acc, uint64_t other) { acc += other; }, 8);
+    EXPECT_EQ(got, count * (count + 1) / 2) << count;
+  }
+}
+
+TEST(ParallelReduceTest, ShardCountScalesWithCountAndCaps) {
+  EXPECT_EQ(ReduceShardCount(0), 1u);
+  EXPECT_EQ(ReduceShardCount(4096), 1u);
+  EXPECT_EQ(ReduceShardCount(8192), 2u);
+  EXPECT_EQ(ReduceShardCount(64 * 4096), 64u);
+  EXPECT_EQ(ReduceShardCount(SIZE_MAX), 64u);  // capped
+}
+
+TEST(ParallelReduceTest, EveryElementMappedExactlyOnce) {
+  constexpr size_t kCount = 50000;
+  const std::vector<uint32_t> visits = ParallelReduce(
+      kCount, [] { return std::vector<uint32_t>(kCount, 0); },
+      [](std::vector<uint32_t>& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++acc[i];
+      },
+      [](std::vector<uint32_t>& acc, std::vector<uint32_t> other) {
+        for (size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+      },
+      4);
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i], 1u) << "index " << i;
+  }
+}
+
+// SliceRange is the shard-boundary function shared by ParallelFor,
+// ParallelReduce, and the wire batch decoder; pin its partition properties
+// at the awkward edges.
+TEST(SliceRangeTest, PartitionsExactlyAtAwkwardCounts) {
+  const struct {
+    size_t count;
+    size_t slices;
+  } cases[] = {
+      {3, 8},   // count < slices: some slices empty
+      {8, 8},   // count == slices: one element each
+      {10, 8},  // count % slices != 0: sizes differ by at most one
+      {0, 4},   // empty input
+  };
+  for (const auto& c : cases) {
+    size_t covered = 0;
+    size_t prev_end = 0;
+    for (size_t s = 0; s < c.slices; ++s) {
+      const auto [begin, end] = SliceRange(c.count, s, c.slices);
+      EXPECT_EQ(begin, prev_end)
+          << "count " << c.count << " slice " << s << " must be contiguous";
+      EXPECT_LE(begin, end);
+      covered += end - begin;
+      prev_end = end;
+      if (c.count >= c.slices) {
+        // Balanced: slice sizes differ by at most one.
+        EXPECT_GE(end - begin, c.count / c.slices);
+        EXPECT_LE(end - begin, c.count / c.slices + 1);
+      }
+    }
+    EXPECT_EQ(prev_end, c.count);
+    EXPECT_EQ(covered, c.count);
+  }
+}
+
+TEST(SliceRangeTest, CountEqualsSlicesGivesOneElementEach) {
+  for (size_t s = 0; s < 8; ++s) {
+    const auto [begin, end] = SliceRange(8, s, 8);
+    EXPECT_EQ(begin, s);
+    EXPECT_EQ(end, s + 1);
+  }
+}
+
+}  // namespace
+}  // namespace felip

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -42,6 +43,51 @@ TEST(ParallelForTest, ResultsMatchSerialExecution) {
   ParallelFor(kCount, [&](size_t i) { parallel_out[i] = work(i); });
   for (size_t i = 0; i < kCount; ++i) serial_out[i] = work(i);
   EXPECT_EQ(parallel_out, serial_out);
+}
+
+// Pins the documented "small counts run on the calling thread" fallback:
+// a single-index loop must not spawn a worker even when max_threads allows
+// many, and max_threads == 1 must keep any count on the calling thread.
+TEST(ParallelForTest, SingleIndexRunsOnCallingThreadEvenWithThreadBudget) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(1, [&](size_t) { seen = std::this_thread::get_id(); },
+              /*max_threads=*/8);
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, MaxThreadsOneRunsEverythingOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  constexpr size_t kCount = 64;
+  std::vector<std::thread::id> seen(kCount);
+  std::vector<size_t> order;
+  order.reserve(kCount);
+  ParallelFor(
+      kCount,
+      [&](size_t i) {
+        seen[i] = std::this_thread::get_id();
+        order.push_back(i);  // safe: single-threaded by contract
+      },
+      /*max_threads=*/1);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(seen[i], caller) << "index " << i;
+    EXPECT_EQ(order[i], i) << "serial path must run in index order";
+  }
+}
+
+// Shard-boundary math at the awkward counts the thread launcher hits:
+// fewer indices than threads, exactly as many, and a non-dividing count.
+TEST(ParallelForTest, CoversAwkwardCountThreadCombinations) {
+  for (const size_t count : {size_t{3}, size_t{8}, size_t{10}}) {
+    for (const unsigned threads : {8u}) {
+      std::vector<std::atomic<int>> visits(count);
+      ParallelFor(count, [&](size_t i) { visits[i].fetch_add(1); }, threads);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(visits[i].load(), 1)
+            << "count " << count << " threads " << threads << " index " << i;
+      }
+    }
+  }
 }
 
 TEST(ParallelForTest, ExplicitThreadCapRespectedFunctionally) {

@@ -1,0 +1,321 @@
+// Structured fuzzing of the wire codecs: every decoder must return
+// std::nullopt — never crash, never hand back garbage — for truncations at
+// every byte offset, corrupted checksum trailers, bad magic/version/kind
+// bytes, oversized length prefixes, and random corruption. A Reseal()
+// helper recomputes the xxHash trailer after each mutation so the tests
+// exercise the structural validation behind the checksum, not just the
+// checksum itself. Also pins DecodeReportBatchSharded to DecodeReportBatch:
+// same accepts, same rejects, and the sink never runs on malformed input.
+
+#include "felip/wire/wire.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/hash.h"
+#include "felip/common/parallel.h"
+#include "felip/common/rng.h"
+#include "felip/fo/protocol.h"
+
+namespace felip::wire {
+namespace {
+
+constexpr size_t kHeaderSize = 6;   // magic(4) + version(1) + kind(1)
+constexpr size_t kTrailerSize = 8;  // xxHash64
+
+// Recomputes the checksum trailer over the (possibly mutated) payload, so
+// a mutation is seen by the structural validators instead of being caught
+// by the checksum.
+void Reseal(std::vector<uint8_t>* buffer) {
+  ASSERT_GE(buffer->size(), kHeaderSize + kTrailerSize);
+  const size_t payload_end = buffer->size() - kTrailerSize;
+  const uint64_t checksum =
+      XxHash64Bytes(buffer->data(), payload_end, kChecksumSalt);
+  std::memcpy(buffer->data() + payload_end, &checksum, sizeof(checksum));
+}
+
+GridConfigMessage SampleGridConfig() {
+  GridConfigMessage m;
+  m.grid_index = 3;
+  m.is_2d = true;
+  m.attr_x = 1;
+  m.attr_y = 4;
+  m.domain_x = 100;
+  m.domain_y = 50;
+  m.lx = 10;
+  m.ly = 5;
+  m.protocol = fo::Protocol::kOlh;
+  m.epsilon = 1.5;
+  m.seed_pool_size = 1024;
+  m.pool_salt = 0xabcdef;
+  return m;
+}
+
+ReportMessage SampleReport(fo::Protocol protocol) {
+  ReportMessage m;
+  m.grid_index = 7;
+  m.protocol = protocol;
+  switch (protocol) {
+    case fo::Protocol::kGrr:
+      m.grr_report = 42;
+      break;
+    case fo::Protocol::kOlh:
+      m.olh = {.seed = 0x1234, .hashed_report = 3, .seed_index = 9};
+      break;
+    case fo::Protocol::kOue:
+      m.oue_bits = {1, 0, 0, 1, 0, 1, 1, 0};
+      break;
+  }
+  return m;
+}
+
+std::vector<ReportMessage> SampleBatch() {
+  return {SampleReport(fo::Protocol::kGrr), SampleReport(fo::Protocol::kOlh),
+          SampleReport(fo::Protocol::kOue), SampleReport(fo::Protocol::kOlh),
+          SampleReport(fo::Protocol::kGrr)};
+}
+
+TEST(WireFuzzTest, AllThreeMessageTypesRoundTrip) {
+  const GridConfigMessage config = SampleGridConfig();
+  EXPECT_EQ(DecodeGridConfig(EncodeGridConfig(config)), config);
+
+  for (const fo::Protocol protocol :
+       {fo::Protocol::kGrr, fo::Protocol::kOlh, fo::Protocol::kOue}) {
+    const ReportMessage report = SampleReport(protocol);
+    EXPECT_EQ(DecodeReport(EncodeReport(report)), report);
+  }
+
+  const std::vector<ReportMessage> batch = SampleBatch();
+  EXPECT_EQ(DecodeReportBatch(EncodeReportBatch(batch)), batch);
+}
+
+TEST(WireFuzzTest, TruncationAtEveryByteOffsetFails) {
+  const std::vector<std::vector<uint8_t>> encodings = {
+      EncodeGridConfig(SampleGridConfig()),
+      EncodeReport(SampleReport(fo::Protocol::kGrr)),
+      EncodeReport(SampleReport(fo::Protocol::kOlh)),
+      EncodeReport(SampleReport(fo::Protocol::kOue)),
+      EncodeReportBatch(SampleBatch()),
+  };
+  for (size_t e = 0; e < encodings.size(); ++e) {
+    const std::vector<uint8_t>& full = encodings[e];
+    for (size_t len = 0; len < full.size(); ++len) {
+      const std::vector<uint8_t> prefix(full.begin(), full.begin() + len);
+      EXPECT_EQ(DecodeGridConfig(prefix), std::nullopt)
+          << "encoding " << e << " truncated to " << len;
+      EXPECT_EQ(DecodeReport(prefix), std::nullopt)
+          << "encoding " << e << " truncated to " << len;
+      EXPECT_EQ(DecodeReportBatch(prefix), std::nullopt)
+          << "encoding " << e << " truncated to " << len;
+    }
+  }
+}
+
+TEST(WireFuzzTest, EveryCorruptedTrailerByteFails) {
+  const std::vector<uint8_t> full = EncodeReportBatch(SampleBatch());
+  for (size_t i = full.size() - kTrailerSize; i < full.size(); ++i) {
+    std::vector<uint8_t> corrupt = full;
+    corrupt[i] ^= 0x5a;
+    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt) << "trailer byte " << i;
+  }
+}
+
+TEST(WireFuzzTest, BadMagicVersionOrKindFailsEvenResealed) {
+  const std::vector<uint8_t> full = EncodeReportBatch(SampleBatch());
+  for (size_t i = 0; i < kHeaderSize; ++i) {
+    std::vector<uint8_t> corrupt = full;
+    corrupt[i] ^= 0xff;
+    Reseal(&corrupt);  // checksum is valid; header validation must reject
+    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt) << "header byte " << i;
+  }
+  // A valid message of one kind must not decode as another.
+  EXPECT_EQ(DecodeReportBatch(EncodeReport(SampleReport(fo::Protocol::kGrr))),
+            std::nullopt);
+  EXPECT_EQ(DecodeReport(EncodeGridConfig(SampleGridConfig())), std::nullopt);
+}
+
+TEST(WireFuzzTest, OversizedBatchCountFailsEvenResealed) {
+  std::vector<uint8_t> corrupt = EncodeReportBatch(SampleBatch());
+  // Batch count lives right after the header; claim 2^31 reports.
+  const uint32_t absurd = 1u << 31;
+  std::memcpy(corrupt.data() + kHeaderSize, &absurd, sizeof(absurd));
+  Reseal(&corrupt);
+  EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt);
+}
+
+TEST(WireFuzzTest, OversizedOueLengthPrefixFailsEvenResealed) {
+  const ReportMessage report = SampleReport(fo::Protocol::kOue);
+  std::vector<uint8_t> corrupt = EncodeReport(report);
+  // OUE body layout: grid_index(4) + protocol(1) + bit count(4) + bits.
+  const size_t len_offset = kHeaderSize + 4 + 1;
+  const uint32_t absurd = 0xffffffffu;
+  std::memcpy(corrupt.data() + len_offset, &absurd, sizeof(absurd));
+  Reseal(&corrupt);
+  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+}
+
+TEST(WireFuzzTest, NonBinaryOueBitFailsEvenResealed) {
+  const ReportMessage report = SampleReport(fo::Protocol::kOue);
+  std::vector<uint8_t> corrupt = EncodeReport(report);
+  const size_t first_bit = kHeaderSize + 4 + 1 + 4;
+  corrupt[first_bit] = 2;
+  Reseal(&corrupt);
+  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+
+  // Same corruption inside a batch must also fail the sharded decoder's
+  // validation pass.
+  std::vector<uint8_t> batch = EncodeReportBatch({report});
+  batch[kHeaderSize + 4 + 4 + 1 + 4] = 2;
+  Reseal(&batch);
+  EXPECT_EQ(DecodeReportBatch(batch), std::nullopt);
+}
+
+TEST(WireFuzzTest, InvalidProtocolByteFailsEvenResealed) {
+  std::vector<uint8_t> corrupt = EncodeReport(SampleReport(fo::Protocol::kGrr));
+  corrupt[kHeaderSize + 4] = 0x7f;  // protocol byte
+  Reseal(&corrupt);
+  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+}
+
+TEST(WireFuzzTest, RandomSingleByteCorruptionNeverDecodes) {
+  const std::vector<uint8_t> full = EncodeReportBatch(SampleBatch());
+  Rng rng(20260808);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> corrupt = full;
+    const size_t pos = rng.UniformU64(corrupt.size());
+    const auto flip =
+        static_cast<uint8_t>(1 + rng.UniformU64(255));  // nonzero xor
+    corrupt[pos] ^= flip;
+    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt)
+        << "byte " << pos << " xor " << static_cast<int>(flip);
+  }
+}
+
+TEST(WireFuzzTest, RandomGarbageBuffersNeverDecode) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> garbage(rng.UniformU64(256));
+    for (uint8_t& b : garbage) {
+      b = static_cast<uint8_t>(rng.UniformU64(256));
+    }
+    EXPECT_EQ(DecodeGridConfig(garbage), std::nullopt);
+    EXPECT_EQ(DecodeReport(garbage), std::nullopt);
+    EXPECT_EQ(DecodeReportBatch(garbage), std::nullopt);
+  }
+}
+
+// --- DecodeReportBatchSharded vs DecodeReportBatch ---
+
+std::optional<std::vector<ReportMessage>> DecodeViaShards(
+    const std::vector<uint8_t>& buffer, unsigned thread_count) {
+  // Reassemble per-shard in shard order; must reproduce the plain decoder.
+  std::vector<std::vector<ReportMessage>> shards;
+  const auto count = DecodeReportBatchSharded(
+      buffer,
+      [&shards](size_t shard, size_t /*index*/, ReportMessage&& m) {
+        if (shard >= shards.size()) shards.resize(shard + 1);
+        shards[shard].push_back(std::move(m));
+      },
+      thread_count);
+  if (!count.has_value()) return std::nullopt;
+  std::vector<ReportMessage> all;
+  all.reserve(*count);
+  for (auto& shard : shards) {
+    for (auto& m : shard) all.push_back(std::move(m));
+  }
+  return all;
+}
+
+TEST(WireShardedDecodeTest, AgreesWithPlainDecoderOnMultiShardBatch) {
+  // > 2 * 4096 reports so the batch genuinely spans multiple shards.
+  std::vector<ReportMessage> batch;
+  for (size_t i = 0; i < 10000; ++i) {
+    ReportMessage m = SampleReport(fo::Protocol::kGrr);
+    m.grr_report = i;
+    batch.push_back(std::move(m));
+  }
+  const std::vector<uint8_t> buffer = EncodeReportBatch(batch);
+  ASSERT_GT(ReportBatchShardCount(batch.size()), 1u);
+
+  const auto plain = DecodeReportBatch(buffer);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_EQ(*plain, batch);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(DecodeViaShards(buffer, threads), batch)
+        << "threads " << threads;
+  }
+}
+
+TEST(WireShardedDecodeTest, ShardAndIndexMatchTheDocumentedBoundaries) {
+  std::vector<ReportMessage> batch;
+  for (size_t i = 0; i < 9000; ++i) {
+    batch.push_back(SampleReport(fo::Protocol::kOlh));
+  }
+  const std::vector<uint8_t> buffer = EncodeReportBatch(batch);
+  const size_t num_shards = ReportBatchShardCount(batch.size());
+
+  std::vector<uint32_t> seen(batch.size(), 0);
+  std::vector<std::vector<size_t>> order(num_shards);
+  const auto count = DecodeReportBatchSharded(
+      buffer,
+      [&](size_t shard, size_t index, ReportMessage&&) {
+        ASSERT_LT(shard, num_shards);
+        ASSERT_LT(index, seen.size());
+        const auto [begin, end] = SliceRange(seen.size(), shard, num_shards);
+        EXPECT_GE(index, begin);
+        EXPECT_LT(index, end);
+        ++seen[index];
+        order[shard].push_back(index);
+      },
+      /*thread_count=*/1);
+  ASSERT_EQ(count, batch.size());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1u) << "report " << i;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t k = 1; k < order[s].size(); ++k) {
+      EXPECT_LT(order[s][k - 1], order[s][k]) << "shard " << s;
+    }
+  }
+}
+
+TEST(WireShardedDecodeTest, SinkNeverRunsOnMalformedInput) {
+  std::vector<ReportMessage> batch = SampleBatch();
+  const std::vector<uint8_t> valid = EncodeReportBatch(batch);
+
+  size_t sink_calls = 0;
+  const auto counting_sink = [&sink_calls](size_t, size_t, ReportMessage&&) {
+    ++sink_calls;
+  };
+
+  // Truncations.
+  for (size_t len = 0; len < valid.size(); ++len) {
+    const std::vector<uint8_t> prefix(valid.begin(), valid.begin() + len);
+    EXPECT_EQ(DecodeReportBatchSharded(prefix, counting_sink, 1),
+              std::nullopt);
+  }
+  // A structurally broken record behind a valid checksum: protocol byte of
+  // the second report (after GRR record: grid 4 + proto 1 + value 8).
+  std::vector<uint8_t> corrupt = valid;
+  corrupt[kHeaderSize + 4 + 4 + 1 + 8 + 4] = 0x7f;
+  Reseal(&corrupt);
+  EXPECT_EQ(DecodeReportBatchSharded(corrupt, counting_sink, 1),
+            std::nullopt);
+  EXPECT_EQ(sink_calls, 0u);
+}
+
+TEST(WireShardedDecodeTest, EmptyBatchDecodesToZeroReports) {
+  const std::vector<uint8_t> buffer = EncodeReportBatch({});
+  size_t sink_calls = 0;
+  const auto count = DecodeReportBatchSharded(
+      buffer, [&](size_t, size_t, ReportMessage&&) { ++sink_calls; }, 4);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 0u);
+  EXPECT_EQ(sink_calls, 0u);
+}
+
+}  // namespace
+}  // namespace felip::wire
