@@ -10,16 +10,44 @@
 #ifndef FELIP_BENCH_BENCH_COMMON_H_
 #define FELIP_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "felip/common/rng.h"
 #include "felip/data/synthetic.h"
 #include "felip/eval/harness.h"
+#include "felip/obs/metrics.h"
 #include "felip/query/generator.h"
 
 namespace felip::bench {
+
+// Writes the observability registry's JSON dump to $FELIP_OBS_JSON when the
+// variable is set ("-" writes to stdout). Call at the end of a bench main so
+// harness scripts can collect counters and span timings alongside the
+// benchmark numbers; see docs/observability.md.
+inline void DumpObsJsonIfRequested() {
+  const char* path = std::getenv("FELIP_OBS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string json = obs::Registry::Default().RenderJson();
+  if (std::string_view(path) == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "FELIP_OBS_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
 
 // One of the paper's four evaluation datasets, by construction recipe.
 struct DatasetSpec {

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "felip/common/rng.h"
 #include "felip/fo/grr.h"
 #include "felip/fo/olh.h"
@@ -246,5 +247,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  felip::bench::DumpObsJsonIfRequested();
   return 0;
 }

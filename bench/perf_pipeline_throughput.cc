@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "felip/common/rng.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
@@ -75,4 +76,11 @@ BENCHMARK(BM_PipelineAnswerLambda)->Arg(2)->Arg(4)->Arg(6);
 }  // namespace
 }  // namespace felip
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  felip::bench::DumpObsJsonIfRequested();
+  return 0;
+}

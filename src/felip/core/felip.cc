@@ -6,6 +6,8 @@
 #include "felip/common/check.h"
 #include "felip/common/numeric.h"
 #include "felip/common/parallel.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 #include "felip/post/consistency.h"
 #include "felip/post/lambda_estimator.h"
 #include "felip/post/norm_sub.h"
@@ -178,6 +180,7 @@ std::vector<std::vector<double>> FelipPipeline::ExportGridFrequencies()
 }
 
 void FelipPipeline::Collect(const data::Dataset& dataset) {
+  obs::ScopedTimer span("felip_core_collect");
   FELIP_CHECK_MSG(!collected_, "Collect() called twice");
   FELIP_CHECK(dataset.num_attributes() == schema_.size());
   FELIP_CHECK_MSG(dataset.num_rows() == num_users_,
@@ -213,11 +216,13 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
   // each oracle's sharded parallel path.
   Rng rng(config_.seed);
   const size_t m = assignments_.size();
+  uint64_t reports_in = 0;
   if (config_.partitioning == PartitioningMode::kDivideUsers) {
     for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
       const size_t g = static_cast<size_t>(rng.UniformU64(m));
       oracles_[g]->BufferUserValue(cell_of(g, row), rng);
     }
+    reports_in = dataset.num_rows();
   } else {
     // Sequential composition: every user reports every grid at eps/m.
     for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
@@ -225,46 +230,68 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
         oracles_[g]->BufferUserValue(cell_of(g, row), rng);
       }
     }
+    reports_in = dataset.num_rows() * m;
   }
-  for (auto& oracle : oracles_) {
-    oracle->FlushReports(config_.aggregation_threads);
+  {
+    obs::ScopedTimer flush_span("felip_core_flush");
+    for (auto& oracle : oracles_) {
+      oracle->FlushReports(config_.aggregation_threads);
+    }
   }
+  obs::Registry::Default()
+      .GetCounter("felip_core_reports_total")
+      .Increment(reports_in);
   collected_ = true;
 }
 
 void FelipPipeline::Finalize() {
+  obs::ScopedTimer span("felip_core_finalize");
   FELIP_CHECK_MSG(collected_, "Finalize() requires Collect()");
   FELIP_CHECK_MSG(!finalized_, "Finalize() called twice");
 
   // Estimation + per-grid negativity removal.
   const size_t n1 = grids_1d_.size();
-  for (size_t g = 0; g < assignments_.size(); ++g) {
-    std::vector<double> freq =
-        oracles_[g]->EstimateFrequencies(config_.aggregation_threads);
-    post::NormalizeFrequencies(&freq, config_.normalization);
-    if (!assignments_[g].is_2d) {
-      grids_1d_[g].SetFrequencies(std::move(freq));
-    } else {
-      grids_2d_[g - n1].SetFrequencies(std::move(freq));
+  uint64_t cells_estimated = 0;
+  {
+    obs::ScopedTimer estimate_span("felip_core_estimate");
+    for (size_t g = 0; g < assignments_.size(); ++g) {
+      std::vector<double> freq =
+          oracles_[g]->EstimateFrequencies(config_.aggregation_threads);
+      post::NormalizeFrequencies(&freq, config_.normalization);
+      cells_estimated += freq.size();
+      if (!assignments_[g].is_2d) {
+        grids_1d_[g].SetFrequencies(std::move(freq));
+      } else {
+        grids_2d_[g - n1].SetFrequencies(std::move(freq));
+      }
     }
   }
   oracles_.clear();  // reports are no longer needed
+  obs::Registry::Default()
+      .GetCounter("felip_core_cells_estimated_total")
+      .Increment(cells_estimated);
 
   // Cross-grid consistency (ends with a negativity pass).
-  post::MakeConsistent(static_cast<uint32_t>(schema_.size()), &grids_1d_,
-                       &grids_2d_,
-                       {.rounds = config_.consistency_rounds,
-                        .normalization = config_.normalization});
+  {
+    obs::ScopedTimer post_span("felip_core_post_process");
+    post::MakeConsistent(static_cast<uint32_t>(schema_.size()), &grids_1d_,
+                         &grids_2d_,
+                         {.rounds = config_.consistency_rounds,
+                          .normalization = config_.normalization});
+  }
 
   // Response matrices for every pair (Γ includes the 1-D grids under OHG).
   // Pairs are independent, so build them in parallel.
-  response_matrices_.assign(grids_2d_.size(), post::ResponseMatrix());
-  ParallelFor(grids_2d_.size(), [&](size_t idx) {
-    const Grid2D& g2 = grids_2d_[idx];
-    response_matrices_[idx] = post::ResponseMatrix::Build(
-        g2, OneDimGrid(g2.attr_x()), OneDimGrid(g2.attr_y()),
-        config_.response_matrix_options);
-  });
+  {
+    obs::ScopedTimer rm_span("felip_core_response_matrix");
+    response_matrices_.assign(grids_2d_.size(), post::ResponseMatrix());
+    ParallelFor(grids_2d_.size(), [&](size_t idx) {
+      const Grid2D& g2 = grids_2d_[idx];
+      response_matrices_[idx] = post::ResponseMatrix::Build(
+          g2, OneDimGrid(g2.attr_x()), OneDimGrid(g2.attr_y()),
+          config_.response_matrix_options);
+    });
+  }
   finalized_ = true;
 }
 
@@ -309,6 +336,10 @@ double FelipPipeline::AnswerMarginal(uint32_t attr,
 }
 
 double FelipPipeline::AnswerQuery(const query::Query& query) const {
+  obs::ScopedTimer span("felip_core_query");
+  static obs::Counter& queries_total =
+      obs::Registry::Default().GetCounter("felip_core_queries_total");
+  queries_total.Increment();
   FELIP_CHECK_MSG(finalized_, "AnswerQuery() requires Finalize()");
   for (const query::Predicate& p : query.predicates()) {
     FELIP_CHECK(p.attr < schema_.size());

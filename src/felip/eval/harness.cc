@@ -1,6 +1,7 @@
 #include "felip/eval/harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,8 @@
 #include "felip/baselines/tdg_hdg.h"
 #include "felip/common/check.h"
 #include "felip/core/felip.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 
 namespace felip::eval {
 
@@ -84,6 +87,24 @@ core::FelipConfig MakeFelipConfig(std::string_view method,
   return config;
 }
 
+// Answers every query, recording per-query latency. Works for any pipeline
+// with an AnswerQuery(const query::Query&) method.
+template <typename Pipeline>
+void AnswerAll(const Pipeline& pipeline,
+               const std::vector<query::Query>& queries,
+               std::vector<double>* estimates) {
+  static obs::Histogram& query_seconds =
+      obs::Registry::Default().GetHistogram("felip_eval_query_seconds");
+  for (const query::Query& q : queries) {
+    const auto start = std::chrono::steady_clock::now();
+    estimates->push_back(pipeline.AnswerQuery(q));
+    query_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  }
+}
+
 }  // namespace
 
 std::vector<double> RunMethod(std::string_view method,
@@ -91,6 +112,10 @@ std::vector<double> RunMethod(std::string_view method,
                               const std::vector<query::Query>& queries,
                               const ExperimentParams& params) {
   FELIP_CHECK(!queries.empty());
+  obs::ScopedTimer span("felip_eval_run");
+  obs::Registry::Default()
+      .GetCounter("felip_eval_queries_total")
+      .Increment(queries.size());
   std::vector<double> estimates;
   estimates.reserve(queries.size());
 
@@ -101,9 +126,7 @@ std::vector<double> RunMethod(std::string_view method,
     config.seed = params.seed;
     baselines::HioPipeline pipeline(dataset.attributes(), config);
     pipeline.Collect(dataset);
-    for (const query::Query& q : queries) {
-      estimates.push_back(pipeline.AnswerQuery(q));
-    }
+    AnswerAll(pipeline, queries, &estimates);
     return estimates;
   }
   if (method == "TDG" || method == "HDG") {
@@ -119,9 +142,7 @@ std::vector<double> RunMethod(std::string_view method,
                                        dataset.num_rows(), config);
     pipeline.Collect(dataset);
     pipeline.Finalize();
-    for (const query::Query& q : queries) {
-      estimates.push_back(pipeline.AnswerQuery(q));
-    }
+    AnswerAll(pipeline, queries, &estimates);
     return estimates;
   }
 
@@ -132,9 +153,7 @@ std::vector<double> RunMethod(std::string_view method,
   FELIP_CHECK_MSG(known, "unknown method name");
   const core::FelipPipeline pipeline =
       core::RunFelip(dataset, MakeFelipConfig(method, params));
-  for (const query::Query& q : queries) {
-    estimates.push_back(pipeline.AnswerQuery(q));
-  }
+  AnswerAll(pipeline, queries, &estimates);
   return estimates;
 }
 
@@ -142,8 +161,15 @@ double RunMethodMae(std::string_view method, const data::Dataset& dataset,
                     const std::vector<query::Query>& queries,
                     const std::vector<double>& truths,
                     const ExperimentParams& params) {
-  return MeanAbsoluteError(RunMethod(method, dataset, queries, params),
-                           truths);
+  const std::vector<double> estimates =
+      RunMethod(method, dataset, queries, params);
+  const double mae = MeanAbsoluteError(estimates, truths);
+  const double rmse = RootMeanSquaredError(estimates, truths);
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("felip_eval_runs_total").Increment();
+  registry.GetGauge("felip_eval_last_mae").Set(mae);
+  registry.GetGauge("felip_eval_last_mse").Set(rmse * rmse);
+  return mae;
 }
 
 namespace {

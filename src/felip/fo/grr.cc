@@ -4,6 +4,8 @@
 
 #include "felip/common/check.h"
 #include "felip/common/parallel.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 
 namespace felip::fo {
 
@@ -53,6 +55,14 @@ void GrrServer::Add(uint64_t report) {
 void GrrServer::AggregateReports(std::span<const uint64_t> reports,
                                  unsigned thread_count) {
   if (reports.empty()) return;
+  obs::ScopedTimer span("felip_fo_grr_aggregate");
+  // Hot-path instruments are cached; GetCounter takes a registry lock.
+  static obs::Counter& reports_total =
+      obs::Registry::Default().GetCounter("felip_fo_grr_reports_total");
+  static obs::Gauge& shard_gauge =
+      obs::Registry::Default().GetGauge("felip_fo_grr_aggregate_shards");
+  reports_total.Increment(reports.size());
+  shard_gauge.Set(static_cast<double>(ReduceShardCount(reports.size())));
   const size_t domain = counts_.size();
   const std::vector<uint64_t> merged = ParallelReduce(
       reports.size(),

@@ -6,6 +6,8 @@
 #include "felip/common/hash.h"
 #include "felip/common/parallel.h"
 #include "felip/fo/protocol.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 
 namespace felip::fo {
 
@@ -81,6 +83,13 @@ void OlhServer::Add(const OlhReport& report) {
 void OlhServer::AggregateReports(std::span<const OlhReport> reports,
                                  unsigned thread_count) {
   if (reports.empty()) return;
+  obs::ScopedTimer span("felip_fo_olh_aggregate");
+  static obs::Counter& reports_total =
+      obs::Registry::Default().GetCounter("felip_fo_olh_reports_total");
+  static obs::Gauge& shard_gauge =
+      obs::Registry::Default().GetGauge("felip_fo_olh_aggregate_shards");
+  reports_total.Increment(reports.size());
+  shard_gauge.Set(static_cast<double>(ReduceShardCount(reports.size())));
   if (options_.seed_pool_size > 0) {
     const size_t bins = pool_counts_.size();
     const std::vector<uint64_t> merged = ParallelReduce(

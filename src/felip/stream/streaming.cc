@@ -1,6 +1,8 @@
 #include "felip/stream/streaming.h"
 
 #include "felip/common/check.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 
 namespace felip::stream {
 
@@ -13,6 +15,7 @@ StreamingCollector::StreamingCollector(
 }
 
 void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
+  obs::ScopedTimer span("felip_stream_ingest_epoch");
   FELIP_CHECK(epoch.num_attributes() == schema_.size());
   FELIP_CHECK_MSG(epoch.num_rows() > 0, "empty epoch");
   for (uint32_t a = 0; a < epoch.num_attributes(); ++a) {
@@ -31,6 +34,12 @@ void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
   history_.push_back(std::move(pipeline));
   if (history_.size() > config_.max_epochs) history_.pop_front();
   ++epochs_ingested_;
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("felip_stream_epochs_ingested_total").Increment();
+  registry.GetCounter("felip_stream_users_total")
+      .Increment(epoch.num_rows());
+  registry.GetGauge("felip_stream_epochs_retained")
+      .Set(static_cast<double>(history_.size()));
 }
 
 double StreamingCollector::AnswerQuery(const query::Query& query) const {

@@ -7,6 +7,8 @@
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
 #include "felip/common/parallel.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
 
 namespace felip::wire {
 
@@ -190,11 +192,26 @@ bool SkipReportBody(Reader& r) {
   return false;
 }
 
-}  // namespace
+// Decode-path instruments, cached once per process. Every public decoder
+// counts the bytes it inspected; malformed inputs are counted rather than
+// being fatal, so untrusted-input rejection stays observable.
+struct DecodeCounters {
+  obs::Counter& bytes;
+  obs::Counter& malformed;
+  obs::Counter& batches;
+  obs::Counter& reports;
+};
 
-size_t ReportBatchShardCount(size_t count) { return ReduceShardCount(count); }
+DecodeCounters& Counters() {
+  static DecodeCounters counters{
+      obs::Registry::Default().GetCounter("felip_wire_decode_bytes_total"),
+      obs::Registry::Default().GetCounter("felip_wire_malformed_total"),
+      obs::Registry::Default().GetCounter("felip_wire_report_batches_total"),
+      obs::Registry::Default().GetCounter("felip_wire_reports_decoded_total")};
+  return counters;
+}
 
-std::optional<size_t> DecodeReportBatchSharded(
+std::optional<size_t> DecodeReportBatchShardedImpl(
     const std::vector<uint8_t>& buffer,
     const std::function<void(size_t shard_index, size_t report_index,
                              ReportMessage&& message)>& sink,
@@ -235,6 +252,29 @@ std::optional<size_t> DecodeReportBatchSharded(
   return count;
 }
 
+}  // namespace
+
+size_t ReportBatchShardCount(size_t count) { return ReduceShardCount(count); }
+
+std::optional<size_t> DecodeReportBatchSharded(
+    const std::vector<uint8_t>& buffer,
+    const std::function<void(size_t shard_index, size_t report_index,
+                             ReportMessage&& message)>& sink,
+    unsigned thread_count) {
+  obs::ScopedTimer span("felip_wire_decode_batch");
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  const std::optional<size_t> count =
+      DecodeReportBatchShardedImpl(buffer, sink, thread_count);
+  if (!count.has_value()) {
+    counters.malformed.Increment();
+  } else {
+    counters.batches.Increment();
+    counters.reports.Increment(*count);
+  }
+  return count;
+}
+
 std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
   std::vector<uint8_t> buffer;
   Writer w(&buffer);
@@ -255,7 +295,9 @@ std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
   return buffer;
 }
 
-std::optional<GridConfigMessage> DecodeGridConfig(
+namespace {
+
+std::optional<GridConfigMessage> DecodeGridConfigImpl(
     const std::vector<uint8_t>& buffer) {
   const auto payload_end = ValidateEnvelope(buffer, MessageKind::kGridConfig);
   if (!payload_end.has_value()) return std::nullopt;
@@ -286,6 +328,17 @@ std::optional<GridConfigMessage> DecodeGridConfig(
   return m;
 }
 
+}  // namespace
+
+std::optional<GridConfigMessage> DecodeGridConfig(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  std::optional<GridConfigMessage> m = DecodeGridConfigImpl(buffer);
+  if (!m.has_value()) counters.malformed.Increment();
+  return m;
+}
+
 std::vector<uint8_t> EncodeReport(const ReportMessage& m) {
   std::vector<uint8_t> buffer;
   Writer w(&buffer);
@@ -295,7 +348,10 @@ std::vector<uint8_t> EncodeReport(const ReportMessage& m) {
   return buffer;
 }
 
-std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
+namespace {
+
+std::optional<ReportMessage> DecodeReportImpl(
+    const std::vector<uint8_t>& buffer) {
   const auto payload_end = ValidateEnvelope(buffer, MessageKind::kReport);
   if (!payload_end.has_value()) return std::nullopt;
   Reader r(buffer);
@@ -304,6 +360,20 @@ std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
   ReportMessage m;
   if (!DecodeReportBody(r, &m)) return std::nullopt;
   if (r.position() != *payload_end) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  std::optional<ReportMessage> m = DecodeReportImpl(buffer);
+  if (!m.has_value()) {
+    counters.malformed.Increment();
+  } else {
+    counters.reports.Increment();
+  }
   return m;
 }
 
@@ -379,7 +449,9 @@ std::vector<uint8_t> EncodeSnapshot(
   return buffer;
 }
 
-std::optional<core::FelipPipeline> DecodeSnapshot(
+namespace {
+
+std::optional<core::FelipPipeline> DecodeSnapshotImpl(
     const std::vector<uint8_t>& buffer) {
   const auto payload_end = ValidateEnvelope(buffer, MessageKind::kSnapshot);
   if (!payload_end.has_value()) return std::nullopt;
@@ -473,6 +545,18 @@ std::optional<core::FelipPipeline> DecodeSnapshot(
   }
   return core::FelipPipeline::FromEstimatedGrids(
       std::move(schema), num_users, std::move(config), std::move(grids));
+}
+
+}  // namespace
+
+std::optional<core::FelipPipeline> DecodeSnapshot(
+    const std::vector<uint8_t>& buffer) {
+  obs::ScopedTimer span("felip_wire_decode_snapshot");
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  std::optional<core::FelipPipeline> pipeline = DecodeSnapshotImpl(buffer);
+  if (!pipeline.has_value()) counters.malformed.Increment();
+  return pipeline;
 }
 
 bool SaveSnapshot(const core::FelipPipeline& pipeline,

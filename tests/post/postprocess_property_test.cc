@@ -1,0 +1,213 @@
+// Property / metamorphic tests for the post-processing layer, over
+// randomized inputs across many seeds:
+//
+//   * Norm-Sub: the output is a proper distribution (non-negative, sums to
+//     the target) and the transform is idempotent — re-applying it changes
+//     nothing.
+//   * Norm-Mul / Norm-Cut: share the non-negativity postcondition;
+//     Norm-Cut never adds mass.
+//   * Cross-grid consistency: one pass strictly reduces the pairwise
+//     disagreement between the marginals different grids imply for a
+//     shared attribute.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/grid/grid.h"
+#include "felip/post/consistency.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::post {
+namespace {
+
+std::vector<double> NoisyVector(size_t size, Rng& rng) {
+  // LDP-like estimates: unbiased but individually noisy, many negative.
+  std::vector<double> v(size);
+  for (double& x : v) {
+    x = (rng.UniformU64(1000) / 1000.0) * 2.0 - 0.5;  // [-0.5, 1.5)
+  }
+  return v;
+}
+
+double Sum(const std::vector<double>& v) {
+  double total = 0.0;
+  for (const double x : v) total += x;
+  return total;
+}
+
+TEST(NormSubPropertyTest, OutputIsDistributionAndIdempotent) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const size_t size = 1 + rng.UniformU64(64);
+    std::vector<double> freq = NoisyVector(size, rng);
+
+    RemoveNegativity(&freq);
+    for (const double f : freq) EXPECT_GE(f, 0.0) << "seed " << seed;
+    EXPECT_NEAR(Sum(freq), 1.0, 1e-9) << "seed " << seed;
+
+    // Idempotence: a vector already satisfying the postconditions is a
+    // fixed point.
+    std::vector<double> again = freq;
+    RemoveNegativity(&again);
+    for (size_t i = 0; i < freq.size(); ++i) {
+      EXPECT_NEAR(again[i], freq[i], 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(NormSubPropertyTest, PreservesConfiguredTargetSum) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 31);
+    std::vector<double> freq = NoisyVector(16, rng);
+    NormSubOptions options;
+    options.target_sum = 2.5;
+    RemoveNegativity(&freq, options);
+    for (const double f : freq) EXPECT_GE(f, 0.0);
+    EXPECT_NEAR(Sum(freq), 2.5, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(NormalizationPropertyTest, AllVariantsProduceNonNegativeOutput) {
+  for (const Normalization method :
+       {Normalization::kNormSub, Normalization::kNormMul,
+        Normalization::kNormCut}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      Rng rng(seed * 101 + static_cast<uint64_t>(method));
+      std::vector<double> freq = NoisyVector(1 + rng.UniformU64(32), rng);
+      NormalizeFrequencies(&freq, method);
+      for (const double f : freq) {
+        EXPECT_GE(f, 0.0) << "method " << static_cast<int>(method)
+                          << " seed " << seed;
+      }
+      // Norm-Cut may undershoot the target but must never add mass beyond
+      // it; the other variants hit the target exactly.
+      if (method == Normalization::kNormCut) {
+        EXPECT_LE(Sum(freq), 1.0 + 1e-9);
+      } else {
+        EXPECT_NEAR(Sum(freq), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-grid consistency.
+
+// Marginal mass each grid assigns to every subdomain (cell) of the
+// attribute's 1-D partition, under within-cell uniformity.
+std::vector<double> MarginalOnSubdomains(const grid::Grid1D& g1,
+                                         const grid::Partition1D& sub) {
+  std::vector<double> m(sub.num_cells());
+  for (uint32_t s = 0; s < sub.num_cells(); ++s) {
+    m[s] = g1.Answer(
+        grid::AxisSelection::MakeRange(sub.CellBegin(s), sub.CellEnd(s) - 1));
+  }
+  return m;
+}
+
+std::vector<double> MarginalOnSubdomains(const grid::Grid2D& g2,
+                                         const grid::Partition1D& sub) {
+  std::vector<double> m(sub.num_cells());
+  const grid::AxisSelection all_y =
+      grid::AxisSelection::MakeAll(g2.py().domain());
+  for (uint32_t s = 0; s < sub.num_cells(); ++s) {
+    m[s] = g2.Answer(
+        grid::AxisSelection::MakeRange(sub.CellBegin(s), sub.CellEnd(s) - 1),
+        all_y);
+  }
+  return m;
+}
+
+double PairwiseDisagreement(const std::vector<std::vector<double>>& marginals) {
+  double total = 0.0;
+  for (size_t a = 0; a < marginals.size(); ++a) {
+    for (size_t b = a + 1; b < marginals.size(); ++b) {
+      for (size_t s = 0; s < marginals[a].size(); ++s) {
+        total += std::fabs(marginals[a][s] - marginals[b][s]);
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<double> RandomDistribution(size_t size, Rng& rng) {
+  std::vector<double> v(size);
+  double sum = 0.0;
+  for (double& x : v) {
+    x = 1.0 + static_cast<double>(rng.UniformU64(1000));
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+  return v;
+}
+
+struct ConsistencyFixture {
+  std::vector<grid::Grid1D> grids_1d;
+  std::vector<grid::Grid2D> grids_2d;
+};
+
+// Attribute 0 (domain 12) appears in its 1-D grid and two 2-D grids whose
+// x-axis cell boundaries differ from the 1-D grid's — the unaligned case
+// the fractional-overlap consistency update must handle.
+ConsistencyFixture MakeFixture(uint64_t seed) {
+  Rng rng(seed);
+  ConsistencyFixture f;
+  f.grids_1d.emplace_back(0, grid::Partition1D(12, 6));
+  f.grids_2d.emplace_back(0, 1, grid::Partition1D(12, 4),
+                          grid::Partition1D(10, 5));
+  f.grids_2d.emplace_back(0, 2, grid::Partition1D(12, 3),
+                          grid::Partition1D(8, 4));
+  f.grids_1d[0].SetFrequencies(RandomDistribution(6, rng));
+  f.grids_2d[0].SetFrequencies(RandomDistribution(4 * 5, rng));
+  f.grids_2d[1].SetFrequencies(RandomDistribution(3 * 4, rng));
+  return f;
+}
+
+std::vector<std::vector<double>> AllMarginals(const ConsistencyFixture& f) {
+  const grid::Partition1D& sub = f.grids_1d[0].partition();
+  return {MarginalOnSubdomains(f.grids_1d[0], sub),
+          MarginalOnSubdomains(f.grids_2d[0], sub),
+          MarginalOnSubdomains(f.grids_2d[1], sub)};
+}
+
+TEST(ConsistencyPropertyTest, OnePassStrictlyReducesDisagreement) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ConsistencyFixture f = MakeFixture(seed);
+    const double before = PairwiseDisagreement(AllMarginals(f));
+    ASSERT_GT(before, 1e-6) << "fixture degenerate at seed " << seed;
+
+    MakeAttributeConsistent(0, &f.grids_1d, &f.grids_2d);
+    const double after = PairwiseDisagreement(AllMarginals(f));
+    EXPECT_LT(after, before) << "seed " << seed;
+  }
+}
+
+TEST(ConsistencyPropertyTest, FullPipelineReducesDisagreementAndNormalizes) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ConsistencyFixture f = MakeFixture(seed * 7);
+    const double before = PairwiseDisagreement(AllMarginals(f));
+
+    MakeConsistent(3, &f.grids_1d, &f.grids_2d, {});
+    const double after = PairwiseDisagreement(AllMarginals(f));
+    EXPECT_LT(after, before) << "seed " << seed;
+
+    // The final negativity pass guarantees proper distributions.
+    auto check_distribution = [&](const std::vector<double>& freq) {
+      double sum = 0.0;
+      for (const double x : freq) {
+        EXPECT_GE(x, 0.0) << "seed " << seed;
+        sum += x;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "seed " << seed;
+    };
+    check_distribution(f.grids_1d[0].frequencies());
+    check_distribution(f.grids_2d[0].frequencies());
+    check_distribution(f.grids_2d[1].frequencies());
+  }
+}
+
+}  // namespace
+}  // namespace felip::post

@@ -1,0 +1,213 @@
+// Edge-case tests for the query generator and the grid answering path it
+// feeds: degenerate selectivities, single-value domains, full-domain
+// BETWEEN predicates, and point constraints landing on the last (largest)
+// cell of an unequal-width partition.
+
+#include "felip/query/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/rng.h"
+#include "felip/data/dataset.h"
+#include "felip/grid/grid.h"
+#include "felip/grid/partition.h"
+#include "felip/query/query.h"
+
+namespace felip::query {
+namespace {
+
+data::Dataset SmallMixedDataset() {
+  data::Dataset dataset({{"num_a", 10, false},
+                         {"cat_b", 7, true},
+                         {"num_c", 13, false},
+                         {"cat_d", 4, true}});
+  Rng rng(3);
+  for (int r = 0; r < 50; ++r) {
+    dataset.AppendRow({static_cast<uint32_t>(rng.UniformU64(10)),
+                       static_cast<uint32_t>(rng.UniformU64(7)),
+                       static_cast<uint32_t>(rng.UniformU64(13)),
+                       static_cast<uint32_t>(rng.UniformU64(4))});
+  }
+  return dataset;
+}
+
+void ExpectPredicateValid(const Predicate& p, uint32_t domain) {
+  switch (p.op) {
+    case Op::kEquals:
+      EXPECT_EQ(p.lo, p.hi);
+      EXPECT_LT(p.lo, domain);
+      break;
+    case Op::kBetween:
+      EXPECT_LE(p.lo, p.hi);
+      EXPECT_LT(p.hi, domain);
+      break;
+    case Op::kIn: {
+      ASSERT_FALSE(p.values.empty());
+      std::vector<uint32_t> sorted = p.values;
+      std::sort(sorted.begin(), sorted.end());
+      for (size_t i = 1; i < sorted.size(); ++i) {
+        EXPECT_NE(sorted[i - 1], sorted[i]) << "duplicate IN value";
+      }
+      EXPECT_LT(sorted.back(), domain);
+      break;
+    }
+  }
+  EXPECT_GE(p.SelectedCount(domain), 1u);
+  EXPECT_LE(p.SelectedCount(domain), domain);
+}
+
+TEST(GeneratorEdgeTest, FullSelectivityProducesFullDomainBetween) {
+  const data::Dataset dataset = SmallMixedDataset();
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Query q = GenerateQuery(
+        dataset, {.dimension = 2, .selectivity = 1.0, .range_only = true},
+        rng);
+    for (const Predicate& p : q.predicates()) {
+      const uint32_t domain = dataset.attribute(p.attr).domain;
+      EXPECT_EQ(p.op, Op::kBetween);
+      EXPECT_EQ(p.lo, 0u);
+      EXPECT_EQ(p.hi, domain - 1);
+      EXPECT_FALSE(dataset.attribute(p.attr).categorical);
+    }
+    // A conjunction of full-domain ranges selects every record.
+    EXPECT_EQ(TrueAnswer(dataset, q), 1.0);
+  }
+}
+
+TEST(GeneratorEdgeTest, TinySelectivityProducesSingleValueRanges) {
+  const data::Dataset dataset = SmallMixedDataset();
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Query q = GenerateQuery(
+        dataset, {.dimension = 3, .selectivity = 1e-6}, rng);
+    for (const Predicate& p : q.predicates()) {
+      const uint32_t domain = dataset.attribute(p.attr).domain;
+      // selected clamps to 1: a point constraint, never an empty range.
+      EXPECT_EQ(p.SelectedCount(domain), 1u);
+      ExpectPredicateValid(p, domain);
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, SingleValueDomainsYieldValidPointPredicates) {
+  data::Dataset dataset({{"num", 1, false}, {"cat", 1, true}});
+  for (int r = 0; r < 5; ++r) dataset.AppendRow({0, 0});
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Query q = GenerateQuery(
+        dataset, {.dimension = 2, .selectivity = 0.5}, rng);
+    EXPECT_EQ(q.dimension(), 2u);
+    for (const Predicate& p : q.predicates()) {
+      ExpectPredicateValid(p, 1);
+      EXPECT_TRUE(p.Matches(0));
+    }
+    EXPECT_EQ(TrueAnswer(dataset, q), 1.0);
+  }
+}
+
+TEST(GeneratorEdgeTest, GeneratedQueriesAlwaysStructurallyValid) {
+  const data::Dataset dataset = SmallMixedDataset();
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    for (const double selectivity : {0.01, 0.33, 0.5, 0.99, 1.0}) {
+      for (const uint32_t lambda : {1u, 2u, 4u, 8u}) {
+        const Query q = GenerateQuery(
+            dataset, {.dimension = lambda, .selectivity = selectivity}, rng);
+        // λ is capped by the number of eligible attributes; predicates
+        // reference distinct attributes (enforced by the Query ctor).
+        EXPECT_EQ(q.dimension(),
+                  std::min(lambda, dataset.num_attributes()));
+        for (const Predicate& p : q.predicates()) {
+          ASSERT_LT(p.attr, dataset.num_attributes());
+          ExpectPredicateValid(p, dataset.attribute(p.attr).domain);
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, RangeOnlySkipsCategoricalAttributes) {
+  const data::Dataset dataset = SmallMixedDataset();
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Query q = GenerateQuery(
+        dataset, {.dimension = 4, .selectivity = 0.5, .range_only = true},
+        rng);
+    // Only the two numerical attributes are eligible.
+    EXPECT_EQ(q.dimension(), 2u);
+    for (const Predicate& p : q.predicates()) {
+      EXPECT_FALSE(dataset.attribute(p.attr).categorical);
+      EXPECT_EQ(p.op, Op::kBetween);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point constraints against unequal-width partitions.
+
+TEST(GeneratorEdgeTest, LastCellOfUnequalPartitionCoversTrailingValues) {
+  // domain 10 over 3 cells: [0,3) [3,6) [6,10) — the last cell is wider.
+  const grid::Partition1D partition(10, 3);
+  ASSERT_EQ(partition.CellBegin(2), 6u);
+  ASSERT_EQ(partition.CellEnd(2), 10u);
+  for (uint32_t v = 6; v < 10; ++v) {
+    EXPECT_EQ(partition.CellOf(v), 2u) << "value " << v;
+  }
+  EXPECT_EQ(partition.CellOf(5), 1u);
+
+  // A point predicate on the very last domain value.
+  Predicate p;
+  p.attr = 0;
+  p.op = Op::kEquals;
+  p.lo = p.hi = 9;
+  const grid::AxisSelection sel = p.ToSelection();
+  EXPECT_DOUBLE_EQ(sel.CoverageOfCell(partition, 2), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(sel.CoverageOfCell(partition, 1), 0.0);
+
+  grid::Grid1D grid(0, partition);
+  grid.SetFrequencies({0.2, 0.3, 0.5});
+  EXPECT_NEAR(grid.Answer(sel), 0.5 / 4.0, 1e-12);
+  // A range covering exactly the last cell returns its full mass.
+  EXPECT_NEAR(grid.Answer(grid::AxisSelection::MakeRange(6, 9)), 0.5,
+              1e-12);
+}
+
+TEST(GeneratorEdgeTest, CellInverseRoundTripsOnUnequalWidths) {
+  // CellOf must invert CellBegin/CellEnd for every unequal-width layout:
+  // the classic off-by-one breeding ground.
+  for (const uint32_t domain : {7u, 10u, 13u, 97u, 100u}) {
+    for (uint32_t cells = 1; cells <= domain; ++cells) {
+      const grid::Partition1D partition(domain, cells);
+      EXPECT_EQ(partition.CellBegin(0), 0u);
+      EXPECT_EQ(partition.CellEnd(cells - 1), domain);
+      for (uint32_t c = 0; c < cells; ++c) {
+        ASSERT_LT(partition.CellBegin(c), partition.CellEnd(c));
+        EXPECT_EQ(partition.CellOf(partition.CellBegin(c)), c);
+        EXPECT_EQ(partition.CellOf(partition.CellEnd(c) - 1), c);
+        if (c > 0) {
+          EXPECT_EQ(partition.CellEnd(c - 1), partition.CellBegin(c));
+        }
+      }
+      EXPECT_EQ(partition.CellOf(domain - 1), cells - 1);
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, DisjointSelectionHasZeroCoverage) {
+  const grid::AxisSelection point = grid::AxisSelection::MakeRange(3, 3);
+  EXPECT_EQ(point.CoverageOfInterval(0, 3), 0.0);
+  EXPECT_EQ(point.CoverageOfInterval(4, 8), 0.0);
+  EXPECT_DOUBLE_EQ(point.CoverageOfInterval(3, 4), 1.0);
+  EXPECT_DOUBLE_EQ(point.CoverageOfInterval(2, 4), 0.5);
+
+  const grid::AxisSelection set = grid::AxisSelection::MakeSet({1, 5});
+  EXPECT_EQ(set.CoverageOfInterval(2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(set.CoverageOfInterval(4, 6), 0.5);
+}
+
+}  // namespace
+}  // namespace felip::query

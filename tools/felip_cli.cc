@@ -18,6 +18,7 @@
 #include "felip/data/csv_loader.h"
 #include "felip/data/synthetic.h"
 #include "felip/eval/harness.h"
+#include "felip/obs/metrics.h"
 #include "felip/query/generator.h"
 #include "felip/query/query.h"
 
@@ -42,6 +43,7 @@ void PrintUsage() {
       "  --seed=<int>            RNG seed (default 1)\n"
       "  --csv=<path>            CSV input (with --dataset=csv)\n"
       "  --csv-columns=spec      name:cat | name:num:domain, comma separated\n"
+      "  --metrics               dump observability metrics to stderr at exit\n"
       "  --list-methods          print the method registry and exit\n");
 }
 
@@ -104,6 +106,7 @@ int main(int argc, char** argv) {
   const auto num_queries =
       static_cast<uint32_t>(flags.GetUint("queries", 10));
   const bool range_only = flags.GetBool("range-only", false);
+  const bool dump_metrics = flags.GetBool("metrics", false);
   const uint64_t seed = flags.GetUint("seed", 1);
   const std::string csv_path = flags.GetString("csv", "");
   const std::string csv_columns = flags.GetString("csv-columns", "");
@@ -195,5 +198,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\nMAE = %.5f\n",
               eval::MeanAbsoluteError(estimates, truths));
+  if (dump_metrics) {
+    const std::string text = obs::Registry::Default().RenderText();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
   return 0;
 }
