@@ -1,0 +1,133 @@
+// Ingest-service throughput (google-benchmark): reports/sec through the
+// full networked path — encode, frame, transport, checksum + dedup, queue,
+// sharded decode, sink — over loopback and real TCP sockets, at 1/2/4
+// server worker threads. The sink counts reports without aggregating so
+// the numbers isolate service overhead from estimation cost.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "felip/svc/client.h"
+#include "felip/svc/loopback.h"
+#include "felip/svc/server.h"
+#include "felip/svc/sink.h"
+#include "felip/svc/tcp.h"
+#include "felip/wire/wire.h"
+
+namespace felip {
+namespace {
+
+// Counts reports; no aggregation, no locking on the hot path.
+class NullSink final : public svc::ReportSink {
+ public:
+  size_t IngestBatch(std::span<const wire::ReportMessage> reports) override {
+    reports_.fetch_add(reports.size(), std::memory_order_relaxed);
+    return reports.size();
+  }
+  uint64_t reports() const { return reports_.load(); }
+
+ private:
+  std::atomic<uint64_t> reports_{0};
+};
+
+std::vector<wire::ReportMessage> SampleBatch(size_t count) {
+  std::vector<wire::ReportMessage> batch(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].grid_index = static_cast<uint32_t>(i % 16);
+    batch[i].protocol = fo::Protocol::kOlh;
+    batch[i].olh.seed = 0x1234u + static_cast<uint32_t>(i);
+    batch[i].olh.hashed_report = static_cast<uint64_t>(i % 64);
+    batch[i].olh.seed_index = fo::OlhReport::kNoPool;
+  }
+  return batch;
+}
+
+// One transport round: send kBatches pre-encoded batches, await the drain.
+// Each iteration bumps a byte of every frame so the server's dedup never
+// collapses iterations into duplicates.
+template <typename TransportFactory>
+void RunIngestBench(benchmark::State& state, TransportFactory make,
+                    const char* endpoint) {
+  constexpr size_t kBatchReports = 1024;
+  constexpr size_t kBatches = 64;
+  const auto workers = static_cast<unsigned>(state.range(0));
+
+  std::vector<std::vector<wire::ReportMessage>> batches;
+  for (size_t b = 0; b < kBatches; ++b) {
+    std::vector<wire::ReportMessage> batch = SampleBatch(kBatchReports);
+    for (wire::ReportMessage& m : batch) {
+      m.olh.seed ^= static_cast<uint32_t>(b << 20);
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  const auto transport = make();
+  NullSink sink;
+  svc::IngestServerOptions options;
+  options.queue_capacity = 128;
+  options.worker_threads = workers;
+  options.decode_threads = 1;
+  svc::IngestServer server(transport.get(), endpoint, &sink, options);
+  if (!server.Start()) {
+    state.SkipWithError("server failed to bind");
+    return;
+  }
+  svc::IngestClient client(transport.get(), server.endpoint());
+
+  uint64_t expected = 0;
+  uint64_t iteration = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < kBatches; ++b) {
+      // Vary one report per batch per iteration: new checksum, no dedup.
+      batches[b][0].olh.hashed_report = iteration;
+      if (!client.SendBatch(batches[b]).ok) {
+        state.SkipWithError("batch delivery failed");
+        return;
+      }
+    }
+    expected += kBatches * kBatchReports;
+    if (!server.WaitForReports(expected, 60000)) {
+      state.SkipWithError("drain timed out");
+      return;
+    }
+    ++iteration;
+  }
+  server.Stop();
+  state.SetItemsProcessed(static_cast<int64_t>(expected));
+  state.counters["reports/s"] = benchmark::Counter(
+      static_cast<double>(expected), benchmark::Counter::kIsRate);
+  state.counters["retries"] = static_cast<double>(client.retries());
+}
+
+void BM_IngestLoopback(benchmark::State& state) {
+  RunIngestBench(
+      state, [] { return std::make_unique<svc::LoopbackTransport>(); },
+      "ingest");
+}
+BENCHMARK(BM_IngestLoopback)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestTcp(benchmark::State& state) {
+  RunIngestBench(state, [] { return std::make_unique<svc::TcpTransport>(); },
+                 "127.0.0.1:0");
+}
+BENCHMARK(BM_IngestTcp)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace felip
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  felip::bench::DumpObsJsonIfRequested();
+  return 0;
+}

@@ -244,6 +244,58 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
   collected_ = true;
 }
 
+void FelipPipeline::BeginIngest() {
+  FELIP_CHECK_MSG(!collected_, "BeginIngest() after a completed round");
+  FELIP_CHECK_MSG(!ingesting_, "BeginIngest() called twice");
+  // Same oracle construction as Collect(): one per grid, at the per-grid
+  // budget, so a networked round aggregates into identical state.
+  oracles_.clear();
+  for (const GridAssignment& assignment : assignments_) {
+    const uint64_t domain =
+        static_cast<uint64_t>(assignment.plan.lx) * assignment.plan.ly;
+    oracles_.push_back(fo::MakeFrequencyOracle(assignment.plan.protocol,
+                                               per_grid_epsilon_, domain,
+                                               config_.olh_options));
+  }
+  reports_ingested_ = 0;
+  ingesting_ = true;
+}
+
+bool FelipPipeline::IngestGrrReport(uint32_t grid_index, uint64_t report) {
+  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
+  if (grid_index >= oracles_.size()) return false;
+  if (!oracles_[grid_index]->IngestGrrReport(report)) return false;
+  ++reports_ingested_;
+  return true;
+}
+
+bool FelipPipeline::IngestOlhReport(uint32_t grid_index,
+                                    const fo::OlhReport& report) {
+  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
+  if (grid_index >= oracles_.size()) return false;
+  if (!oracles_[grid_index]->IngestOlhReport(report)) return false;
+  ++reports_ingested_;
+  return true;
+}
+
+bool FelipPipeline::IngestOueReport(uint32_t grid_index,
+                                    const std::vector<uint8_t>& bits) {
+  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
+  if (grid_index >= oracles_.size()) return false;
+  if (!oracles_[grid_index]->IngestOueReport(bits)) return false;
+  ++reports_ingested_;
+  return true;
+}
+
+void FelipPipeline::FinishIngest() {
+  FELIP_CHECK_MSG(ingesting_, "FinishIngest() requires BeginIngest()");
+  ingesting_ = false;
+  collected_ = true;
+  obs::Registry::Default()
+      .GetCounter("felip_core_reports_total")
+      .Increment(reports_ingested_);
+}
+
 void FelipPipeline::Finalize() {
   obs::ScopedTimer span("felip_core_finalize");
   FELIP_CHECK_MSG(collected_, "Finalize() requires Collect()");

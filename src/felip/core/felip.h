@@ -145,6 +145,29 @@ class FelipPipeline {
   // Estimation + post-processing + response matrices. Requires Collect().
   void Finalize();
 
+  // --- Networked ingestion (felip/svc) ---
+  //
+  // Alternative to Collect() for deployments where already-perturbed
+  // reports arrive over a transport instead of being simulated in-process.
+  // BeginIngest() builds the per-grid oracles at the per-grid budget;
+  // Ingest*Report() validates one report against `grid_index`'s planned
+  // protocol and domain, returning false on any out-of-range or
+  // mismatched input (network bytes are untrusted — never fatal);
+  // FinishIngest() closes the round so Finalize() can run. Aggregation is
+  // integer-count based, so the estimates depend only on the multiset of
+  // accepted reports, never on arrival order or batching.
+  void BeginIngest();
+  bool IngestGrrReport(uint32_t grid_index, uint64_t report);
+  bool IngestOlhReport(uint32_t grid_index, const fo::OlhReport& report);
+  bool IngestOueReport(uint32_t grid_index, const std::vector<uint8_t>& bits);
+  void FinishIngest();
+  uint64_t reports_ingested() const { return reports_ingested_; }
+
+  // The privacy budget each grid's oracle runs at (epsilon, or epsilon/m
+  // when dividing budget). Device-side code needs this to construct
+  // matching frequency-oracle clients.
+  double per_grid_epsilon() const { return per_grid_epsilon_; }
+
   // Estimated fractional answer of a λ-dimensional query. Requires
   // Finalize().
   double AnswerQuery(const query::Query& query) const;
@@ -198,6 +221,8 @@ class FelipPipeline {
   // pair order index -> index into grids_2d_ (identity, kept for clarity).
   std::vector<post::ResponseMatrix> response_matrices_;
   bool collected_ = false;
+  bool ingesting_ = false;
+  uint64_t reports_ingested_ = 0;
   bool finalized_ = false;
 };
 

@@ -24,6 +24,11 @@ class GrrOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
+  bool IngestGrrReport(uint64_t report) override {
+    if (report >= client_.domain()) return false;
+    server_.Add(report);
+    return true;
+  }
   std::vector<double> EstimateFrequencies(unsigned) const override {
     FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
     return server_.EstimateFrequencies();
@@ -55,6 +60,17 @@ class OlhOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
+  bool IngestOlhReport(const OlhReport& report) override {
+    if (report.hashed_report >= client_.g()) return false;
+    const uint32_t pool = client_.options().seed_pool_size;
+    if (pool > 0) {
+      if (report.seed_index >= pool) return false;
+    } else if (report.seed_index != OlhReport::kNoPool) {
+      return false;
+    }
+    server_.Add(report);
+    return true;
+  }
   std::vector<double> EstimateFrequencies(
       unsigned thread_count) const override {
     FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
@@ -86,6 +102,14 @@ class OueOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
+  bool IngestOueReport(const std::vector<uint8_t>& bits) override {
+    if (bits.size() != client_.domain()) return false;
+    for (const uint8_t bit : bits) {
+      if (bit > 1) return false;
+    }
+    server_.Add(bits);
+    return true;
+  }
   std::vector<double> EstimateFrequencies(unsigned) const override {
     FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
     return server_.EstimateFrequencies();
@@ -101,6 +125,12 @@ class OueOracle final : public FrequencyOracle {
 };
 
 }  // namespace
+
+bool FrequencyOracle::IngestGrrReport(uint64_t) { return false; }
+bool FrequencyOracle::IngestOlhReport(const OlhReport&) { return false; }
+bool FrequencyOracle::IngestOueReport(const std::vector<uint8_t>&) {
+  return false;
+}
 
 void FrequencyOracle::SubmitUserValues(std::span<const uint64_t> values,
                                        Rng& rng, unsigned thread_count) {

@@ -50,6 +50,18 @@ class FrequencyOracle {
   // Reports buffered but not yet flushed.
   virtual size_t buffered_reports() const = 0;
 
+  // --- Untrusted-report ingestion (network path) ---
+  //
+  // Aggregates one already-perturbed report after validating it against
+  // this oracle's protocol and domain. Unlike the server Add() methods
+  // (which FELIP_CHECK their input), these return false on invalid input
+  // so a service can count and drop bad reports from the network instead
+  // of aborting. Each oracle accepts only its own protocol's overload;
+  // the others return false.
+  virtual bool IngestGrrReport(uint64_t report);
+  virtual bool IngestOlhReport(const OlhReport& report);
+  virtual bool IngestOueReport(const std::vector<uint8_t>& bits);
+
   // Unbiased frequency estimates for all domain values (may be negative).
   // Requires an empty buffer (call FlushReports first); `thread_count`
   // bounds the threads used by protocols that parallelize estimation.

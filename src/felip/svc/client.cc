@@ -1,0 +1,134 @@
+#include "felip/svc/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "felip/obs/metrics.h"
+#include "felip/svc/message.h"
+
+namespace felip::svc {
+
+namespace {
+
+void SleepMs(uint32_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+IngestClient::IngestClient(Transport* transport, std::string endpoint,
+                           IngestClientOptions options)
+    : transport_(transport),
+      endpoint_(std::move(endpoint)),
+      options_(options),
+      rng_(options.jitter_seed) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK(options_.max_attempts > 0);
+}
+
+SendOutcome IngestClient::SendBatch(
+    const std::vector<wire::ReportMessage>& batch) {
+  return SendEncodedBatch(wire::EncodeReportBatch(batch));
+}
+
+SendOutcome IngestClient::SendEncodedBatch(
+    const std::vector<uint8_t>& frame) {
+  static obs::Counter& batches_total = obs::Registry::Default().GetCounter(
+      "felip_svc_client_batches_total");
+  static obs::Counter& retries_total = obs::Registry::Default().GetCounter(
+      "felip_svc_client_retries_total");
+  batches_total.Increment();
+
+  SendOutcome outcome;
+  const std::optional<uint64_t> checksum = ChecksumTrailer(frame);
+  FELIP_CHECK_MSG(checksum.has_value(), "batch frame has no checksum trailer");
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    if (attempt > 1) {
+      retries_total.Increment();
+      retries_.fetch_add(1);
+    }
+
+    if (!EnsureConnected()) {
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+    if (!connection_->SendFrame(frame)) {
+      DropConnection();
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+
+    std::vector<uint8_t> response;
+    const RecvStatus status =
+        connection_->RecvFrame(&response, options_.response_timeout_ms);
+    if (status != RecvStatus::kOk) {
+      // After a timeout a late ack could desynchronize request/response
+      // pairing on this connection, so both failure kinds reconnect.
+      DropConnection();
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+
+    const std::optional<Ack> ack = DecodeAck(response);
+    if (!ack.has_value() || ack->batch_checksum != *checksum) {
+      DropConnection();
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+    switch (ack->status) {
+      case AckStatus::kAccepted:
+        outcome.ok = true;
+        return outcome;
+      case AckStatus::kDuplicate:
+        outcome.ok = true;
+        outcome.duplicate = true;
+        return outcome;
+      case AckStatus::kRetryLater:
+        SleepMs(ack->retry_after_ms + Jitter(options_.backoff_initial_ms));
+        continue;
+      case AckStatus::kMalformed:
+        // Damaged in flight; the frame itself is fine — resend.
+        SleepMs(BackoffMs(attempt));
+        continue;
+    }
+  }
+  return outcome;
+}
+
+bool IngestClient::EnsureConnected() {
+  if (connection_ != nullptr) return true;
+  connection_ = transport_->Connect(endpoint_, options_.connect_timeout_ms);
+  if (connection_ == nullptr) return false;
+  static obs::Counter& reconnects_total = obs::Registry::Default().GetCounter(
+      "felip_svc_client_reconnects_total");
+  reconnects_total.Increment();
+  reconnects_.fetch_add(1);
+  return true;
+}
+
+void IngestClient::DropConnection() {
+  if (connection_ == nullptr) return;
+  connection_->Close();
+  connection_.reset();
+}
+
+uint32_t IngestClient::BackoffMs(int attempt) {
+  const int shift = std::min(attempt - 1, 16);
+  const uint64_t base =
+      std::min<uint64_t>(static_cast<uint64_t>(options_.backoff_initial_ms)
+                             << shift,
+                         options_.backoff_cap_ms);
+  return static_cast<uint32_t>(base) + Jitter(static_cast<uint32_t>(base));
+}
+
+uint32_t IngestClient::Jitter(uint32_t bound_ms) {
+  if (bound_ms == 0) return 0;
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  return static_cast<uint32_t>(rng_.UniformU64(bound_ms + 1));
+}
+
+}  // namespace felip::svc

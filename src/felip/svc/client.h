@@ -1,0 +1,91 @@
+// Report-submitting client: at-least-once delivery, exactly-once counting.
+//
+// IngestClient sends encoded report batches over a Transport and drives
+// the retry loop against the server's ack protocol:
+//
+//   * kAccepted / kDuplicate — done. A duplicate means an earlier attempt
+//     landed but its ack was lost; the xxHash64 trailer the server dedups
+//     on makes the resend harmless, so retries never double-count.
+//   * kRetryLater — server backpressure; wait the suggested retry_after_ms
+//     (plus deterministic jitter) and resend.
+//   * kMalformed — the frame was damaged in flight; resend.
+//   * timeout / connection loss — reconnect and resend under capped
+//     exponential backoff with deterministic jitter.
+//
+// Every ack must echo the batch checksum; a mismatched or undecodable
+// response is treated like a lost one. All waits are bounded, all retry
+// randomness comes from the seeded Rng, so a fixed seed replays the same
+// schedule.
+
+#ifndef FELIP_SVC_CLIENT_H_
+#define FELIP_SVC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/svc/transport.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+
+struct IngestClientOptions {
+  int connect_timeout_ms = 2000;
+  int response_timeout_ms = 2000;
+  // Delivery attempts per batch before giving up.
+  int max_attempts = 16;
+  // Capped exponential backoff between failed attempts.
+  uint32_t backoff_initial_ms = 1;
+  uint32_t backoff_cap_ms = 64;
+  // Seeds the jitter Rng; fixed seed => identical retry schedule.
+  uint64_t jitter_seed = 1;
+};
+
+struct SendOutcome {
+  bool ok = false;
+  int attempts = 0;
+  // True when the batch had already been aggregated by a prior attempt
+  // whose ack was lost (the idempotent-resend path).
+  bool duplicate = false;
+};
+
+class IngestClient {
+ public:
+  // `transport` must outlive the client.
+  IngestClient(Transport* transport, std::string endpoint,
+               IngestClientOptions options = {});
+
+  // Encodes `batch` and delivers it (at least once; counted exactly once).
+  SendOutcome SendBatch(const std::vector<wire::ReportMessage>& batch);
+
+  // Delivers an already-encoded batch frame (wire::EncodeReportBatch).
+  SendOutcome SendEncodedBatch(const std::vector<uint8_t>& frame);
+
+  // --- Introspection ---
+  uint64_t retries() const { return retries_.load(); }
+  uint64_t reconnects() const { return reconnects_.load(); }
+
+ private:
+  bool EnsureConnected();
+  void DropConnection();
+  // Capped exponential backoff + jitter for the given 1-based attempt.
+  uint32_t BackoffMs(int attempt);
+  uint32_t Jitter(uint32_t bound_ms);
+
+  Transport* transport_;
+  std::string endpoint_;
+  IngestClientOptions options_;
+  std::unique_ptr<FrameConnection> connection_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_CLIENT_H_

@@ -1,0 +1,114 @@
+#include "felip/svc/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "felip/obs/metrics.h"
+
+namespace felip::svc {
+
+class FaultConnection final : public FrameConnection {
+ public:
+  FaultConnection(FaultInjectingTransport* owner,
+                  std::unique_ptr<FrameConnection> inner)
+      : owner_(owner), inner_(std::move(inner)) {}
+
+  bool SendFrame(const std::vector<uint8_t>& payload) override {
+    size_t truncate_at = 0;
+    switch (owner_->NextFault(&truncate_at, payload.size())) {
+      case FaultInjectingTransport::Fault::kNone:
+        break;
+      case FaultInjectingTransport::Fault::kDrop:
+        owner_->drops_.fetch_add(1);
+        FaultCounter("drops").Increment();
+        return true;  // "sent", never arrives
+      case FaultInjectingTransport::Fault::kTruncate: {
+        owner_->truncations_.fetch_add(1);
+        FaultCounter("truncations").Increment();
+        const std::vector<uint8_t> prefix(payload.begin(),
+                                          payload.begin() + truncate_at);
+        return inner_->SendFrame(prefix);
+      }
+      case FaultInjectingTransport::Fault::kDelay:
+        owner_->delays_.fetch_add(1);
+        FaultCounter("delays").Increment();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(owner_->options_.delay_ms));
+        break;
+      case FaultInjectingTransport::Fault::kReset:
+        owner_->resets_.fetch_add(1);
+        FaultCounter("resets").Increment();
+        inner_->Close();
+        return false;
+      case FaultInjectingTransport::Fault::kDropResponse:
+        owner_->dropped_responses_.fetch_add(1);
+        FaultCounter("dropped_responses").Increment();
+        swallow_next_response_ = true;
+        break;
+    }
+    return inner_->SendFrame(payload);
+  }
+
+  RecvStatus RecvFrame(std::vector<uint8_t>* payload,
+                       int timeout_ms) override {
+    const RecvStatus status = inner_->RecvFrame(payload, timeout_ms);
+    if (status == RecvStatus::kOk && swallow_next_response_) {
+      swallow_next_response_ = false;
+      payload->clear();
+      // The frame existed but the client never sees it; report a timeout
+      // so the retry path engages exactly as it would for a lost packet.
+      return RecvStatus::kTimeout;
+    }
+    return status;
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  static obs::Counter& FaultCounter(const char* kind) {
+    return obs::Registry::Default().GetCounter(
+        std::string("felip_svc_fault_") + kind + "_total");
+  }
+
+  FaultInjectingTransport* owner_;
+  std::unique_ptr<FrameConnection> inner_;
+  bool swallow_next_response_ = false;
+};
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
+                                                 FaultOptions options)
+    : inner_(inner), options_(options), rng_(options.seed) {}
+
+std::unique_ptr<FrameServer> FaultInjectingTransport::NewServer(
+    const std::string& endpoint) {
+  return inner_->NewServer(endpoint);
+}
+
+std::unique_ptr<FrameConnection> FaultInjectingTransport::Connect(
+    const std::string& endpoint, int timeout_ms) {
+  std::unique_ptr<FrameConnection> inner =
+      inner_->Connect(endpoint, timeout_ms);
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<FaultConnection>(this, std::move(inner));
+}
+
+FaultInjectingTransport::Fault FaultInjectingTransport::NextFault(
+    size_t* truncate_at, size_t frame_size) {
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  if (rng_.Bernoulli(options_.drop_prob)) return Fault::kDrop;
+  if (rng_.Bernoulli(options_.truncate_prob) && frame_size > 1) {
+    // Strict prefix, at least one byte short.
+    *truncate_at = static_cast<size_t>(rng_.UniformU64(frame_size - 1)) + 1;
+    return Fault::kTruncate;
+  }
+  if (rng_.Bernoulli(options_.delay_prob)) return Fault::kDelay;
+  if (rng_.Bernoulli(options_.reset_prob)) return Fault::kReset;
+  if (rng_.Bernoulli(options_.drop_response_prob)) {
+    return Fault::kDropResponse;
+  }
+  return Fault::kNone;
+}
+
+}  // namespace felip::svc

@@ -1,0 +1,90 @@
+// Fault-injecting transport decorator.
+//
+// Wraps any Transport and corrupts the *client side* of every connection
+// it creates, driven by the deterministic RNG so a fixed seed replays the
+// exact same fault sequence. Four send-path faults and one receive-path
+// fault are supported:
+//
+//   * drop       — the frame silently vanishes (client times out, resends)
+//   * truncate   — a strict prefix is delivered; the wire checksum fails
+//                  and the server acks kMalformed (client resends)
+//   * delay      — the frame is delivered after delay_ms
+//   * reset      — the connection is closed instead of sending (client
+//                  reconnects and resends)
+//   * drop_response — the frame is delivered but the next response is
+//                  swallowed (client times out; the resend dedups as a
+//                  duplicate on the server — the idempotency test case)
+//
+// Faults are evaluated independently per SendFrame in the order above;
+// at most one fires per frame. The server side (NewServer) passes through
+// untouched: the service's recovery story is client-driven retry, so
+// faulting the client edge exercises every code path while keeping the
+// server deterministic.
+
+#ifndef FELIP_SVC_FAULT_INJECTION_H_
+#define FELIP_SVC_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "felip/common/rng.h"
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+
+struct FaultOptions {
+  double drop_prob = 0.0;
+  double truncate_prob = 0.0;
+  double delay_prob = 0.0;
+  double reset_prob = 0.0;
+  double drop_response_prob = 0.0;
+  uint32_t delay_ms = 1;
+  uint64_t seed = 1;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  // `inner` must outlive this transport.
+  FaultInjectingTransport(Transport* inner, FaultOptions options);
+
+  std::unique_ptr<FrameServer> NewServer(const std::string& endpoint) override;
+  std::unique_ptr<FrameConnection> Connect(const std::string& endpoint,
+                                           int timeout_ms) override;
+
+  // --- Introspection (tests assert faults actually fired) ---
+  uint64_t drops() const { return drops_.load(); }
+  uint64_t truncations() const { return truncations_.load(); }
+  uint64_t delays() const { return delays_.load(); }
+  uint64_t resets() const { return resets_.load(); }
+  uint64_t dropped_responses() const { return dropped_responses_.load(); }
+  uint64_t faults_injected() const {
+    return drops() + truncations() + delays() + resets() +
+           dropped_responses();
+  }
+
+ private:
+  friend class FaultConnection;
+
+  // Which fault (if any) the next frame suffers; consults the shared RNG
+  // under the mutex so concurrent connections still draw one global
+  // deterministic sequence.
+  enum class Fault { kNone, kDrop, kTruncate, kDelay, kReset, kDropResponse };
+  Fault NextFault(size_t* truncate_at, size_t frame_size);
+
+  Transport* inner_;
+  FaultOptions options_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> dropped_responses_{0};
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_FAULT_INJECTION_H_

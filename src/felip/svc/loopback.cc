@@ -1,0 +1,206 @@
+#include "felip/svc/loopback.h"
+
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "felip/common/check.h"
+
+namespace felip::svc {
+
+namespace internal {
+
+// Shared state of one loopback connection. Both halves (the client handle
+// and the server dispatcher) hold a shared_ptr, so either side may close
+// or disappear without invalidating the other.
+struct LoopbackConnState {
+  explicit LoopbackConnState(uint64_t id) : id(id) {}
+
+  const uint64_t id;
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::vector<uint8_t>> responses;
+  bool closed = false;
+
+  void PushResponse(std::vector<uint8_t> frame) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (closed) return;
+      responses.push_back(std::move(frame));
+    }
+    ready.notify_all();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    ready.notify_all();
+  }
+};
+
+// Server-side shared state: the inbound frame queue the dispatcher thread
+// consumes. Unbounded by design — it models the kernel socket buffer, not
+// the service's backpressure point (that is the IngestServer's
+// BoundedQueue, which rejects with retry-after when full).
+struct LoopbackServerState {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::pair<std::shared_ptr<LoopbackConnState>,
+                       std::vector<uint8_t>>>
+      inbound;
+  bool stopped = false;
+  uint64_t next_connection_id = 1;
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopped = true;
+    }
+    ready.notify_all();
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::LoopbackConnState;
+using internal::LoopbackServerState;
+
+class LoopbackConnection final : public FrameConnection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackConnState> state,
+                     std::shared_ptr<LoopbackServerState> server)
+      : state_(std::move(state)), server_(std::move(server)) {}
+
+  ~LoopbackConnection() override { Close(); }
+
+  bool SendFrame(const std::vector<uint8_t>& payload) override {
+    if (payload.size() > kMaxFrameBytes) return false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->closed) return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(server_->mutex);
+      if (server_->stopped) return false;
+      server_->inbound.emplace_back(state_, payload);
+    }
+    server_->ready.notify_one();
+    return true;
+  }
+
+  RecvStatus RecvFrame(std::vector<uint8_t>* payload,
+                       int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    const bool got = state_->ready.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [this] { return state_->closed || !state_->responses.empty(); });
+    if (!state_->responses.empty()) {
+      *payload = std::move(state_->responses.front());
+      state_->responses.pop_front();
+      return RecvStatus::kOk;
+    }
+    if (state_->closed) return RecvStatus::kClosed;
+    (void)got;
+    return RecvStatus::kTimeout;
+  }
+
+  void Close() override { state_->Close(); }
+
+ private:
+  std::shared_ptr<LoopbackConnState> state_;
+  std::shared_ptr<LoopbackServerState> server_;
+};
+
+}  // namespace
+
+class LoopbackServer final : public FrameServer {
+ public:
+  LoopbackServer(LoopbackTransport* transport, std::string endpoint)
+      : transport_(transport), endpoint_(std::move(endpoint)),
+        state_(std::make_shared<LoopbackServerState>()) {}
+
+  ~LoopbackServer() override { Stop(); }
+
+  bool Start(FrameHandler handler) override {
+    FELIP_CHECK_MSG(!dispatcher_.joinable(), "Start() called twice");
+    {
+      std::lock_guard<std::mutex> lock(transport_->mutex_);
+      if (transport_->servers_.count(endpoint_) > 0) return false;
+      transport_->servers_[endpoint_] = state_;
+    }
+    handler_ = std::move(handler);
+    dispatcher_ = std::thread([this] { DispatchLoop(); });
+    return true;
+  }
+
+  void Stop() override {
+    {
+      std::lock_guard<std::mutex> lock(transport_->mutex_);
+      auto it = transport_->servers_.find(endpoint_);
+      if (it != transport_->servers_.end() && it->second == state_) {
+        transport_->servers_.erase(it);
+      }
+    }
+    state_->Stop();
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+
+  std::string endpoint() const override { return endpoint_; }
+
+ private:
+  void DispatchLoop() {
+    for (;;) {
+      std::shared_ptr<LoopbackConnState> conn;
+      std::vector<uint8_t> frame;
+      {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->ready.wait(lock, [this] {
+          return state_->stopped || !state_->inbound.empty();
+        });
+        if (state_->inbound.empty()) return;  // stopped and drained
+        conn = std::move(state_->inbound.front().first);
+        frame = std::move(state_->inbound.front().second);
+        state_->inbound.pop_front();
+      }
+      std::vector<uint8_t> response = handler_(conn->id, std::move(frame));
+      if (!response.empty()) conn->PushResponse(std::move(response));
+    }
+  }
+
+  LoopbackTransport* transport_;
+  const std::string endpoint_;
+  std::shared_ptr<LoopbackServerState> state_;
+  FrameHandler handler_;
+  std::thread dispatcher_;
+};
+
+std::unique_ptr<FrameServer> LoopbackTransport::NewServer(
+    const std::string& endpoint) {
+  return std::make_unique<LoopbackServer>(this, endpoint);
+}
+
+std::unique_ptr<FrameConnection> LoopbackTransport::Connect(
+    const std::string& endpoint, int /*timeout_ms*/) {
+  std::shared_ptr<LoopbackServerState> server;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = servers_.find(endpoint);
+    if (it == servers_.end()) return nullptr;
+    server = it->second;
+  }
+  std::shared_ptr<LoopbackConnState> conn;
+  {
+    std::lock_guard<std::mutex> lock(server->mutex);
+    if (server->stopped) return nullptr;
+    conn = std::make_shared<LoopbackConnState>(server->next_connection_id++);
+  }
+  return std::make_unique<LoopbackConnection>(std::move(conn),
+                                              std::move(server));
+}
+
+}  // namespace felip::svc

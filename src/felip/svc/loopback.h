@@ -1,0 +1,48 @@
+// In-process loopback transport: deterministic frame delivery over plain
+// queues, no sockets. The reference implementation of the Transport
+// contract and the backbone of the e2e equivalence tests — a fixed-seed
+// run through the loopback must produce estimates bit-identical to the
+// in-process pipeline (see tests/svc/loopback_e2e_test.cc).
+//
+// Each server runs one dispatcher thread that pops inbound frames in
+// arrival order and invokes the handler serially, mirroring the TCP event
+// loop's single-threaded handler guarantee. Endpoints are arbitrary
+// strings scoped to one LoopbackTransport instance.
+
+#ifndef FELIP_SVC_LOOPBACK_H_
+#define FELIP_SVC_LOOPBACK_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+
+namespace internal {
+struct LoopbackServerState;
+}  // namespace internal
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport() = default;
+
+  std::unique_ptr<FrameServer> NewServer(const std::string& endpoint) override;
+  std::unique_ptr<FrameConnection> Connect(const std::string& endpoint,
+                                           int timeout_ms) override;
+
+ private:
+  friend class LoopbackServer;
+
+  std::mutex mutex_;
+  // Started servers by endpoint. Entries are shared so a connection made
+  // just before Stop() fails cleanly instead of dangling.
+  std::map<std::string, std::shared_ptr<internal::LoopbackServerState>>
+      servers_;
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_LOOPBACK_H_

@@ -1,0 +1,61 @@
+#include "felip/svc/message.h"
+
+#include <cstring>
+
+#include "felip/common/hash.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+
+namespace {
+
+inline constexpr uint8_t kAckMagic = 0xAC;
+inline constexpr uint8_t kAckVersion = 1;
+inline constexpr size_t kAckBytes = 1 + 1 + 1 + 4 + 8;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeAck(const Ack& ack) {
+  std::vector<uint8_t> frame(kAckBytes);
+  frame[0] = kAckMagic;
+  frame[1] = kAckVersion;
+  frame[2] = static_cast<uint8_t>(ack.status);
+  std::memcpy(frame.data() + 3, &ack.retry_after_ms,
+              sizeof(ack.retry_after_ms));
+  std::memcpy(frame.data() + 7, &ack.batch_checksum,
+              sizeof(ack.batch_checksum));
+  return frame;
+}
+
+std::optional<Ack> DecodeAck(const std::vector<uint8_t>& frame) {
+  if (frame.size() != kAckBytes) return std::nullopt;
+  if (frame[0] != kAckMagic || frame[1] != kAckVersion) return std::nullopt;
+  if (frame[2] < static_cast<uint8_t>(AckStatus::kAccepted) ||
+      frame[2] > static_cast<uint8_t>(AckStatus::kMalformed)) {
+    return std::nullopt;
+  }
+  Ack ack;
+  ack.status = static_cast<AckStatus>(frame[2]);
+  std::memcpy(&ack.retry_after_ms, frame.data() + 3,
+              sizeof(ack.retry_after_ms));
+  std::memcpy(&ack.batch_checksum, frame.data() + 7,
+              sizeof(ack.batch_checksum));
+  return ack;
+}
+
+std::optional<uint64_t> ChecksumTrailer(const std::vector<uint8_t>& frame) {
+  if (frame.size() < sizeof(uint64_t)) return std::nullopt;
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, frame.data() + frame.size() - sizeof(checksum),
+              sizeof(checksum));
+  return checksum;
+}
+
+bool VerifyChecksumTrailer(const std::vector<uint8_t>& frame) {
+  const std::optional<uint64_t> stored = ChecksumTrailer(frame);
+  if (!stored.has_value()) return false;
+  const size_t body = frame.size() - sizeof(uint64_t);
+  return XxHash64Bytes(frame.data(), body, wire::kChecksumSalt) == *stored;
+}
+
+}  // namespace felip::svc

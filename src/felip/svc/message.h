@@ -1,0 +1,54 @@
+// Application-level messages of the ingest protocol.
+//
+// A request frame is an encoded wire::ReportBatch, unchanged: the wire
+// format's magic/version/xxHash64-trailer envelope already gives the
+// service integrity checking, and the trailer doubles as the batch's
+// idempotency key — two frames with the same trailer carry the same
+// batch, so the server aggregates at most one of them and acks the rest
+// as duplicates.
+//
+// A response frame is the fixed-size Ack below: the batch outcome, a
+// retry-after hint for backpressure rejects, and an echo of the request's
+// checksum so a client can never mis-attribute a response (connections
+// carry one request at a time, but a stale response from a previous
+// attempt may still be in flight after a timeout).
+
+#ifndef FELIP_SVC_MESSAGE_H_
+#define FELIP_SVC_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace felip::svc {
+
+enum class AckStatus : uint8_t {
+  kAccepted = 1,    // queued for aggregation; the batch will be counted
+  kDuplicate = 2,   // already accepted earlier; success for the client
+  kRetryLater = 3,  // queue full (backpressure): resend after the hint
+  kMalformed = 4,   // frame failed integrity checks: resend the batch
+};
+
+struct Ack {
+  AckStatus status = AckStatus::kMalformed;
+  uint32_t retry_after_ms = 0;   // meaningful for kRetryLater
+  uint64_t batch_checksum = 0;   // echo of the request's trailer
+
+  friend bool operator==(const Ack&, const Ack&) = default;
+};
+
+std::vector<uint8_t> EncodeAck(const Ack& ack);
+std::optional<Ack> DecodeAck(const std::vector<uint8_t>& frame);
+
+// The xxHash64 trailer of an encoded wire message — the batch idempotency
+// key; nullopt when the frame is too short to carry one.
+std::optional<uint64_t> ChecksumTrailer(const std::vector<uint8_t>& frame);
+
+// Recomputes the trailer over the frame body and compares. This is the
+// server's synchronous integrity gate: truncated or corrupted frames are
+// acked kMalformed from the IO thread, before anything is queued.
+bool VerifyChecksumTrailer(const std::vector<uint8_t>& frame);
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_MESSAGE_H_

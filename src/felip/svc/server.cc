@@ -1,0 +1,177 @@
+#include "felip/svc/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
+#include "felip/svc/message.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+
+namespace {
+
+struct ServerCounters {
+  obs::Counter& accepted;
+  obs::Counter& duplicate;
+  obs::Counter& rejected;
+  obs::Counter& malformed;
+  obs::Counter& reports;
+  obs::Gauge& queue_depth;
+
+  static ServerCounters& Get() {
+    static ServerCounters counters{
+        obs::Registry::Default().GetCounter(
+            "felip_svc_batches_accepted_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_batches_duplicate_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_batches_rejected_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_batches_malformed_total"),
+        obs::Registry::Default().GetCounter("felip_svc_reports_total"),
+        obs::Registry::Default().GetGauge("felip_svc_queue_depth"),
+    };
+    return counters;
+  }
+};
+
+}  // namespace
+
+IngestServer::IngestServer(Transport* transport, const std::string& endpoint,
+                           ReportSink* sink, IngestServerOptions options)
+    : transport_(transport),
+      endpoint_(endpoint),
+      sink_(sink),
+      options_(options),
+      queue_(options.queue_capacity) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK(sink != nullptr);
+  FELIP_CHECK(options_.worker_threads > 0);
+}
+
+IngestServer::~IngestServer() { Stop(); }
+
+bool IngestServer::Start() {
+  FELIP_CHECK_MSG(!started_, "Start() called twice");
+  frame_server_ = transport_->NewServer(endpoint_);
+  if (frame_server_ == nullptr) return false;
+  if (!frame_server_->Start([this](uint64_t connection_id,
+                                   std::vector<uint8_t>&& payload) {
+        return HandleFrame(connection_id, std::move(payload));
+      })) {
+    frame_server_.reset();
+    return false;
+  }
+  workers_.reserve(options_.worker_threads);
+  for (unsigned w = 0; w < options_.worker_threads; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+  return true;
+}
+
+void IngestServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  // Order matters: no new frames first, then let the workers drain what
+  // was already accepted (acked batches must be aggregated exactly once).
+  frame_server_->Stop();
+  queue_.Shutdown();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  frame_server_.reset();
+}
+
+std::string IngestServer::endpoint() const {
+  return frame_server_ != nullptr ? frame_server_->endpoint() : endpoint_;
+}
+
+uint64_t IngestServer::reports_seen() const {
+  std::lock_guard<std::mutex> lock(reports_mutex_);
+  return reports_seen_;
+}
+
+bool IngestServer::WaitForReports(uint64_t count, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(reports_mutex_);
+  return reports_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [&] { return reports_seen_ >= count; });
+}
+
+std::vector<uint8_t> IngestServer::HandleFrame(
+    uint64_t /*connection_id*/, std::vector<uint8_t>&& payload) {
+  ServerCounters& counters = ServerCounters::Get();
+  Ack ack;
+  ack.batch_checksum = ChecksumTrailer(payload).value_or(0);
+
+  // Checksum verification happens synchronously on the IO thread so a
+  // truncated or corrupted frame is rejected before it costs queue space.
+  if (!VerifyChecksumTrailer(payload)) {
+    batches_malformed_.fetch_add(1);
+    counters.malformed.Increment();
+    ack.status = AckStatus::kMalformed;
+    return EncodeAck(ack);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(seen_mutex_);
+    if (seen_checksums_.contains(ack.batch_checksum)) {
+      batches_duplicate_.fetch_add(1);
+      counters.duplicate.Increment();
+      ack.status = AckStatus::kDuplicate;
+      return EncodeAck(ack);
+    }
+    if (!queue_.TryPush(std::move(payload))) {
+      // Backpressure: not recorded as seen — the resend is a fresh try.
+      batches_rejected_.fetch_add(1);
+      counters.rejected.Increment();
+      ack.status = AckStatus::kRetryLater;
+      ack.retry_after_ms = options_.retry_after_ms;
+      return EncodeAck(ack);
+    }
+    seen_checksums_.insert(ack.batch_checksum);
+  }
+  counters.queue_depth.Set(static_cast<double>(queue_.size()));
+  batches_accepted_.fetch_add(1);
+  counters.accepted.Increment();
+  ack.status = AckStatus::kAccepted;
+  return EncodeAck(ack);
+}
+
+void IngestServer::WorkerLoop() {
+  ServerCounters& counters = ServerCounters::Get();
+  while (true) {
+    std::optional<std::vector<uint8_t>> frame = queue_.Pop();
+    if (!frame.has_value()) return;
+    counters.queue_depth.Set(static_cast<double>(queue_.size()));
+
+    obs::ScopedTimer span("felip_svc_drain");
+    // The sharded decoder validates every record before the first sink
+    // call, so structurally bad batches (checksum-valid garbage from an
+    // adversarial client — honest retries can't produce them) are dropped
+    // whole, and messages collected here are always well-formed.
+    std::vector<wire::ReportMessage> messages;
+    std::mutex messages_mutex;
+    const std::optional<size_t> count = wire::DecodeReportBatchSharded(
+        *frame,
+        [&](size_t /*shard*/, size_t /*index*/, wire::ReportMessage&& m) {
+          std::lock_guard<std::mutex> lock(messages_mutex);
+          messages.push_back(std::move(m));
+        },
+        options_.decode_threads);
+    if (!count.has_value()) {
+      batches_undecodable_.fetch_add(1);
+      continue;
+    }
+    sink_->IngestBatch(messages);
+    counters.reports.Increment(messages.size());
+    {
+      std::lock_guard<std::mutex> lock(reports_mutex_);
+      reports_seen_ += messages.size();
+    }
+    reports_cv_.notify_all();
+  }
+}
+
+}  // namespace felip::svc

@@ -1,0 +1,124 @@
+// Report-collection server: transport frames in, sharded aggregation out.
+//
+// An IngestServer listens on a Transport endpoint and handles each
+// inbound frame on the transport's IO thread:
+//
+//   1. Verify the wire checksum trailer. Frames that fail (truncated or
+//      corrupted in flight) are acked kMalformed and never enqueued.
+//   2. Deduplicate on the xxHash64 trailer — the batch's idempotency key.
+//      A batch already accepted (in the queue or drained) acks kDuplicate
+//      without re-enqueueing, so client retries never double-count.
+//   3. Push onto a bounded MPMC queue. A full queue is explicit
+//      backpressure: the frame is acked kRetryLater with a suggested
+//      retry_after_ms and NOT recorded as seen, so the client's resend is
+//      a fresh attempt.
+//
+// A pool of worker threads drains the queue, decodes each batch with
+// wire::DecodeReportBatchSharded (structural validation before any report
+// reaches the sink), and hands the decoded reports to a ReportSink.
+// Aggregation is integer-count based, so estimates depend only on the
+// multiset of accepted batches — worker count, queue order, and batch
+// boundaries cannot change the result.
+//
+// Stop() stops the transport first (no new frames), then shuts the queue
+// down and joins the workers after they drain every accepted batch.
+
+#ifndef FELIP_SVC_SERVER_H_
+#define FELIP_SVC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "felip/svc/queue.h"
+#include "felip/svc/sink.h"
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+
+struct IngestServerOptions {
+  // Batches buffered between the IO thread and the workers; a full queue
+  // acks kRetryLater (backpressure).
+  size_t queue_capacity = 64;
+  // Worker threads draining the queue into the sink.
+  unsigned worker_threads = 2;
+  // Threads each worker hands to the sharded batch decoder (1 = serial).
+  unsigned decode_threads = 1;
+  // Suggested client wait carried in kRetryLater acks.
+  uint32_t retry_after_ms = 5;
+};
+
+class IngestServer {
+ public:
+  // `transport` and `sink` must outlive this server.
+  IngestServer(Transport* transport, const std::string& endpoint,
+               ReportSink* sink, IngestServerOptions options = {});
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  // Binds the endpoint and spawns the worker pool. False if the transport
+  // could not bind.
+  bool Start();
+
+  // Stops accepting, drains every queued batch, joins workers. Idempotent.
+  void Stop();
+
+  // Resolved endpoint (e.g. the actual TCP port when bound to port 0).
+  std::string endpoint() const;
+
+  // Blocks until the sink has been offered `count` reports (accepted or
+  // rejected) or `timeout_ms` elapses; true on success. Lets tests and
+  // drivers await a quiesced queue without polling the transport.
+  bool WaitForReports(uint64_t count, int timeout_ms);
+
+  // --- Stats (exact once Stop() returned or WaitForReports succeeded) ---
+  uint64_t batches_accepted() const { return batches_accepted_.load(); }
+  uint64_t batches_duplicate() const { return batches_duplicate_.load(); }
+  uint64_t batches_rejected() const { return batches_rejected_.load(); }
+  uint64_t batches_malformed() const { return batches_malformed_.load(); }
+  uint64_t batches_undecodable() const { return batches_undecodable_.load(); }
+  uint64_t reports_seen() const;
+
+ private:
+  std::vector<uint8_t> HandleFrame(uint64_t connection_id,
+                                   std::vector<uint8_t>&& payload);
+  void WorkerLoop();
+
+  Transport* transport_;
+  std::string endpoint_;
+  ReportSink* sink_;
+  IngestServerOptions options_;
+
+  std::unique_ptr<FrameServer> frame_server_;
+  BoundedQueue<std::vector<uint8_t>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  // Idempotency: checksums of every batch ever accepted into the queue.
+  std::mutex seen_mutex_;
+  std::unordered_set<uint64_t> seen_checksums_;
+
+  // Reports offered to the sink so far; guarded by reports_mutex_ for the
+  // WaitForReports condition.
+  mutable std::mutex reports_mutex_;
+  std::condition_variable reports_cv_;
+  uint64_t reports_seen_ = 0;
+
+  std::atomic<uint64_t> batches_accepted_{0};
+  std::atomic<uint64_t> batches_duplicate_{0};
+  std::atomic<uint64_t> batches_rejected_{0};
+  std::atomic<uint64_t> batches_malformed_{0};
+  std::atomic<uint64_t> batches_undecodable_{0};
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_SERVER_H_

@@ -1,0 +1,122 @@
+#include "felip/svc/simulator.h"
+
+#include <utility>
+
+#include "felip/common/check.h"
+
+namespace felip::svc {
+
+namespace {
+
+core::GridAssignment AssignmentOf(const wire::GridConfigMessage& config) {
+  core::GridAssignment assignment;
+  assignment.is_2d = config.is_2d;
+  assignment.attr_x = config.attr_x;
+  assignment.attr_y = config.attr_y;
+  assignment.plan.lx = config.lx;
+  assignment.plan.ly = config.ly;
+  assignment.plan.protocol = config.protocol;
+  return assignment;
+}
+
+}  // namespace
+
+PopulationSimulator::PopulationSimulator(
+    std::vector<wire::GridConfigMessage> grid_configs, SimulatorOptions options)
+    : configs_(std::move(grid_configs)), options_(options) {
+  FELIP_CHECK_MSG(!configs_.empty(), "simulator needs at least one grid");
+  devices_.reserve(configs_.size());
+  for (size_t g = 0; g < configs_.size(); ++g) {
+    const wire::GridConfigMessage& config = configs_[g];
+    FELIP_CHECK_MSG(config.grid_index == g,
+                    "grid configs must cover indices 0..m-1 in order");
+    const core::GridAssignment assignment = AssignmentOf(config);
+    Device device{core::FelipClient(assignment, config.domain_x,
+                                    config.domain_y),
+                  config.protocol,
+                  std::nullopt,
+                  std::nullopt,
+                  std::nullopt};
+    const uint64_t cells = device.projector.cell_domain();
+    switch (config.protocol) {
+      case fo::Protocol::kGrr:
+        device.grr.emplace(config.epsilon, cells);
+        break;
+      case fo::Protocol::kOlh:
+        device.olh.emplace(config.epsilon, cells,
+                           fo::OlhOptions{.seed_pool_size =
+                                              config.seed_pool_size,
+                                          .pool_salt = config.pool_salt});
+        break;
+      case fo::Protocol::kOue:
+        device.oue.emplace(config.epsilon, cells);
+        break;
+    }
+    devices_.push_back(std::move(device));
+  }
+}
+
+wire::ReportMessage PopulationSimulator::MakeReport(size_t grid, uint64_t cell,
+                                                    Rng& rng) const {
+  const Device& device = devices_[grid];
+  wire::ReportMessage m;
+  m.grid_index = static_cast<uint32_t>(grid);
+  m.protocol = device.protocol;
+  switch (device.protocol) {
+    case fo::Protocol::kGrr:
+      m.grr_report = device.grr->Perturb(cell, rng);
+      break;
+    case fo::Protocol::kOlh:
+      m.olh = device.olh->Perturb(cell, rng);
+      break;
+    case fo::Protocol::kOue:
+      m.oue_bits = device.oue->Perturb(cell, rng);
+      break;
+  }
+  return m;
+}
+
+std::optional<uint64_t> PopulationSimulator::Run(
+    const data::Dataset& dataset, const BatchConsumer& consume) const {
+  const size_t m = devices_.size();
+  const auto cell_of = [&](size_t g, uint64_t row) -> uint64_t {
+    const wire::GridConfigMessage& config = configs_[g];
+    const Device& device = devices_[g];
+    const uint32_t x = dataset.Value(row, config.attr_x);
+    const uint32_t y = config.is_2d ? dataset.Value(row, config.attr_y) : 0;
+    return device.projector.ProjectToCell(x, y);
+  };
+
+  std::vector<wire::ReportMessage> batch;
+  batch.reserve(options_.batch_size);
+  uint64_t emitted = 0;
+  const auto emit = [&](wire::ReportMessage&& report) -> bool {
+    batch.push_back(std::move(report));
+    ++emitted;
+    if (batch.size() < options_.batch_size) return true;
+    if (!consume(batch)) return false;
+    batch.clear();
+    return true;
+  };
+
+  // The exact trajectory of FelipPipeline::Collect: one Rng, row order,
+  // group draw then perturbation (kDivideUsers), or every grid per row
+  // (kDivideBudget).
+  Rng rng(options_.seed);
+  if (options_.partitioning == core::PartitioningMode::kDivideUsers) {
+    for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+      const size_t g = static_cast<size_t>(rng.UniformU64(m));
+      if (!emit(MakeReport(g, cell_of(g, row), rng))) return std::nullopt;
+    }
+  } else {
+    for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+      for (size_t g = 0; g < m; ++g) {
+        if (!emit(MakeReport(g, cell_of(g, row), rng))) return std::nullopt;
+      }
+    }
+  }
+  if (!batch.empty() && !consume(batch)) return std::nullopt;
+  return emitted;
+}
+
+}  // namespace felip::svc

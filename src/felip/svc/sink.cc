@@ -1,0 +1,48 @@
+#include "felip/svc/sink.h"
+
+#include "felip/common/check.h"
+#include "felip/obs/metrics.h"
+
+namespace felip::svc {
+
+PipelineSink::PipelineSink(core::FelipPipeline* pipeline)
+    : pipeline_(pipeline) {
+  FELIP_CHECK(pipeline != nullptr);
+  pipeline_->BeginIngest();
+}
+
+size_t PipelineSink::IngestBatch(std::span<const wire::ReportMessage> reports) {
+  static obs::Counter& rejected_total = obs::Registry::Default().GetCounter(
+      "felip_svc_reports_rejected_total");
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t accepted = 0;
+  for (const wire::ReportMessage& m : reports) {
+    bool ok = false;
+    switch (m.protocol) {
+      case fo::Protocol::kGrr:
+        ok = pipeline_->IngestGrrReport(m.grid_index, m.grr_report);
+        break;
+      case fo::Protocol::kOlh:
+        ok = pipeline_->IngestOlhReport(m.grid_index, m.olh);
+        break;
+      case fo::Protocol::kOue:
+        ok = pipeline_->IngestOueReport(m.grid_index, m.oue_bits);
+        break;
+    }
+    if (ok) {
+      ++accepted;
+    } else {
+      rejected_total.Increment();
+    }
+  }
+  accepted_ += accepted;
+  rejected_ += reports.size() - accepted;
+  return accepted;
+}
+
+void PipelineSink::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pipeline_->FinishIngest();
+}
+
+}  // namespace felip::svc

@@ -1,0 +1,63 @@
+// Where decoded reports go: the boundary between the ingest service and
+// the aggregation pipeline.
+//
+// IngestServer workers hand fully decoded, structurally valid batches to a
+// ReportSink. PipelineSink is the production sink: it feeds a planned
+// FelipPipeline's ingestion API (BeginIngest/Ingest*/FinishIngest) under a
+// mutex. Per-report validation (grid index in range, protocol matching the
+// grid's plan, payload within the grid's domain) happens inside the
+// pipeline's oracles and rejected reports are counted, never fatal —
+// these bytes come from the network.
+//
+// Aggregation counts are integers, so the final estimates depend only on
+// the multiset of accepted reports — never on batch arrival order or
+// which worker ingested what. That is what makes the networked path
+// bit-identical to the in-process pipeline.
+
+#ifndef FELIP_SVC_SINK_H_
+#define FELIP_SVC_SINK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "felip/core/felip.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+
+  // Ingests one decoded batch; returns how many reports were accepted.
+  // Called concurrently by server workers; implementations synchronize.
+  virtual size_t IngestBatch(
+      std::span<const wire::ReportMessage> reports) = 0;
+};
+
+// Thread-safe sink over a planned (not yet collected) FelipPipeline.
+// Calls pipeline->BeginIngest() on construction; call Finish() once all
+// batches are in, then Finalize() the pipeline as usual.
+class PipelineSink final : public ReportSink {
+ public:
+  explicit PipelineSink(core::FelipPipeline* pipeline);
+
+  size_t IngestBatch(std::span<const wire::ReportMessage> reports) override;
+
+  // Marks the collection round complete (FelipPipeline::FinishIngest).
+  void Finish();
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::mutex mutex_;
+  core::FelipPipeline* pipeline_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_SINK_H_

@@ -1,0 +1,40 @@
+// TCP transport: length-prefixed frames over POSIX sockets.
+//
+// Frame layout on the stream: a 4-byte little-endian payload length
+// followed by the payload bytes. Lengths above kMaxFrameBytes are a
+// protocol violation and close the connection (a corrupt prefix must not
+// drive a huge allocation).
+//
+// The server side runs one poll()-based event loop thread: it accepts on
+// the listening socket, keeps a growable read buffer per connection,
+// extracts complete frames as bytes arrive (slow clients that dribble a
+// frame over many segments cost buffered bytes, never a blocked thread),
+// invokes the handler, and flushes response bytes with POLLOUT when the
+// socket's send buffer is full. A self-pipe wakes the loop for Stop().
+//
+// The client side is blocking-with-timeout over a non-blocking socket:
+// connect, send, and receive each poll() against their own deadline.
+//
+// Endpoints are "host:port" with numeric IPv4 hosts; port 0 binds an
+// ephemeral port, resolved via endpoint() after Start().
+
+#ifndef FELIP_SVC_TCP_H_
+#define FELIP_SVC_TCP_H_
+
+#include <memory>
+#include <string>
+
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+
+class TcpTransport final : public Transport {
+ public:
+  std::unique_ptr<FrameServer> NewServer(const std::string& endpoint) override;
+  std::unique_ptr<FrameConnection> Connect(const std::string& endpoint,
+                                           int timeout_ms) override;
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_TCP_H_

@@ -1,0 +1,104 @@
+// Transport abstraction for the ingest service.
+//
+// The service moves *frames* — opaque byte payloads, length-prefixed on
+// stream transports — between an IngestClient and an IngestServer. Three
+// implementations share this interface:
+//
+//   * TcpTransport (tcp.h): POSIX TCP sockets. The server side runs a
+//     single poll()-based event loop with one read buffer per connection;
+//     the client side is blocking with timeouts.
+//   * LoopbackTransport (loopback.h): in-process queues, fully
+//     deterministic, used by unit tests and the e2e equivalence suite.
+//   * FaultInjectingTransport (fault_injection.h): decorator over either,
+//     injecting drops, truncations, delays, and connection resets from the
+//     deterministic RNG.
+//
+// Server side is event-driven: Start() spawns the transport's IO machinery
+// and every complete inbound frame is handed to the FrameHandler, whose
+// return value is written back as the response frame on the same
+// connection. The handler runs on the transport's IO thread, so it must be
+// fast and non-blocking — the IngestServer's handler only validates,
+// dedups, and pushes to its bounded queue.
+//
+// Client side is blocking request/response: SendFrame writes one frame,
+// RecvFrame waits for the next inbound frame with a timeout. A connection
+// is ordered and reliable until it fails; any failure surfaces as
+// kClosed / false, after which the caller reconnects.
+
+#ifndef FELIP_SVC_TRANSPORT_H_
+#define FELIP_SVC_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace felip::svc {
+
+// Frames above this size are a protocol violation: the peer is
+// disconnected rather than buffered. Large enough for a ~1M-report OLH
+// batch; small enough that a corrupt length prefix cannot trigger a huge
+// allocation.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class RecvStatus {
+  kOk,       // *payload holds one complete frame
+  kTimeout,  // no frame within the deadline; connection still usable
+  kClosed,   // peer closed or connection failed
+};
+
+// One established client->server connection (client-side handle).
+class FrameConnection {
+ public:
+  virtual ~FrameConnection() = default;
+
+  // Sends one frame; false when the connection is broken.
+  virtual bool SendFrame(const std::vector<uint8_t>& payload) = 0;
+
+  // Waits up to `timeout_ms` for the next inbound frame.
+  virtual RecvStatus RecvFrame(std::vector<uint8_t>* payload,
+                               int timeout_ms) = 0;
+
+  virtual void Close() = 0;
+};
+
+// Invoked by the server transport for every complete inbound frame;
+// `connection_id` is stable per connection. The returned frame is sent
+// back on the same connection (empty return = no response).
+using FrameHandler = std::function<std::vector<uint8_t>(
+    uint64_t connection_id, std::vector<uint8_t>&& payload)>;
+
+// Server-side frame source bound to one endpoint.
+class FrameServer {
+ public:
+  virtual ~FrameServer() = default;
+
+  // Starts accepting connections and dispatching frames to `handler`.
+  virtual bool Start(FrameHandler handler) = 0;
+
+  // Stops the IO machinery and closes every connection. Idempotent; after
+  // Stop no further handler invocations happen.
+  virtual void Stop() = 0;
+
+  // The resolved endpoint clients should Connect to (e.g. "127.0.0.1:port"
+  // after binding port 0).
+  virtual std::string endpoint() const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Binds a server to `endpoint`; nullptr on failure (e.g. port in use).
+  virtual std::unique_ptr<FrameServer> NewServer(
+      const std::string& endpoint) = 0;
+
+  // Connects to a started server; nullptr on failure or timeout.
+  virtual std::unique_ptr<FrameConnection> Connect(
+      const std::string& endpoint, int timeout_ms) = 0;
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_TRANSPORT_H_

@@ -224,11 +224,21 @@ std::optional<size_t> DecodeReportBatchShardedImpl(
   uint32_t count = 0;
   if (!r.Get(&count)) return std::nullopt;
 
+  // An adversarial count cannot exceed what the remaining payload could
+  // possibly hold (every record is at least grid(4) + protocol(1) +
+  // empty-OUE length(4) = 9 bytes); reject before reserving anything
+  // proportional to it.
+  constexpr uint64_t kMinReportBytes = 4 + 1 + 4;
+  if (static_cast<uint64_t>(count) * kMinReportBytes >
+      *payload_end - r.position()) {
+    return std::nullopt;
+  }
+
   // Index pass: record each report's byte offset while validating its
   // structure. After this loop every record is known well-formed, so the
   // decode pass below cannot fail.
   std::vector<size_t> offsets;
-  offsets.reserve(std::min<uint32_t>(count, 1 << 20));
+  offsets.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     offsets.push_back(r.position());
     if (!SkipReportBody(r)) return std::nullopt;

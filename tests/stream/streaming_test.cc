@@ -121,6 +121,74 @@ TEST(StreamingCollectorTest, DecayOneAveragesUniformly) {
   EXPECT_NEAR(latest, 0.5, 0.15);
 }
 
+// Reconstructs the exact answer the collector must give after eviction:
+// standalone per-epoch pipelines over ONLY the retained window, mixed with
+// the documented decay weights. Pins both the eviction boundary (epochs
+// before the window contribute nothing) and the per-epoch seed derivation
+// (`felip.seed * 1000003 + epoch_index + 1`).
+TEST(StreamingCollectorTest, EvictedEpochsVanishFromTheDecayedEstimate) {
+  const StreamConfig config = FastConfig();  // max_epochs = 3, decay = 0.5
+  constexpr int kEpochs = 5;                 // max_epochs + 2: forces eviction
+  constexpr uint64_t kEpochUsers = 4000;
+
+  std::vector<data::Dataset> epochs;
+  for (int e = 0; e < kEpochs; ++e) {
+    epochs.push_back(data::MakeUniform(kEpochUsers, 2, 0, 32, 2, 100 + e));
+  }
+  StreamingCollector collector(epochs[0].attributes(), config);
+  for (const data::Dataset& epoch : epochs) collector.IngestEpoch(epoch);
+  ASSERT_EQ(collector.epochs_retained(), 3u);
+
+  const query::Query q = HalfRangeQuery();
+  // Retained window: epochs 2, 3, 4 (newest last). Epoch e ran a full
+  // FELIP round at the derived seed; replay each round standalone.
+  std::vector<double> answers;
+  for (int e = 2; e < kEpochs; ++e) {
+    core::FelipConfig felip = config.felip;
+    felip.seed = config.felip.seed * 1000003 + e + 1;
+    core::FelipPipeline pipeline(epochs[e].attributes(), kEpochUsers, felip);
+    pipeline.Collect(epochs[e]);
+    pipeline.Finalize();
+    answers.push_back(pipeline.AnswerQuery(q));
+  }
+  const double decay = config.decay;
+  const double expected =
+      (answers[2] + decay * answers[1] + decay * decay * answers[0]) /
+      (1.0 + decay + decay * decay);
+  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q), expected);
+  EXPECT_DOUBLE_EQ(collector.AnswerQueryLatest(q), answers[2]);
+}
+
+TEST(StreamingCollectorTest, DecayOneIsTheExactMeanOfTheRetainedWindow) {
+  StreamConfig config = FastConfig();
+  config.decay = 1.0;
+  config.max_epochs = 2;
+  constexpr int kEpochs = 4;  // max_epochs + 2
+  constexpr uint64_t kEpochUsers = 4000;
+
+  std::vector<data::Dataset> epochs;
+  for (int e = 0; e < kEpochs; ++e) {
+    epochs.push_back(data::MakeUniform(kEpochUsers, 2, 0, 32, 2, 200 + e));
+  }
+  StreamingCollector collector(epochs[0].attributes(), config);
+  for (const data::Dataset& epoch : epochs) collector.IngestEpoch(epoch);
+  ASSERT_EQ(collector.epochs_retained(), 2u);
+
+  const query::Query q = HalfRangeQuery();
+  std::vector<double> answers;
+  for (int e = 2; e < kEpochs; ++e) {
+    core::FelipConfig felip = config.felip;
+    felip.seed = config.felip.seed * 1000003 + e + 1;
+    core::FelipPipeline pipeline(epochs[e].attributes(), kEpochUsers, felip);
+    pipeline.Collect(epochs[e]);
+    pipeline.Finalize();
+    answers.push_back(pipeline.AnswerQuery(q));
+  }
+  // decay == 1.0: the uniform average, newest epoch first in the sum.
+  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q),
+                   (answers[1] + answers[0]) / 2.0);
+}
+
 TEST(StreamingCollectorDeathTest, QueriesNeedAnEpoch) {
   StreamingCollector collector(
       data::MakeUniform(1, 2, 0, 16, 2, 6).attributes(), FastConfig());

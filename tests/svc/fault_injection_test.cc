@@ -1,0 +1,197 @@
+// FaultInjectingTransport: deterministic corruption of the client edge.
+// A fixed seed must replay the identical fault sequence, and each fault
+// kind must manifest exactly as the retry loop expects (lost frame,
+// truncated frame, dead connection, swallowed ack).
+
+#include "felip/svc/fault_injection.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/svc/loopback.h"
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+namespace {
+
+// A server that records every frame it receives and echoes it.
+struct RecordingServer {
+  explicit RecordingServer(Transport* transport, const std::string& endpoint)
+      : server(transport->NewServer(endpoint)) {
+    EXPECT_TRUE(server->Start([this](uint64_t, std::vector<uint8_t>&& p) {
+      std::lock_guard<std::mutex> lock(mutex);
+      frames.push_back(p);
+      return p;
+    }));
+  }
+  size_t frame_count() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return frames.size();
+  }
+
+  std::unique_ptr<FrameServer> server;
+  std::mutex mutex;
+  std::vector<std::vector<uint8_t>> frames;
+};
+
+std::vector<uint8_t> Frame(size_t size) {
+  std::vector<uint8_t> frame(size);
+  for (size_t i = 0; i < size; ++i) frame[i] = static_cast<uint8_t>(i);
+  return frame;
+}
+
+TEST(FaultInjectionTest, NoFaultsConfiguredPassesEverythingThrough) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultInjectingTransport faulty(&inner, FaultOptions{});
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(connection->SendFrame(Frame(64)));
+    std::vector<uint8_t> response;
+    ASSERT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kOk);
+  }
+  EXPECT_EQ(server.frame_count(), 20u);
+  EXPECT_EQ(faulty.faults_injected(), 0u);
+  server.server->Stop();
+}
+
+TEST(FaultInjectionTest, DropsVanishSilently) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultOptions options;
+  options.drop_prob = 1.0;
+  FaultInjectingTransport faulty(&inner, options);
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  // SendFrame reports success — the loss is only observable as a missing
+  // response, exactly like a lost packet.
+  EXPECT_TRUE(connection->SendFrame(Frame(64)));
+  std::vector<uint8_t> response;
+  EXPECT_EQ(connection->RecvFrame(&response, 50), RecvStatus::kTimeout);
+  EXPECT_EQ(server.frame_count(), 0u);
+  EXPECT_EQ(faulty.drops(), 1u);
+  server.server->Stop();
+}
+
+TEST(FaultInjectionTest, TruncationDeliversStrictPrefix) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultOptions options;
+  options.truncate_prob = 1.0;
+  FaultInjectingTransport faulty(&inner, options);
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  const std::vector<uint8_t> full = Frame(128);
+  ASSERT_TRUE(connection->SendFrame(full));
+  std::vector<uint8_t> response;
+  ASSERT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kOk);
+  ASSERT_EQ(server.frame_count(), 1u);
+  const std::vector<uint8_t>& delivered = server.frames[0];
+  ASSERT_LT(delivered.size(), full.size());
+  ASSERT_GE(delivered.size(), 1u);
+  EXPECT_TRUE(std::equal(delivered.begin(), delivered.end(), full.begin()));
+  EXPECT_EQ(faulty.truncations(), 1u);
+  server.server->Stop();
+}
+
+TEST(FaultInjectionTest, ResetClosesTheConnection) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultOptions options;
+  options.reset_prob = 1.0;
+  FaultInjectingTransport faulty(&inner, options);
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  EXPECT_FALSE(connection->SendFrame(Frame(64)));
+  EXPECT_EQ(server.frame_count(), 0u);
+  EXPECT_EQ(faulty.resets(), 1u);
+  // The connection is dead; a reconnect gets a fresh (faulty) one.
+  auto fresh = faulty.Connect("ingest", 100);
+  EXPECT_NE(fresh, nullptr);
+  server.server->Stop();
+}
+
+TEST(FaultInjectionTest, DroppedResponseDeliversFrameButSwallowsAck) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultOptions options;
+  options.drop_response_prob = 1.0;
+  FaultInjectingTransport faulty(&inner, options);
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  ASSERT_TRUE(connection->SendFrame(Frame(64)));
+  std::vector<uint8_t> response;
+  // The server processed the frame, but the client sees a timeout — the
+  // idempotent-resend scenario.
+  EXPECT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kTimeout);
+  EXPECT_EQ(server.frame_count(), 1u);
+  EXPECT_EQ(faulty.dropped_responses(), 1u);
+  server.server->Stop();
+}
+
+TEST(FaultInjectionTest, FixedSeedReplaysTheSameFaultSequence) {
+  const auto run = [](uint64_t seed) {
+    LoopbackTransport inner;
+    RecordingServer server(&inner, "ingest");
+    FaultOptions options;
+    options.drop_prob = 0.3;
+    options.truncate_prob = 0.2;
+    options.reset_prob = 0.1;
+    options.seed = seed;
+    FaultInjectingTransport faulty(&inner, options);
+    std::vector<int> outcomes;
+    auto connection = faulty.Connect("ingest", 100);
+    for (int i = 0; i < 200; ++i) {
+      if (connection == nullptr) connection = faulty.Connect("ingest", 100);
+      const uint64_t drops = faulty.drops();
+      const uint64_t truncations = faulty.truncations();
+      const bool sent = connection->SendFrame(Frame(32));
+      if (!sent) {
+        connection.reset();  // reset fault: reconnect next round
+        outcomes.push_back(3);
+      } else if (faulty.drops() > drops) {
+        outcomes.push_back(1);
+      } else if (faulty.truncations() > truncations) {
+        outcomes.push_back(2);
+      } else {
+        outcomes.push_back(0);
+      }
+    }
+    server.server->Stop();
+    return outcomes;
+  };
+  const std::vector<int> first = run(42);
+  const std::vector<int> second = run(42);
+  const std::vector<int> different = run(43);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, different);
+  // With these probabilities every fault kind must have fired.
+  EXPECT_NE(std::count(first.begin(), first.end(), 1), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), 2), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), 3), 0);
+}
+
+TEST(FaultInjectionTest, DelayDeliversAfterSleeping) {
+  LoopbackTransport inner;
+  RecordingServer server(&inner, "ingest");
+  FaultOptions options;
+  options.delay_prob = 1.0;
+  options.delay_ms = 5;
+  FaultInjectingTransport faulty(&inner, options);
+  auto connection = faulty.Connect("ingest", 100);
+  ASSERT_NE(connection, nullptr);
+  ASSERT_TRUE(connection->SendFrame(Frame(16)));
+  std::vector<uint8_t> response;
+  EXPECT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kOk);
+  EXPECT_EQ(server.frame_count(), 1u);
+  EXPECT_EQ(faulty.delays(), 1u);
+  server.server->Stop();
+}
+
+}  // namespace
+}  // namespace felip::svc

@@ -1,0 +1,107 @@
+// BoundedQueue: the backpressure point of the ingest service. TryPush must
+// never block or exceed capacity; Pop must drain everything accepted
+// before reporting shutdown.
+
+#include "felip/svc/queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::svc {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const std::optional<int> item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFullAndRecoversAfterPop) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // backpressure, not blocking
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));
+}
+
+TEST(BoundedQueueTest, ShutdownFailsPushesButDrainsQueuedItems) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_TRUE(queue.TryPush(8));
+  queue.Shutdown();
+  EXPECT_FALSE(queue.TryPush(9));
+  EXPECT_EQ(queue.Pop(), 7);
+  EXPECT_EQ(queue.Pop(), 8);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // stays drained
+}
+
+TEST(BoundedQueueTest, ShutdownWakesBlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(queue.Pop(), std::nullopt);
+    woke.store(true);
+  });
+  // Give the consumer a moment to block, then shut down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Shutdown();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<uint64_t> queue(16);
+
+  std::mutex seen_mutex;
+  std::multiset<uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        const std::optional<uint64_t> item = queue.Pop();
+        if (!item.has_value()) return;
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(*item);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t item =
+            static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!queue.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Shutdown();
+  for (std::thread& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  for (uint64_t v = 0; v < seen.size(); ++v) {
+    EXPECT_EQ(seen.count(v), 1u) << "item " << v;
+  }
+}
+
+}  // namespace
+}  // namespace felip::svc

@@ -1,0 +1,336 @@
+// IngestServer + IngestClient behavior over the loopback transport: the
+// ack protocol (accept / duplicate / backpressure / malformed), queue
+// drain semantics, and the client retry loop that rides on top of them.
+
+#include "felip/svc/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/hash.h"
+#include "felip/svc/client.h"
+#include "felip/svc/loopback.h"
+#include "felip/svc/message.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+namespace {
+
+// Sink that counts reports and can be made to block, to hold the queue
+// full while backpressure is probed.
+class CountingSink final : public ReportSink {
+ public:
+  size_t IngestBatch(std::span<const wire::ReportMessage> reports) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      gate_.wait(lock, [this] { return !blocked_; });
+      reports_ += reports.size();
+      ++batches_;
+    }
+    return reports.size();
+  }
+
+  void Block() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocked_ = true;
+  }
+  void Unblock() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      blocked_ = false;
+    }
+    gate_.notify_all();
+  }
+  uint64_t reports() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_;
+  }
+  uint64_t batches() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batches_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable gate_;
+  bool blocked_ = false;
+  uint64_t reports_ = 0;
+  uint64_t batches_ = 0;
+};
+
+std::vector<wire::ReportMessage> GrrBatch(uint64_t start, size_t count) {
+  std::vector<wire::ReportMessage> batch(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].grid_index = 0;
+    batch[i].protocol = fo::Protocol::kGrr;
+    batch[i].grr_report = start + i;
+  }
+  return batch;
+}
+
+// Recomputes the xxHash64 trailer after mutating the body, producing a
+// frame that is checksum-valid but structurally whatever we made it.
+void Reseal(std::vector<uint8_t>* frame) {
+  ASSERT_GE(frame->size(), 8u);
+  const uint64_t checksum = XxHash64Bytes(
+      frame->data(), frame->size() - 8, wire::kChecksumSalt);
+  std::memcpy(frame->data() + frame->size() - 8, &checksum, 8);
+}
+
+std::optional<Ack> RoundTrip(FrameConnection* connection,
+                             const std::vector<uint8_t>& frame) {
+  if (!connection->SendFrame(frame)) return std::nullopt;
+  std::vector<uint8_t> response;
+  if (connection->RecvFrame(&response, 2000) != RecvStatus::kOk) {
+    return std::nullopt;
+  }
+  return DecodeAck(response);
+}
+
+TEST(IngestServerTest, ClientDeliversBatchesAndServerDrainsThem) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServer server(&transport, "ingest", &sink);
+  ASSERT_TRUE(server.Start());
+
+  IngestClient client(&transport, server.endpoint());
+  for (int b = 0; b < 5; ++b) {
+    const SendOutcome outcome = client.SendBatch(GrrBatch(b * 100, 10));
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_FALSE(outcome.duplicate);
+  }
+  ASSERT_TRUE(server.WaitForReports(50, 2000));
+  server.Stop();
+
+  EXPECT_EQ(server.batches_accepted(), 5u);
+  EXPECT_EQ(server.batches_duplicate(), 0u);
+  EXPECT_EQ(server.batches_rejected(), 0u);
+  EXPECT_EQ(server.batches_malformed(), 0u);
+  EXPECT_EQ(server.reports_seen(), 50u);
+  EXPECT_EQ(sink.reports(), 50u);
+  EXPECT_EQ(sink.batches(), 5u);
+}
+
+TEST(IngestServerTest, ResendingTheSameBatchAcksDuplicate) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServer server(&transport, "ingest", &sink);
+  ASSERT_TRUE(server.Start());
+
+  const std::vector<uint8_t> frame =
+      wire::EncodeReportBatch(GrrBatch(0, 8));
+  const std::optional<uint64_t> checksum = ChecksumTrailer(frame);
+  ASSERT_TRUE(checksum.has_value());
+
+  auto connection = transport.Connect(server.endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  const std::optional<Ack> first = RoundTrip(connection.get(), frame);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, AckStatus::kAccepted);
+  EXPECT_EQ(first->batch_checksum, *checksum);
+
+  // The idempotent-resend path: same frame again, even after the first
+  // copy has fully drained.
+  ASSERT_TRUE(server.WaitForReports(8, 2000));
+  const std::optional<Ack> second = RoundTrip(connection.get(), frame);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, AckStatus::kDuplicate);
+  EXPECT_EQ(second->batch_checksum, *checksum);
+
+  server.Stop();
+  EXPECT_EQ(server.batches_accepted(), 1u);
+  EXPECT_EQ(server.batches_duplicate(), 1u);
+  EXPECT_EQ(sink.reports(), 8u);  // counted exactly once
+}
+
+TEST(IngestServerTest, FullQueueAcksRetryLaterAndAcceptsTheResend) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServerOptions options;
+  options.queue_capacity = 1;
+  options.worker_threads = 1;
+  options.retry_after_ms = 7;
+  IngestServer server(&transport, "ingest", &sink, options);
+  ASSERT_TRUE(server.Start());
+
+  // Hold the worker inside the sink so batch #1 occupies the worker and
+  // batch #2 occupies the queue slot; batch #3 must be rejected.
+  sink.Block();
+  auto connection = transport.Connect(server.endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  const std::optional<Ack> a1 =
+      RoundTrip(connection.get(), wire::EncodeReportBatch(GrrBatch(0, 4)));
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(a1->status, AckStatus::kAccepted);
+  // Wait until the worker has popped batch #1 (frees a queue slot and
+  // blocks in the sink), then fill the slot with batch #2.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::optional<Ack> a2;
+  while (std::chrono::steady_clock::now() < deadline) {
+    a2 = RoundTrip(connection.get(),
+                   wire::EncodeReportBatch(GrrBatch(100, 4)));
+    ASSERT_TRUE(a2.has_value());
+    if (a2->status == AckStatus::kAccepted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(a2.has_value());
+  ASSERT_EQ(a2->status, AckStatus::kAccepted);
+
+  const std::vector<uint8_t> third =
+      wire::EncodeReportBatch(GrrBatch(200, 4));
+  std::optional<Ack> a3;
+  // The queue now holds batch #2 and the worker is stuck on #1; the third
+  // batch may need a few tries if the worker races us, but with the sink
+  // blocked it must eventually see backpressure.
+  for (int i = 0; i < 50; ++i) {
+    a3 = RoundTrip(connection.get(), third);
+    ASSERT_TRUE(a3.has_value());
+    if (a3->status == AckStatus::kRetryLater) break;
+  }
+  ASSERT_TRUE(a3.has_value());
+  ASSERT_EQ(a3->status, AckStatus::kRetryLater);
+  EXPECT_EQ(a3->retry_after_ms, 7u);
+  EXPECT_GE(server.batches_rejected(), 1u);
+
+  // A backpressure reject is NOT recorded as seen: once the queue drains,
+  // the identical resend must be accepted, not deduplicated.
+  sink.Unblock();
+  std::optional<Ack> resend;
+  for (int i = 0; i < 200; ++i) {
+    resend = RoundTrip(connection.get(), third);
+    ASSERT_TRUE(resend.has_value());
+    if (resend->status != AckStatus::kRetryLater) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(resend->retry_after_ms));
+  }
+  ASSERT_TRUE(resend.has_value());
+  EXPECT_EQ(resend->status, AckStatus::kAccepted);
+
+  ASSERT_TRUE(server.WaitForReports(12, 2000));
+  server.Stop();
+  EXPECT_EQ(sink.reports(), 12u);
+}
+
+TEST(IngestServerTest, CorruptedFrameAcksMalformedAndIsNeverCounted) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServer server(&transport, "ingest", &sink);
+  ASSERT_TRUE(server.Start());
+
+  std::vector<uint8_t> frame = wire::EncodeReportBatch(GrrBatch(0, 4));
+  frame[frame.size() / 2] ^= 0xFF;  // checksum now fails
+
+  auto connection = transport.Connect(server.endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  const std::optional<Ack> ack = RoundTrip(connection.get(), frame);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kMalformed);
+
+  // Truncated-below-trailer frames are malformed too.
+  const std::optional<Ack> tiny =
+      RoundTrip(connection.get(), std::vector<uint8_t>{1, 2, 3});
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_EQ(tiny->status, AckStatus::kMalformed);
+
+  server.Stop();
+  EXPECT_EQ(server.batches_malformed(), 2u);
+  EXPECT_EQ(server.batches_accepted(), 0u);
+  EXPECT_EQ(sink.reports(), 0u);
+}
+
+TEST(IngestServerTest, ChecksumValidButUndecodableBatchIsCountedNotSunk) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServer server(&transport, "ingest", &sink);
+  ASSERT_TRUE(server.Start());
+
+  // Corrupt the body, then reseal the trailer: passes the IO-thread
+  // integrity gate, fails structural decoding on the worker.
+  std::vector<uint8_t> frame = wire::EncodeReportBatch(GrrBatch(0, 4));
+  frame[0] ^= 0xFF;  // break the magic
+  Reseal(&frame);
+
+  auto connection = transport.Connect(server.endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  const std::optional<Ack> ack = RoundTrip(connection.get(), frame);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kAccepted);
+
+  server.Stop();  // drains the queue
+  EXPECT_EQ(server.batches_undecodable(), 1u);
+  EXPECT_EQ(sink.batches(), 0u);
+  EXPECT_EQ(sink.reports(), 0u);
+}
+
+TEST(IngestServerTest, WaitForReportsTimesOutWhenShortOfCount) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServer server(&transport, "ingest", &sink);
+  ASSERT_TRUE(server.Start());
+
+  IngestClient client(&transport, server.endpoint());
+  EXPECT_TRUE(client.SendBatch(GrrBatch(0, 5)).ok);
+  EXPECT_TRUE(server.WaitForReports(5, 2000));
+  EXPECT_FALSE(server.WaitForReports(6, 50));
+  server.Stop();
+}
+
+TEST(IngestServerTest, StopDrainsEverythingAlreadyAccepted) {
+  LoopbackTransport transport;
+  CountingSink sink;
+  IngestServerOptions options;
+  options.queue_capacity = 64;
+  options.worker_threads = 4;
+  IngestServer server(&transport, "ingest", &sink, options);
+  ASSERT_TRUE(server.Start());
+
+  IngestClient client(&transport, server.endpoint());
+  constexpr int kBatches = 32;
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE(client.SendBatch(GrrBatch(b * 1000, 16)).ok);
+  }
+  // No WaitForReports: Stop() itself must guarantee the drain.
+  server.Stop();
+  EXPECT_EQ(server.batches_accepted(), static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(sink.reports(), static_cast<uint64_t>(kBatches) * 16);
+}
+
+TEST(IngestClientTest, GivesUpAfterMaxAttemptsAgainstDeadEndpoint) {
+  LoopbackTransport transport;  // nothing registered at "nowhere"
+  IngestClientOptions options;
+  options.max_attempts = 3;
+  options.connect_timeout_ms = 20;
+  options.response_timeout_ms = 20;
+  IngestClient client(&transport, "nowhere", options);
+  const SendOutcome outcome = client.SendBatch(GrrBatch(0, 2));
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3);
+}
+
+TEST(IngestClientTest, FixedJitterSeedReplaysTheSameRetrySchedule) {
+  const auto run = [](uint64_t seed) {
+    LoopbackTransport transport;
+    IngestClientOptions options;
+    options.max_attempts = 5;
+    options.connect_timeout_ms = 10;
+    options.response_timeout_ms = 10;
+    options.jitter_seed = seed;
+    IngestClient client(&transport, "nowhere", options);
+    client.SendBatch(GrrBatch(0, 2));
+    return client.retries();
+  };
+  EXPECT_EQ(run(11), run(11));
+}
+
+}  // namespace
+}  // namespace felip::svc

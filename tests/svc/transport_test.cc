@@ -1,0 +1,252 @@
+// Transport contract tests, run against both implementations: loopback
+// (deterministic in-process queues) and TCP (real sockets over 127.0.0.1).
+// Every behavior the IngestServer/IngestClient pair relies on is pinned
+// here: request/response pairing, multiple sequential frames, concurrent
+// connections, timeouts, close semantics, and ephemeral-endpoint
+// resolution.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/svc/loopback.h"
+#include "felip/svc/tcp.h"
+#include "felip/svc/transport.h"
+
+namespace felip::svc {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> values) {
+  return std::vector<uint8_t>(values);
+}
+
+struct TransportParam {
+  const char* name;
+  std::function<std::unique_ptr<Transport>()> make;
+  const char* endpoint;  // port 0 => ephemeral for TCP
+};
+
+class TransportContractTest
+    : public ::testing::TestWithParam<TransportParam> {};
+
+TEST_P(TransportContractTest, EchoRoundTrip) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start([](uint64_t, std::vector<uint8_t>&& payload) {
+    payload.push_back(0x99);  // echo with a marker appended
+    return payload;
+  }));
+
+  auto connection = transport->Connect(server->endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  ASSERT_TRUE(connection->SendFrame(Bytes({1, 2, 3})));
+  std::vector<uint8_t> response;
+  ASSERT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kOk);
+  EXPECT_EQ(response, Bytes({1, 2, 3, 0x99}));
+  server->Stop();
+}
+
+TEST_P(TransportContractTest, ManySequentialFramesStayPaired) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start([](uint64_t, std::vector<uint8_t>&& payload) {
+    for (uint8_t& b : payload) b = static_cast<uint8_t>(b + 1);
+    return payload;
+  }));
+
+  auto connection = transport->Connect(server->endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  for (uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(connection->SendFrame(Bytes({i})));
+    std::vector<uint8_t> response;
+    ASSERT_EQ(connection->RecvFrame(&response, 1000), RecvStatus::kOk);
+    ASSERT_EQ(response, Bytes({static_cast<uint8_t>(i + 1)})) << "frame "
+                                                              << int(i);
+  }
+  server->Stop();
+}
+
+TEST_P(TransportContractTest, LargeFrameSurvivesIntact) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start([](uint64_t, std::vector<uint8_t>&& payload) {
+    return payload;  // plain echo
+  }));
+
+  // Big enough to span many TCP segments.
+  std::vector<uint8_t> big(3 * 1024 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  auto connection = transport->Connect(server->endpoint(), 2000);
+  ASSERT_NE(connection, nullptr);
+  ASSERT_TRUE(connection->SendFrame(big));
+  std::vector<uint8_t> response;
+  ASSERT_EQ(connection->RecvFrame(&response, 10000), RecvStatus::kOk);
+  EXPECT_EQ(response, big);
+  server->Stop();
+}
+
+TEST_P(TransportContractTest, ConcurrentConnectionsGetDistinctIds) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start([](uint64_t connection_id,
+                               std::vector<uint8_t>&&) {
+    // Respond with the connection id so clients can observe it.
+    std::vector<uint8_t> response(sizeof(connection_id));
+    std::memcpy(response.data(), &connection_id, sizeof(connection_id));
+    return response;
+  }));
+
+  constexpr int kClients = 8;
+  std::vector<uint64_t> ids(kClients, 0);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto connection = transport->Connect(server->endpoint(), 2000);
+      if (connection == nullptr) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<uint8_t> response;
+      if (!connection->SendFrame(Bytes({7})) ||
+          connection->RecvFrame(&response, 2000) != RecvStatus::kOk ||
+          response.size() != sizeof(uint64_t)) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::memcpy(&ids[c], response.data(), sizeof(uint64_t));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end())
+      << "connection ids must be distinct";
+  server->Stop();
+}
+
+TEST_P(TransportContractTest, RecvTimesOutWhenNoResponseComes) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start([](uint64_t, std::vector<uint8_t>&&) {
+    return std::vector<uint8_t>{};  // empty = no response
+  }));
+
+  auto connection = transport->Connect(server->endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  ASSERT_TRUE(connection->SendFrame(Bytes({1})));
+  std::vector<uint8_t> response;
+  EXPECT_EQ(connection->RecvFrame(&response, 50), RecvStatus::kTimeout);
+  server->Stop();
+}
+
+TEST_P(TransportContractTest, StoppedServerBreaksTheConnection) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start(
+      [](uint64_t, std::vector<uint8_t>&& payload) { return payload; }));
+
+  auto connection = transport->Connect(server->endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  server->Stop();
+  // After Stop the connection must fail (possibly after the send that
+  // discovers the close); it must never succeed in a full round trip.
+  std::vector<uint8_t> response;
+  const bool sent = connection->SendFrame(Bytes({1}));
+  if (sent) {
+    EXPECT_NE(connection->RecvFrame(&response, 200), RecvStatus::kOk);
+  }
+}
+
+TEST_P(TransportContractTest, ConnectToUnboundEndpointFails) {
+  const auto transport = GetParam().make();
+  // Nothing listening anywhere near this endpoint.
+  const char* endpoint = GetParam().endpoint;
+  const std::string dead =
+      std::string(endpoint).find(':') != std::string::npos ? "127.0.0.1:1"
+                                                           : "no-such";
+  EXPECT_EQ(transport->Connect(dead, 200), nullptr);
+}
+
+TEST_P(TransportContractTest, CloseIsIdempotent) {
+  const auto transport = GetParam().make();
+  auto server = transport->NewServer(GetParam().endpoint);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start(
+      [](uint64_t, std::vector<uint8_t>&& payload) { return payload; }));
+  auto connection = transport->Connect(server->endpoint(), 1000);
+  ASSERT_NE(connection, nullptr);
+  connection->Close();
+  connection->Close();
+  EXPECT_FALSE(connection->SendFrame(Bytes({1})));
+  server->Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportContractTest,
+    ::testing::Values(
+        TransportParam{"loopback",
+                       [] { return std::make_unique<LoopbackTransport>(); },
+                       "ingest"},
+        TransportParam{"tcp",
+                       [] { return std::make_unique<TcpTransport>(); },
+                       "127.0.0.1:0"}),
+    [](const ::testing::TestParamInfo<TransportParam>& info) {
+      return info.param.name;
+    });
+
+// --- TCP-specific edges ---
+
+TEST(TcpTransportTest, EphemeralPortIsResolvedInEndpoint) {
+  TcpTransport transport;
+  auto server = transport.NewServer("127.0.0.1:0");
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->Start(
+      [](uint64_t, std::vector<uint8_t>&& payload) { return payload; }));
+  const std::string endpoint = server->endpoint();
+  EXPECT_NE(endpoint, "127.0.0.1:0");
+  EXPECT_EQ(endpoint.rfind("127.0.0.1:", 0), 0u);
+  server->Stop();
+}
+
+TEST(TcpTransportTest, SecondBindOnSamePortFails) {
+  TcpTransport transport;
+  auto first = transport.NewServer("127.0.0.1:0");
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->Start(
+      [](uint64_t, std::vector<uint8_t>&& payload) { return payload; }));
+  auto second = transport.NewServer(first->endpoint());
+  // NewServer may fail eagerly or Start may fail; either is acceptable.
+  if (second != nullptr) {
+    EXPECT_FALSE(second->Start(
+        [](uint64_t, std::vector<uint8_t>&& payload) { return payload; }));
+  }
+  first->Stop();
+}
+
+TEST(TcpTransportTest, MalformedEndpointIsRejected) {
+  TcpTransport transport;
+  EXPECT_EQ(transport.NewServer("not-an-endpoint"), nullptr);
+  EXPECT_EQ(transport.NewServer("127.0.0.1"), nullptr);
+  EXPECT_EQ(transport.Connect("no-port-here", 100), nullptr);
+}
+
+}  // namespace
+}  // namespace felip::svc

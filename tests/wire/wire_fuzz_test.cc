@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,7 @@
 #include "felip/common/parallel.h"
 #include "felip/common/rng.h"
 #include "felip/fo/protocol.h"
+#include "felip/obs/metrics.h"
 
 namespace felip::wire {
 namespace {
@@ -146,6 +148,34 @@ TEST(WireFuzzTest, OversizedBatchCountFailsEvenResealed) {
   EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt);
 }
 
+TEST(WireFuzzTest, CountJustOverRemainingBytesFailsBeforeAllocating) {
+  // The declared count is capped against the bytes actually present
+  // (min report record = grid(4) + protocol(1) + oue-len(4) = 9 bytes)
+  // BEFORE any allocation sized by it. A count of remaining/9 + 1 is the
+  // smallest adversarial value: plausible enough to pass a naive sanity
+  // cap, impossible to satisfy with the buffer at hand.
+  std::vector<uint8_t> corrupt = EncodeReportBatch(SampleBatch());
+  const size_t remaining =
+      corrupt.size() - kTrailerSize - kHeaderSize - sizeof(uint32_t);
+  const uint32_t just_over = static_cast<uint32_t>(remaining / 9 + 1);
+  std::memcpy(corrupt.data() + kHeaderSize, &just_over, sizeof(just_over));
+  Reseal(&corrupt);
+
+  const uint64_t malformed_before =
+      obs::Registry::Default().CounterValue("felip_wire_malformed_total");
+  EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt);
+  EXPECT_EQ(DecodeReportBatchSharded(
+                corrupt, [](size_t, size_t, ReportMessage&&) {}, 1),
+            std::nullopt);
+  EXPECT_EQ(
+      obs::Registry::Default().CounterValue("felip_wire_malformed_total"),
+      malformed_before + 2);
+
+  // The exact declared count must still decode — the cap is tight.
+  std::vector<uint8_t> intact = EncodeReportBatch(SampleBatch());
+  EXPECT_NE(DecodeReportBatch(intact), std::nullopt);
+}
+
 TEST(WireFuzzTest, OversizedOueLengthPrefixFailsEvenResealed) {
   const ReportMessage report = SampleReport(fo::Protocol::kOue);
   std::vector<uint8_t> corrupt = EncodeReport(report);
@@ -212,10 +242,14 @@ TEST(WireFuzzTest, RandomGarbageBuffersNeverDecode) {
 std::optional<std::vector<ReportMessage>> DecodeViaShards(
     const std::vector<uint8_t>& buffer, unsigned thread_count) {
   // Reassemble per-shard in shard order; must reproduce the plain decoder.
+  // The sink runs concurrently (one task per shard), so the shared vector
+  // must be guarded; within a shard, calls arrive in index order.
   std::vector<std::vector<ReportMessage>> shards;
+  std::mutex mutex;
   const auto count = DecodeReportBatchSharded(
       buffer,
-      [&shards](size_t shard, size_t /*index*/, ReportMessage&& m) {
+      [&](size_t shard, size_t /*index*/, ReportMessage&& m) {
+        std::lock_guard<std::mutex> lock(mutex);
         if (shard >= shards.size()) shards.resize(shard + 1);
         shards[shard].push_back(std::move(m));
       },

@@ -81,17 +81,10 @@ bool ParseCsvColumns(const std::string& spec,
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
 
-  if (flags.GetBool("help", false)) {
-    PrintUsage();
-    return 0;
-  }
-  if (flags.GetBool("list-methods", false)) {
-    for (const std::string& m : eval::KnownMethods()) {
-      std::printf("%s\n", m.c_str());
-    }
-    return 0;
-  }
-
+  // Read every recognized flag before validating, so unknown-flag
+  // rejection also covers the --help / --list-methods early-return paths.
+  const bool show_help = flags.GetBool("help", false);
+  const bool list_methods = flags.GetBool("list-methods", false);
   const std::string dataset_name = flags.GetString("dataset", "ipums");
   const std::string method = flags.GetString("method", "OHG");
   const uint64_t users = flags.GetUint("users", 100000);
@@ -112,10 +105,33 @@ int main(int argc, char** argv) {
   const std::string csv_columns = flags.GetString("csv-columns", "");
   const double epsilon = flags.GetDouble("epsilon", 1.0);
 
+  bool usage_error = false;
   for (const std::string& unknown : flags.UnconsumedFlags()) {
-    std::fprintf(stderr, "unknown flag: --%s (see --help)\n",
-                 unknown.c_str());
+    std::fprintf(stderr, "error: unknown flag: --%s\n", unknown.c_str());
+    usage_error = true;
+  }
+  for (const std::string& positional : flags.positional()) {
+    // Catches `-metrics` (single dash) and stray arguments, which the
+    // parser files as positionals; felip_cli takes none.
+    std::fprintf(stderr, "error: unexpected argument: %s\n",
+                 positional.c_str());
+    usage_error = true;
+  }
+  if (usage_error) {
+    std::fprintf(stderr, "\n");
+    PrintUsage();
     return 2;
+  }
+
+  if (show_help) {
+    PrintUsage();
+    return 0;
+  }
+  if (list_methods) {
+    for (const std::string& m : eval::KnownMethods()) {
+      std::printf("%s\n", m.c_str());
+    }
+    return 0;
   }
 
   bool known_method = false;

@@ -1,0 +1,166 @@
+// felip_client — simulate a device population reporting to felip_server.
+//
+// Builds the shared synthetic dataset, replays the pipeline's collection
+// trajectory on the client side of the wire (PopulationSimulator), and
+// delivers the perturbed report batches over TCP with retries and
+// checksum-keyed idempotent resend. Optional fault injection corrupts the
+// client edge to exercise the recovery paths; the server's estimates must
+// come out identical either way.
+//
+// Launch with the same population/config flags as felip_server.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "felip/common/flags.h"
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/obs/metrics.h"
+#include "felip/svc/client.h"
+#include "felip/svc/fault_injection.h"
+#include "felip/svc/simulator.h"
+#include "felip/svc/tcp.h"
+#include "felip/wire/wire.h"
+
+namespace {
+
+using namespace felip;
+
+void PrintUsage() {
+  std::printf(
+      "felip_client — simulated FELIP device population (TCP)\n\n"
+      "  --endpoint=<host:port>  ingest server (default 127.0.0.1:7071)\n"
+      "  --users=<int>           population size (default 100000)\n"
+      "  --attributes=<int>      schema attribute count (default 6)\n"
+      "  --num-domain=<int>      numerical domain (default 100)\n"
+      "  --cat-domain=<int>      categorical domain (default 8)\n"
+      "  --epsilon=<float>       privacy budget (default 1.0)\n"
+      "  --strategy=oug|ohg      grid strategy (default ohg)\n"
+      "  --seed=<int>            shared seed (default 1)\n"
+      "  --batch-size=<int>      reports per batch (default 1024)\n"
+      "  --fault-drop=<p>        frame drop probability (default 0)\n"
+      "  --fault-truncate=<p>    frame truncation probability (default 0)\n"
+      "  --fault-delay=<p>       frame delay probability (default 0)\n"
+      "  --fault-reset=<p>       connection reset probability (default 0)\n"
+      "  --fault-drop-response=<p>  ack drop probability (default 0)\n"
+      "  --metrics               dump observability metrics to stderr\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+
+  const bool show_help = flags.GetBool("help", false);
+  const std::string endpoint =
+      flags.GetString("endpoint", "127.0.0.1:7071");
+  const uint64_t users = flags.GetUint("users", 100000);
+  const auto attributes =
+      static_cast<uint32_t>(flags.GetUint("attributes", 6));
+  const auto num_domain =
+      static_cast<uint32_t>(flags.GetUint("num-domain", 100));
+  const auto cat_domain =
+      static_cast<uint32_t>(flags.GetUint("cat-domain", 8));
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::string strategy = flags.GetString("strategy", "ohg");
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const uint64_t batch_size = flags.GetUint("batch-size", 1024);
+  svc::FaultOptions faults;
+  faults.drop_prob = flags.GetDouble("fault-drop", 0.0);
+  faults.truncate_prob = flags.GetDouble("fault-truncate", 0.0);
+  faults.delay_prob = flags.GetDouble("fault-delay", 0.0);
+  faults.reset_prob = flags.GetDouble("fault-reset", 0.0);
+  faults.drop_response_prob = flags.GetDouble("fault-drop-response", 0.0);
+  faults.seed = seed + 99;
+  const bool dump_metrics = flags.GetBool("metrics", false);
+
+  bool usage_error = false;
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "error: unknown flag: --%s\n", unknown.c_str());
+    usage_error = true;
+  }
+  for (const std::string& positional : flags.positional()) {
+    std::fprintf(stderr, "error: unexpected argument: %s\n",
+                 positional.c_str());
+    usage_error = true;
+  }
+  if (usage_error) {
+    std::fprintf(stderr, "\n");
+    PrintUsage();
+    return 2;
+  }
+  if (show_help) {
+    PrintUsage();
+    return 0;
+  }
+  if (strategy != "oug" && strategy != "ohg") {
+    std::fprintf(stderr, "error: --strategy must be oug or ohg\n");
+    return 2;
+  }
+
+  const data::Dataset dataset =
+      data::MakeIpumsLike(users, attributes, num_domain, cat_domain, seed);
+
+  core::FelipConfig config;
+  config.strategy =
+      strategy == "oug" ? core::Strategy::kOug : core::Strategy::kOhg;
+  config.epsilon = epsilon;
+  config.seed = seed;
+
+  // Plan the same grids the server planned to derive the public per-grid
+  // configs the devices run from.
+  core::FelipPipeline pipeline(dataset.attributes(), users, config);
+  std::vector<wire::GridConfigMessage> grid_configs;
+  grid_configs.reserve(pipeline.num_groups());
+  for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
+    grid_configs.push_back(wire::MakeGridConfig(
+        pipeline, dataset.attributes(), g, pipeline.per_grid_epsilon(),
+        config.olh_options));
+  }
+
+  svc::TcpTransport tcp;
+  svc::FaultInjectingTransport transport(&tcp, faults);
+  const bool faulty = faults.drop_prob > 0 || faults.truncate_prob > 0 ||
+                      faults.delay_prob > 0 || faults.reset_prob > 0 ||
+                      faults.drop_response_prob > 0;
+  svc::IngestClient client(faulty ? static_cast<svc::Transport*>(&transport)
+                                  : &tcp,
+                           endpoint);
+
+  svc::SimulatorOptions simulator_options;
+  simulator_options.seed = config.seed;
+  simulator_options.partitioning = config.partitioning;
+  simulator_options.batch_size = static_cast<size_t>(batch_size);
+  const svc::PopulationSimulator simulator(grid_configs, simulator_options);
+
+  uint64_t batches = 0;
+  uint64_t duplicates = 0;
+  const std::optional<uint64_t> sent = simulator.Run(
+      dataset, [&](const std::vector<wire::ReportMessage>& batch) {
+        const svc::SendOutcome outcome = client.SendBatch(batch);
+        ++batches;
+        if (outcome.duplicate) ++duplicates;
+        return outcome.ok;
+      });
+  if (!sent.has_value()) {
+    std::fprintf(stderr, "error: batch delivery failed after retries\n");
+    return 1;
+  }
+
+  std::printf(
+      "sent %llu reports in %llu batches (retries=%llu reconnects=%llu "
+      "duplicate-acks=%llu faults=%llu)\n",
+      static_cast<unsigned long long>(*sent),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(client.retries()),
+      static_cast<unsigned long long>(client.reconnects()),
+      static_cast<unsigned long long>(duplicates),
+      static_cast<unsigned long long>(transport.faults_injected()));
+
+  if (dump_metrics) {
+    const std::string text = obs::Registry::Default().RenderText();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+  return 0;
+}
