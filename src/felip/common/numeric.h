@@ -24,6 +24,15 @@ double GoldenSectionMinimize(const std::function<double(double)>& f,
 // n choose 2 — the number of attribute pairs.
 inline uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
 
+// Rank of the pair (i, j), i < j < n, in lexicographic pair order
+// ((0,1), (0,2), ..., (0,n-1), (1,2), ...): the i rows before row i hold
+// Choose2(n) - Choose2(n - i) pairs, then (j - i - 1) pairs precede (i, j)
+// within its row. Every pair-indexed table in the tree (2-D grid layout,
+// response matrices, Algorithm 4 pair answers) uses this one mapping.
+inline uint64_t PairRank(uint64_t i, uint64_t j, uint64_t n) {
+  return Choose2(n) - Choose2(n - i) + (j - i - 1);
+}
+
 // Binomial coefficient for small arguments (λ <= 16 in practice).
 uint64_t Binomial(uint64_t n, uint64_t k);
 

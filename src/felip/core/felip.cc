@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "felip/common/check.h"
 #include "felip/common/numeric.h"
@@ -351,7 +352,7 @@ size_t FelipPipeline::PairGridIndex(uint32_t i, uint32_t j) const {
   FELIP_CHECK(i < j);
   const auto k = static_cast<uint32_t>(schema_.size());
   FELIP_CHECK(j < k);
-  return static_cast<size_t>(i) * (2 * k - i - 1) / 2 + (j - i - 1);
+  return static_cast<size_t>(PairRank(i, j, k));
 }
 
 const Grid1D* FelipPipeline::OneDimGrid(uint32_t attr) const {
@@ -369,12 +370,25 @@ AxisSelection FelipPipeline::SelectionFor(const query::Query& query,
 
 double FelipPipeline::AnswerPair(uint32_t i, uint32_t j,
                                  const AxisSelection& sel_i,
-                                 const AxisSelection& sel_j) const {
-  return response_matrices_[PairGridIndex(i, j)].Answer(sel_i, sel_j);
+                                 const AxisSelection& sel_j,
+                                 PairAnswerPath path,
+                                 post::QueryScratch* rm_scratch) const {
+  const post::ResponseMatrix& m = response_matrices_[PairGridIndex(i, j)];
+  switch (path) {
+    case PairAnswerPath::kScan:
+      return m.Answer(sel_i, sel_j);
+    case PairAnswerPath::kExact:
+      return m.AnswerExact(sel_i, sel_j, rm_scratch);
+    case PairAnswerPath::kPrefix:
+      return m.AnswerPrefix(sel_i, sel_j, rm_scratch);
+  }
+  FELIP_CHECK_MSG(false, "unreachable");
+  return 0.0;
 }
 
-double FelipPipeline::AnswerMarginal(uint32_t attr,
-                                     const AxisSelection& sel) const {
+double FelipPipeline::AnswerMarginal(uint32_t attr, const AxisSelection& sel,
+                                     PairAnswerPath path,
+                                     post::QueryScratch* rm_scratch) const {
   const Grid1D* g1 = OneDimGrid(attr);
   if (g1 != nullptr) return g1->Answer(sel);
   // Marginalize the first response matrix containing the attribute.
@@ -383,8 +397,66 @@ double FelipPipeline::AnswerMarginal(uint32_t attr,
   const uint32_t i = std::min(attr, partner);
   const uint32_t j = std::max(attr, partner);
   const AxisSelection all = AxisSelection::MakeAll(schema_[partner].domain);
-  return attr < partner ? AnswerPair(i, j, sel, all)
-                        : AnswerPair(i, j, all, sel);
+  return attr < partner ? AnswerPair(i, j, sel, all, path, rm_scratch)
+                        : AnswerPair(i, j, all, sel, path, rm_scratch);
+}
+
+double FelipPipeline::AnswerQueryImpl(const query::Query& query,
+                                      PairAnswerPath path,
+                                      QueryScratch* scratch) const {
+  const uint32_t lambda = query.dimension();
+  if (lambda == 1) {
+    const query::Predicate& p = query.predicates()[0];
+    return std::clamp(
+        AnswerMarginal(p.attr, p.ToSelection(), path, &scratch->rm), 0.0,
+        1.0);
+  }
+
+  // Per-query-attribute selections (predicates are sorted by attribute).
+  std::vector<uint32_t>& attrs = scratch->attrs;
+  std::vector<AxisSelection>& selections = scratch->selections;
+  attrs.clear();
+  selections.clear();
+  for (const query::Predicate& p : query.predicates()) {
+    attrs.push_back(p.attr);
+    selections.push_back(p.ToSelection());
+  }
+
+  if (lambda == 2) {
+    return std::clamp(AnswerPair(attrs[0], attrs[1], selections[0],
+                                 selections[1], path, &scratch->rm),
+                      0.0, 1.0);
+  }
+
+  // λ >= 3: Algorithm 4 over the associated 2-D answers. The estimator's
+  // proportional fit can overshoot [0, 1] by floating-point rounding, so
+  // this path clamps like the λ = 1 and λ = 2 paths do.
+  std::vector<double>& pair_answers = scratch->pair_answers;
+  pair_answers.assign(Choose2(lambda), 0.0);
+  for (uint32_t a = 0; a < lambda; ++a) {
+    for (uint32_t b = a + 1; b < lambda; ++b) {
+      pair_answers[post::PairIndex(a, b, lambda)] = AnswerPair(
+          attrs[a], attrs[b], selections[a], selections[b], path,
+          &scratch->rm);
+    }
+  }
+  post::LambdaEstimatorOptions options;
+  options.threshold = std::min(config_.lambda_threshold,
+                               1.0 / static_cast<double>(num_users_));
+  if (config_.lambda_quadrant_fit) {
+    std::vector<double>& marginals = scratch->marginals;
+    marginals.assign(lambda, 0.0);
+    for (uint32_t a = 0; a < lambda; ++a) {
+      marginals[a] = std::clamp(
+          AnswerMarginal(attrs[a], selections[a], path, &scratch->rm), 0.0,
+          1.0);
+    }
+    return std::clamp(post::EstimateLambdaQueryQuadrants(
+                          lambda, pair_answers, marginals, options),
+                      0.0, 1.0);
+  }
+  return std::clamp(post::EstimateLambdaQuery(lambda, pair_answers, options),
+                    0.0, 1.0);
 }
 
 double FelipPipeline::AnswerQuery(const query::Query& query) const {
@@ -393,52 +465,59 @@ double FelipPipeline::AnswerQuery(const query::Query& query) const {
       obs::Registry::Default().GetCounter("felip_core_queries_total");
   queries_total.Increment();
   FELIP_CHECK_MSG(finalized_, "AnswerQuery() requires Finalize()");
-  for (const query::Predicate& p : query.predicates()) {
-    FELIP_CHECK(p.attr < schema_.size());
+  if (const auto error = query::ValidateQuery(query, schema_)) {
+    FELIP_CHECK_MSG(false, error->c_str());
   }
-  const uint32_t lambda = query.dimension();
-  if (lambda == 1) {
-    const query::Predicate& p = query.predicates()[0];
-    return std::clamp(AnswerMarginal(p.attr, p.ToSelection()), 0.0, 1.0);
-  }
+  QueryScratch scratch;
+  return AnswerQueryImpl(query, PairAnswerPath::kExact, &scratch);
+}
 
-  // Per-query-attribute selections (predicates are sorted by attribute).
-  std::vector<uint32_t> attrs;
-  std::vector<AxisSelection> selections;
-  attrs.reserve(lambda);
-  selections.reserve(lambda);
-  for (const query::Predicate& p : query.predicates()) {
-    attrs.push_back(p.attr);
-    selections.push_back(p.ToSelection());
-  }
+std::vector<double> FelipPipeline::AnswerQueries(
+    std::span<const query::Query> queries,
+    const QueryBatchOptions& options) const {
+  obs::ScopedTimer span("felip_core_query_batch");
+  static obs::Counter& queries_total =
+      obs::Registry::Default().GetCounter("felip_core_queries_total");
+  static obs::Counter& batches_total =
+      obs::Registry::Default().GetCounter("felip_core_query_batches_total");
+  static obs::Histogram& batch_size = obs::Registry::Default().GetHistogram(
+      "felip_core_query_batch_size",
+      {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0});
+  queries_total.Increment(queries.size());
+  batches_total.Increment();
+  batch_size.Observe(static_cast<double>(queries.size()));
 
-  if (lambda == 2) {
-    return std::clamp(
-        AnswerPair(attrs[0], attrs[1], selections[0], selections[1]), 0.0,
-        1.0);
-  }
-
-  // λ >= 3: Algorithm 4 over the associated 2-D answers.
-  std::vector<double> pair_answers(Choose2(lambda), 0.0);
-  for (uint32_t a = 0; a < lambda; ++a) {
-    for (uint32_t b = a + 1; b < lambda; ++b) {
-      pair_answers[post::PairIndex(a, b, lambda)] =
-          AnswerPair(attrs[a], attrs[b], selections[a], selections[b]);
+  FELIP_CHECK_MSG(finalized_, "AnswerQueries() requires Finalize()");
+  for (const query::Query& q : queries) {
+    if (const auto error = query::ValidateQuery(q, schema_)) {
+      FELIP_CHECK_MSG(false, error->c_str());
     }
   }
-  post::LambdaEstimatorOptions options;
-  options.threshold = std::min(config_.lambda_threshold,
-                               1.0 / static_cast<double>(num_users_));
-  if (config_.lambda_quadrant_fit) {
-    std::vector<double> marginals(lambda);
-    for (uint32_t a = 0; a < lambda; ++a) {
-      marginals[a] =
-          std::clamp(AnswerMarginal(attrs[a], selections[a]), 0.0, 1.0);
-    }
-    return post::EstimateLambdaQueryQuadrants(lambda, pair_answers,
-                                              marginals, options);
-  }
-  return post::EstimateLambdaQuery(lambda, pair_answers, options);
+
+  std::vector<double> answers(queries.size());
+  if (queries.empty()) return answers;
+  unsigned threads = options.threads != 0
+                         ? options.threads
+                         : std::thread::hardware_concurrency();
+  threads = std::max(1u, threads);
+  // One contiguous shard per worker, one scratch per shard; every query's
+  // arithmetic is independent of the sharding, so answers never depend on
+  // the thread count.
+  const size_t num_shards =
+      std::min<size_t>(queries.size(), static_cast<size_t>(threads));
+  std::vector<QueryScratch> scratch(num_shards);
+  ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        const auto [begin, end] =
+            SliceRange(queries.size(), s, num_shards);
+        for (size_t q = begin; q < end; ++q) {
+          answers[q] =
+              AnswerQueryImpl(queries[q], options.pair_path, &scratch[s]);
+        }
+      },
+      static_cast<unsigned>(num_shards));
+  return answers;
 }
 
 std::vector<double> FelipPipeline::EstimateMarginal(uint32_t attr) const {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "felip/common/rng.h"
@@ -80,6 +81,26 @@ struct FelipConfig {
   unsigned aggregation_threads = 0;
 
   uint64_t seed = 1;  // drives group assignment and perturbation
+};
+
+// How the batch query engine answers the 2-D pair selections a query
+// decomposes into (see docs/query_engine.md):
+//   * kScan — the reference per-query scan over every refined block,
+//     allocating per call. Kept as the baseline the fast paths are pinned
+//     against (tests) and measured against (perf_query_engine).
+//   * kExact — covered-rectangle scan with per-thread scratch; identical
+//     floating-point operation sequence to kScan, so answers are
+//     bit-identical for every selection type. The default.
+//   * kPrefix — summed-area-table corner lookups for range x range pairs
+//     (falls back to kExact for IN sets); agrees with kScan to ~1e-12.
+enum class PairAnswerPath { kScan, kExact, kPrefix };
+
+struct QueryBatchOptions {
+  PairAnswerPath pair_path = PairAnswerPath::kExact;
+  // Worker threads (0 = hardware concurrency, 1 = serial). Each query's
+  // arithmetic is independent of sharding, so answers are bit-identical
+  // for every setting.
+  unsigned threads = 0;
 };
 
 // One planned grid: which attributes it covers and the optimizer's output.
@@ -168,9 +189,21 @@ class FelipPipeline {
   // matching frequency-oracle clients.
   double per_grid_epsilon() const { return per_grid_epsilon_; }
 
-  // Estimated fractional answer of a λ-dimensional query. Requires
-  // Finalize().
+  // Estimated fractional answer of a λ-dimensional query, in [0, 1].
+  // Predicates must be within the schema's domains (ValidateQuery) —
+  // out-of-domain predicates are programmer error in-process and fatal;
+  // the networked query service rejects them with an error response
+  // instead. Requires Finalize().
   double AnswerQuery(const query::Query& query) const;
+
+  // Batch variant: answers every query, sharding the batch over up to
+  // `options.threads` workers with one reusable scratch per worker (no
+  // per-query allocation). answers[i] is bit-identical to
+  // AnswerQuery(queries[i]) under the default kExact path. Requires
+  // Finalize().
+  std::vector<double> AnswerQueries(std::span<const query::Query> queries,
+                                    const QueryBatchOptions& options = {})
+      const;
 
   // Post-processed marginal distribution of `attr` over its full domain
   // (length = domain, non-negative, sums to ~1). Uses the attribute's 1-D
@@ -183,6 +216,7 @@ class FelipPipeline {
   std::vector<double> EstimateJoint(uint32_t i, uint32_t j) const;
 
   // --- Introspection (examples, benches, tests) ---
+  const std::vector<data::AttributeInfo>& schema() const { return schema_; }
   const std::vector<GridAssignment>& assignments() const {
     return assignments_;
   }
@@ -192,6 +226,17 @@ class FelipPipeline {
   bool finalized() const { return finalized_; }
 
  private:
+  // Per-worker workspace of the query engine: the response-matrix
+  // coverage buffers plus the per-query decomposition vectors, all reused
+  // across every query a worker answers.
+  struct QueryScratch {
+    post::QueryScratch rm;
+    std::vector<uint32_t> attrs;
+    std::vector<grid::AxisSelection> selections;
+    std::vector<double> pair_answers;
+    std::vector<double> marginals;
+  };
+
   // Index of the 2-D grid for pair (i, j), i < j.
   size_t PairGridIndex(uint32_t i, uint32_t j) const;
   // Pointer to the 1-D grid of `attr`, or nullptr.
@@ -200,11 +245,16 @@ class FelipPipeline {
   grid::AxisSelection SelectionFor(const query::Query& query,
                                    uint32_t attr) const;
   // Estimated answer of the 2-D query restricted to pair (i, j), i < j.
-  double AnswerPair(uint32_t i, uint32_t j,
-                    const grid::AxisSelection& sel_i,
-                    const grid::AxisSelection& sel_j) const;
-  double AnswerMarginal(uint32_t attr,
-                        const grid::AxisSelection& sel) const;
+  double AnswerPair(uint32_t i, uint32_t j, const grid::AxisSelection& sel_i,
+                    const grid::AxisSelection& sel_j, PairAnswerPath path,
+                    post::QueryScratch* rm_scratch) const;
+  double AnswerMarginal(uint32_t attr, const grid::AxisSelection& sel,
+                        PairAnswerPath path,
+                        post::QueryScratch* rm_scratch) const;
+  // Shared answering core of AnswerQuery and AnswerQueries; validation
+  // and obs accounting happen in the public entry points.
+  double AnswerQueryImpl(const query::Query& query, PairAnswerPath path,
+                         QueryScratch* scratch) const;
 
   std::vector<data::AttributeInfo> schema_;
   uint64_t num_users_;

@@ -10,9 +10,7 @@ namespace felip::post {
 
 uint32_t PairIndex(uint32_t i, uint32_t j, uint32_t lambda) {
   FELIP_CHECK(i < j && j < lambda);
-  // Pairs (0,1), (0,2), ..., (0,λ-1), (1,2), ... — lexicographic.
-  return static_cast<uint32_t>(Choose2(lambda) - Choose2(lambda - i)) +
-         (j - i - 1);
+  return static_cast<uint32_t>(PairRank(i, j, lambda));
 }
 
 std::vector<double> FitSignCombinations(

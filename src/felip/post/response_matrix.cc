@@ -75,6 +75,42 @@ std::vector<Constraint> BuildConstraints(const Grid2D& g2, const Grid1D* gx,
   return constraints;
 }
 
+// Inclusive block interval [*first, *last] that `sel` can touch in the
+// boundary list `b` over `domain`, or false when the selection lies
+// entirely at or above the domain (zero coverage everywhere). Selections
+// are contiguous (ranges) or sorted (sets), so the touched blocks are the
+// ones between the blocks of the smallest and largest selected values;
+// blocks outside contribute exactly-zero coverage.
+bool TouchedBlocks(const std::vector<uint32_t>& b, uint32_t domain,
+                   const grid::AxisSelection& sel, uint32_t* first,
+                   uint32_t* last) {
+  const uint32_t lo = sel.is_range() ? sel.lo() : sel.values().front();
+  const uint32_t hi = sel.is_range() ? sel.hi() : sel.values().back();
+  if (lo >= domain) return false;
+  *first = BlockOf(b, lo);
+  *last = BlockOf(b, std::min(hi, domain - 1));
+  return true;
+}
+
+// One per-axis run of blocks [b0, b1) sharing a coverage weight: the
+// fractional first block, the fully-covered interior, the fractional last
+// block. At most three per axis for a range selection.
+struct Segment {
+  uint32_t b0, b1;
+  double w;
+};
+
+int RangeSegments(const std::vector<uint32_t>& b,
+                  const grid::AxisSelection& sel, uint32_t first,
+                  uint32_t last, Segment out[3]) {
+  int n = 0;
+  out[n++] = {first, first + 1, sel.CoverageOfInterval(b[first], b[first + 1])};
+  if (first == last) return n;
+  if (last > first + 1) out[n++] = {first + 1, last, 1.0};
+  out[n++] = {last, last + 1, sel.CoverageOfInterval(b[last], b[last + 1])};
+  return n;
+}
+
 void ValidateInputs(const Grid2D& g2, const Grid1D* gx, const Grid1D* gy) {
   if (gx != nullptr) {
     FELIP_CHECK_MSG(gx->attr() == g2.attr_x(), "gx is not the x attribute");
@@ -143,6 +179,7 @@ ResponseMatrix ResponseMatrix::Build(const Grid2D& g2, const Grid1D* gx,
     }
     if (total_change < options.threshold) break;
   }
+  m.BuildPrefixSums();
   return m;
 }
 
@@ -166,6 +203,95 @@ double ResponseMatrix::Answer(const grid::AxisSelection& sel_x,
     total += row_sum * cx;
   }
   return total;
+}
+
+double ResponseMatrix::AnswerExact(const grid::AxisSelection& sel_x,
+                                   const grid::AxisSelection& sel_y,
+                                   QueryScratch* scratch) const {
+  FELIP_CHECK(scratch != nullptr);
+  const auto nby = static_cast<uint32_t>(by_.size() - 1);
+  uint32_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  if (!TouchedBlocks(bx_, domain_x_, sel_x, &x0, &x1) ||
+      !TouchedBlocks(by_, domain_y_, sel_y, &y0, &y1)) {
+    return 0.0;
+  }
+  const uint32_t nx = x1 - x0 + 1;
+  const uint32_t ny = y1 - y0 + 1;
+  if (scratch->cover_x.size() < nx) scratch->cover_x.resize(nx);
+  if (scratch->cover_y.size() < ny) scratch->cover_y.resize(ny);
+  double* cover_x = scratch->cover_x.data();
+  double* cover_y = scratch->cover_y.data();
+  for (uint32_t i = 0; i < nx; ++i) {
+    cover_x[i] = sel_x.CoverageOfInterval(bx_[x0 + i], bx_[x0 + i + 1]);
+  }
+  for (uint32_t j = 0; j < ny; ++j) {
+    cover_y[j] = sel_y.CoverageOfInterval(by_[y0 + j], by_[y0 + j + 1]);
+  }
+  // Identical accumulation order to Answer(): ascending rows, ascending
+  // columns, zero-coverage blocks skipped — the skipped blocks contribute
+  // nothing to the scan either, so the sums are bit-identical.
+  double total = 0.0;
+  for (uint32_t i = 0; i < nx; ++i) {
+    const double cx = cover_x[i];
+    if (cx == 0.0) continue;
+    const double* row = &mass_[static_cast<size_t>(x0 + i) * nby];
+    double row_sum = 0.0;
+    for (uint32_t j = 0; j < ny; ++j) {
+      if (cover_y[j] != 0.0) row_sum += row[y0 + j] * cover_y[j];
+    }
+    total += row_sum * cx;
+  }
+  return total;
+}
+
+double ResponseMatrix::AnswerPrefix(const grid::AxisSelection& sel_x,
+                                    const grid::AxisSelection& sel_y,
+                                    QueryScratch* scratch) const {
+  if (!sel_x.is_range() || !sel_y.is_range()) {
+    return AnswerExact(sel_x, sel_y, scratch);
+  }
+  uint32_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  if (!TouchedBlocks(bx_, domain_x_, sel_x, &x0, &x1) ||
+      !TouchedBlocks(by_, domain_y_, sel_y, &y0, &y1)) {
+    return 0.0;
+  }
+  Segment segs_x[3];
+  Segment segs_y[3];
+  const int nx = RangeSegments(bx_, sel_x, x0, x1, segs_x);
+  const int ny = RangeSegments(by_, sel_y, y0, y1, segs_y);
+  double total = 0.0;
+  for (int a = 0; a < nx; ++a) {
+    for (int b = 0; b < ny; ++b) {
+      total += segs_x[a].w * segs_y[b].w *
+               PrefixRect(segs_x[a].b0, segs_x[a].b1, segs_y[b].b0,
+                          segs_y[b].b1);
+    }
+  }
+  return total;
+}
+
+void ResponseMatrix::BuildPrefixSums() {
+  const auto nbx = static_cast<uint32_t>(bx_.size() - 1);
+  const auto nby = static_cast<uint32_t>(by_.size() - 1);
+  const size_t stride = nby + 1;
+  prefix_.assign((static_cast<size_t>(nbx) + 1) * stride, 0.0);
+  for (uint32_t i = 0; i < nbx; ++i) {
+    const double* row = &mass_[static_cast<size_t>(i) * nby];
+    double row_sum = 0.0;
+    for (uint32_t j = 0; j < nby; ++j) {
+      row_sum += row[j];
+      prefix_[(static_cast<size_t>(i) + 1) * stride + (j + 1)] =
+          prefix_[static_cast<size_t>(i) * stride + (j + 1)] + row_sum;
+    }
+  }
+}
+
+double ResponseMatrix::PrefixRect(uint32_t x0, uint32_t x1, uint32_t y0,
+                                  uint32_t y1) const {
+  const size_t stride = by_.size();
+  const double* s = prefix_.data();
+  return s[x1 * stride + y1] - s[x0 * stride + y1] - s[x1 * stride + y0] +
+         s[x0 * stride + y0];
 }
 
 std::vector<double> ResponseMatrix::ToDense() const {

@@ -25,6 +25,15 @@
 
 namespace felip::post {
 
+// Reusable per-thread workspace for the allocation-free answer paths.
+// ResponseMatrix never writes beyond the block counts of the matrix being
+// queried, so one scratch serves matrices of any size; the batch query
+// engine keeps one per worker thread.
+struct QueryScratch {
+  std::vector<double> cover_x;
+  std::vector<double> cover_y;
+};
+
 struct ResponseMatrixOptions {
   // Convergence: total absolute mass change per sweep below this. The
   // paper recommends < 1/n; callers pass their population size.
@@ -48,8 +57,30 @@ class ResponseMatrix {
   uint32_t domain_y() const { return domain_y_; }
 
   // Estimated frequency of the conjunction of two per-axis selections.
+  // Reference scan: walks every block, allocating coverage storage per
+  // call. AnswerExact/AnswerPrefix below are the production paths.
   double Answer(const grid::AxisSelection& sel_x,
                 const grid::AxisSelection& sel_y) const;
+
+  // Allocation-free covered-rectangle scan: binary-searches the block
+  // interval each selection touches and accumulates only those blocks, in
+  // the same floating-point operation order as Answer() — blocks outside
+  // the interval have exactly-zero coverage and contribute nothing to the
+  // scan either — so the result is bit-identical to Answer() for every
+  // selection type.
+  double AnswerExact(const grid::AxisSelection& sel_x,
+                     const grid::AxisSelection& sel_y,
+                     QueryScratch* scratch) const;
+
+  // O(1)-per-pair summed-area-table path for range x range selections:
+  // interior mass comes from at most nine prefix-table rectangle
+  // differences, with the fractional first/last block strips weighted by
+  // their coverage. Associativity differs from the scan, so agreement
+  // with Answer() is ~1e-12 relative, not bit-exact. Non-range selections
+  // fall back to AnswerExact.
+  double AnswerPrefix(const grid::AxisSelection& sel_x,
+                      const grid::AxisSelection& sel_y,
+                      QueryScratch* scratch) const;
 
   // Dense d_i x d_j export (row-major, x-major); for tests and small
   // domains.
@@ -59,11 +90,20 @@ class ResponseMatrix {
   size_t num_blocks() const { return mass_.size(); }
 
  private:
+  // Summed-area table over the block masses; built once per Build().
+  void BuildPrefixSums();
+  // Mass of the block rectangle [x0, x1) x [y0, y1).
+  double PrefixRect(uint32_t x0, uint32_t x1, uint32_t y0,
+                    uint32_t y1) const;
+
   uint32_t domain_x_ = 0;
   uint32_t domain_y_ = 0;
   std::vector<uint32_t> bx_;   // x block boundaries, size nbx + 1
   std::vector<uint32_t> by_;   // y block boundaries, size nby + 1
   std::vector<double> mass_;   // nbx * nby, row-major, total mass per block
+  // (nbx + 1) * (nby + 1) summed-area table: prefix_[i * (nby + 1) + j] is
+  // the total mass of blocks [0, i) x [0, j).
+  std::vector<double> prefix_;
 };
 
 // Literal Algorithm 3 over the dense d_i x d_j matrix (reference

@@ -95,4 +95,62 @@ double TrueAnswer(const data::Dataset& dataset, const Query& query) {
   return static_cast<double>(count) / static_cast<double>(dataset.num_rows());
 }
 
+namespace {
+
+std::string Describe(const Predicate& p, const char* what, uint64_t value,
+                     uint32_t domain) {
+  return "predicate on attribute " + std::to_string(p.attr) + ": " + what +
+         " " + std::to_string(value) + " outside domain [0, " +
+         std::to_string(domain) + ")";
+}
+
+}  // namespace
+
+std::optional<std::string> ValidatePredicate(
+    const Predicate& predicate,
+    const std::vector<data::AttributeInfo>& schema) {
+  if (predicate.attr >= schema.size()) {
+    return "predicate references attribute " +
+           std::to_string(predicate.attr) + " but the schema has " +
+           std::to_string(schema.size()) + " attributes";
+  }
+  const uint32_t domain = schema[predicate.attr].domain;
+  switch (predicate.op) {
+    case Op::kEquals:
+      if (predicate.lo >= domain) {
+        return Describe(predicate, "value", predicate.lo, domain);
+      }
+      break;
+    case Op::kBetween:
+      if (predicate.lo > predicate.hi) {
+        return "predicate on attribute " + std::to_string(predicate.attr) +
+               ": BETWEEN bounds inverted (lo " +
+               std::to_string(predicate.lo) + " > hi " +
+               std::to_string(predicate.hi) + ")";
+      }
+      if (predicate.hi >= domain) {
+        return Describe(predicate, "upper bound", predicate.hi, domain);
+      }
+      break;
+    case Op::kIn:
+      if (predicate.values.empty()) {
+        return "predicate on attribute " + std::to_string(predicate.attr) +
+               ": IN lists no values";
+      }
+      for (const uint32_t v : predicate.values) {
+        if (v >= domain) return Describe(predicate, "IN value", v, domain);
+      }
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ValidateQuery(
+    const Query& query, const std::vector<data::AttributeInfo>& schema) {
+  for (const Predicate& p : query.predicates()) {
+    if (auto error = ValidatePredicate(p, schema)) return error;
+  }
+  return std::nullopt;
+}
+
 }  // namespace felip::query

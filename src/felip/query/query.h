@@ -8,6 +8,8 @@
 #define FELIP_QUERY_QUERY_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "felip/data/dataset.h"
@@ -59,6 +61,21 @@ class Query {
 
 // Exact answer of `query` over `dataset`, as a fraction of records.
 double TrueAnswer(const data::Dataset& dataset, const Query& query);
+
+// --- Schema validation ---
+//
+// A predicate can be structurally well-formed yet reference values outside
+// its attribute's domain (a BETWEEN with hi >= domain, an IN listing an
+// out-of-domain value). Such predicates would silently skew coverage
+// denominators if answered, so every answering entry point — in-process
+// AnswerQuery and the networked query service — rejects them up front.
+// Returns std::nullopt when valid, else a description of the first
+// violation.
+std::optional<std::string> ValidatePredicate(
+    const Predicate& predicate,
+    const std::vector<data::AttributeInfo>& schema);
+std::optional<std::string> ValidateQuery(
+    const Query& query, const std::vector<data::AttributeInfo>& schema);
 
 }  // namespace felip::query
 

@@ -1,0 +1,278 @@
+#include "felip/svc/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
+#include "felip/svc/message.h"
+
+namespace felip::svc {
+
+namespace {
+
+struct QueryCounters {
+  obs::Counter& batches;
+  obs::Counter& queries;
+  obs::Counter& invalid;
+  obs::Counter& malformed;
+  obs::Counter& not_ready;
+
+  static QueryCounters& Get() {
+    static QueryCounters counters{
+        obs::Registry::Default().GetCounter("felip_svc_query_batches_total"),
+        obs::Registry::Default().GetCounter("felip_svc_queries_total"),
+        obs::Registry::Default().GetCounter("felip_svc_query_invalid_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_query_malformed_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_query_not_ready_total"),
+    };
+    return counters;
+  }
+};
+
+void SleepMs(uint32_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Transport* transport, const std::string& endpoint,
+                         const core::FelipPipeline* pipeline,
+                         QueryServerOptions options)
+    : transport_(transport),
+      endpoint_(endpoint),
+      pipeline_(pipeline),
+      options_(options) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK(pipeline != nullptr);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+bool QueryServer::Start() {
+  FELIP_CHECK_MSG(!started_, "Start() called twice");
+  frame_server_ = transport_->NewServer(endpoint_);
+  if (frame_server_ == nullptr) return false;
+  if (!frame_server_->Start([this](uint64_t connection_id,
+                                   std::vector<uint8_t>&& payload) {
+        return HandleFrame(connection_id, std::move(payload));
+      })) {
+    frame_server_.reset();
+    return false;
+  }
+  started_ = true;
+  return true;
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  frame_server_->Stop();
+  frame_server_.reset();
+}
+
+std::string QueryServer::endpoint() const {
+  return frame_server_ != nullptr ? frame_server_->endpoint() : endpoint_;
+}
+
+bool QueryServer::WaitForBatches(uint64_t count, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(answered_mutex_);
+  return answered_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [&] { return batches_answered_.load() >= count; });
+}
+
+std::vector<uint8_t> QueryServer::HandleFrame(
+    uint64_t /*connection_id*/, std::vector<uint8_t>&& payload) {
+  obs::ScopedTimer span("felip_svc_query_batch");
+  QueryCounters& counters = QueryCounters::Get();
+
+  // Gate 1: integrity. A frame that fails its checksum was damaged in
+  // flight; ack kMalformed so the client resends the same bytes.
+  if (!VerifyChecksumTrailer(payload)) {
+    batches_malformed_.fetch_add(1);
+    counters.malformed.Increment();
+    Ack ack;
+    ack.status = AckStatus::kMalformed;
+    ack.batch_checksum = ChecksumTrailer(payload).value_or(0);
+    return EncodeAck(ack);
+  }
+  const uint64_t checksum = *ChecksumTrailer(payload);
+
+  wire::QueryResponseMessage response;
+  response.request_checksum = checksum;
+
+  // Gate 2: structure. Checksum-valid but undecodable means a bad
+  // client, not corruption — a resend would fail identically, so the
+  // response is a terminal kInvalid rather than an ack.
+  const auto queries = wire::DecodeQueryBatch(payload);
+  if (!queries.has_value() ||
+      queries->size() > options_.max_batch_queries) {
+    batches_invalid_.fetch_add(1);
+    counters.invalid.Increment();
+    response.status = wire::QueryResponseStatus::kInvalid;
+    response.bad_query = wire::kBadQueryNone;
+    return wire::EncodeQueryResponse(response);
+  }
+
+  if (!pipeline_->finalized()) {
+    batches_not_ready_.fetch_add(1);
+    counters.not_ready.Increment();
+    response.status = wire::QueryResponseStatus::kNotReady;
+    return wire::EncodeQueryResponse(response);
+  }
+
+  // Gate 3: schema domains. AnswerQuery treats out-of-domain predicates
+  // as fatal programmer error in-process; over the network they are an
+  // untrusted client's input and get a terminal kInvalid naming the
+  // first offending query.
+  for (size_t q = 0; q < queries->size(); ++q) {
+    if (query::ValidateQuery((*queries)[q], pipeline_->schema())) {
+      batches_invalid_.fetch_add(1);
+      counters.invalid.Increment();
+      response.status = wire::QueryResponseStatus::kInvalid;
+      response.bad_query = static_cast<uint32_t>(q);
+      return wire::EncodeQueryResponse(response);
+    }
+  }
+
+  core::QueryBatchOptions batch_options;
+  batch_options.threads = options_.answer_threads;
+  batch_options.pair_path = options_.pair_path;
+  response.status = wire::QueryResponseStatus::kOk;
+  response.bad_query = wire::kBadQueryNone;
+  response.answers = pipeline_->AnswerQueries(
+      std::span<const query::Query>(*queries), batch_options);
+
+  counters.batches.Increment();
+  counters.queries.Increment(queries->size());
+  queries_answered_.fetch_add(queries->size());
+  {
+    std::lock_guard<std::mutex> lock(answered_mutex_);
+    batches_answered_.fetch_add(1);
+  }
+  answered_cv_.notify_all();
+  return wire::EncodeQueryResponse(response);
+}
+
+QueryClient::QueryClient(Transport* transport, std::string endpoint,
+                         QueryClientOptions options)
+    : transport_(transport),
+      endpoint_(std::move(endpoint)),
+      options_(options),
+      rng_(options.jitter_seed) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK(options_.max_attempts > 0);
+}
+
+QueryOutcome QueryClient::AnswerQueries(
+    const std::vector<query::Query>& queries) {
+  static obs::Counter& batches_total = obs::Registry::Default().GetCounter(
+      "felip_svc_query_client_batches_total");
+  static obs::Counter& retries_total = obs::Registry::Default().GetCounter(
+      "felip_svc_query_client_retries_total");
+  batches_total.Increment();
+
+  const std::vector<uint8_t> frame = wire::EncodeQueryBatch(queries);
+  const std::optional<uint64_t> checksum = ChecksumTrailer(frame);
+  FELIP_CHECK_MSG(checksum.has_value(), "query frame has no checksum trailer");
+
+  QueryOutcome outcome;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    if (attempt > 1) {
+      retries_total.Increment();
+      retries_.fetch_add(1);
+    }
+
+    if (!EnsureConnected()) {
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+    if (!connection_->SendFrame(frame)) {
+      DropConnection();
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+
+    std::vector<uint8_t> response;
+    const RecvStatus status =
+        connection_->RecvFrame(&response, options_.response_timeout_ms);
+    if (status != RecvStatus::kOk) {
+      // A late response could desynchronize request/response pairing on
+      // this connection, so both failure kinds reconnect.
+      DropConnection();
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+
+    if (auto decoded = wire::DecodeQueryResponse(response);
+        decoded.has_value() && decoded->request_checksum == *checksum) {
+      outcome.status = decoded->status;
+      switch (decoded->status) {
+        case wire::QueryResponseStatus::kOk:
+          outcome.ok = true;
+          outcome.answers = std::move(decoded->answers);
+          return outcome;
+        case wire::QueryResponseStatus::kInvalid:
+          // Terminal: resending the same queries cannot succeed.
+          outcome.bad_query = decoded->bad_query;
+          return outcome;
+        case wire::QueryResponseStatus::kNotReady:
+          // The round is still finalizing; retry after backoff.
+          SleepMs(BackoffMs(attempt));
+          continue;
+      }
+    }
+
+    // A kMalformed ack means the frame was damaged in flight: resend on
+    // the same connection. Anything else is an unpairable response.
+    const std::optional<Ack> ack = DecodeAck(response);
+    if (ack.has_value() && ack->status == AckStatus::kMalformed) {
+      SleepMs(BackoffMs(attempt));
+      continue;
+    }
+    DropConnection();
+    SleepMs(BackoffMs(attempt));
+  }
+  return outcome;
+}
+
+bool QueryClient::EnsureConnected() {
+  if (connection_ != nullptr) return true;
+  connection_ = transport_->Connect(endpoint_, options_.connect_timeout_ms);
+  if (connection_ == nullptr) return false;
+  static obs::Counter& reconnects_total = obs::Registry::Default().GetCounter(
+      "felip_svc_query_client_reconnects_total");
+  reconnects_total.Increment();
+  reconnects_.fetch_add(1);
+  return true;
+}
+
+void QueryClient::DropConnection() {
+  if (connection_ == nullptr) return;
+  connection_->Close();
+  connection_.reset();
+}
+
+uint32_t QueryClient::BackoffMs(int attempt) {
+  const int shift = std::min(attempt - 1, 16);
+  const uint64_t base =
+      std::min<uint64_t>(static_cast<uint64_t>(options_.backoff_initial_ms)
+                             << shift,
+                         options_.backoff_cap_ms);
+  return static_cast<uint32_t>(base) + Jitter(static_cast<uint32_t>(base));
+}
+
+uint32_t QueryClient::Jitter(uint32_t bound_ms) {
+  if (bound_ms == 0) return 0;
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  return static_cast<uint32_t>(rng_.UniformU64(bound_ms + 1));
+}
+
+}  // namespace felip::svc

@@ -1,0 +1,170 @@
+// Networked query answering over the ingest service's transport stack.
+//
+// A QueryServer binds a Transport endpoint and serves wire::QueryBatch
+// frames from a finalized FelipPipeline. Every inbound frame passes the
+// same synchronous integrity gate as ingest:
+//
+//   1. Verify the wire checksum trailer. Frames damaged in flight are
+//      acked kMalformed (svc::Ack) and never decoded.
+//   2. Decode with wire::DecodeQueryBatch (structural validation; an
+//      undecodable but checksum-valid frame is a bad client, not
+//      corruption, and gets a kInvalid response instead of an ack).
+//   3. Validate every query against the pipeline's schema
+//      (query::ValidateQuery): out-of-domain predicates are rejected with
+//      kInvalid and the offending query's index — never silently
+//      mis-answered, and never fatal (network input is untrusted).
+//   4. Answer via FelipPipeline::AnswerQueries and respond kOk with one
+//      answer per query. The response echoes the request's checksum
+//      trailer so clients can never pair a stale response with the wrong
+//      request.
+//
+// Answering runs on the transport's IO thread: queries are pure reads of
+// immutable post-Finalize state, the batch engine parallelizes internally
+// via answer_threads, and one response per connection at a time matches
+// the request/response framing. A pipeline that has not finalized yet
+// answers kNotReady, which clients treat as retryable.
+//
+// QueryClient drives the same retry loop as IngestClient (queries are
+// idempotent reads, so resending is always safe): capped exponential
+// backoff with deterministic jitter on connection failures, timeouts,
+// malformed acks, and kNotReady; kOk and kInvalid are terminal.
+
+#ifndef FELIP_SVC_QUERY_SERVICE_H_
+#define FELIP_SVC_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/core/felip.h"
+#include "felip/svc/transport.h"
+#include "felip/wire/wire.h"
+
+namespace felip::svc {
+
+struct QueryServerOptions {
+  // Threads the batch engine uses per inbound batch (0 = hardware
+  // concurrency, 1 = serial). Answers are identical for every setting.
+  unsigned answer_threads = 0;
+  // How the engine answers pair selections; kExact is bit-identical to
+  // the in-process AnswerQuery path.
+  core::PairAnswerPath pair_path = core::PairAnswerPath::kExact;
+  // Batches with more queries than this are rejected kInvalid — bounds
+  // per-frame answer memory independently of the frame-size cap.
+  size_t max_batch_queries = 1u << 20;
+};
+
+class QueryServer {
+ public:
+  // `transport` and `pipeline` must outlive this server. The pipeline may
+  // still be mid-round at Start(); queries answer kNotReady until it is
+  // finalized.
+  QueryServer(Transport* transport, const std::string& endpoint,
+              const core::FelipPipeline* pipeline,
+              QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds the endpoint and starts serving. False if the transport could
+  // not bind.
+  bool Start();
+
+  // Stops serving and closes every connection. Idempotent.
+  void Stop();
+
+  // Resolved endpoint (e.g. the actual TCP port when bound to port 0).
+  std::string endpoint() const;
+
+  // Blocks until `count` batches have been answered kOk or `timeout_ms`
+  // elapses; true on success. Lets drivers await a known workload without
+  // polling.
+  bool WaitForBatches(uint64_t count, int timeout_ms);
+
+  // --- Stats ---
+  uint64_t batches_answered() const { return batches_answered_.load(); }
+  uint64_t queries_answered() const { return queries_answered_.load(); }
+  uint64_t batches_malformed() const { return batches_malformed_.load(); }
+  uint64_t batches_invalid() const { return batches_invalid_.load(); }
+  uint64_t batches_not_ready() const { return batches_not_ready_.load(); }
+
+ private:
+  std::vector<uint8_t> HandleFrame(uint64_t connection_id,
+                                   std::vector<uint8_t>&& payload);
+
+  Transport* transport_;
+  std::string endpoint_;
+  const core::FelipPipeline* pipeline_;
+  QueryServerOptions options_;
+
+  std::unique_ptr<FrameServer> frame_server_;
+  bool started_ = false;
+
+  mutable std::mutex answered_mutex_;
+  std::condition_variable answered_cv_;
+
+  std::atomic<uint64_t> batches_answered_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> batches_malformed_{0};
+  std::atomic<uint64_t> batches_invalid_{0};
+  std::atomic<uint64_t> batches_not_ready_{0};
+};
+
+struct QueryClientOptions {
+  int connect_timeout_ms = 2000;
+  int response_timeout_ms = 5000;
+  int max_attempts = 16;
+  uint32_t backoff_initial_ms = 1;
+  uint32_t backoff_cap_ms = 64;
+  uint64_t jitter_seed = 1;
+};
+
+struct QueryOutcome {
+  bool ok = false;
+  // Meaningful when a decoded response was received: the server's verdict.
+  wire::QueryResponseStatus status = wire::QueryResponseStatus::kInvalid;
+  uint32_t bad_query = wire::kBadQueryNone;  // kInvalid only
+  std::vector<double> answers;               // kOk only
+  int attempts = 0;
+};
+
+class QueryClient {
+ public:
+  // `transport` must outlive the client.
+  QueryClient(Transport* transport, std::string endpoint,
+              QueryClientOptions options = {});
+
+  // Encodes `queries` and delivers them, retrying until a terminal
+  // response (kOk / kInvalid) or max_attempts. Queries are idempotent
+  // reads, so resending after a lost response is always safe.
+  QueryOutcome AnswerQueries(const std::vector<query::Query>& queries);
+
+  // --- Introspection ---
+  uint64_t retries() const { return retries_.load(); }
+  uint64_t reconnects() const { return reconnects_.load(); }
+
+ private:
+  bool EnsureConnected();
+  void DropConnection();
+  uint32_t BackoffMs(int attempt);
+  uint32_t Jitter(uint32_t bound_ms);
+
+  Transport* transport_;
+  std::string endpoint_;
+  QueryClientOptions options_;
+  std::unique_ptr<FrameConnection> connection_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_QUERY_SERVICE_H_

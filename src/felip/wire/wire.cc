@@ -77,6 +77,8 @@ enum class MessageKind : uint8_t {
   kReport = 2,
   kReportBatch = 3,
   kSnapshot = 4,
+  kQueryBatch = 5,
+  kQueryResponse = 6,
 };
 
 void WriteHeader(Writer& w, MessageKind kind) {
@@ -200,6 +202,8 @@ struct DecodeCounters {
   obs::Counter& malformed;
   obs::Counter& batches;
   obs::Counter& reports;
+  obs::Counter& query_batches;
+  obs::Counter& queries;
 };
 
 DecodeCounters& Counters() {
@@ -207,7 +211,11 @@ DecodeCounters& Counters() {
       obs::Registry::Default().GetCounter("felip_wire_decode_bytes_total"),
       obs::Registry::Default().GetCounter("felip_wire_malformed_total"),
       obs::Registry::Default().GetCounter("felip_wire_report_batches_total"),
-      obs::Registry::Default().GetCounter("felip_wire_reports_decoded_total")};
+      obs::Registry::Default().GetCounter("felip_wire_reports_decoded_total"),
+      obs::Registry::Default().GetCounter(
+          "felip_wire_query_batches_total"),
+      obs::Registry::Default().GetCounter(
+          "felip_wire_queries_decoded_total")};
   return counters;
 }
 
@@ -411,6 +419,182 @@ std::optional<std::vector<ReportMessage>> DecodeReportBatch(
       /*thread_count=*/1);
   if (!count.has_value()) return std::nullopt;
   return reports;
+}
+
+std::vector<uint8_t> EncodeQueryBatch(
+    const std::vector<query::Query>& queries) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kQueryBatch);
+  w.Put<uint32_t>(static_cast<uint32_t>(queries.size()));
+  for (const query::Query& q : queries) {
+    w.Put<uint16_t>(static_cast<uint16_t>(q.predicates().size()));
+    for (const query::Predicate& p : q.predicates()) {
+      w.Put<uint32_t>(p.attr);
+      w.Put<uint8_t>(static_cast<uint8_t>(p.op));
+      w.Put<uint32_t>(p.lo);
+      w.Put<uint32_t>(p.hi);
+      w.Put<uint32_t>(static_cast<uint32_t>(p.values.size()));
+      for (const uint32_t v : p.values) w.Put<uint32_t>(v);
+    }
+  }
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+namespace {
+
+// One predicate record: attr(4) + op(1) + lo(4) + hi(4) + value_count(4).
+constexpr uint64_t kMinPredicateBytes = 4 + 1 + 4 + 4 + 4;
+
+bool DecodePredicateBody(Reader& r, query::Predicate* p) {
+  uint8_t op = 0;
+  uint32_t value_count = 0;
+  if (!r.Get(&p->attr) || !r.Get(&op) || !r.Get(&p->lo) || !r.Get(&p->hi) ||
+      !r.Get(&value_count)) {
+    return false;
+  }
+  if (op > static_cast<uint8_t>(query::Op::kBetween)) return false;
+  p->op = static_cast<query::Op>(op);
+  if (static_cast<uint64_t>(value_count) * sizeof(uint32_t) > r.remaining()) {
+    return false;
+  }
+  p->values.resize(value_count);
+  for (uint32_t i = 0; i < value_count; ++i) {
+    if (!r.Get(&p->values[i])) return false;
+  }
+  // Structural constraints query::Query's constructor enforces fatally;
+  // network bytes are untrusted, so they must be rejected here instead.
+  switch (p->op) {
+    case query::Op::kEquals:
+      break;
+    case query::Op::kBetween:
+      if (p->lo > p->hi) return false;
+      break;
+    case query::Op::kIn:
+      if (p->values.empty()) return false;
+      break;
+  }
+  return true;
+}
+
+std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kQueryBatch);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  if (!r.Skip(6)) return std::nullopt;
+  uint32_t count = 0;
+  if (!r.Get(&count)) return std::nullopt;
+  // A query is at least predicate_count(2) + one predicate record; reject
+  // adversarial counts before reserving anything proportional to them.
+  if (static_cast<uint64_t>(count) * (2 + kMinPredicateBytes) >
+      *payload_end - r.position()) {
+    return std::nullopt;
+  }
+  std::vector<query::Query> queries;
+  queries.reserve(count);
+  std::vector<query::Predicate> predicates;
+  std::vector<uint32_t> attrs_seen;
+  for (uint32_t q = 0; q < count; ++q) {
+    uint16_t predicate_count = 0;
+    if (!r.Get(&predicate_count)) return std::nullopt;
+    if (predicate_count == 0) return std::nullopt;
+    if (static_cast<uint64_t>(predicate_count) * kMinPredicateBytes >
+        *payload_end - r.position()) {
+      return std::nullopt;
+    }
+    predicates.clear();
+    attrs_seen.clear();
+    for (uint16_t i = 0; i < predicate_count; ++i) {
+      query::Predicate p;
+      if (!DecodePredicateBody(r, &p)) return std::nullopt;
+      attrs_seen.push_back(p.attr);
+      predicates.push_back(std::move(p));
+    }
+    std::sort(attrs_seen.begin(), attrs_seen.end());
+    if (std::adjacent_find(attrs_seen.begin(), attrs_seen.end()) !=
+        attrs_seen.end()) {
+      return std::nullopt;  // duplicate attribute in one query
+    }
+    queries.emplace_back(predicates);
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+  return queries;
+}
+
+}  // namespace
+
+std::optional<std::vector<query::Query>> DecodeQueryBatch(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  auto queries = DecodeQueryBatchImpl(buffer);
+  if (!queries.has_value()) {
+    counters.malformed.Increment();
+  } else {
+    counters.query_batches.Increment();
+    counters.queries.Increment(queries->size());
+  }
+  return queries;
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& m) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kQueryResponse);
+  w.Put<uint8_t>(static_cast<uint8_t>(m.status));
+  w.Put<uint32_t>(m.bad_query);
+  w.Put<uint64_t>(m.request_checksum);
+  w.Put<uint32_t>(static_cast<uint32_t>(m.answers.size()));
+  for (const double a : m.answers) w.Put<double>(a);
+  SealChecksum(&buffer);
+  return buffer;
+}
+
+namespace {
+
+std::optional<QueryResponseMessage> DecodeQueryResponseImpl(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kQueryResponse);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  if (!r.Skip(6)) return std::nullopt;
+  QueryResponseMessage m;
+  uint8_t status = 0;
+  uint32_t count = 0;
+  if (!r.Get(&status) || !r.Get(&m.bad_query) ||
+      !r.Get(&m.request_checksum) || !r.Get(&count)) {
+    return std::nullopt;
+  }
+  if (status < static_cast<uint8_t>(QueryResponseStatus::kOk) ||
+      status > static_cast<uint8_t>(QueryResponseStatus::kNotReady)) {
+    return std::nullopt;
+  }
+  m.status = static_cast<QueryResponseStatus>(status);
+  if (static_cast<uint64_t>(count) * sizeof(double) !=
+      *payload_end - r.position()) {
+    return std::nullopt;
+  }
+  m.answers.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.Get(&m.answers[i])) return std::nullopt;
+    if (!std::isfinite(m.answers[i])) return std::nullopt;
+  }
+  if (r.position() != *payload_end) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+std::optional<QueryResponseMessage> DecodeQueryResponse(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  auto m = DecodeQueryResponseImpl(buffer);
+  if (!m.has_value()) counters.malformed.Increment();
+  return m;
 }
 
 std::vector<uint8_t> EncodeSnapshot(

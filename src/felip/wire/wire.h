@@ -23,6 +23,7 @@
 #include "felip/core/felip.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/protocol.h"
+#include "felip/query/query.h"
 
 namespace felip::wire {
 
@@ -76,6 +77,49 @@ std::optional<GridConfigMessage> DecodeGridConfig(
     const std::vector<uint8_t>& buffer);
 std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer);
 std::optional<std::vector<ReportMessage>> DecodeReportBatch(
+    const std::vector<uint8_t>& buffer);
+
+// --- Query frames (the networked query service, felip/svc) ---
+//
+// A QueryBatch frame carries λ-dimensional counting queries from a client
+// to a serving aggregator; a QueryResponse frame carries back one answer
+// per query, or the index of the first query the server rejected. Both use
+// the same magic/version/xxHash64-trailer envelope as every other wire
+// message. Decoding validates structure (operator tags, predicate shape,
+// duplicate attributes) so a decoded batch can always be materialized as
+// query::Query values without tripping their constructor checks; *domain*
+// validation needs a schema and happens in the service layer
+// (query::ValidateQuery).
+
+enum class QueryResponseStatus : uint8_t {
+  kOk = 1,        // answers[i] answers queries[i]
+  kInvalid = 2,   // a query failed validation; see bad_query
+  kNotReady = 3,  // the serving pipeline has not finalized yet
+};
+
+// bad_query value when no single query can be blamed (e.g. the batch
+// frame itself was structurally undecodable).
+inline constexpr uint32_t kBadQueryNone = 0xffffffffu;
+
+struct QueryResponseMessage {
+  QueryResponseStatus status = QueryResponseStatus::kInvalid;
+  uint32_t bad_query = kBadQueryNone;  // meaningful for kInvalid
+  // Echo of the request frame's checksum trailer so a client can never
+  // pair a stale response with the wrong request (mirrors svc::Ack).
+  uint64_t request_checksum = 0;
+  std::vector<double> answers;  // kOk only: one per query, in [0, 1]
+
+  friend bool operator==(const QueryResponseMessage&,
+                         const QueryResponseMessage&) = default;
+};
+
+std::vector<uint8_t> EncodeQueryBatch(
+    const std::vector<query::Query>& queries);
+std::optional<std::vector<query::Query>> DecodeQueryBatch(
+    const std::vector<uint8_t>& buffer);
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& message);
+std::optional<QueryResponseMessage> DecodeQueryResponse(
     const std::vector<uint8_t>& buffer);
 
 // --- Sharded batch decoding ---

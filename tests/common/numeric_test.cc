@@ -49,6 +49,37 @@ TEST(Choose2Test, SmallValues) {
   EXPECT_EQ(Choose2(10), 45u);
 }
 
+TEST(PairRankTest, MatchesEnumeratedLexicographicOrder) {
+  // PairRank is the single shared pair->index mapping (lambda estimator
+  // pair answers, core pair-grid lookup). Exhaustively pin it to the rank
+  // a literal lexicographic enumeration assigns, for every i < j < k <= 20.
+  for (uint64_t k = 2; k <= 20; ++k) {
+    uint64_t rank = 0;
+    for (uint64_t i = 0; i < k; ++i) {
+      for (uint64_t j = i + 1; j < k; ++j) {
+        EXPECT_EQ(PairRank(i, j, k), rank)
+            << "i=" << i << " j=" << j << " k=" << k;
+        ++rank;
+      }
+    }
+    EXPECT_EQ(rank, Choose2(k));
+  }
+}
+
+TEST(PairRankTest, AgreesWithFormerDuplicatedFormulas) {
+  // The two formulas this helper replaced (post::PairIndex and the core
+  // pair-grid index) must be algebraically identical to it.
+  for (uint64_t k = 2; k <= 20; ++k) {
+    for (uint64_t i = 0; i < k; ++i) {
+      for (uint64_t j = i + 1; j < k; ++j) {
+        EXPECT_EQ(PairRank(i, j, k), i * (2 * k - i - 1) / 2 + (j - i - 1));
+        EXPECT_EQ(PairRank(i, j, k),
+                  Choose2(k) - Choose2(k - i) + (j - i - 1));
+      }
+    }
+  }
+}
+
 TEST(BinomialTest, MatchesPascal) {
   EXPECT_EQ(Binomial(5, 0), 1u);
   EXPECT_EQ(Binomial(5, 5), 1u);

@@ -52,6 +52,46 @@ TEST(AxisSelectionTest, CoverageOfIntervalSet) {
   EXPECT_DOUBLE_EQ(s.CoverageOfInterval(8, 10), 0.5);  // {8} of 2
 }
 
+TEST(AxisSelectionTest, RangeTouchingDomainBoundaries) {
+  // Degenerate single-value ranges at both edges of the domain, and the
+  // full-domain range expressed as [0, domain-1]: the edge values count
+  // exactly once.
+  const AxisSelection lo = AxisSelection::MakeRange(0, 0);
+  EXPECT_TRUE(lo.Contains(0));
+  EXPECT_EQ(lo.SelectedCount(10), 1u);
+  EXPECT_DOUBLE_EQ(lo.CoverageOfInterval(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(lo.CoverageOfInterval(0, 10), 0.1);
+  EXPECT_DOUBLE_EQ(lo.CoverageOfInterval(1, 10), 0.0);
+
+  const AxisSelection hi = AxisSelection::MakeRange(9, 9);
+  EXPECT_TRUE(hi.Contains(9));
+  EXPECT_EQ(hi.SelectedCount(10), 1u);
+  EXPECT_DOUBLE_EQ(hi.CoverageOfInterval(9, 10), 1.0);
+  EXPECT_DOUBLE_EQ(hi.CoverageOfInterval(0, 9), 0.0);
+
+  const AxisSelection all = AxisSelection::MakeRange(0, 9);
+  EXPECT_EQ(all.SelectedCount(10), 10u);
+  EXPECT_DOUBLE_EQ(all.CoverageOfInterval(0, 10), 1.0);
+}
+
+TEST(AxisSelectionTest, SetCoverageIgnoresDuplicates) {
+  // Duplicated IN values must not double-count in interval coverage.
+  const AxisSelection s = AxisSelection::MakeSet({2, 2, 2, 7, 7});
+  EXPECT_EQ(s.SelectedCount(10), 2u);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(0, 10), 0.2);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(2, 3), 1.0);
+}
+
+TEST(AxisSelectionTest, SetCoverageAtIntervalEdges) {
+  // Half-open interval semantics: a value at `begin` is inside, a value
+  // at `end` is outside.
+  const AxisSelection s = AxisSelection::MakeSet({4, 8});
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(4, 8), 0.25);   // 4 in, 8 out
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(5, 8), 0.0);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(8, 9), 1.0);
+  EXPECT_DOUBLE_EQ(s.CoverageOfInterval(4, 9), 0.4);    // both in
+}
+
 TEST(AxisSelectionTest, CoverageOfCellMatchesInterval) {
   const Partition1D p(10, 4);
   const AxisSelection s = AxisSelection::MakeRange(1, 6);

@@ -80,6 +80,75 @@ TEST(QueryDeathTest, RejectsInvertedRange) {
                "FELIP_CHECK");
 }
 
+TEST(ValidatePredicateTest, AcceptsInDomainPredicates) {
+  const auto schema = SmallDataset().attributes();
+  EXPECT_EQ(ValidatePredicate(
+                {.attr = 0, .op = Op::kBetween, .lo = 0, .hi = 99}, schema),
+            std::nullopt);
+  EXPECT_EQ(ValidatePredicate({.attr = 1, .op = Op::kEquals, .lo = 3},
+                              schema),
+            std::nullopt);
+  EXPECT_EQ(ValidatePredicate({.attr = 2, .op = Op::kIn, .values = {0, 9}},
+                              schema),
+            std::nullopt);
+}
+
+TEST(ValidatePredicateTest, RejectsAttributeBeyondSchema) {
+  const auto schema = SmallDataset().attributes();
+  const auto error =
+      ValidatePredicate({.attr = 3, .op = Op::kEquals, .lo = 0}, schema);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("attribute 3"), std::string::npos);
+}
+
+TEST(ValidatePredicateTest, RejectsBetweenUpperBoundAtDomain) {
+  // The regression this validation fixes: hi == domain used to be
+  // silently answered as if the domain edge were a real value.
+  const auto schema = SmallDataset().attributes();
+  EXPECT_TRUE(ValidatePredicate(
+                  {.attr = 1, .op = Op::kBetween, .lo = 0, .hi = 4}, schema)
+                  .has_value());
+  EXPECT_TRUE(ValidatePredicate(
+                  {.attr = 0, .op = Op::kBetween, .lo = 50, .hi = 100},
+                  schema)
+                  .has_value());
+}
+
+TEST(ValidatePredicateTest, RejectsInvertedBetween) {
+  const auto schema = SmallDataset().attributes();
+  const auto error = ValidatePredicate(
+      {.attr = 0, .op = Op::kBetween, .lo = 9, .hi = 3}, schema);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("inverted"), std::string::npos);
+}
+
+TEST(ValidatePredicateTest, RejectsEqualsAndInValuesOutsideDomain) {
+  const auto schema = SmallDataset().attributes();
+  EXPECT_TRUE(ValidatePredicate({.attr = 1, .op = Op::kEquals, .lo = 4},
+                                schema)
+                  .has_value());
+  EXPECT_TRUE(ValidatePredicate(
+                  {.attr = 1, .op = Op::kIn, .values = {0, 4}}, schema)
+                  .has_value());
+  EXPECT_TRUE(
+      ValidatePredicate({.attr = 1, .op = Op::kIn, .values = {}}, schema)
+          .has_value());
+}
+
+TEST(ValidateQueryTest, ReportsFirstOffendingPredicate) {
+  const auto schema = SmallDataset().attributes();
+  const Query ok({{.attr = 0, .op = Op::kBetween, .lo = 10, .hi = 20},
+                  {.attr = 1, .op = Op::kIn, .values = {1, 2}}});
+  EXPECT_EQ(ValidateQuery(ok, schema), std::nullopt);
+
+  const Query bad({{.attr = 0, .op = Op::kBetween, .lo = 10, .hi = 20},
+                   {.attr = 1, .op = Op::kIn, .values = {1, 7}}});
+  const auto error = ValidateQuery(bad, schema);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("attribute 1"), std::string::npos);
+  EXPECT_NE(error->find("7"), std::string::npos);
+}
+
 TEST(TrueAnswerTest, PaperExampleQuery) {
   // The paper's Section 4 example: Age BETWEEN 30 AND 60 AND Education IN
   // {1, 2} AND Salary <= 8 matches only record 2 -> 1/5.

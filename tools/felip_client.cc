@@ -13,12 +13,19 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+
 #include "felip/common/flags.h"
+#include "felip/common/rng.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/obs/metrics.h"
+#include "felip/query/generator.h"
+#include "felip/query/query.h"
 #include "felip/svc/client.h"
 #include "felip/svc/fault_injection.h"
+#include "felip/svc/query_service.h"
 #include "felip/svc/simulator.h"
 #include "felip/svc/tcp.h"
 #include "felip/wire/wire.h"
@@ -44,6 +51,14 @@ void PrintUsage() {
       "  --fault-delay=<p>       frame delay probability (default 0)\n"
       "  --fault-reset=<p>       connection reset probability (default 0)\n"
       "  --fault-drop-response=<p>  ack drop probability (default 0)\n"
+      "  --queries=<int>         queries to send after reporting (default "
+      "0)\n"
+      "  --query-endpoint=<host:port>  query server (required with "
+      "--queries)\n"
+      "  --query-batch-size=<int>  queries per batch (default 256)\n"
+      "  --query-dimension=<int>   predicates per query (default 2)\n"
+      "  --query-selectivity=<f>   per-attribute selectivity (default "
+      "0.5)\n"
       "  --metrics               dump observability metrics to stderr\n");
 }
 
@@ -73,6 +88,13 @@ int main(int argc, char** argv) {
   faults.reset_prob = flags.GetDouble("fault-reset", 0.0);
   faults.drop_response_prob = flags.GetDouble("fault-drop-response", 0.0);
   faults.seed = seed + 99;
+  const uint64_t queries = flags.GetUint("queries", 0);
+  const std::string query_endpoint = flags.GetString("query-endpoint", "");
+  const uint64_t query_batch_size = flags.GetUint("query-batch-size", 256);
+  const auto query_dimension =
+      static_cast<uint32_t>(flags.GetUint("query-dimension", 2));
+  const double query_selectivity =
+      flags.GetDouble("query-selectivity", 0.5);
   const bool dump_metrics = flags.GetBool("metrics", false);
 
   bool usage_error = false;
@@ -96,6 +118,11 @@ int main(int argc, char** argv) {
   }
   if (strategy != "oug" && strategy != "ohg") {
     std::fprintf(stderr, "error: --strategy must be oug or ohg\n");
+    return 2;
+  }
+  if (queries > 0 && query_endpoint.empty()) {
+    std::fprintf(stderr,
+                 "error: --queries requires --query-endpoint=<host:port>\n");
     return 2;
   }
 
@@ -157,6 +184,62 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(client.reconnects()),
       static_cast<unsigned long long>(duplicates),
       static_cast<unsigned long long>(transport.faults_injected()));
+
+  if (queries > 0) {
+    // The server binds its query endpoint only after finalizing, so the
+    // retry budget must ride over the finalize window (connection refused
+    // until the port opens) on top of any injected faults.
+    svc::QueryClientOptions query_options;
+    query_options.max_attempts = 64;
+    query_options.backoff_cap_ms = 250;
+    query_options.jitter_seed = seed + 7;
+    svc::QueryClient query_client(
+        faulty ? static_cast<svc::Transport*>(&transport) : &tcp,
+        query_endpoint, query_options);
+
+    query::GeneratorOptions generator_options;
+    generator_options.dimension = query_dimension;
+    generator_options.selectivity = query_selectivity;
+    Rng query_rng(seed + 13);
+    const std::vector<query::Query> workload = query::GenerateQueries(
+        dataset, static_cast<uint32_t>(queries), generator_options,
+        query_rng);
+
+    uint64_t answered = 0;
+    uint64_t query_batches = 0;
+    double mae = 0.0;
+    const size_t stride =
+        query_batch_size > 0 ? static_cast<size_t>(query_batch_size) : 256;
+    for (size_t begin = 0; begin < workload.size(); begin += stride) {
+      const size_t end = std::min(begin + stride, workload.size());
+      const std::vector<query::Query> batch(workload.begin() + begin,
+                                            workload.begin() + end);
+      const svc::QueryOutcome outcome = query_client.AnswerQueries(batch);
+      if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "error: query batch at %zu failed after %d attempts "
+                     "(status=%u bad_query=%u)\n",
+                     begin, outcome.attempts,
+                     static_cast<unsigned>(outcome.status),
+                     outcome.bad_query);
+        return 1;
+      }
+      for (size_t q = 0; q < batch.size(); ++q) {
+        mae += std::fabs(outcome.answers[q] -
+                         query::TrueAnswer(dataset, batch[q]));
+      }
+      answered += end - begin;
+      ++query_batches;
+    }
+    mae /= static_cast<double>(answered);
+    std::printf(
+        "queries answered=%llu in %llu batches (retries=%llu "
+        "reconnects=%llu) mae=%.5f\n",
+        static_cast<unsigned long long>(answered),
+        static_cast<unsigned long long>(query_batches),
+        static_cast<unsigned long long>(query_client.retries()),
+        static_cast<unsigned long long>(query_client.reconnects()), mae);
+  }
 
   if (dump_metrics) {
     const std::string text = obs::Registry::Default().RenderText();

@@ -19,6 +19,7 @@
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/obs/metrics.h"
+#include "felip/svc/query_service.h"
 #include "felip/svc/server.h"
 #include "felip/svc/sink.h"
 #include "felip/svc/tcp.h"
@@ -43,6 +44,13 @@ void PrintUsage() {
       "  --queue-capacity=<int>  batches buffered before backpressure "
       "(default 64)\n"
       "  --timeout-ms=<int>      max wait for the population (default "
+      "60000)\n"
+      "  --serve-queries         serve query batches after finalizing\n"
+      "  --query-port=<int>      query listen port, 0 picks one (default "
+      "0)\n"
+      "  --query-batches=<int>   batches to answer before exiting (default "
+      "1)\n"
+      "  --query-timeout-ms=<int>  max wait for query batches (default "
       "60000)\n"
       "  --metrics               dump observability metrics to stderr\n");
 }
@@ -69,6 +77,11 @@ int main(int argc, char** argv) {
   const uint64_t queue_capacity = flags.GetUint("queue-capacity", 64);
   const int timeout_ms =
       static_cast<int>(flags.GetInt("timeout-ms", 60000));
+  const bool serve_queries = flags.GetBool("serve-queries", false);
+  const uint64_t query_port = flags.GetUint("query-port", 0);
+  const uint64_t query_batches = flags.GetUint("query-batches", 1);
+  const int query_timeout_ms =
+      static_cast<int>(flags.GetInt("query-timeout-ms", 60000));
   const bool dump_metrics = flags.GetBool("metrics", false);
 
   bool usage_error = false;
@@ -158,6 +171,32 @@ int main(int argc, char** argv) {
   std::printf("attr0 marginal head:");
   for (size_t v = 0; v < head; ++v) std::printf(" %.5f", marginal[v]);
   std::printf("\n");
+
+  if (serve_queries) {
+    svc::QueryServer query_server(
+        &transport, host + ":" + std::to_string(query_port), &pipeline);
+    if (!query_server.Start()) {
+      std::fprintf(stderr, "error: could not bind query endpoint %s:%llu\n",
+                   host.c_str(), static_cast<unsigned long long>(query_port));
+      return 1;
+    }
+    std::printf("serving queries on %s\n", query_server.endpoint().c_str());
+    std::fflush(stdout);
+    const bool served =
+        query_server.WaitForBatches(query_batches, query_timeout_ms);
+    query_server.Stop();
+    std::printf(
+        "query batches answered=%llu queries=%llu invalid=%llu "
+        "malformed=%llu\n",
+        static_cast<unsigned long long>(query_server.batches_answered()),
+        static_cast<unsigned long long>(query_server.queries_answered()),
+        static_cast<unsigned long long>(query_server.batches_invalid()),
+        static_cast<unsigned long long>(query_server.batches_malformed()));
+    if (!served) {
+      std::fprintf(stderr, "error: timed out waiting for query batches\n");
+      return 1;
+    }
+  }
 
   if (dump_metrics) {
     const std::string text = obs::Registry::Default().RenderText();
