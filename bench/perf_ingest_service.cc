@@ -86,7 +86,7 @@ void RunIngestBench(benchmark::State& state, TransportFactory make,
     for (size_t b = 0; b < kBatches; ++b) {
       // Vary one report per batch per iteration: new checksum, no dedup.
       batches[b][0].olh.hashed_report = iteration;
-      if (!client.SendBatch(batches[b]).ok) {
+      if (!client.SendBatch(batches[b]).ok()) {
         state.SkipWithError("batch delivery failed");
         return;
       }

@@ -1,0 +1,136 @@
+// Snapshot codec and store throughput (google-benchmark): bytes/sec to
+// encode a populated pipeline into the section container, to verify and
+// decode it back, and to commit it through the store's tmp+fsync+rename
+// path. Sealed pipelines carry the oracle accumulators (the largest
+// sections); queryable ones carry the per-grid frequency tables.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/snapshot/pipeline_snapshot.h"
+#include "felip/snapshot/store.h"
+
+namespace felip {
+namespace {
+
+constexpr uint64_t kSeed = 29;
+
+core::FelipConfig MakeConfig() {
+  core::FelipConfig config;
+  config.epsilon = 1.0;
+  config.seed = kSeed;
+  config.olh_options.seed_pool_size = 256;
+  return config;
+}
+
+// A pipeline with every accumulator populated: collected over a synthetic
+// population of `users`, optionally finalized into the queryable state.
+core::FelipPipeline MakePipeline(uint64_t users, bool finalize) {
+  const data::Dataset dataset = data::MakeIpumsLike(users, 4, 24, 5, kSeed);
+  core::FelipPipeline pipeline(dataset.attributes(), users, MakeConfig());
+  pipeline.Collect(dataset);
+  if (finalize) pipeline.Finalize();
+  return pipeline;
+}
+
+std::vector<uint64_t> MakeDedupKeys(size_t count) {
+  std::vector<uint64_t> keys(count);
+  std::iota(keys.begin(), keys.end(), 0x9e3779b97f4a7c15ull);
+  return keys;
+}
+
+void BM_SnapshotEncodeSealed(benchmark::State& state) {
+  const auto users = static_cast<uint64_t>(state.range(0));
+  const core::FelipPipeline pipeline = MakePipeline(users, false);
+  const std::vector<uint64_t> keys = MakeDedupKeys(1 << 14);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> encoded =
+        snapshot::PipelineCodec::Encode(pipeline, {}, keys);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotEncodeSealed)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotDecodeSealed(benchmark::State& state) {
+  const auto users = static_cast<uint64_t>(state.range(0));
+  const core::FelipPipeline pipeline = MakePipeline(users, false);
+  const std::vector<uint64_t> keys = MakeDedupKeys(1 << 14);
+  const std::vector<uint8_t> encoded =
+      snapshot::PipelineCodec::Encode(pipeline, {}, keys);
+  for (auto _ : state) {
+    auto decoded = snapshot::PipelineCodec::Decode(encoded);
+    if (!decoded.ok()) {
+      state.SkipWithError("decode failed");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded->pipeline);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(encoded.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SnapshotDecodeSealed)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotEncodeQueryable(benchmark::State& state) {
+  const auto users = static_cast<uint64_t>(state.range(0));
+  const core::FelipPipeline pipeline = MakePipeline(users, true);
+  core::SnapshotOptions options;
+  options.include_response_matrices = state.range(1) != 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> encoded =
+        snapshot::PipelineCodec::Encode(pipeline, options, {});
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotEncodeQueryable)
+    ->Args({100000, 0})->Args({100000, 1})->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotStoreWrite(benchmark::State& state) {
+  const core::FelipPipeline pipeline = MakePipeline(50000, false);
+  const std::vector<uint8_t> encoded =
+      snapshot::PipelineCodec::Encode(pipeline, {}, MakeDedupKeys(1 << 14));
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "felip_perf_snapshot";
+  std::filesystem::remove_all(dir);
+  snapshot::SnapshotStore store(dir.string(), 2);
+  for (auto _ : state) {
+    const auto path = store.Write(encoded);
+    if (!path.ok()) {
+      state.SkipWithError("store write failed");
+      return;
+    }
+    benchmark::DoNotOptimize(path->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(encoded.size()) *
+                          state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotStoreWrite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace felip
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  felip::bench::DumpObsJsonIfRequested();
+  return 0;
+}

@@ -67,7 +67,8 @@ int main() {
   const std::string snapshot_path = "/tmp/felip_demo.snapshot";
   if (!wire::SaveSnapshot(pipeline, loaded->dataset.attributes(),
                           loaded->dataset.num_rows(), config,
-                          snapshot_path)) {
+                          snapshot_path)
+           .ok()) {
     std::fprintf(stderr, "snapshot save failed\n");
     return 1;
   }

@@ -1,0 +1,204 @@
+// felip::Status — the error vocabulary of the service and wire layers.
+//
+// FELIP is a no-exceptions codebase: programmer errors abort via
+// FELIP_CHECK, while *recoverable* conditions — untrusted bytes off the
+// network, a full queue, a missing snapshot file — flow back to the caller
+// as values. Historically each module grew its own shape for that
+// (bool + out-param, std::optional, per-module enums like AckStatus);
+// Status unifies them: a small code taxonomy shared across layers plus a
+// human-readable message that survives to logs and test failures.
+//
+// Conventions (see DESIGN.md):
+//   * Entry points that can fail recoverably return Status (or
+//     StatusOr<T> when they produce a value).
+//   * kOk never carries a message. Error statuses always say *what* input
+//     or state was wrong, not just that something was.
+//   * Codes are coarse on purpose: callers branch on code(), humans read
+//     message(). Retryability is a property of the code (see
+//     IsRetryable()), so transports and clients never parse messages.
+//   * StatusOr<T> intentionally mirrors std::optional's observers
+//     (has_value / operator* / operator->) so migrating a call site off
+//     optional does not disturb its shape — the win is that failures now
+//     explain themselves via status().
+
+#ifndef FELIP_COMMON_STATUS_H_
+#define FELIP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "felip/common/check.h"
+
+namespace felip {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // The input itself is wrong (malformed structure, out-of-domain value).
+  // Resending the same bytes cannot succeed.
+  kInvalidArgument = 1,
+  // The named thing does not exist (no snapshot in the store).
+  kNotFound = 2,
+  // Idempotency hit: this work was already done (duplicate batch). A
+  // success from the sender's point of view.
+  kAlreadyExists = 3,
+  // Backpressure: a bounded resource is full. Retry after a delay.
+  kResourceExhausted = 4,
+  // The operation is valid but the receiver is in the wrong lifecycle
+  // state for it (pipeline not finalized yet). Retry may succeed later.
+  kFailedPrecondition = 5,
+  // Bytes were damaged or truncated in flight or at rest (checksum
+  // mismatch). For a live transport a resend may succeed.
+  kDataLoss = 6,
+  // The peer or medium is temporarily unreachable (connect/send/recv
+  // failure, timeout). Retry with backoff.
+  kUnavailable = 7,
+  // An invariant the implementation owns failed (I/O error writing a
+  // tmp file). Not the caller's fault.
+  kInternal = 8,
+};
+
+// Stable lowercase name of `code` ("ok", "invalid-argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Whether a fresh attempt of the same operation can succeed without the
+// caller changing anything: backpressure, wrong-state-yet, transient
+// transport failure, and in-flight damage are retryable; malformed input
+// and idempotency hits are terminal.
+constexpr bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kDataLoss || code == StatusCode::kUnavailable;
+}
+
+class [[nodiscard]] Status {
+ public:
+  // Default is OK, so `Status s; ... return s;` reads naturally.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    FELIP_CHECK_MSG(code != StatusCode::kOk || message_.empty(),
+                    "kOk must not carry a message");
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  // Codes compare; messages are documentation, not identity.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value. Observers deliberately mirror std::optional so call
+// sites written against optional-returning decoders keep their shape;
+// value access on an error status is programmer error and aborts.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from both directions keeps `return Status::...` and
+  // `return value;` working inside one function.
+  StatusOr(Status status) : status_(std::move(status)) {
+    FELIP_CHECK_MSG(!status_.ok(),
+                    "StatusOr constructed from kOk without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  bool has_value() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FELIP_CHECK_MSG(value_.has_value(), "value() on an error StatusOr");
+    return *value_;
+  }
+  const T& value() const& {
+    FELIP_CHECK_MSG(value_.has_value(), "value() on an error StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    FELIP_CHECK_MSG(value_.has_value(), "value() on an error StatusOr");
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return value_.has_value() ? *value_
+                              : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace felip
+
+// Propagates a non-OK Status to the caller. `expr` is evaluated once.
+#define FELIP_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::felip::Status felip_status_tmp_ = (expr);      \
+    if (!felip_status_tmp_.ok()) {                   \
+      return felip_status_tmp_;                      \
+    }                                                \
+  } while (0)
+
+// Unwraps a StatusOr into `lhs`, propagating errors. `lhs` may declare a
+// new variable: FELIP_ASSIGN_OR_RETURN(auto bytes, store.ReadNewest());
+#define FELIP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  FELIP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      FELIP_STATUS_CONCAT_(felip_statusor_, __LINE__), lhs, expr)
+
+#define FELIP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define FELIP_STATUS_CONCAT_(a, b) FELIP_STATUS_CONCAT_IMPL_(a, b)
+#define FELIP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FELIP_COMMON_STATUS_H_

@@ -29,6 +29,34 @@ bool IsNumerical(const AttributeInfo& info) {
 
 }  // namespace
 
+std::string_view PipelineStateName(PipelineState state) {
+  switch (state) {
+    case PipelineState::kConfigured:
+      return "configured";
+    case PipelineState::kCollecting:
+      return "collecting";
+    case PipelineState::kSealed:
+      return "sealed";
+    case PipelineState::kQueryable:
+      return "queryable";
+  }
+  return "unknown";
+}
+
+void FelipPipeline::ExpectState(PipelineState expected,
+                                const char* op) const {
+  if (state_ == expected) return;
+  std::fprintf(stderr,
+               "FELIP pipeline lifecycle violation: %s requires state "
+               "'%.*s' but the pipeline is '%.*s'\n",
+               op,
+               static_cast<int>(PipelineStateName(expected).size()),
+               PipelineStateName(expected).data(),
+               static_cast<int>(PipelineStateName(state_).size()),
+               PipelineStateName(state_).data());
+  FELIP_CHECK_MSG(false, "pipeline lifecycle violation");
+}
+
 FelipClient::FelipClient(const GridAssignment& assignment, uint32_t domain_x,
                          uint32_t domain_y)
     : is_2d_(assignment.is_2d),
@@ -165,14 +193,13 @@ FelipPipeline FelipPipeline::FromEstimatedGrids(
         pipeline.OneDimGrid(g2.attr_y()),
         pipeline.config_.response_matrix_options);
   });
-  pipeline.collected_ = true;
-  pipeline.finalized_ = true;
+  pipeline.state_ = PipelineState::kQueryable;
   return pipeline;
 }
 
 std::vector<std::vector<double>> FelipPipeline::ExportGridFrequencies()
     const {
-  FELIP_CHECK_MSG(finalized_, "ExportGridFrequencies() requires Finalize()");
+  ExpectState(PipelineState::kQueryable, "ExportGridFrequencies()");
   std::vector<std::vector<double>> result;
   result.reserve(assignments_.size());
   for (const Grid1D& g : grids_1d_) result.push_back(g.frequencies());
@@ -182,7 +209,7 @@ std::vector<std::vector<double>> FelipPipeline::ExportGridFrequencies()
 
 void FelipPipeline::Collect(const data::Dataset& dataset) {
   obs::ScopedTimer span("felip_core_collect");
-  FELIP_CHECK_MSG(!collected_, "Collect() called twice");
+  ExpectState(PipelineState::kConfigured, "Collect()");
   FELIP_CHECK(dataset.num_attributes() == schema_.size());
   FELIP_CHECK_MSG(dataset.num_rows() == num_users_,
                   "dataset size must match the planned population");
@@ -242,12 +269,13 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
   obs::Registry::Default()
       .GetCounter("felip_core_reports_total")
       .Increment(reports_in);
-  collected_ = true;
+  // Collect() runs an entire round in one call, so it lands directly on
+  // kSealed (conceptually passing through kCollecting).
+  state_ = PipelineState::kSealed;
 }
 
 void FelipPipeline::BeginIngest() {
-  FELIP_CHECK_MSG(!collected_, "BeginIngest() after a completed round");
-  FELIP_CHECK_MSG(!ingesting_, "BeginIngest() called twice");
+  ExpectState(PipelineState::kConfigured, "BeginIngest()");
   // Same oracle construction as Collect(): one per grid, at the per-grid
   // budget, so a networked round aggregates into identical state.
   oracles_.clear();
@@ -259,39 +287,44 @@ void FelipPipeline::BeginIngest() {
                                                config_.olh_options));
   }
   reports_ingested_ = 0;
-  ingesting_ = true;
+  state_ = PipelineState::kCollecting;
 }
 
-bool FelipPipeline::IngestGrrReport(uint32_t grid_index, uint64_t report) {
-  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
-  if (grid_index >= oracles_.size()) return false;
-  if (!oracles_[grid_index]->IngestGrrReport(report)) return false;
+Status FelipPipeline::IngestGrrReport(uint32_t grid_index, uint64_t report) {
+  ExpectState(PipelineState::kCollecting, "IngestGrrReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestGrrReport(report));
   ++reports_ingested_;
-  return true;
+  return Status::Ok();
 }
 
-bool FelipPipeline::IngestOlhReport(uint32_t grid_index,
-                                    const fo::OlhReport& report) {
-  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
-  if (grid_index >= oracles_.size()) return false;
-  if (!oracles_[grid_index]->IngestOlhReport(report)) return false;
+Status FelipPipeline::IngestOlhReport(uint32_t grid_index,
+                                      const fo::OlhReport& report) {
+  ExpectState(PipelineState::kCollecting, "IngestOlhReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestOlhReport(report));
   ++reports_ingested_;
-  return true;
+  return Status::Ok();
 }
 
-bool FelipPipeline::IngestOueReport(uint32_t grid_index,
-                                    const std::vector<uint8_t>& bits) {
-  FELIP_CHECK_MSG(ingesting_, "Ingest*Report() requires BeginIngest()");
-  if (grid_index >= oracles_.size()) return false;
-  if (!oracles_[grid_index]->IngestOueReport(bits)) return false;
+Status FelipPipeline::IngestOueReport(uint32_t grid_index,
+                                      const std::vector<uint8_t>& bits) {
+  ExpectState(PipelineState::kCollecting, "IngestOueReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestOueReport(bits));
   ++reports_ingested_;
-  return true;
+  return Status::Ok();
 }
 
 void FelipPipeline::FinishIngest() {
-  FELIP_CHECK_MSG(ingesting_, "FinishIngest() requires BeginIngest()");
-  ingesting_ = false;
-  collected_ = true;
+  ExpectState(PipelineState::kCollecting, "FinishIngest()");
+  state_ = PipelineState::kSealed;
   obs::Registry::Default()
       .GetCounter("felip_core_reports_total")
       .Increment(reports_ingested_);
@@ -299,8 +332,7 @@ void FelipPipeline::FinishIngest() {
 
 void FelipPipeline::Finalize() {
   obs::ScopedTimer span("felip_core_finalize");
-  FELIP_CHECK_MSG(collected_, "Finalize() requires Collect()");
-  FELIP_CHECK_MSG(!finalized_, "Finalize() called twice");
+  ExpectState(PipelineState::kSealed, "Finalize()");
 
   // Estimation + per-grid negativity removal.
   const size_t n1 = grids_1d_.size();
@@ -345,7 +377,7 @@ void FelipPipeline::Finalize() {
           config_.response_matrix_options);
     });
   }
-  finalized_ = true;
+  state_ = PipelineState::kQueryable;
 }
 
 size_t FelipPipeline::PairGridIndex(uint32_t i, uint32_t j) const {
@@ -464,7 +496,7 @@ double FelipPipeline::AnswerQuery(const query::Query& query) const {
   static obs::Counter& queries_total =
       obs::Registry::Default().GetCounter("felip_core_queries_total");
   queries_total.Increment();
-  FELIP_CHECK_MSG(finalized_, "AnswerQuery() requires Finalize()");
+  ExpectState(PipelineState::kQueryable, "AnswerQuery()");
   if (const auto error = query::ValidateQuery(query, schema_)) {
     FELIP_CHECK_MSG(false, error->c_str());
   }
@@ -487,7 +519,7 @@ std::vector<double> FelipPipeline::AnswerQueries(
   batches_total.Increment();
   batch_size.Observe(static_cast<double>(queries.size()));
 
-  FELIP_CHECK_MSG(finalized_, "AnswerQueries() requires Finalize()");
+  ExpectState(PipelineState::kQueryable, "AnswerQueries()");
   for (const query::Query& q : queries) {
     if (const auto error = query::ValidateQuery(q, schema_)) {
       FELIP_CHECK_MSG(false, error->c_str());
@@ -521,7 +553,7 @@ std::vector<double> FelipPipeline::AnswerQueries(
 }
 
 std::vector<double> FelipPipeline::EstimateMarginal(uint32_t attr) const {
-  FELIP_CHECK_MSG(finalized_, "EstimateMarginal() requires Finalize()");
+  ExpectState(PipelineState::kQueryable, "EstimateMarginal()");
   FELIP_CHECK(attr < schema_.size());
   const uint32_t domain = schema_[attr].domain;
   std::vector<double> marginal(domain, 0.0);
@@ -555,7 +587,7 @@ std::vector<double> FelipPipeline::EstimateMarginal(uint32_t attr) const {
 
 std::vector<double> FelipPipeline::EstimateJoint(uint32_t i,
                                                  uint32_t j) const {
-  FELIP_CHECK_MSG(finalized_, "EstimateJoint() requires Finalize()");
+  ExpectState(PipelineState::kQueryable, "EstimateJoint()");
   FELIP_CHECK(i < schema_.size() && j < schema_.size());
   FELIP_CHECK_MSG(i != j, "joint needs two distinct attributes");
   if (i < j) return response_matrices_[PairGridIndex(i, j)].ToDense();

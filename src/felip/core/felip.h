@@ -19,9 +19,12 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "felip/common/rng.h"
+#include "felip/common/status.h"
 #include "felip/data/dataset.h"
 #include "felip/fo/frequency_oracle.h"
 #include "felip/grid/grid.h"
@@ -30,7 +33,46 @@
 #include "felip/post/response_matrix.h"
 #include "felip/query/query.h"
 
+namespace felip::snapshot {
+class PipelineCodec;  // serializes pipeline state; see felip/snapshot
+}  // namespace felip::snapshot
+
 namespace felip::core {
+
+// Lifecycle of a FelipPipeline (see DESIGN.md). Exactly one state machine
+// covers both collection paths:
+//
+//   kConfigured --Collect()-----------------------------+
+//        |                                              |
+//        +--BeginIngest()--> kCollecting --FinishIngest()--> kSealed
+//                                                            |
+//                                          Finalize()        v
+//                                                        kQueryable
+//
+// Collect() simulates an entire round in one call, so it moves straight
+// from kConfigured to kSealed. FromEstimatedGrids and snapshot loads enter
+// mid-machine: a finalized snapshot restores kQueryable, a mid-round one
+// restores kCollecting. Transitions are enforced with FELIP_CHECK — a
+// caller driving the machine out of order is programmer error, not a
+// recoverable condition.
+enum class PipelineState : uint8_t {
+  kConfigured = 0,  // grids planned; no reports yet
+  kCollecting = 1,  // oracles live; accepting ingested reports
+  kSealed = 2,      // round closed; oracle accumulators final
+  kQueryable = 3,   // estimated + post-processed; queries allowed
+};
+
+// Stable lowercase name of `state` ("configured", "collecting", ...).
+std::string_view PipelineStateName(PipelineState state);
+
+// Options for FelipPipeline::SaveSnapshot.
+struct SnapshotOptions {
+  // Also persist the post-processed response matrices (kQueryable
+  // snapshots only). Off by default: they are derived state and the
+  // rebuild on load is deterministic, but persisting them trades snapshot
+  // bytes for skipping the IPF fit on warm restart.
+  bool include_response_matrices = false;
+};
 
 // OUG answers every query from the 2-D grids alone under the within-cell
 // uniformity assumption; OHG additionally collects 1-D grids for numerical
@@ -170,19 +212,37 @@ class FelipPipeline {
   //
   // Alternative to Collect() for deployments where already-perturbed
   // reports arrive over a transport instead of being simulated in-process.
-  // BeginIngest() builds the per-grid oracles at the per-grid budget;
-  // Ingest*Report() validates one report against `grid_index`'s planned
-  // protocol and domain, returning false on any out-of-range or
-  // mismatched input (network bytes are untrusted — never fatal);
-  // FinishIngest() closes the round so Finalize() can run. Aggregation is
-  // integer-count based, so the estimates depend only on the multiset of
-  // accepted reports, never on arrival order or batching.
+  // BeginIngest() builds the per-grid oracles at the per-grid budget
+  // (kConfigured -> kCollecting); Ingest*Report() validates one report
+  // against `grid_index`'s planned protocol and domain, returning
+  // kInvalidArgument on any out-of-range or mismatched input (network
+  // bytes are untrusted — never fatal); FinishIngest() closes the round
+  // (-> kSealed) so Finalize() can run. Aggregation is integer-count
+  // based, so the estimates depend only on the multiset of accepted
+  // reports, never on arrival order or batching.
   void BeginIngest();
-  bool IngestGrrReport(uint32_t grid_index, uint64_t report);
-  bool IngestOlhReport(uint32_t grid_index, const fo::OlhReport& report);
-  bool IngestOueReport(uint32_t grid_index, const std::vector<uint8_t>& bits);
+  Status IngestGrrReport(uint32_t grid_index, uint64_t report);
+  Status IngestOlhReport(uint32_t grid_index, const fo::OlhReport& report);
+  Status IngestOueReport(uint32_t grid_index,
+                         const std::vector<uint8_t>& bits);
   void FinishIngest();
   uint64_t reports_ingested() const { return reports_ingested_; }
+
+  // --- Crash-safe persistence (felip/snapshot) ---
+  //
+  // Declared here but defined in the felip_snapshot library so core never
+  // depends on the snapshot format; linking felip::felip (or
+  // felip_snapshot) provides them.
+  //
+  // SaveSnapshot atomically writes the pipeline's full state — config,
+  // schema, and either live oracle accumulators (kCollecting / kSealed)
+  // or post-processed grid frequencies (kQueryable) — to `path`.
+  // LoadSnapshot verifies and decodes `path` and reconstructs a pipeline
+  // in the state the snapshot captured; restoring a mid-round snapshot
+  // and continuing ingestion is bit-identical to never having stopped.
+  Status SaveSnapshot(const std::string& path,
+                      const SnapshotOptions& options = {}) const;
+  static StatusOr<FelipPipeline> LoadSnapshot(const std::string& path);
 
   // The privacy budget each grid's oracle runs at (epsilon, or epsilon/m
   // when dividing budget). Device-side code needs this to construct
@@ -223,9 +283,15 @@ class FelipPipeline {
   uint64_t num_groups() const { return assignments_.size(); }
   const std::vector<grid::Grid1D>& grids_1d() const { return grids_1d_; }
   const std::vector<grid::Grid2D>& grids_2d() const { return grids_2d_; }
-  bool finalized() const { return finalized_; }
+  PipelineState state() const { return state_; }
+  // Deprecated shim over state(); prefer state() == kQueryable.
+  bool finalized() const { return state_ == PipelineState::kQueryable; }
 
  private:
+  friend class felip::snapshot::PipelineCodec;
+
+  // Asserts the machine is in `expected` before an operation named `op`.
+  void ExpectState(PipelineState expected, const char* op) const;
   // Per-worker workspace of the query engine: the response-matrix
   // coverage buffers plus the per-query decomposition vectors, all reused
   // across every query a worker answers.
@@ -270,10 +336,8 @@ class FelipPipeline {
   std::vector<int> one_dim_index_;
   // pair order index -> index into grids_2d_ (identity, kept for clarity).
   std::vector<post::ResponseMatrix> response_matrices_;
-  bool collected_ = false;
-  bool ingesting_ = false;
+  PipelineState state_ = PipelineState::kConfigured;
   uint64_t reports_ingested_ = 0;
-  bool finalized_ = false;
 };
 
 // Convenience: run plan + collect + finalize in one call.

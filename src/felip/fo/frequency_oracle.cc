@@ -24,10 +24,35 @@ class GrrOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
-  bool IngestGrrReport(uint64_t report) override {
-    if (report >= client_.domain()) return false;
+  Status IngestGrrReport(uint64_t report) override {
+    if (report >= client_.domain()) {
+      return Status::InvalidArgument("GRR report outside the domain");
+    }
     server_.Add(report);
-    return true;
+    return Status::Ok();
+  }
+  OracleState ExportState() const override {
+    OracleState state;
+    state.protocol = Protocol::kGrr;
+    state.num_reports = server_.num_reports();
+    state.counts = server_.counts();
+    return state;
+  }
+  Status RestoreState(OracleState state) override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (state.protocol != Protocol::kGrr) {
+      return Status::InvalidArgument("oracle state protocol is not GRR");
+    }
+    if (state.counts.size() != client_.domain()) {
+      return Status::InvalidArgument("GRR state size does not match domain");
+    }
+    uint64_t total = 0;
+    for (const uint64_t c : state.counts) total += c;
+    if (total != state.num_reports) {
+      return Status::InvalidArgument("GRR counts do not sum to num_reports");
+    }
+    server_.RestoreState(std::move(state.counts), state.num_reports);
+    return Status::Ok();
   }
   std::vector<double> EstimateFrequencies(unsigned) const override {
     FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
@@ -60,16 +85,68 @@ class OlhOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
-  bool IngestOlhReport(const OlhReport& report) override {
-    if (report.hashed_report >= client_.g()) return false;
+  Status IngestOlhReport(const OlhReport& report) override {
+    if (report.hashed_report >= client_.g()) {
+      return Status::InvalidArgument("OLH hashed report outside [0, g)");
+    }
     const uint32_t pool = client_.options().seed_pool_size;
     if (pool > 0) {
-      if (report.seed_index >= pool) return false;
+      if (report.seed_index >= pool) {
+        return Status::InvalidArgument("OLH seed index outside the pool");
+      }
     } else if (report.seed_index != OlhReport::kNoPool) {
-      return false;
+      return Status::InvalidArgument("OLH pool index on a per-user oracle");
     }
     server_.Add(report);
-    return true;
+    return Status::Ok();
+  }
+  OracleState ExportState() const override {
+    OracleState state;
+    state.protocol = Protocol::kOlh;
+    state.num_reports = server_.num_reports();
+    state.pool_counts = server_.pool_counts();
+    state.reports = server_.reports();
+    return state;
+  }
+  Status RestoreState(OracleState state) override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (state.protocol != Protocol::kOlh) {
+      return Status::InvalidArgument("oracle state protocol is not OLH");
+    }
+    const uint32_t pool = client_.options().seed_pool_size;
+    if (pool > 0) {
+      if (!state.reports.empty()) {
+        return Status::InvalidArgument("raw reports in pooled OLH state");
+      }
+      const size_t bins = static_cast<size_t>(pool) * client_.g();
+      if (state.pool_counts.size() != bins) {
+        return Status::InvalidArgument("OLH pool histogram is not K * g");
+      }
+      uint64_t total = 0;
+      for (const uint32_t c : state.pool_counts) total += c;
+      if (total != state.num_reports) {
+        return Status::InvalidArgument(
+            "OLH pool histogram does not sum to num_reports");
+      }
+      server_.RestorePoolState(std::move(state.pool_counts),
+                               state.num_reports);
+      return Status::Ok();
+    }
+    if (!state.pool_counts.empty()) {
+      return Status::InvalidArgument("pool histogram in per-user OLH state");
+    }
+    if (state.reports.size() != state.num_reports) {
+      return Status::InvalidArgument(
+          "OLH report list does not match num_reports");
+    }
+    for (const OlhReport& r : state.reports) {
+      if (r.hashed_report >= client_.g() ||
+          r.seed_index != OlhReport::kNoPool) {
+        return Status::InvalidArgument("invalid report in OLH state");
+      }
+    }
+    server_.RestoreReports(std::move(state.reports));
+    return Status::Ok();
   }
   std::vector<double> EstimateFrequencies(
       unsigned thread_count) const override {
@@ -102,13 +179,42 @@ class OueOracle final : public FrequencyOracle {
     buffer_.clear();
   }
   size_t buffered_reports() const override { return buffer_.size(); }
-  bool IngestOueReport(const std::vector<uint8_t>& bits) override {
-    if (bits.size() != client_.domain()) return false;
+  Status IngestOueReport(const std::vector<uint8_t>& bits) override {
+    if (bits.size() != client_.domain()) {
+      return Status::InvalidArgument("OUE bit vector length != domain");
+    }
     for (const uint8_t bit : bits) {
-      if (bit > 1) return false;
+      if (bit > 1) {
+        return Status::InvalidArgument("OUE bit vector has a non-bit entry");
+      }
     }
     server_.Add(bits);
-    return true;
+    return Status::Ok();
+  }
+  OracleState ExportState() const override {
+    OracleState state;
+    state.protocol = Protocol::kOue;
+    state.num_reports = server_.num_reports();
+    state.counts = server_.counts();
+    return state;
+  }
+  Status RestoreState(OracleState state) override {
+    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (state.protocol != Protocol::kOue) {
+      return Status::InvalidArgument("oracle state protocol is not OUE");
+    }
+    if (state.counts.size() != client_.domain()) {
+      return Status::InvalidArgument("OUE state size does not match domain");
+    }
+    // Each report contributes at most one to every bit's count, so no bit
+    // count can exceed the report total.
+    for (const uint64_t c : state.counts) {
+      if (c > state.num_reports) {
+        return Status::InvalidArgument("OUE bit count exceeds num_reports");
+      }
+    }
+    server_.RestoreState(std::move(state.counts), state.num_reports);
+    return Status::Ok();
   }
   std::vector<double> EstimateFrequencies(unsigned) const override {
     FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
@@ -126,10 +232,14 @@ class OueOracle final : public FrequencyOracle {
 
 }  // namespace
 
-bool FrequencyOracle::IngestGrrReport(uint64_t) { return false; }
-bool FrequencyOracle::IngestOlhReport(const OlhReport&) { return false; }
-bool FrequencyOracle::IngestOueReport(const std::vector<uint8_t>&) {
-  return false;
+Status FrequencyOracle::IngestGrrReport(uint64_t) {
+  return Status::InvalidArgument("GRR report sent to a non-GRR oracle");
+}
+Status FrequencyOracle::IngestOlhReport(const OlhReport&) {
+  return Status::InvalidArgument("OLH report sent to a non-OLH oracle");
+}
+Status FrequencyOracle::IngestOueReport(const std::vector<uint8_t>&) {
+  return Status::InvalidArgument("OUE report sent to a non-OUE oracle");
 }
 
 void FrequencyOracle::SubmitUserValues(std::span<const uint64_t> values,

@@ -24,10 +24,25 @@
 #include <vector>
 
 #include "felip/common/rng.h"
+#include "felip/common/status.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/protocol.h"
 
 namespace felip::fo {
+
+// Serializable accumulator state of one oracle, as exported by
+// FrequencyOracle::ExportState. Only the fields matching the oracle's
+// protocol (and, for OLH, its seed mode) are populated. Everything here is
+// integer counts or raw reports — state whose value is independent of the
+// order reports arrived in — which is what makes restore-and-continue
+// bit-identical to an uninterrupted run.
+struct OracleState {
+  Protocol protocol = Protocol::kGrr;
+  uint64_t num_reports = 0;
+  std::vector<uint64_t> counts;       // GRR / OUE per-value (per-bit) counts
+  std::vector<uint32_t> pool_counts;  // OLH pool mode: (seed_index, y) K*g
+  std::vector<OlhReport> reports;     // OLH per-user mode: raw reports
+};
 
 class FrequencyOracle {
  public:
@@ -54,13 +69,25 @@ class FrequencyOracle {
   //
   // Aggregates one already-perturbed report after validating it against
   // this oracle's protocol and domain. Unlike the server Add() methods
-  // (which FELIP_CHECK their input), these return false on invalid input
-  // so a service can count and drop bad reports from the network instead
-  // of aborting. Each oracle accepts only its own protocol's overload;
-  // the others return false.
-  virtual bool IngestGrrReport(uint64_t report);
-  virtual bool IngestOlhReport(const OlhReport& report);
-  virtual bool IngestOueReport(const std::vector<uint8_t>& bits);
+  // (which FELIP_CHECK their input), these return kInvalidArgument on
+  // invalid input so a service can count and drop bad reports from the
+  // network instead of aborting. Each oracle accepts only its own
+  // protocol's overload; the others reject.
+  virtual Status IngestGrrReport(uint64_t report);
+  virtual Status IngestOlhReport(const OlhReport& report);
+  virtual Status IngestOueReport(const std::vector<uint8_t>& bits);
+
+  // --- Accumulator persistence (snapshot path) ---
+  //
+  // ExportState copies the server accumulator into a protocol-tagged
+  // value; RestoreState replaces the accumulator with a previously
+  // exported one. State read back from disk is untrusted even after
+  // checksums pass (a snapshot from a different config can be internally
+  // consistent but wrong for *this* oracle), so RestoreState validates
+  // protocol, shapes, and report ranges and returns kInvalidArgument
+  // rather than aborting. Both require an empty buffer.
+  virtual OracleState ExportState() const = 0;
+  virtual Status RestoreState(OracleState state) = 0;
 
   // Unbiased frequency estimates for all domain values (may be negative).
   // Requires an empty buffer (call FlushReports first); `thread_count`

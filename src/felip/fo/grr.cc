@@ -81,6 +81,14 @@ void GrrServer::AggregateReports(std::span<const uint64_t> reports,
   num_reports_ += reports.size();
 }
 
+void GrrServer::RestoreState(std::vector<uint64_t> counts,
+                             uint64_t num_reports) {
+  FELIP_CHECK_MSG(counts.size() == counts_.size(),
+                  "restored GRR counts do not match the domain");
+  counts_ = std::move(counts);
+  num_reports_ = num_reports;
+}
+
 std::vector<double> GrrServer::EstimateFrequencies() const {
   FELIP_CHECK_MSG(num_reports_ > 0, "no GRR reports collected");
   std::vector<double> freq(counts_.size());

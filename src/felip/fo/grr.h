@@ -64,6 +64,15 @@ class GrrServer {
   uint64_t num_reports() const { return num_reports_; }
   uint64_t domain() const { return static_cast<uint64_t>(counts_.size()); }
 
+  // --- Accumulator persistence (snapshot path) ---
+  // The per-value counts are the server's entire accumulator: restoring
+  // them and continuing to Add() is bit-identical to never having stopped.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // Replaces the accumulator with previously exported state. Callers must
+  // validate untrusted input first; size mismatches abort.
+  void RestoreState(std::vector<uint64_t> counts, uint64_t num_reports);
+
  private:
   std::vector<uint64_t> counts_;
   uint64_t num_reports_ = 0;

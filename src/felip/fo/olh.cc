@@ -120,6 +120,24 @@ void OlhServer::AggregateReports(std::span<const OlhReport> reports,
   num_reports_ += reports.size();
 }
 
+void OlhServer::RestorePoolState(std::vector<uint32_t> pool_counts,
+                                 uint64_t num_reports) {
+  FELIP_CHECK_MSG(options_.seed_pool_size > 0,
+                  "pool state restore on a per-user-mode OLH server");
+  FELIP_CHECK_MSG(pool_counts.size() == pool_counts_.size(),
+                  "restored OLH pool histogram does not match K * g");
+  pool_counts_ = std::move(pool_counts);
+  num_reports_ = num_reports;
+}
+
+void OlhServer::RestoreReports(std::vector<OlhReport> reports) {
+  FELIP_CHECK_MSG(options_.seed_pool_size == 0,
+                  "raw-report restore on a pool-mode OLH server");
+  for (const OlhReport& r : reports) FELIP_CHECK(r.hashed_report < g_);
+  num_reports_ = reports.size();
+  reports_ = std::move(reports);
+}
+
 double OlhServer::SupportCount(uint64_t value) const {
   if (options_.seed_pool_size > 0) {
     uint64_t support = 0;

@@ -92,6 +92,21 @@ class OlhServer {
 
   uint64_t num_reports() const { return num_reports_; }
   uint64_t domain() const { return domain_; }
+  uint32_t g() const { return g_; }
+
+  // --- Accumulator persistence (snapshot path) ---
+  // Pool mode accumulates only the (seed_index, y) histogram; per-user
+  // mode keeps the raw reports. Either is the server's entire accumulator,
+  // so restoring it and continuing to Add() is bit-identical to an
+  // uninterrupted run.
+  const std::vector<uint32_t>& pool_counts() const { return pool_counts_; }
+  const std::vector<OlhReport>& reports() const { return reports_; }
+
+  // Replace the accumulator with previously exported state. Callers must
+  // validate untrusted input first; mode/size mismatches abort.
+  void RestorePoolState(std::vector<uint32_t> pool_counts,
+                        uint64_t num_reports);
+  void RestoreReports(std::vector<OlhReport> reports);
 
  private:
   double SupportCount(uint64_t value) const;

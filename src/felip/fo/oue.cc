@@ -70,6 +70,14 @@ void OueServer::AggregateReports(
   num_reports_ += reports.size();
 }
 
+void OueServer::RestoreState(std::vector<uint64_t> counts,
+                             uint64_t num_reports) {
+  FELIP_CHECK_MSG(counts.size() == counts_.size(),
+                  "restored OUE counts do not match the domain");
+  counts_ = std::move(counts);
+  num_reports_ = num_reports;
+}
+
 std::vector<double> OueServer::EstimateFrequencies() const {
   FELIP_CHECK_MSG(num_reports_ > 0, "no OUE reports collected");
   std::vector<double> freq(counts_.size());

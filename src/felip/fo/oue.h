@@ -54,6 +54,14 @@ class OueServer {
   uint64_t num_reports() const { return num_reports_; }
   uint64_t domain() const { return static_cast<uint64_t>(counts_.size()); }
 
+  // --- Accumulator persistence (snapshot path) ---
+  // Per-bit counts plus the report total are the entire accumulator.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // Replaces the accumulator with previously exported state. Callers must
+  // validate untrusted input first; size mismatches abort.
+  void RestoreState(std::vector<uint64_t> counts, uint64_t num_reports);
+
  private:
   std::vector<uint64_t> counts_;
   uint64_t num_reports_ = 0;

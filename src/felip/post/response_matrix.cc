@@ -294,6 +294,46 @@ double ResponseMatrix::PrefixRect(uint32_t x0, uint32_t x1, uint32_t y0,
          s[x0 * stride + y0];
 }
 
+ResponseMatrix::Blocks ResponseMatrix::ExportBlocks() const {
+  Blocks blocks;
+  blocks.domain_x = domain_x_;
+  blocks.domain_y = domain_y_;
+  blocks.bx = bx_;
+  blocks.by = by_;
+  blocks.mass = mass_;
+  return blocks;
+}
+
+bool ResponseMatrix::FromBlocks(Blocks blocks, ResponseMatrix* out) {
+  if (out == nullptr) return false;
+  if (blocks.domain_x == 0 || blocks.domain_y == 0) return false;
+  const auto valid_boundaries = [](const std::vector<uint32_t>& b,
+                                   uint32_t domain) {
+    if (b.size() < 2 || b.front() != 0 || b.back() != domain) return false;
+    for (size_t i = 0; i + 1 < b.size(); ++i) {
+      if (b[i] >= b[i + 1]) return false;
+    }
+    return true;
+  };
+  if (!valid_boundaries(blocks.bx, blocks.domain_x)) return false;
+  if (!valid_boundaries(blocks.by, blocks.domain_y)) return false;
+  const size_t nbx = blocks.bx.size() - 1;
+  const size_t nby = blocks.by.size() - 1;
+  if (blocks.mass.size() != nbx * nby) return false;
+  for (const double m : blocks.mass) {
+    if (!std::isfinite(m) || m < 0.0) return false;
+  }
+  ResponseMatrix matrix;
+  matrix.domain_x_ = blocks.domain_x;
+  matrix.domain_y_ = blocks.domain_y;
+  matrix.bx_ = std::move(blocks.bx);
+  matrix.by_ = std::move(blocks.by);
+  matrix.mass_ = std::move(blocks.mass);
+  matrix.BuildPrefixSums();
+  *out = std::move(matrix);
+  return true;
+}
+
 std::vector<double> ResponseMatrix::ToDense() const {
   const auto nby = static_cast<uint32_t>(by_.size() - 1);
   std::vector<double> dense(static_cast<size_t>(domain_x_) * domain_y_);

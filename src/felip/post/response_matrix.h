@@ -89,6 +89,22 @@ class ResponseMatrix {
   // Block structure introspection (tests, benchmarks).
   size_t num_blocks() const { return mass_.size(); }
 
+  // --- Persistence (felip/snapshot) ---
+  // The converged block structure is the matrix's entire state; the
+  // prefix table is derived and rebuilt on import.
+  struct Blocks {
+    uint32_t domain_x = 0;
+    uint32_t domain_y = 0;
+    std::vector<uint32_t> bx;  // x block boundaries, size nbx + 1
+    std::vector<uint32_t> by;  // y block boundaries, size nby + 1
+    std::vector<double> mass;  // nbx * nby, row-major
+  };
+  Blocks ExportBlocks() const;
+  // Rebuilds a matrix from exported blocks. Returns false (leaving `out`
+  // untouched) when the structure is invalid — snapshot bytes are
+  // untrusted input even after their checksums pass.
+  static bool FromBlocks(Blocks blocks, ResponseMatrix* out);
+
  private:
   // Summed-area table over the block masses; built once per Build().
   void BuildPrefixSums();

@@ -1,0 +1,88 @@
+#include "felip/snapshot/format.h"
+
+#include <cstring>
+
+#include "felip/common/hash.h"
+#include "felip/wire/framing.h"
+
+namespace felip::snapshot {
+
+SnapshotWriter::SnapshotWriter(uint8_t state_byte) {
+  wire::Writer w(&buffer_);
+  w.Put<uint32_t>(kMagic);
+  w.Put<uint8_t>(kFormatVersion);
+  w.Put<uint8_t>(state_byte);
+}
+
+void SnapshotWriter::AppendSection(SectionId id,
+                                   const std::vector<uint8_t>& payload) {
+  wire::Writer w(&buffer_);
+  w.Put<uint8_t>(static_cast<uint8_t>(id));
+  w.Put<uint64_t>(payload.size());
+  w.PutBytes(payload.data(), payload.size());
+  w.Put<uint64_t>(XxHash64Bytes(payload.data(), payload.size(),
+                                kChecksumSalt));
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() && {
+  wire::SealChecksum(&buffer_, kChecksumSalt);
+  return std::move(buffer_);
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Open(
+    const std::vector<uint8_t>& bytes) {
+  // The file seal covers everything, so verify it first: any truncation
+  // or bit flip anywhere fails here with one uniform error.
+  if (!wire::CheckSealedChecksum(bytes, kChecksumSalt)) {
+    return Status::DataLoss("snapshot file checksum mismatch");
+  }
+  const std::vector<uint8_t> body(bytes.begin(),
+                                  bytes.end() - sizeof(uint64_t));
+  wire::Reader r(body);
+
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  SnapshotReader reader;
+  if (!r.Get(&magic) || !r.Get(&version) || !r.Get(&reader.state_byte_)) {
+    return Status::DataLoss("snapshot header is truncated");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a snapshot file (bad magic)");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version is not supported");
+  }
+
+  while (r.remaining() > 0) {
+    uint8_t id = 0;
+    uint64_t len = 0;
+    if (!r.Get(&id) || !r.Get(&len)) {
+      return Status::DataLoss("snapshot section header is truncated");
+    }
+    if (len > r.remaining() || r.remaining() - len < sizeof(uint64_t)) {
+      return Status::DataLoss("snapshot section length exceeds the file");
+    }
+    Section section;
+    section.id = static_cast<SectionId>(id);
+    section.payload.assign(r.cursor(), r.cursor() + len);
+    r.Skip(static_cast<size_t>(len));
+    uint64_t stored = 0;
+    r.Get(&stored);
+    if (XxHash64Bytes(section.payload.data(), section.payload.size(),
+                      kChecksumSalt) != stored) {
+      return Status::DataLoss("snapshot section checksum mismatch");
+    }
+    reader.sections_.push_back(std::move(section));
+  }
+  return reader;
+}
+
+const std::vector<uint8_t>* SnapshotReader::FindSection(SectionId id) const {
+  for (const Section& section : sections_) {
+    if (section.id == id) return &section.payload;
+  }
+  return nullptr;
+}
+
+}  // namespace felip::snapshot

@@ -1,0 +1,64 @@
+// Pipeline <-> snapshot codec.
+//
+// PipelineCodec serializes a FelipPipeline's *complete* state into the
+// section container (felip/snapshot/format.h) and reconstructs an
+// equivalent pipeline from those bytes:
+//
+//   * kConfig / kSchema — the full FelipConfig and attribute schema, so a
+//     loaded snapshot replans the exact same grid layout with no
+//     out-of-band context. (The legacy wire::EncodeSnapshot persisted only
+//     a config subset; this format has no such fidelity gap.)
+//   * kState — lifecycle state + reports ingested so far.
+//   * kOracles (kCollecting / kSealed) — every grid's oracle accumulator
+//     (fo::OracleState: integer counts or raw OLH reports). Restoring and
+//     continuing ingestion is bit-identical to never having stopped,
+//     because estimates depend only on the multiset of accepted reports.
+//   * kGridFrequencies (kQueryable) — the post-processed per-grid
+//     estimates; response matrices are rebuilt deterministically on load
+//     unless kResponseMatrices was persisted
+//     (SnapshotOptions::include_response_matrices), which trades bytes for
+//     skipping the IPF fit on warm restart.
+//   * kDedup — the ingest service's drained trailer keys, oldest first, so
+//     a restarted server recognizes resent batches it already counted.
+//
+// Decode validates everything semantically (shape against the replanned
+// layout, oracle state via FrequencyOracle::RestoreState) and returns
+// Status on any mismatch: a checksum-valid snapshot from a different
+// config must fail cleanly, never abort or silently mis-restore.
+
+#ifndef FELIP_SNAPSHOT_PIPELINE_SNAPSHOT_H_
+#define FELIP_SNAPSHOT_PIPELINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "felip/common/status.h"
+#include "felip/core/felip.h"
+
+namespace felip::snapshot {
+
+// A decoded snapshot: the reconstructed pipeline plus the service-layer
+// dedup keys that were captured with it.
+struct RecoveredPipeline {
+  core::FelipPipeline pipeline;
+  std::vector<uint64_t> dedup_keys;
+};
+
+class PipelineCodec {
+ public:
+  // Serializes `pipeline` (any state) and `dedup_keys` to snapshot bytes.
+  // Never fails: encoding reads only in-memory state the pipeline already
+  // validated.
+  static std::vector<uint8_t> Encode(const core::FelipPipeline& pipeline,
+                                     const core::SnapshotOptions& options,
+                                     std::span<const uint64_t> dedup_keys);
+
+  // Verifies and decodes `bytes` into a pipeline in the captured state.
+  static StatusOr<RecoveredPipeline> Decode(
+      const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace felip::snapshot
+
+#endif  // FELIP_SNAPSHOT_PIPELINE_SNAPSHOT_H_

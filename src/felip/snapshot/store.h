@@ -1,0 +1,60 @@
+// On-disk snapshot store: atomic commits and keep-last-N rotation.
+//
+// A SnapshotStore owns one directory of snapshot files named
+// snapshot-<seq>.felip with a monotonically increasing sequence number.
+// Write() lands bytes via tmp-file + fsync + atomic rename, so a crash at
+// any instant leaves either the previous set of snapshots or the previous
+// set plus one complete new file — never a torn file under a final name.
+// After each successful commit the oldest files beyond keep_last_n are
+// deleted, newest first wins.
+//
+// Reading is recovery-oriented: ListNewestFirst() enumerates candidates,
+// and callers walk them newest to oldest until one verifies (see
+// felip/snapshot/checkpoint.h), so a corrupted newest snapshot degrades to
+// the previous rotation instead of failing recovery outright.
+
+#ifndef FELIP_SNAPSHOT_STORE_H_
+#define FELIP_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "felip/common/status.h"
+
+namespace felip::snapshot {
+
+// Reads an entire file. kNotFound when it cannot be opened, kUnavailable
+// on a read error.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+// Writes `bytes` to `path` atomically: a sibling tmp file is written,
+// flushed to disk, and renamed over `path`. kUnavailable on any I/O
+// failure (the tmp file is cleaned up).
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+class SnapshotStore {
+ public:
+  // `dir` is created if absent. `keep_last_n` >= 1 bounds how many
+  // committed snapshots survive rotation.
+  SnapshotStore(std::string dir, size_t keep_last_n = 3);
+
+  // Commits `bytes` as the next snapshot in sequence and rotates old
+  // files. Returns the committed file's path.
+  StatusOr<std::string> Write(const std::vector<uint8_t>& bytes);
+
+  // Absolute-ordered snapshot paths, newest (highest sequence) first.
+  std::vector<std::string> ListNewestFirst() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  size_t keep_last_n_;
+  uint64_t next_seq_ = 1;  // advanced past existing files at construction
+};
+
+}  // namespace felip::snapshot
+
+#endif  // FELIP_SNAPSHOT_STORE_H_

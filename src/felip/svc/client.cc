@@ -53,47 +53,59 @@ SendOutcome IngestClient::SendEncodedBatch(
     }
 
     if (!EnsureConnected()) {
+      outcome.status = Status::Unavailable("cannot connect to the server");
       SleepMs(BackoffMs(attempt));
       continue;
     }
     if (!connection_->SendFrame(frame)) {
+      outcome.status = Status::Unavailable("send failed; reconnecting");
       DropConnection();
       SleepMs(BackoffMs(attempt));
       continue;
     }
 
     std::vector<uint8_t> response;
-    const RecvStatus status =
+    const RecvStatus recv_status =
         connection_->RecvFrame(&response, options_.response_timeout_ms);
-    if (status != RecvStatus::kOk) {
+    if (recv_status != RecvStatus::kOk) {
       // After a timeout a late ack could desynchronize request/response
       // pairing on this connection, so both failure kinds reconnect.
+      outcome.status = Status::Unavailable("no ack before the timeout");
       DropConnection();
       SleepMs(BackoffMs(attempt));
       continue;
     }
 
-    const std::optional<Ack> ack = DecodeAck(response);
-    if (!ack.has_value() || ack->batch_checksum != *checksum) {
+    const StatusOr<Ack> ack = DecodeAck(response);
+    if (!ack.ok() || ack->batch_checksum != *checksum) {
+      outcome.status =
+          Status::Unavailable("ack was undecodable or mismatched");
       DropConnection();
       SleepMs(BackoffMs(attempt));
       continue;
     }
     switch (ack->status) {
-      case AckStatus::kAccepted:
-        outcome.ok = true;
+      case StatusCode::kOk:
+        outcome.status = Status::Ok();
         return outcome;
-      case AckStatus::kDuplicate:
-        outcome.ok = true;
+      case StatusCode::kAlreadyExists:
+        outcome.status =
+            Status::AlreadyExists("batch counted by a prior attempt");
         outcome.duplicate = true;
         return outcome;
-      case AckStatus::kRetryLater:
+      case StatusCode::kResourceExhausted:
+        outcome.status =
+            Status::ResourceExhausted("server backpressure; retrying");
         SleepMs(ack->retry_after_ms + Jitter(options_.backoff_initial_ms));
         continue;
-      case AckStatus::kMalformed:
+      case StatusCode::kDataLoss:
         // Damaged in flight; the frame itself is fine — resend.
+        outcome.status = Status::DataLoss("frame damaged in flight");
         SleepMs(BackoffMs(attempt));
         continue;
+      default:
+        // DecodeAck only yields the four codes above.
+        FELIP_CHECK_MSG(false, "unreachable ack status");
     }
   }
   return outcome;

@@ -1,14 +1,15 @@
 // Report-submitting client: at-least-once delivery, exactly-once counting.
 //
 // IngestClient sends encoded report batches over a Transport and drives
-// the retry loop against the server's ack protocol:
+// the retry loop against the server's ack protocol (StatusCodes; see
+// svc/message.h for the wire mapping):
 //
-//   * kAccepted / kDuplicate — done. A duplicate means an earlier attempt
+//   * kOk / kAlreadyExists — done. AlreadyExists means an earlier attempt
 //     landed but its ack was lost; the xxHash64 trailer the server dedups
 //     on makes the resend harmless, so retries never double-count.
-//   * kRetryLater — server backpressure; wait the suggested retry_after_ms
-//     (plus deterministic jitter) and resend.
-//   * kMalformed — the frame was damaged in flight; resend.
+//   * kResourceExhausted — server backpressure; wait the suggested
+//     retry_after_ms (plus deterministic jitter) and resend.
+//   * kDataLoss — the frame was damaged in flight; resend.
 //   * timeout / connection loss — reconnect and resend under capped
 //     exponential backoff with deterministic jitter.
 //
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "felip/common/rng.h"
+#include "felip/common/status.h"
 #include "felip/svc/transport.h"
 #include "felip/wire/wire.h"
 
@@ -46,11 +48,19 @@ struct IngestClientOptions {
 };
 
 struct SendOutcome {
-  bool ok = false;
+  // Final status of the delivery. kOk: accepted; kAlreadyExists: counted
+  // by a prior attempt (success for the caller); anything else: the last
+  // failure after max_attempts were exhausted.
+  Status status = Status::Unavailable("batch was never sent");
   int attempts = 0;
   // True when the batch had already been aggregated by a prior attempt
   // whose ack was lost (the idempotent-resend path).
   bool duplicate = false;
+
+  // The batch is durably counted exactly once server-side.
+  bool ok() const {
+    return status.ok() || status.code() == StatusCode::kAlreadyExists;
+  }
 };
 
 class IngestClient {

@@ -1,0 +1,27 @@
+#include "felip/svc/dedup.h"
+
+#include "felip/common/check.h"
+
+namespace felip::svc {
+
+DedupWindow::DedupWindow(size_t capacity) : capacity_(capacity) {
+  FELIP_CHECK_MSG(capacity > 0, "dedup window capacity must be positive");
+}
+
+bool DedupWindow::Insert(uint64_t key) {
+  if (set_.contains(key)) return false;
+  if (fifo_.size() == capacity_) {
+    set_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++evictions_;
+  }
+  fifo_.push_back(key);
+  set_.insert(key);
+  return true;
+}
+
+std::vector<uint64_t> DedupWindow::Keys() const {
+  return std::vector<uint64_t>(fifo_.begin(), fifo_.end());
+}
+
+}  // namespace felip::svc

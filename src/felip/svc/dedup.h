@@ -1,0 +1,60 @@
+// Bounded idempotency window for batch checksums.
+//
+// The ingest server dedups batches on their xxHash64 trailer. An unbounded
+// seen-set grows forever on a long-lived server, so DedupWindow bounds it:
+// a FIFO of the most recently admitted keys plus a hash set for O(1)
+// membership. When the window is full, admitting a new key evicts the
+// *oldest* key — deterministically, independent of hash table iteration
+// order — so two servers fed the same admission sequence always hold the
+// same window.
+//
+// Eviction narrows the duplicate-detection horizon, it never corrupts it:
+// a key still inside the window can never be re-admitted, and an evicted
+// key's resend is simply treated as a fresh batch (the client must have
+// seen its ack long before kDefaultCapacity newer batches arrived).
+//
+// Not thread-safe; the server calls it under its admission mutex.
+
+#ifndef FELIP_SVC_DEDUP_H_
+#define FELIP_SVC_DEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace felip::svc {
+
+inline constexpr size_t kDefaultDedupCapacity = 1u << 20;
+
+class DedupWindow {
+ public:
+  // `capacity` must be positive.
+  explicit DedupWindow(size_t capacity = kDefaultDedupCapacity);
+
+  // Admits `key`. False (and no state change) if the key is already in
+  // the window; true otherwise, evicting the oldest key first when full.
+  bool Insert(uint64_t key);
+
+  bool Contains(uint64_t key) const { return set_.contains(key); }
+
+  // Keys currently in the window, oldest first — the admission order, so
+  // a snapshot-restored window evicts in the same order the original
+  // would have.
+  std::vector<uint64_t> Keys() const;
+
+  size_t size() const { return fifo_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::deque<uint64_t> fifo_;
+  std::unordered_set<uint64_t> set_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace felip::svc
+
+#endif  // FELIP_SVC_DEDUP_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "felip/common/check.h"
 #include "felip/common/hash.h"
 #include "felip/wire/wire.h"
 
@@ -13,13 +14,50 @@ inline constexpr uint8_t kAckMagic = 0xAC;
 inline constexpr uint8_t kAckVersion = 1;
 inline constexpr size_t kAckBytes = 1 + 1 + 1 + 4 + 8;
 
+// Wire bytes of the ack status (see the header comment).
+inline constexpr uint8_t kAckAccepted = 1;
+inline constexpr uint8_t kAckDuplicate = 2;
+inline constexpr uint8_t kAckRetryLater = 3;
+inline constexpr uint8_t kAckMalformed = 4;
+
+uint8_t AckStatusToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return kAckAccepted;
+    case StatusCode::kAlreadyExists:
+      return kAckDuplicate;
+    case StatusCode::kResourceExhausted:
+      return kAckRetryLater;
+    case StatusCode::kDataLoss:
+      return kAckMalformed;
+    default:
+      FELIP_CHECK_MSG(false, "status code not representable in an ack");
+      return 0;
+  }
+}
+
+std::optional<StatusCode> AckStatusFromWire(uint8_t byte) {
+  switch (byte) {
+    case kAckAccepted:
+      return StatusCode::kOk;
+    case kAckDuplicate:
+      return StatusCode::kAlreadyExists;
+    case kAckRetryLater:
+      return StatusCode::kResourceExhausted;
+    case kAckMalformed:
+      return StatusCode::kDataLoss;
+    default:
+      return std::nullopt;
+  }
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeAck(const Ack& ack) {
   std::vector<uint8_t> frame(kAckBytes);
   frame[0] = kAckMagic;
   frame[1] = kAckVersion;
-  frame[2] = static_cast<uint8_t>(ack.status);
+  frame[2] = AckStatusToWire(ack.status);
   std::memcpy(frame.data() + 3, &ack.retry_after_ms,
               sizeof(ack.retry_after_ms));
   std::memcpy(frame.data() + 7, &ack.batch_checksum,
@@ -27,15 +65,19 @@ std::vector<uint8_t> EncodeAck(const Ack& ack) {
   return frame;
 }
 
-std::optional<Ack> DecodeAck(const std::vector<uint8_t>& frame) {
-  if (frame.size() != kAckBytes) return std::nullopt;
-  if (frame[0] != kAckMagic || frame[1] != kAckVersion) return std::nullopt;
-  if (frame[2] < static_cast<uint8_t>(AckStatus::kAccepted) ||
-      frame[2] > static_cast<uint8_t>(AckStatus::kMalformed)) {
-    return std::nullopt;
+StatusOr<Ack> DecodeAck(const std::vector<uint8_t>& frame) {
+  if (frame.size() != kAckBytes) {
+    return Status::InvalidArgument("ack frame has the wrong size");
+  }
+  if (frame[0] != kAckMagic || frame[1] != kAckVersion) {
+    return Status::InvalidArgument("ack frame magic/version mismatch");
+  }
+  const std::optional<StatusCode> code = AckStatusFromWire(frame[2]);
+  if (!code.has_value()) {
+    return Status::InvalidArgument("ack frame carries an unknown status");
   }
   Ack ack;
-  ack.status = static_cast<AckStatus>(frame[2]);
+  ack.status = *code;
   std::memcpy(&ack.retry_after_ms, frame.data() + 3,
               sizeof(ack.retry_after_ms));
   std::memcpy(&ack.batch_checksum, frame.data() + 7,

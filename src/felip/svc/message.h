@@ -7,11 +7,22 @@
 // batch, so the server aggregates at most one of them and acks the rest
 // as duplicates.
 //
-// A response frame is the fixed-size Ack below: the batch outcome, a
-// retry-after hint for backpressure rejects, and an echo of the request's
-// checksum so a client can never mis-attribute a response (connections
-// carry one request at a time, but a stale response from a previous
-// attempt may still be in flight after a timeout).
+// A response frame is the fixed-size Ack below: the batch outcome as a
+// StatusCode, a retry-after hint for backpressure rejects, and an echo of
+// the request's checksum so a client can never mis-attribute a response
+// (connections carry one request at a time, but a stale response from a
+// previous attempt may still be in flight after a timeout).
+//
+// Only four codes are representable in an ack, and their wire bytes are
+// the original ack protocol's values (the enum's numeric values never
+// touch the wire):
+//   kOk                (byte 1) — queued for aggregation; will be counted
+//   kAlreadyExists     (byte 2) — accepted earlier; success for the client
+//   kResourceExhausted (byte 3) — queue full (backpressure): resend later
+//   kDataLoss          (byte 4) — frame failed integrity checks: resend
+// EncodeAck FELIP_CHECKs the code is one of these; DecodeAck rejects any
+// other byte as malformed. Note IsRetryable() gives the client policy for
+// the two retry codes directly.
 
 #ifndef FELIP_SVC_MESSAGE_H_
 #define FELIP_SVC_MESSAGE_H_
@@ -20,25 +31,21 @@
 #include <optional>
 #include <vector>
 
+#include "felip/common/status.h"
+
 namespace felip::svc {
 
-enum class AckStatus : uint8_t {
-  kAccepted = 1,    // queued for aggregation; the batch will be counted
-  kDuplicate = 2,   // already accepted earlier; success for the client
-  kRetryLater = 3,  // queue full (backpressure): resend after the hint
-  kMalformed = 4,   // frame failed integrity checks: resend the batch
-};
-
 struct Ack {
-  AckStatus status = AckStatus::kMalformed;
-  uint32_t retry_after_ms = 0;   // meaningful for kRetryLater
+  StatusCode status = StatusCode::kDataLoss;
+  uint32_t retry_after_ms = 0;   // meaningful for kResourceExhausted
   uint64_t batch_checksum = 0;   // echo of the request's trailer
 
   friend bool operator==(const Ack&, const Ack&) = default;
 };
 
 std::vector<uint8_t> EncodeAck(const Ack& ack);
-std::optional<Ack> DecodeAck(const std::vector<uint8_t>& frame);
+// kInvalidArgument when the frame is not a well-formed ack.
+StatusOr<Ack> DecodeAck(const std::vector<uint8_t>& frame);
 
 // The xxHash64 trailer of an encoded wire message — the batch idempotency
 // key; nullopt when the frame is too short to carry one.
@@ -46,7 +53,7 @@ std::optional<uint64_t> ChecksumTrailer(const std::vector<uint8_t>& frame);
 
 // Recomputes the trailer over the frame body and compares. This is the
 // server's synchronous integrity gate: truncated or corrupted frames are
-// acked kMalformed from the IO thread, before anything is queued.
+// acked kDataLoss from the IO thread, before anything is queued.
 bool VerifyChecksumTrailer(const std::vector<uint8_t>& frame);
 
 }  // namespace felip::svc

@@ -93,12 +93,12 @@ std::vector<uint8_t> QueryServer::HandleFrame(
   QueryCounters& counters = QueryCounters::Get();
 
   // Gate 1: integrity. A frame that fails its checksum was damaged in
-  // flight; ack kMalformed so the client resends the same bytes.
+  // flight; ack kDataLoss so the client resends the same bytes.
   if (!VerifyChecksumTrailer(payload)) {
     batches_malformed_.fetch_add(1);
     counters.malformed.Increment();
     Ack ack;
-    ack.status = AckStatus::kMalformed;
+    ack.status = StatusCode::kDataLoss;
     ack.batch_checksum = ChecksumTrailer(payload).value_or(0);
     return EncodeAck(ack);
   }
@@ -109,33 +109,32 @@ std::vector<uint8_t> QueryServer::HandleFrame(
 
   // Gate 2: structure. Checksum-valid but undecodable means a bad
   // client, not corruption — a resend would fail identically, so the
-  // response is a terminal kInvalid rather than an ack.
+  // response is a terminal kInvalidArgument rather than an ack.
   const auto queries = wire::DecodeQueryBatch(payload);
-  if (!queries.has_value() ||
-      queries->size() > options_.max_batch_queries) {
+  if (!queries.ok() || queries->size() > options_.max_batch_queries) {
     batches_invalid_.fetch_add(1);
     counters.invalid.Increment();
-    response.status = wire::QueryResponseStatus::kInvalid;
+    response.status = StatusCode::kInvalidArgument;
     response.bad_query = wire::kBadQueryNone;
     return wire::EncodeQueryResponse(response);
   }
 
-  if (!pipeline_->finalized()) {
+  if (pipeline_->state() != core::PipelineState::kQueryable) {
     batches_not_ready_.fetch_add(1);
     counters.not_ready.Increment();
-    response.status = wire::QueryResponseStatus::kNotReady;
+    response.status = StatusCode::kFailedPrecondition;
     return wire::EncodeQueryResponse(response);
   }
 
   // Gate 3: schema domains. AnswerQuery treats out-of-domain predicates
   // as fatal programmer error in-process; over the network they are an
-  // untrusted client's input and get a terminal kInvalid naming the
-  // first offending query.
+  // untrusted client's input and get a terminal kInvalidArgument naming
+  // the first offending query.
   for (size_t q = 0; q < queries->size(); ++q) {
     if (query::ValidateQuery((*queries)[q], pipeline_->schema())) {
       batches_invalid_.fetch_add(1);
       counters.invalid.Increment();
-      response.status = wire::QueryResponseStatus::kInvalid;
+      response.status = StatusCode::kInvalidArgument;
       response.bad_query = static_cast<uint32_t>(q);
       return wire::EncodeQueryResponse(response);
     }
@@ -144,7 +143,7 @@ std::vector<uint8_t> QueryServer::HandleFrame(
   core::QueryBatchOptions batch_options;
   batch_options.threads = options_.answer_threads;
   batch_options.pair_path = options_.pair_path;
-  response.status = wire::QueryResponseStatus::kOk;
+  response.status = StatusCode::kOk;
   response.bad_query = wire::kBadQueryNone;
   response.answers = pipeline_->AnswerQueries(
       std::span<const query::Query>(*queries), batch_options);
@@ -191,52 +190,63 @@ QueryOutcome QueryClient::AnswerQueries(
     }
 
     if (!EnsureConnected()) {
+      outcome.status = Status::Unavailable("cannot connect to the server");
       SleepMs(BackoffMs(attempt));
       continue;
     }
     if (!connection_->SendFrame(frame)) {
+      outcome.status = Status::Unavailable("send failed; reconnecting");
       DropConnection();
       SleepMs(BackoffMs(attempt));
       continue;
     }
 
     std::vector<uint8_t> response;
-    const RecvStatus status =
+    const RecvStatus recv_status =
         connection_->RecvFrame(&response, options_.response_timeout_ms);
-    if (status != RecvStatus::kOk) {
+    if (recv_status != RecvStatus::kOk) {
       // A late response could desynchronize request/response pairing on
       // this connection, so both failure kinds reconnect.
+      outcome.status = Status::Unavailable("no response before the timeout");
       DropConnection();
       SleepMs(BackoffMs(attempt));
       continue;
     }
 
     if (auto decoded = wire::DecodeQueryResponse(response);
-        decoded.has_value() && decoded->request_checksum == *checksum) {
-      outcome.status = decoded->status;
+        decoded.ok() && decoded->request_checksum == *checksum) {
       switch (decoded->status) {
-        case wire::QueryResponseStatus::kOk:
-          outcome.ok = true;
+        case StatusCode::kOk:
+          outcome.status = Status::Ok();
           outcome.answers = std::move(decoded->answers);
           return outcome;
-        case wire::QueryResponseStatus::kInvalid:
+        case StatusCode::kInvalidArgument:
           // Terminal: resending the same queries cannot succeed.
+          outcome.status =
+              Status::InvalidArgument("the server rejected a query");
           outcome.bad_query = decoded->bad_query;
           return outcome;
-        case wire::QueryResponseStatus::kNotReady:
+        case StatusCode::kFailedPrecondition:
           // The round is still finalizing; retry after backoff.
+          outcome.status = Status::FailedPrecondition(
+              "the serving pipeline is not queryable yet");
           SleepMs(BackoffMs(attempt));
           continue;
+        default:
+          // DecodeQueryResponse only yields the three codes above.
+          FELIP_CHECK_MSG(false, "unreachable query-response status");
       }
     }
 
-    // A kMalformed ack means the frame was damaged in flight: resend on
+    // A kDataLoss ack means the frame was damaged in flight: resend on
     // the same connection. Anything else is an unpairable response.
-    const std::optional<Ack> ack = DecodeAck(response);
-    if (ack.has_value() && ack->status == AckStatus::kMalformed) {
+    const StatusOr<Ack> ack = DecodeAck(response);
+    if (ack.ok() && ack->status == StatusCode::kDataLoss) {
+      outcome.status = Status::DataLoss("frame damaged in flight");
       SleepMs(BackoffMs(attempt));
       continue;
     }
+    outcome.status = Status::Unavailable("unpairable response; reconnecting");
     DropConnection();
     SleepMs(BackoffMs(attempt));
   }

@@ -5,13 +5,14 @@
 // same synchronous integrity gate as ingest:
 //
 //   1. Verify the wire checksum trailer. Frames damaged in flight are
-//      acked kMalformed (svc::Ack) and never decoded.
+//      acked kDataLoss (svc::Ack) and never decoded.
 //   2. Decode with wire::DecodeQueryBatch (structural validation; an
 //      undecodable but checksum-valid frame is a bad client, not
-//      corruption, and gets a kInvalid response instead of an ack).
+//      corruption, and gets a kInvalidArgument response instead of an
+//      ack).
 //   3. Validate every query against the pipeline's schema
 //      (query::ValidateQuery): out-of-domain predicates are rejected with
-//      kInvalid and the offending query's index — never silently
+//      kInvalidArgument and the offending query's index — never silently
 //      mis-answered, and never fatal (network input is untrusted).
 //   4. Answer via FelipPipeline::AnswerQueries and respond kOk with one
 //      answer per query. The response echoes the request's checksum
@@ -19,15 +20,17 @@
 //      request.
 //
 // Answering runs on the transport's IO thread: queries are pure reads of
-// immutable post-Finalize state, the batch engine parallelizes internally
+// immutable queryable-state, the batch engine parallelizes internally
 // via answer_threads, and one response per connection at a time matches
-// the request/response framing. A pipeline that has not finalized yet
-// answers kNotReady, which clients treat as retryable.
+// the request/response framing. A pipeline that is not queryable yet
+// answers kFailedPrecondition, which clients treat as retryable (see
+// IsRetryable()).
 //
 // QueryClient drives the same retry loop as IngestClient (queries are
 // idempotent reads, so resending is always safe): capped exponential
 // backoff with deterministic jitter on connection failures, timeouts,
-// malformed acks, and kNotReady; kOk and kInvalid are terminal.
+// damaged frames, and kFailedPrecondition; kOk and kInvalidArgument are
+// terminal.
 
 #ifndef FELIP_SVC_QUERY_SERVICE_H_
 #define FELIP_SVC_QUERY_SERVICE_H_
@@ -41,6 +44,7 @@
 #include <vector>
 
 #include "felip/common/rng.h"
+#include "felip/common/status.h"
 #include "felip/core/felip.h"
 #include "felip/svc/transport.h"
 #include "felip/wire/wire.h"
@@ -62,8 +66,8 @@ struct QueryServerOptions {
 class QueryServer {
  public:
   // `transport` and `pipeline` must outlive this server. The pipeline may
-  // still be mid-round at Start(); queries answer kNotReady until it is
-  // finalized.
+  // still be mid-round at Start(); queries answer kFailedPrecondition
+  // until it reaches kQueryable.
   QueryServer(Transport* transport, const std::string& endpoint,
               const core::FelipPipeline* pipeline,
               QueryServerOptions options = {});
@@ -126,12 +130,15 @@ struct QueryClientOptions {
 };
 
 struct QueryOutcome {
-  bool ok = false;
-  // Meaningful when a decoded response was received: the server's verdict.
-  wire::QueryResponseStatus status = wire::QueryResponseStatus::kInvalid;
-  uint32_t bad_query = wire::kBadQueryNone;  // kInvalid only
+  // Final status: kOk with one answer per query, kInvalidArgument with
+  // the server's verdict (see bad_query), or the last transport failure
+  // after max_attempts were exhausted.
+  Status status = Status::Unavailable("no response was ever received");
+  uint32_t bad_query = wire::kBadQueryNone;  // kInvalidArgument only
   std::vector<double> answers;               // kOk only
   int attempts = 0;
+
+  bool ok() const { return status.ok(); }
 };
 
 class QueryClient {

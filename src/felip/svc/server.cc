@@ -19,6 +19,8 @@ struct ServerCounters {
   obs::Counter& malformed;
   obs::Counter& reports;
   obs::Gauge& queue_depth;
+  obs::Counter& checkpoints;
+  obs::Counter& checkpoint_failures;
 
   static ServerCounters& Get() {
     static ServerCounters counters{
@@ -32,6 +34,10 @@ struct ServerCounters {
             "felip_svc_batches_malformed_total"),
         obs::Registry::Default().GetCounter("felip_svc_reports_total"),
         obs::Registry::Default().GetGauge("felip_svc_queue_depth"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_checkpoints_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_checkpoint_failures_total"),
     };
     return counters;
   }
@@ -45,13 +51,25 @@ IngestServer::IngestServer(Transport* transport, const std::string& endpoint,
       endpoint_(endpoint),
       sink_(sink),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      seen_(options.dedup_capacity),
+      drained_(options.dedup_capacity) {
   FELIP_CHECK(transport != nullptr);
   FELIP_CHECK(sink != nullptr);
   FELIP_CHECK(options_.worker_threads > 0);
 }
 
 IngestServer::~IngestServer() { Stop(); }
+
+void IngestServer::PreseedDedup(std::span<const uint64_t> drained_keys) {
+  FELIP_CHECK_MSG(!started_, "PreseedDedup() after Start()");
+  std::lock_guard<std::mutex> seen_lock(seen_mutex_);
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  for (const uint64_t key : drained_keys) {
+    seen_.Insert(key);
+    drained_.Insert(key);
+  }
+}
 
 bool IngestServer::Start() {
   FELIP_CHECK_MSG(!started_, "Start() called twice");
@@ -64,6 +82,7 @@ bool IngestServer::Start() {
     frame_server_.reset();
     return false;
   }
+  last_checkpoint_ = std::chrono::steady_clock::now();
   workers_.reserve(options_.worker_threads);
   for (unsigned w = 0; w < options_.worker_threads; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -82,6 +101,11 @@ void IngestServer::Stop() {
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   frame_server_.reset();
+  // Final checkpoint: a clean shutdown leaves nothing unpersisted.
+  if (options_.checkpoint) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (batches_since_checkpoint_ > 0) CheckpointLocked();
+  }
 }
 
 std::string IngestServer::endpoint() const {
@@ -91,6 +115,11 @@ std::string IngestServer::endpoint() const {
 uint64_t IngestServer::reports_seen() const {
   std::lock_guard<std::mutex> lock(reports_mutex_);
   return reports_seen_;
+}
+
+uint64_t IngestServer::dedup_evictions() const {
+  std::lock_guard<std::mutex> lock(seen_mutex_);
+  return seen_.evictions();
 }
 
 bool IngestServer::WaitForReports(uint64_t count, int timeout_ms) {
@@ -110,33 +139,50 @@ std::vector<uint8_t> IngestServer::HandleFrame(
   if (!VerifyChecksumTrailer(payload)) {
     batches_malformed_.fetch_add(1);
     counters.malformed.Increment();
-    ack.status = AckStatus::kMalformed;
+    ack.status = StatusCode::kDataLoss;
     return EncodeAck(ack);
   }
 
   {
     std::lock_guard<std::mutex> lock(seen_mutex_);
-    if (seen_checksums_.contains(ack.batch_checksum)) {
+    if (seen_.Contains(ack.batch_checksum)) {
       batches_duplicate_.fetch_add(1);
       counters.duplicate.Increment();
-      ack.status = AckStatus::kDuplicate;
+      ack.status = StatusCode::kAlreadyExists;
       return EncodeAck(ack);
     }
     if (!queue_.TryPush(std::move(payload))) {
       // Backpressure: not recorded as seen — the resend is a fresh try.
       batches_rejected_.fetch_add(1);
       counters.rejected.Increment();
-      ack.status = AckStatus::kRetryLater;
+      ack.status = StatusCode::kResourceExhausted;
       ack.retry_after_ms = options_.retry_after_ms;
       return EncodeAck(ack);
     }
-    seen_checksums_.insert(ack.batch_checksum);
+    seen_.Insert(ack.batch_checksum);
   }
   counters.queue_depth.Set(static_cast<double>(queue_.size()));
   batches_accepted_.fetch_add(1);
   counters.accepted.Increment();
-  ack.status = AckStatus::kAccepted;
+  ack.status = StatusCode::kOk;
   return EncodeAck(ack);
+}
+
+void IngestServer::CheckpointLocked() {
+  ServerCounters& counters = ServerCounters::Get();
+  const std::vector<uint64_t> keys = drained_.Keys();
+  const Status status = options_.checkpoint(keys);
+  if (status.ok()) {
+    checkpoints_written_.fetch_add(1);
+    counters.checkpoints.Increment();
+    batches_since_checkpoint_ = 0;
+  } else {
+    // Keep serving: the next trigger retries with a fresh cut. The
+    // counter is the operator's signal that durability is degraded.
+    checkpoint_failures_.fetch_add(1);
+    counters.checkpoint_failures.Increment();
+  }
+  last_checkpoint_ = std::chrono::steady_clock::now();
 }
 
 void IngestServer::WorkerLoop() {
@@ -153,18 +199,36 @@ void IngestServer::WorkerLoop() {
     // whole, and messages collected here are always well-formed.
     std::vector<wire::ReportMessage> messages;
     std::mutex messages_mutex;
-    const std::optional<size_t> count = wire::DecodeReportBatchSharded(
+    const StatusOr<size_t> count = wire::DecodeReportBatchSharded(
         *frame,
         [&](size_t /*shard*/, size_t /*index*/, wire::ReportMessage&& m) {
           std::lock_guard<std::mutex> lock(messages_mutex);
           messages.push_back(std::move(m));
         },
         options_.decode_threads);
-    if (!count.has_value()) {
+    if (!count.ok()) {
       batches_undecodable_.fetch_add(1);
       continue;
     }
-    sink_->IngestBatch(messages);
+    {
+      // Sink mutation, drained-key append, and any checkpoint form one
+      // critical section: a checkpoint can never see the batch's reports
+      // without its key or vice versa.
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      sink_->IngestBatch(messages);
+      drained_.Insert(ChecksumTrailer(*frame).value_or(0));
+      ++batches_since_checkpoint_;
+      if (options_.checkpoint) {
+        const bool batch_due =
+            options_.checkpoint_every_batches > 0 &&
+            batches_since_checkpoint_ >= options_.checkpoint_every_batches;
+        const bool time_due =
+            options_.checkpoint_every_ms > 0 &&
+            std::chrono::steady_clock::now() - last_checkpoint_ >=
+                std::chrono::milliseconds(options_.checkpoint_every_ms);
+        if (batch_due || time_due) CheckpointLocked();
+      }
+    }
     counters.reports.Increment(messages.size());
     {
       std::lock_guard<std::mutex> lock(reports_mutex_);

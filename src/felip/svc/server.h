@@ -4,14 +4,16 @@
 // inbound frame on the transport's IO thread:
 //
 //   1. Verify the wire checksum trailer. Frames that fail (truncated or
-//      corrupted in flight) are acked kMalformed and never enqueued.
+//      corrupted in flight) are acked kDataLoss and never enqueued.
 //   2. Deduplicate on the xxHash64 trailer — the batch's idempotency key.
-//      A batch already accepted (in the queue or drained) acks kDuplicate
-//      without re-enqueueing, so client retries never double-count.
+//      A batch already accepted (in the queue or drained) acks
+//      kAlreadyExists without re-enqueueing, so client retries never
+//      double-count. The seen-set is a bounded FIFO window (DedupWindow),
+//      so a long-lived server's memory stays flat.
 //   3. Push onto a bounded MPMC queue. A full queue is explicit
-//      backpressure: the frame is acked kRetryLater with a suggested
-//      retry_after_ms and NOT recorded as seen, so the client's resend is
-//      a fresh attempt.
+//      backpressure: the frame is acked kResourceExhausted with a
+//      suggested retry_after_ms and NOT recorded as seen, so the client's
+//      resend is a fresh attempt.
 //
 // A pool of worker threads drains the queue, decodes each batch with
 // wire::DecodeReportBatchSharded (structural validation before any report
@@ -20,38 +22,71 @@
 // multiset of accepted batches — worker count, queue order, and batch
 // boundaries cannot change the result.
 //
+// --- Crash-safe checkpointing ---
+//
+// When a checkpoint callback is configured, the server maintains a second
+// key window: the checksums of batches whose reports have actually
+// reached the sink ("drained"), appended under the same lock as the sink
+// call. Every `checkpoint_every_batches` drained batches (or
+// `checkpoint_every_ms`, whichever fires first) the callback runs under
+// that same lock with the drained keys — so the pipeline state it
+// snapshots and the keys it persists are a single consistent cut. A batch
+// that was acked but not yet drained at a crash is simply absent from the
+// cut; the client's resend is admitted fresh, preserving exactly-once
+// counting. On restart, PreseedDedup() reloads the persisted keys before
+// Start() so resends of already-drained batches ack kAlreadyExists.
+//
 // Stop() stops the transport first (no new frames), then shuts the queue
-// down and joins the workers after they drain every accepted batch.
+// down and joins the workers after they drain every accepted batch, then
+// fires one final checkpoint so a clean shutdown persists everything.
 
 #ifndef FELIP_SVC_SERVER_H_
 #define FELIP_SVC_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
+#include "felip/common/status.h"
+#include "felip/svc/dedup.h"
 #include "felip/svc/queue.h"
 #include "felip/svc/sink.h"
 #include "felip/svc/transport.h"
 
 namespace felip::svc {
 
+// Persists one consistent cut of the pipeline: called with the idempotency
+// keys of every batch drained into the sink so far (oldest first), while
+// the server guarantees no concurrent sink mutation. Returning non-OK
+// counts a failure; the server keeps serving and retries at the next
+// checkpoint trigger.
+using CheckpointFn = std::function<Status(std::span<const uint64_t>)>;
+
 struct IngestServerOptions {
   // Batches buffered between the IO thread and the workers; a full queue
-  // acks kRetryLater (backpressure).
+  // acks kResourceExhausted (backpressure).
   size_t queue_capacity = 64;
   // Worker threads draining the queue into the sink.
   unsigned worker_threads = 2;
   // Threads each worker hands to the sharded batch decoder (1 = serial).
   unsigned decode_threads = 1;
-  // Suggested client wait carried in kRetryLater acks.
+  // Suggested client wait carried in kResourceExhausted acks.
   uint32_t retry_after_ms = 5;
+  // Max keys remembered by each dedup window (admission and drained).
+  size_t dedup_capacity = kDefaultDedupCapacity;
+  // Checkpoint cadence; either trigger fires a checkpoint (0 disables
+  // that trigger). Ignored without a `checkpoint` callback.
+  uint64_t checkpoint_every_batches = 0;
+  uint64_t checkpoint_every_ms = 0;
+  CheckpointFn checkpoint;
 };
 
 class IngestServer {
@@ -64,11 +99,18 @@ class IngestServer {
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
+  // Seeds both dedup windows with the drained keys recovered from a
+  // snapshot (oldest first), so resends of batches the snapshot already
+  // counts ack kAlreadyExists instead of double-counting. Must be called
+  // before Start().
+  void PreseedDedup(std::span<const uint64_t> drained_keys);
+
   // Binds the endpoint and spawns the worker pool. False if the transport
   // could not bind.
   bool Start();
 
-  // Stops accepting, drains every queued batch, joins workers. Idempotent.
+  // Stops accepting, drains every queued batch, joins workers, fires a
+  // final checkpoint when one is configured. Idempotent.
   void Stop();
 
   // Resolved endpoint (e.g. the actual TCP port when bound to port 0).
@@ -85,12 +127,17 @@ class IngestServer {
   uint64_t batches_rejected() const { return batches_rejected_.load(); }
   uint64_t batches_malformed() const { return batches_malformed_.load(); }
   uint64_t batches_undecodable() const { return batches_undecodable_.load(); }
+  uint64_t checkpoints_written() const { return checkpoints_written_.load(); }
+  uint64_t checkpoint_failures() const { return checkpoint_failures_.load(); }
+  uint64_t dedup_evictions() const;
   uint64_t reports_seen() const;
 
  private:
   std::vector<uint8_t> HandleFrame(uint64_t connection_id,
                                    std::vector<uint8_t>&& payload);
   void WorkerLoop();
+  // Runs the checkpoint callback; caller must hold drain_mutex_.
+  void CheckpointLocked();
 
   Transport* transport_;
   std::string endpoint_;
@@ -102,9 +149,16 @@ class IngestServer {
   std::vector<std::thread> workers_;
   bool started_ = false;
 
-  // Idempotency: checksums of every batch ever accepted into the queue.
-  std::mutex seen_mutex_;
-  std::unordered_set<uint64_t> seen_checksums_;
+  // Idempotency: admission window of every batch accepted into the queue.
+  mutable std::mutex seen_mutex_;
+  DedupWindow seen_;
+
+  // Serializes {sink ingestion, drained-key append, checkpoint} so a
+  // checkpoint always captures a batch and its key together or not at all.
+  std::mutex drain_mutex_;
+  DedupWindow drained_;
+  uint64_t batches_since_checkpoint_ = 0;
+  std::chrono::steady_clock::time_point last_checkpoint_;
 
   // Reports offered to the sink so far; guarded by reports_mutex_ for the
   // WaitForReports condition.
@@ -117,6 +171,8 @@ class IngestServer {
   std::atomic<uint64_t> batches_rejected_{0};
   std::atomic<uint64_t> batches_malformed_{0};
   std::atomic<uint64_t> batches_undecodable_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
 };
 
 }  // namespace felip::svc

@@ -8,7 +8,12 @@ namespace felip::svc {
 PipelineSink::PipelineSink(core::FelipPipeline* pipeline)
     : pipeline_(pipeline) {
   FELIP_CHECK(pipeline != nullptr);
-  pipeline_->BeginIngest();
+  if (pipeline_->state() == core::PipelineState::kConfigured) {
+    pipeline_->BeginIngest();
+  } else {
+    FELIP_CHECK_MSG(pipeline_->state() == core::PipelineState::kCollecting,
+                    "PipelineSink needs a configured or collecting pipeline");
+  }
 }
 
 size_t PipelineSink::IngestBatch(std::span<const wire::ReportMessage> reports) {
@@ -17,19 +22,19 @@ size_t PipelineSink::IngestBatch(std::span<const wire::ReportMessage> reports) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t accepted = 0;
   for (const wire::ReportMessage& m : reports) {
-    bool ok = false;
+    Status status = Status::Ok();
     switch (m.protocol) {
       case fo::Protocol::kGrr:
-        ok = pipeline_->IngestGrrReport(m.grid_index, m.grr_report);
+        status = pipeline_->IngestGrrReport(m.grid_index, m.grr_report);
         break;
       case fo::Protocol::kOlh:
-        ok = pipeline_->IngestOlhReport(m.grid_index, m.olh);
+        status = pipeline_->IngestOlhReport(m.grid_index, m.olh);
         break;
       case fo::Protocol::kOue:
-        ok = pipeline_->IngestOueReport(m.grid_index, m.oue_bits);
+        status = pipeline_->IngestOueReport(m.grid_index, m.oue_bits);
         break;
     }
-    if (ok) {
+    if (status.ok()) {
       ++accepted;
     } else {
       rejected_total.Increment();

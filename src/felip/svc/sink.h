@@ -37,8 +37,11 @@ class ReportSink {
 };
 
 // Thread-safe sink over a planned (not yet collected) FelipPipeline.
-// Calls pipeline->BeginIngest() on construction; call Finish() once all
-// batches are in, then Finalize() the pipeline as usual.
+// Calls pipeline->BeginIngest() on construction when the pipeline is
+// still kConfigured; a pipeline restored from a snapshot arrives already
+// kCollecting and is adopted as-is (any other state is programmer error).
+// Call Finish() once all batches are in, then Finalize() the pipeline as
+// usual.
 class PipelineSink final : public ReportSink {
  public:
   explicit PipelineSink(core::FelipPipeline* pipeline);

@@ -1,0 +1,107 @@
+// Shared binary framing primitives.
+//
+// Every durable or networked FELIP artifact — wire messages, ack frames,
+// pipeline snapshots — is built from the same three ingredients: a
+// little-endian primitive writer/reader over a byte vector, length-prefixed
+// variable-size fields, and an xxHash64 seal so truncation and corruption
+// are detected instead of silently mis-decoded. This header is that
+// toolkit; the wire message formats (felip/wire/wire.h) and the snapshot
+// section format (felip/snapshot/format.h) are both expressed with it.
+//
+// Readers never abort: out-of-bounds reads return false and leave the
+// output untouched, because framed bytes come from untrusted peers or
+// possibly-corrupt files.
+
+#ifndef FELIP_WIRE_FRAMING_H_
+#define FELIP_WIRE_FRAMING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "felip/common/hash.h"
+
+namespace felip::wire {
+
+// Little-endian primitive writer over a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+  void PutBytes(const uint8_t* data, size_t len) {
+    out_->insert(out_->end(), data, data + len);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > in_.size()) return false;
+    std::memcpy(value, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool GetBytes(uint8_t* data, size_t len) {
+    if (pos_ + len > in_.size()) return false;
+    std::memcpy(data, in_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Skip(size_t len) {
+    if (pos_ + len > in_.size()) return false;
+    pos_ += len;
+    return true;
+  }
+
+  // Bytes at the current position (valid for remaining() bytes).
+  const uint8_t* cursor() const { return in_.data() + pos_; }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& in_;
+  size_t pos_ = 0;
+};
+
+// Appends the salted xxHash64 of everything in `buffer` so far.
+inline void SealChecksum(std::vector<uint8_t>* buffer, uint64_t salt) {
+  const uint64_t checksum =
+      XxHash64Bytes(buffer->data(), buffer->size(), salt);
+  Writer w(buffer);
+  w.Put<uint64_t>(checksum);
+}
+
+// Verifies a SealChecksum trailer over `buffer`. False when the buffer is
+// too short to carry one or the recomputed hash disagrees.
+inline bool CheckSealedChecksum(const std::vector<uint8_t>& buffer,
+                                uint64_t salt) {
+  if (buffer.size() < sizeof(uint64_t)) return false;
+  const size_t body = buffer.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, buffer.data() + body, sizeof(stored));
+  return XxHash64Bytes(buffer.data(), body, salt) == stored;
+}
+
+}  // namespace felip::wire
+
+#endif  // FELIP_WIRE_FRAMING_H_

@@ -1,76 +1,21 @@
 #include "felip/wire/wire.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
 #include "felip/common/parallel.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
+#include "felip/wire/framing.h"
 
 namespace felip::wire {
 
 namespace {
-
-// Little-endian primitive writer/reader over a byte vector.
-class Writer {
- public:
-  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
-
-  template <typename T>
-  void Put(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const size_t offset = out_->size();
-    out_->resize(offset + sizeof(T));
-    std::memcpy(out_->data() + offset, &value, sizeof(T));
-  }
-
-  void PutBytes(const uint8_t* data, size_t len) {
-    out_->insert(out_->end(), data, data + len);
-  }
-
- private:
-  std::vector<uint8_t>* out_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
-
-  template <typename T>
-  bool Get(T* value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > in_.size()) return false;
-    std::memcpy(value, in_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool GetBytes(uint8_t* data, size_t len) {
-    if (pos_ + len > in_.size()) return false;
-    std::memcpy(data, in_.data() + pos_, len);
-    pos_ += len;
-    return true;
-  }
-
-  bool Skip(size_t len) {
-    if (pos_ + len > in_.size()) return false;
-    pos_ += len;
-    return true;
-  }
-
-  // Bytes at the current position (valid for remaining() bytes).
-  const uint8_t* cursor() const { return in_.data() + pos_; }
-
-  size_t position() const { return pos_; }
-  size_t remaining() const { return in_.size() - pos_; }
-
- private:
-  const std::vector<uint8_t>& in_;
-  size_t pos_ = 0;
-};
 
 enum class MessageKind : uint8_t {
   kGridConfig = 1,
@@ -87,28 +32,16 @@ void WriteHeader(Writer& w, MessageKind kind) {
   w.Put<uint8_t>(static_cast<uint8_t>(kind));
 }
 
-// Appends the xxHash64 of everything written so far.
-void SealChecksum(std::vector<uint8_t>* buffer) {
-  const uint64_t checksum =
-      XxHash64Bytes(buffer->data(), buffer->size(), kChecksumSalt);
-  Writer w(buffer);
-  w.Put<uint64_t>(checksum);
-}
-
 // Verifies magic/version/kind and the trailing checksum; on success returns
-// a Reader positioned after the header with the checksum stripped from the
-// logical payload length.
+// the payload end (the checksum trailer stripped from the logical payload
+// length).
 std::optional<size_t> ValidateEnvelope(const std::vector<uint8_t>& buffer,
                                        MessageKind expected_kind) {
   constexpr size_t kHeader = 4 + 1 + 1;
   constexpr size_t kTrailer = 8;
   if (buffer.size() < kHeader + kTrailer) return std::nullopt;
+  if (!CheckSealedChecksum(buffer, kChecksumSalt)) return std::nullopt;
   const size_t payload_end = buffer.size() - kTrailer;
-  uint64_t stored = 0;
-  std::memcpy(&stored, buffer.data() + payload_end, sizeof(stored));
-  if (XxHash64Bytes(buffer.data(), payload_end, kChecksumSalt) != stored) {
-    return std::nullopt;
-  }
   uint32_t magic = 0;
   std::memcpy(&magic, buffer.data(), sizeof(magic));
   if (magic != kMagic) return std::nullopt;
@@ -119,6 +52,40 @@ std::optional<size_t> ValidateEnvelope(const std::vector<uint8_t>& buffer,
 
 bool ValidProtocol(uint8_t raw) {
   return raw <= static_cast<uint8_t>(fo::Protocol::kOue);
+}
+
+// Wire bytes of the query-response status. Part of the format: the
+// StatusCode enum's numeric values are an in-memory detail and never
+// touch the wire.
+constexpr uint8_t kQueryStatusOk = 1;
+constexpr uint8_t kQueryStatusInvalid = 2;
+constexpr uint8_t kQueryStatusNotReady = 3;
+
+uint8_t QueryStatusToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return kQueryStatusOk;
+    case StatusCode::kInvalidArgument:
+      return kQueryStatusInvalid;
+    case StatusCode::kFailedPrecondition:
+      return kQueryStatusNotReady;
+    default:
+      FELIP_CHECK_MSG(false, "status code not representable on the wire");
+      return 0;
+  }
+}
+
+std::optional<StatusCode> QueryStatusFromWire(uint8_t byte) {
+  switch (byte) {
+    case kQueryStatusOk:
+      return StatusCode::kOk;
+    case kQueryStatusInvalid:
+      return StatusCode::kInvalidArgument;
+    case kQueryStatusNotReady:
+      return StatusCode::kFailedPrecondition;
+    default:
+      return std::nullopt;
+  }
 }
 
 void EncodeReportBody(Writer& w, const ReportMessage& m) {
@@ -219,6 +186,10 @@ DecodeCounters& Counters() {
   return counters;
 }
 
+// All decode failures collapse to one retryable-false code; the message
+// names the frame kind so service logs stay diagnosable.
+Status Malformed(const char* what) { return Status::InvalidArgument(what); }
+
 std::optional<size_t> DecodeReportBatchShardedImpl(
     const std::vector<uint8_t>& buffer,
     const std::function<void(size_t shard_index, size_t report_index,
@@ -274,7 +245,7 @@ std::optional<size_t> DecodeReportBatchShardedImpl(
 
 size_t ReportBatchShardCount(size_t count) { return ReduceShardCount(count); }
 
-std::optional<size_t> DecodeReportBatchSharded(
+StatusOr<size_t> DecodeReportBatchSharded(
     const std::vector<uint8_t>& buffer,
     const std::function<void(size_t shard_index, size_t report_index,
                              ReportMessage&& message)>& sink,
@@ -286,11 +257,11 @@ std::optional<size_t> DecodeReportBatchSharded(
       DecodeReportBatchShardedImpl(buffer, sink, thread_count);
   if (!count.has_value()) {
     counters.malformed.Increment();
-  } else {
-    counters.batches.Increment();
-    counters.reports.Increment(*count);
+    return Malformed("malformed report-batch frame");
   }
-  return count;
+  counters.batches.Increment();
+  counters.reports.Increment(*count);
+  return *count;
 }
 
 std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
@@ -309,7 +280,7 @@ std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
   w.Put<double>(m.epsilon);
   w.Put<uint32_t>(m.seed_pool_size);
   w.Put<uint64_t>(m.pool_salt);
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
@@ -348,13 +319,16 @@ std::optional<GridConfigMessage> DecodeGridConfigImpl(
 
 }  // namespace
 
-std::optional<GridConfigMessage> DecodeGridConfig(
+StatusOr<GridConfigMessage> DecodeGridConfig(
     const std::vector<uint8_t>& buffer) {
   DecodeCounters& counters = Counters();
   counters.bytes.Increment(buffer.size());
   std::optional<GridConfigMessage> m = DecodeGridConfigImpl(buffer);
-  if (!m.has_value()) counters.malformed.Increment();
-  return m;
+  if (!m.has_value()) {
+    counters.malformed.Increment();
+    return Malformed("malformed grid-config frame");
+  }
+  return *std::move(m);
 }
 
 std::vector<uint8_t> EncodeReport(const ReportMessage& m) {
@@ -362,7 +336,7 @@ std::vector<uint8_t> EncodeReport(const ReportMessage& m) {
   Writer w(&buffer);
   WriteHeader(w, MessageKind::kReport);
   EncodeReportBody(w, m);
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
@@ -383,16 +357,16 @@ std::optional<ReportMessage> DecodeReportImpl(
 
 }  // namespace
 
-std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
+StatusOr<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer) {
   DecodeCounters& counters = Counters();
   counters.bytes.Increment(buffer.size());
   std::optional<ReportMessage> m = DecodeReportImpl(buffer);
   if (!m.has_value()) {
     counters.malformed.Increment();
-  } else {
-    counters.reports.Increment();
+    return Malformed("malformed report frame");
   }
-  return m;
+  counters.reports.Increment();
+  return *std::move(m);
 }
 
 std::vector<uint8_t> EncodeReportBatch(
@@ -402,22 +376,22 @@ std::vector<uint8_t> EncodeReportBatch(
   WriteHeader(w, MessageKind::kReportBatch);
   w.Put<uint32_t>(static_cast<uint32_t>(reports.size()));
   for (const ReportMessage& m : reports) EncodeReportBody(w, m);
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
-std::optional<std::vector<ReportMessage>> DecodeReportBatch(
+StatusOr<std::vector<ReportMessage>> DecodeReportBatch(
     const std::vector<uint8_t>& buffer) {
   // The sharded decoder with thread_count == 1 visits reports in index
   // order on the calling thread, so a plain push_back rebuilds the batch.
   std::vector<ReportMessage> reports;
-  const auto count = DecodeReportBatchSharded(
+  const StatusOr<size_t> count = DecodeReportBatchSharded(
       buffer,
       [&reports](size_t /*shard*/, size_t /*index*/, ReportMessage&& m) {
         reports.push_back(std::move(m));
       },
       /*thread_count=*/1);
-  if (!count.has_value()) return std::nullopt;
+  FELIP_RETURN_IF_ERROR(count.status());
   return reports;
 }
 
@@ -438,7 +412,7 @@ std::vector<uint8_t> EncodeQueryBatch(
       for (const uint32_t v : p.values) w.Put<uint32_t>(v);
     }
   }
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
@@ -525,30 +499,30 @@ std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
 
 }  // namespace
 
-std::optional<std::vector<query::Query>> DecodeQueryBatch(
+StatusOr<std::vector<query::Query>> DecodeQueryBatch(
     const std::vector<uint8_t>& buffer) {
   DecodeCounters& counters = Counters();
   counters.bytes.Increment(buffer.size());
   auto queries = DecodeQueryBatchImpl(buffer);
   if (!queries.has_value()) {
     counters.malformed.Increment();
-  } else {
-    counters.query_batches.Increment();
-    counters.queries.Increment(queries->size());
+    return Malformed("malformed query-batch frame");
   }
-  return queries;
+  counters.query_batches.Increment();
+  counters.queries.Increment(queries->size());
+  return *std::move(queries);
 }
 
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& m) {
   std::vector<uint8_t> buffer;
   Writer w(&buffer);
   WriteHeader(w, MessageKind::kQueryResponse);
-  w.Put<uint8_t>(static_cast<uint8_t>(m.status));
+  w.Put<uint8_t>(QueryStatusToWire(m.status));
   w.Put<uint32_t>(m.bad_query);
   w.Put<uint64_t>(m.request_checksum);
   w.Put<uint32_t>(static_cast<uint32_t>(m.answers.size()));
   for (const double a : m.answers) w.Put<double>(a);
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
@@ -568,11 +542,9 @@ std::optional<QueryResponseMessage> DecodeQueryResponseImpl(
       !r.Get(&m.request_checksum) || !r.Get(&count)) {
     return std::nullopt;
   }
-  if (status < static_cast<uint8_t>(QueryResponseStatus::kOk) ||
-      status > static_cast<uint8_t>(QueryResponseStatus::kNotReady)) {
-    return std::nullopt;
-  }
-  m.status = static_cast<QueryResponseStatus>(status);
+  const std::optional<StatusCode> code = QueryStatusFromWire(status);
+  if (!code.has_value()) return std::nullopt;
+  m.status = *code;
   if (static_cast<uint64_t>(count) * sizeof(double) !=
       *payload_end - r.position()) {
     return std::nullopt;
@@ -588,13 +560,16 @@ std::optional<QueryResponseMessage> DecodeQueryResponseImpl(
 
 }  // namespace
 
-std::optional<QueryResponseMessage> DecodeQueryResponse(
+StatusOr<QueryResponseMessage> DecodeQueryResponse(
     const std::vector<uint8_t>& buffer) {
   DecodeCounters& counters = Counters();
   counters.bytes.Increment(buffer.size());
   auto m = DecodeQueryResponseImpl(buffer);
-  if (!m.has_value()) counters.malformed.Increment();
-  return m;
+  if (!m.has_value()) {
+    counters.malformed.Increment();
+    return Malformed("malformed query-response frame");
+  }
+  return *std::move(m);
 }
 
 std::vector<uint8_t> EncodeSnapshot(
@@ -639,7 +614,7 @@ std::vector<uint8_t> EncodeSnapshot(
     w.Put<uint32_t>(static_cast<uint32_t>(f.size()));
     for (const double v : f) w.Put<double>(v);
   }
-  SealChecksum(&buffer);
+  SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
 
@@ -743,33 +718,41 @@ std::optional<core::FelipPipeline> DecodeSnapshotImpl(
 
 }  // namespace
 
-std::optional<core::FelipPipeline> DecodeSnapshot(
+StatusOr<core::FelipPipeline> DecodeSnapshot(
     const std::vector<uint8_t>& buffer) {
   obs::ScopedTimer span("felip_wire_decode_snapshot");
   DecodeCounters& counters = Counters();
   counters.bytes.Increment(buffer.size());
   std::optional<core::FelipPipeline> pipeline = DecodeSnapshotImpl(buffer);
-  if (!pipeline.has_value()) counters.malformed.Increment();
-  return pipeline;
+  if (!pipeline.has_value()) {
+    counters.malformed.Increment();
+    return Malformed("malformed snapshot frame");
+  }
+  return *std::move(pipeline);
 }
 
-bool SaveSnapshot(const core::FelipPipeline& pipeline,
-                  const std::vector<data::AttributeInfo>& schema,
-                  uint64_t num_users, const core::FelipConfig& config,
-                  const std::string& path) {
+Status SaveSnapshot(const core::FelipPipeline& pipeline,
+                    const std::vector<data::AttributeInfo>& schema,
+                    uint64_t num_users, const core::FelipConfig& config,
+                    const std::string& path) {
   const std::vector<uint8_t> buffer =
       EncodeSnapshot(pipeline, schema, num_users, config);
   std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) return false;
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open snapshot file for writing");
+  }
   const size_t written =
       std::fwrite(buffer.data(), 1, buffer.size(), file);
   const bool ok = std::fclose(file) == 0 && written == buffer.size();
-  return ok;
+  if (!ok) return Status::Unavailable("short write saving snapshot");
+  return Status::Ok();
 }
 
-std::optional<core::FelipPipeline> LoadSnapshot(const std::string& path) {
+StatusOr<core::FelipPipeline> LoadSnapshot(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
+  if (file == nullptr) {
+    return Status::NotFound("cannot open snapshot file");
+  }
   std::vector<uint8_t> buffer;
   uint8_t chunk[4096];
   size_t got = 0;

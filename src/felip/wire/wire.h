@@ -8,18 +8,20 @@
 //
 // Encoding is a compact little-endian binary format with a 4-byte magic, a
 // format version, and an xxHash64 trailer so truncation and corruption are
-// detected instead of silently mis-decoded. Decoding never aborts: all
-// failures surface as std::nullopt (reports come from untrusted devices).
+// detected instead of silently mis-decoded (primitives shared with the
+// snapshot format live in felip/wire/framing.h). Decoding never aborts:
+// all failures surface as a non-ok Status (reports come from untrusted
+// devices), with kInvalidArgument for malformed or corrupt frames.
 
 #ifndef FELIP_WIRE_WIRE_H_
 #define FELIP_WIRE_WIRE_H_
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "felip/common/status.h"
 #include "felip/core/felip.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/protocol.h"
@@ -72,11 +74,11 @@ std::vector<uint8_t> EncodeReport(const ReportMessage& message);
 std::vector<uint8_t> EncodeReportBatch(
     const std::vector<ReportMessage>& reports);
 
-// --- Decoding (nullopt on any malformed input) ---
-std::optional<GridConfigMessage> DecodeGridConfig(
+// --- Decoding (kInvalidArgument on any malformed input) ---
+StatusOr<GridConfigMessage> DecodeGridConfig(
     const std::vector<uint8_t>& buffer);
-std::optional<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer);
-std::optional<std::vector<ReportMessage>> DecodeReportBatch(
+StatusOr<ReportMessage> DecodeReport(const std::vector<uint8_t>& buffer);
+StatusOr<std::vector<ReportMessage>> DecodeReportBatch(
     const std::vector<uint8_t>& buffer);
 
 // --- Query frames (the networked query service, felip/svc) ---
@@ -90,20 +92,22 @@ std::optional<std::vector<ReportMessage>> DecodeReportBatch(
 // query::Query values without tripping their constructor checks; *domain*
 // validation needs a schema and happens in the service layer
 // (query::ValidateQuery).
-
-enum class QueryResponseStatus : uint8_t {
-  kOk = 1,        // answers[i] answers queries[i]
-  kInvalid = 2,   // a query failed validation; see bad_query
-  kNotReady = 3,  // the serving pipeline has not finalized yet
-};
+//
+// The response carries a StatusCode instead of a bespoke enum. Only three
+// codes are representable on the wire:
+//   kOk                 -> answers[i] answers queries[i]
+//   kInvalidArgument    -> a query failed validation; see bad_query
+//   kFailedPrecondition -> the serving pipeline is not queryable yet
+// EncodeQueryResponse FELIP_CHECKs the code is one of these; decode
+// rejects any other byte as malformed.
 
 // bad_query value when no single query can be blamed (e.g. the batch
 // frame itself was structurally undecodable).
 inline constexpr uint32_t kBadQueryNone = 0xffffffffu;
 
 struct QueryResponseMessage {
-  QueryResponseStatus status = QueryResponseStatus::kInvalid;
-  uint32_t bad_query = kBadQueryNone;  // meaningful for kInvalid
+  StatusCode status = StatusCode::kInvalidArgument;
+  uint32_t bad_query = kBadQueryNone;  // meaningful for kInvalidArgument
   // Echo of the request frame's checksum trailer so a client can never
   // pair a stale response with the wrong request (mirrors svc::Ack).
   uint64_t request_checksum = 0;
@@ -115,11 +119,11 @@ struct QueryResponseMessage {
 
 std::vector<uint8_t> EncodeQueryBatch(
     const std::vector<query::Query>& queries);
-std::optional<std::vector<query::Query>> DecodeQueryBatch(
+StatusOr<std::vector<query::Query>> DecodeQueryBatch(
     const std::vector<uint8_t>& buffer);
 
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& message);
-std::optional<QueryResponseMessage> DecodeQueryResponse(
+StatusOr<QueryResponseMessage> DecodeQueryResponse(
     const std::vector<uint8_t>& buffer);
 
 // --- Sharded batch decoding ---
@@ -127,9 +131,9 @@ std::optional<QueryResponseMessage> DecodeQueryResponse(
 // DecodeReportBatch materializes every report before the caller can
 // aggregate any of them. The sharded variant instead validates the whole
 // batch up front (envelope, checksum, and every record boundary — any
-// malformed input returns nullopt before the sink sees a single report),
-// then decodes fixed shards of records concurrently, handing each report
-// to `sink(shard_index, report_index, message)` as it is decoded — no
+// malformed input fails before the sink sees a single report), then
+// decodes fixed shards of records concurrently, handing each report to
+// `sink(shard_index, report_index, message)` as it is decoded — no
 // intermediate vector of all decoded reports exists.
 //
 // Shard boundaries depend only on the report count (never on
@@ -140,7 +144,7 @@ std::optional<QueryResponseMessage> DecodeQueryResponse(
 // thread-count-independent results. With thread_count == 1 the sink runs
 // entirely on the calling thread in increasing report_index order.
 // Returns the report count.
-std::optional<size_t> DecodeReportBatchSharded(
+StatusOr<size_t> DecodeReportBatchSharded(
     const std::vector<uint8_t>& buffer,
     const std::function<void(size_t shard_index, size_t report_index,
                              ReportMessage&& message)>& sink,
@@ -156,32 +160,39 @@ GridConfigMessage MakeGridConfig(const core::FelipPipeline& pipeline,
                                  uint32_t grid_index, double epsilon,
                                  const fo::OlhOptions& olh_options);
 
-// --- Aggregator snapshots ---
+// --- Aggregator snapshots (legacy single-frame format) ---
 //
 // A snapshot persists a finalized pipeline's estimated grid frequencies
 // plus everything needed to re-plan the identical grid layout (schema,
 // population size, and the layout-affecting config fields). Response
 // matrices are derived state and are rebuilt on load. The file uses the
 // same checksummed envelope as the other wire messages.
+//
+// This format only captures a *queryable* pipeline and omits config
+// fields that do not affect layout (OLH pool options, lambda threshold).
+// The crash-safe sectioned format in felip/snapshot supersedes it for
+// full pipeline state (including mid-collection accumulators); these
+// entry points remain for published snapshot files and simple workflows.
 
-// Serializes `pipeline` (must be finalized). `schema` and `config` must be
+// Serializes `pipeline` (must be queryable). `schema` and `config` must be
 // the ones the pipeline was built with.
 std::vector<uint8_t> EncodeSnapshot(
     const core::FelipPipeline& pipeline,
     const std::vector<data::AttributeInfo>& schema, uint64_t num_users,
     const core::FelipConfig& config);
 
-// Rebuilds a finalized pipeline from an encoded snapshot; nullopt on any
-// malformed input.
-std::optional<core::FelipPipeline> DecodeSnapshot(
+// Rebuilds a queryable pipeline from an encoded snapshot; kInvalidArgument
+// on any malformed input.
+StatusOr<core::FelipPipeline> DecodeSnapshot(
     const std::vector<uint8_t>& buffer);
 
-// File convenience wrappers. SaveSnapshot returns false on I/O failure.
-bool SaveSnapshot(const core::FelipPipeline& pipeline,
-                  const std::vector<data::AttributeInfo>& schema,
-                  uint64_t num_users, const core::FelipConfig& config,
-                  const std::string& path);
-std::optional<core::FelipPipeline> LoadSnapshot(const std::string& path);
+// File convenience wrappers. SaveSnapshot returns kUnavailable on I/O
+// failure; LoadSnapshot returns kNotFound when the file cannot be opened.
+Status SaveSnapshot(const core::FelipPipeline& pipeline,
+                    const std::vector<data::AttributeInfo>& schema,
+                    uint64_t num_users, const core::FelipConfig& config,
+                    const std::string& path);
+StatusOr<core::FelipPipeline> LoadSnapshot(const std::string& path);
 
 }  // namespace felip::wire
 

@@ -1,0 +1,154 @@
+// felip::Status / StatusOr contract: the conventions every service and
+// wire API relies on (codes compare, messages document, retryability is a
+// property of the code, StatusOr mirrors optional's observers).
+
+#include "felip/common/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace felip {
+namespace {
+
+TEST(StatusTest, DefaultIsOkWithNoMessage) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad magic");
+}
+
+TEST(StatusTest, EqualityComparesCodesNotMessages) {
+  EXPECT_EQ(Status::DataLoss("checksum mismatch"),
+            Status::DataLoss("truncated section"));
+  EXPECT_NE(Status::DataLoss("checksum mismatch"),
+            Status::Unavailable("checksum mismatch"));
+}
+
+TEST(StatusTest, EveryCodeHasAStableName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "invalid-argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "not-found");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAlreadyExists), "already-exists");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "failed-precondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data-loss");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusTest, RetryabilityIsAPropertyOfTheCode) {
+  // Retryable: a fresh attempt can succeed with nothing changed.
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDataLoss));
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  // Terminal: resending identical input cannot help (or already worked).
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+}
+
+TEST(StatusOrTest, HoldsValueAndMirrorsOptionalObservers) {
+  StatusOr<std::string> s(std::string("hello"));
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "hello");
+  EXPECT_EQ(s->size(), 5u);
+  EXPECT_EQ(s.value(), "hello");
+  EXPECT_EQ(s.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, HoldsErrorStatus) {
+  const StatusOr<int> s = Status::NotFound("no snapshot in the store");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyValues) {
+  // FelipPipeline is move-only and non-default-constructible; unique_ptr
+  // stands in for that shape here.
+  StatusOr<std::unique_ptr<int>> s(std::make_unique<int>(42));
+  ASSERT_TRUE(s.ok());
+  const std::unique_ptr<int> owned = std::move(s).value();
+  EXPECT_EQ(*owned, 42);
+}
+
+TEST(StatusOrDeathTest, ValueAccessOnErrorAborts) {
+  const StatusOr<int> s = Status::Unavailable("peer gone");
+  EXPECT_DEATH((void)s.value(), "value\\(\\) on an error StatusOr");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH((StatusOr<int>(Status::Ok())),
+               "StatusOr constructed from kOk without a value");
+}
+
+TEST(StatusDeathTest, OkWithMessageAborts) {
+  EXPECT_DEATH((Status(StatusCode::kOk, "should not carry this")),
+               "kOk must not carry a message");
+}
+
+namespace macros {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative input");
+  return Status::Ok();
+}
+
+Status Chained(int x, int* observed) {
+  FELIP_RETURN_IF_ERROR(FailWhenNegative(x));
+  *observed = x;
+  return Status::Ok();
+}
+
+StatusOr<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative input");
+  return 2 * x;
+}
+
+StatusOr<int> Quadrupled(int x) {
+  FELIP_ASSIGN_OR_RETURN(const int twice, Doubled(x));
+  return 2 * twice;
+}
+
+}  // namespace macros
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesAndFallsThrough) {
+  int observed = 0;
+  EXPECT_TRUE(macros::Chained(7, &observed).ok());
+  EXPECT_EQ(observed, 7);
+  const Status failed = macros::Chained(-1, &observed);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(observed, 7);  // body after the macro never ran
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  const StatusOr<int> four = macros::Quadrupled(1);
+  ASSERT_TRUE(four.ok());
+  EXPECT_EQ(*four, 4);
+  EXPECT_EQ(macros::Quadrupled(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace felip

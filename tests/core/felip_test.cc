@@ -228,14 +228,14 @@ TEST(FelipPipelineDeathTest, AnswerBeforeFinalizeAborts) {
   const data::Dataset ds = data::MakeUniform(1000, 2, 0, 16, 2, 11);
   const FelipPipeline pipeline(ds.attributes(), ds.num_rows(), FastConfig());
   const query::Query q({{.attr = 0, .op = query::Op::kEquals, .lo = 1}});
-  EXPECT_DEATH(pipeline.AnswerQuery(q), "Finalize");
+  EXPECT_DEATH(pipeline.AnswerQuery(q), "lifecycle violation");
 }
 
 TEST(FelipPipelineDeathTest, DoubleCollectAborts) {
   const data::Dataset ds = data::MakeUniform(1000, 2, 0, 16, 2, 12);
   FelipPipeline pipeline(ds.attributes(), ds.num_rows(), FastConfig());
   pipeline.Collect(ds);
-  EXPECT_DEATH(pipeline.Collect(ds), "twice");
+  EXPECT_DEATH(pipeline.Collect(ds), "lifecycle violation");
 }
 
 TEST(RunFelipTest, OneCallConvenience) {

@@ -99,7 +99,7 @@ TEST(MarginalReleaseDeathTest, RequiresDistinctAttributes) {
 TEST(MarginalReleaseDeathTest, RequiresFinalize) {
   const data::Dataset ds = data::MakeUniform(2000, 2, 0, 8, 2, 6);
   const FelipPipeline pipeline(ds.attributes(), ds.num_rows(), FastConfig());
-  EXPECT_DEATH(pipeline.EstimateMarginal(0), "Finalize");
+  EXPECT_DEATH(pipeline.EstimateMarginal(0), "lifecycle violation");
 }
 
 }  // namespace

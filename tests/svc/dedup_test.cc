@@ -1,0 +1,118 @@
+// DedupWindow: bounded idempotency with deterministic FIFO eviction. The
+// load-bearing properties are (1) a key inside the window can never be
+// re-admitted, (2) eviction order is the admission order — never hash
+// iteration order — so two servers fed the same sequence hold identical
+// windows, and (3) Keys() round-trips through a snapshot preserving that
+// order.
+
+#include "felip/svc/dedup.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace felip::svc {
+namespace {
+
+TEST(DedupWindowTest, InsertAdmitsOnceAndRejectsDuplicates) {
+  DedupWindow window(8);
+  EXPECT_TRUE(window.Insert(42));
+  EXPECT_FALSE(window.Insert(42));
+  EXPECT_TRUE(window.Contains(42));
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.evictions(), 0u);
+}
+
+TEST(DedupWindowTest, DefaultCapacityIsLarge) {
+  const DedupWindow window;
+  EXPECT_EQ(window.capacity(), kDefaultDedupCapacity);
+  EXPECT_EQ(kDefaultDedupCapacity, 1u << 20);
+}
+
+TEST(DedupWindowTest, FullWindowEvictsOldestFirst) {
+  DedupWindow window(3);
+  EXPECT_TRUE(window.Insert(1));
+  EXPECT_TRUE(window.Insert(2));
+  EXPECT_TRUE(window.Insert(3));
+  EXPECT_EQ(window.size(), 3u);
+
+  // Admitting a fourth key evicts key 1 — the oldest — and nothing else.
+  EXPECT_TRUE(window.Insert(4));
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.evictions(), 1u);
+  EXPECT_FALSE(window.Contains(1));
+  EXPECT_TRUE(window.Contains(2));
+  EXPECT_TRUE(window.Contains(3));
+  EXPECT_TRUE(window.Contains(4));
+
+  // The evicted key's resend is a fresh admission (narrowed horizon, not
+  // corruption), which in turn evicts key 2.
+  EXPECT_TRUE(window.Insert(1));
+  EXPECT_FALSE(window.Contains(2));
+}
+
+TEST(DedupWindowTest, DuplicateInsertDoesNotReorderOrEvict) {
+  DedupWindow window(2);
+  EXPECT_TRUE(window.Insert(10));
+  EXPECT_TRUE(window.Insert(20));
+  // Re-inserting the oldest key is rejected and must NOT refresh its
+  // position: 10 is still the next eviction victim.
+  EXPECT_FALSE(window.Insert(10));
+  EXPECT_TRUE(window.Insert(30));
+  EXPECT_FALSE(window.Contains(10));
+  EXPECT_TRUE(window.Contains(20));
+  EXPECT_TRUE(window.Contains(30));
+}
+
+TEST(DedupWindowTest, KeysReturnsAdmissionOrderOldestFirst) {
+  DedupWindow window(4);
+  // Keys chosen to collide-or-not arbitrarily in a hash set; the output
+  // order must be the admission order regardless.
+  window.Insert(900);
+  window.Insert(5);
+  window.Insert(77777);
+  EXPECT_EQ(window.Keys(), (std::vector<uint64_t>{900, 5, 77777}));
+
+  window.Insert(1);
+  window.Insert(2);  // evicts 900
+  EXPECT_EQ(window.Keys(), (std::vector<uint64_t>{5, 77777, 1, 2}));
+}
+
+TEST(DedupWindowTest, SnapshotRestoredWindowEvictsIdentically) {
+  // The recovery protocol replays Keys() into a fresh window; both
+  // windows must then behave identically for every future admission.
+  DedupWindow original(3);
+  original.Insert(11);
+  original.Insert(22);
+  original.Insert(33);
+
+  DedupWindow restored(3);
+  for (const uint64_t key : original.Keys()) restored.Insert(key);
+
+  const std::vector<uint64_t> future = {44, 22, 55, 11, 66};
+  for (const uint64_t key : future) {
+    EXPECT_EQ(original.Insert(key), restored.Insert(key)) << "key " << key;
+    EXPECT_EQ(original.Keys(), restored.Keys()) << "after key " << key;
+  }
+}
+
+TEST(DedupWindowTest, SameSequenceGivesSameWindowAcrossInstances) {
+  // Determinism across servers: the window state is a pure function of
+  // the admission sequence.
+  const std::vector<uint64_t> sequence = {7, 3, 7, 9, 1, 3, 12, 7, 100, 9};
+  DedupWindow a(4);
+  DedupWindow b(4);
+  for (const uint64_t key : sequence) {
+    EXPECT_EQ(a.Insert(key), b.Insert(key));
+  }
+  EXPECT_EQ(a.Keys(), b.Keys());
+  EXPECT_EQ(a.evictions(), b.evictions());
+}
+
+TEST(DedupWindowDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(DedupWindow(0), "capacity");
+}
+
+}  // namespace
+}  // namespace felip::svc

@@ -110,7 +110,7 @@ NetworkedRun RunNetworked(const data::Dataset& dataset,
 
   const std::optional<uint64_t> sent = simulator.Run(
       dataset, [&](const std::vector<wire::ReportMessage>& batch) {
-        return client.SendBatch(batch).ok;
+        return client.SendBatch(batch).ok();
       });
   EXPECT_TRUE(sent.has_value()) << "delivery failed after retries";
 

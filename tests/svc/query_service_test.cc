@@ -1,8 +1,8 @@
 // Networked query answering: loopback and TCP round trips must return
 // answers BIT-IDENTICAL to the in-process batch engine; schema-invalid
-// queries come back kInvalid with the offending index (never fatal —
+// queries come back kInvalidArgument with the offending index (never fatal —
 // network input is untrusted); a pipeline that has not finalized answers
-// kNotReady; and a fault-injection soak (drops, truncations, resets) must
+// kFailedPrecondition; and a fault-injection soak (drops, truncations, resets) must
 // still converge to the identical answers through the client's retry loop.
 
 #include "felip/svc/query_service.h"
@@ -70,8 +70,8 @@ const Fixture& GetFixture() {
 
 void ExpectBitIdenticalAnswers(const QueryOutcome& outcome,
                                const std::vector<double>& expected) {
-  ASSERT_TRUE(outcome.ok) << "attempts=" << outcome.attempts;
-  EXPECT_EQ(outcome.status, wire::QueryResponseStatus::kOk);
+  ASSERT_TRUE(outcome.ok()) << "attempts=" << outcome.attempts;
+  EXPECT_EQ(outcome.status.code(), StatusCode::kOk);
   ASSERT_EQ(outcome.answers.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     // EXPECT_EQ on doubles: the networked path must not perturb a single
@@ -129,7 +129,7 @@ TEST(QueryServiceTest, SerialAndPrefixServersAgree) {
   ASSERT_TRUE(prefix_server.Start());
   QueryClient prefix_client(&transport, prefix_server.endpoint());
   const QueryOutcome outcome = prefix_client.AnswerQueries(f.workload);
-  ASSERT_TRUE(outcome.ok);
+  ASSERT_TRUE(outcome.ok());
   ASSERT_EQ(outcome.answers.size(), f.expected.size());
   for (size_t i = 0; i < f.expected.size(); ++i) {
     EXPECT_NEAR(outcome.answers[i], f.expected[i], 1e-6) << "query " << i;
@@ -157,8 +157,8 @@ TEST(QueryServiceTest, OutOfDomainQueryRejectedWithIndex) {
                      .hi = kNumDomain}}),
   };
   const QueryOutcome outcome = client.AnswerQueries(batch);
-  EXPECT_FALSE(outcome.ok);
-  EXPECT_EQ(outcome.status, wire::QueryResponseStatus::kInvalid);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(outcome.bad_query, 2u);
   EXPECT_EQ(outcome.attempts, 1);  // kInvalid is terminal, never retried
   EXPECT_EQ(server.batches_invalid(), 1u);
@@ -167,8 +167,8 @@ TEST(QueryServiceTest, OutOfDomainQueryRejectedWithIndex) {
   // An attribute the schema does not have is rejected the same way.
   const QueryOutcome beyond = client.AnswerQueries({query::Query(
       {{.attr = kAttributes, .op = query::Op::kEquals, .lo = 0}})});
-  EXPECT_FALSE(beyond.ok);
-  EXPECT_EQ(beyond.status, wire::QueryResponseStatus::kInvalid);
+  EXPECT_FALSE(beyond.ok());
+  EXPECT_EQ(beyond.status.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(beyond.bad_query, 0u);
   server.Stop();
 }
@@ -186,8 +186,8 @@ TEST(QueryServiceTest, OversizedBatchRejectedWholesale) {
       5, query::Query(
              {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 5}}));
   const QueryOutcome outcome = client.AnswerQueries(batch);
-  EXPECT_FALSE(outcome.ok);
-  EXPECT_EQ(outcome.status, wire::QueryResponseStatus::kInvalid);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument);
   // No single query is to blame for an oversized frame.
   EXPECT_EQ(outcome.bad_query, wire::kBadQueryNone);
   server.Stop();
@@ -200,7 +200,7 @@ TEST(QueryServiceTest, EmptyBatchAnswersOkWithNoAnswers) {
   ASSERT_TRUE(server.Start());
   QueryClient client(&transport, server.endpoint());
   const QueryOutcome outcome = client.AnswerQueries({});
-  EXPECT_TRUE(outcome.ok);
+  EXPECT_TRUE(outcome.ok());
   EXPECT_TRUE(outcome.answers.empty());
   server.Stop();
 }
@@ -221,8 +221,8 @@ TEST(QueryServiceTest, UnfinalizedPipelineAnswersNotReady) {
   client_options.max_attempts = 3;
   QueryClient client(&transport, server.endpoint(), client_options);
   const QueryOutcome outcome = client.AnswerQueries(f.workload);
-  EXPECT_FALSE(outcome.ok);
-  EXPECT_EQ(outcome.status, wire::QueryResponseStatus::kNotReady);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(outcome.attempts, 3);
   EXPECT_GE(server.batches_not_ready(), 3u);
   server.Stop();
@@ -265,7 +265,7 @@ TEST(QueryServiceTest, FaultSoakConvergesToIdenticalAnswers) {
     const std::vector<query::Query> batch(f.workload.begin() + begin,
                                           f.workload.begin() + end);
     const QueryOutcome outcome = faulty_client.AnswerQueries(batch);
-    ASSERT_TRUE(outcome.ok)
+    ASSERT_TRUE(outcome.ok())
         << "batch at " << begin << " attempts=" << outcome.attempts;
     ASSERT_EQ(outcome.answers.size(), end - begin);
     for (size_t i = 0; i < outcome.answers.size(); ++i) {

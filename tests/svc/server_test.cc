@@ -92,7 +92,9 @@ std::optional<Ack> RoundTrip(FrameConnection* connection,
   if (connection->RecvFrame(&response, 2000) != RecvStatus::kOk) {
     return std::nullopt;
   }
-  return DecodeAck(response);
+  const StatusOr<Ack> ack = DecodeAck(response);
+  if (!ack.ok()) return std::nullopt;
+  return *ack;
 }
 
 TEST(IngestServerTest, ClientDeliversBatchesAndServerDrainsThem) {
@@ -104,7 +106,7 @@ TEST(IngestServerTest, ClientDeliversBatchesAndServerDrainsThem) {
   IngestClient client(&transport, server.endpoint());
   for (int b = 0; b < 5; ++b) {
     const SendOutcome outcome = client.SendBatch(GrrBatch(b * 100, 10));
-    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.ok());
     EXPECT_EQ(outcome.attempts, 1);
     EXPECT_FALSE(outcome.duplicate);
   }
@@ -135,7 +137,7 @@ TEST(IngestServerTest, ResendingTheSameBatchAcksDuplicate) {
   ASSERT_NE(connection, nullptr);
   const std::optional<Ack> first = RoundTrip(connection.get(), frame);
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->status, AckStatus::kAccepted);
+  EXPECT_EQ(first->status, StatusCode::kOk);
   EXPECT_EQ(first->batch_checksum, *checksum);
 
   // The idempotent-resend path: same frame again, even after the first
@@ -143,7 +145,7 @@ TEST(IngestServerTest, ResendingTheSameBatchAcksDuplicate) {
   ASSERT_TRUE(server.WaitForReports(8, 2000));
   const std::optional<Ack> second = RoundTrip(connection.get(), frame);
   ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->status, AckStatus::kDuplicate);
+  EXPECT_EQ(second->status, StatusCode::kAlreadyExists);
   EXPECT_EQ(second->batch_checksum, *checksum);
 
   server.Stop();
@@ -170,7 +172,7 @@ TEST(IngestServerTest, FullQueueAcksRetryLaterAndAcceptsTheResend) {
   const std::optional<Ack> a1 =
       RoundTrip(connection.get(), wire::EncodeReportBatch(GrrBatch(0, 4)));
   ASSERT_TRUE(a1.has_value());
-  EXPECT_EQ(a1->status, AckStatus::kAccepted);
+  EXPECT_EQ(a1->status, StatusCode::kOk);
   // Wait until the worker has popped batch #1 (frees a queue slot and
   // blocks in the sink), then fill the slot with batch #2.
   const auto deadline =
@@ -180,11 +182,11 @@ TEST(IngestServerTest, FullQueueAcksRetryLaterAndAcceptsTheResend) {
     a2 = RoundTrip(connection.get(),
                    wire::EncodeReportBatch(GrrBatch(100, 4)));
     ASSERT_TRUE(a2.has_value());
-    if (a2->status == AckStatus::kAccepted) break;
+    if (a2->status == StatusCode::kOk) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_TRUE(a2.has_value());
-  ASSERT_EQ(a2->status, AckStatus::kAccepted);
+  ASSERT_EQ(a2->status, StatusCode::kOk);
 
   const std::vector<uint8_t> third =
       wire::EncodeReportBatch(GrrBatch(200, 4));
@@ -195,10 +197,10 @@ TEST(IngestServerTest, FullQueueAcksRetryLaterAndAcceptsTheResend) {
   for (int i = 0; i < 50; ++i) {
     a3 = RoundTrip(connection.get(), third);
     ASSERT_TRUE(a3.has_value());
-    if (a3->status == AckStatus::kRetryLater) break;
+    if (a3->status == StatusCode::kResourceExhausted) break;
   }
   ASSERT_TRUE(a3.has_value());
-  ASSERT_EQ(a3->status, AckStatus::kRetryLater);
+  ASSERT_EQ(a3->status, StatusCode::kResourceExhausted);
   EXPECT_EQ(a3->retry_after_ms, 7u);
   EXPECT_GE(server.batches_rejected(), 1u);
 
@@ -209,12 +211,12 @@ TEST(IngestServerTest, FullQueueAcksRetryLaterAndAcceptsTheResend) {
   for (int i = 0; i < 200; ++i) {
     resend = RoundTrip(connection.get(), third);
     ASSERT_TRUE(resend.has_value());
-    if (resend->status != AckStatus::kRetryLater) break;
+    if (resend->status != StatusCode::kResourceExhausted) break;
     std::this_thread::sleep_for(
         std::chrono::milliseconds(resend->retry_after_ms));
   }
   ASSERT_TRUE(resend.has_value());
-  EXPECT_EQ(resend->status, AckStatus::kAccepted);
+  EXPECT_EQ(resend->status, StatusCode::kOk);
 
   ASSERT_TRUE(server.WaitForReports(12, 2000));
   server.Stop();
@@ -234,13 +236,13 @@ TEST(IngestServerTest, CorruptedFrameAcksMalformedAndIsNeverCounted) {
   ASSERT_NE(connection, nullptr);
   const std::optional<Ack> ack = RoundTrip(connection.get(), frame);
   ASSERT_TRUE(ack.has_value());
-  EXPECT_EQ(ack->status, AckStatus::kMalformed);
+  EXPECT_EQ(ack->status, StatusCode::kDataLoss);
 
   // Truncated-below-trailer frames are malformed too.
   const std::optional<Ack> tiny =
       RoundTrip(connection.get(), std::vector<uint8_t>{1, 2, 3});
   ASSERT_TRUE(tiny.has_value());
-  EXPECT_EQ(tiny->status, AckStatus::kMalformed);
+  EXPECT_EQ(tiny->status, StatusCode::kDataLoss);
 
   server.Stop();
   EXPECT_EQ(server.batches_malformed(), 2u);
@@ -264,7 +266,7 @@ TEST(IngestServerTest, ChecksumValidButUndecodableBatchIsCountedNotSunk) {
   ASSERT_NE(connection, nullptr);
   const std::optional<Ack> ack = RoundTrip(connection.get(), frame);
   ASSERT_TRUE(ack.has_value());
-  EXPECT_EQ(ack->status, AckStatus::kAccepted);
+  EXPECT_EQ(ack->status, StatusCode::kOk);
 
   server.Stop();  // drains the queue
   EXPECT_EQ(server.batches_undecodable(), 1u);
@@ -279,7 +281,7 @@ TEST(IngestServerTest, WaitForReportsTimesOutWhenShortOfCount) {
   ASSERT_TRUE(server.Start());
 
   IngestClient client(&transport, server.endpoint());
-  EXPECT_TRUE(client.SendBatch(GrrBatch(0, 5)).ok);
+  EXPECT_TRUE(client.SendBatch(GrrBatch(0, 5)).ok());
   EXPECT_TRUE(server.WaitForReports(5, 2000));
   EXPECT_FALSE(server.WaitForReports(6, 50));
   server.Stop();
@@ -297,7 +299,7 @@ TEST(IngestServerTest, StopDrainsEverythingAlreadyAccepted) {
   IngestClient client(&transport, server.endpoint());
   constexpr int kBatches = 32;
   for (int b = 0; b < kBatches; ++b) {
-    ASSERT_TRUE(client.SendBatch(GrrBatch(b * 1000, 16)).ok);
+    ASSERT_TRUE(client.SendBatch(GrrBatch(b * 1000, 16)).ok());
   }
   // No WaitForReports: Stop() itself must guarantee the drain.
   server.Stop();
@@ -313,7 +315,7 @@ TEST(IngestClientTest, GivesUpAfterMaxAttemptsAgainstDeadEndpoint) {
   options.response_timeout_ms = 20;
   IngestClient client(&transport, "nowhere", options);
   const SendOutcome outcome = client.SendBatch(GrrBatch(0, 2));
-  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.attempts, 3);
 }
 

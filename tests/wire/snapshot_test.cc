@@ -65,7 +65,8 @@ TEST(SnapshotTest, FileRoundTrip) {
   const Fixture f = MakeFixture();
   const std::string path = ::testing::TempDir() + "/felip_snapshot.bin";
   ASSERT_TRUE(SaveSnapshot(f.pipeline, f.dataset.attributes(),
-                           f.dataset.num_rows(), f.config, path));
+                           f.dataset.num_rows(), f.config, path)
+                  .ok());
   const auto restored = LoadSnapshot(path);
   ASSERT_TRUE(restored.has_value());
   const query::Query q({{.attr = 0, .op = query::Op::kBetween, .lo = 4,

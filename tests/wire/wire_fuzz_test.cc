@@ -1,5 +1,5 @@
-// Structured fuzzing of the wire codecs: every decoder must return
-// std::nullopt — never crash, never hand back garbage — for truncations at
+// Structured fuzzing of the wire codecs: every decoder must return a
+// non-ok Status — never crash, never hand back garbage — for truncations at
 // every byte offset, corrupted checksum trailers, bad magic/version/kind
 // bytes, oversized length prefixes, and random corruption. A Reseal()
 // helper recomputes the xxHash trailer after each mutation so the tests
@@ -82,16 +82,22 @@ std::vector<ReportMessage> SampleBatch() {
 
 TEST(WireFuzzTest, AllThreeMessageTypesRoundTrip) {
   const GridConfigMessage config = SampleGridConfig();
-  EXPECT_EQ(DecodeGridConfig(EncodeGridConfig(config)), config);
+  const auto config_rt = DecodeGridConfig(EncodeGridConfig(config));
+  ASSERT_TRUE(config_rt.ok()) << config_rt.status().ToString();
+  EXPECT_EQ(*config_rt, config);
 
   for (const fo::Protocol protocol :
        {fo::Protocol::kGrr, fo::Protocol::kOlh, fo::Protocol::kOue}) {
     const ReportMessage report = SampleReport(protocol);
-    EXPECT_EQ(DecodeReport(EncodeReport(report)), report);
+    const auto report_rt = DecodeReport(EncodeReport(report));
+    ASSERT_TRUE(report_rt.ok()) << report_rt.status().ToString();
+    EXPECT_EQ(*report_rt, report);
   }
 
   const std::vector<ReportMessage> batch = SampleBatch();
-  EXPECT_EQ(DecodeReportBatch(EncodeReportBatch(batch)), batch);
+  const auto batch_rt = DecodeReportBatch(EncodeReportBatch(batch));
+  ASSERT_TRUE(batch_rt.ok()) << batch_rt.status().ToString();
+  EXPECT_EQ(*batch_rt, batch);
 }
 
 TEST(WireFuzzTest, TruncationAtEveryByteOffsetFails) {
@@ -106,11 +112,11 @@ TEST(WireFuzzTest, TruncationAtEveryByteOffsetFails) {
     const std::vector<uint8_t>& full = encodings[e];
     for (size_t len = 0; len < full.size(); ++len) {
       const std::vector<uint8_t> prefix(full.begin(), full.begin() + len);
-      EXPECT_EQ(DecodeGridConfig(prefix), std::nullopt)
+      EXPECT_FALSE(DecodeGridConfig(prefix).ok())
           << "encoding " << e << " truncated to " << len;
-      EXPECT_EQ(DecodeReport(prefix), std::nullopt)
+      EXPECT_FALSE(DecodeReport(prefix).ok())
           << "encoding " << e << " truncated to " << len;
-      EXPECT_EQ(DecodeReportBatch(prefix), std::nullopt)
+      EXPECT_FALSE(DecodeReportBatch(prefix).ok())
           << "encoding " << e << " truncated to " << len;
     }
   }
@@ -121,7 +127,7 @@ TEST(WireFuzzTest, EveryCorruptedTrailerByteFails) {
   for (size_t i = full.size() - kTrailerSize; i < full.size(); ++i) {
     std::vector<uint8_t> corrupt = full;
     corrupt[i] ^= 0x5a;
-    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt) << "trailer byte " << i;
+    EXPECT_FALSE(DecodeReportBatch(corrupt).ok()) << "trailer byte " << i;
   }
 }
 
@@ -131,12 +137,12 @@ TEST(WireFuzzTest, BadMagicVersionOrKindFailsEvenResealed) {
     std::vector<uint8_t> corrupt = full;
     corrupt[i] ^= 0xff;
     Reseal(&corrupt);  // checksum is valid; header validation must reject
-    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt) << "header byte " << i;
+    EXPECT_FALSE(DecodeReportBatch(corrupt).ok()) << "header byte " << i;
   }
   // A valid message of one kind must not decode as another.
-  EXPECT_EQ(DecodeReportBatch(EncodeReport(SampleReport(fo::Protocol::kGrr))),
-            std::nullopt);
-  EXPECT_EQ(DecodeReport(EncodeGridConfig(SampleGridConfig())), std::nullopt);
+  EXPECT_FALSE(
+      DecodeReportBatch(EncodeReport(SampleReport(fo::Protocol::kGrr))).ok());
+  EXPECT_FALSE(DecodeReport(EncodeGridConfig(SampleGridConfig())).ok());
 }
 
 TEST(WireFuzzTest, OversizedBatchCountFailsEvenResealed) {
@@ -145,7 +151,7 @@ TEST(WireFuzzTest, OversizedBatchCountFailsEvenResealed) {
   const uint32_t absurd = 1u << 31;
   std::memcpy(corrupt.data() + kHeaderSize, &absurd, sizeof(absurd));
   Reseal(&corrupt);
-  EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt);
+  EXPECT_FALSE(DecodeReportBatch(corrupt).ok());
 }
 
 TEST(WireFuzzTest, CountJustOverRemainingBytesFailsBeforeAllocating) {
@@ -163,17 +169,17 @@ TEST(WireFuzzTest, CountJustOverRemainingBytesFailsBeforeAllocating) {
 
   const uint64_t malformed_before =
       obs::Registry::Default().CounterValue("felip_wire_malformed_total");
-  EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt);
-  EXPECT_EQ(DecodeReportBatchSharded(
-                corrupt, [](size_t, size_t, ReportMessage&&) {}, 1),
-            std::nullopt);
+  EXPECT_FALSE(DecodeReportBatch(corrupt).ok());
+  EXPECT_FALSE(DecodeReportBatchSharded(
+                   corrupt, [](size_t, size_t, ReportMessage&&) {}, 1)
+                   .ok());
   EXPECT_EQ(
       obs::Registry::Default().CounterValue("felip_wire_malformed_total"),
       malformed_before + 2);
 
   // The exact declared count must still decode — the cap is tight.
   std::vector<uint8_t> intact = EncodeReportBatch(SampleBatch());
-  EXPECT_NE(DecodeReportBatch(intact), std::nullopt);
+  EXPECT_TRUE(DecodeReportBatch(intact).ok());
 }
 
 TEST(WireFuzzTest, OversizedOueLengthPrefixFailsEvenResealed) {
@@ -184,7 +190,7 @@ TEST(WireFuzzTest, OversizedOueLengthPrefixFailsEvenResealed) {
   const uint32_t absurd = 0xffffffffu;
   std::memcpy(corrupt.data() + len_offset, &absurd, sizeof(absurd));
   Reseal(&corrupt);
-  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+  EXPECT_FALSE(DecodeReport(corrupt).ok());
 }
 
 TEST(WireFuzzTest, NonBinaryOueBitFailsEvenResealed) {
@@ -193,21 +199,21 @@ TEST(WireFuzzTest, NonBinaryOueBitFailsEvenResealed) {
   const size_t first_bit = kHeaderSize + 4 + 1 + 4;
   corrupt[first_bit] = 2;
   Reseal(&corrupt);
-  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+  EXPECT_FALSE(DecodeReport(corrupt).ok());
 
   // Same corruption inside a batch must also fail the sharded decoder's
   // validation pass.
   std::vector<uint8_t> batch = EncodeReportBatch({report});
   batch[kHeaderSize + 4 + 4 + 1 + 4] = 2;
   Reseal(&batch);
-  EXPECT_EQ(DecodeReportBatch(batch), std::nullopt);
+  EXPECT_FALSE(DecodeReportBatch(batch).ok());
 }
 
 TEST(WireFuzzTest, InvalidProtocolByteFailsEvenResealed) {
   std::vector<uint8_t> corrupt = EncodeReport(SampleReport(fo::Protocol::kGrr));
   corrupt[kHeaderSize + 4] = 0x7f;  // protocol byte
   Reseal(&corrupt);
-  EXPECT_EQ(DecodeReport(corrupt), std::nullopt);
+  EXPECT_FALSE(DecodeReport(corrupt).ok());
 }
 
 TEST(WireFuzzTest, RandomSingleByteCorruptionNeverDecodes) {
@@ -219,7 +225,7 @@ TEST(WireFuzzTest, RandomSingleByteCorruptionNeverDecodes) {
     const auto flip =
         static_cast<uint8_t>(1 + rng.UniformU64(255));  // nonzero xor
     corrupt[pos] ^= flip;
-    EXPECT_EQ(DecodeReportBatch(corrupt), std::nullopt)
+    EXPECT_FALSE(DecodeReportBatch(corrupt).ok())
         << "byte " << pos << " xor " << static_cast<int>(flip);
   }
 }
@@ -231,9 +237,9 @@ TEST(WireFuzzTest, RandomGarbageBuffersNeverDecode) {
     for (uint8_t& b : garbage) {
       b = static_cast<uint8_t>(rng.UniformU64(256));
     }
-    EXPECT_EQ(DecodeGridConfig(garbage), std::nullopt);
-    EXPECT_EQ(DecodeReport(garbage), std::nullopt);
-    EXPECT_EQ(DecodeReportBatch(garbage), std::nullopt);
+    EXPECT_FALSE(DecodeGridConfig(garbage).ok());
+    EXPECT_FALSE(DecodeReport(garbage).ok());
+    EXPECT_FALSE(DecodeReportBatch(garbage).ok());
   }
 }
 
@@ -305,7 +311,8 @@ TEST(WireShardedDecodeTest, ShardAndIndexMatchTheDocumentedBoundaries) {
         order[shard].push_back(index);
       },
       /*thread_count=*/1);
-  ASSERT_EQ(count, batch.size());
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, batch.size());
   for (size_t i = 0; i < seen.size(); ++i) {
     EXPECT_EQ(seen[i], 1u) << "report " << i;
   }
@@ -328,16 +335,14 @@ TEST(WireShardedDecodeTest, SinkNeverRunsOnMalformedInput) {
   // Truncations.
   for (size_t len = 0; len < valid.size(); ++len) {
     const std::vector<uint8_t> prefix(valid.begin(), valid.begin() + len);
-    EXPECT_EQ(DecodeReportBatchSharded(prefix, counting_sink, 1),
-              std::nullopt);
+    EXPECT_FALSE(DecodeReportBatchSharded(prefix, counting_sink, 1).ok());
   }
   // A structurally broken record behind a valid checksum: protocol byte of
   // the second report (after GRR record: grid 4 + proto 1 + value 8).
   std::vector<uint8_t> corrupt = valid;
   corrupt[kHeaderSize + 4 + 4 + 1 + 8 + 4] = 0x7f;
   Reseal(&corrupt);
-  EXPECT_EQ(DecodeReportBatchSharded(corrupt, counting_sink, 1),
-            std::nullopt);
+  EXPECT_FALSE(DecodeReportBatchSharded(corrupt, counting_sink, 1).ok());
   EXPECT_EQ(sink_calls, 0u);
 }
 

@@ -2,7 +2,7 @@
 // rejection. Decoded batches must be safe to answer — any frame whose
 // structure would trip query::Query's fatal constructor checks (bad op
 // tag, inverted BETWEEN, empty IN, duplicate attributes) has to come back
-// nullopt, including frames with *valid* checksums: the checksum
+// as a non-ok Status, including frames with *valid* checksums: the checksum
 // authenticates transport integrity, not sender honesty. Crafted frames
 // are built with the public kMagic/kVersion/kChecksumSalt constants.
 
@@ -131,7 +131,7 @@ TEST(WireQueryBatchTest, DetectsTruncation) {
 
 TEST(WireQueryBatchTest, RejectsWrongKind) {
   QueryResponseMessage response;
-  response.status = QueryResponseStatus::kNotReady;
+  response.status = StatusCode::kFailedPrecondition;
   EXPECT_FALSE(DecodeQueryBatch(EncodeQueryResponse(response)).has_value());
   EXPECT_FALSE(DecodeQueryResponse(EncodeQueryBatch(SampleBatch())).has_value());
 }
@@ -221,26 +221,32 @@ TEST(WireQueryBatchTest, RejectsTrailingGarbage) {
 
 TEST(WireQueryResponseTest, RoundTripsEveryStatus) {
   QueryResponseMessage ok;
-  ok.status = QueryResponseStatus::kOk;
+  ok.status = StatusCode::kOk;
   ok.bad_query = kBadQueryNone;
   ok.request_checksum = 0xfeedface12345678ull;
   ok.answers = {0.0, 0.25, 1.0};
-  EXPECT_EQ(DecodeQueryResponse(EncodeQueryResponse(ok)), ok);
+  const auto ok_rt = DecodeQueryResponse(EncodeQueryResponse(ok));
+  ASSERT_TRUE(ok_rt.ok()) << ok_rt.status().ToString();
+  EXPECT_EQ(*ok_rt, ok);
 
   QueryResponseMessage invalid;
-  invalid.status = QueryResponseStatus::kInvalid;
+  invalid.status = StatusCode::kInvalidArgument;
   invalid.bad_query = 17;
   invalid.request_checksum = 42;
-  EXPECT_EQ(DecodeQueryResponse(EncodeQueryResponse(invalid)), invalid);
+  const auto invalid_rt = DecodeQueryResponse(EncodeQueryResponse(invalid));
+  ASSERT_TRUE(invalid_rt.ok()) << invalid_rt.status().ToString();
+  EXPECT_EQ(*invalid_rt, invalid);
 
   QueryResponseMessage not_ready;
-  not_ready.status = QueryResponseStatus::kNotReady;
-  EXPECT_EQ(DecodeQueryResponse(EncodeQueryResponse(not_ready)), not_ready);
+  not_ready.status = StatusCode::kFailedPrecondition;
+  const auto not_ready_rt = DecodeQueryResponse(EncodeQueryResponse(not_ready));
+  ASSERT_TRUE(not_ready_rt.ok()) << not_ready_rt.status().ToString();
+  EXPECT_EQ(*not_ready_rt, not_ready);
 }
 
 TEST(WireQueryResponseTest, DetectsBitFlipsAndTruncation) {
   QueryResponseMessage m;
-  m.status = QueryResponseStatus::kOk;
+  m.status = StatusCode::kOk;
   m.answers = {0.5, 0.125};
   const std::vector<uint8_t> encoded = EncodeQueryResponse(m);
   for (size_t i = 0; i < encoded.size(); ++i) {
@@ -258,7 +264,7 @@ TEST(WireQueryResponseTest, DetectsBitFlipsAndTruncation) {
 
 TEST(WireQueryResponseTest, RejectsUnknownStatusWithValidChecksum) {
   QueryResponseMessage m;
-  m.status = QueryResponseStatus::kOk;
+  m.status = StatusCode::kOk;
   std::vector<uint8_t> frame = EncodeQueryResponse(m);
   for (const uint8_t status : {uint8_t{0}, uint8_t{4}, uint8_t{0xff}}) {
     std::vector<uint8_t> mutated = frame;
@@ -271,7 +277,7 @@ TEST(WireQueryResponseTest, RejectsUnknownStatusWithValidChecksum) {
 
 TEST(WireQueryResponseTest, RejectsNonFiniteAnswersWithValidChecksum) {
   QueryResponseMessage m;
-  m.status = QueryResponseStatus::kOk;
+  m.status = StatusCode::kOk;
   m.answers = {0.5};
   const std::vector<uint8_t> frame = EncodeQueryResponse(m);
   // The answer's 8 bytes sit between the count field and the trailer.
@@ -288,7 +294,7 @@ TEST(WireQueryResponseTest, RejectsNonFiniteAnswersWithValidChecksum) {
 
 TEST(WireQueryResponseTest, RejectsCountMismatch) {
   QueryResponseMessage m;
-  m.status = QueryResponseStatus::kOk;
+  m.status = StatusCode::kOk;
   m.answers = {0.5, 0.25};
   std::vector<uint8_t> frame = EncodeQueryResponse(m);
   // Claim three answers while carrying two.

@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
         const svc::SendOutcome outcome = client.SendBatch(batch);
         ++batches;
         if (outcome.duplicate) ++duplicates;
-        return outcome.ok;
+        return outcome.ok();
       });
   if (!sent.has_value()) {
     std::fprintf(stderr, "error: batch delivery failed after retries\n");
@@ -215,13 +215,12 @@ int main(int argc, char** argv) {
       const std::vector<query::Query> batch(workload.begin() + begin,
                                             workload.begin() + end);
       const svc::QueryOutcome outcome = query_client.AnswerQueries(batch);
-      if (!outcome.ok) {
+      if (!outcome.ok()) {
         std::fprintf(stderr,
                      "error: query batch at %zu failed after %d attempts "
-                     "(status=%u bad_query=%u)\n",
+                     "(%s, bad_query=%u)\n",
                      begin, outcome.attempts,
-                     static_cast<unsigned>(outcome.status),
-                     outcome.bad_query);
+                     outcome.status.ToString().c_str(), outcome.bad_query);
         return 1;
       }
       for (size_t q = 0; q < batch.size(); ++q) {

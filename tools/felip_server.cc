@@ -12,13 +12,18 @@
 //   felip_client --endpoint=127.0.0.1:7071 --users=50000
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "felip/common/flags.h"
+#include "felip/common/hash.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/obs/metrics.h"
+#include "felip/snapshot/checkpoint.h"
+#include "felip/snapshot/store.h"
 #include "felip/svc/query_service.h"
 #include "felip/svc/server.h"
 #include "felip/svc/sink.h"
@@ -52,6 +57,13 @@ void PrintUsage() {
       "1)\n"
       "  --query-timeout-ms=<int>  max wait for query batches (default "
       "60000)\n"
+      "  --snapshot-dir=<path>   checkpoint/recover pipeline state here\n"
+      "  --snapshot-interval=<int>  checkpoint every N drained batches "
+      "(default 8)\n"
+      "  --snapshot-interval-ms=<int>  also checkpoint every T ms (default "
+      "0 = off)\n"
+      "  --snapshot-keep=<int>   snapshots retained in rotation (default "
+      "3)\n"
       "  --metrics               dump observability metrics to stderr\n");
 }
 
@@ -82,6 +94,11 @@ int main(int argc, char** argv) {
   const uint64_t query_batches = flags.GetUint("query-batches", 1);
   const int query_timeout_ms =
       static_cast<int>(flags.GetInt("query-timeout-ms", 60000));
+  const std::string snapshot_dir = flags.GetString("snapshot-dir", "");
+  const uint64_t snapshot_interval = flags.GetUint("snapshot-interval", 8);
+  const uint64_t snapshot_interval_ms =
+      flags.GetUint("snapshot-interval-ms", 0);
+  const uint64_t snapshot_keep = flags.GetUint("snapshot-keep", 3);
   const bool dump_metrics = flags.GetBool("metrics", false);
 
   bool usage_error = false;
@@ -119,15 +136,61 @@ int main(int argc, char** argv) {
   config.epsilon = epsilon;
   config.seed = seed;
 
-  core::FelipPipeline pipeline(schema_source.attributes(), users, config);
-  svc::PipelineSink sink(&pipeline);
+  // Warm restart: adopt the newest verifiable snapshot when one exists.
+  // The snapshot must come from a server launched with the same planning
+  // flags — the recovered pipeline replaces the flags-derived plan.
+  std::unique_ptr<snapshot::SnapshotStore> store;
+  std::optional<core::FelipPipeline> pipeline;
+  std::vector<uint64_t> recovered_keys;
+  if (!snapshot_dir.empty()) {
+    store = std::make_unique<snapshot::SnapshotStore>(
+        snapshot_dir, static_cast<size_t>(snapshot_keep));
+    StatusOr<snapshot::Recovered> recovered =
+        snapshot::RecoverFromStore(*store);
+    if (recovered.ok() &&
+        recovered->state.pipeline.state() <= core::PipelineState::kCollecting) {
+      std::printf(
+          "recovered %llu reports from %s (%zu unusable snapshot(s) "
+          "skipped)\n",
+          static_cast<unsigned long long>(
+              recovered->state.pipeline.reports_ingested()),
+          recovered->path.c_str(), recovered->files_skipped);
+      pipeline.emplace(std::move(recovered->state.pipeline));
+      recovered_keys = std::move(recovered->state.dedup_keys);
+    } else if (recovered.ok()) {
+      std::fprintf(stderr,
+                   "warning: snapshot %s is past collection; starting a "
+                   "fresh round\n",
+                   recovered->path.c_str());
+    } else {
+      std::printf("no usable snapshot in %s (%s); starting fresh\n",
+                  snapshot_dir.c_str(),
+                  recovered.status().ToString().c_str());
+    }
+  }
+  if (!pipeline.has_value()) {
+    pipeline.emplace(schema_source.attributes(), users, config);
+  }
+  svc::PipelineSink sink(&*pipeline);
 
+  std::unique_ptr<snapshot::Checkpointer> checkpointer;
   svc::TcpTransport transport;
   svc::IngestServerOptions server_options;
   server_options.queue_capacity = static_cast<size_t>(queue_capacity);
   server_options.worker_threads = workers;
+  if (store != nullptr) {
+    checkpointer =
+        std::make_unique<snapshot::Checkpointer>(store.get(), &*pipeline);
+    server_options.checkpoint_every_batches = snapshot_interval;
+    server_options.checkpoint_every_ms = snapshot_interval_ms;
+    server_options.checkpoint =
+        [&checkpointer](std::span<const uint64_t> drained_keys) {
+          return checkpointer->Checkpoint(drained_keys);
+        };
+  }
   svc::IngestServer server(
       &transport, host + ":" + std::to_string(port), &sink, server_options);
+  server.PreseedDedup(recovered_keys);
   if (!server.Start()) {
     std::fprintf(stderr, "error: could not bind %s:%llu\n", host.c_str(),
                  static_cast<unsigned long long>(port));
@@ -135,11 +198,16 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on %s (%llu grids, expecting %llu reports)\n",
               server.endpoint().c_str(),
-              static_cast<unsigned long long>(pipeline.num_groups()),
+              static_cast<unsigned long long>(pipeline->num_groups()),
               static_cast<unsigned long long>(users));
   std::fflush(stdout);
 
-  const bool complete = server.WaitForReports(users, timeout_ms);
+  // A recovered pipeline already counts some of the population; this run
+  // only needs the remainder (clients resend everything, but resends of
+  // already-counted batches ack kAlreadyExists and never reach the sink).
+  const uint64_t already = pipeline->reports_ingested();
+  const uint64_t remaining = users > already ? users - already : 0;
+  const bool complete = server.WaitForReports(remaining, timeout_ms);
   server.Stop();
   sink.Finish();
   if (!complete) {
@@ -153,28 +221,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  pipeline.Finalize();
+  pipeline->Finalize();
   std::printf(
       "round complete: batches accepted=%llu duplicate=%llu "
-      "backpressured=%llu malformed=%llu; reports accepted=%llu "
-      "rejected=%llu\n",
+      "backpressured=%llu malformed=%llu checkpoints=%llu; reports "
+      "accepted=%llu rejected=%llu\n",
       static_cast<unsigned long long>(server.batches_accepted()),
       static_cast<unsigned long long>(server.batches_duplicate()),
       static_cast<unsigned long long>(server.batches_rejected()),
       static_cast<unsigned long long>(server.batches_malformed()),
+      static_cast<unsigned long long>(server.checkpoints_written()),
       static_cast<unsigned long long>(sink.accepted()),
       static_cast<unsigned long long>(sink.rejected()));
 
-  // A quick look at the estimates: attribute 0's marginal head.
-  const std::vector<double> marginal = pipeline.EstimateMarginal(0);
+  // A quick look at the estimates: attribute 0's marginal head (%.17g
+  // round-trips doubles exactly) plus an xxHash64 digest over every
+  // exported grid frequency, so the crash-recovery soak can compare a
+  // resumed round against an uninterrupted one bit for bit.
+  const std::vector<double> marginal = pipeline->EstimateMarginal(0);
   const size_t head = marginal.size() < 8 ? marginal.size() : 8;
   std::printf("attr0 marginal head:");
-  for (size_t v = 0; v < head; ++v) std::printf(" %.5f", marginal[v]);
+  for (size_t v = 0; v < head; ++v) std::printf(" %.17g", marginal[v]);
   std::printf("\n");
+  uint64_t digest = 0;
+  for (const std::vector<double>& grid : pipeline->ExportGridFrequencies()) {
+    digest =
+        XxHash64Bytes(grid.data(), grid.size() * sizeof(double), digest);
+  }
+  std::printf("grid frequencies xxh64=%016llx\n",
+              static_cast<unsigned long long>(digest));
 
   if (serve_queries) {
     svc::QueryServer query_server(
-        &transport, host + ":" + std::to_string(query_port), &pipeline);
+        &transport, host + ":" + std::to_string(query_port), &*pipeline);
     if (!query_server.Start()) {
       std::fprintf(stderr, "error: could not bind query endpoint %s:%llu\n",
                    host.c_str(), static_cast<unsigned long long>(query_port));
