@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_reporter.h"
 #include "felip/common/rng.h"
 #include "felip/fo/grr.h"
 #include "felip/fo/olh.h"
@@ -132,4 +133,12 @@ BENCHMARK(BM_PerturbOue);
 }  // namespace
 }  // namespace felip
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  felip::bench::BenchJsonReporter reporter(
+      "abl5_microbench", "domains=100,400,1600;fo_domains=64,256");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// BENCH_*.json emission for the perf_* google-benchmark binaries.
+//
+// BenchJsonReporter wraps ConsoleReporter: the human-readable table still
+// prints, and every per-iteration run is also collected into a
+// felip::eval::BenchReport written to BENCH_<name>.json on Finalize().
+// The destination directory comes from $FELIP_BENCH_JSON_DIR (default:
+// the working directory); $FELIP_GIT_SHA stamps the sha field.
+//
+// Usage, replacing benchmark::RunSpecifiedBenchmarks():
+//
+//   felip::bench::BenchJsonReporter reporter(
+//       "perf_query_engine", "users=1000000;queries=10000");
+//   benchmark::RunSpecifiedBenchmarks(&reporter);
+
+#ifndef FELIP_BENCH_BENCH_JSON_REPORTER_H_
+#define FELIP_BENCH_BENCH_JSON_REPORTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "felip/eval/bench_json.h"
+
+namespace felip::bench {
+
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  BenchJsonReporter(std::string_view bench_name, std::string_view workload)
+      : report_(eval::MakeBenchReport(bench_name)), workload_(workload) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      // Aggregate rows (mean/median/stddev under --benchmark_repetitions)
+      // would double-count; the trajectory keeps raw iterations only.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      eval::BenchRecord record;
+      record.op = run.benchmark_name();
+      record.workload = workload_;
+      record.ns_per_op = run.GetAdjustedRealTime() * TimeUnitToNs(run.time_unit);
+      record.iterations = static_cast<uint64_t>(run.iterations);
+      const double seconds_per_op = record.ns_per_op * 1e-9;
+      if (const auto it = run.counters.find("bytes_per_second");
+          it != run.counters.end()) {
+        record.bytes_per_op = it->second.value * seconds_per_op;
+      }
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        record.items_per_second = it->second.value;
+      }
+      report_.records.push_back(std::move(record));
+    }
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    const char* dir = std::getenv("FELIP_BENCH_JSON_DIR");
+    const std::string path = eval::BenchJsonPath(
+        (dir != nullptr && dir[0] != '\0') ? dir : ".", report_.name);
+    if (!eval::WriteBenchJsonFile(path, report_)) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(stderr, "bench_json: wrote %s (%zu records, dispatch=%s)\n",
+                 path.c_str(), report_.records.size(),
+                 report_.dispatch.c_str());
+  }
+
+ private:
+  static double TimeUnitToNs(benchmark::TimeUnit unit) {
+    switch (unit) {
+      case benchmark::kNanosecond:
+        return 1.0;
+      case benchmark::kMicrosecond:
+        return 1e3;
+      case benchmark::kMillisecond:
+        return 1e6;
+      case benchmark::kSecond:
+        return 1e9;
+    }
+    return 1.0;
+  }
+
+  eval::BenchReport report_;
+  std::string workload_;
+};
+
+}  // namespace felip::bench
+
+#endif  // FELIP_BENCH_BENCH_JSON_REPORTER_H_

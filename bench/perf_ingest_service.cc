@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json_reporter.h"
 #include "felip/svc/client.h"
 #include "felip/svc/loopback.h"
 #include "felip/svc/server.h"
@@ -126,7 +127,9 @@ BENCHMARK(BM_IngestTcp)->Arg(1)->Arg(2)->Arg(4)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  felip::bench::BenchJsonReporter reporter("perf_ingest_service",
+                                           "transport=loopback,tcp");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   felip::bench::DumpObsJsonIfRequested();
   return 0;

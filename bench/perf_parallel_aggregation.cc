@@ -6,7 +6,11 @@
 // configuration whose outputs were just proven equivalent.
 //
 // Record results with:
-//   ./bench/perf_parallel_aggregation | tee results/parallel_aggregation.txt
+//   FELIP_BENCH_JSON_DIR=results FELIP_GIT_SHA=$(git rev-parse --short HEAD) \
+//       ./bench/perf_parallel_aggregation
+// which writes the machine-readable results/BENCH_perf_parallel_aggregation.json
+// (ns/op, workload, SIMD dispatch level, sha); see docs/simd.md. The
+// committed results/parallel_aggregation.txt carries only seed-stable text.
 //
 // Parallel speedup only shows on multi-core hosts; on a single-core
 // container all thread counts collapse to serial throughput minus shard
@@ -20,7 +24,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json_reporter.h"
 #include "felip/common/rng.h"
+#include "felip/simd/dispatch.h"
 #include "felip/fo/grr.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/oue.h"
@@ -236,6 +242,7 @@ void VerifyDeterminismOrDie() {
   }
   std::printf("determinism: OLH estimates bit-identical to serial Add loop "
               "at 1/2/4/8 threads over %zu reports\n", kNumReports);
+  std::printf("simd dispatch: %s\n", simd::DescribeDispatch().c_str());
 }
 
 }  // namespace
@@ -245,7 +252,11 @@ int main(int argc, char** argv) {
   felip::VerifyDeterminismOrDie();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  felip::bench::BenchJsonReporter reporter(
+      "perf_parallel_aggregation",
+      "reports=1000000;domain=1024;pool=4096;oue_reports=200000;"
+      "oue_domain=128;per_user_reports=100000;per_user_domain=256");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   felip::bench::DumpObsJsonIfRequested();
   return 0;

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json_reporter.h"
 #include "felip/common/rng.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
@@ -79,7 +80,10 @@ BENCHMARK(BM_PipelineAnswerLambda)->Arg(2)->Arg(4)->Arg(6);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  felip::bench::BenchJsonReporter reporter(
+      "perf_pipeline_throughput",
+      "attributes=6;num_domain=100;cat_domain=8;populations=10k,100k,1M");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   felip::bench::DumpObsJsonIfRequested();
   return 0;

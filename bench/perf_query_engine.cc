@@ -17,12 +17,20 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json_reporter.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
+#include "felip/eval/harness.h"
 #include "felip/query/generator.h"
 
 namespace felip {
 namespace {
+
+// FELIP_BENCH_USERS / FELIP_BENCH_QUERIES shrink the fixture for smoke
+// runs (CI builds the bench and wants a fast emission, not a stable
+// number); the defaults reproduce the committed trajectory workload.
+uint64_t FixtureUsers() { return eval::BenchUsers(1000000); }
+uint32_t FixtureQueriesPerShape() { return eval::BenchQueries(5000); }
 
 struct Fixture {
   data::Dataset dataset;
@@ -37,7 +45,7 @@ struct Fixture {
 // numerical attributes.
 const Fixture& GetFixture() {
   static const Fixture* fixture = [] {
-    constexpr uint64_t kUsers = 1000000;
+    const uint64_t kUsers = FixtureUsers();
     constexpr uint32_t kAttributes = 6;
     constexpr uint64_t kSeed = 7;
     data::Dataset dataset =
@@ -54,7 +62,7 @@ const Fixture& GetFixture() {
     Rng rng(kSeed + 1);
     for (const double selectivity : {0.5, 1e-9}) {
       const auto generated = query::GenerateQueries(
-          dataset, 5000,
+          dataset, FixtureQueriesPerShape(),
           {.dimension = 2, .selectivity = selectivity, .range_only = true},
           rng);
       queries.insert(queries.end(), generated.begin(), generated.end());
@@ -139,7 +147,12 @@ BENCHMARK(BM_BatchPrefixAllCores)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  std::string workload = "users=" + std::to_string(felip::FixtureUsers()) +
+                         ";queries=" +
+                         std::to_string(2 * felip::FixtureQueriesPerShape()) +
+                         ";domain=4096";
+  felip::bench::BenchJsonReporter reporter("perf_query_engine", workload);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   felip::bench::DumpObsJsonIfRequested();
   return 0;

@@ -6,6 +6,8 @@
 #include "felip/common/parallel.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
 
 namespace felip::fo {
 
@@ -64,20 +66,23 @@ void GrrServer::AggregateReports(std::span<const uint64_t> reports,
   reports_total.Increment(reports.size());
   shard_gauge.Set(static_cast<double>(ReduceShardCount(reports.size())));
   const size_t domain = counts_.size();
+  const simd::Level level = simd::ActiveLevel();
   const std::vector<uint64_t> merged = ParallelReduce(
       reports.size(),
       [domain] { return std::vector<uint64_t>(domain, 0); },
       [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        // Validate first; the histogram kernel does not bounds-check.
         for (size_t i = begin; i < end; ++i) {
           FELIP_CHECK(reports[i] < acc.size());
-          ++acc[reports[i]];
         }
+        simd::HistogramU64(level, reports.data() + begin, end - begin,
+                           acc.data(), acc.size());
       },
-      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
-        for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+      [level](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        simd::AddU64(level, into.data(), from.data(), into.size());
       },
       thread_count);
-  for (size_t v = 0; v < domain; ++v) counts_[v] += merged[v];
+  simd::AddU64(level, counts_.data(), merged.data(), domain);
   num_reports_ += reports.size();
 }
 

@@ -8,6 +8,8 @@
 #include "felip/fo/protocol.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
 
 namespace felip::fo {
 
@@ -92,20 +94,27 @@ void OlhServer::AggregateReports(std::span<const OlhReport> reports,
   shard_gauge.Set(static_cast<double>(ReduceShardCount(reports.size())));
   if (options_.seed_pool_size > 0) {
     const size_t bins = pool_counts_.size();
+    const simd::Level level = simd::ActiveLevel();
     const std::vector<uint64_t> merged = ParallelReduce(
         reports.size(),
         [bins] { return std::vector<uint64_t>(bins, 0); },
         [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+          // Validate and flatten to histogram keys, then count via the
+          // dispatched kernel (lane-split for small K * g histograms).
+          std::vector<uint64_t> keys(end - begin);
           for (size_t i = begin; i < end; ++i) {
             const OlhReport& r = reports[i];
             FELIP_CHECK(r.hashed_report < g_);
             FELIP_CHECK_MSG(r.seed_index < options_.seed_pool_size,
                             "report missing pool index in pooled OLH mode");
-            ++acc[static_cast<size_t>(r.seed_index) * g_ + r.hashed_report];
+            keys[i - begin] =
+                static_cast<uint64_t>(r.seed_index) * g_ + r.hashed_report;
           }
+          simd::HistogramU64(level, keys.data(), keys.size(), acc.data(),
+                             acc.size());
         },
-        [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
-          for (size_t b = 0; b < into.size(); ++b) into[b] += from[b];
+        [level](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+          simd::AddU64(level, into.data(), from.data(), into.size());
         },
         thread_count);
     for (size_t b = 0; b < bins; ++b) {
@@ -140,11 +149,9 @@ void OlhServer::RestoreReports(std::vector<OlhReport> reports) {
 
 double OlhServer::SupportCount(uint64_t value) const {
   if (options_.seed_pool_size > 0) {
-    uint64_t support = 0;
-    for (uint32_t s = 0; s < options_.seed_pool_size; ++s) {
-      const uint32_t h = OlhHash(value, pool_seeds_[s], g_);
-      support += pool_counts_[static_cast<size_t>(s) * g_ + h];
-    }
+    const uint64_t support = simd::OlhPoolSupport(
+        simd::ActiveLevel(), value, pool_seeds_.data(), pool_seeds_.size(),
+        g_, pool_counts_.data());
     return static_cast<double>(support);
   }
   uint64_t support = 0;
@@ -168,19 +175,19 @@ std::vector<double> OlhServer::EstimateFrequencies(
     // Per-user mode: shard the O(n * |D|) support count over the reports.
     // Integer shard supports reduce to thread-count-independent totals.
     const uint64_t domain = domain_;
+    const simd::Level level = simd::ActiveLevel();
     const std::vector<uint64_t> support = ParallelReduce(
         reports_.size(),
         [domain] { return std::vector<uint64_t>(domain, 0); },
         [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
             const OlhReport& r = reports_[i];
-            for (uint64_t v = 0; v < domain; ++v) {
-              if (OlhHash(v, r.seed, g_) == r.hashed_report) ++acc[v];
-            }
+            simd::OlhSupportRange(level, r.seed, g_, r.hashed_report,
+                                  /*first_value=*/0, domain, acc.data());
           }
         },
-        [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
-          for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+        [level](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+          simd::AddU64(level, into.data(), from.data(), into.size());
         },
         thread_count);
     for (uint64_t v = 0; v < domain_; ++v) {

@@ -6,6 +6,8 @@
 #include "felip/common/parallel.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
 
 namespace felip::fo {
 
@@ -33,9 +35,8 @@ OueServer::OueServer(double epsilon, uint64_t domain) : counts_(domain, 0) {
 
 void OueServer::Add(const std::vector<uint8_t>& report) {
   FELIP_CHECK(report.size() == counts_.size());
-  for (size_t i = 0; i < report.size(); ++i) {
-    counts_[i] += report[i] != 0 ? 1 : 0;
-  }
+  simd::AccumulateNonzeroBytes(simd::ActiveLevel(), report.data(),
+                               report.size(), counts_.data());
   ++num_reports_;
 }
 
@@ -50,6 +51,7 @@ void OueServer::AggregateReports(
   reports_total.Increment(reports.size());
   shard_gauge.Set(static_cast<double>(ReduceShardCount(reports.size())));
   const size_t domain = counts_.size();
+  const simd::Level level = simd::ActiveLevel();
   const std::vector<uint64_t> merged = ParallelReduce(
       reports.size(),
       [domain] { return std::vector<uint64_t>(domain, 0); },
@@ -57,16 +59,15 @@ void OueServer::AggregateReports(
         for (size_t i = begin; i < end; ++i) {
           const std::vector<uint8_t>& bits = reports[i];
           FELIP_CHECK(bits.size() == acc.size());
-          for (size_t v = 0; v < bits.size(); ++v) {
-            acc[v] += bits[v] != 0 ? 1 : 0;
-          }
+          simd::AccumulateNonzeroBytes(level, bits.data(), bits.size(),
+                                       acc.data());
         }
       },
-      [](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
-        for (size_t v = 0; v < into.size(); ++v) into[v] += from[v];
+      [level](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        simd::AddU64(level, into.data(), from.data(), into.size());
       },
       thread_count);
-  for (size_t v = 0; v < domain; ++v) counts_[v] += merged[v];
+  simd::AddU64(level, counts_.data(), merged.data(), domain);
   num_reports_ += reports.size();
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "felip/common/check.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
 
 namespace felip::post {
 
@@ -157,24 +159,22 @@ ResponseMatrix ResponseMatrix::Build(const Grid2D& g2, const Grid1D* gx,
   const std::vector<Constraint> constraints =
       BuildConstraints(g2, gx, gy, m.bx_, m.by_);
 
+  const simd::Level level = simd::ActiveLevel();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     double total_change = 0.0;
     for (const Constraint& c : constraints) {
       double sum = 0.0;
       for (uint32_t i = c.x0; i < c.x1; ++i) {
         const double* row = &m.mass_[static_cast<size_t>(i) * nby];
-        for (uint32_t j = c.y0; j < c.y1; ++j) sum += row[j];
+        sum += simd::Sum(level, row + c.y0, c.y1 - c.y0);
       }
       if (sum <= 0.0) continue;  // Algorithm 3 line 8: skip S == 0
       const double scale = c.target / sum;
       if (scale == 1.0) continue;
       for (uint32_t i = c.x0; i < c.x1; ++i) {
         double* row = &m.mass_[static_cast<size_t>(i) * nby];
-        for (uint32_t j = c.y0; j < c.y1; ++j) {
-          const double updated = row[j] * scale;
-          total_change += std::fabs(updated - row[j]);
-          row[j] = updated;
-        }
+        total_change +=
+            simd::ScaleAbsDelta(level, row + c.y0, c.y1 - c.y0, scale);
       }
     }
     if (total_change < options.threshold) break;
@@ -183,65 +183,72 @@ ResponseMatrix ResponseMatrix::Build(const Grid2D& g2, const Grid1D* gx,
   return m;
 }
 
-double ResponseMatrix::Answer(const grid::AxisSelection& sel_x,
-                              const grid::AxisSelection& sel_y) const {
-  const auto nbx = static_cast<uint32_t>(bx_.size() - 1);
+double ResponseMatrix::ScanRect(const grid::AxisSelection& sel_x,
+                                const grid::AxisSelection& sel_y,
+                                uint32_t x0, uint32_t x1, uint32_t y0,
+                                uint32_t y1, QueryScratch* scratch) const {
   const auto nby = static_cast<uint32_t>(by_.size() - 1);
-  std::vector<double> cover_y(nby);
-  for (uint32_t j = 0; j < nby; ++j) {
-    cover_y[j] = sel_y.CoverageOfInterval(by_[j], by_[j + 1]);
+  const uint32_t ny = y1 - y0 + 1;
+  if (scratch->cover_y.size() < ny) scratch->cover_y.resize(ny);
+  if (scratch->cols_y.size() < ny) scratch->cols_y.resize(ny);
+  double* cover_y = scratch->cover_y.data();
+  uint32_t* cols_y = scratch->cols_y.data();
+  // Compact the nonzero-coverage columns. Both callers end up with the
+  // same (column, weight) sequence: blocks outside the touched interval
+  // have exactly-zero coverage and are dropped here either way.
+  size_t m = 0;
+  for (uint32_t j = 0; j < ny; ++j) {
+    const double w = sel_y.CoverageOfInterval(by_[y0 + j], by_[y0 + j + 1]);
+    if (w != 0.0) {
+      cover_y[m] = w;
+      cols_y[m] = y0 + j;
+      ++m;
+    }
   }
+  if (m == 0) return 0.0;
+  // Range selections compact to one contiguous column run, which the dot
+  // kernel can read straight out of the row; set selections gather first.
+  const bool contiguous = cols_y[m - 1] - cols_y[0] + 1 == m;
+  if (!contiguous && scratch->gathered.size() < m) {
+    scratch->gathered.resize(m);
+  }
+  const simd::Level level = simd::ActiveLevel();
   double total = 0.0;
-  for (uint32_t i = 0; i < nbx; ++i) {
+  for (uint32_t i = x0; i <= x1; ++i) {
     const double cx = sel_x.CoverageOfInterval(bx_[i], bx_[i + 1]);
     if (cx == 0.0) continue;
     const double* row = &mass_[static_cast<size_t>(i) * nby];
-    double row_sum = 0.0;
-    for (uint32_t j = 0; j < nby; ++j) {
-      if (cover_y[j] != 0.0) row_sum += row[j] * cover_y[j];
+    double row_sum;
+    if (contiguous) {
+      row_sum = simd::Dot(level, row + cols_y[0], cover_y, m);
+    } else {
+      double* gathered = scratch->gathered.data();
+      for (size_t k = 0; k < m; ++k) gathered[k] = row[cols_y[k]];
+      row_sum = simd::Dot(level, gathered, cover_y, m);
     }
     total += row_sum * cx;
   }
   return total;
 }
 
+double ResponseMatrix::Answer(const grid::AxisSelection& sel_x,
+                              const grid::AxisSelection& sel_y) const {
+  const auto nbx = static_cast<uint32_t>(bx_.size() - 1);
+  const auto nby = static_cast<uint32_t>(by_.size() - 1);
+  QueryScratch scratch;
+  return ScanRect(sel_x, sel_y, 0, nbx - 1, 0, nby - 1, &scratch);
+}
+
 double ResponseMatrix::AnswerExact(const grid::AxisSelection& sel_x,
                                    const grid::AxisSelection& sel_y,
                                    QueryScratch* scratch) const {
   FELIP_CHECK(scratch != nullptr);
-  const auto nby = static_cast<uint32_t>(by_.size() - 1);
   uint32_t x0 = 0, x1 = 0, y0 = 0, y1 = 0;
   if (!TouchedBlocks(bx_, domain_x_, sel_x, &x0, &x1) ||
       !TouchedBlocks(by_, domain_y_, sel_y, &y0, &y1)) {
     return 0.0;
   }
-  const uint32_t nx = x1 - x0 + 1;
-  const uint32_t ny = y1 - y0 + 1;
-  if (scratch->cover_x.size() < nx) scratch->cover_x.resize(nx);
-  if (scratch->cover_y.size() < ny) scratch->cover_y.resize(ny);
-  double* cover_x = scratch->cover_x.data();
-  double* cover_y = scratch->cover_y.data();
-  for (uint32_t i = 0; i < nx; ++i) {
-    cover_x[i] = sel_x.CoverageOfInterval(bx_[x0 + i], bx_[x0 + i + 1]);
-  }
-  for (uint32_t j = 0; j < ny; ++j) {
-    cover_y[j] = sel_y.CoverageOfInterval(by_[y0 + j], by_[y0 + j + 1]);
-  }
-  // Identical accumulation order to Answer(): ascending rows, ascending
-  // columns, zero-coverage blocks skipped — the skipped blocks contribute
-  // nothing to the scan either, so the sums are bit-identical.
-  double total = 0.0;
-  for (uint32_t i = 0; i < nx; ++i) {
-    const double cx = cover_x[i];
-    if (cx == 0.0) continue;
-    const double* row = &mass_[static_cast<size_t>(x0 + i) * nby];
-    double row_sum = 0.0;
-    for (uint32_t j = 0; j < ny; ++j) {
-      if (cover_y[j] != 0.0) row_sum += row[y0 + j] * cover_y[j];
-    }
-    total += row_sum * cx;
-  }
-  return total;
+  return ScanRect(sel_x, sel_y, x0, x1, y0, y1, scratch);
 }
 
 double ResponseMatrix::AnswerPrefix(const grid::AxisSelection& sel_x,
@@ -275,14 +282,20 @@ void ResponseMatrix::BuildPrefixSums() {
   const auto nby = static_cast<uint32_t>(by_.size() - 1);
   const size_t stride = nby + 1;
   prefix_.assign((static_cast<size_t>(nbx) + 1) * stride, 0.0);
+  // Two passes per row: the serial running row sum (a true dependency
+  // chain), then the element-wise vectorizable propagation from the
+  // previous prefix row. Same additions on the same values as the old
+  // interleaved loop, so the table is bit-identical — and row i + 1 is
+  // written in one streaming pass instead of strided row hops.
+  std::vector<double> running(stride);
+  const simd::Level level = simd::ActiveLevel();
   for (uint32_t i = 0; i < nbx; ++i) {
     const double* row = &mass_[static_cast<size_t>(i) * nby];
-    double row_sum = 0.0;
-    for (uint32_t j = 0; j < nby; ++j) {
-      row_sum += row[j];
-      prefix_[(static_cast<size_t>(i) + 1) * stride + (j + 1)] =
-          prefix_[static_cast<size_t>(i) * stride + (j + 1)] + row_sum;
-    }
+    running[0] = 0.0;
+    for (uint32_t j = 0; j < nby; ++j) running[j + 1] = running[j] + row[j];
+    simd::AddF64(level, &prefix_[static_cast<size_t>(i) * stride],
+                 running.data(),
+                 &prefix_[(static_cast<size_t>(i) + 1) * stride], stride);
   }
 }
 

@@ -30,8 +30,11 @@ namespace felip::post {
 // queried, so one scratch serves matrices of any size; the batch query
 // engine keeps one per worker thread.
 struct QueryScratch {
-  std::vector<double> cover_x;
+  // Compacted nonzero y-coverage weights, their block columns, and the
+  // gathered row values for non-contiguous (set-selection) columns.
   std::vector<double> cover_y;
+  std::vector<uint32_t> cols_y;
+  std::vector<double> gathered;
 };
 
 struct ResponseMatrixOptions {
@@ -106,6 +109,16 @@ class ResponseMatrix {
   static bool FromBlocks(Blocks blocks, ResponseMatrix* out);
 
  private:
+  // Shared scan over the inclusive block rectangle [x0, x1] x [y0, y1]:
+  // compacts the nonzero-coverage columns, then runs the dispatched dot
+  // kernel per surviving row. Answer() passes the full block rectangle and
+  // AnswerExact() the touched one; zero-coverage blocks contribute nothing
+  // either way, so both produce identical compacted inputs — and therefore
+  // bit-identical results — for every selection and dispatch level.
+  double ScanRect(const grid::AxisSelection& sel_x,
+                  const grid::AxisSelection& sel_y, uint32_t x0, uint32_t x1,
+                  uint32_t y0, uint32_t y1, QueryScratch* scratch) const;
+
   // Summed-area table over the block masses; built once per Build().
   void BuildPrefixSums();
   // Mass of the block rectangle [x0, x1) x [y0, y1).

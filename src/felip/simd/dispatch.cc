@@ -1,0 +1,153 @@
+#include "felip/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "felip/common/check.h"
+
+namespace felip::simd {
+
+namespace {
+
+// Sentinel for "no override active" in the atomic override slot.
+constexpr int kNoOverride = -1;
+
+std::atomic<int> g_override{kNoOverride};
+
+// Best compiled-in level this CPU can run, ignoring FELIP_SIMD.
+Level DetectBestLevel() {
+#if defined(FELIP_SIMD_HAS_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#if defined(FELIP_SIMD_HAS_NEON)
+  return Level::kNeon;
+#endif
+  return Level::kScalar;
+}
+
+struct Resolved {
+  Level level;
+  std::string how;
+};
+
+Resolved ResolveFromEnvironment() {
+  const char* env = std::getenv("FELIP_SIMD");
+  if (env == nullptr || env[0] == '\0') {
+    return {DetectBestLevel(), "auto-detected"};
+  }
+  Level requested;
+  if (!ParseLevel(env, &requested)) {
+    std::fprintf(stderr,
+                 "FELIP_SIMD=%s is not scalar|avx2|neon|auto; "
+                 "using auto-detection\n",
+                 env);
+    return {DetectBestLevel(), "auto-detected (bad FELIP_SIMD ignored)"};
+  }
+  if (!LevelSupported(requested)) {
+    std::fprintf(stderr,
+                 "FELIP_SIMD=%s requests a level this build/CPU cannot "
+                 "run; falling back to scalar\n",
+                 env);
+    return {Level::kScalar, std::string("scalar fallback (FELIP_SIMD=") +
+                                env + " unavailable)"};
+  }
+  return {requested, std::string("FELIP_SIMD=") + env};
+}
+
+const Resolved& StartupResolution() {
+  static const Resolved resolved = ResolveFromEnvironment();
+  return resolved;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseLevel(std::string_view token, Level* level) {
+  FELIP_CHECK(level != nullptr);
+  if (token == "scalar") {
+    *level = Level::kScalar;
+    return true;
+  }
+  if (token == "avx2") {
+    *level = Level::kAvx2;
+    return true;
+  }
+  if (token == "neon") {
+    *level = Level::kNeon;
+    return true;
+  }
+  if (token == "auto") {
+    *level = DetectBestLevel();
+    return true;
+  }
+  return false;
+}
+
+std::vector<Level> CompiledLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+#if defined(FELIP_SIMD_HAS_AVX2)
+  levels.push_back(Level::kAvx2);
+#endif
+#if defined(FELIP_SIMD_HAS_NEON)
+  levels.push_back(Level::kNeon);
+#endif
+  return levels;
+}
+
+bool LevelSupported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if defined(FELIP_SIMD_HAS_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(FELIP_SIMD_HAS_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level ActiveLevel() {
+  const int override_level = g_override.load(std::memory_order_relaxed);
+  if (override_level != kNoOverride) {
+    return static_cast<Level>(override_level);
+  }
+  return StartupResolution().level;
+}
+
+std::string DescribeDispatch() {
+  const Resolved& resolved = StartupResolution();
+  return std::string(LevelName(ActiveLevel())) + " (" + resolved.how + ")";
+}
+
+ScopedLevelOverride::ScopedLevelOverride(Level level) {
+  FELIP_CHECK_MSG(LevelSupported(level),
+                  "ScopedLevelOverride on an unsupported dispatch level");
+  previous_ = g_override.exchange(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+ScopedLevelOverride::~ScopedLevelOverride() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace felip::simd

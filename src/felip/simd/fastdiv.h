@@ -1,0 +1,87 @@
+// Exact division of 64-bit dividends by a runtime-constant divisor via
+// magic-multiply, the Granlund–Montgomery / libdivide "branchfull"
+// construction compilers use for constant divisors.
+//
+// The OLH support kernels need `XxHash64(v, seed) % g` for millions of
+// (v, seed) pairs with one fixed g; a hardware 64-bit divide per element
+// costs more than the whole vectorized hash. MakeFastDivU64 precomputes a
+// (magic, shift, add) triple once per call; FastDivQuotient then needs only
+// a high-multiply and shifts — and, unlike the hardware divide, it
+// vectorizes (the AVX2 kernel evaluates it in 64-bit lanes). The result is
+// the EXACT quotient for every uint64_t dividend, which the differential
+// suite verifies against the native `/` operator.
+
+#ifndef FELIP_SIMD_FASTDIV_H_
+#define FELIP_SIMD_FASTDIV_H_
+
+#include <cstdint>
+
+#include "felip/common/check.h"
+
+namespace felip::simd {
+
+struct FastDivU64 {
+  uint64_t magic = 0;  // 0 marks a power-of-two divisor (pure shift)
+  unsigned shift = 0;
+  bool add = false;  // magic overflowed 64 bits; apply the add fixup
+  uint64_t divisor = 1;
+};
+
+inline uint64_t MulHighU64(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+// Precomputes the reciprocal for `divisor` >= 1.
+inline FastDivU64 MakeFastDivU64(uint64_t divisor) {
+  FELIP_CHECK(divisor >= 1);
+  FastDivU64 result;
+  result.divisor = divisor;
+  if ((divisor & (divisor - 1)) == 0) {
+    result.magic = 0;
+    result.shift = static_cast<unsigned>(__builtin_ctzll(divisor));
+    result.add = false;
+    return result;
+  }
+  const unsigned floor_log2 =
+      63u - static_cast<unsigned>(__builtin_clzll(divisor));
+  // floor(2^(64 + floor_log2) / divisor) and its remainder.
+  const unsigned __int128 numerator =
+      static_cast<unsigned __int128>(1) << (64 + floor_log2);
+  uint64_t proposed = static_cast<uint64_t>(numerator / divisor);
+  const uint64_t rem = static_cast<uint64_t>(numerator % divisor);
+  const uint64_t e = divisor - rem;
+  if (e < (uint64_t{1} << floor_log2)) {
+    result.add = false;
+  } else {
+    // The magic number would need 65 bits; double it (dropping the top
+    // bit) and compensate with the add fixup in FastDivQuotient.
+    proposed += proposed;
+    const uint64_t twice_rem = rem + rem;
+    if (twice_rem >= divisor || twice_rem < rem) proposed += 1;
+    result.add = true;
+  }
+  result.magic = proposed + 1;
+  result.shift = floor_log2;
+  return result;
+}
+
+// Exact n / d.divisor for every n.
+inline uint64_t FastDivQuotient(const FastDivU64& d, uint64_t n) {
+  if (d.magic == 0) return n >> d.shift;
+  const uint64_t q = MulHighU64(n, d.magic);
+  if (d.add) {
+    return (((n - q) >> 1) + q) >> d.shift;
+  }
+  return q >> d.shift;
+}
+
+// Exact n % d.divisor for every n.
+inline uint64_t FastDivRemainder(const FastDivU64& d, uint64_t n) {
+  if (d.magic == 0) return n & (d.divisor - 1);
+  return n - FastDivQuotient(d, n) * d.divisor;
+}
+
+}  // namespace felip::simd
+
+#endif  // FELIP_SIMD_FASTDIV_H_

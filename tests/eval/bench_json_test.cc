@@ -1,0 +1,208 @@
+// Tests for the BENCH_*.json perf-trajectory artifacts: schema
+// round-trip, byte-stable rendering, path construction, and the
+// regression comparison tools/bench_diff is built on.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "felip/eval/bench_json.h"
+#include "felip/simd/dispatch.h"
+
+namespace felip::eval {
+namespace {
+
+BenchReport SampleReport() {
+  BenchReport report;
+  report.name = "perf_query_engine";
+  report.git_sha = "0123abcd";
+  report.dispatch = "avx2";
+  report.threads = 8;
+  report.records.push_back({"BM_BatchScan", "users=1000000;queries=10000",
+                            1234.5, 1.5e6, 8.1e8, 42});
+  report.records.push_back(
+      {"BM_Prefix", "users=1000000;queries=10000", 17.25, 0.0, 0.0, 100000});
+  return report;
+}
+
+TEST(BenchJsonTest, RoundTripsEveryField) {
+  const BenchReport report = SampleReport();
+  BenchReport parsed;
+  ASSERT_TRUE(ParseBenchJson(RenderBenchJson(report), &parsed));
+  EXPECT_EQ(parsed.name, report.name);
+  EXPECT_EQ(parsed.git_sha, report.git_sha);
+  EXPECT_EQ(parsed.dispatch, report.dispatch);
+  EXPECT_EQ(parsed.threads, report.threads);
+  ASSERT_EQ(parsed.records.size(), report.records.size());
+  for (size_t i = 0; i < parsed.records.size(); ++i) {
+    EXPECT_EQ(parsed.records[i].op, report.records[i].op);
+    EXPECT_EQ(parsed.records[i].workload, report.records[i].workload);
+    EXPECT_EQ(parsed.records[i].ns_per_op, report.records[i].ns_per_op);
+    EXPECT_EQ(parsed.records[i].bytes_per_op, report.records[i].bytes_per_op);
+    EXPECT_EQ(parsed.records[i].items_per_second,
+              report.records[i].items_per_second);
+    EXPECT_EQ(parsed.records[i].iterations, report.records[i].iterations);
+  }
+}
+
+TEST(BenchJsonTest, RenderingIsByteStable) {
+  // render -> parse -> render must reproduce the exact bytes: the
+  // committed artifacts under results/ only diff when the numbers do.
+  const std::string once = RenderBenchJson(SampleReport());
+  BenchReport parsed;
+  ASSERT_TRUE(ParseBenchJson(once, &parsed));
+  EXPECT_EQ(RenderBenchJson(parsed), once);
+}
+
+TEST(BenchJsonTest, FieldOrderIsStable) {
+  const std::string json = RenderBenchJson(SampleReport());
+  // Top-level keys appear in schema order...
+  const size_t schema = json.find("\"schema_version\"");
+  const size_t name = json.find("\"name\"");
+  const size_t sha = json.find("\"git_sha\"");
+  const size_t dispatch = json.find("\"dispatch\"");
+  const size_t threads = json.find("\"threads\"");
+  const size_t records = json.find("\"records\"");
+  ASSERT_NE(schema, std::string::npos);
+  EXPECT_LT(schema, name);
+  EXPECT_LT(name, sha);
+  EXPECT_LT(sha, dispatch);
+  EXPECT_LT(dispatch, threads);
+  EXPECT_LT(threads, records);
+  // ...and so do record keys.
+  const size_t op = json.find("\"op\"", records);
+  const size_t workload = json.find("\"workload\"", records);
+  const size_t ns = json.find("\"ns_per_op\"", records);
+  const size_t bytes = json.find("\"bytes_per_op\"", records);
+  ASSERT_NE(op, std::string::npos);
+  EXPECT_LT(op, workload);
+  EXPECT_LT(workload, ns);
+  EXPECT_LT(ns, bytes);
+}
+
+TEST(BenchJsonTest, ParsesRegardlessOfKeyOrderAndUnknownKeys) {
+  // Hand-written artifact with shuffled keys, whitespace, an unknown
+  // field, and escaped characters — forward-compatible parsing.
+  const std::string json = R"({
+    "records": [
+      {"iterations": 7, "op": "BM_X", "future_field": {"a": [1, "x"]},
+       "ns_per_op": 2.5, "workload": "shape=\"odd\nthing\""}
+    ],
+    "threads": 4, "dispatch": "scalar", "git_sha": "deadbeef",
+    "name": "perf_x", "schema_version": 1, "extra": null
+  })";
+  BenchReport report;
+  ASSERT_TRUE(ParseBenchJson(json, &report));
+  EXPECT_EQ(report.name, "perf_x");
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].op, "BM_X");
+  EXPECT_EQ(report.records[0].workload, "shape=\"odd\nthing\"");
+  EXPECT_EQ(report.records[0].ns_per_op, 2.5);
+  EXPECT_EQ(report.records[0].iterations, 7u);
+}
+
+TEST(BenchJsonTest, RejectsMalformedAndWrongSchema) {
+  BenchReport report;
+  EXPECT_FALSE(ParseBenchJson("", &report));
+  EXPECT_FALSE(ParseBenchJson("not json", &report));
+  EXPECT_FALSE(ParseBenchJson("{\"schema_version\": 1", &report));
+  // Valid JSON, wrong schema version.
+  EXPECT_FALSE(ParseBenchJson(
+      "{\"schema_version\": 999, \"name\": \"x\", \"records\": []}",
+      &report));
+  // Missing schema_version entirely.
+  EXPECT_FALSE(
+      ParseBenchJson("{\"name\": \"x\", \"records\": []}", &report));
+}
+
+TEST(BenchJsonTest, MakeBenchReportRecordsDispatchLevel) {
+  const BenchReport report = MakeBenchReport("perf_test");
+  EXPECT_EQ(report.name, "perf_test");
+  EXPECT_EQ(report.dispatch, simd::LevelName(simd::ActiveLevel()));
+  EXPECT_FALSE(report.git_sha.empty());
+  // Pinning the dispatch level must be reflected in new reports — this is
+  // how CI's forced-scalar bench runs are distinguishable in the
+  // trajectory.
+  simd::ScopedLevelOverride pin(simd::Level::kScalar);
+  EXPECT_EQ(MakeBenchReport("perf_test").dispatch, "scalar");
+}
+
+TEST(BenchJsonTest, BenchJsonPathComposes) {
+  EXPECT_EQ(BenchJsonPath("results", "perf_query_engine"),
+            "results/BENCH_perf_query_engine.json");
+  EXPECT_EQ(BenchJsonPath("results/", "x"), "results/BENCH_x.json");
+  EXPECT_EQ(BenchJsonPath("", "x"), "BENCH_x.json");
+}
+
+TEST(BenchJsonTest, WriteBenchJsonFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/BENCH_write_test.json";
+  ASSERT_TRUE(WriteBenchJsonFile(path, SampleReport()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  BenchReport parsed;
+  ASSERT_TRUE(ParseBenchJson(ss.str(), &parsed));
+  EXPECT_EQ(parsed.name, "perf_query_engine");
+  std::remove(path.c_str());
+}
+
+// --- CompareBenchReports: the logic behind tools/bench_diff. ---
+
+TEST(BenchDiffTest, FlagsRegressionsBeyondThreshold) {
+  BenchReport baseline = SampleReport();
+  BenchReport current = SampleReport();
+  current.records[0].ns_per_op = baseline.records[0].ns_per_op * 1.25;
+  current.records[1].ns_per_op = baseline.records[1].ns_per_op * 1.05;
+
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, current, /*threshold=*/0.10);
+  ASSERT_EQ(cmp.deltas.size(), 2u);
+  EXPECT_TRUE(cmp.deltas[0].regression);   // +25% > 10%
+  EXPECT_FALSE(cmp.deltas[1].regression);  // +5% <= 10%
+  EXPECT_EQ(cmp.num_regressions, 1);
+  EXPECT_NEAR(cmp.deltas[0].ratio, 1.25, 1e-12);
+}
+
+TEST(BenchDiffTest, ImprovementsAndBoundaryDoNotFlag) {
+  BenchReport baseline = SampleReport();
+  BenchReport current = SampleReport();
+  current.records[0].ns_per_op = baseline.records[0].ns_per_op * 0.5;
+  // Exactly at threshold: not a regression (strictly-greater comparison).
+  current.records[1].ns_per_op = baseline.records[1].ns_per_op * 1.10;
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, current, /*threshold=*/0.10);
+  EXPECT_EQ(cmp.num_regressions, 0);
+}
+
+TEST(BenchDiffTest, ZeroBaselineNeverFlags) {
+  BenchReport baseline = SampleReport();
+  baseline.records[0].ns_per_op = 0.0;
+  BenchReport current = SampleReport();
+  current.records[0].ns_per_op = 1e9;
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, current, /*threshold=*/0.10);
+  EXPECT_FALSE(cmp.deltas[0].regression);
+}
+
+TEST(BenchDiffTest, ReportsOpSetDifferences) {
+  BenchReport baseline = SampleReport();
+  BenchReport current = SampleReport();
+  current.records.erase(current.records.begin());  // BM_BatchScan gone
+  current.records.push_back(
+      {"BM_New", "shape", 1.0, 0.0, 0.0, 1});
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, current, /*threshold=*/0.10);
+  ASSERT_EQ(cmp.only_in_baseline.size(), 1u);
+  EXPECT_EQ(cmp.only_in_baseline[0], "BM_BatchScan");
+  ASSERT_EQ(cmp.only_in_current.size(), 1u);
+  EXPECT_EQ(cmp.only_in_current[0], "BM_New");
+  ASSERT_EQ(cmp.deltas.size(), 1u);
+  EXPECT_EQ(cmp.deltas[0].op, "BM_Prefix");
+}
+
+}  // namespace
+}  // namespace felip::eval

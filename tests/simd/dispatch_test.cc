@@ -1,0 +1,77 @@
+// Tests for the runtime dispatch layer: level naming/parsing, the
+// compiled/supported sets, and the scoped override used by the
+// differential and golden suites to pin a level.
+
+#include <gtest/gtest.h>
+
+#include "felip/simd/dispatch.h"
+
+namespace felip::simd {
+namespace {
+
+TEST(DispatchTest, LevelNamesRoundTrip) {
+  for (const Level level :
+       {Level::kScalar, Level::kAvx2, Level::kNeon}) {
+    Level parsed = Level::kScalar;
+    ASSERT_TRUE(ParseLevel(LevelName(level), &parsed))
+        << LevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST(DispatchTest, ParseLevelAcceptsAutoAndRejectsGarbage) {
+  // "auto" resolves to the best level this build+CPU can run, which must
+  // itself be supported.
+  Level parsed = Level::kScalar;
+  ASSERT_TRUE(ParseLevel("auto", &parsed));
+  EXPECT_TRUE(LevelSupported(parsed));
+  for (const char* bad : {"", "AVX2", "sse", "scalar ", "avx512", "2"}) {
+    EXPECT_FALSE(ParseLevel(bad, &parsed)) << "token=\"" << bad << "\"";
+  }
+}
+
+TEST(DispatchTest, ScalarAlwaysCompiledAndSupported) {
+  const auto levels = CompiledLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  EXPECT_TRUE(LevelSupported(Level::kScalar));
+}
+
+TEST(DispatchTest, SupportedImpliesCompiled) {
+  for (const Level level :
+       {Level::kScalar, Level::kAvx2, Level::kNeon}) {
+    if (!LevelSupported(level)) continue;
+    bool compiled = false;
+    for (const Level c : CompiledLevels()) compiled |= c == level;
+    EXPECT_TRUE(compiled) << LevelName(level);
+  }
+}
+
+TEST(DispatchTest, ActiveLevelIsSupported) {
+  EXPECT_TRUE(LevelSupported(ActiveLevel()));
+}
+
+TEST(DispatchTest, ScopedOverridePinsAndRestores) {
+  const Level before = ActiveLevel();
+  {
+    ScopedLevelOverride pin(Level::kScalar);
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+    // Nested override wins, then unwinds in order.
+    for (const Level level : CompiledLevels()) {
+      if (!LevelSupported(level)) continue;
+      ScopedLevelOverride inner(level);
+      EXPECT_EQ(ActiveLevel(), level);
+    }
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  }
+  EXPECT_EQ(ActiveLevel(), before);
+}
+
+TEST(DispatchTest, DescribeDispatchMentionsActiveLevel) {
+  const std::string desc = DescribeDispatch();
+  EXPECT_NE(desc.find(LevelName(ActiveLevel())), std::string::npos)
+      << desc;
+}
+
+}  // namespace
+}  // namespace felip::simd
