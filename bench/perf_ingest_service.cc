@@ -8,12 +8,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/bench_json_reporter.h"
+#include "felip/replaylog/store.h"
 #include "felip/svc/client.h"
 #include "felip/svc/loopback.h"
 #include "felip/svc/server.h"
@@ -54,7 +56,8 @@ std::vector<wire::ReportMessage> SampleBatch(size_t count) {
 // collapses iterations into duplicates.
 template <typename TransportFactory>
 void RunIngestBench(benchmark::State& state, TransportFactory make,
-                    const char* endpoint) {
+                    const char* endpoint,
+                    svc::ReportLogFn report_log = nullptr) {
   constexpr size_t kBatchReports = 1024;
   constexpr size_t kBatches = 64;
   const auto workers = static_cast<unsigned>(state.range(0));
@@ -74,6 +77,7 @@ void RunIngestBench(benchmark::State& state, TransportFactory make,
   options.queue_capacity = 128;
   options.worker_threads = workers;
   options.decode_threads = 1;
+  options.report_log = std::move(report_log);
   svc::IngestServer server(transport.get(), endpoint, &sink, options);
   if (!server.Start()) {
     state.SkipWithError("server failed to bind");
@@ -112,6 +116,34 @@ void BM_IngestLoopback(benchmark::State& state) {
       "ingest");
 }
 BENCHMARK(BM_IngestLoopback)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The same loopback rounds with the append-only report log hooked into
+// the drain path, exactly as felip_server wires it. The BENCH JSON delta
+// between BM_IngestLoopback and this op is the report-log overhead
+// evidence (docs/replay.md pins the <5% ns/op budget).
+void BM_IngestLoopbackLogged(benchmark::State& state) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "felip_perf_report_log";
+  std::filesystem::remove_all(dir);
+  StatusOr<replaylog::LogWriter> log =
+      replaylog::LogWriter::Open(dir.string(), {0x42});
+  if (!log.ok()) {
+    state.SkipWithError("cannot open report log");
+    return;
+  }
+  RunIngestBench(
+      state, [] { return std::make_unique<svc::LoopbackTransport>(); },
+      "ingest",
+      [&log](uint64_t key, std::span<const uint8_t> frame) {
+        return log->Append(replaylog::RecordType::kBatch, key, frame);
+      });
+  state.counters["batches_logged"] =
+      static_cast<double>(log->records_appended());
+  (void)log->Seal();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_IngestLoopbackLogged)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_IngestTcp(benchmark::State& state) {

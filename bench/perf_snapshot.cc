@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json_reporter.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/snapshot/pipeline_snapshot.h"
@@ -129,7 +130,9 @@ BENCHMARK(BM_SnapshotStoreWrite)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  felip::bench::BenchJsonReporter reporter(
+      "perf_snapshot", "users=10k,100k;dedup_keys=16384");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   felip::bench::DumpObsJsonIfRequested();
   return 0;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "felip/common/check.h"
+#include "felip/common/hash.h"
 #include "felip/common/numeric.h"
 #include "felip/common/parallel.h"
 #include "felip/obs/metrics.h"
@@ -612,6 +613,15 @@ FelipPipeline RunFelip(const data::Dataset& dataset, FelipConfig config) {
   pipeline.Collect(dataset);
   pipeline.Finalize();
   return pipeline;
+}
+
+uint64_t GridFrequencyDigest(const FelipPipeline& pipeline) {
+  uint64_t digest = 0;
+  for (const std::vector<double>& grid : pipeline.ExportGridFrequencies()) {
+    digest =
+        XxHash64Bytes(grid.data(), grid.size() * sizeof(double), digest);
+  }
+  return digest;
 }
 
 }  // namespace felip::core

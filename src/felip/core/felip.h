@@ -277,6 +277,8 @@ class FelipPipeline {
 
   // --- Introspection (examples, benches, tests) ---
   const std::vector<data::AttributeInfo>& schema() const { return schema_; }
+  const FelipConfig& config() const { return config_; }
+  uint64_t num_users() const { return num_users_; }
   const std::vector<GridAssignment>& assignments() const {
     return assignments_;
   }
@@ -342,6 +344,13 @@ class FelipPipeline {
 
 // Convenience: run plan + collect + finalize in one call.
 FelipPipeline RunFelip(const data::Dataset& dataset, FelipConfig config);
+
+// Chained xxHash64 over every exported grid frequency, in assignment
+// order. This is THE fingerprint of a finalized pipeline's estimates:
+// felip_server prints it after a live round and felip_replay prints it
+// after replaying a report log, so replay-vs-live (and resumed-vs-
+// uninterrupted) runs can be compared bit for bit. Requires kQueryable.
+uint64_t GridFrequencyDigest(const FelipPipeline& pipeline);
 
 }  // namespace felip::core
 

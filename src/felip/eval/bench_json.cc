@@ -263,48 +263,72 @@ std::string RenderBenchJson(const BenchReport& report) {
 }
 
 bool ParseBenchJson(std::string_view json, BenchReport* out) {
-  if (out == nullptr) return false;
+  return ParseBenchJsonDetailed(json, out) == BenchParseResult::kOk;
+}
+
+BenchParseResult ParseBenchJsonDetailed(std::string_view json,
+                                        BenchReport* out,
+                                        int* schema_version_seen) {
+  if (schema_version_seen != nullptr) *schema_version_seen = -1;
+  if (out == nullptr) return BenchParseResult::kMalformed;
   Parser p{json};
   BenchReport report;
   int schema_version = -1;
-  if (!p.Consume('{')) return false;
+  if (!p.Consume('{')) return BenchParseResult::kMalformed;
   bool first = true;
   while (!p.Peek('}')) {
-    if (!first && !p.Consume(',')) return false;
+    if (!first && !p.Consume(',')) return BenchParseResult::kMalformed;
     first = false;
     std::string key;
-    if (!p.ParseString(&key) || !p.Consume(':')) return false;
+    if (!p.ParseString(&key) || !p.Consume(':')) {
+      return BenchParseResult::kMalformed;
+    }
     if (key == "schema_version") {
       double v;
-      if (!p.ParseNumber(&v)) return false;
+      if (!p.ParseNumber(&v)) return BenchParseResult::kMalformed;
       schema_version = static_cast<int>(v);
     } else if (key == "name") {
-      if (!p.ParseString(&report.name)) return false;
+      if (!p.ParseString(&report.name)) return BenchParseResult::kMalformed;
     } else if (key == "git_sha") {
-      if (!p.ParseString(&report.git_sha)) return false;
+      if (!p.ParseString(&report.git_sha)) {
+        return BenchParseResult::kMalformed;
+      }
     } else if (key == "dispatch") {
-      if (!p.ParseString(&report.dispatch)) return false;
+      if (!p.ParseString(&report.dispatch)) {
+        return BenchParseResult::kMalformed;
+      }
     } else if (key == "threads") {
       double v;
-      if (!p.ParseNumber(&v)) return false;
+      if (!p.ParseNumber(&v)) return BenchParseResult::kMalformed;
       report.threads = static_cast<unsigned>(v);
     } else if (key == "records") {
-      if (!p.Consume('[')) return false;
+      if (!p.Consume('[')) return BenchParseResult::kMalformed;
       while (!p.Peek(']')) {
-        if (!report.records.empty() && !p.Consume(',')) return false;
+        if (!report.records.empty() && !p.Consume(',')) {
+          return BenchParseResult::kMalformed;
+        }
         BenchRecord r;
-        if (!ParseRecord(&p, &r)) return false;
+        if (!ParseRecord(&p, &r)) return BenchParseResult::kMalformed;
         report.records.push_back(std::move(r));
       }
-      if (!p.Consume(']')) return false;
+      if (!p.Consume(']')) return BenchParseResult::kMalformed;
     } else {
-      if (!p.SkipValue()) return false;
+      if (!p.SkipValue()) return BenchParseResult::kMalformed;
     }
   }
-  if (!p.Consume('}')) return false;
-  if (schema_version != kBenchJsonSchemaVersion) return false;
+  if (!p.Consume('}')) return BenchParseResult::kMalformed;
+  // A missing schema_version is malformed (the renderer always writes
+  // one); a present-but-different version is the upgrade case callers
+  // want to surface precisely.
+  if (schema_version == -1) return BenchParseResult::kMalformed;
+  if (schema_version != kBenchJsonSchemaVersion) {
+    if (schema_version_seen != nullptr) {
+      *schema_version_seen = schema_version;
+    }
+    return BenchParseResult::kUnknownSchemaVersion;
+  }
   *out = std::move(report);
-  return true;
+  return BenchParseResult::kOk;
 }
 
 std::string BenchJsonPath(std::string_view dir, std::string_view name) {

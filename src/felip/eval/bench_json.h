@@ -54,6 +54,24 @@ std::string RenderBenchJson(const BenchReport& report);
 // malformed input or a schema version this binary does not understand.
 bool ParseBenchJson(std::string_view json, BenchReport* out);
 
+// How ParseBenchJsonDetailed classified its input.
+enum class BenchParseResult {
+  kOk,
+  kMalformed,             // not a document this renderer produced
+  kUnknownSchemaVersion,  // well-formed, but a version we don't speak
+};
+
+// Like ParseBenchJson but tells a structurally broken document apart
+// from a well-formed one stamped with a schema version this binary does
+// not understand — bench_diff needs the distinction to tell the operator
+// "rebuild the baseline" instead of "this is not an artifact". On
+// kUnknownSchemaVersion, *schema_version_seen (when non-null) receives
+// the version the document claimed; it is -1 for the other results.
+// *out is filled only on kOk.
+BenchParseResult ParseBenchJsonDetailed(std::string_view json,
+                                        BenchReport* out,
+                                        int* schema_version_seen = nullptr);
+
 // "<dir>/BENCH_<name>.json" (no trailing separator handling beyond the
 // obvious; pass a directory without one).
 std::string BenchJsonPath(std::string_view dir, std::string_view name);

@@ -123,4 +123,24 @@ void NormalizeFrequencies(std::vector<double>* frequencies,
   FELIP_CHECK_MSG(false, "unknown normalization");
 }
 
+std::string_view NormalizationName(Normalization method) {
+  switch (method) {
+    case Normalization::kNormSub:
+      return "sub";
+    case Normalization::kNormMul:
+      return "mul";
+    case Normalization::kNormCut:
+      return "cut";
+  }
+  FELIP_CHECK_MSG(false, "unknown normalization");
+  return "";
+}
+
+std::optional<Normalization> ParseNormalization(std::string_view name) {
+  if (name == "sub") return Normalization::kNormSub;
+  if (name == "mul") return Normalization::kNormMul;
+  if (name == "cut") return Normalization::kNormCut;
+  return std::nullopt;
+}
+
 }  // namespace felip::post

@@ -8,6 +8,8 @@
 #ifndef FELIP_POST_NORM_SUB_H_
 #define FELIP_POST_NORM_SUB_H_
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace felip::post {
@@ -37,6 +39,13 @@ enum class Normalization {
 void NormalizeFrequencies(std::vector<double>* frequencies,
                           Normalization method,
                           const NormSubOptions& options = {});
+
+// Stable short name of `method` ("sub", "mul", "cut") — the spelling the
+// --normalization CLI flags use on felip_server and felip_replay.
+std::string_view NormalizationName(Normalization method);
+
+// Inverse of NormalizationName; nullopt for anything else.
+std::optional<Normalization> ParseNormalization(std::string_view name);
 
 }  // namespace felip::post
 

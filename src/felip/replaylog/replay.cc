@@ -1,0 +1,188 @@
+#include "felip/replaylog/replay.h"
+
+#include <utility>
+
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
+#include "felip/replaylog/format.h"
+#include "felip/replaylog/store.h"
+#include "felip/snapshot/pipeline_snapshot.h"
+#include "felip/snapshot/store.h"
+#include "felip/svc/dedup.h"
+#include "felip/svc/message.h"
+#include "felip/wire/framing.h"
+#include "felip/wire/wire.h"
+
+namespace felip::replaylog {
+
+std::vector<uint8_t> EncodePlan(
+    const core::FelipConfig& config, uint64_t num_users,
+    const std::vector<data::AttributeInfo>& schema) {
+  const std::vector<uint8_t> config_bytes =
+      snapshot::EncodeConfigSection(config, num_users);
+  const std::vector<uint8_t> schema_bytes =
+      snapshot::EncodeSchemaSection(schema);
+  std::vector<uint8_t> plan;
+  wire::Writer w(&plan);
+  w.Put<uint32_t>(static_cast<uint32_t>(config_bytes.size()));
+  w.PutBytes(config_bytes.data(), config_bytes.size());
+  w.Put<uint32_t>(static_cast<uint32_t>(schema_bytes.size()));
+  w.PutBytes(schema_bytes.data(), schema_bytes.size());
+  return plan;
+}
+
+Status DecodePlan(const std::vector<uint8_t>& plan, core::FelipConfig* config,
+                  uint64_t* num_users,
+                  std::vector<data::AttributeInfo>* schema) {
+  wire::Reader r(plan);
+  uint32_t config_len = 0;
+  if (!r.Get(&config_len) || config_len > r.remaining()) {
+    return Status::InvalidArgument("replay log plan is truncated");
+  }
+  std::vector<uint8_t> config_bytes(r.cursor(), r.cursor() + config_len);
+  r.Skip(config_len);
+  uint32_t schema_len = 0;
+  if (!r.Get(&schema_len) || schema_len > r.remaining()) {
+    return Status::InvalidArgument("replay log plan is truncated");
+  }
+  std::vector<uint8_t> schema_bytes(r.cursor(), r.cursor() + schema_len);
+  r.Skip(schema_len);
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("replay log plan has trailing bytes");
+  }
+  FELIP_RETURN_IF_ERROR(
+      snapshot::DecodeConfigSection(config_bytes, config, num_users));
+  return snapshot::DecodeSchemaSection(schema_bytes, schema);
+}
+
+StatusOr<ReplayResult> ReplayLog(const std::string& dir,
+                                 const ReplayOverrides& overrides) {
+  obs::ScopedTimer span("felip_replay");
+  static obs::Counter& replayed_total = obs::Registry::Default().GetCounter(
+      "felip_replay_batches_total");
+  static obs::Counter& damaged_total = obs::Registry::Default().GetCounter(
+      "felip_replay_segments_damaged_total");
+
+  const std::vector<std::string> segments = ListSegmentsOldestFirst(dir);
+  if (segments.empty()) {
+    return Status::NotFound("no report log segments under: " + dir);
+  }
+
+  // Pass 1 over headers happens lazily inside the single pass below: the
+  // first verified header fixes the plan; later headers must match it
+  // byte for byte.
+  ReplayStats stats;
+  std::optional<core::FelipPipeline> pipeline;
+  std::vector<uint8_t> plan;
+  svc::DedupWindow dedup;
+
+  for (const std::string& path : segments) {
+    StatusOr<std::vector<uint8_t>> bytes = snapshot::ReadFileBytes(path);
+    if (!bytes.ok()) {
+      stats.segments_damaged += 1;
+      damaged_total.Increment();
+      continue;
+    }
+    StatusOr<SegmentParser> parser = SegmentParser::Open(*std::move(bytes));
+    if (!parser.ok()) {
+      stats.segments_damaged += 1;
+      damaged_total.Increment();
+      continue;
+    }
+    if (!pipeline.has_value()) {
+      plan = parser->plan();
+      core::FelipConfig config;
+      uint64_t num_users = 0;
+      std::vector<data::AttributeInfo> schema;
+      FELIP_RETURN_IF_ERROR(
+          DecodePlan(plan, &config, &num_users, &schema));
+      if (overrides.normalization.has_value()) {
+        config.normalization = *overrides.normalization;
+      }
+      if (overrides.consistency_rounds.has_value()) {
+        config.consistency_rounds = *overrides.consistency_rounds;
+      }
+      if (overrides.lambda_threshold.has_value()) {
+        config.lambda_threshold = *overrides.lambda_threshold;
+      }
+      if (overrides.lambda_quadrant_fit.has_value()) {
+        config.lambda_quadrant_fit = *overrides.lambda_quadrant_fit;
+      }
+      if (overrides.aggregation_threads.has_value()) {
+        config.aggregation_threads = *overrides.aggregation_threads;
+      }
+      pipeline.emplace(std::move(schema), num_users, std::move(config));
+      pipeline->BeginIngest();
+    } else if (parser->plan() != plan) {
+      return Status::FailedPrecondition(
+          "report log segments carry different plans: " + path);
+    }
+    stats.segments_read += 1;
+
+    LogRecord record;
+    while (true) {
+      StatusOr<bool> next = parser->Next(&record);
+      if (!next.ok()) {
+        // Torn or corrupt tail: everything before it already replayed.
+        stats.segments_damaged += 1;
+        damaged_total.Increment();
+        break;
+      }
+      if (!*next) break;
+
+      // Mirror the live server's gates: trailer verification
+      // (HandleFrame), trailer-keyed dedup, then the sharded structural
+      // decode (WorkerLoop). Thread count 1 keeps the decode serial; the
+      // accepted multiset — hence the estimate — is identical either way.
+      if (!svc::VerifyChecksumTrailer(record.payload) ||
+          svc::ChecksumTrailer(record.payload).value_or(0) != record.key) {
+        stats.batches_undecodable += 1;
+        continue;
+      }
+      if (!dedup.Insert(record.key)) {
+        stats.batches_duplicate += 1;
+        continue;
+      }
+      std::vector<wire::ReportMessage> messages;
+      const StatusOr<size_t> count = wire::DecodeReportBatchSharded(
+          record.payload,
+          [&](size_t /*shard*/, size_t /*index*/, wire::ReportMessage&& m) {
+            messages.push_back(std::move(m));
+          },
+          /*thread_count=*/1);
+      if (!count.ok()) {
+        stats.batches_undecodable += 1;
+        continue;
+      }
+      for (const wire::ReportMessage& m : messages) {
+        Status status = Status::Ok();
+        switch (m.protocol) {
+          case fo::Protocol::kGrr:
+            status = pipeline->IngestGrrReport(m.grid_index, m.grr_report);
+            break;
+          case fo::Protocol::kOlh:
+            status = pipeline->IngestOlhReport(m.grid_index, m.olh);
+            break;
+          case fo::Protocol::kOue:
+            status = pipeline->IngestOueReport(m.grid_index, m.oue_bits);
+            break;
+        }
+        if (status.ok()) {
+          stats.reports_accepted += 1;
+        } else {
+          stats.reports_rejected += 1;
+        }
+      }
+      stats.batches_replayed += 1;
+      replayed_total.Increment();
+    }
+  }
+
+  if (!pipeline.has_value()) {
+    return Status::DataLoss("no report log segment verified under: " + dir);
+  }
+  pipeline->FinishIngest();
+  return ReplayResult{*std::move(pipeline), stats};
+}
+
+}  // namespace felip::replaylog

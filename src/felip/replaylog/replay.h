@@ -1,0 +1,95 @@
+// Offline replay engine: pipeline state from a report log.
+//
+// ReplayLog walks every segment of a report log (oldest first),
+// reconstructs the pipeline the log's plan describes, and re-ingests
+// every logged batch through the exact server path — checksum-trailer
+// verification, trailer-keyed idempotency window, sharded structural
+// decode, per-report oracle validation — so the replayed pipeline is
+// bit-identical to the live one that wrote the log: aggregation is
+// integer-count based and depends only on the multiset of accepted
+// reports, never on order, batching, threads, or SIMD dispatch.
+//
+// The dedup window matters beyond tidiness: with checkpointing enabled, a
+// SIGKILLed server re-drains (and re-logs) every batch its clients resend
+// past the last snapshot cut, so a crash-spanning log legitimately holds
+// duplicate records. Replaying with the same bounded FIFO window the
+// server dedups with drops exactly the batches the server would have
+// (the server's admission horizon is the same kDefaultDedupCapacity; a
+// log long enough to wrap it would double-count on the live side too).
+//
+// Reading is recovery-oriented, like snapshot recovery: a segment with a
+// damaged header is skipped whole, a segment with a torn or corrupt tail
+// contributes every record up to the last good boundary, and both are
+// counted in ReplayStats rather than failing the replay. The only hard
+// failures are an empty/unreadable log and segments whose plans disagree
+// — byte-identical plan blobs are how two segments prove they belong to
+// one collection round.
+//
+// ReplayOverrides is the estimator-comparison surface (ROADMAP item 5):
+// every field re-runs post-processing a different way against the frozen
+// corpus. All overridable fields are layout-neutral — they never change
+// grid planning — so the overridden pipeline still accepts every logged
+// report. See docs/replay.md for the comparison workflow.
+
+#ifndef FELIP_REPLAYLOG_REPLAY_H_
+#define FELIP_REPLAYLOG_REPLAY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "felip/common/status.h"
+#include "felip/core/felip.h"
+#include "felip/post/norm_sub.h"
+
+namespace felip::replaylog {
+
+// The plan blob every segment header carries: the full FelipConfig,
+// population size, and schema — everything needed to replan the identical
+// grid layout with no out-of-band context. Encoded with the snapshot
+// format's config/schema section codecs, so the two durable formats can
+// never drift apart.
+std::vector<uint8_t> EncodePlan(const core::FelipConfig& config,
+                                uint64_t num_users,
+                                const std::vector<data::AttributeInfo>& schema);
+Status DecodePlan(const std::vector<uint8_t>& plan, core::FelipConfig* config,
+                  uint64_t* num_users,
+                  std::vector<data::AttributeInfo>* schema);
+
+// Post-processing knobs to swap out relative to the logged plan. Every
+// field is layout-neutral (grid planning never reads it).
+struct ReplayOverrides {
+  std::optional<post::Normalization> normalization;
+  std::optional<int> consistency_rounds;
+  std::optional<double> lambda_threshold;
+  std::optional<bool> lambda_quadrant_fit;
+  std::optional<unsigned> aggregation_threads;
+};
+
+struct ReplayStats {
+  uint64_t segments_read = 0;     // headers that verified
+  uint64_t segments_damaged = 0;  // skipped headers + torn/corrupt tails
+  uint64_t batches_replayed = 0;
+  uint64_t batches_duplicate = 0;    // dropped by the idempotency window
+  uint64_t batches_undecodable = 0;  // bad trailer or structural decode
+  uint64_t reports_accepted = 0;
+  uint64_t reports_rejected = 0;  // per-report oracle validation failures
+};
+
+struct ReplayResult {
+  // kSealed: the round is closed; Finalize() it to estimate and query.
+  core::FelipPipeline pipeline;
+  ReplayStats stats;
+};
+
+// Replays every segment under `dir`. kNotFound when the directory holds
+// no segments, kDataLoss when no segment header verifies,
+// kFailedPrecondition when verified segments carry different plans, and
+// any plan-decode failure as-is.
+StatusOr<ReplayResult> ReplayLog(const std::string& dir,
+                                 const ReplayOverrides& overrides = {});
+
+}  // namespace felip::replaylog
+
+#endif  // FELIP_REPLAYLOG_REPLAY_H_

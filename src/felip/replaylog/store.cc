@@ -1,0 +1,468 @@
+#include "felip/replaylog/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace felip::replaylog {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kPrefix[] = "reportlog-";
+constexpr char kSealedSuffix[] = ".flog";
+constexpr char kOpenSuffix[] = ".open";
+
+// Sequence number of a segment file name with `suffix`, or 0 when the
+// name does not match reportlog-<seq><suffix>.
+uint64_t SequenceOf(const std::string& name, std::string_view suffix) {
+  const std::string_view prefix(kPrefix);
+  if (name.size() <= prefix.size() + suffix.size()) return 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix.data(),
+                   suffix.size()) != 0) {
+    return 0;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+uint64_t AnySequenceOf(const std::string& name) {
+  const uint64_t sealed = SequenceOf(name, kSealedSuffix);
+  return sealed > 0 ? sealed : SequenceOf(name, kOpenSuffix);
+}
+
+}  // namespace
+
+// Three stages, three owners:
+//   Append (caller)  — encode + push onto `queue` under `mutex`;
+//   writer thread    — pops the queue, owns all active-segment state
+//                      (file, open_path, active_*, next_seq: no lock,
+//                      single owner after Open), write + fflush, hands
+//                      full segments to the sealer;
+//   sealer thread    — fsync + rename + prune under `sealer_mutex`.
+// Barriers count records: Flush waits for written >= its snapshot of
+// pushed; Seal additionally waits for a seal epoch to complete. Failures
+// accumulate in `io_failures` and are consumed once per barrier.
+struct LogWriter::Impl {
+  std::string dir;
+  std::vector<uint8_t> plan;
+  LogWriterOptions options;
+
+  // --- Append <-> writer handoff, under `mutex` ---
+  std::mutex mutex;
+  std::condition_variable writer_cv;  // wakes the writer thread
+  std::condition_variable done_cv;    // barriers + backpressure
+  std::deque<std::vector<uint8_t>> queue;  // encoded whole records
+  uint64_t queued_bytes = 0;
+  uint64_t pushed = 0;   // records handed to the writer, ever
+  uint64_t written = 0;  // records the writer has write+fflush'ed (or
+                         // counted as failed), ever
+  uint64_t seal_requests = 0;
+  uint64_t seals_done = 0;
+  uint64_t failures_reported = 0;  // barrier-consumed io_failures marker
+  bool stopping = false;
+
+  uint64_t records_appended = 0;  // accessor mirrors, under `mutex`
+  uint64_t bytes_appended = 0;
+
+  // --- writer-thread-owned active segment (no lock) ---
+  std::FILE* file = nullptr;
+  std::string open_path;
+  uint64_t active_seq = 0;
+  uint64_t active_bytes = 0;
+  uint64_t active_records = 0;
+  uint64_t next_seq = 1;
+
+  // --- writer <-> sealer handoff, under `sealer_mutex` ---
+  struct PendingSeal {
+    std::FILE* file = nullptr;
+    std::string open_path;
+    uint64_t seq = 0;
+  };
+  std::mutex sealer_mutex;
+  std::condition_variable sealer_cv;
+  std::condition_variable sealer_done_cv;
+  std::deque<PendingSeal> sealer_queue;
+  bool sealer_in_flight = false;
+  bool sealer_stopping = false;
+
+  std::atomic<uint64_t> segments_sealed{0};
+  // Failed I/O events (record write, segment open, fsync/rename) since
+  // construction; each barrier reports the delta since the last one.
+  std::atomic<uint64_t> io_failures{0};
+
+  std::thread writer;
+  std::thread sealer;
+
+  ~Impl() { StopThreads(); }
+
+  void StartThreads() {
+    writer = std::thread([this] { WriterLoop(); });
+    sealer = std::thread([this] { SealerLoop(); });
+  }
+
+  void StopThreads() {
+    if (writer.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+      }
+      writer_cv.notify_all();
+      writer.join();
+    }
+    if (sealer.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(sealer_mutex);
+        sealer_stopping = true;
+      }
+      sealer_cv.notify_all();
+      sealer.join();
+    }
+  }
+
+  // ----- writer thread -----
+
+  void WriterLoop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      writer_cv.wait(lock, [this] {
+        return stopping || !queue.empty() || seal_requests > seals_done;
+      });
+      if (stopping && queue.empty() && seal_requests <= seals_done) return;
+
+      std::deque<std::vector<uint8_t>> batch;
+      batch.swap(queue);
+      queued_bytes = 0;
+      const uint64_t seal_epoch = seal_requests;
+      // Producers can refill while this batch is being written.
+      done_cv.notify_all();
+      lock.unlock();
+
+      for (const std::vector<uint8_t>& record : batch) WriteRecord(record);
+      if (file != nullptr && std::fflush(file) != 0) {
+        // The batch's tail may be torn in the stdio buffer; treat the
+        // segment like a crashed one and surface the failure.
+        io_failures.fetch_add(1, std::memory_order_relaxed);
+        AbandonSegment();
+      }
+      if (seal_epoch > seals_done) {
+        DetachActiveSegment();
+        WaitSealerDrained();
+      }
+
+      lock.lock();
+      written += batch.size();
+      if (seal_epoch > seals_done) seals_done = seal_epoch;
+      done_cv.notify_all();
+    }
+  }
+
+  void WriteRecord(const std::vector<uint8_t>& record) {
+    // Rotate before writing, but never an empty segment: a segment takes
+    // at least one record even when the header alone tops the limit.
+    if (file != nullptr && active_records > 0 &&
+        active_bytes >= options.segment_bytes) {
+      DetachActiveSegment();
+    }
+    if (file == nullptr && !OpenSegment()) {
+      io_failures.fetch_add(1, std::memory_order_relaxed);
+      return;  // record lost; the barrier reports it
+    }
+    const size_t n = std::fwrite(record.data(), 1, record.size(), file);
+    if (n != record.size()) {
+      // Torn record: readers cut the segment at the last good boundary.
+      // Abandon it so later records land in a fresh segment behind the
+      // tear instead of after it.
+      io_failures.fetch_add(1, std::memory_order_relaxed);
+      AbandonSegment();
+      return;
+    }
+    active_bytes += record.size();
+    active_records += 1;
+  }
+
+  bool OpenSegment() {
+    const uint64_t seq = next_seq;
+    const std::string path =
+        (fs::path(dir) / (kPrefix + std::to_string(seq) + kOpenSuffix))
+            .string();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::vector<uint8_t> header = EncodeSegmentHeader(plan);
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      std::remove(path.c_str());
+      return false;
+    }
+    // Unbuffered: records arrive as whole encoded blobs, so stdio's
+    // buffer would only add a copy of every logged byte.
+    std::setvbuf(f, nullptr, _IONBF, 0);
+    file = f;
+    open_path = path;
+    active_seq = seq;
+    active_bytes = header.size();
+    active_records = 0;
+    next_seq = seq + 1;
+    return true;
+  }
+
+  void AbandonSegment() {
+    if (file == nullptr) return;
+    std::fclose(file);
+    file = nullptr;
+    open_path.clear();
+  }
+
+  // Discards an empty active segment, otherwise hands it to the sealer.
+  void DetachActiveSegment() {
+    if (file == nullptr) return;
+    if (active_records == 0) {
+      // Nothing but a header: discard rather than seal an empty segment.
+      std::fclose(file);
+      std::remove(open_path.c_str());
+    } else {
+      if (std::fflush(file) != 0) {
+        io_failures.fetch_add(1, std::memory_order_relaxed);
+        AbandonSegment();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(sealer_mutex);
+        sealer_queue.push_back({file, std::move(open_path), active_seq});
+      }
+      sealer_cv.notify_all();
+    }
+    file = nullptr;
+    open_path.clear();
+  }
+
+  void WaitSealerDrained() {
+    std::unique_lock<std::mutex> lock(sealer_mutex);
+    sealer_done_cv.wait(
+        lock, [this] { return sealer_queue.empty() && !sealer_in_flight; });
+  }
+
+  // ----- sealer thread -----
+
+  void SealerLoop() {
+    std::unique_lock<std::mutex> lock(sealer_mutex);
+    while (true) {
+      sealer_cv.wait(lock,
+                     [this] { return sealer_stopping || !sealer_queue.empty(); });
+      if (sealer_queue.empty()) {
+        if (sealer_stopping) return;
+        continue;
+      }
+      const PendingSeal pending = std::move(sealer_queue.front());
+      sealer_queue.pop_front();
+      sealer_in_flight = true;
+      lock.unlock();
+      const bool ok = SealSegment(pending);
+      lock.lock();
+      sealer_in_flight = false;
+      if (ok) {
+        segments_sealed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        io_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      sealer_done_cv.notify_all();
+    }
+  }
+
+  // The expensive half of a seal: fsync, rename to .flog, prune. Returns
+  // false when the segment could not be made durable — the .open is left
+  // in place (its flushed records still replay after a process death,
+  // they just lack the sealed-name durability promise).
+  bool SealSegment(const PendingSeal& pending) {
+    const bool synced = ::fsync(fileno(pending.file)) == 0;
+    std::fclose(pending.file);
+    if (!synced) return false;
+    const std::string sealed_path =
+        (fs::path(dir) /
+         (kPrefix + std::to_string(pending.seq) + kSealedSuffix))
+            .string();
+    std::error_code ec;
+    fs::rename(pending.open_path, sealed_path, ec);
+    if (ec) return false;
+    Prune();
+    return true;
+  }
+
+  // Pruning failures are ignored on purpose, exactly like SnapshotStore:
+  // leaking an old segment beats failing the seal that produced a good
+  // new one.
+  void Prune() {
+    if (options.keep_segments == 0) return;
+    std::vector<std::pair<uint64_t, std::string>> sealed;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const uint64_t seq =
+          SequenceOf(it->path().filename().string(), kSealedSuffix);
+      if (seq > 0) sealed.emplace_back(seq, it->path().string());
+    }
+    std::sort(sealed.begin(), sealed.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t i = options.keep_segments; i < sealed.size(); ++i) {
+      std::error_code remove_ec;
+      fs::remove(sealed[i].second, remove_ec);
+    }
+  }
+
+  // ----- barriers (caller side) -----
+
+  // Consumes failures accumulated since the last barrier; true if none.
+  // Caller must hold `mutex`.
+  bool ConsumeFailuresLocked() {
+    const uint64_t failures = io_failures.load(std::memory_order_relaxed);
+    const bool clean = failures == failures_reported;
+    failures_reported = failures;
+    return clean;
+  }
+};
+
+StatusOr<LogWriter> LogWriter::Open(const std::string& dir,
+                                    std::vector<uint8_t> plan,
+                                    LogWriterOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  auto impl = std::make_unique<Impl>();
+  impl->dir = dir;
+  impl->plan = std::move(plan);
+  impl->options = options;
+  if (impl->options.max_buffered_bytes == 0) {
+    impl->options.max_buffered_bytes = impl->options.segment_bytes;
+  }
+  // Resume the sequence past every existing segment — sealed or a crashed
+  // writer's leftover .open — so a committed name is never reused.
+  for (const std::string& path : ListSegmentsOldestFirst(dir)) {
+    const uint64_t seq = AnySequenceOf(fs::path(path).filename().string());
+    impl->next_seq = std::max(impl->next_seq, seq + 1);
+  }
+  // Eagerly open the first segment on this thread (the writer thread has
+  // not started, so the single-owner rule holds) to fail fast on an
+  // unwritable directory instead of at the first barrier.
+  if (!impl->OpenSegment()) {
+    return Status::Unavailable("cannot open log segment for writing under: " +
+                               dir);
+  }
+  impl->StartThreads();
+  return LogWriter(std::move(impl));
+}
+
+LogWriter::LogWriter(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+LogWriter::~LogWriter() {
+  if (impl_ != nullptr) {
+    (void)Seal();  // best effort; errors already counted
+  }
+}
+
+LogWriter::LogWriter(LogWriter&& other) noexcept = default;
+LogWriter& LogWriter::operator=(LogWriter&& other) noexcept = default;
+
+const std::string& LogWriter::dir() const { return impl_->dir; }
+
+uint64_t LogWriter::records_appended() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->records_appended;
+}
+
+uint64_t LogWriter::segments_sealed() const {
+  return impl_->segments_sealed.load(std::memory_order_relaxed);
+}
+
+uint64_t LogWriter::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->bytes_appended;
+}
+
+Status LogWriter::Append(RecordType type, uint64_t key,
+                         std::span<const uint8_t> payload) {
+  Impl& impl = *impl_;
+  std::vector<uint8_t> record;
+  // type u8 + payload_len u32 + key u64 + payload + xxh64 seal
+  record.reserve(1 + 4 + 8 + payload.size() + 8);
+  AppendRecord(&record, type, key, payload);
+  const uint64_t record_bytes = record.size();
+
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  // Backpressure: bound writer-queue memory; in steady state the writer
+  // drains faster than the drain path fills, so this only bites while a
+  // rotation fsync is in flight with max_buffered_bytes of backlog.
+  impl.done_cv.wait(lock, [&impl] {
+    return impl.queued_bytes < impl.options.max_buffered_bytes ||
+           impl.stopping;
+  });
+  const bool was_empty = impl.queue.empty();
+  impl.queue.push_back(std::move(record));
+  impl.queued_bytes += record_bytes;
+  impl.pushed += 1;
+  impl.records_appended += 1;
+  impl.bytes_appended += record_bytes;
+  lock.unlock();
+  // Only the empty->nonempty edge needs a wakeup: a writer mid-batch
+  // re-checks the queue at its loop top, and per-record notifies would
+  // cost a context switch per Append.
+  if (was_empty) impl.writer_cv.notify_one();
+  return Status::Ok();
+}
+
+Status LogWriter::Flush() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  const uint64_t target = impl.pushed;
+  impl.writer_cv.notify_all();
+  impl.done_cv.wait(lock, [&impl, target] { return impl.written >= target; });
+  if (!impl.ConsumeFailuresLocked()) {
+    return Status::Unavailable("report log lost records under: " + impl.dir);
+  }
+  return Status::Ok();
+}
+
+Status LogWriter::Seal() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  const uint64_t my_epoch = ++impl.seal_requests;
+  impl.writer_cv.notify_all();
+  impl.done_cv.wait(lock,
+                    [&impl, my_epoch] { return impl.seals_done >= my_epoch; });
+  if (!impl.ConsumeFailuresLocked()) {
+    return Status::Unavailable("cannot seal log segment under: " + impl.dir);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ListSegmentsOldestFirst(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const uint64_t seq = AnySequenceOf(it->path().filename().string());
+    if (seq > 0) found.emplace_back(seq, it->path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [seq, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+}  // namespace felip::replaylog

@@ -26,10 +26,12 @@ using wire::Writer;
 
 Status Malformed(const char* what) { return Status::InvalidArgument(what); }
 
+}  // namespace
+
 // --- kConfig ---
 
-std::vector<uint8_t> EncodeConfig(const FelipConfig& config,
-                                  uint64_t num_users) {
+std::vector<uint8_t> EncodeConfigSection(const FelipConfig& config,
+                                         uint64_t num_users) {
   std::vector<uint8_t> payload;
   Writer w(&payload);
   w.Put<uint64_t>(num_users);
@@ -57,8 +59,8 @@ std::vector<uint8_t> EncodeConfig(const FelipConfig& config,
   return payload;
 }
 
-Status DecodeConfig(const std::vector<uint8_t>& payload, FelipConfig* config,
-                    uint64_t* num_users) {
+Status DecodeConfigSection(const std::vector<uint8_t>& payload,
+                           FelipConfig* config, uint64_t* num_users) {
   Reader r(payload);
   uint8_t strategy = 0;
   uint8_t partitioning = 0;
@@ -118,7 +120,8 @@ Status DecodeConfig(const std::vector<uint8_t>& payload, FelipConfig* config,
 
 // --- kSchema ---
 
-std::vector<uint8_t> EncodeSchema(const std::vector<AttributeInfo>& schema) {
+std::vector<uint8_t> EncodeSchemaSection(
+    const std::vector<AttributeInfo>& schema) {
   std::vector<uint8_t> payload;
   Writer w(&payload);
   w.Put<uint32_t>(static_cast<uint32_t>(schema.size()));
@@ -132,8 +135,8 @@ std::vector<uint8_t> EncodeSchema(const std::vector<AttributeInfo>& schema) {
   return payload;
 }
 
-Status DecodeSchema(const std::vector<uint8_t>& payload,
-                    std::vector<AttributeInfo>* schema) {
+Status DecodeSchemaSection(const std::vector<uint8_t>& payload,
+                           std::vector<AttributeInfo>* schema) {
   Reader r(payload);
   uint32_t count = 0;
   if (!r.Get(&count)) return Malformed("snapshot schema section is truncated");
@@ -163,6 +166,8 @@ Status DecodeSchema(const std::vector<uint8_t>& payload,
   }
   return Status::Ok();
 }
+
+namespace {
 
 // --- kState ---
 
@@ -433,9 +438,11 @@ std::vector<uint8_t> PipelineCodec::Encode(
     const FelipPipeline& pipeline, const core::SnapshotOptions& options,
     std::span<const uint64_t> dedup_keys) {
   SnapshotWriter writer(static_cast<uint8_t>(pipeline.state_));
-  writer.AppendSection(SectionId::kConfig,
-                       EncodeConfig(pipeline.config_, pipeline.num_users_));
-  writer.AppendSection(SectionId::kSchema, EncodeSchema(pipeline.schema_));
+  writer.AppendSection(
+      SectionId::kConfig,
+      EncodeConfigSection(pipeline.config_, pipeline.num_users_));
+  writer.AppendSection(SectionId::kSchema,
+                       EncodeSchemaSection(pipeline.schema_));
   writer.AppendSection(
       SectionId::kState,
       EncodeState(pipeline.state_, pipeline.reports_ingested_));
@@ -480,9 +487,10 @@ StatusOr<RecoveredPipeline> PipelineCodec::Decode(
 
   FelipConfig config;
   uint64_t num_users = 0;
-  FELIP_RETURN_IF_ERROR(DecodeConfig(*config_section, &config, &num_users));
+  FELIP_RETURN_IF_ERROR(
+      DecodeConfigSection(*config_section, &config, &num_users));
   std::vector<AttributeInfo> schema;
-  FELIP_RETURN_IF_ERROR(DecodeSchema(*schema_section, &schema));
+  FELIP_RETURN_IF_ERROR(DecodeSchemaSection(*schema_section, &schema));
   PipelineState state = PipelineState::kConfigured;
   uint64_t reports_ingested = 0;
   FELIP_RETURN_IF_ERROR(DecodeState(*state_section, reader.state_byte(),

@@ -45,6 +45,26 @@ struct RecoveredPipeline {
   std::vector<uint64_t> dedup_keys;
 };
 
+// --- Shared section codecs ---
+//
+// The kConfig / kSchema section payloads double as the "plan descriptor"
+// other durable formats embed (the report log in felip/replaylog writes
+// one into every segment header), so their codecs are exposed here.
+// Grid planning is deterministic in (schema, num_users, config): any two
+// artifacts carrying equal section bytes replan the identical layout.
+// Decoding validates semantically (enum ranges, positive epsilon,
+// non-empty schema) and returns Status — these bytes come from disk.
+
+std::vector<uint8_t> EncodeConfigSection(const core::FelipConfig& config,
+                                         uint64_t num_users);
+Status DecodeConfigSection(const std::vector<uint8_t>& payload,
+                           core::FelipConfig* config, uint64_t* num_users);
+
+std::vector<uint8_t> EncodeSchemaSection(
+    const std::vector<data::AttributeInfo>& schema);
+Status DecodeSchemaSection(const std::vector<uint8_t>& payload,
+                           std::vector<data::AttributeInfo>* schema);
+
 class PipelineCodec {
  public:
   // Serializes `pipeline` (any state) and `dedup_keys` to snapshot bytes.

@@ -21,6 +21,8 @@ struct ServerCounters {
   obs::Gauge& queue_depth;
   obs::Counter& checkpoints;
   obs::Counter& checkpoint_failures;
+  obs::Counter& logged;
+  obs::Counter& log_failures;
 
   static ServerCounters& Get() {
     static ServerCounters counters{
@@ -38,6 +40,8 @@ struct ServerCounters {
             "felip_svc_checkpoints_total"),
         obs::Registry::Default().GetCounter(
             "felip_svc_checkpoint_failures_total"),
+        obs::Registry::Default().GetCounter("felip_svc_batches_logged_total"),
+        obs::Registry::Default().GetCounter("felip_svc_log_failures_total"),
     };
     return counters;
   }
@@ -215,8 +219,20 @@ void IngestServer::WorkerLoop() {
       // critical section: a checkpoint can never see the batch's reports
       // without its key or vice versa.
       std::lock_guard<std::mutex> lock(drain_mutex_);
+      const uint64_t key = ChecksumTrailer(*frame).value_or(0);
       sink_->IngestBatch(messages);
-      drained_.Insert(ChecksumTrailer(*frame).value_or(0));
+      drained_.Insert(key);
+      // Log before any checkpoint trigger: a checkpoint cut must never
+      // include a batch the report log is missing (docs/replay.md).
+      if (options_.report_log) {
+        if (options_.report_log(key, *frame).ok()) {
+          batches_logged_.fetch_add(1);
+          counters.logged.Increment();
+        } else {
+          log_failures_.fetch_add(1);
+          counters.log_failures.Increment();
+        }
+      }
       ++batches_since_checkpoint_;
       if (options_.checkpoint) {
         const bool batch_due =

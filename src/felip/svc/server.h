@@ -70,6 +70,16 @@ namespace felip::svc {
 // checkpoint trigger.
 using CheckpointFn = std::function<Status(std::span<const uint64_t>)>;
 
+// Durable report log hook (felip/replaylog): called with a drained
+// batch's idempotency key and its full encoded frame, inside the same
+// critical section as the sink ingest — after the batch reached the sink
+// and before any checkpoint fires, so a checkpoint cut never includes an
+// unlogged batch. Returning non-OK counts a failure (log_failures()); the
+// server keeps serving, and the batch stays counted — the log is a replay
+// corpus, not the source of truth.
+using ReportLogFn =
+    std::function<Status(uint64_t key, std::span<const uint8_t> frame)>;
+
 struct IngestServerOptions {
   // Batches buffered between the IO thread and the workers; a full queue
   // acks kResourceExhausted (backpressure).
@@ -87,6 +97,9 @@ struct IngestServerOptions {
   uint64_t checkpoint_every_batches = 0;
   uint64_t checkpoint_every_ms = 0;
   CheckpointFn checkpoint;
+  // Append every drained batch to a durable report log. Unset = zero
+  // overhead on the drain path.
+  ReportLogFn report_log;
 };
 
 class IngestServer {
@@ -129,6 +142,8 @@ class IngestServer {
   uint64_t batches_undecodable() const { return batches_undecodable_.load(); }
   uint64_t checkpoints_written() const { return checkpoints_written_.load(); }
   uint64_t checkpoint_failures() const { return checkpoint_failures_.load(); }
+  uint64_t batches_logged() const { return batches_logged_.load(); }
+  uint64_t log_failures() const { return log_failures_.load(); }
   uint64_t dedup_evictions() const;
   uint64_t reports_seen() const;
 
@@ -173,6 +188,8 @@ class IngestServer {
   std::atomic<uint64_t> batches_undecodable_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> batches_logged_{0};
+  std::atomic<uint64_t> log_failures_{0};
 };
 
 }  // namespace felip::svc

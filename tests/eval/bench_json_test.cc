@@ -117,6 +117,60 @@ TEST(BenchJsonTest, RejectsMalformedAndWrongSchema) {
       ParseBenchJson("{\"name\": \"x\", \"records\": []}", &report));
 }
 
+TEST(BenchJsonTest, DetailedParseSeparatesMalformedFromUnknownSchema) {
+  BenchReport report;
+  int seen = 0;
+  // Structurally broken inputs classify as malformed, version untouched
+  // by anything but the -1 reset.
+  EXPECT_EQ(ParseBenchJsonDetailed("", &report, &seen),
+            BenchParseResult::kMalformed);
+  EXPECT_EQ(seen, -1);
+  EXPECT_EQ(ParseBenchJsonDetailed("not json", &report, &seen),
+            BenchParseResult::kMalformed);
+  EXPECT_EQ(ParseBenchJsonDetailed("{\"schema_version\": 1", &report, &seen),
+            BenchParseResult::kMalformed);
+  // Missing schema_version: the renderer always writes one, so its
+  // absence means "not our artifact", not "future version".
+  EXPECT_EQ(ParseBenchJsonDetailed("{\"name\": \"x\", \"records\": []}",
+                                   &report, &seen),
+            BenchParseResult::kMalformed);
+  EXPECT_EQ(seen, -1);
+}
+
+TEST(BenchJsonTest, DetailedParseReportsTheVersionItSaw) {
+  // Render a valid artifact, then bump its schema_version: well-formed
+  // but unreadable by this binary. The caller learns which version the
+  // document claimed so bench_diff can print seen-vs-understood.
+  std::string json = RenderBenchJson(SampleReport());
+  const std::string needle = "\"schema_version\": 1";
+  const size_t at = json.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, needle.size(), "\"schema_version\": 99");
+
+  BenchReport report;
+  report.name = "sentinel";
+  int seen = -1;
+  EXPECT_EQ(ParseBenchJsonDetailed(json, &report, &seen),
+            BenchParseResult::kUnknownSchemaVersion);
+  EXPECT_EQ(seen, 99);
+  EXPECT_EQ(report.name, "sentinel");  // *out untouched off the kOk path
+
+  // The null-version_seen overload stays usable.
+  EXPECT_EQ(ParseBenchJsonDetailed(json, &report),
+            BenchParseResult::kUnknownSchemaVersion);
+}
+
+TEST(BenchJsonTest, DetailedParseMatchesBoolParserOnSuccess) {
+  const std::string json = RenderBenchJson(SampleReport());
+  BenchReport report;
+  int seen = 7;
+  EXPECT_EQ(ParseBenchJsonDetailed(json, &report, &seen),
+            BenchParseResult::kOk);
+  EXPECT_EQ(seen, -1);
+  EXPECT_EQ(report.name, "perf_query_engine");
+  ASSERT_EQ(report.records.size(), 2u);
+}
+
 TEST(BenchJsonTest, MakeBenchReportRecordsDispatchLevel) {
   const BenchReport report = MakeBenchReport("perf_test");
   EXPECT_EQ(report.name, "perf_test");

@@ -63,16 +63,37 @@ int main(int argc, char** argv) {
 
   felip::eval::BenchReport baseline, current;
   for (int i = 0; i < 2; ++i) {
+    const char* role = i == 0 ? "baseline" : "current";
     std::string text;
     if (!ReadFile(paths[i], &text)) {
-      std::fprintf(stderr, "bench_diff: cannot read %s\n", paths[i]);
+      // Most often the committed baseline for a brand-new bench simply
+      // hasn't landed yet — say so instead of a bare read error.
+      std::fprintf(stderr,
+                   "bench_diff: cannot read %s file %s (missing artifact? "
+                   "run the bench with FELIP_BENCH_JSON_DIR set and commit "
+                   "the BENCH_*.json)\n",
+                   role, paths[i]);
       return 2;
     }
     felip::eval::BenchReport* out = i == 0 ? &baseline : &current;
-    if (!felip::eval::ParseBenchJson(text, out)) {
-      std::fprintf(stderr, "bench_diff: %s is not a BENCH_*.json artifact\n",
-                   paths[i]);
-      return 2;
+    int version_seen = -1;
+    switch (felip::eval::ParseBenchJsonDetailed(text, out, &version_seen)) {
+      case felip::eval::BenchParseResult::kOk:
+        break;
+      case felip::eval::BenchParseResult::kUnknownSchemaVersion:
+        std::fprintf(stderr,
+                     "bench_diff: %s file %s has schema_version %d, but "
+                     "this binary only understands %d (rebuild bench_diff "
+                     "and the artifact from the same revision)\n",
+                     role, paths[i], version_seen,
+                     felip::eval::kBenchJsonSchemaVersion);
+        return 2;
+      case felip::eval::BenchParseResult::kMalformed:
+        std::fprintf(stderr,
+                     "bench_diff: %s file %s is not a BENCH_*.json "
+                     "artifact\n",
+                     role, paths[i]);
+        return 2;
     }
   }
 

@@ -1,0 +1,197 @@
+// felip_replay — offline estimation from an append-only report log.
+//
+// Reads every segment felip_server wrote under --log-dir, reconstructs
+// the pipeline the log's plan describes, re-ingests the logged batches
+// through the exact server gates (trailer checksum, idempotency window,
+// sharded decode, per-report validation), finalizes, and prints the same
+// `attr0 marginal head:` + `grid frequencies xxh64=` lines felip_server
+// prints after a live round — so replay-vs-live is one diff away.
+//
+// Post-processing is swappable per run without touching the corpus:
+//   felip_replay --log-dir=log                      # as logged
+//   felip_replay --log-dir=log --normalization=mul  # Norm-Mul instead
+//   felip_replay --log-dir=log --consistency-rounds=0 --lambda-quadrant-fit
+// With --expect-digest the tool exits non-zero unless the replayed grid
+// digest matches — the CI soaks use this to pin replay == live bitwise.
+//
+// --probe-queries additionally answers a seeded random workload through
+// the chosen pair-answer path (exact or prefix-sum matrices) and digests
+// the answers, so the query surface is comparable across runs too.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "felip/common/flags.h"
+#include "felip/common/hash.h"
+#include "felip/common/rng.h"
+#include "felip/core/felip.h"
+#include "felip/data/dataset.h"
+#include "felip/obs/metrics.h"
+#include "felip/post/norm_sub.h"
+#include "felip/query/generator.h"
+#include "felip/replaylog/replay.h"
+
+namespace {
+
+using namespace felip;
+
+void PrintUsage() {
+  std::printf(
+      "felip_replay — re-run FELIP estimation from a report log\n\n"
+      "  --log-dir=<path>        report log directory (required)\n"
+      "  --normalization=sub|mul|cut  override the logged negativity "
+      "removal\n"
+      "  --consistency-rounds=<int>   override consistency iteration "
+      "count\n"
+      "  --lambda-threshold=<float>   override Algorithm 4 convergence\n"
+      "  --lambda-quadrant-fit[=0|1]  override the four-quadrant λ fit\n"
+      "  --threads=<int>         aggregation threads (0 = hardware)\n"
+      "  --expect-digest=<hex>   exit 1 unless the grid digest matches\n"
+      "  --probe-queries=<int>   also answer N seeded queries (default "
+      "0)\n"
+      "  --probe-seed=<int>      probe workload seed (default 42)\n"
+      "  --pair-path=exact|prefix  probe pair-answer path (default "
+      "exact)\n"
+      "  --metrics               dump observability metrics to stderr\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+
+  const bool show_help = flags.GetBool("help", false);
+  const std::string log_dir = flags.GetString("log-dir", "");
+  const std::string normalization_name =
+      flags.GetString("normalization", "");
+  const int64_t consistency_rounds =
+      flags.GetInt("consistency-rounds", -1);
+  const double lambda_threshold = flags.GetDouble("lambda-threshold", -1.0);
+  const int64_t lambda_quadrant_fit =
+      flags.GetInt("lambda-quadrant-fit", -1);
+  const int64_t threads = flags.GetInt("threads", -1);
+  const std::string expect_digest = flags.GetString("expect-digest", "");
+  const uint64_t probe_queries = flags.GetUint("probe-queries", 0);
+  const uint64_t probe_seed = flags.GetUint("probe-seed", 42);
+  const std::string pair_path_name = flags.GetString("pair-path", "exact");
+  const bool dump_metrics = flags.GetBool("metrics", false);
+
+  bool usage_error = false;
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "error: unknown flag: --%s\n", unknown.c_str());
+    usage_error = true;
+  }
+  for (const std::string& positional : flags.positional()) {
+    std::fprintf(stderr, "error: unexpected argument: %s\n",
+                 positional.c_str());
+    usage_error = true;
+  }
+  if (usage_error) {
+    std::fprintf(stderr, "\n");
+    PrintUsage();
+    return 2;
+  }
+  if (show_help) {
+    PrintUsage();
+    return 0;
+  }
+  if (log_dir.empty()) {
+    std::fprintf(stderr, "error: --log-dir is required\n");
+    return 2;
+  }
+  if (pair_path_name != "exact" && pair_path_name != "prefix") {
+    std::fprintf(stderr, "error: --pair-path must be exact or prefix\n");
+    return 2;
+  }
+
+  replaylog::ReplayOverrides overrides;
+  if (!normalization_name.empty()) {
+    overrides.normalization = post::ParseNormalization(normalization_name);
+    if (!overrides.normalization.has_value()) {
+      std::fprintf(stderr,
+                   "error: --normalization must be sub, mul, or cut\n");
+      return 2;
+    }
+  }
+  if (consistency_rounds >= 0) {
+    overrides.consistency_rounds = static_cast<int>(consistency_rounds);
+  }
+  if (lambda_threshold >= 0.0) {
+    overrides.lambda_threshold = lambda_threshold;
+  }
+  if (lambda_quadrant_fit >= 0) {
+    overrides.lambda_quadrant_fit = lambda_quadrant_fit != 0;
+  }
+  if (threads >= 0) {
+    overrides.aggregation_threads = static_cast<unsigned>(threads);
+  }
+
+  StatusOr<replaylog::ReplayResult> result =
+      replaylog::ReplayLog(log_dir, overrides);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const replaylog::ReplayStats& stats = result->stats;
+  std::printf(
+      "replayed %" PRIu64 " batches from %" PRIu64
+      " segments (damaged=%" PRIu64 " duplicate=%" PRIu64
+      " undecodable=%" PRIu64 "); reports accepted=%" PRIu64
+      " rejected=%" PRIu64 "\n",
+      stats.batches_replayed, stats.segments_read, stats.segments_damaged,
+      stats.batches_duplicate, stats.batches_undecodable,
+      stats.reports_accepted, stats.reports_rejected);
+
+  core::FelipPipeline& pipeline = result->pipeline;
+  pipeline.Finalize();
+
+  // Byte-for-byte the felip_server epilogue, so live-vs-replay output
+  // diffs clean.
+  const std::vector<double> marginal = pipeline.EstimateMarginal(0);
+  const size_t head = marginal.size() < 8 ? marginal.size() : 8;
+  std::printf("attr0 marginal head:");
+  for (size_t v = 0; v < head; ++v) std::printf(" %.17g", marginal[v]);
+  std::printf("\n");
+  const uint64_t digest = core::GridFrequencyDigest(pipeline);
+  std::printf("grid frequencies xxh64=%016llx\n",
+              static_cast<unsigned long long>(digest));
+
+  if (probe_queries > 0) {
+    const data::Dataset schema_only(pipeline.schema());
+    Rng rng(probe_seed);
+    const std::vector<query::Query> workload = query::GenerateQueries(
+        schema_only, static_cast<uint32_t>(probe_queries), {}, rng);
+    core::QueryBatchOptions query_options;
+    query_options.pair_path = pair_path_name == "prefix"
+                                  ? core::PairAnswerPath::kPrefix
+                                  : core::PairAnswerPath::kExact;
+    const std::vector<double> answers =
+        pipeline.AnswerQueries(workload, query_options);
+    const uint64_t answer_digest =
+        XxHash64Bytes(answers.data(), answers.size() * sizeof(double), 0);
+    std::printf("probe answers (%s) xxh64=%016llx\n", pair_path_name.c_str(),
+                static_cast<unsigned long long>(answer_digest));
+  }
+
+  if (dump_metrics) {
+    const std::string text = obs::Registry::Default().RenderText();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+
+  if (!expect_digest.empty()) {
+    const uint64_t expected =
+        std::strtoull(expect_digest.c_str(), nullptr, 16);
+    if (expected != digest) {
+      std::fprintf(stderr,
+                   "error: digest mismatch: expected %016llx got %016llx\n",
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(digest));
+      return 1;
+    }
+    std::printf("digest matches expectation\n");
+  }
+  return 0;
+}

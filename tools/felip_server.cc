@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "felip/common/flags.h"
-#include "felip/common/hash.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/obs/metrics.h"
+#include "felip/post/norm_sub.h"
+#include "felip/replaylog/replay.h"
+#include "felip/replaylog/store.h"
 #include "felip/snapshot/checkpoint.h"
 #include "felip/snapshot/store.h"
 #include "felip/svc/query_service.h"
@@ -64,6 +66,14 @@ void PrintUsage() {
       "0 = off)\n"
       "  --snapshot-keep=<int>   snapshots retained in rotation (default "
       "3)\n"
+      "  --report-log-dir=<path>  append every drained batch to a replay "
+      "log here\n"
+      "  --report-log-segment-mb=<int>  rotate log segments at this size "
+      "(default 64)\n"
+      "  --report-log-keep=<int>  sealed segments retained, 0 = all "
+      "(default 0)\n"
+      "  --normalization=sub|mul|cut  negativity-removal variant (default "
+      "sub)\n"
       "  --metrics               dump observability metrics to stderr\n");
 }
 
@@ -99,6 +109,12 @@ int main(int argc, char** argv) {
   const uint64_t snapshot_interval_ms =
       flags.GetUint("snapshot-interval-ms", 0);
   const uint64_t snapshot_keep = flags.GetUint("snapshot-keep", 3);
+  const std::string report_log_dir = flags.GetString("report-log-dir", "");
+  const uint64_t report_log_segment_mb =
+      flags.GetUint("report-log-segment-mb", 64);
+  const uint64_t report_log_keep = flags.GetUint("report-log-keep", 0);
+  const std::string normalization_name =
+      flags.GetString("normalization", "sub");
   const bool dump_metrics = flags.GetBool("metrics", false);
 
   bool usage_error = false;
@@ -124,6 +140,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --strategy must be oug or ohg\n");
     return 2;
   }
+  const std::optional<post::Normalization> normalization =
+      post::ParseNormalization(normalization_name);
+  if (!normalization.has_value()) {
+    std::fprintf(stderr, "error: --normalization must be sub, mul, or cut\n");
+    return 2;
+  }
 
   // The schema comes from the same generator felip_client uses; only the
   // attribute metadata matters here — the values stay on the clients.
@@ -135,6 +157,7 @@ int main(int argc, char** argv) {
       strategy == "oug" ? core::Strategy::kOug : core::Strategy::kOhg;
   config.epsilon = epsilon;
   config.seed = seed;
+  config.normalization = *normalization;
 
   // Warm restart: adopt the newest verifiable snapshot when one exists.
   // The snapshot must come from a server launched with the same planning
@@ -173,18 +196,56 @@ int main(int argc, char** argv) {
   }
   svc::PipelineSink sink(&*pipeline);
 
+  // The report log's plan comes from the live pipeline (flags-derived or
+  // snapshot-recovered), so felip_replay replans the identical layout. A
+  // restart appends new segments whose plans match the old ones byte for
+  // byte — same config, same schema, same population.
+  std::unique_ptr<replaylog::LogWriter> report_log;
+  if (!report_log_dir.empty()) {
+    replaylog::LogWriterOptions log_options;
+    log_options.segment_bytes = report_log_segment_mb << 20;
+    log_options.keep_segments = static_cast<size_t>(report_log_keep);
+    StatusOr<replaylog::LogWriter> opened = replaylog::LogWriter::Open(
+        report_log_dir,
+        replaylog::EncodePlan(pipeline->config(), pipeline->num_users(),
+                              pipeline->schema()),
+        log_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: cannot open report log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    report_log =
+        std::make_unique<replaylog::LogWriter>(*std::move(opened));
+  }
+
   std::unique_ptr<snapshot::Checkpointer> checkpointer;
   svc::TcpTransport transport;
   svc::IngestServerOptions server_options;
   server_options.queue_capacity = static_cast<size_t>(queue_capacity);
   server_options.worker_threads = workers;
+  if (report_log != nullptr) {
+    // Runs under the server's drain lock, so the non-thread-safe writer
+    // only ever sees one appender.
+    server_options.report_log = [&report_log](
+                                    uint64_t key,
+                                    std::span<const uint8_t> frame) {
+      return report_log->Append(replaylog::RecordType::kBatch, key, frame);
+    };
+  }
   if (store != nullptr) {
     checkpointer =
         std::make_unique<snapshot::Checkpointer>(store.get(), &*pipeline);
     server_options.checkpoint_every_batches = snapshot_interval;
     server_options.checkpoint_every_ms = snapshot_interval_ms;
     server_options.checkpoint =
-        [&checkpointer](std::span<const uint64_t> drained_keys) {
+        [&checkpointer, &report_log](std::span<const uint64_t> drained_keys) {
+          // A checkpoint must never lead the log: every batch the cut
+          // claims has to be OS-durable in the log first, or a SIGKILL
+          // could leave a snapshot holding batches replay cannot see.
+          if (report_log != nullptr) {
+            FELIP_RETURN_IF_ERROR(report_log->Flush());
+          }
           return checkpointer->Checkpoint(drained_keys);
         };
   }
@@ -210,6 +271,18 @@ int main(int argc, char** argv) {
   const bool complete = server.WaitForReports(remaining, timeout_ms);
   server.Stop();
   sink.Finish();
+  if (report_log != nullptr) {
+    const Status sealed = report_log->Seal();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "warning: %s\n", sealed.ToString().c_str());
+    }
+    std::printf("report log: batches logged=%llu failures=%llu "
+                "segments sealed=%llu\n",
+                static_cast<unsigned long long>(server.batches_logged()),
+                static_cast<unsigned long long>(server.log_failures()),
+                static_cast<unsigned long long>(
+                    report_log->segments_sealed()));
+  }
   if (!complete) {
     std::fprintf(stderr,
                  "error: timed out with %llu/%llu reports (accepted=%llu "
@@ -243,13 +316,9 @@ int main(int argc, char** argv) {
   std::printf("attr0 marginal head:");
   for (size_t v = 0; v < head; ++v) std::printf(" %.17g", marginal[v]);
   std::printf("\n");
-  uint64_t digest = 0;
-  for (const std::vector<double>& grid : pipeline->ExportGridFrequencies()) {
-    digest =
-        XxHash64Bytes(grid.data(), grid.size() * sizeof(double), digest);
-  }
   std::printf("grid frequencies xxh64=%016llx\n",
-              static_cast<unsigned long long>(digest));
+              static_cast<unsigned long long>(
+                  core::GridFrequencyDigest(*pipeline)));
 
   if (serve_queries) {
     svc::QueryServer query_server(
