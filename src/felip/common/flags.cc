@@ -13,15 +13,22 @@ FlagParser::FlagParser(int argc, const char* const* argv) {
     }
     const std::string body = arg.substr(2);
     const size_t eq = body.find('=');
+    std::string name;
+    std::string value;
     if (eq == std::string::npos) {
       if (body.rfind("no-", 0) == 0) {
-        flags_[body.substr(3)] = "false";
+        name = body.substr(3);
+        value = "false";
       } else {
-        flags_[body] = "true";
+        name = body;
+        value = "true";
       }
     } else {
-      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
     }
+    flags_[name] = value;
+    repeated_[name].push_back(std::move(value));
   }
 }
 
@@ -68,6 +75,12 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::GetStringList(const std::string& name) {
+  consumed_.insert(name);
+  const auto it = repeated_.find(name);
+  return it == repeated_.end() ? std::vector<std::string>{} : it->second;
 }
 
 bool FlagParser::Has(const std::string& name) const {

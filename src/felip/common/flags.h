@@ -28,6 +28,11 @@ class FlagParser {
   uint64_t GetUint(const std::string& name, uint64_t default_value);
   bool GetBool(const std::string& name, bool default_value);
 
+  // Every value passed for a repeated flag, in command-line order (the
+  // scalar accessors return only the last). Empty when the flag was never
+  // passed; a bare `--name` contributes "true". Marks the flag consumed.
+  std::vector<std::string> GetStringList(const std::string& name);
+
   bool Has(const std::string& name) const;
 
   // Flags that were passed but never read — almost always typos.
@@ -38,6 +43,8 @@ class FlagParser {
 
  private:
   std::map<std::string, std::string> flags_;
+  // Every occurrence in command-line order, for GetStringList.
+  std::map<std::string, std::vector<std::string>> repeated_;
   std::set<std::string> consumed_;
   std::vector<std::string> positional_;
 };

@@ -323,6 +323,37 @@ Status FelipPipeline::IngestOueReport(uint32_t grid_index,
   return Status::Ok();
 }
 
+Status FelipPipeline::MergeAccumulators(std::vector<fo::OracleState> states,
+                                        uint64_t reports_ingested) {
+  ExpectState(PipelineState::kCollecting, "MergeAccumulators()");
+  if (states.size() != oracles_.size()) {
+    return Status::InvalidArgument(
+        "accumulator set does not match the planned grid layout");
+  }
+  uint64_t total = 0;
+  for (const fo::OracleState& state : states) total += state.num_reports;
+  if (total != reports_ingested) {
+    return Status::InvalidArgument(
+        "accumulator report counts disagree with the frame total");
+  }
+  // Merge into exported copies first so every shape check runs before any
+  // oracle is touched; RestoreState then re-validates the merged state
+  // (protocol, domain, report ranges) exactly like a snapshot load.
+  std::vector<fo::OracleState> merged(states.size());
+  for (size_t g = 0; g < states.size(); ++g) {
+    merged[g] = oracles_[g]->ExportState();
+    FELIP_RETURN_IF_ERROR(fo::MergeOracleState(&merged[g], states[g]));
+  }
+  for (size_t g = 0; g < merged.size(); ++g) {
+    FELIP_RETURN_IF_ERROR(oracles_[g]->RestoreState(std::move(merged[g])));
+  }
+  reports_ingested_ += reports_ingested;
+  obs::Registry::Default()
+      .GetCounter("felip_core_accumulator_merges_total")
+      .Increment();
+  return Status::Ok();
+}
+
 void FelipPipeline::FinishIngest() {
   ExpectState(PipelineState::kCollecting, "FinishIngest()");
   state_ = PipelineState::kSealed;

@@ -228,6 +228,25 @@ class FelipPipeline {
   void FinishIngest();
   uint64_t reports_ingested() const { return reports_ingested_; }
 
+  // --- Distributed aggregation (felip/dist) ---
+  //
+  // Folds one shard's per-grid accumulators into this pipeline's live
+  // oracles. `states` must carry one entry per planned grid in assignment
+  // order, and `reports_ingested` must equal the summed report counts of
+  // those entries — the cross-check every accumulator frame carries.
+  // Requires kCollecting (BeginIngest first). Because aggregation is
+  // integer-count based, merging N shards in any order is bit-identical
+  // to ingesting the union of their report multisets directly.
+  //
+  // Shard state arrives over the network, so shape/range violations
+  // return kInvalidArgument instead of aborting; validation runs for all
+  // grids before any oracle is mutated, but a RestoreState failure after
+  // that point (theoretically unreachable for states that passed the
+  // shape checks) leaves the pipeline partially merged — callers must
+  // discard the round on any non-OK status.
+  Status MergeAccumulators(std::vector<fo::OracleState> states,
+                           uint64_t reports_ingested);
+
   // --- Crash-safe persistence (felip/snapshot) ---
   //
   // Declared here but defined in the felip_snapshot library so core never

@@ -1,0 +1,104 @@
+// Shard-side accumulator endpoint of the distributed aggregation tier.
+//
+// A shard process runs the ordinary ingest gate chain (IngestServer ->
+// PipelineSink -> FelipPipeline) over its consistent-hash partition of the
+// report stream, and additionally serves *accumulator frames* on a second
+// endpoint: each AccumulatorPull is answered with a cumulative export of
+// the shard's per-grid oracle states, taken under the sink's ingest mutex
+// so the frame is one consistent cut (reports_ingested in step with the
+// oracle counts). Frames carry (epoch, sequence) so the root aggregator
+// can order them per shard across warm restarts, plus the shard's plan
+// digest so a misconfigured topology fails loudly instead of merging
+// incompatible layouts.
+//
+// Export is cumulative, never draining: pulling twice is harmless, the
+// newest frame supersedes all earlier ones, and a root can therefore poll
+// on any schedule — the merged result only depends on the final frame per
+// shard. A pull flagged `seal` additionally records that the root has
+// everything it needs; WaitForSeal lets the shard process block on that
+// before shutting down.
+
+#ifndef FELIP_DIST_ACCUMULATOR_H_
+#define FELIP_DIST_ACCUMULATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "felip/common/status.h"
+#include "felip/core/felip.h"
+#include "felip/svc/sink.h"
+#include "felip/svc/transport.h"
+
+namespace felip::dist {
+
+// Chained xxHash64 over the snapshot config + schema section bytes of
+// `pipeline` — the fingerprint of the planned layout. Grid planning is
+// deterministic in (schema, num_users, config), so every process of one
+// topology (shards, root, clients) computes the same digest, and frames
+// from a differently-planned shard are rejected before any merge.
+uint64_t PlanDigest(const core::FelipPipeline& pipeline);
+
+// Reads, increments, and atomically rewrites the shard epoch file
+// (`dir`/EPOCH). Call once at process start with the shard's snapshot
+// directory: the first incarnation gets epoch 1, every warm restart a
+// strictly larger value, so the root discards frames from dead
+// incarnations. Creates `dir` if needed.
+StatusOr<uint64_t> BumpShardEpoch(const std::string& dir);
+
+struct ShardAccumulatorOptions {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  uint64_t epoch = 1;
+  uint64_t plan_digest = 0;
+};
+
+class ShardAccumulatorServer {
+ public:
+  // `transport` and `sink` must outlive this server.
+  ShardAccumulatorServer(svc::Transport* transport,
+                         const std::string& endpoint, svc::PipelineSink* sink,
+                         ShardAccumulatorOptions options);
+  ~ShardAccumulatorServer();
+
+  ShardAccumulatorServer(const ShardAccumulatorServer&) = delete;
+  ShardAccumulatorServer& operator=(const ShardAccumulatorServer&) = delete;
+
+  // Binds the endpoint; false if the transport could not.
+  bool Start();
+  void Stop();
+
+  // Resolved endpoint the root should pull from.
+  std::string endpoint() const;
+
+  // Blocks until a seal pull arrives or `timeout_ms` elapses; true when
+  // sealed. The caller stops its ingest server afterwards — the root only
+  // seals once the round's every report is accounted for.
+  bool WaitForSeal(int timeout_ms);
+
+  uint64_t frames_served() const;
+  uint64_t pulls_rejected() const;
+
+ private:
+  std::vector<uint8_t> HandlePull(std::vector<uint8_t>&& payload);
+
+  svc::Transport* transport_;
+  std::string endpoint_;
+  svc::PipelineSink* sink_;
+  ShardAccumulatorOptions options_;
+  std::unique_ptr<svc::FrameServer> frame_server_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable sealed_cv_;
+  bool sealed_ = false;
+  uint64_t sequence_ = 0;
+  uint64_t frames_served_ = 0;
+  uint64_t pulls_rejected_ = 0;
+};
+
+}  // namespace felip::dist
+
+#endif  // FELIP_DIST_ACCUMULATOR_H_

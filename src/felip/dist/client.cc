@@ -1,0 +1,61 @@
+#include "felip/dist/client.h"
+
+#include <utility>
+
+#include "felip/common/check.h"
+#include "felip/svc/message.h"
+
+namespace felip::dist {
+
+ShardedIngestClient::ShardedIngestClient(
+    svc::Transport* transport, std::vector<std::string> shard_endpoints,
+    svc::IngestClientOptions options)
+    : router_(static_cast<uint32_t>(shard_endpoints.size())),
+      routed_(shard_endpoints.size(), 0) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK_MSG(!shard_endpoints.empty(),
+                  "sharded client needs at least one endpoint");
+  clients_.reserve(shard_endpoints.size());
+  for (std::string& endpoint : shard_endpoints) {
+    clients_.push_back(std::make_unique<svc::IngestClient>(
+        transport, std::move(endpoint), options));
+  }
+}
+
+svc::SendOutcome ShardedIngestClient::SendBatch(
+    const std::vector<wire::ReportMessage>& batch) {
+  return SendEncodedBatch(wire::EncodeReportBatch(batch));
+}
+
+svc::SendOutcome ShardedIngestClient::SendEncodedBatch(
+    const std::vector<uint8_t>& frame) {
+  const std::optional<uint64_t> key = svc::ChecksumTrailer(frame);
+  if (!key.has_value()) {
+    svc::SendOutcome outcome;
+    outcome.status =
+        Status::InvalidArgument("batch frame has no checksum trailer");
+    return outcome;
+  }
+  const uint32_t shard = router_.OwnerShard(*key);
+  ++routed_[shard];
+  return clients_[shard]->SendEncodedBatch(frame);
+}
+
+uint64_t ShardedIngestClient::batches_routed(uint32_t shard) const {
+  FELIP_CHECK(shard < routed_.size());
+  return routed_[shard];
+}
+
+uint64_t ShardedIngestClient::retries() const {
+  uint64_t total = 0;
+  for (const auto& client : clients_) total += client->retries();
+  return total;
+}
+
+uint64_t ShardedIngestClient::reconnects() const {
+  uint64_t total = 0;
+  for (const auto& client : clients_) total += client->reconnects();
+  return total;
+}
+
+}  // namespace felip::dist

@@ -1,0 +1,57 @@
+// Client-side router of the distributed tier: one IngestClient per shard,
+// batches routed by the consistent hash of their idempotency key.
+//
+// The key is the encoded frame's xxHash64 checksum trailer — the same
+// value the shard's dedup window stores — so a batch always lands on
+// exactly one shard, and a resend after any failure lands on the same
+// shard and dedups there. Retries, backpressure handling, and reconnects
+// are the per-shard IngestClient's; this class only routes.
+
+#ifndef FELIP_DIST_CLIENT_H_
+#define FELIP_DIST_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "felip/dist/partition.h"
+#include "felip/svc/client.h"
+#include "felip/svc/transport.h"
+#include "felip/wire/wire.h"
+
+namespace felip::dist {
+
+class ShardedIngestClient {
+ public:
+  // `transport` must outlive this client; `shard_endpoints[i]` is shard
+  // i's ingest endpoint.
+  ShardedIngestClient(svc::Transport* transport,
+                      std::vector<std::string> shard_endpoints,
+                      svc::IngestClientOptions options = {});
+
+  // Encodes, routes, and delivers one batch (same contract as
+  // svc::IngestClient::SendBatch).
+  svc::SendOutcome SendBatch(const std::vector<wire::ReportMessage>& batch);
+
+  // Routes an already-encoded batch frame by its checksum trailer.
+  svc::SendOutcome SendEncodedBatch(const std::vector<uint8_t>& frame);
+
+  const ShardRouter& router() const { return router_; }
+  uint32_t num_shards() const { return router_.num_shards(); }
+
+  // Batches routed to `shard` so far (delivered or not).
+  uint64_t batches_routed(uint32_t shard) const;
+  // Summed over the per-shard clients.
+  uint64_t retries() const;
+  uint64_t reconnects() const;
+
+ private:
+  ShardRouter router_;
+  std::vector<std::unique_ptr<svc::IngestClient>> clients_;
+  std::vector<uint64_t> routed_;
+};
+
+}  // namespace felip::dist
+
+#endif  // FELIP_DIST_CLIENT_H_

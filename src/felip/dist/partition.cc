@@ -1,0 +1,38 @@
+#include "felip/dist/partition.h"
+
+#include <algorithm>
+
+#include "felip/common/check.h"
+#include "felip/common/hash.h"
+
+namespace felip::dist {
+
+ShardRouter::ShardRouter(uint32_t num_shards, uint32_t virtual_nodes)
+    : num_shards_(num_shards) {
+  FELIP_CHECK_MSG(num_shards >= 1, "ShardRouter needs at least one shard");
+  FELIP_CHECK_MSG(virtual_nodes >= 1, "ShardRouter needs virtual nodes");
+  ring_.reserve(static_cast<size_t>(num_shards) * virtual_nodes);
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    for (uint32_t vnode = 0; vnode < virtual_nodes; ++vnode) {
+      const uint64_t id = (static_cast<uint64_t>(shard) << 32) | vnode;
+      ring_.push_back({XxHash64(id, kRingSalt), shard});
+    }
+  }
+  // Sorting by (position, shard) makes the rare position collision
+  // deterministic too: the lower shard id wins everywhere.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.position != b.position ? a.position < b.position
+                                    : a.shard < b.shard;
+  });
+}
+
+uint32_t ShardRouter::OwnerShard(uint64_t key) const {
+  const uint64_t position = XxHash64(key, kRingSalt);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& p, uint64_t pos) { return p.position < pos; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->shard;
+}
+
+}  // namespace felip::dist

@@ -1,0 +1,56 @@
+// Consistent-hash partitioning of report batches across shard servers.
+//
+// The distributed tier routes every encoded report batch by its
+// idempotency key — the xxHash64 checksum trailer the ingest service
+// already dedups on — so the router, the shard's PreseedDedup filter, and
+// the server's dedup window all speak the same key space. Ownership uses a
+// classic consistent-hash ring: each shard contributes `virtual_nodes`
+// points at XxHash64(shard << 32 | vnode, kRingSalt), and a key belongs to
+// the first ring point at or clockwise-after XxHash64(key, kRingSalt)
+// (wrapping past the top). xxHash64 is platform-stable, so every process —
+// client, shard, root, replayer — derives the identical ring from
+// (num_shards, virtual_nodes) alone, with no coordination service.
+//
+// Virtual nodes smooth the partition sizes (~N/shards keys each) and keep
+// most assignments stable when num_shards changes; the preseed filter
+// (IngestServerOptions::owns_key) handles the keys that do move.
+
+#ifndef FELIP_DIST_PARTITION_H_
+#define FELIP_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace felip::dist {
+
+// Salt separating ring-position hashes from every other xxHash64 use in
+// the codebase (checksums, dedup keys, digests).
+inline constexpr uint64_t kRingSalt = 0x6465'7273'6861'7264ull;
+
+class ShardRouter {
+ public:
+  static constexpr uint32_t kDefaultVirtualNodes = 64;
+
+  // Builds the ring for `num_shards` >= 1 shards. Every process given the
+  // same arguments builds the identical ring.
+  explicit ShardRouter(uint32_t num_shards,
+                       uint32_t virtual_nodes = kDefaultVirtualNodes);
+
+  // The shard owning `key`, in [0, num_shards).
+  uint32_t OwnerShard(uint64_t key) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Point {
+    uint64_t position;
+    uint32_t shard;
+  };
+
+  uint32_t num_shards_;
+  std::vector<Point> ring_;  // sorted by (position, shard)
+};
+
+}  // namespace felip::dist
+
+#endif  // FELIP_DIST_PARTITION_H_

@@ -1,0 +1,164 @@
+#include "felip/dist/root.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "felip/common/check.h"
+#include "felip/obs/metrics.h"
+#include "felip/snapshot/pipeline_snapshot.h"
+
+namespace felip::dist {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+RootAggregator::RootAggregator(svc::Transport* transport,
+                               std::vector<std::string> shard_endpoints,
+                               RootAggregatorOptions options)
+    : transport_(transport),
+      endpoints_(std::move(shard_endpoints)),
+      options_(options),
+      connections_(endpoints_.size()),
+      latest_(endpoints_.size()) {
+  FELIP_CHECK(transport != nullptr);
+  FELIP_CHECK_MSG(!endpoints_.empty(), "root aggregator needs shards");
+}
+
+Status RootAggregator::PullShard(size_t shard, bool seal) {
+  if (connections_[shard] == nullptr) {
+    connections_[shard] = transport_->Connect(endpoints_[shard],
+                                              options_.connect_timeout_ms);
+    if (connections_[shard] == nullptr) {
+      ++pull_failures_;
+      return Status::Unavailable("cannot reach shard " + endpoints_[shard]);
+    }
+  }
+  auto fail = [this, shard](std::string message) -> Status {
+    connections_[shard].reset();
+    ++pull_failures_;
+    return Status::Unavailable(std::move(message));
+  };
+  wire::AccumulatorPullMessage pull;
+  pull.shard_id = static_cast<uint32_t>(shard);
+  pull.seal = seal;
+  if (!connections_[shard]->SendFrame(wire::EncodeAccumulatorPull(pull))) {
+    return fail("pull send failed for shard " + endpoints_[shard]);
+  }
+  std::vector<uint8_t> response;
+  if (connections_[shard]->RecvFrame(&response,
+                                     options_.response_timeout_ms) !=
+      svc::RecvStatus::kOk) {
+    return fail("pull receive failed for shard " + endpoints_[shard]);
+  }
+  StatusOr<wire::AccumulatorFrameMessage> frame =
+      wire::DecodeAccumulatorFrame(response);
+  if (!frame.ok()) {
+    return fail("shard " + endpoints_[shard] +
+                " answered with a malformed frame");
+  }
+  // A decodable frame from the wrong shard or plan is misconfiguration,
+  // not transient noise — fail the round loudly.
+  if (frame->shard_id != shard || frame->num_shards != endpoints_.size()) {
+    return Status::FailedPrecondition(
+        "shard " + endpoints_[shard] + " disagrees about the topology");
+  }
+  if (options_.plan_digest != 0 && frame->plan_digest != 0 &&
+      frame->plan_digest != options_.plan_digest) {
+    return Status::FailedPrecondition(
+        "shard " + endpoints_[shard] + " runs a different plan");
+  }
+  Adopt(shard, *std::move(frame));
+  return Status::Ok();
+}
+
+void RootAggregator::Adopt(size_t shard,
+                           wire::AccumulatorFrameMessage&& frame) {
+  ++frames_pulled_;
+  obs::Registry::Default()
+      .GetCounter("felip_dist_frames_pulled_total")
+      .Increment();
+  std::optional<wire::AccumulatorFrameMessage>& held = latest_[shard];
+  if (held.has_value() &&
+      (held->epoch > frame.epoch ||
+       (held->epoch == frame.epoch && held->sequence >= frame.sequence))) {
+    ++frames_stale_;
+    obs::Registry::Default()
+        .GetCounter("felip_dist_frames_stale_total")
+        .Increment();
+    return;
+  }
+  held = std::move(frame);
+}
+
+uint64_t RootAggregator::total_reports() const {
+  uint64_t total = 0;
+  for (const auto& frame : latest_) {
+    if (frame.has_value()) total += frame->reports_ingested;
+  }
+  return total;
+}
+
+bool RootAggregator::complete() const {
+  for (const auto& frame : latest_) {
+    if (!frame.has_value()) return false;
+  }
+  return total_reports() == options_.expected_reports;
+}
+
+Status RootAggregator::PullUntilComplete(int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    for (size_t shard = 0; shard < endpoints_.size(); ++shard) {
+      Status status = PullShard(shard, /*seal=*/false);
+      // Unavailable is retried from the next sweep; anything else
+      // (topology or plan mismatch) is fatal for the round.
+      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+        return status;
+      }
+    }
+    if (complete()) return Status::Ok();
+    if (Clock::now() >= deadline) {
+      return Status::Unavailable(
+          "shards did not account for the expected reports in time");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+  }
+}
+
+Status RootAggregator::MergeInto(core::FelipPipeline* pipeline) {
+  FELIP_CHECK(pipeline != nullptr);
+  if (!complete()) {
+    return Status::FailedPrecondition(
+        "MergeInto() before the pull round completed");
+  }
+  // Best-effort seal notification: merging only reads frames the root
+  // already holds, so a shard that misses the seal simply exits on its
+  // own timeout.
+  for (size_t shard = 0; shard < endpoints_.size(); ++shard) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (PullShard(shard, /*seal=*/true).ok()) break;
+    }
+  }
+  if (pipeline->state() == core::PipelineState::kConfigured) {
+    pipeline->BeginIngest();
+  }
+  for (size_t shard = 0; shard < endpoints_.size(); ++shard) {
+    const wire::AccumulatorFrameMessage& frame = *latest_[shard];
+    std::vector<fo::OracleState> states;
+    FELIP_RETURN_IF_ERROR(snapshot::PipelineCodec::DecodeOracleSection(
+        frame.oracle_section, &states));
+    FELIP_RETURN_IF_ERROR(pipeline->MergeAccumulators(
+        std::move(states), frame.reports_ingested));
+  }
+  pipeline->FinishIngest();
+  obs::Registry::Default()
+      .GetCounter("felip_dist_rounds_merged_total")
+      .Increment();
+  return Status::Ok();
+}
+
+}  // namespace felip::dist

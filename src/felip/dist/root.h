@@ -1,0 +1,100 @@
+// Root aggregator of the distributed tier: pulls cumulative accumulator
+// frames from every shard and folds them into one pipeline.
+//
+// The root is a client of each shard's accumulator endpoint. It polls on
+// its own schedule, keeps only the newest frame per shard — frames are
+// ordered by (epoch, sequence), so anything a restarted shard exported in
+// a dead incarnation is discarded as stale — and declares the round
+// complete once every shard has reported and the newest frames account
+// for exactly the expected population. Because every frame is a full
+// cumulative cut and merging is integer-count addition folded in shard-id
+// order, the merged pipeline is bit-identical to single-node collection
+// for ANY pull schedule, shard count, retry pattern, or mid-round shard
+// restart.
+//
+// Transport failures (timeouts, fault injection, a shard that is
+// currently dead) are retried from the poll loop with a fresh connection;
+// a frame that decodes but disagrees on topology or plan digest is a
+// configuration error and fails the round immediately.
+
+#ifndef FELIP_DIST_ROOT_H_
+#define FELIP_DIST_ROOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "felip/common/status.h"
+#include "felip/core/felip.h"
+#include "felip/svc/transport.h"
+#include "felip/wire/wire.h"
+
+namespace felip::dist {
+
+struct RootAggregatorOptions {
+  // The round is complete when the newest frames sum to exactly this many
+  // ingested reports (the global user count: every user reports once and
+  // the shards' dedup windows make counting exactly-once).
+  uint64_t expected_reports = 0;
+  // When non-zero, every frame's plan digest must match.
+  uint64_t plan_digest = 0;
+  int connect_timeout_ms = 2000;
+  int response_timeout_ms = 2000;
+  // Pause between poll sweeps while the round is incomplete.
+  int poll_interval_ms = 20;
+};
+
+class RootAggregator {
+ public:
+  // `transport` must outlive this aggregator; `shard_endpoints[i]` is
+  // shard i's accumulator endpoint.
+  RootAggregator(svc::Transport* transport,
+                 std::vector<std::string> shard_endpoints,
+                 RootAggregatorOptions options);
+
+  // Polls every shard until the round is complete or `timeout_ms`
+  // elapses (kUnavailable). Safe to call while ingest is still running —
+  // completion is defined by the frames, not by timing.
+  Status PullUntilComplete(int timeout_ms);
+
+  // Sends a best-effort seal pull to every shard (so shard processes
+  // blocked in WaitForSeal can shut down), then folds the newest frame of
+  // each shard into `pipeline` in shard-id order and closes the round:
+  // kConfigured pipelines get BeginIngest(), and FinishIngest() runs
+  // after the last merge, leaving the pipeline kSealed for Finalize().
+  // Requires a completed PullUntilComplete; any merge error discards the
+  // round (the pipeline must not be reused).
+  Status MergeInto(core::FelipPipeline* pipeline);
+
+  // Sum of reports_ingested over the newest frames held so far.
+  uint64_t total_reports() const;
+  // True once every shard has a frame and total_reports() matches.
+  bool complete() const;
+
+  uint64_t frames_pulled() const { return frames_pulled_; }
+  uint64_t frames_stale() const { return frames_stale_; }
+  uint64_t pull_failures() const { return pull_failures_; }
+
+ private:
+  // One pull round-trip to `shard`; reconnects as needed. On any
+  // transport or validation failure the connection is dropped so the next
+  // attempt starts clean.
+  Status PullShard(size_t shard, bool seal);
+  // Keeps `frame` iff it is newer than the shard's current one.
+  void Adopt(size_t shard, wire::AccumulatorFrameMessage&& frame);
+
+  svc::Transport* transport_;
+  std::vector<std::string> endpoints_;
+  RootAggregatorOptions options_;
+  std::vector<std::unique_ptr<svc::FrameConnection>> connections_;
+  std::vector<std::optional<wire::AccumulatorFrameMessage>> latest_;
+  uint64_t frames_pulled_ = 0;
+  uint64_t frames_stale_ = 0;
+  uint64_t pull_failures_ = 0;
+};
+
+}  // namespace felip::dist
+
+#endif  // FELIP_DIST_ROOT_H_

@@ -44,6 +44,17 @@ struct OracleState {
   std::vector<OlhReport> reports;     // OLH per-user mode: raw reports
 };
 
+// Folds `from` into `into` so the result equals the state of a single
+// oracle that aggregated both report multisets. This is the algebra the
+// distributed tier (felip/dist) is built on: every field of OracleState is
+// either an integer count vector (added elementwise) or a raw report list
+// (concatenated), so merging is associative and commutative up to the
+// report-list order — which estimation never observes. Both operands must
+// come from oracles planned identically (same protocol, domain, OLH seed
+// mode); a shape mismatch returns kInvalidArgument and leaves `into`
+// unchanged, as does a pool-count overflow past uint32_t.
+Status MergeOracleState(OracleState* into, const OracleState& from);
+
 class FrequencyOracle {
  public:
   virtual ~FrequencyOracle() = default;

@@ -57,15 +57,32 @@ Status DecodePlan(const std::vector<uint8_t>& plan, core::FelipConfig* config,
 
 StatusOr<ReplayResult> ReplayLog(const std::string& dir,
                                  const ReplayOverrides& overrides) {
+  return ReplayLogs(std::span<const std::string>(&dir, 1), overrides);
+}
+
+StatusOr<ReplayResult> ReplayLogs(std::span<const std::string> dirs,
+                                  const ReplayOverrides& overrides) {
   obs::ScopedTimer span("felip_replay");
   static obs::Counter& replayed_total = obs::Registry::Default().GetCounter(
       "felip_replay_batches_total");
   static obs::Counter& damaged_total = obs::Registry::Default().GetCounter(
       "felip_replay_segments_damaged_total");
 
-  const std::vector<std::string> segments = ListSegmentsOldestFirst(dir);
+  if (dirs.empty()) {
+    return Status::InvalidArgument("no report log directories to replay");
+  }
+  // Directory-major order: a shard's segments stay oldest-first relative
+  // to each other. Cross-directory order cannot matter — the accepted
+  // multiset (hence the estimate) is order-independent, and the shared
+  // dedup window sees each unique batch once wherever it appears first.
+  std::vector<std::string> segments;
+  for (const std::string& dir : dirs) {
+    const std::vector<std::string> dir_segments =
+        ListSegmentsOldestFirst(dir);
+    segments.insert(segments.end(), dir_segments.begin(), dir_segments.end());
+  }
   if (segments.empty()) {
-    return Status::NotFound("no report log segments under: " + dir);
+    return Status::NotFound("no report log segments under: " + dirs.front());
   }
 
   // Pass 1 over headers happens lazily inside the single pass below: the
@@ -179,7 +196,8 @@ StatusOr<ReplayResult> ReplayLog(const std::string& dir,
   }
 
   if (!pipeline.has_value()) {
-    return Status::DataLoss("no report log segment verified under: " + dir);
+    return Status::DataLoss("no report log segment verified under: " +
+                            dirs.front());
   }
   pipeline->FinishIngest();
   return ReplayResult{*std::move(pipeline), stats};

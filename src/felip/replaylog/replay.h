@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,17 @@ struct ReplayResult {
 // any plan-decode failure as-is.
 StatusOr<ReplayResult> ReplayLog(const std::string& dir,
                                  const ReplayOverrides& overrides = {});
+
+// Multi-log variant for auditing a distributed round offline: replays the
+// union of every directory's segments (directory-major, oldest first
+// within each) into ONE pipeline, with a single shared dedup window.
+// Every shard of a round logs the identical plan blob — shards plan with
+// the global population — so the cross-segment plan check spans
+// directories unchanged, and the shared window drops a batch that somehow
+// appears in two shard logs exactly like one server would have.
+// ReplayLogs({dir}) == ReplayLog(dir).
+StatusOr<ReplayResult> ReplayLogs(std::span<const std::string> dirs,
+                                  const ReplayOverrides& overrides = {});
 
 }  // namespace felip::replaylog
 

@@ -434,6 +434,17 @@ uint64_t GridCells(const FelipPipeline& pipeline, size_t g) {
 
 }  // namespace
 
+std::vector<uint8_t> PipelineCodec::EncodeOracleSection(
+    const core::FelipPipeline& pipeline) {
+  return EncodeOracles(pipeline.oracles_);
+}
+
+Status PipelineCodec::DecodeOracleSection(
+    const std::vector<uint8_t>& payload,
+    std::vector<fo::OracleState>* states) {
+  return DecodeOracles(payload, states);
+}
+
 std::vector<uint8_t> PipelineCodec::Encode(
     const FelipPipeline& pipeline, const core::SnapshotOptions& options,
     std::span<const uint64_t> dedup_keys) {

@@ -77,6 +77,19 @@ class PipelineCodec {
   // Verifies and decodes `bytes` into a pipeline in the captured state.
   static StatusOr<RecoveredPipeline> Decode(
       const std::vector<uint8_t>& bytes);
+
+  // --- Accumulator section codec (shared with felip/dist) ---
+  //
+  // The kOracles section payload doubles as the body of a distributed
+  // accumulator frame: EncodeOracleSection serializes every grid oracle's
+  // exported state (count 0 before BeginIngest), and DecodeOracleSection
+  // parses the states back for FelipPipeline::MergeAccumulators. Reusing
+  // the snapshot bytes means the on-disk and on-wire accumulator formats
+  // can never drift apart.
+  static std::vector<uint8_t> EncodeOracleSection(
+      const core::FelipPipeline& pipeline);
+  static Status DecodeOracleSection(const std::vector<uint8_t>& payload,
+                                    std::vector<fo::OracleState>* states);
 };
 
 }  // namespace felip::snapshot

@@ -70,6 +70,10 @@ void IngestServer::PreseedDedup(std::span<const uint64_t> drained_keys) {
   std::lock_guard<std::mutex> seen_lock(seen_mutex_);
   std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   for (const uint64_t key : drained_keys) {
+    if (options_.owns_key && !options_.owns_key(key)) {
+      preseed_filtered_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     seen_.Insert(key);
     drained_.Insert(key);
   }

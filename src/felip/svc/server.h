@@ -100,6 +100,12 @@ struct IngestServerOptions {
   // Append every drained batch to a durable report log. Unset = zero
   // overhead on the drain path.
   ReportLogFn report_log;
+  // Shard-ownership predicate over the batch idempotency key (the wire
+  // checksum trailer). Only consulted by PreseedDedup: keys the predicate
+  // rejects are NOT preseeded, so a server restarted under a different
+  // shard layout never pre-rejects a batch that now belongs to another
+  // shard's partition. Unset = this server owns every key.
+  std::function<bool(uint64_t key)> owns_key;
 };
 
 class IngestServer {
@@ -114,8 +120,10 @@ class IngestServer {
 
   // Seeds both dedup windows with the drained keys recovered from a
   // snapshot (oldest first), so resends of batches the snapshot already
-  // counts ack kAlreadyExists instead of double-counting. Must be called
-  // before Start().
+  // counts ack kAlreadyExists instead of double-counting. Keys rejected
+  // by `options.owns_key` are skipped (and counted in
+  // preseed_filtered()) — a resharded restart must not carry another
+  // shard's history. Must be called before Start().
   void PreseedDedup(std::span<const uint64_t> drained_keys);
 
   // Binds the endpoint and spawns the worker pool. False if the transport
@@ -144,6 +152,7 @@ class IngestServer {
   uint64_t checkpoint_failures() const { return checkpoint_failures_.load(); }
   uint64_t batches_logged() const { return batches_logged_.load(); }
   uint64_t log_failures() const { return log_failures_.load(); }
+  uint64_t preseed_filtered() const { return preseed_filtered_.load(); }
   uint64_t dedup_evictions() const;
   uint64_t reports_seen() const;
 
@@ -190,6 +199,7 @@ class IngestServer {
   std::atomic<uint64_t> checkpoint_failures_{0};
   std::atomic<uint64_t> batches_logged_{0};
   std::atomic<uint64_t> log_failures_{0};
+  std::atomic<uint64_t> preseed_filtered_{0};
 };
 
 }  // namespace felip::svc

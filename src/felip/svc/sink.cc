@@ -50,4 +50,10 @@ void PipelineSink::Finish() {
   pipeline_->FinishIngest();
 }
 
+void PipelineSink::WithPipelineLocked(
+    const std::function<void(core::FelipPipeline&)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fn(*pipeline_);
+}
+
 }  // namespace felip::svc

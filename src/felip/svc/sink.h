@@ -18,6 +18,7 @@
 #define FELIP_SVC_SINK_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 
@@ -50,6 +51,14 @@ class PipelineSink final : public ReportSink {
 
   // Marks the collection round complete (FelipPipeline::FinishIngest).
   void Finish();
+
+  // Runs `fn` on the pipeline under the sink's ingest mutex. Every
+  // pipeline mutation flows through IngestBatch under that same mutex, so
+  // `fn` observes a consistent accumulator cut (reports_ingested in step
+  // with the oracle states) — this is how a shard exports accumulator
+  // frames while ingestion is live (felip/dist). `fn` must not call back
+  // into the sink.
+  void WithPipelineLocked(const std::function<void(core::FelipPipeline&)>& fn);
 
   uint64_t accepted() const { return accepted_; }
   uint64_t rejected() const { return rejected_; }

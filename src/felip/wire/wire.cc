@@ -24,6 +24,8 @@ enum class MessageKind : uint8_t {
   kSnapshot = 4,
   kQueryBatch = 5,
   kQueryResponse = 6,
+  kAccumulatorPull = 7,
+  kAccumulatorFrame = 8,
 };
 
 void WriteHeader(Writer& w, MessageKind kind) {
@@ -570,6 +572,84 @@ StatusOr<QueryResponseMessage> DecodeQueryResponse(
     return Malformed("malformed query-response frame");
   }
   return *std::move(m);
+}
+
+std::vector<uint8_t> EncodeAccumulatorPull(const AccumulatorPullMessage& m) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kAccumulatorPull);
+  w.Put<uint32_t>(m.shard_id);
+  w.Put<uint8_t>(m.seal ? 1 : 0);
+  SealChecksum(&buffer, kChecksumSalt);
+  return buffer;
+}
+
+StatusOr<AccumulatorPullMessage> DecodeAccumulatorPull(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kAccumulatorPull);
+  auto malformed = [&counters]() -> Status {
+    counters.malformed.Increment();
+    return Malformed("malformed accumulator-pull frame");
+  };
+  if (!payload_end.has_value()) return malformed();
+  Reader r(buffer);
+  if (!r.Skip(6)) return malformed();
+  AccumulatorPullMessage m;
+  uint8_t seal = 0;
+  if (!r.Get(&m.shard_id) || !r.Get(&seal)) return malformed();
+  if (r.position() != *payload_end) return malformed();
+  m.seal = seal != 0;
+  return m;
+}
+
+std::vector<uint8_t> EncodeAccumulatorFrame(const AccumulatorFrameMessage& m) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kAccumulatorFrame);
+  w.Put<uint32_t>(m.shard_id);
+  w.Put<uint32_t>(m.num_shards);
+  w.Put<uint64_t>(m.epoch);
+  w.Put<uint64_t>(m.sequence);
+  w.Put<uint64_t>(m.plan_digest);
+  w.Put<uint64_t>(m.reports_ingested);
+  w.Put<uint8_t>(m.sealed ? 1 : 0);
+  w.Put<uint64_t>(m.oracle_section.size());
+  w.PutBytes(m.oracle_section.data(), m.oracle_section.size());
+  SealChecksum(&buffer, kChecksumSalt);
+  return buffer;
+}
+
+StatusOr<AccumulatorFrameMessage> DecodeAccumulatorFrame(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kAccumulatorFrame);
+  auto malformed = [&counters]() -> Status {
+    counters.malformed.Increment();
+    return Malformed("malformed accumulator frame");
+  };
+  if (!payload_end.has_value()) return malformed();
+  Reader r(buffer);
+  if (!r.Skip(6)) return malformed();
+  AccumulatorFrameMessage m;
+  uint8_t sealed = 0;
+  uint64_t section_len = 0;
+  if (!r.Get(&m.shard_id) || !r.Get(&m.num_shards) || !r.Get(&m.epoch) ||
+      !r.Get(&m.sequence) || !r.Get(&m.plan_digest) ||
+      !r.Get(&m.reports_ingested) || !r.Get(&sealed) ||
+      !r.Get(&section_len)) {
+    return malformed();
+  }
+  if (m.num_shards == 0 || m.shard_id >= m.num_shards) return malformed();
+  if (section_len != *payload_end - r.position()) return malformed();
+  m.sealed = sealed != 0;
+  m.oracle_section.assign(buffer.begin() + static_cast<ptrdiff_t>(r.position()),
+                          buffer.begin() + static_cast<ptrdiff_t>(*payload_end));
+  return m;
 }
 
 std::vector<uint8_t> EncodeSnapshot(

@@ -126,6 +126,48 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& message);
 StatusOr<QueryResponseMessage> DecodeQueryResponse(
     const std::vector<uint8_t>& buffer);
 
+// --- Accumulator frames (distributed aggregation tier, felip/dist) ---
+//
+// A root aggregator pulls per-shard accumulator state by sending an
+// AccumulatorPullMessage; the shard answers with an AccumulatorFrameMessage
+// whose `oracle_section` is the snapshot format's kOracles payload
+// (snapshot::PipelineCodec::EncodeOracleSection) — the wire layer carries
+// those bytes opaquely, so the on-disk and on-wire accumulator formats are
+// one codec. Frames are cumulative exports, ordered per shard by
+// (epoch, sequence): the sequence counts exports within one process
+// incarnation, and the epoch bumps on every warm restart, so the root keeps
+// exactly the newest frame per shard and frames from a pre-crash
+// incarnation are discarded as stale. Both messages use the standard
+// checksummed envelope.
+
+struct AccumulatorPullMessage {
+  uint32_t shard_id = 0;  // the shard the root believes it is addressing
+  bool seal = false;      // notify the shard the round is complete
+  friend bool operator==(const AccumulatorPullMessage&,
+                         const AccumulatorPullMessage&) = default;
+};
+
+struct AccumulatorFrameMessage {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  uint64_t epoch = 1;        // shard incarnation; bumps on warm restart
+  uint64_t sequence = 0;     // export counter within the incarnation
+  uint64_t plan_digest = 0;  // dist::PlanDigest of the shard's pipeline
+  uint64_t reports_ingested = 0;
+  bool sealed = false;  // the shard has seen the seal notification
+  std::vector<uint8_t> oracle_section;  // snapshot kOracles payload
+  friend bool operator==(const AccumulatorFrameMessage&,
+                         const AccumulatorFrameMessage&) = default;
+};
+
+std::vector<uint8_t> EncodeAccumulatorPull(const AccumulatorPullMessage& m);
+StatusOr<AccumulatorPullMessage> DecodeAccumulatorPull(
+    const std::vector<uint8_t>& buffer);
+
+std::vector<uint8_t> EncodeAccumulatorFrame(const AccumulatorFrameMessage& m);
+StatusOr<AccumulatorFrameMessage> DecodeAccumulatorFrame(
+    const std::vector<uint8_t>& buffer);
+
 // --- Sharded batch decoding ---
 //
 // DecodeReportBatch materializes every report before the caller can

@@ -74,5 +74,22 @@ TEST(FlagParserTest, EmptyValueAllowed) {
   EXPECT_EQ(flags.GetString("name", "zz"), "");
 }
 
+TEST(FlagParserTest, RepeatedFlagCollectsEveryValue) {
+  FlagParser flags =
+      Parse({"--dir=a", "--other=x", "--dir=b", "--dir=c"});
+  EXPECT_EQ(flags.GetStringList("dir"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  // The scalar accessor still sees the last value.
+  EXPECT_EQ(flags.GetString("dir", ""), "c");
+  EXPECT_TRUE(flags.GetStringList("missing").empty());
+}
+
+TEST(FlagParserTest, GetStringListConsumes) {
+  FlagParser flags = Parse({"--dir=a", "--dir=b"});
+  EXPECT_EQ(flags.UnconsumedFlags().size(), 1u);
+  flags.GetStringList("dir");
+  EXPECT_TRUE(flags.UnconsumedFlags().empty());
+}
+
 }  // namespace
 }  // namespace felip

@@ -1,0 +1,441 @@
+// Distributed-tier acceptance: a fixed-seed population routed across N
+// shard servers, pulled as accumulator frames and folded by the root,
+// must produce estimates BIT-IDENTICAL to single-node collection — for 2
+// and 4 shards, over loopback and real TCP, under fault-injecting
+// transports on both the ingest and the pull path, and across a shard
+// that dies mid-ingest and warm-restarts from its snapshot.
+//
+// Why exact equality holds: routing gives every batch exactly one owner,
+// per-shard dedup makes counting exactly-once, accumulator frames are
+// cumulative consistent cuts, and the merge is integer-count addition
+// folded in shard-id order — so the final state depends only on the
+// report multiset, never on shard count, pull schedule, or restarts.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/core/felip.h"
+#include "felip/data/synthetic.h"
+#include "felip/dist/accumulator.h"
+#include "felip/dist/client.h"
+#include "felip/dist/partition.h"
+#include "felip/dist/root.h"
+#include "felip/snapshot/checkpoint.h"
+#include "felip/snapshot/store.h"
+#include "felip/svc/fault_injection.h"
+#include "felip/svc/loopback.h"
+#include "felip/svc/server.h"
+#include "felip/svc/simulator.h"
+#include "felip/svc/sink.h"
+#include "felip/svc/tcp.h"
+#include "felip/wire/wire.h"
+
+namespace felip::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kUsers = 2000;
+constexpr uint64_t kSeed = 17;
+
+using Batch = std::vector<wire::ReportMessage>;
+
+core::FelipConfig MakeConfig() {
+  core::FelipConfig config;
+  config.epsilon = 1.0;
+  config.seed = kSeed;
+  config.olh_options.seed_pool_size = 256;
+  return config;
+}
+
+data::Dataset MakeData() {
+  return data::MakeIpumsLike(kUsers, 3, 20, 4, kSeed);
+}
+
+std::vector<Batch> MakeBatches(const data::Dataset& dataset,
+                               const core::FelipConfig& config) {
+  core::FelipPipeline pipeline(dataset.attributes(), kUsers, config);
+  std::vector<wire::GridConfigMessage> grid_configs;
+  for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
+    grid_configs.push_back(wire::MakeGridConfig(
+        pipeline, pipeline.schema(), g, pipeline.per_grid_epsilon(),
+        config.olh_options));
+  }
+  svc::SimulatorOptions options;
+  options.seed = config.seed;
+  options.partitioning = config.partitioning;
+  options.batch_size = 64;
+  const svc::PopulationSimulator simulator(grid_configs, options);
+  std::vector<Batch> batches;
+  const auto sent = simulator.Run(dataset, [&](const Batch& batch) {
+    batches.push_back(batch);
+    return true;
+  });
+  EXPECT_TRUE(sent.has_value());
+  return batches;
+}
+
+// The single-node reference: the whole round collected in process.
+core::FelipPipeline RunSingleNode(const data::Dataset& dataset,
+                                  const core::FelipConfig& config) {
+  core::FelipPipeline pipeline(dataset.attributes(), kUsers, config);
+  pipeline.Collect(dataset);
+  pipeline.Finalize();
+  return pipeline;
+}
+
+void ExpectIdenticalEstimates(const core::FelipPipeline& expected,
+                              const core::FelipPipeline& actual) {
+  const auto a = expected.ExportGridFrequencies();
+  const auto b = actual.ExportGridFrequencies();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t g = 0; g < a.size(); ++g) {
+    ASSERT_EQ(a[g].size(), b[g].size());
+    for (size_t c = 0; c < a[g].size(); ++c) {
+      EXPECT_EQ(a[g][c], b[g][c]) << "grid " << g << " cell " << c;
+    }
+  }
+  EXPECT_EQ(core::GridFrequencyDigest(expected),
+            core::GridFrequencyDigest(actual));
+  for (uint32_t attr = 0; attr < 3; ++attr) {
+    const std::vector<double> ma = expected.EstimateMarginal(attr);
+    const std::vector<double> mb = actual.EstimateMarginal(attr);
+    ASSERT_EQ(ma.size(), mb.size());
+    for (size_t v = 0; v < ma.size(); ++v) {
+      EXPECT_EQ(ma[v], mb[v]) << "attr " << attr << " value " << v;
+    }
+  }
+}
+
+// One shard's full server stack: ingest gate chain plus the accumulator
+// endpoint, the way felip_server wires it in --shard-id mode.
+struct Shard {
+  Shard(const data::Dataset& dataset, const core::FelipConfig& config,
+        svc::Transport* transport, const std::string& ingest_endpoint,
+        const std::string& accum_endpoint, uint32_t shard_id,
+        uint32_t num_shards, uint64_t epoch, uint64_t plan_digest)
+      : pipeline(dataset.attributes(), kUsers, config),
+        sink(&pipeline),
+        router(num_shards) {
+    svc::IngestServerOptions options;
+    options.owns_key = [this, shard_id](uint64_t key) {
+      return router.OwnerShard(key) == shard_id;
+    };
+    ingest = std::make_unique<svc::IngestServer>(transport, ingest_endpoint,
+                                                 &sink, options);
+    ShardAccumulatorOptions accum_options;
+    accum_options.shard_id = shard_id;
+    accum_options.num_shards = num_shards;
+    accum_options.epoch = epoch;
+    accum_options.plan_digest = plan_digest;
+    accum = std::make_unique<ShardAccumulatorServer>(
+        transport, accum_endpoint, &sink, accum_options);
+  }
+
+  bool Start() { return ingest->Start() && accum->Start(); }
+  void Stop() {
+    ingest->Stop();
+    accum->Stop();
+  }
+
+  core::FelipPipeline pipeline;
+  svc::PipelineSink sink;
+  ShardRouter router;
+  std::unique_ptr<svc::IngestServer> ingest;
+  std::unique_ptr<ShardAccumulatorServer> accum;
+};
+
+// Runs a full sharded round and returns the root's merged, finalized
+// pipeline. `faults` (optional) corrupts both the client's ingest path
+// and the root's pull path.
+core::FelipPipeline RunSharded(const data::Dataset& dataset,
+                               const core::FelipConfig& config,
+                               const std::vector<Batch>& batches,
+                               svc::Transport* transport,
+                               uint32_t num_shards, bool tcp,
+                               const svc::FaultOptions* faults = nullptr) {
+  core::FelipPipeline root_pipeline(dataset.attributes(), kUsers, config);
+  const uint64_t plan_digest = PlanDigest(root_pipeline);
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::string> ingest_endpoints;
+  std::vector<std::string> accum_endpoints;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const std::string ingest_ep =
+        tcp ? "127.0.0.1:0" : "ingest" + std::to_string(s);
+    const std::string accum_ep =
+        tcp ? "127.0.0.1:0" : "accum" + std::to_string(s);
+    shards.push_back(std::make_unique<Shard>(
+        dataset, config, transport, ingest_ep, accum_ep, s, num_shards,
+        /*epoch=*/1, plan_digest));
+    EXPECT_TRUE(shards.back()->Start());
+    ingest_endpoints.push_back(shards.back()->ingest->endpoint());
+    accum_endpoints.push_back(shards.back()->accum->endpoint());
+  }
+
+  std::unique_ptr<svc::FaultInjectingTransport> faulty;
+  svc::Transport* client_transport = transport;
+  if (faults != nullptr) {
+    faulty = std::make_unique<svc::FaultInjectingTransport>(transport,
+                                                            *faults);
+    client_transport = faulty.get();
+  }
+
+  svc::IngestClientOptions client_options;
+  client_options.connect_timeout_ms = 500;
+  client_options.response_timeout_ms = 250;
+  client_options.max_attempts = 64;
+  ShardedIngestClient client(client_transport, ingest_endpoints,
+                             client_options);
+  for (const Batch& batch : batches) {
+    EXPECT_TRUE(client.SendBatch(batch).ok());
+  }
+  if (num_shards > 1) {
+    uint64_t shards_used = 0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (client.batches_routed(s) > 0) ++shards_used;
+    }
+    EXPECT_GT(shards_used, 1u) << "routing sent everything to one shard";
+  }
+
+  RootAggregatorOptions root_options;
+  root_options.expected_reports = kUsers;
+  root_options.plan_digest = plan_digest;
+  root_options.response_timeout_ms = 250;
+  RootAggregator root(client_transport, accum_endpoints, root_options);
+  const Status pulled = root.PullUntilComplete(60000);
+  EXPECT_TRUE(pulled.ok()) << pulled.ToString();
+  EXPECT_EQ(root.total_reports(), kUsers);
+  const Status merged = root.MergeInto(&root_pipeline);
+  EXPECT_TRUE(merged.ok()) << merged.ToString();
+
+  for (auto& shard : shards) shard->Stop();
+  root_pipeline.Finalize();
+  return root_pipeline;
+}
+
+TEST(DistE2eTest, TwoShardLoopbackMatchesSingleNode) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::LoopbackTransport transport;
+  const core::FelipPipeline merged =
+      RunSharded(dataset, config, batches, &transport, 2, /*tcp=*/false);
+  EXPECT_EQ(merged.reports_ingested(), kUsers);
+  ExpectIdenticalEstimates(reference, merged);
+}
+
+TEST(DistE2eTest, FourShardLoopbackMatchesSingleNode) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::LoopbackTransport transport;
+  const core::FelipPipeline merged =
+      RunSharded(dataset, config, batches, &transport, 4, /*tcp=*/false);
+  ExpectIdenticalEstimates(reference, merged);
+}
+
+TEST(DistE2eTest, TwoShardTcpMatchesSingleNode) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::TcpTransport transport;
+  const core::FelipPipeline merged =
+      RunSharded(dataset, config, batches, &transport, 2, /*tcp=*/true);
+  ExpectIdenticalEstimates(reference, merged);
+}
+
+TEST(DistE2eTest, FourShardTcpMatchesSingleNode) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::TcpTransport transport;
+  const core::FelipPipeline merged =
+      RunSharded(dataset, config, batches, &transport, 4, /*tcp=*/true);
+  ExpectIdenticalEstimates(reference, merged);
+}
+
+TEST(DistE2eTest, FaultSoakStaysBitIdentical) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::LoopbackTransport transport;
+  svc::FaultOptions faults;
+  faults.drop_prob = 0.10;
+  faults.truncate_prob = 0.06;
+  faults.reset_prob = 0.04;
+  faults.drop_response_prob = 0.06;
+  faults.seed = kSeed + 99;
+  const core::FelipPipeline merged = RunSharded(
+      dataset, config, batches, &transport, 2, /*tcp=*/false, &faults);
+  ExpectIdenticalEstimates(reference, merged);
+}
+
+TEST(DistE2eTest, RootRejectsPlanDigestMismatch) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+
+  svc::LoopbackTransport transport;
+  core::FelipPipeline planned(dataset.attributes(), kUsers, config);
+  Shard shard(dataset, config, &transport, "mismatch-ingest",
+              "mismatch-accum", 0, 1, /*epoch=*/1, PlanDigest(planned));
+  ASSERT_TRUE(shard.Start());
+
+  RootAggregatorOptions root_options;
+  root_options.expected_reports = kUsers;
+  root_options.plan_digest = PlanDigest(planned) ^ 1;  // a different plan
+  root_options.response_timeout_ms = 250;
+  RootAggregator root(&transport, {shard.accum->endpoint()}, root_options);
+  const Status pulled = root.PullUntilComplete(5000);
+  EXPECT_EQ(pulled.code(), StatusCode::kFailedPrecondition)
+      << pulled.ToString();
+  shard.Stop();
+}
+
+TEST(DistE2eTest, ShardKillAndWarmRestartStaysBitIdentical) {
+  const data::Dataset dataset = MakeData();
+  const core::FelipConfig config = MakeConfig();
+  const core::FelipPipeline reference = RunSingleNode(dataset, config);
+  const std::vector<Batch> batches = MakeBatches(dataset, config);
+  ASSERT_GT(batches.size(), 8u);
+
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "felip_dist_restart";
+  fs::remove_all(dir);
+  snapshot::SnapshotStore store(dir.string(), 3);
+
+  core::FelipPipeline root_pipeline(dataset.attributes(), kUsers, config);
+  const uint64_t plan_digest = PlanDigest(root_pipeline);
+  const ShardRouter router(2);
+
+  svc::LoopbackTransport transport;
+
+  // Shard 1 lives through the whole round.
+  Shard shard1(dataset, config, &transport, "restart-ingest1",
+               "restart-accum1", 1, 2, /*epoch=*/1, plan_digest);
+  ASSERT_TRUE(shard1.Start());
+
+  RootAggregatorOptions root_options;
+  root_options.expected_reports = kUsers;
+  root_options.plan_digest = plan_digest;
+  root_options.response_timeout_ms = 100;
+  root_options.poll_interval_ms = 5;
+  RootAggregator root(&transport,
+                      {"restart-accum0", shard1.accum->endpoint()},
+                      root_options);
+
+  // --- Shard 0, first incarnation: checkpointing, killed mid-ingest.
+  {
+    const StatusOr<uint64_t> epoch = BumpShardEpoch(dir.string());
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(*epoch, 1u);
+
+    core::FelipPipeline pipeline(dataset.attributes(), kUsers, config);
+    svc::PipelineSink sink(&pipeline);
+    snapshot::Checkpointer checkpointer(&store, &pipeline);
+    svc::IngestServerOptions options;
+    options.checkpoint_every_batches = 2;
+    options.checkpoint = [&](std::span<const uint64_t> keys) {
+      return checkpointer.Checkpoint(keys);
+    };
+    options.owns_key = [&router](uint64_t key) {
+      return router.OwnerShard(key) == 0;
+    };
+    svc::IngestServer ingest(&transport, "restart-ingest0", &sink, options);
+    ASSERT_TRUE(ingest.Start());
+    ShardAccumulatorOptions accum_options;
+    accum_options.shard_id = 0;
+    accum_options.num_shards = 2;
+    accum_options.epoch = *epoch;
+    accum_options.plan_digest = plan_digest;
+    ShardAccumulatorServer accum(&transport, "restart-accum0", &sink,
+                                 accum_options);
+    ASSERT_TRUE(accum.Start());
+
+    ShardedIngestClient client(
+        &transport, {ingest.endpoint(), shard1.ingest->endpoint()});
+    for (size_t b = 0; b < batches.size() / 2; ++b) {
+      ASSERT_TRUE(client.SendBatch(batches[b]).ok());
+    }
+    // The root pulls frames from the doomed incarnation: the merged
+    // result must not depend on them.
+    const Status early = root.PullUntilComplete(100);
+    EXPECT_FALSE(early.ok());
+    EXPECT_GT(root.frames_pulled(), 0u);
+    // ~IngestServer checkpoints a final cut on orderly Stop; the crash is
+    // simulated below by discarding it.
+  }
+  {
+    const std::vector<std::string> files = store.ListNewestFirst();
+    ASSERT_GE(files.size(), 1u);
+    if (files.size() >= 2) fs::remove(files[0]);
+  }
+
+  // --- Shard 0, second incarnation: recover, preseed, rebind, resend.
+  StatusOr<snapshot::Recovered> recovered = snapshot::RecoverFromStore(store);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  core::FelipPipeline pipeline0 = std::move(recovered->state.pipeline);
+  svc::PipelineSink sink0(&pipeline0);
+  const StatusOr<uint64_t> epoch = BumpShardEpoch(dir.string());
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 2u);
+
+  svc::IngestServerOptions options;
+  options.owns_key = [&router](uint64_t key) {
+    return router.OwnerShard(key) == 0;
+  };
+  svc::IngestServer ingest0(&transport, "restart-ingest0", &sink0, options);
+  ingest0.PreseedDedup(recovered->state.dedup_keys);
+  ASSERT_TRUE(ingest0.Start());
+  ShardAccumulatorOptions accum_options;
+  accum_options.shard_id = 0;
+  accum_options.num_shards = 2;
+  accum_options.epoch = *epoch;
+  accum_options.plan_digest = plan_digest;
+  ShardAccumulatorServer accum0(&transport, "restart-accum0", &sink0,
+                                accum_options);
+  ASSERT_TRUE(accum0.Start());
+
+  // The client resends the entire stream: shard dedup absorbs what the
+  // snapshot already counts (and everything shard 1 drained), the rest
+  // is admitted exactly once.
+  ShardedIngestClient client(
+      &transport, {ingest0.endpoint(), shard1.ingest->endpoint()});
+  for (const Batch& batch : batches) {
+    ASSERT_TRUE(client.SendBatch(batch).ok());
+  }
+
+  const Status pulled = root.PullUntilComplete(60000);
+  ASSERT_TRUE(pulled.ok()) << pulled.ToString();
+  EXPECT_EQ(root.total_reports(), kUsers);
+  const Status merged = root.MergeInto(&root_pipeline);
+  ASSERT_TRUE(merged.ok()) << merged.ToString();
+
+  ingest0.Stop();
+  accum0.Stop();
+  shard1.Stop();
+  root_pipeline.Finalize();
+  EXPECT_EQ(root_pipeline.reports_ingested(), kUsers);
+  ExpectIdenticalEstimates(reference, root_pipeline);
+}
+
+}  // namespace
+}  // namespace felip::dist

@@ -1,0 +1,102 @@
+// ShardRouter contract: the consistent-hash ring is a pure function of
+// (num_shards, virtual_nodes) — every process of a topology (shards,
+// clients, root) computes the same owner for every key, with no
+// coordination. Estimation correctness upstream depends only on "each key
+// has exactly one owner"; the distribution checks here are about load,
+// not correctness.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "felip/common/hash.h"
+#include "felip/dist/partition.h"
+
+namespace felip::dist {
+namespace {
+
+std::vector<uint64_t> SomeKeys(size_t n) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Spread like real batch keys (checksum trailers): hash the index.
+    keys.push_back(XxHash64(static_cast<uint64_t>(i), 0x1234));
+  }
+  return keys;
+}
+
+TEST(ShardRouterTest, SingleShardOwnsEverything) {
+  const ShardRouter router(1);
+  for (const uint64_t key : SomeKeys(256)) {
+    EXPECT_EQ(router.OwnerShard(key), 0u);
+  }
+}
+
+TEST(ShardRouterTest, OwnerIsAlwaysInRange) {
+  for (uint32_t shards : {2u, 3u, 5u, 16u}) {
+    const ShardRouter router(shards);
+    for (const uint64_t key : SomeKeys(512)) {
+      EXPECT_LT(router.OwnerShard(key), shards);
+    }
+  }
+}
+
+TEST(ShardRouterTest, IndependentInstancesAgree) {
+  // Two routers built separately (as a client and a shard server would)
+  // must assign identically — this is the whole routing contract.
+  const ShardRouter a(4);
+  const ShardRouter b(4);
+  for (const uint64_t key : SomeKeys(2048)) {
+    EXPECT_EQ(a.OwnerShard(key), b.OwnerShard(key));
+  }
+}
+
+TEST(ShardRouterTest, EveryShardOwnsSomeKeys) {
+  const uint32_t shards = 8;
+  const ShardRouter router(shards);
+  std::map<uint32_t, uint64_t> load;
+  const std::vector<uint64_t> keys = SomeKeys(8192);
+  for (const uint64_t key : keys) load[router.OwnerShard(key)] += 1;
+  ASSERT_EQ(load.size(), shards) << "a shard owns no keys";
+  // With 64 virtual nodes per shard the split is rough but no shard
+  // should be starved or own a majority.
+  for (const auto& [shard, count] : load) {
+    EXPECT_GT(count, keys.size() / (shards * 4))
+        << "shard " << shard << " is starved";
+    EXPECT_LT(count, keys.size() / 2) << "shard " << shard << " dominates";
+  }
+}
+
+TEST(ShardRouterTest, GrowingTheRingMovesOnlySomeKeys) {
+  // Consistent hashing's point: resharding 4 -> 5 must leave most keys
+  // where they were (unlike mod-N, which moves ~4/5 of them).
+  const ShardRouter before(4);
+  const ShardRouter after(5);
+  const std::vector<uint64_t> keys = SomeKeys(8192);
+  uint64_t moved = 0;
+  for (const uint64_t key : keys) {
+    const uint32_t owner = after.OwnerShard(key);
+    if (owner != before.OwnerShard(key)) {
+      ++moved;
+      // A key only ever moves to the new shard, never between old ones.
+      EXPECT_EQ(owner, 4u);
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(ShardRouterTest, AssignmentIsStableAcrossCalls) {
+  const ShardRouter router(3);
+  const std::vector<uint64_t> keys = SomeKeys(64);
+  std::vector<uint32_t> first;
+  for (const uint64_t key : keys) first.push_back(router.OwnerShard(key));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(router.OwnerShard(keys[i]), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace felip::dist

@@ -20,6 +20,7 @@
 #include "felip/common/rng.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
+#include "felip/dist/client.h"
 #include "felip/obs/metrics.h"
 #include "felip/query/generator.h"
 #include "felip/query/query.h"
@@ -37,7 +38,10 @@ using namespace felip;
 void PrintUsage() {
   std::printf(
       "felip_client — simulated FELIP device population (TCP)\n\n"
-      "  --endpoint=<host:port>  ingest server (default 127.0.0.1:7071)\n"
+      "  --endpoint=<host:port[,host:port...]>\n"
+      "                          ingest server, or a comma-separated shard\n"
+      "                          list routed by consistent hash (default\n"
+      "                          127.0.0.1:7071)\n"
       "  --users=<int>           population size (default 100000)\n"
       "  --attributes=<int>      schema attribute count (default 6)\n"
       "  --num-domain=<int>      numerical domain (default 100)\n"
@@ -60,6 +64,19 @@ void PrintUsage() {
       "  --query-selectivity=<f>   per-attribute selectivity (default "
       "0.5)\n"
       "  --metrics               dump observability metrics to stderr\n");
+}
+
+std::vector<std::string> SplitEndpoints(const std::string& list) {
+  std::vector<std::string> endpoints;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    const size_t comma = list.find(',', begin);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) endpoints.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return endpoints;
 }
 
 }  // namespace
@@ -146,14 +163,22 @@ int main(int argc, char** argv) {
         config.olh_options));
   }
 
+  const std::vector<std::string> endpoints = SplitEndpoints(endpoint);
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "error: --endpoint must name at least one server\n");
+    return 2;
+  }
+
   svc::TcpTransport tcp;
   svc::FaultInjectingTransport transport(&tcp, faults);
   const bool faulty = faults.drop_prob > 0 || faults.truncate_prob > 0 ||
                       faults.delay_prob > 0 || faults.reset_prob > 0 ||
                       faults.drop_response_prob > 0;
-  svc::IngestClient client(faulty ? static_cast<svc::Transport*>(&transport)
-                                  : &tcp,
-                           endpoint);
+  // One endpoint is just a one-shard ring, so the sharded client covers
+  // both shapes; every batch routes by the consistent hash of its
+  // checksum-trailer key, the same hash the shard servers preseed by.
+  dist::ShardedIngestClient client(
+      faulty ? static_cast<svc::Transport*>(&transport) : &tcp, endpoints);
 
   svc::SimulatorOptions simulator_options;
   simulator_options.seed = config.seed;
@@ -184,6 +209,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(client.reconnects()),
       static_cast<unsigned long long>(duplicates),
       static_cast<unsigned long long>(transport.faults_injected()));
+  if (endpoints.size() > 1) {
+    std::printf("routed:");
+    for (size_t shard = 0; shard < endpoints.size(); ++shard) {
+      std::printf(" shard%zu=%llu", shard,
+                  static_cast<unsigned long long>(
+                      client.batches_routed(static_cast<uint32_t>(shard))));
+    }
+    std::printf("\n");
+  }
 
   if (queries > 0) {
     // The server binds its query endpoint only after finalizing, so the

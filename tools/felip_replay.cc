@@ -1,11 +1,14 @@
 // felip_replay — offline estimation from an append-only report log.
 //
-// Reads every segment felip_server wrote under --log-dir, reconstructs
-// the pipeline the log's plan describes, re-ingests the logged batches
-// through the exact server gates (trailer checksum, idempotency window,
-// sharded decode, per-report validation), finalizes, and prints the same
-// `attr0 marginal head:` + `grid frequencies xxh64=` lines felip_server
-// prints after a live round — so replay-vs-live is one diff away.
+// Reads every segment felip_server wrote under --log-dir (repeat
+// --report-log-dir to union several shards' logs into one estimation
+// round), reconstructs the pipeline the logs' shared plan describes,
+// re-ingests the logged batches through the exact server gates (trailer
+// checksum, idempotency window, sharded decode, per-report validation),
+// finalizes, and prints the same `attr0 marginal head:` +
+// `grid frequencies xxh64=` lines felip_server prints after a live
+// round — so replay-vs-live is one diff away, and a sharded round
+// replays to the same digest the root aggregator printed.
 //
 // Post-processing is swappable per run without touching the corpus:
 //   felip_replay --log-dir=log                      # as logged
@@ -41,7 +44,11 @@ using namespace felip;
 void PrintUsage() {
   std::printf(
       "felip_replay — re-run FELIP estimation from a report log\n\n"
-      "  --log-dir=<path>        report log directory (required)\n"
+      "  --log-dir=<path>        report log directory\n"
+      "  --report-log-dir=<path> report log directory; repeatable, all\n"
+      "                          named logs replay into one round with a\n"
+      "                          shared dedup window (at least one of\n"
+      "                          --log-dir/--report-log-dir is required)\n"
       "  --normalization=sub|mul|cut  override the logged negativity "
       "removal\n"
       "  --consistency-rounds=<int>   override consistency iteration "
@@ -65,6 +72,8 @@ int main(int argc, char** argv) {
 
   const bool show_help = flags.GetBool("help", false);
   const std::string log_dir = flags.GetString("log-dir", "");
+  std::vector<std::string> log_dirs = flags.GetStringList("report-log-dir");
+  if (!log_dir.empty()) log_dirs.insert(log_dirs.begin(), log_dir);
   const std::string normalization_name =
       flags.GetString("normalization", "");
   const int64_t consistency_rounds =
@@ -98,8 +107,9 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
-  if (log_dir.empty()) {
-    std::fprintf(stderr, "error: --log-dir is required\n");
+  if (log_dirs.empty()) {
+    std::fprintf(stderr,
+                 "error: --log-dir or --report-log-dir is required\n");
     return 2;
   }
   if (pair_path_name != "exact" && pair_path_name != "prefix") {
@@ -130,7 +140,7 @@ int main(int argc, char** argv) {
   }
 
   StatusOr<replaylog::ReplayResult> result =
-      replaylog::ReplayLog(log_dir, overrides);
+      replaylog::ReplayLogs(log_dirs, overrides);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;

@@ -10,6 +10,16 @@
 // Example (two shells):
 //   felip_server --port=7071 --users=50000
 //   felip_client --endpoint=127.0.0.1:7071 --users=50000
+//
+// Distributed topology (docs/distributed.md): each shard serves its
+// consistent-hash partition with --shard-id/--num-shards and exposes an
+// accumulator endpoint on --accum-port; one more felip_server run with
+// --root=<accum-ep,...> pulls and merges the shards, then finalizes —
+// bit-identical to the single-node round:
+//   felip_server --port=7071 --accum-port=7171 --shard-id=0 --num-shards=2
+//   felip_server --port=7072 --accum-port=7172 --shard-id=1 --num-shards=2
+//   felip_client --endpoint=127.0.0.1:7071,127.0.0.1:7072
+//   felip_server --root=127.0.0.1:7171,127.0.0.1:7172
 
 #include <cstdio>
 #include <memory>
@@ -20,6 +30,9 @@
 #include "felip/common/flags.h"
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
+#include "felip/dist/accumulator.h"
+#include "felip/dist/partition.h"
+#include "felip/dist/root.h"
 #include "felip/obs/metrics.h"
 #include "felip/post/norm_sub.h"
 #include "felip/replaylog/replay.h"
@@ -74,7 +87,72 @@ void PrintUsage() {
       "(default 0)\n"
       "  --normalization=sub|mul|cut  negativity-removal variant (default "
       "sub)\n"
-      "  --metrics               dump observability metrics to stderr\n");
+      "  --metrics               dump observability metrics to stderr\n"
+      "\nDistributed topology (see docs/distributed.md):\n"
+      "  --num-shards=<int>      total shards in the topology (default 1)\n"
+      "  --shard-id=<int>        this server's shard, in [0, num-shards)\n"
+      "  --accum-port=<int>      shard accumulator port, 0 picks one "
+      "(default 0)\n"
+      "  --root=<ep,ep,...>      run as the root aggregator pulling from\n"
+      "                          these shard accumulator endpoints\n");
+}
+
+// Prints attribute 0's marginal head (%.17g round-trips doubles exactly)
+// plus an xxHash64 digest over every exported grid frequency — the
+// fingerprint the CI soaks compare across runs bit for bit.
+void PrintEstimateFingerprint(const core::FelipPipeline& pipeline) {
+  const std::vector<double> marginal = pipeline.EstimateMarginal(0);
+  const size_t head = marginal.size() < 8 ? marginal.size() : 8;
+  std::printf("attr0 marginal head:");
+  for (size_t v = 0; v < head; ++v) std::printf(" %.17g", marginal[v]);
+  std::printf("\n");
+  std::printf("grid frequencies xxh64=%016llx\n",
+              static_cast<unsigned long long>(
+                  core::GridFrequencyDigest(pipeline)));
+}
+
+// Answers `query_batches` batches on host:query_port; 0 on success.
+int ServeQueries(svc::TcpTransport* transport, const std::string& host,
+                 uint64_t query_port, core::FelipPipeline* pipeline,
+                 uint64_t query_batches, int query_timeout_ms) {
+  svc::QueryServer query_server(
+      transport, host + ":" + std::to_string(query_port), pipeline);
+  if (!query_server.Start()) {
+    std::fprintf(stderr, "error: could not bind query endpoint %s:%llu\n",
+                 host.c_str(), static_cast<unsigned long long>(query_port));
+    return 1;
+  }
+  std::printf("serving queries on %s\n", query_server.endpoint().c_str());
+  std::fflush(stdout);
+  const bool served =
+      query_server.WaitForBatches(query_batches, query_timeout_ms);
+  query_server.Stop();
+  std::printf(
+      "query batches answered=%llu queries=%llu invalid=%llu "
+      "malformed=%llu\n",
+      static_cast<unsigned long long>(query_server.batches_answered()),
+      static_cast<unsigned long long>(query_server.queries_answered()),
+      static_cast<unsigned long long>(query_server.batches_invalid()),
+      static_cast<unsigned long long>(query_server.batches_malformed()));
+  if (!served) {
+    std::fprintf(stderr, "error: timed out waiting for query batches\n");
+    return 1;
+  }
+  return 0;
+}
+
+// Splits a comma-separated endpoint list.
+std::vector<std::string> SplitEndpoints(const std::string& list) {
+  std::vector<std::string> endpoints;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) endpoints.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
 }
 
 }  // namespace
@@ -116,6 +194,12 @@ int main(int argc, char** argv) {
   const std::string normalization_name =
       flags.GetString("normalization", "sub");
   const bool dump_metrics = flags.GetBool("metrics", false);
+  const auto num_shards =
+      static_cast<uint32_t>(flags.GetUint("num-shards", 1));
+  const auto shard_id = static_cast<uint32_t>(flags.GetUint("shard-id", 0));
+  const uint64_t accum_port = flags.GetUint("accum-port", 0);
+  const std::vector<std::string> root_endpoints =
+      SplitEndpoints(flags.GetString("root", ""));
 
   bool usage_error = false;
   for (const std::string& unknown : flags.UnconsumedFlags()) {
@@ -146,6 +230,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --normalization must be sub, mul, or cut\n");
     return 2;
   }
+  if (num_shards < 1 || shard_id >= num_shards) {
+    std::fprintf(stderr,
+                 "error: --shard-id must be in [0, --num-shards)\n");
+    return 2;
+  }
+  if (!root_endpoints.empty() && num_shards > 1) {
+    std::fprintf(stderr,
+                 "error: --root and --num-shards are mutually exclusive "
+                 "(the root's shard count is the endpoint count)\n");
+    return 2;
+  }
+  if (num_shards > 1 && serve_queries) {
+    std::fprintf(stderr,
+                 "error: shards hold partial state; serve queries from "
+                 "the root (--root ... --serve-queries)\n");
+    return 2;
+  }
 
   // The schema comes from the same generator felip_client uses; only the
   // attribute metadata matters here — the values stay on the clients.
@@ -158,6 +259,57 @@ int main(int argc, char** argv) {
   config.epsilon = epsilon;
   config.seed = seed;
   config.normalization = *normalization;
+
+  // Root aggregator: no ingest endpoint of its own — pull every shard's
+  // accumulator frames, merge them in shard-id order, and finalize. The
+  // epilogue (fingerprint, queries, metrics) is identical to the
+  // single-node path, because the merged pipeline is bit-identical to
+  // single-node collection.
+  if (!root_endpoints.empty()) {
+    core::FelipPipeline pipeline(schema_source.attributes(), users, config);
+    dist::RootAggregatorOptions root_options;
+    root_options.expected_reports = users;
+    root_options.plan_digest = dist::PlanDigest(pipeline);
+    svc::TcpTransport transport;
+    dist::RootAggregator root(&transport, root_endpoints, root_options);
+    std::printf("root pulling from %zu shard(s), expecting %llu reports\n",
+                root_endpoints.size(),
+                static_cast<unsigned long long>(users));
+    std::fflush(stdout);
+    Status status = root.PullUntilComplete(timeout_ms);
+    if (status.ok()) status = root.MergeInto(&pipeline);
+    if (!status.ok()) {
+      std::fprintf(stderr,
+                   "error: %s (reports accounted=%llu frames pulled=%llu "
+                   "stale=%llu failures=%llu)\n",
+                   status.ToString().c_str(),
+                   static_cast<unsigned long long>(root.total_reports()),
+                   static_cast<unsigned long long>(root.frames_pulled()),
+                   static_cast<unsigned long long>(root.frames_stale()),
+                   static_cast<unsigned long long>(root.pull_failures()));
+      return 1;
+    }
+    std::printf(
+        "merged %llu reports from %zu shard(s) (frames pulled=%llu "
+        "stale=%llu failures=%llu)\n",
+        static_cast<unsigned long long>(pipeline.reports_ingested()),
+        root_endpoints.size(),
+        static_cast<unsigned long long>(root.frames_pulled()),
+        static_cast<unsigned long long>(root.frames_stale()),
+        static_cast<unsigned long long>(root.pull_failures()));
+    pipeline.Finalize();
+    PrintEstimateFingerprint(pipeline);
+    if (serve_queries) {
+      const int rc = ServeQueries(&transport, host, query_port, &pipeline,
+                                  query_batches, query_timeout_ms);
+      if (rc != 0) return rc;
+    }
+    if (dump_metrics) {
+      const std::string text = obs::Registry::Default().RenderText();
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    return 0;
+  }
 
   // Warm restart: adopt the newest verifiable snapshot when one exists.
   // The snapshot must come from a server launched with the same planning
@@ -224,6 +376,16 @@ int main(int argc, char** argv) {
   svc::IngestServerOptions server_options;
   server_options.queue_capacity = static_cast<size_t>(queue_capacity);
   server_options.worker_threads = workers;
+  std::optional<dist::ShardRouter> router;
+  if (num_shards > 1) {
+    router.emplace(num_shards);
+    // Preseed only this shard's keys: after a resharded restart the
+    // snapshot may hold batches that now belong to another shard, and
+    // those must not be pre-rejected here.
+    server_options.owns_key = [&router, shard_id](uint64_t key) {
+      return router->OwnerShard(key) == shard_id;
+    };
+  }
   if (report_log != nullptr) {
     // Runs under the server's drain lock, so the non-thread-safe writer
     // only ever sees one appender.
@@ -257,6 +419,37 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(port));
     return 1;
   }
+  // Shard mode: serve cumulative accumulator frames on a second endpoint
+  // and wait for the root's seal instead of a local population count —
+  // only the root can see the whole round.
+  std::unique_ptr<dist::ShardAccumulatorServer> accum;
+  if (num_shards > 1) {
+    dist::ShardAccumulatorOptions accum_options;
+    accum_options.shard_id = shard_id;
+    accum_options.num_shards = num_shards;
+    accum_options.plan_digest = dist::PlanDigest(*pipeline);
+    if (!snapshot_dir.empty()) {
+      StatusOr<uint64_t> epoch = dist::BumpShardEpoch(snapshot_dir);
+      if (!epoch.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     epoch.status().ToString().c_str());
+        return 1;
+      }
+      accum_options.epoch = *epoch;
+    }
+    accum = std::make_unique<dist::ShardAccumulatorServer>(
+        &transport, host + ":" + std::to_string(accum_port), &sink,
+        accum_options);
+    if (!accum->Start()) {
+      std::fprintf(stderr, "error: could not bind accumulator %s:%llu\n",
+                   host.c_str(),
+                   static_cast<unsigned long long>(accum_port));
+      return 1;
+    }
+    std::printf("shard %u/%u accumulator on %s (epoch %llu)\n", shard_id,
+                num_shards, accum->endpoint().c_str(),
+                static_cast<unsigned long long>(accum_options.epoch));
+  }
   std::printf("listening on %s (%llu grids, expecting %llu reports)\n",
               server.endpoint().c_str(),
               static_cast<unsigned long long>(pipeline->num_groups()),
@@ -266,11 +459,19 @@ int main(int argc, char** argv) {
   // A recovered pipeline already counts some of the population; this run
   // only needs the remainder (clients resend everything, but resends of
   // already-counted batches ack kAlreadyExists and never reach the sink).
-  const uint64_t already = pipeline->reports_ingested();
-  const uint64_t remaining = users > already ? users - already : 0;
-  const bool complete = server.WaitForReports(remaining, timeout_ms);
+  // A shard instead waits for the root's seal: only the root can tell
+  // when the global population is accounted for.
+  bool complete;
+  if (accum != nullptr) {
+    complete = accum->WaitForSeal(timeout_ms);
+  } else {
+    const uint64_t already = pipeline->reports_ingested();
+    const uint64_t remaining = users > already ? users - already : 0;
+    complete = server.WaitForReports(remaining, timeout_ms);
+  }
   server.Stop();
-  sink.Finish();
+  if (accum != nullptr) accum->Stop();
+  if (accum == nullptr) sink.Finish();
   if (report_log != nullptr) {
     const Status sealed = report_log->Seal();
     if (!sealed.ok()) {
@@ -294,6 +495,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A sealed shard is done: the root holds its final frame and owns
+  // estimation. Partial state is never finalized or queried here.
+  if (accum != nullptr) {
+    std::printf(
+        "shard %u/%u sealed: reports accepted=%llu rejected=%llu; "
+        "frames served=%llu pulls rejected=%llu preseed filtered=%llu "
+        "checkpoints=%llu\n",
+        shard_id, num_shards,
+        static_cast<unsigned long long>(sink.accepted()),
+        static_cast<unsigned long long>(sink.rejected()),
+        static_cast<unsigned long long>(accum->frames_served()),
+        static_cast<unsigned long long>(accum->pulls_rejected()),
+        static_cast<unsigned long long>(server.preseed_filtered()),
+        static_cast<unsigned long long>(server.checkpoints_written()));
+    if (dump_metrics) {
+      const std::string text = obs::Registry::Default().RenderText();
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    return 0;
+  }
+
   pipeline->Finalize();
   std::printf(
       "round complete: batches accepted=%llu duplicate=%llu "
@@ -307,43 +529,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(sink.accepted()),
       static_cast<unsigned long long>(sink.rejected()));
 
-  // A quick look at the estimates: attribute 0's marginal head (%.17g
-  // round-trips doubles exactly) plus an xxHash64 digest over every
-  // exported grid frequency, so the crash-recovery soak can compare a
-  // resumed round against an uninterrupted one bit for bit.
-  const std::vector<double> marginal = pipeline->EstimateMarginal(0);
-  const size_t head = marginal.size() < 8 ? marginal.size() : 8;
-  std::printf("attr0 marginal head:");
-  for (size_t v = 0; v < head; ++v) std::printf(" %.17g", marginal[v]);
-  std::printf("\n");
-  std::printf("grid frequencies xxh64=%016llx\n",
-              static_cast<unsigned long long>(
-                  core::GridFrequencyDigest(*pipeline)));
+  PrintEstimateFingerprint(*pipeline);
 
   if (serve_queries) {
-    svc::QueryServer query_server(
-        &transport, host + ":" + std::to_string(query_port), &*pipeline);
-    if (!query_server.Start()) {
-      std::fprintf(stderr, "error: could not bind query endpoint %s:%llu\n",
-                   host.c_str(), static_cast<unsigned long long>(query_port));
-      return 1;
-    }
-    std::printf("serving queries on %s\n", query_server.endpoint().c_str());
-    std::fflush(stdout);
-    const bool served =
-        query_server.WaitForBatches(query_batches, query_timeout_ms);
-    query_server.Stop();
-    std::printf(
-        "query batches answered=%llu queries=%llu invalid=%llu "
-        "malformed=%llu\n",
-        static_cast<unsigned long long>(query_server.batches_answered()),
-        static_cast<unsigned long long>(query_server.queries_answered()),
-        static_cast<unsigned long long>(query_server.batches_invalid()),
-        static_cast<unsigned long long>(query_server.batches_malformed()));
-    if (!served) {
-      std::fprintf(stderr, "error: timed out waiting for query batches\n");
-      return 1;
-    }
+    const int rc = ServeQueries(&transport, host, query_port, &*pipeline,
+                                query_batches, query_timeout_ms);
+    if (rc != 0) return rc;
   }
 
   if (dump_metrics) {
