@@ -54,8 +54,8 @@ int main() {
     const data::Dataset epoch = make_epoch(40000, skew, 100 + day);
     collector.IngestEpoch(epoch);
     std::printf("%-6d %12.4f %12.4f %12.4f\n", day,
-                collector.AnswerQuery(alert_query),
-                collector.AnswerQueryLatest(alert_query),
+                collector.AnswerQuery(alert_query).value(),
+                collector.AnswerQueryLatest(alert_query).value(),
                 query::TrueAnswer(epoch, alert_query));
   }
   std::printf("\nthe stream estimate lags the shift by design (decay=%.1f) "

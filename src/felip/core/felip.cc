@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "felip/common/check.h"
@@ -321,6 +322,16 @@ Status FelipPipeline::IngestOueReport(uint32_t grid_index,
   FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestOueReport(bits));
   ++reports_ingested_;
   return Status::Ok();
+}
+
+uint64_t FelipPipeline::min_grid_reports() const {
+  if (oracles_.empty()) return 0;
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  for (const std::unique_ptr<fo::FrequencyOracle>& oracle : oracles_) {
+    const uint64_t n = oracle == nullptr ? 0 : oracle->num_reports();
+    min = std::min(min, n);
+  }
+  return min;
 }
 
 Status FelipPipeline::MergeAccumulators(std::vector<fo::OracleState> states,

@@ -228,6 +228,12 @@ class FelipPipeline {
   void FinishIngest();
   uint64_t reports_ingested() const { return reports_ingested_; }
 
+  // Smallest per-grid report count across the live oracles, or 0 before
+  // they exist (kConfigured). Estimation debiases by each grid's own n,
+  // so a round is only sealable once every grid has at least one report;
+  // clock-driven epoch cuts poll this before rotating.
+  uint64_t min_grid_reports() const;
+
   // --- Distributed aggregation (felip/dist) ---
   //
   // Folds one shard's per-grid accumulators into this pipeline's live

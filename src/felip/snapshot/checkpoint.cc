@@ -17,6 +17,11 @@ Checkpointer::Checkpointer(SnapshotStore* store,
   FELIP_CHECK(pipeline != nullptr);
 }
 
+void Checkpointer::set_pipeline(const core::FelipPipeline* pipeline) {
+  FELIP_CHECK(pipeline != nullptr);
+  pipeline_ = pipeline;
+}
+
 Status Checkpointer::Checkpoint(std::span<const uint64_t> drained_keys) {
   obs::ScopedTimer span("felip_snapshot_write");
   const auto start = std::chrono::steady_clock::now();

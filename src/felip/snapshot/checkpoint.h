@@ -47,6 +47,13 @@ class Checkpointer {
   // Matches svc::CheckpointFn.
   Status Checkpoint(std::span<const uint64_t> drained_keys);
 
+  // Redirects subsequent checkpoints to `pipeline` (which must outlive
+  // this object). The epoch-rotation path calls this after swapping the
+  // ingest sink to a fresh open-epoch pipeline, under the same drain lock
+  // that serializes Checkpoint() — the sealed epoch has its own segment;
+  // checkpoints only ever cover the open epoch.
+  void set_pipeline(const core::FelipPipeline* pipeline);
+
   uint64_t snapshots_written() const { return snapshots_written_; }
 
  private:

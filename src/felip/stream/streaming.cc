@@ -1,17 +1,64 @@
 #include "felip/stream/streaming.h"
 
+#include <cstdio>
+
 #include "felip/common/check.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
 
 namespace felip::stream {
 
+namespace {
+
+// Rejects degenerate stream configurations at construction, naming the
+// field and the value (the lifecycle-machine convention): decay outside
+// (0, 1] either zeroes every non-newest weight (degenerating the mix
+// normalizer) or weights stale epochs above fresh ones, and max_epochs = 0
+// would evict the epoch that was just ingested.
+void ValidateStreamConfig(const StreamConfig& config) {
+  if (!(config.decay > 0.0 && config.decay <= 1.0)) {
+    std::fprintf(stderr,
+                 "invalid stream config: StreamConfig.decay = %g is outside "
+                 "(0, 1]\n",
+                 config.decay);
+    FELIP_CHECK_MSG(false, "StreamConfig.decay must be in (0, 1]");
+  }
+  if (config.max_epochs < 1) {
+    std::fprintf(stderr,
+                 "invalid stream config: StreamConfig.max_epochs = %u must "
+                 "be >= 1 (a zero window evicts the epoch just ingested)\n",
+                 config.max_epochs);
+    FELIP_CHECK_MSG(false, "StreamConfig.max_epochs must be >= 1");
+  }
+}
+
+}  // namespace
+
+core::FelipConfig EpochConfig(const core::FelipConfig& base,
+                              uint64_t epoch_index) {
+  core::FelipConfig felip = base;
+  // Decorrelate epoch randomness while keeping runs reproducible.
+  felip.seed = felip.seed * 1000003 + epoch_index + 1;
+  return felip;
+}
+
+double DecayMix(std::span<const double> answers_oldest_first, double decay) {
+  FELIP_CHECK_MSG(!answers_oldest_first.empty(),
+                  "DecayMix over an empty window");
+  double total = 0.0;
+  double norm = 0.0;
+  for (const double answer : answers_oldest_first) {
+    total = total * decay + answer;
+    norm = norm * decay + 1.0;
+  }
+  return total / norm;
+}
+
 StreamingCollector::StreamingCollector(
     std::vector<data::AttributeInfo> schema, StreamConfig config)
     : schema_(std::move(schema)), config_(std::move(config)) {
   FELIP_CHECK(!schema_.empty());
-  FELIP_CHECK(config_.decay > 0.0 && config_.decay <= 1.0);
-  FELIP_CHECK(config_.max_epochs >= 1);
+  ValidateStreamConfig(config_);
 }
 
 void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
@@ -21,9 +68,7 @@ void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
   for (uint32_t a = 0; a < epoch.num_attributes(); ++a) {
     FELIP_CHECK(epoch.attribute(a).domain == schema_[a].domain);
   }
-  core::FelipConfig felip = config_.felip;
-  // Decorrelate epoch randomness while keeping runs reproducible.
-  felip.seed = felip.seed * 1000003 + epochs_ingested_ + 1;
+  core::FelipConfig felip = EpochConfig(config_.felip, epochs_ingested_);
   if (config_.aggregation_threads != 0) {
     felip.aggregation_threads = config_.aggregation_threads;
   }
@@ -42,22 +87,24 @@ void StreamingCollector::IngestEpoch(const data::Dataset& epoch) {
       .Set(static_cast<double>(history_.size()));
 }
 
-double StreamingCollector::AnswerQuery(const query::Query& query) const {
-  FELIP_CHECK_MSG(!history_.empty(), "no epochs ingested");
-  double weight = 1.0;  // newest epoch
-  double total_weight = 0.0;
-  double total = 0.0;
-  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
-    total += weight * (*it)->AnswerQuery(query);
-    total_weight += weight;
-    weight *= config_.decay;
+StatusOr<double> StreamingCollector::AnswerQuery(
+    const query::Query& query) const {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no epochs ingested");
   }
-  return total / total_weight;
+  std::vector<double> answers;
+  answers.reserve(history_.size());
+  for (const auto& pipeline : history_) {  // oldest first
+    answers.push_back(pipeline->AnswerQuery(query));
+  }
+  return DecayMix(answers, config_.decay);
 }
 
-double StreamingCollector::AnswerQueryLatest(
+StatusOr<double> StreamingCollector::AnswerQueryLatest(
     const query::Query& query) const {
-  FELIP_CHECK_MSG(!history_.empty(), "no epochs ingested");
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no epochs ingested");
+  }
   return history_.back()->AnswerQuery(query);
 }
 

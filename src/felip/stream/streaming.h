@@ -11,6 +11,11 @@
 //
 // keeping only the most recent `max_epochs` rounds, which bounds memory and
 // lets the estimate track drifting populations.
+//
+// The service-tier epoch layer (epoch_store.h / epoch_service.h) promotes
+// this in-process loop to sealed on-disk segments; both layers share
+// EpochConfig and DecayMix below so a served windowed answer is bit-identical
+// to the in-process collector over the same arrivals.
 
 #ifndef FELIP_STREAM_STREAMING_H_
 #define FELIP_STREAM_STREAMING_H_
@@ -18,8 +23,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "felip/common/status.h"
 #include "felip/core/felip.h"
 #include "felip/data/dataset.h"
 #include "felip/query/query.h"
@@ -37,6 +44,27 @@ struct StreamConfig {
   unsigned aggregation_threads = 0;
 };
 
+// The per-epoch collection config for epoch `epoch_index` (0-based): the
+// base config with the seed decorrelated per epoch while keeping runs
+// reproducible. Every layer that replays an epoch round — the in-process
+// collector, the epoch rotation service, and the population simulator in
+// felip_client — must derive seeds through this one function, or served
+// answers stop being bit-identical to in-process ones.
+core::FelipConfig EpochConfig(const core::FelipConfig& base,
+                              uint64_t epoch_index);
+
+// Decay-weighted mixture of per-epoch answers, oldest epoch first. Folded
+// as a Horner evaluation with a running weight — one multiply per epoch, no
+// pow() — so long windows neither underflow to subnormals nor depend on the
+// fold direction:
+//
+//   total = total·decay + answer_e;  norm = norm·decay + 1
+//
+// after which the newest epoch carries weight 1 and epoch t-k carries
+// decay^k exactly as documented above. Requires a nonempty span and
+// decay ∈ (0, 1] (callers validate; see StreamConfig).
+double DecayMix(std::span<const double> answers_oldest_first, double decay);
+
 class StreamingCollector {
  public:
   StreamingCollector(std::vector<data::AttributeInfo> schema,
@@ -46,12 +74,14 @@ class StreamingCollector {
   // schema must match; each record is one (new) user.
   void IngestEpoch(const data::Dataset& epoch);
 
-  // Decay-weighted estimate over the retained epochs. Requires at least
-  // one ingested epoch.
-  double AnswerQuery(const query::Query& query) const;
+  // Decay-weighted estimate over the retained epochs. Fails with
+  // kFailedPrecondition before the first epoch is ingested (a retryable
+  // condition for a service — the next epoch seal satisfies it).
+  StatusOr<double> AnswerQuery(const query::Query& query) const;
 
-  // Estimate from the newest epoch only (no history smoothing).
-  double AnswerQueryLatest(const query::Query& query) const;
+  // Estimate from the newest epoch only (no history smoothing). Same
+  // empty-history contract as AnswerQuery.
+  StatusOr<double> AnswerQueryLatest(const query::Query& query) const;
 
   uint64_t epochs_ingested() const { return epochs_ingested_; }
   size_t epochs_retained() const { return history_.size(); }

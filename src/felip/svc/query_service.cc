@@ -20,6 +20,8 @@ struct QueryCounters {
   obs::Counter& invalid;
   obs::Counter& malformed;
   obs::Counter& not_ready;
+  obs::Counter& windowed;
+  obs::Counter& windowed_queries;
 
   static QueryCounters& Get() {
     static QueryCounters counters{
@@ -30,6 +32,10 @@ struct QueryCounters {
             "felip_svc_query_malformed_total"),
         obs::Registry::Default().GetCounter(
             "felip_svc_query_not_ready_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_windowed_batches_total"),
+        obs::Registry::Default().GetCounter(
+            "felip_svc_windowed_queries_total"),
     };
     return counters;
   }
@@ -43,13 +49,16 @@ void SleepMs(uint32_t ms) {
 
 QueryServer::QueryServer(Transport* transport, const std::string& endpoint,
                          const core::FelipPipeline* pipeline,
-                         QueryServerOptions options)
+                         QueryServerOptions options,
+                         const stream::EpochSet* epochs)
     : transport_(transport),
       endpoint_(endpoint),
       pipeline_(pipeline),
+      epochs_(epochs),
       options_(options) {
   FELIP_CHECK(transport != nullptr);
-  FELIP_CHECK(pipeline != nullptr);
+  FELIP_CHECK_MSG(pipeline != nullptr || epochs != nullptr,
+                  "a query server needs a pipeline or an epoch window");
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -104,8 +113,15 @@ std::vector<uint8_t> QueryServer::HandleFrame(
   }
   const uint64_t checksum = *ChecksumTrailer(payload);
 
+  // Windowed frames take the epoch route; everything below this point is
+  // a plain query batch.
+  if (wire::IsWindowedQueryFrame(payload)) {
+    return HandleWindowedFrame(std::move(payload), checksum);
+  }
+
   wire::QueryResponseMessage response;
   response.request_checksum = checksum;
+  if (epochs_ != nullptr) response.sealed_epochs = epochs_->newest_seq();
 
   // Gate 2: structure. Checksum-valid but undecodable means a bad
   // client, not corruption — a resend would fail identically, so the
@@ -119,7 +135,14 @@ std::vector<uint8_t> QueryServer::HandleFrame(
     return wire::EncodeQueryResponse(response);
   }
 
-  if (pipeline_->state() != core::PipelineState::kQueryable) {
+  // Readiness gate. Pipeline mode: the one round must be queryable.
+  // Epoch mode (no pipeline): at least one epoch must have sealed — and
+  // this check must come before schema validation, because the window's
+  // schema is empty until the first seal and would wrongly turn valid
+  // queries into terminal kInvalidArgument.
+  if (pipeline_ != nullptr
+          ? pipeline_->state() != core::PipelineState::kQueryable
+          : response.sealed_epochs == 0) {
     batches_not_ready_.fetch_add(1);
     counters.not_ready.Increment();
     response.status = StatusCode::kFailedPrecondition;
@@ -130,8 +153,10 @@ std::vector<uint8_t> QueryServer::HandleFrame(
   // as fatal programmer error in-process; over the network they are an
   // untrusted client's input and get a terminal kInvalidArgument naming
   // the first offending query.
+  const std::vector<data::AttributeInfo> schema =
+      pipeline_ != nullptr ? pipeline_->schema() : epochs_->schema();
   for (size_t q = 0; q < queries->size(); ++q) {
-    if (query::ValidateQuery((*queries)[q], pipeline_->schema())) {
+    if (query::ValidateQuery((*queries)[q], schema)) {
       batches_invalid_.fetch_add(1);
       counters.invalid.Increment();
       response.status = StatusCode::kInvalidArgument;
@@ -143,14 +168,110 @@ std::vector<uint8_t> QueryServer::HandleFrame(
   core::QueryBatchOptions batch_options;
   batch_options.threads = options_.answer_threads;
   batch_options.pair_path = options_.pair_path;
+  if (pipeline_ != nullptr) {
+    response.answers = pipeline_->AnswerQueries(
+        std::span<const query::Query>(*queries), batch_options);
+  } else {
+    auto answers = epochs_->AnswerLatest(
+        std::span<const query::Query>(*queries), batch_options);
+    if (!answers.ok()) {
+      // Unreachable once sealed_epochs > 0 (the window only grows), but
+      // degrade to retryable rather than crash on a contract drift.
+      batches_not_ready_.fetch_add(1);
+      counters.not_ready.Increment();
+      response.status = StatusCode::kFailedPrecondition;
+      return wire::EncodeQueryResponse(response);
+    }
+    response.answers = std::move(answers).value();
+  }
   response.status = StatusCode::kOk;
   response.bad_query = wire::kBadQueryNone;
-  response.answers = pipeline_->AnswerQueries(
-      std::span<const query::Query>(*queries), batch_options);
 
   counters.batches.Increment();
   counters.queries.Increment(queries->size());
   queries_answered_.fetch_add(queries->size());
+  {
+    std::lock_guard<std::mutex> lock(answered_mutex_);
+    batches_answered_.fetch_add(1);
+  }
+  answered_cv_.notify_all();
+  return wire::EncodeQueryResponse(response);
+}
+
+std::vector<uint8_t> QueryServer::HandleWindowedFrame(
+    std::vector<uint8_t>&& payload, uint64_t checksum) {
+  obs::ScopedTimer span("felip_svc_windowed_batch");
+  QueryCounters& counters = QueryCounters::Get();
+
+  wire::QueryResponseMessage response;
+  response.request_checksum = checksum;
+
+  // Structure gate, same contract as the plain batch: checksum-valid but
+  // undecodable (including an out-of-range decay) is a bad client and a
+  // terminal kInvalidArgument.
+  const auto request = wire::DecodeWindowedQuery(payload);
+  if (!request.ok() || request->queries.size() > options_.max_batch_queries) {
+    batches_invalid_.fetch_add(1);
+    counters.invalid.Increment();
+    response.status = StatusCode::kInvalidArgument;
+    response.bad_query = wire::kBadQueryNone;
+    return wire::EncodeQueryResponse(response);
+  }
+
+  // A server without an epoch window can never answer a windowed query:
+  // terminal, not retryable.
+  if (epochs_ == nullptr) {
+    batches_invalid_.fetch_add(1);
+    counters.invalid.Increment();
+    response.status = StatusCode::kInvalidArgument;
+    response.bad_query = wire::kBadQueryNone;
+    return wire::EncodeQueryResponse(response);
+  }
+  response.sealed_epochs = epochs_->newest_seq();
+
+  // Readiness before schema: the window's schema is empty until the
+  // first seal, and an empty schema would wrongly reject valid queries
+  // with a terminal status. Retry until the first epoch lands.
+  if (response.sealed_epochs == 0) {
+    batches_not_ready_.fetch_add(1);
+    counters.not_ready.Increment();
+    response.status = StatusCode::kFailedPrecondition;
+    return wire::EncodeQueryResponse(response);
+  }
+
+  const std::vector<data::AttributeInfo> schema = epochs_->schema();
+  for (size_t q = 0; q < request->queries.size(); ++q) {
+    if (query::ValidateQuery(request->queries[q], schema)) {
+      batches_invalid_.fetch_add(1);
+      counters.invalid.Increment();
+      response.status = StatusCode::kInvalidArgument;
+      response.bad_query = static_cast<uint32_t>(q);
+      return wire::EncodeQueryResponse(response);
+    }
+  }
+
+  core::QueryBatchOptions batch_options;
+  batch_options.threads = options_.answer_threads;
+  batch_options.pair_path = options_.pair_path;
+  auto answers = epochs_->AnswerWindowed(
+      std::span<const query::Query>(request->queries), request->window,
+      request->decay, batch_options);
+  if (!answers.ok()) {
+    // Unreachable once sealed_epochs > 0 (the window only grows), but
+    // degrade to retryable rather than crash on a contract drift.
+    batches_not_ready_.fetch_add(1);
+    counters.not_ready.Increment();
+    response.status = StatusCode::kFailedPrecondition;
+    return wire::EncodeQueryResponse(response);
+  }
+  response.status = StatusCode::kOk;
+  response.bad_query = wire::kBadQueryNone;
+  response.answers = std::move(answers).value();
+
+  counters.windowed.Increment();
+  counters.windowed_queries.Increment(request->queries.size());
+  windowed_answered_.fetch_add(1);
+  queries_answered_.fetch_add(request->queries.size());
   {
     std::lock_guard<std::mutex> lock(answered_mutex_);
     batches_answered_.fetch_add(1);
@@ -173,11 +294,26 @@ QueryOutcome QueryClient::AnswerQueries(
     const std::vector<query::Query>& queries) {
   static obs::Counter& batches_total = obs::Registry::Default().GetCounter(
       "felip_svc_query_client_batches_total");
+  batches_total.Increment();
+  return Deliver(wire::EncodeQueryBatch(queries));
+}
+
+QueryOutcome QueryClient::AnswerWindowed(
+    const std::vector<query::Query>& queries, uint32_t window, double decay) {
+  static obs::Counter& windowed_total = obs::Registry::Default().GetCounter(
+      "felip_svc_query_client_windowed_total");
+  windowed_total.Increment();
+  wire::WindowedQueryMessage request;
+  request.window = window;
+  request.decay = decay;  // EncodeWindowedQuery checks the (0, 1] contract.
+  request.queries = queries;
+  return Deliver(wire::EncodeWindowedQuery(request));
+}
+
+QueryOutcome QueryClient::Deliver(const std::vector<uint8_t>& frame) {
   static obs::Counter& retries_total = obs::Registry::Default().GetCounter(
       "felip_svc_query_client_retries_total");
-  batches_total.Increment();
 
-  const std::vector<uint8_t> frame = wire::EncodeQueryBatch(queries);
   const std::optional<uint64_t> checksum = ChecksumTrailer(frame);
   FELIP_CHECK_MSG(checksum.has_value(), "query frame has no checksum trailer");
 
@@ -215,6 +351,7 @@ QueryOutcome QueryClient::AnswerQueries(
 
     if (auto decoded = wire::DecodeQueryResponse(response);
         decoded.ok() && decoded->request_checksum == *checksum) {
+      outcome.sealed_epochs = decoded->sealed_epochs;
       switch (decoded->status) {
         case StatusCode::kOk:
           outcome.status = Status::Ok();
@@ -227,9 +364,10 @@ QueryOutcome QueryClient::AnswerQueries(
           outcome.bad_query = decoded->bad_query;
           return outcome;
         case StatusCode::kFailedPrecondition:
-          // The round is still finalizing; retry after backoff.
+          // The round is still finalizing (or the first epoch has not
+          // sealed yet); retry after backoff.
           outcome.status = Status::FailedPrecondition(
-              "the serving pipeline is not queryable yet");
+              "the serving backend is not queryable yet");
           SleepMs(BackoffMs(attempt));
           continue;
         default:

@@ -46,6 +46,7 @@
 #include "felip/common/rng.h"
 #include "felip/common/status.h"
 #include "felip/core/felip.h"
+#include "felip/stream/epoch_service.h"
 #include "felip/svc/transport.h"
 #include "felip/wire/wire.h"
 
@@ -65,12 +66,24 @@ struct QueryServerOptions {
 
 class QueryServer {
  public:
-  // `transport` and `pipeline` must outlive this server. The pipeline may
-  // still be mid-round at Start(); queries answer kFailedPrecondition
-  // until it reaches kQueryable.
+  // `transport`, `pipeline`, and `epochs` must outlive this server; at
+  // least one of `pipeline` / `epochs` must be set.
+  //
+  // Backends:
+  //   * `pipeline` serves plain QueryBatch frames from one finalized
+  //     round (kFailedPrecondition until it reaches kQueryable).
+  //   * `epochs` (an epoch-rotated server's sealed window) serves
+  //     WindowedQuery frames — and, when `pipeline` is null, plain
+  //     batches too, from the newest sealed epoch. Before the first seal
+  //     both answer kFailedPrecondition (retryable: the next seal
+  //     satisfies it). Every response reports epochs.newest_seq() in
+  //     sealed_epochs so clients can pace against rotation.
+  // A windowed frame sent to a server without `epochs` is a terminal
+  // kInvalidArgument: this server will never grow a window.
   QueryServer(Transport* transport, const std::string& endpoint,
               const core::FelipPipeline* pipeline,
-              QueryServerOptions options = {});
+              QueryServerOptions options = {},
+              const stream::EpochSet* epochs = nullptr);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -97,14 +110,18 @@ class QueryServer {
   uint64_t batches_malformed() const { return batches_malformed_.load(); }
   uint64_t batches_invalid() const { return batches_invalid_.load(); }
   uint64_t batches_not_ready() const { return batches_not_ready_.load(); }
+  uint64_t windowed_answered() const { return windowed_answered_.load(); }
 
  private:
   std::vector<uint8_t> HandleFrame(uint64_t connection_id,
                                    std::vector<uint8_t>&& payload);
+  std::vector<uint8_t> HandleWindowedFrame(std::vector<uint8_t>&& payload,
+                                           uint64_t checksum);
 
   Transport* transport_;
   std::string endpoint_;
   const core::FelipPipeline* pipeline_;
+  const stream::EpochSet* epochs_;
   QueryServerOptions options_;
 
   std::unique_ptr<FrameServer> frame_server_;
@@ -118,6 +135,7 @@ class QueryServer {
   std::atomic<uint64_t> batches_malformed_{0};
   std::atomic<uint64_t> batches_invalid_{0};
   std::atomic<uint64_t> batches_not_ready_{0};
+  std::atomic<uint64_t> windowed_answered_{0};
 };
 
 struct QueryClientOptions {
@@ -136,6 +154,9 @@ struct QueryOutcome {
   Status status = Status::Unavailable("no response was ever received");
   uint32_t bad_query = wire::kBadQueryNone;  // kInvalidArgument only
   std::vector<double> answers;               // kOk only
+  // Server seal progress from the last pairable response (0 when the
+  // server does not run epochs) — what an epoch-pacing client polls.
+  uint64_t sealed_epochs = 0;
   int attempts = 0;
 
   bool ok() const { return status.ok(); }
@@ -152,11 +173,21 @@ class QueryClient {
   // reads, so resending after a lost response is always safe.
   QueryOutcome AnswerQueries(const std::vector<query::Query>& queries);
 
+  // Asks an epoch-rotated server for decay-mixed answers over its newest
+  // `window` sealed epochs (0 = every retained epoch; decay in (0, 1]).
+  // Same retry loop as AnswerQueries — a server that has not sealed its
+  // first epoch answers kFailedPrecondition, which retries until a seal
+  // lands or attempts run out.
+  QueryOutcome AnswerWindowed(const std::vector<query::Query>& queries,
+                              uint32_t window, double decay);
+
   // --- Introspection ---
   uint64_t retries() const { return retries_.load(); }
   uint64_t reconnects() const { return reconnects_.load(); }
 
  private:
+  // The shared send-retry-pair loop over one encoded request frame.
+  QueryOutcome Deliver(const std::vector<uint8_t>& frame);
   bool EnsureConnected();
   void DropConnection();
   uint32_t BackoffMs(int attempt);

@@ -136,6 +136,12 @@ bool IngestServer::WaitForReports(uint64_t count, int timeout_ms) {
                               [&] { return reports_seen_ >= count; });
 }
 
+void IngestServer::WithDrainCut(
+    const std::function<void(std::span<const uint64_t> drained_keys)>& fn) {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  fn(drained_.Keys());
+}
+
 std::vector<uint8_t> IngestServer::HandleFrame(
     uint64_t /*connection_id*/, std::vector<uint8_t>&& payload) {
   ServerCounters& counters = ServerCounters::Get();
@@ -248,6 +254,10 @@ void IngestServer::WorkerLoop() {
                 std::chrono::milliseconds(options_.checkpoint_every_ms);
         if (batch_due || time_due) CheckpointLocked();
       }
+      // Rotation hook last: if it swaps the sink's pipeline, the batch
+      // just drained (and any checkpoint of it) belongs wholly to the
+      // epoch being sealed.
+      if (options_.after_drain) options_.after_drain(drained_.Keys());
     }
     counters.reports.Increment(messages.size());
     {

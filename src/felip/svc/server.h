@@ -106,6 +106,14 @@ struct IngestServerOptions {
   // shard layout never pre-rejects a batch that now belongs to another
   // shard's partition. Unset = this server owns every key.
   std::function<bool(uint64_t key)> owns_key;
+  // Runs after every drained batch, inside the same critical section as
+  // the sink ingest and any checkpoint, with the full drained-key window
+  // (oldest first). This is the epoch-rotation hook: the callback sees
+  // the sink's state as a consistent cut — the batch that just drained is
+  // fully in, no other batch is partially in — and may swap the sink's
+  // pipeline and seal the old one (stream::EpochRotationService). Keep it
+  // fast when it does not rotate; it runs on the worker's drain path.
+  std::function<void(std::span<const uint64_t> drained_keys)> after_drain;
 };
 
 class IngestServer {
@@ -141,6 +149,14 @@ class IngestServer {
   // rejected) or `timeout_ms` elapses; true on success. Lets tests and
   // drivers await a quiesced queue without polling the transport.
   bool WaitForReports(uint64_t count, int timeout_ms);
+
+  // Runs `fn` under the drain lock with the drained-key window (oldest
+  // first): no batch is mid-ingest while it runs, so — like a checkpoint
+  // or the after_drain hook — it observes one consistent cut of the sink.
+  // This is how a clock-driven rotation thread seals an epoch between
+  // batches. `fn` must not call back into the server.
+  void WithDrainCut(
+      const std::function<void(std::span<const uint64_t> drained_keys)>& fn);
 
   // --- Stats (exact once Stop() returned or WaitForReports succeeded) ---
   uint64_t batches_accepted() const { return batches_accepted_.load(); }

@@ -56,4 +56,18 @@ void PipelineSink::WithPipelineLocked(
   fn(*pipeline_);
 }
 
+core::FelipPipeline* PipelineSink::SwapPipeline(core::FelipPipeline* next) {
+  FELIP_CHECK(next != nullptr);
+  if (next->state() == core::PipelineState::kConfigured) {
+    next->BeginIngest();
+  } else {
+    FELIP_CHECK_MSG(next->state() == core::PipelineState::kCollecting,
+                    "SwapPipeline needs a configured or collecting pipeline");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  core::FelipPipeline* prev = pipeline_;
+  pipeline_ = next;
+  return prev;
+}
+
 }  // namespace felip::svc

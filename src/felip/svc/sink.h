@@ -60,6 +60,15 @@ class PipelineSink final : public ReportSink {
   // into the sink.
   void WithPipelineLocked(const std::function<void(core::FelipPipeline&)>& fn);
 
+  // Atomically redirects ingestion to `next` (BeginIngest is called when
+  // it is still kConfigured, mirroring construction) and returns the
+  // previous pipeline. Batches already drained went to the old pipeline
+  // in full; batches drained after go to `next` in full — no batch is
+  // split across the two. This is the epoch-rotation cut: the caller
+  // seals the returned pipeline while the sink keeps ingesting into
+  // `next`. The caller keeps ownership of both pipelines.
+  core::FelipPipeline* SwapPipeline(core::FelipPipeline* next);
+
   uint64_t accepted() const { return accepted_; }
   uint64_t rejected() const { return rejected_; }
 

@@ -26,6 +26,7 @@ enum class MessageKind : uint8_t {
   kQueryResponse = 6,
   kAccumulatorPull = 7,
   kAccumulatorFrame = 8,
+  kWindowedQuery = 9,
 };
 
 void WriteHeader(Writer& w, MessageKind kind) {
@@ -397,11 +398,12 @@ StatusOr<std::vector<ReportMessage>> DecodeReportBatch(
   return reports;
 }
 
-std::vector<uint8_t> EncodeQueryBatch(
-    const std::vector<query::Query>& queries) {
-  std::vector<uint8_t> buffer;
-  Writer w(&buffer);
-  WriteHeader(w, MessageKind::kQueryBatch);
+namespace {
+
+// The query-list record format, shared verbatim by QueryBatch and
+// WindowedQuery frames: count u32, then per query a u16 predicate count
+// and the predicate records.
+void EncodeQueryList(Writer& w, const std::vector<query::Query>& queries) {
   w.Put<uint32_t>(static_cast<uint32_t>(queries.size()));
   for (const query::Query& q : queries) {
     w.Put<uint16_t>(static_cast<uint16_t>(q.predicates().size()));
@@ -414,6 +416,16 @@ std::vector<uint8_t> EncodeQueryBatch(
       for (const uint32_t v : p.values) w.Put<uint32_t>(v);
     }
   }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryBatch(
+    const std::vector<query::Query>& queries) {
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kQueryBatch);
+  EncodeQueryList(w, queries);
   SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
@@ -454,18 +466,18 @@ bool DecodePredicateBody(Reader& r, query::Predicate* p) {
   return true;
 }
 
-std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
-    const std::vector<uint8_t>& buffer) {
-  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kQueryBatch);
-  if (!payload_end.has_value()) return std::nullopt;
-  Reader r(buffer);
-  if (!r.Skip(6)) return std::nullopt;
+// Decodes a query-list record from `r`, consuming exactly up to
+// `payload_end`. The structural guarantees (operator tags, predicate
+// shape, duplicate attributes, adversarial counts) are identical for
+// every frame kind that carries a query list.
+std::optional<std::vector<query::Query>> DecodeQueryList(
+    Reader& r, size_t payload_end) {
   uint32_t count = 0;
   if (!r.Get(&count)) return std::nullopt;
   // A query is at least predicate_count(2) + one predicate record; reject
   // adversarial counts before reserving anything proportional to them.
   if (static_cast<uint64_t>(count) * (2 + kMinPredicateBytes) >
-      *payload_end - r.position()) {
+      payload_end - r.position()) {
     return std::nullopt;
   }
   std::vector<query::Query> queries;
@@ -477,7 +489,7 @@ std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
     if (!r.Get(&predicate_count)) return std::nullopt;
     if (predicate_count == 0) return std::nullopt;
     if (static_cast<uint64_t>(predicate_count) * kMinPredicateBytes >
-        *payload_end - r.position()) {
+        payload_end - r.position()) {
       return std::nullopt;
     }
     predicates.clear();
@@ -495,8 +507,17 @@ std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
     }
     queries.emplace_back(predicates);
   }
-  if (r.position() != *payload_end) return std::nullopt;
+  if (r.position() != payload_end) return std::nullopt;
   return queries;
+}
+
+std::optional<std::vector<query::Query>> DecodeQueryBatchImpl(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end = ValidateEnvelope(buffer, MessageKind::kQueryBatch);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  if (!r.Skip(6)) return std::nullopt;
+  return DecodeQueryList(r, *payload_end);
 }
 
 }  // namespace
@@ -522,6 +543,7 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& m) {
   w.Put<uint8_t>(QueryStatusToWire(m.status));
   w.Put<uint32_t>(m.bad_query);
   w.Put<uint64_t>(m.request_checksum);
+  w.Put<uint64_t>(m.sealed_epochs);
   w.Put<uint32_t>(static_cast<uint32_t>(m.answers.size()));
   for (const double a : m.answers) w.Put<double>(a);
   SealChecksum(&buffer, kChecksumSalt);
@@ -541,7 +563,8 @@ std::optional<QueryResponseMessage> DecodeQueryResponseImpl(
   uint8_t status = 0;
   uint32_t count = 0;
   if (!r.Get(&status) || !r.Get(&m.bad_query) ||
-      !r.Get(&m.request_checksum) || !r.Get(&count)) {
+      !r.Get(&m.request_checksum) || !r.Get(&m.sealed_epochs) ||
+      !r.Get(&count)) {
     return std::nullopt;
   }
   const std::optional<StatusCode> code = QueryStatusFromWire(status);
@@ -572,6 +595,65 @@ StatusOr<QueryResponseMessage> DecodeQueryResponse(
     return Malformed("malformed query-response frame");
   }
   return *std::move(m);
+}
+
+std::vector<uint8_t> EncodeWindowedQuery(const WindowedQueryMessage& m) {
+  FELIP_CHECK_MSG(std::isfinite(m.decay) && m.decay > 0.0 && m.decay <= 1.0,
+                  "windowed-query decay must be in (0, 1]");
+  std::vector<uint8_t> buffer;
+  Writer w(&buffer);
+  WriteHeader(w, MessageKind::kWindowedQuery);
+  w.Put<uint32_t>(m.window);
+  w.Put<double>(m.decay);
+  EncodeQueryList(w, m.queries);
+  SealChecksum(&buffer, kChecksumSalt);
+  return buffer;
+}
+
+namespace {
+
+std::optional<WindowedQueryMessage> DecodeWindowedQueryImpl(
+    const std::vector<uint8_t>& buffer) {
+  const auto payload_end =
+      ValidateEnvelope(buffer, MessageKind::kWindowedQuery);
+  if (!payload_end.has_value()) return std::nullopt;
+  Reader r(buffer);
+  if (!r.Skip(6)) return std::nullopt;
+  WindowedQueryMessage m;
+  if (!r.Get(&m.window) || !r.Get(&m.decay)) return std::nullopt;
+  // The stream layer FELIP_CHECKs this contract; adversarial bytes must
+  // be rejected here, not crash the server there.
+  if (!std::isfinite(m.decay) || m.decay <= 0.0 || m.decay > 1.0) {
+    return std::nullopt;
+  }
+  auto queries = DecodeQueryList(r, *payload_end);
+  if (!queries.has_value()) return std::nullopt;
+  m.queries = *std::move(queries);
+  return m;
+}
+
+}  // namespace
+
+StatusOr<WindowedQueryMessage> DecodeWindowedQuery(
+    const std::vector<uint8_t>& buffer) {
+  DecodeCounters& counters = Counters();
+  counters.bytes.Increment(buffer.size());
+  auto m = DecodeWindowedQueryImpl(buffer);
+  if (!m.has_value()) {
+    counters.malformed.Increment();
+    return Malformed("malformed windowed-query frame");
+  }
+  counters.query_batches.Increment();
+  counters.queries.Increment(m->queries.size());
+  return *std::move(m);
+}
+
+bool IsWindowedQueryFrame(const std::vector<uint8_t>& buffer) {
+  if (buffer.size() < 6) return false;
+  uint32_t magic = 0;
+  std::memcpy(&magic, buffer.data(), sizeof(magic));
+  return magic == kMagic && buffer[4] == kVersion &&
+         buffer[5] == static_cast<uint8_t>(MessageKind::kWindowedQuery);
 }
 
 std::vector<uint8_t> EncodeAccumulatorPull(const AccumulatorPullMessage& m) {

@@ -111,6 +111,11 @@ struct QueryResponseMessage {
   // Echo of the request frame's checksum trailer so a client can never
   // pair a stale response with the wrong request (mirrors svc::Ack).
   uint64_t request_checksum = 0;
+  // Epochs sealed by the server when it answered (0 when the server does
+  // not run epochs). Carried on every response, so a client pacing an
+  // epoch-rotated server can observe seal progress from any query — and
+  // a kFailedPrecondition tells it how far the server actually is.
+  uint64_t sealed_epochs = 0;
   std::vector<double> answers;  // kOk only: one per query, in [0, 1]
 
   friend bool operator==(const QueryResponseMessage&,
@@ -125,6 +130,35 @@ StatusOr<std::vector<query::Query>> DecodeQueryBatch(
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponseMessage& message);
 StatusOr<QueryResponseMessage> DecodeQueryResponse(
     const std::vector<uint8_t>& buffer);
+
+// --- Windowed query frames (the epoch-rotated service tier) ---
+//
+// A WindowedQuery frame asks an epoch-rotating server for decay-mixed
+// answers over its newest sealed epochs instead of one pipeline's
+// estimates. The query list is the QueryBatch record format verbatim
+// (same structural validation); `window` and `decay` prefix it. Answers
+// come back in the same QueryResponse frame as plain batches, with
+// `sealed_epochs` reporting the server's seal progress.
+//
+// Decoding rejects a decay outside (0, 1] (or non-finite) structurally —
+// the stream layer FELIP_CHECKs the same contract, and network bytes must
+// never reach a check that aborts the server.
+
+struct WindowedQueryMessage {
+  uint32_t window = 0;  // newest epochs to mix; 0 = every retained epoch
+  double decay = 1.0;   // (0, 1]; 1.0 = exact sliding mean
+  std::vector<query::Query> queries;
+};
+
+std::vector<uint8_t> EncodeWindowedQuery(const WindowedQueryMessage& message);
+StatusOr<WindowedQueryMessage> DecodeWindowedQuery(
+    const std::vector<uint8_t>& buffer);
+
+// True when `buffer` is shaped like a windowed-query frame (header peek
+// only — no checksum or payload validation). The query server uses this
+// to route a received frame to the right decoder; a torn frame still
+// fails that decoder's full validation.
+bool IsWindowedQueryFrame(const std::vector<uint8_t>& buffer);
 
 // --- Accumulator frames (distributed aggregation tier, felip/dist) ---
 //

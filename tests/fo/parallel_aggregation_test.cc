@@ -241,7 +241,7 @@ TEST(ParallelAggregationTest, StreamingOverrideKeepsAnswersIdentical) {
     config.aggregation_threads = threads;
     stream::StreamingCollector collector(epoch.attributes(), config);
     collector.IngestEpoch(epoch);
-    const double answer = collector.AnswerQuery(q);
+    const double answer = collector.AnswerQuery(q).value();
     if (threads == 0) {
       baseline = answer;
     } else {

@@ -1,6 +1,7 @@
 #include "felip/stream/streaming.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -23,6 +24,24 @@ StreamConfig FastConfig() {
 query::Query HalfRangeQuery() {
   return query::Query(
       {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 15}});
+}
+
+// Standalone per-epoch answers for epochs [first, last) at the documented
+// seed derivation — the reference the collector's mixed answer is pinned
+// against, bit for bit.
+std::vector<double> StandaloneAnswers(const std::vector<data::Dataset>& epochs,
+                                      const StreamConfig& config, int first,
+                                      int last, const query::Query& q) {
+  std::vector<double> answers;
+  for (int e = first; e < last; ++e) {
+    const core::FelipConfig felip = EpochConfig(config.felip, e);
+    core::FelipPipeline pipeline(epochs[e].attributes(),
+                                 epochs[e].num_rows(), felip);
+    pipeline.Collect(epochs[e]);
+    pipeline.Finalize();
+    answers.push_back(pipeline.AnswerQuery(q));
+  }
+  return answers;
 }
 
 TEST(StreamingCollectorTest, TracksEpochCounts) {
@@ -49,7 +68,7 @@ TEST(StreamingCollectorTest, StationaryStreamAnswersAccurately) {
   for (int e = 0; e < 3; ++e) {
     collector.IngestEpoch(data::MakeUniform(20000, 2, 0, 32, 2, 10 + e));
   }
-  const double estimate = collector.AnswerQuery(HalfRangeQuery());
+  const double estimate = collector.AnswerQuery(HalfRangeQuery()).value();
   EXPECT_NEAR(estimate, 0.5, 0.08);
 }
 
@@ -69,11 +88,11 @@ TEST(StreamingCollectorTest, AdaptsToDistributionShift) {
   StreamingCollector collector(
       data::MakeUniform(1, 2, 0, 32, 2, 4).attributes(), FastConfig());
   collector.IngestEpoch(data::MakeUniform(20000, 2, 0, 32, 2, 20));
-  const double before = collector.AnswerQuery(HalfRangeQuery());
+  const double before = collector.AnswerQuery(HalfRangeQuery()).value();
   for (int e = 0; e < 3; ++e) {
     collector.IngestEpoch(skewed(20000, 30 + e));
   }
-  const double after = collector.AnswerQuery(HalfRangeQuery());
+  const double after = collector.AnswerQuery(HalfRangeQuery()).value();
   EXPECT_NEAR(before, 0.5, 0.1);
   EXPECT_GT(after, 0.8);  // exponential(12) puts ~all mass below 16
 }
@@ -85,8 +104,8 @@ TEST(StreamingCollectorTest, LatestIgnoresHistory) {
   collector.IngestEpoch(data::MakeNormal(20000, 2, 0, 32, 2, 41));
   const query::Query center(
       {{.attr = 0, .op = query::Op::kBetween, .lo = 8, .hi = 23}});
-  const double latest = collector.AnswerQueryLatest(center);
-  const double mixed = collector.AnswerQuery(center);
+  const double latest = collector.AnswerQueryLatest(center).value();
+  const double mixed = collector.AnswerQuery(center).value();
   // The normal epoch concentrates mass in the center (> uniform's 0.5);
   // mixing with the uniform epoch pulls the estimate down.
   EXPECT_GT(latest, mixed);
@@ -99,7 +118,7 @@ TEST(StreamingCollectorTest, VaryingEpochSizesSupported) {
   for (const uint64_t n : {3000ull, 12000ull, 800ull, 25000ull}) {
     collector.IngestEpoch(data::MakeUniform(n, 2, 0, 32, 2, 60 + n));
   }
-  const double estimate = collector.AnswerQuery(HalfRangeQuery());
+  const double estimate = collector.AnswerQuery(HalfRangeQuery()).value();
   EXPECT_GE(estimate, 0.0);
   EXPECT_LE(estimate, 1.0);
   EXPECT_NEAR(estimate, 0.5, 0.15);
@@ -115,17 +134,18 @@ TEST(StreamingCollectorTest, DecayOneAveragesUniformly) {
   const query::Query q = HalfRangeQuery();
   // With decay 1 the mixed answer is the plain mean over the window, which
   // averages the two epochs' independent noise.
-  const double mixed = collector.AnswerQuery(q);
-  const double latest = collector.AnswerQueryLatest(q);
+  const double mixed = collector.AnswerQuery(q).value();
+  const double latest = collector.AnswerQueryLatest(q).value();
   EXPECT_NEAR(mixed, 0.5, 0.1);
   EXPECT_NEAR(latest, 0.5, 0.15);
 }
 
 // Reconstructs the exact answer the collector must give after eviction:
 // standalone per-epoch pipelines over ONLY the retained window, mixed with
-// the documented decay weights. Pins both the eviction boundary (epochs
-// before the window contribute nothing) and the per-epoch seed derivation
-// (`felip.seed * 1000003 + epoch_index + 1`).
+// the documented decay weights. Pins the eviction boundary (epochs before
+// the window contribute nothing), the per-epoch seed derivation
+// (EpochConfig: `felip.seed * 1000003 + epoch_index + 1`), and the
+// oldest-first Horner fold (DecayMix), bit for bit.
 TEST(StreamingCollectorTest, EvictedEpochsVanishFromTheDecayedEstimate) {
   const StreamConfig config = FastConfig();  // max_epochs = 3, decay = 0.5
   constexpr int kEpochs = 5;                 // max_epochs + 2: forces eviction
@@ -140,23 +160,19 @@ TEST(StreamingCollectorTest, EvictedEpochsVanishFromTheDecayedEstimate) {
   ASSERT_EQ(collector.epochs_retained(), 3u);
 
   const query::Query q = HalfRangeQuery();
-  // Retained window: epochs 2, 3, 4 (newest last). Epoch e ran a full
-  // FELIP round at the derived seed; replay each round standalone.
-  std::vector<double> answers;
-  for (int e = 2; e < kEpochs; ++e) {
-    core::FelipConfig felip = config.felip;
-    felip.seed = config.felip.seed * 1000003 + e + 1;
-    core::FelipPipeline pipeline(epochs[e].attributes(), kEpochUsers, felip);
-    pipeline.Collect(epochs[e]);
-    pipeline.Finalize();
-    answers.push_back(pipeline.AnswerQuery(q));
-  }
+  // Retained window: epochs 2, 3, 4 (oldest first, newest last).
+  const std::vector<double> answers =
+      StandaloneAnswers(epochs, config, 2, kEpochs, q);
   const double decay = config.decay;
-  const double expected =
+  // Semantics: newest weight 1, one decay factor per step back.
+  const double semantic =
       (answers[2] + decay * answers[1] + decay * decay * answers[0]) /
       (1.0 + decay + decay * decay);
-  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q), expected);
-  EXPECT_DOUBLE_EQ(collector.AnswerQueryLatest(q), answers[2]);
+  EXPECT_NEAR(collector.AnswerQuery(q).value(), semantic, 1e-12);
+  // Bit-exactness: the collector folds exactly like the shared DecayMix.
+  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q).value(),
+                   DecayMix(answers, decay));
+  EXPECT_DOUBLE_EQ(collector.AnswerQueryLatest(q).value(), answers[2]);
 }
 
 TEST(StreamingCollectorTest, DecayOneIsTheExactMeanOfTheRetainedWindow) {
@@ -175,24 +191,75 @@ TEST(StreamingCollectorTest, DecayOneIsTheExactMeanOfTheRetainedWindow) {
   ASSERT_EQ(collector.epochs_retained(), 2u);
 
   const query::Query q = HalfRangeQuery();
-  std::vector<double> answers;
-  for (int e = 2; e < kEpochs; ++e) {
-    core::FelipConfig felip = config.felip;
-    felip.seed = config.felip.seed * 1000003 + e + 1;
-    core::FelipPipeline pipeline(epochs[e].attributes(), kEpochUsers, felip);
-    pipeline.Collect(epochs[e]);
-    pipeline.Finalize();
-    answers.push_back(pipeline.AnswerQuery(q));
-  }
-  // decay == 1.0: the uniform average, newest epoch first in the sum.
-  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q),
-                   (answers[1] + answers[0]) / 2.0);
+  const std::vector<double> answers =
+      StandaloneAnswers(epochs, config, 2, kEpochs, q);
+  // decay == 1.0: the exact sliding mean, summed oldest-first (the
+  // DecayMix fold order).
+  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q).value(),
+                   (answers[0] + answers[1]) / 2.0);
 }
 
-TEST(StreamingCollectorDeathTest, QueriesNeedAnEpoch) {
+TEST(StreamingCollectorTest, SingleEpochWindowEqualsLatest) {
+  StreamConfig config = FastConfig();
+  config.max_epochs = 1;
+  const data::Dataset seed_epoch = data::MakeUniform(1, 2, 0, 32, 2, 52);
+  StreamingCollector collector(seed_epoch.attributes(), config);
+  for (int e = 0; e < 3; ++e) {
+    collector.IngestEpoch(data::MakeUniform(4000, 2, 0, 32, 2, 300 + e));
+  }
+  ASSERT_EQ(collector.epochs_retained(), 1u);
+  const query::Query q = HalfRangeQuery();
+  // A one-epoch window has nothing to mix: the decayed answer IS the
+  // newest epoch's answer, bit for bit (weight 1 / norm 1).
+  EXPECT_DOUBLE_EQ(collector.AnswerQuery(q).value(),
+                   collector.AnswerQueryLatest(q).value());
+}
+
+// The fold is one multiply per epoch with a running Horner weight, so the
+// answer is a pure function of the retained per-epoch answers — identical
+// when recomputed, and identical to the shared DecayMix reference for
+// every window length (the regression pin for the pow()-per-epoch /
+// fold-order bug).
+TEST(StreamingCollectorTest, DecayFoldIsBitExactAcrossWindowLengths) {
+  constexpr int kEpochs = 8;
+  constexpr uint64_t kEpochUsers = 2000;
+  std::vector<data::Dataset> epochs;
+  for (int e = 0; e < kEpochs; ++e) {
+    epochs.push_back(data::MakeUniform(kEpochUsers, 2, 0, 16, 2, 400 + e));
+  }
+  const query::Query q(
+      {{.attr = 0, .op = query::Op::kBetween, .lo = 0, .hi = 7}});
+  for (const uint32_t max_epochs : {1u, 3u, 8u}) {
+    StreamConfig config = FastConfig();
+    config.felip.seed = 13;
+    config.decay = 0.25;
+    config.max_epochs = max_epochs;
+    StreamingCollector collector(epochs[0].attributes(), config);
+    for (const data::Dataset& epoch : epochs) collector.IngestEpoch(epoch);
+    const std::vector<double> answers = StandaloneAnswers(
+        epochs, config, kEpochs - static_cast<int>(max_epochs), kEpochs, q);
+    const double expected = DecayMix(answers, config.decay);
+    const double first = collector.AnswerQuery(q).value();
+    const double second = collector.AnswerQuery(q).value();
+    EXPECT_DOUBLE_EQ(first, expected) << "max_epochs " << max_epochs;
+    EXPECT_DOUBLE_EQ(first, second) << "max_epochs " << max_epochs;
+  }
+}
+
+TEST(StreamingCollectorTest, EmptyHistoryIsFailedPreconditionNotACrash) {
   StreamingCollector collector(
       data::MakeUniform(1, 2, 0, 16, 2, 6).attributes(), FastConfig());
-  EXPECT_DEATH(collector.AnswerQuery(HalfRangeQuery()), "no epochs");
+  const StatusOr<double> mixed = collector.AnswerQuery(HalfRangeQuery());
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mixed.status().message().find("no epochs"), std::string::npos);
+  const StatusOr<double> latest =
+      collector.AnswerQueryLatest(HalfRangeQuery());
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kFailedPrecondition);
+  // The condition is retryable for a service client: the first epoch seal
+  // satisfies it.
+  EXPECT_TRUE(IsRetryable(latest.status().code()));
 }
 
 TEST(StreamingCollectorDeathTest, RejectsSchemaMismatch) {
@@ -200,6 +267,38 @@ TEST(StreamingCollectorDeathTest, RejectsSchemaMismatch) {
       data::MakeUniform(1, 2, 0, 16, 2, 7).attributes(), FastConfig());
   EXPECT_DEATH(collector.IngestEpoch(data::MakeUniform(100, 2, 0, 32, 2, 8)),
                "FELIP_CHECK");
+}
+
+TEST(StreamingCollectorDeathTest, RejectsZeroDecay) {
+  StreamConfig config = FastConfig();
+  config.decay = 0.0;
+  EXPECT_DEATH(StreamingCollector(
+                   data::MakeUniform(1, 2, 0, 16, 2, 9).attributes(), config),
+               "StreamConfig.decay");
+}
+
+TEST(StreamingCollectorDeathTest, RejectsNegativeDecay) {
+  StreamConfig config = FastConfig();
+  config.decay = -0.5;
+  EXPECT_DEATH(StreamingCollector(
+                   data::MakeUniform(1, 2, 0, 16, 2, 9).attributes(), config),
+               "StreamConfig.decay");
+}
+
+TEST(StreamingCollectorDeathTest, RejectsDecayAboveOne) {
+  StreamConfig config = FastConfig();
+  config.decay = 1.5;
+  EXPECT_DEATH(StreamingCollector(
+                   data::MakeUniform(1, 2, 0, 16, 2, 9).attributes(), config),
+               "StreamConfig.decay");
+}
+
+TEST(StreamingCollectorDeathTest, RejectsZeroWindow) {
+  StreamConfig config = FastConfig();
+  config.max_epochs = 0;
+  EXPECT_DEATH(StreamingCollector(
+                   data::MakeUniform(1, 2, 0, 16, 2, 9).attributes(), config),
+               "StreamConfig.max_epochs");
 }
 
 }  // namespace

@@ -224,6 +224,7 @@ TEST(WireQueryResponseTest, RoundTripsEveryStatus) {
   ok.status = StatusCode::kOk;
   ok.bad_query = kBadQueryNone;
   ok.request_checksum = 0xfeedface12345678ull;
+  ok.sealed_epochs = 12;
   ok.answers = {0.0, 0.25, 1.0};
   const auto ok_rt = DecodeQueryResponse(EncodeQueryResponse(ok));
   ASSERT_TRUE(ok_rt.ok()) << ok_rt.status().ToString();
@@ -290,6 +291,111 @@ TEST(WireQueryResponseTest, RejectsNonFiniteAnswersWithValidChecksum) {
     Reseal(&mutated);
     EXPECT_FALSE(DecodeQueryResponse(mutated).has_value());
   }
+}
+
+// Header of a windowed-query frame (MessageKind::kWindowedQuery = 9),
+// with the window/decay prefix ahead of the query-list record.
+std::vector<uint8_t> BeginWindowedFrame(uint32_t window, double decay) {
+  std::vector<uint8_t> buffer;
+  Put<uint32_t>(&buffer, kMagic);
+  Put<uint8_t>(&buffer, kVersion);
+  Put<uint8_t>(&buffer, 9);
+  Put<uint32_t>(&buffer, window);
+  Put<double>(&buffer, decay);
+  return buffer;
+}
+
+TEST(WireWindowedQueryTest, RoundTripsWindowDecayAndQueries) {
+  WindowedQueryMessage m;
+  m.window = 4;
+  m.decay = 0.625;  // exactly representable: survives the round trip bit-equal
+  m.queries = SampleBatch();
+  const auto decoded = DecodeWindowedQuery(EncodeWindowedQuery(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->window, 4u);
+  EXPECT_EQ(decoded->decay, 0.625);
+  ASSERT_EQ(decoded->queries.size(), m.queries.size());
+  for (size_t q = 0; q < m.queries.size(); ++q) {
+    ExpectSameQuery(decoded->queries[q], m.queries[q]);
+  }
+}
+
+TEST(WireWindowedQueryTest, RoundTripsDefaults) {
+  WindowedQueryMessage m;  // window 0 (all retained), decay 1.0, no queries
+  const auto decoded = DecodeWindowedQuery(EncodeWindowedQuery(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->window, 0u);
+  EXPECT_EQ(decoded->decay, 1.0);
+  EXPECT_TRUE(decoded->queries.empty());
+}
+
+TEST(WireWindowedQueryTest, DetectsBitFlipsAndTruncation) {
+  WindowedQueryMessage m;
+  m.window = 2;
+  m.decay = 0.5;
+  m.queries = SampleBatch();
+  const std::vector<uint8_t> encoded = EncodeWindowedQuery(m);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::vector<uint8_t> corrupted = encoded;
+    corrupted[i] ^= 0x40;
+    EXPECT_FALSE(DecodeWindowedQuery(corrupted).ok()) << "byte " << i;
+  }
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeWindowedQuery(
+            std::vector<uint8_t>(encoded.begin(), encoded.begin() + len))
+            .ok())
+        << "len " << len;
+  }
+}
+
+TEST(WireWindowedQueryTest, RejectsAdversarialDecayWithValidChecksum) {
+  // The checksum authenticates transport integrity, not sender honesty:
+  // a decay the stream layer would FELIP_CHECK on must die in the decoder.
+  for (const double bad : {0.0, -0.5, 1.0000001, 64.0,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    std::vector<uint8_t> frame = BeginWindowedFrame(1, bad);
+    Put<uint32_t>(&frame, 1);  // one query
+    Put<uint16_t>(&frame, 1);  // one predicate
+    PutPredicate(&frame, 0, 2 /* kBetween */, 0, 7, {});
+    Seal(&frame);
+    EXPECT_FALSE(DecodeWindowedQuery(frame).ok()) << "decay " << bad;
+  }
+}
+
+TEST(WireWindowedQueryTest, RejectsStructurallyInvalidQueryList) {
+  // The shared query-list validation applies: inverted BETWEEN dies here
+  // exactly as it does in a plain batch frame.
+  std::vector<uint8_t> frame = BeginWindowedFrame(0, 0.5);
+  Put<uint32_t>(&frame, 1);
+  Put<uint16_t>(&frame, 1);
+  PutPredicate(&frame, 0, 2 /* kBetween */, 9, 3, {});  // lo > hi
+  Seal(&frame);
+  EXPECT_FALSE(DecodeWindowedQuery(frame).ok());
+}
+
+TEST(WireWindowedQueryTest, RejectsWrongKind) {
+  WindowedQueryMessage m;
+  m.queries = SampleBatch();
+  const std::vector<uint8_t> windowed = EncodeWindowedQuery(m);
+  EXPECT_FALSE(DecodeQueryBatch(windowed).has_value());
+  EXPECT_FALSE(DecodeWindowedQuery(EncodeQueryBatch(SampleBatch())).ok());
+}
+
+TEST(WireWindowedQueryTest, FrameKindPeek) {
+  WindowedQueryMessage m;
+  EXPECT_TRUE(IsWindowedQueryFrame(EncodeWindowedQuery(m)));
+  EXPECT_FALSE(IsWindowedQueryFrame(EncodeQueryBatch({})));
+  EXPECT_FALSE(IsWindowedQueryFrame({}));
+  EXPECT_FALSE(IsWindowedQueryFrame({0x50, 0x4c, 0x45, 0x46, 1}));  // short
+  // The peek is routing only: a torn windowed frame still peeks true and
+  // must then fail the full decoder.
+  std::vector<uint8_t> torn = EncodeWindowedQuery(m);
+  torn.resize(8);
+  EXPECT_TRUE(IsWindowedQueryFrame(torn));
+  EXPECT_FALSE(DecodeWindowedQuery(torn).ok());
 }
 
 TEST(WireQueryResponseTest, RejectsCountMismatch) {

@@ -21,10 +21,13 @@
 //   felip_client --endpoint=127.0.0.1:7071,127.0.0.1:7072
 //   felip_server --root=127.0.0.1:7171,127.0.0.1:7172
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "felip/common/flags.h"
@@ -38,7 +41,11 @@
 #include "felip/replaylog/replay.h"
 #include "felip/replaylog/store.h"
 #include "felip/snapshot/checkpoint.h"
+#include "felip/snapshot/pipeline_snapshot.h"
 #include "felip/snapshot/store.h"
+#include "felip/stream/epoch_service.h"
+#include "felip/stream/epoch_store.h"
+#include "felip/stream/streaming.h"
 #include "felip/svc/query_service.h"
 #include "felip/svc/server.h"
 #include "felip/svc/sink.h"
@@ -88,6 +95,20 @@ void PrintUsage() {
       "  --normalization=sub|mul|cut  negativity-removal variant (default "
       "sub)\n"
       "  --metrics               dump observability metrics to stderr\n"
+      "\nEpoch rotation (see docs/continual.md):\n"
+      "  --epoch-dir=<path>      enable epoch mode; sealed segments land "
+      "here\n"
+      "  --epoch-users=<int>     reports per epoch; also the count-rotation\n"
+      "                          trigger when no interval is set (default "
+      "--users)\n"
+      "  --epoch-interval-ms=<int>  clock-driven rotation period (0 = "
+      "rotate\n"
+      "                          when an epoch reaches --epoch-users)\n"
+      "  --epoch-keep=<int>      sealed epochs retained on disk and served "
+      "(default 8)\n"
+      "  --epochs=<int>          epochs to seal before exiting (default 4)\n"
+      "  --epoch-inspect         print the sealed segments in --epoch-dir "
+      "and exit\n"
       "\nDistributed topology (see docs/distributed.md):\n"
       "  --num-shards=<int>      total shards in the topology (default 1)\n"
       "  --shard-id=<int>        this server's shard, in [0, num-shards)\n"
@@ -139,6 +160,325 @@ int ServeQueries(svc::TcpTransport* transport, const std::string& host,
     return 1;
   }
   return 0;
+}
+
+// Offline view of a segment directory: one line per sealed epoch with the
+// same reports/xxh64 fingerprint the live server prints at seal time, so
+// a soak can diff "what the server said it sealed" against "what a cold
+// reader recovers from disk" bit for bit.
+int InspectEpochs(const std::string& epoch_dir, uint64_t epoch_keep) {
+  stream::EpochStore store(epoch_dir, static_cast<size_t>(epoch_keep));
+  const stream::LoadedEpochs loaded = store.LoadAll();
+  for (const stream::EpochSegment& segment : loaded.segments) {
+    const StatusOr<snapshot::RecoveredPipeline> state =
+        snapshot::PipelineCodec::Decode(segment.snapshot);
+    if (!state.ok() ||
+        state->pipeline.state() != core::PipelineState::kQueryable) {
+      std::printf("epoch %llu UNUSABLE (%s)\n",
+                  static_cast<unsigned long long>(segment.seq),
+                  state.ok() ? "snapshot is not queryable"
+                             : state.status().ToString().c_str());
+      continue;
+    }
+    std::printf("epoch %llu sealed: reports=%llu epsilon=%.17g "
+                "xxh64=%016llx dedup_keys=%zu\n",
+                static_cast<unsigned long long>(segment.seq),
+                static_cast<unsigned long long>(segment.reports),
+                segment.epsilon,
+                static_cast<unsigned long long>(
+                    core::GridFrequencyDigest(state->pipeline)),
+                state->dedup_keys.size());
+  }
+  std::printf("segments=%zu skipped=%zu next_seq=%llu\n",
+              loaded.segments.size(), loaded.files_skipped,
+              static_cast<unsigned long long>(store.next_seq()));
+  return loaded.files_skipped == 0 ? 0 : 1;
+}
+
+// Everything the epoch-rotated server needs beyond the planning config.
+struct EpochModeParams {
+  std::string host;
+  uint64_t port = 7071;
+  unsigned workers = 2;
+  uint64_t queue_capacity = 64;
+  int timeout_ms = 60000;
+  bool serve_queries = false;
+  uint64_t query_port = 0;
+  uint64_t query_batches = 1;
+  int query_timeout_ms = 60000;
+  std::string snapshot_dir;
+  uint64_t snapshot_interval = 8;
+  uint64_t snapshot_interval_ms = 0;
+  uint64_t snapshot_keep = 3;
+  bool dump_metrics = false;
+  std::string epoch_dir;
+  uint64_t epoch_keep = 8;
+  uint64_t epoch_interval_ms = 0;
+  uint64_t epoch_users = 0;
+  uint64_t target_epochs = 4;
+};
+
+// The epoch-rotated service: ingest rolls through a sequence of per-epoch
+// pipelines; each rotation seals the previous pipeline into a checksummed
+// segment and appends it to the served window, with in-flight batches
+// belonging wholly to one epoch (the rotation runs under the ingest
+// server's drain lock). Queries — plain and windowed — are served from
+// the sealed window for the whole run, so answers never touch the open,
+// still-mutating epoch.
+int RunEpochMode(const EpochModeParams& p, const data::Dataset& schema_source,
+                 const core::FelipConfig& base_config) {
+  stream::EpochStore store(p.epoch_dir, static_cast<size_t>(p.epoch_keep));
+  stream::EpochSet epochs(static_cast<size_t>(p.epoch_keep));
+  stream::EpochRotationService rotation(&store, &epochs);
+
+  // Warm restart, stage 1: reload every verifiable sealed segment. Their
+  // embedded dedup-key union preseeds the ingest windows so resends of
+  // batches that sealed epochs already counted are recognized, never
+  // double-counted into the new open epoch.
+  stream::EpochRotationService::RecoveredEpochs recovered =
+      rotation.RecoverSegments();
+  if (recovered.segments_loaded > 0 || recovered.segments_skipped > 0) {
+    std::printf("recovered %zu sealed epoch(s) from %s (%zu skipped), "
+                "open epoch %llu\n",
+                recovered.segments_loaded, p.epoch_dir.c_str(),
+                recovered.segments_skipped,
+                static_cast<unsigned long long>(rotation.open_epoch_index()));
+  }
+
+  // Warm restart, stage 2: adopt an open-epoch checkpoint when it matches
+  // the epoch that is actually open. A snapshot written before the last
+  // seal carries a sealed epoch's seed — adopting it would resurrect
+  // already-sealed reports, so it is rejected as stale.
+  const core::FelipConfig open_config =
+      stream::EpochConfig(base_config, rotation.open_epoch_index());
+  std::unique_ptr<snapshot::SnapshotStore> snapshots;
+  std::unique_ptr<core::FelipPipeline> open;
+  if (!p.snapshot_dir.empty()) {
+    snapshots = std::make_unique<snapshot::SnapshotStore>(
+        p.snapshot_dir, static_cast<size_t>(p.snapshot_keep));
+    StatusOr<snapshot::Recovered> checkpoint =
+        snapshot::RecoverFromStore(*snapshots);
+    if (checkpoint.ok()) {
+      core::FelipPipeline& candidate = checkpoint->state.pipeline;
+      if (candidate.state() <= core::PipelineState::kCollecting &&
+          candidate.config().seed == open_config.seed) {
+        std::printf("recovered open epoch %llu: %llu reports from %s\n",
+                    static_cast<unsigned long long>(
+                        rotation.open_epoch_index()),
+                    static_cast<unsigned long long>(
+                        candidate.reports_ingested()),
+                    checkpoint->path.c_str());
+        open = std::make_unique<core::FelipPipeline>(std::move(candidate));
+        recovered.dedup_keys.insert(recovered.dedup_keys.end(),
+                                    checkpoint->state.dedup_keys.begin(),
+                                    checkpoint->state.dedup_keys.end());
+      } else {
+        std::fprintf(stderr,
+                     "warning: snapshot %s is stale for open epoch %llu; "
+                     "starting it fresh\n",
+                     checkpoint->path.c_str(),
+                     static_cast<unsigned long long>(
+                         rotation.open_epoch_index()));
+      }
+    }
+  }
+  if (open == nullptr) {
+    open = std::make_unique<core::FelipPipeline>(
+        schema_source.attributes(), p.epoch_users, open_config);
+  }
+  svc::PipelineSink sink(open.get());
+
+  std::unique_ptr<snapshot::Checkpointer> checkpointer;
+  svc::TcpTransport transport;
+  svc::IngestServerOptions server_options;
+  server_options.queue_capacity = static_cast<size_t>(p.queue_capacity);
+  server_options.worker_threads = p.workers;
+  if (snapshots != nullptr) {
+    checkpointer = std::make_unique<snapshot::Checkpointer>(snapshots.get(),
+                                                            open.get());
+    server_options.checkpoint_every_batches = p.snapshot_interval;
+    server_options.checkpoint_every_ms = p.snapshot_interval_ms;
+    server_options.checkpoint =
+        [&checkpointer](std::span<const uint64_t> drained_keys) {
+          return checkpointer->Checkpoint(drained_keys);
+        };
+  }
+
+  // The rotation cut. Runs under the server's drain lock (from the
+  // after_drain hook or WithDrainCut), so the pipeline being sealed and
+  // the drained keys it embeds are one consistent cut: the batch that
+  // just drained is wholly in, nothing is partially in.
+  const auto rotate = [&](std::span<const uint64_t> drained_keys) {
+    // A round is only sealable once every grid has at least one report
+    // (estimation debiases by each grid's own n) — a clock tick that
+    // fires mid-ramp leaves the epoch open and retries next interval.
+    if (open->min_grid_reports() == 0) return;
+    auto next = std::make_unique<core::FelipPipeline>(
+        schema_source.attributes(), p.epoch_users,
+        stream::EpochConfig(base_config, rotation.open_epoch_index() + 1));
+    sink.SwapPipeline(next.get());
+    if (checkpointer != nullptr) checkpointer->set_pipeline(next.get());
+    std::unique_ptr<core::FelipPipeline> prev = std::move(open);
+    open = std::move(next);
+    prev->FinishIngest();
+    prev->Finalize();
+    const uint64_t reports = prev->reports_ingested();
+    const uint64_t digest = core::GridFrequencyDigest(*prev);
+    const StatusOr<std::string> sealed =
+        rotation.SealEpoch(std::move(prev), drained_keys);
+    std::printf("epoch %llu sealed: reports=%llu xxh64=%016llx%s\n",
+                static_cast<unsigned long long>(epochs.newest_seq()),
+                static_cast<unsigned long long>(reports),
+                static_cast<unsigned long long>(digest),
+                sealed.ok() ? "" : " (segment write FAILED)");
+    std::fflush(stdout);
+  };
+  if (p.epoch_interval_ms == 0) {
+    // Count-driven: rotate the moment the open epoch reaches its
+    // population, on the drain path itself.
+    server_options.after_drain = [&](std::span<const uint64_t> keys) {
+      if (open->reports_ingested() >= p.epoch_users) rotate(keys);
+    };
+  }
+
+  svc::IngestServer ingest(&transport,
+                           p.host + ":" + std::to_string(p.port), &sink,
+                           server_options);
+  ingest.PreseedDedup(recovered.dedup_keys);
+  if (!ingest.Start()) {
+    std::fprintf(stderr, "error: could not bind %s:%llu\n", p.host.c_str(),
+                 static_cast<unsigned long long>(p.port));
+    return 1;
+  }
+
+  // Queries are served from the sealed window for the entire run — a
+  // client polling before the first seal gets the retryable
+  // kFailedPrecondition, and every response carries seal progress for
+  // pacing.
+  std::unique_ptr<svc::QueryServer> query_server;
+  if (p.serve_queries) {
+    query_server = std::make_unique<svc::QueryServer>(
+        &transport, p.host + ":" + std::to_string(p.query_port),
+        /*pipeline=*/nullptr, svc::QueryServerOptions{}, &epochs);
+    if (!query_server->Start()) {
+      std::fprintf(stderr, "error: could not bind query endpoint %s:%llu\n",
+                   p.host.c_str(),
+                   static_cast<unsigned long long>(p.query_port));
+      return 1;
+    }
+    std::printf("serving windowed queries on %s\n",
+                query_server->endpoint().c_str());
+  }
+  std::printf("listening on %s (epoch mode: %llu users/epoch, "
+              "%llu epochs, %s rotation)\n",
+              ingest.endpoint().c_str(),
+              static_cast<unsigned long long>(p.epoch_users),
+              static_cast<unsigned long long>(p.target_epochs),
+              p.epoch_interval_ms > 0 ? "clock" : "count");
+  std::fflush(stdout);
+
+  // Clock-driven rotation: a timer thread takes a consistent drain cut
+  // every interval and seals whatever the open epoch collected; empty
+  // ticks are skipped inside rotate().
+  std::atomic<bool> stop_rotation{false};
+  std::thread rotator;
+  if (p.epoch_interval_ms > 0) {
+    rotator = std::thread([&] {
+      while (!stop_rotation.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(p.epoch_interval_ms));
+        if (stop_rotation.load()) break;
+        ingest.WithDrainCut(rotate);
+      }
+    });
+  }
+
+  // The run is complete when the target number of epochs has sealed
+  // (counting epochs recovered from a previous incarnation).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(p.timeout_ms);
+  bool complete = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (epochs.newest_seq() >= p.target_epochs) {
+      complete = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop_rotation.store(true);
+  if (rotator.joinable()) rotator.join();
+  ingest.Stop();
+  if (!complete) {
+    std::fprintf(stderr,
+                 "error: timed out with %llu/%llu epochs sealed "
+                 "(open epoch holds %llu reports)\n",
+                 static_cast<unsigned long long>(epochs.newest_seq()),
+                 static_cast<unsigned long long>(p.target_epochs),
+                 static_cast<unsigned long long>(open->reports_ingested()));
+    return 1;
+  }
+
+  // Keep answering until the query workload is done, then report the
+  // window's privacy budget: eps_max is the per-user guarantee under
+  // report-once; eps_sum is the worst-case sequential composition if one
+  // user reported in every retained epoch.
+  int rc = 0;
+  if (query_server != nullptr) {
+    // Queries were served for the whole run (pacing polls, mid-run
+    // windows), so a fixed post-seal batch count would race the client.
+    // Instead serve until the client goes quiet — no new batch for half a
+    // second — and require the total to have reached --query-batches.
+    const auto query_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(p.query_timeout_ms);
+    uint64_t answered = query_server->batches_answered();
+    auto quiet_since = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() < query_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const uint64_t now_answered = query_server->batches_answered();
+      if (now_answered != answered) {
+        answered = now_answered;
+        quiet_since = std::chrono::steady_clock::now();
+      } else if (answered >= p.query_batches &&
+                 std::chrono::steady_clock::now() - quiet_since >=
+                     std::chrono::milliseconds(500)) {
+        break;
+      }
+    }
+    const bool served = query_server->batches_answered() >= p.query_batches;
+    query_server->Stop();
+    std::printf("query batches answered=%llu (windowed=%llu) queries=%llu "
+                "invalid=%llu not_ready=%llu\n",
+                static_cast<unsigned long long>(
+                    query_server->batches_answered()),
+                static_cast<unsigned long long>(
+                    query_server->windowed_answered()),
+                static_cast<unsigned long long>(
+                    query_server->queries_answered()),
+                static_cast<unsigned long long>(
+                    query_server->batches_invalid()),
+                static_cast<unsigned long long>(
+                    query_server->batches_not_ready()));
+    if (!served) {
+      std::fprintf(stderr, "error: timed out waiting for query batches\n");
+      rc = 1;
+    }
+  }
+  const stream::EpochSet::BudgetReport budget = epochs.WindowBudget();
+  std::printf("epoch window: epochs=%zu reports=%llu eps_max=%.17g "
+              "eps_sum=%.17g seals=%llu seal_failures=%llu "
+              "checkpoints=%llu\n",
+              budget.epochs,
+              static_cast<unsigned long long>(budget.reports),
+              budget.max_epoch_epsilon, budget.sum_epsilon,
+              static_cast<unsigned long long>(rotation.epochs_sealed()),
+              static_cast<unsigned long long>(rotation.seal_failures()),
+              static_cast<unsigned long long>(ingest.checkpoints_written()));
+  if (p.dump_metrics) {
+    const std::string text = obs::Registry::Default().RenderText();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+  return rc;
 }
 
 // Splits a comma-separated endpoint list.
@@ -194,6 +534,12 @@ int main(int argc, char** argv) {
   const std::string normalization_name =
       flags.GetString("normalization", "sub");
   const bool dump_metrics = flags.GetBool("metrics", false);
+  const std::string epoch_dir = flags.GetString("epoch-dir", "");
+  const uint64_t epoch_keep = flags.GetUint("epoch-keep", 8);
+  const uint64_t epoch_interval_ms = flags.GetUint("epoch-interval-ms", 0);
+  const uint64_t epoch_users = flags.GetUint("epoch-users", users);
+  const uint64_t target_epochs = flags.GetUint("epochs", 4);
+  const bool epoch_inspect = flags.GetBool("epoch-inspect", false);
   const auto num_shards =
       static_cast<uint32_t>(flags.GetUint("num-shards", 1));
   const auto shard_id = static_cast<uint32_t>(flags.GetUint("shard-id", 0));
@@ -247,6 +593,23 @@ int main(int argc, char** argv) {
                  "the root (--root ... --serve-queries)\n");
     return 2;
   }
+  if (epoch_inspect && epoch_dir.empty()) {
+    std::fprintf(stderr, "error: --epoch-inspect requires --epoch-dir\n");
+    return 2;
+  }
+  if (!epoch_dir.empty() && (num_shards > 1 || !root_endpoints.empty())) {
+    std::fprintf(stderr,
+                 "error: epoch rotation is single-node; it cannot combine "
+                 "with --num-shards or --root\n");
+    return 2;
+  }
+  if (!epoch_dir.empty() && !report_log_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: the replay log replays one round; it cannot "
+                 "combine with epoch rotation yet\n");
+    return 2;
+  }
+  if (epoch_inspect) return InspectEpochs(epoch_dir, epoch_keep);
 
   // The schema comes from the same generator felip_client uses; only the
   // attribute metadata matters here — the values stay on the clients.
@@ -259,6 +622,30 @@ int main(int argc, char** argv) {
   config.epsilon = epsilon;
   config.seed = seed;
   config.normalization = *normalization;
+
+  if (!epoch_dir.empty()) {
+    EpochModeParams params;
+    params.host = host;
+    params.port = port;
+    params.workers = workers;
+    params.queue_capacity = queue_capacity;
+    params.timeout_ms = timeout_ms;
+    params.serve_queries = serve_queries;
+    params.query_port = query_port;
+    params.query_batches = query_batches;
+    params.query_timeout_ms = query_timeout_ms;
+    params.snapshot_dir = snapshot_dir;
+    params.snapshot_interval = snapshot_interval;
+    params.snapshot_interval_ms = snapshot_interval_ms;
+    params.snapshot_keep = snapshot_keep;
+    params.dump_metrics = dump_metrics;
+    params.epoch_dir = epoch_dir;
+    params.epoch_keep = epoch_keep;
+    params.epoch_interval_ms = epoch_interval_ms;
+    params.epoch_users = epoch_users;
+    params.target_epochs = target_epochs;
+    return RunEpochMode(params, schema_source, config);
+  }
 
   // Root aggregator: no ingest endpoint of its own — pull every shard's
   // accumulator frames, merge them in shard-id order, and finalize. The
