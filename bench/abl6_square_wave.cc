@@ -79,7 +79,7 @@ void Run() {
       for (const uint32_t v : dataset.Column(0)) {
         oracle->SubmitUserValue(g.CellOf(v), rng);
       }
-      std::vector<double> cell_freq = oracle->EstimateFrequencies();
+      std::vector<double> cell_freq = oracle->EstimateFrequencies().value();
       post::RemoveNegativity(&cell_freq);
       g.SetFrequencies(std::move(cell_freq));
       std::vector<double> grid_hist(kDomain);

@@ -132,7 +132,8 @@ void TdgHdgPipeline::Finalize() {
   FELIP_CHECK_MSG(!finalized_, "Finalize() called twice");
   const size_t n1 = grids_1d_.size();
   for (size_t g = 0; g < oracles_.size(); ++g) {
-    std::vector<double> freq = oracles_[g]->EstimateFrequencies();
+    // SubmitUserValue aggregates eagerly, so the buffer is always flushed.
+    std::vector<double> freq = oracles_[g]->EstimateFrequencies().value();
     post::RemoveNegativity(&freq);
     if (g < n1) {
       grids_1d_[g].SetFrequencies(std::move(freq));

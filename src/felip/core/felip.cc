@@ -31,6 +31,30 @@ bool IsNumerical(const AttributeInfo& info) {
 
 }  // namespace
 
+void FelipConfig::SetProtocolAllowed(fo::Protocol protocol, bool allowed) {
+  if (protocol == fo::Protocol::kGrr) {
+    allow_grr = allowed;
+  } else if (protocol == fo::Protocol::kOlh) {
+    allow_olh = allowed;
+  } else if (protocol == fo::Protocol::kOue) {
+    allow_oue = allowed;
+  } else if (protocol == fo::Protocol::kPgr) {
+    allow_pgr = allowed;
+  } else {
+    FELIP_CHECK(protocol == fo::Protocol::kFldp);
+    allow_fldp = allowed;
+  }
+}
+
+bool FelipConfig::ProtocolAllowed(fo::Protocol protocol) const {
+  if (protocol == fo::Protocol::kGrr) return allow_grr;
+  if (protocol == fo::Protocol::kOlh) return allow_olh;
+  if (protocol == fo::Protocol::kOue) return allow_oue;
+  if (protocol == fo::Protocol::kPgr) return allow_pgr;
+  FELIP_CHECK(protocol == fo::Protocol::kFldp);
+  return allow_fldp;
+}
+
 std::string_view PipelineStateName(PipelineState state) {
   switch (state) {
     case PipelineState::kConfigured:
@@ -130,6 +154,10 @@ FelipPipeline::FelipPipeline(std::vector<AttributeInfo> schema,
   base_params.allow_grr = config_.allow_grr;
   base_params.allow_olh = config_.allow_olh;
   base_params.allow_oue = config_.allow_oue;
+  base_params.allow_pgr = config_.allow_pgr;
+  base_params.allow_fldp = config_.allow_fldp;
+  base_params.report_budget_bytes = config_.report_budget_bytes;
+  base_params.protocol_options = config_.protocol_options();
 
   // --- Step 2: per-grid size optimization + AFO protocol selection. ---
   // 1-D grids first (matching grids_1d_ order), then pairs in
@@ -226,7 +254,7 @@ void FelipPipeline::Collect(const data::Dataset& dataset) {
         static_cast<uint64_t>(assignment.plan.lx) * assignment.plan.ly;
     oracles_.push_back(fo::MakeFrequencyOracle(assignment.plan.protocol,
                                                per_grid_epsilon_, domain,
-                                               config_.olh_options));
+                                               config_.protocol_options()));
   }
 
   const size_t n1 = grids_1d_.size();
@@ -286,7 +314,7 @@ void FelipPipeline::BeginIngest() {
         static_cast<uint64_t>(assignment.plan.lx) * assignment.plan.ly;
     oracles_.push_back(fo::MakeFrequencyOracle(assignment.plan.protocol,
                                                per_grid_epsilon_, domain,
-                                               config_.olh_options));
+                                               config_.protocol_options()));
   }
   reports_ingested_ = 0;
   state_ = PipelineState::kCollecting;
@@ -320,6 +348,40 @@ Status FelipPipeline::IngestOueReport(uint32_t grid_index,
     return Status::InvalidArgument("report names a grid that is not planned");
   }
   FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestOueReport(bits));
+  ++reports_ingested_;
+  return Status::Ok();
+}
+
+Status FelipPipeline::IngestPgrReport(uint32_t grid_index, uint32_t point) {
+  ExpectState(PipelineState::kCollecting, "IngestPgrReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestPgrReport(point));
+  ++reports_ingested_;
+  return Status::Ok();
+}
+
+Status FelipPipeline::IngestFldpReport(uint32_t grid_index,
+                                       uint32_t subset_index,
+                                       const std::vector<uint8_t>& bits) {
+  ExpectState(PipelineState::kCollecting, "IngestFldpReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(
+      oracles_[grid_index]->IngestFldpReport(subset_index, bits));
+  ++reports_ingested_;
+  return Status::Ok();
+}
+
+Status FelipPipeline::IngestReport(uint32_t grid_index,
+                                   const fo::ReportData& report) {
+  ExpectState(PipelineState::kCollecting, "IngestReport()");
+  if (grid_index >= oracles_.size()) {
+    return Status::InvalidArgument("report names a grid that is not planned");
+  }
+  FELIP_RETURN_IF_ERROR(oracles_[grid_index]->IngestReport(report));
   ++reports_ingested_;
   return Status::Ok();
 }
@@ -383,8 +445,11 @@ void FelipPipeline::Finalize() {
   {
     obs::ScopedTimer estimate_span("felip_core_estimate");
     for (size_t g = 0; g < assignments_.size(); ++g) {
+      // The pipeline machine guarantees the oracles flushed before
+      // kSealed, so an estimation failure here is programmer error.
       std::vector<double> freq =
-          oracles_[g]->EstimateFrequencies(config_.aggregation_threads);
+          oracles_[g]->EstimateFrequencies(config_.aggregation_threads)
+              .value();
       post::NormalizeFrequencies(&freq, config_.normalization);
       cells_estimated += freq.size();
       if (!assignments_[g].is_2d) {

@@ -27,6 +27,7 @@
 #include "felip/common/status.h"
 #include "felip/data/dataset.h"
 #include "felip/fo/frequency_oracle.h"
+#include "felip/fo/registry.h"
 #include "felip/grid/grid.h"
 #include "felip/grid/optimizer.h"
 #include "felip/post/norm_sub.h"
@@ -97,12 +98,37 @@ struct FelipConfig {
   std::vector<double> attribute_selectivity;
 
   // Protocols AFO may pick per grid. The paper's OUG-OLH / OHG-OLH
-  // variants set allow_grr = false.
+  // variants set allow_grr = false. PGR and FLDP are the
+  // communication-conscious extension protocols (fo/pgr.h, fo/fldp.h);
+  // off by default for paper fidelity.
   bool allow_grr = true;
   bool allow_olh = true;
   bool allow_oue = false;
+  bool allow_pgr = false;
+  bool allow_fldp = false;
+
+  // Per-report communication budget in wire-body bytes AFO plans under;
+  // 0 = unconstrained (pure error minimization).
+  uint64_t report_budget_bytes = 0;
 
   fo::OlhOptions olh_options = {.seed_pool_size = 4096};
+  fo::PgrOptions pgr_options;
+  fo::FldpOptions fldp_options;
+
+  // The per-protocol options bundle the registry-driven layers (planning,
+  // oracle construction, wire configs) consume.
+  fo::ProtocolOptions protocol_options() const {
+    fo::ProtocolOptions options;
+    options.olh = olh_options;
+    options.pgr = pgr_options;
+    options.fldp = fldp_options;
+    return options;
+  }
+
+  // Sets the allow flag for `protocol` — the bridge from registry-resolved
+  // protocols (e.g. a --protocols=olh,pgr flag) to the candidate set.
+  void SetProtocolAllowed(fo::Protocol protocol, bool allowed);
+  bool ProtocolAllowed(fo::Protocol protocol) const;
 
   int consistency_rounds = 3;
   // Negativity-removal variant applied after estimation and between
@@ -225,6 +251,13 @@ class FelipPipeline {
   Status IngestOlhReport(uint32_t grid_index, const fo::OlhReport& report);
   Status IngestOueReport(uint32_t grid_index,
                          const std::vector<uint8_t>& bits);
+  Status IngestPgrReport(uint32_t grid_index, uint32_t point);
+  Status IngestFldpReport(uint32_t grid_index, uint32_t subset_index,
+                          const std::vector<uint8_t>& bits);
+  // Protocol-tagged entry point: validates the grid index and hands the
+  // report to that grid's oracle, which accepts only its own protocol.
+  // Callers (sinks, the replay engine) never branch on the protocol.
+  Status IngestReport(uint32_t grid_index, const fo::ReportData& report);
   void FinishIngest();
   uint64_t reports_ingested() const { return reports_ingested_; }
 

@@ -52,8 +52,9 @@ double MeanRelativeError(const std::vector<double>& estimates,
 }
 
 std::vector<std::string> KnownMethods() {
-  return {"OUG",     "OHG",        "OUG-OLH", "OHG-OLH", "OHG-GRR",
-          "OHG-OUE", "OHG-BUDGET", "OHG-QFIT", "HIO",    "TDG",
+  return {"OUG",      "OHG",      "OUG-OLH",    "OHG-OLH",
+          "OHG-GRR",  "OHG-OUE",  "OHG-PGR",    "OHG-FLDP",
+          "OHG-BUDGET", "OHG-QFIT", "HIO",      "TDG",
           "HDG"};
 }
 
@@ -79,6 +80,14 @@ core::FelipConfig MakeFelipConfig(std::string_view method,
     config.allow_grr = false;
     config.allow_olh = false;
     config.allow_oue = true;
+  } else if (method.ends_with("-PGR")) {
+    config.allow_grr = false;
+    config.allow_olh = false;
+    config.allow_pgr = true;
+  } else if (method.ends_with("-FLDP")) {
+    config.allow_grr = false;
+    config.allow_olh = false;
+    config.allow_fldp = true;
   } else if (method.ends_with("-BUDGET")) {
     config.partitioning = core::PartitioningMode::kDivideBudget;
   } else if (method.ends_with("-QFIT")) {

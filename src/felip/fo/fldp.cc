@@ -1,0 +1,221 @@
+#include "felip/fo/fldp.h"
+
+#include <cmath>
+
+#include "felip/common/check.h"
+#include "felip/common/hash.h"
+#include "felip/common/parallel.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
+
+namespace felip::fo {
+
+namespace {
+
+// Derives the seed of pool subset `index` from the salt; the same
+// construction as OLH's pool seeds, under a distinct hash stream.
+inline uint64_t SubsetSeed(uint64_t salt, uint32_t index) {
+  return XxHash64(index, salt);
+}
+
+}  // namespace
+
+uint32_t FldpSubsetSize(const FldpOptions& options, uint64_t domain) {
+  FELIP_CHECK(options.report_bits >= 1);
+  const uint64_t s = std::min<uint64_t>(options.report_bits, domain);
+  return static_cast<uint32_t>(s);
+}
+
+std::vector<uint32_t> FldpSubset(uint64_t pool_salt, uint32_t index,
+                                 uint64_t domain, uint32_t subset_size) {
+  FELIP_CHECK(subset_size >= 1 && subset_size <= domain);
+  std::vector<uint32_t> subset;
+  subset.reserve(subset_size);
+  if (subset_size == domain) {
+    // Whole-domain subsets (s == d, the OUE limit) use identity order so
+    // slot j always means bucket j.
+    for (uint32_t b = 0; b < subset_size; ++b) subset.push_back(b);
+    return subset;
+  }
+  // Rejection-sampled distinct draws from a subset-seeded generator. The
+  // expected draw count is s * d / (d - s + 1), tiny for s << d; the
+  // subset (including slot order) is a pure function of (salt, index).
+  Rng rng(SubsetSeed(pool_salt, index));
+  while (subset.size() < subset_size) {
+    const uint32_t candidate = static_cast<uint32_t>(rng.UniformU64(domain));
+    bool seen = false;
+    for (const uint32_t b : subset) seen |= b == candidate;
+    if (!seen) subset.push_back(candidate);
+  }
+  return subset;
+}
+
+FldpClient::FldpClient(double epsilon, uint64_t domain, FldpOptions options)
+    : domain_(domain),
+      options_(options),
+      subset_size_(FldpSubsetSize(options, domain)) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  FELIP_CHECK_MSG(options_.subset_pool_size >= 1,
+                  "FLDP needs a non-empty subset pool");
+  q_ = 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+FldpReport FldpClient::Perturb(uint64_t value, Rng& rng) const {
+  FELIP_CHECK(value < domain_);
+  FldpReport report;
+  report.subset_index =
+      static_cast<uint32_t>(rng.UniformU64(options_.subset_pool_size));
+  const std::vector<uint32_t> subset = FldpSubset(
+      options_.pool_salt, report.subset_index, domain_, subset_size_);
+  report.bits.resize(subset_size_);
+  for (uint32_t j = 0; j < subset_size_; ++j) {
+    const bool is_true_bucket = subset[j] == value;
+    report.bits[j] = rng.Bernoulli(is_true_bucket ? 0.5 : q_) ? 1 : 0;
+  }
+  return report;
+}
+
+FldpServer::FldpServer(double epsilon, uint64_t domain, FldpOptions options)
+    : domain_(domain),
+      options_(options),
+      subset_size_(FldpSubsetSize(options, domain)) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  FELIP_CHECK_MSG(options_.subset_pool_size >= 1,
+                  "FLDP needs a non-empty subset pool");
+  q_ = 1.0 / (std::exp(epsilon) + 1.0);
+  counts_.assign(
+      static_cast<size_t>(options_.subset_pool_size) * subset_size_, 0);
+  coverage_counts_.assign(options_.subset_pool_size, 0);
+  subsets_.reserve(counts_.size());
+  for (uint32_t k = 0; k < options_.subset_pool_size; ++k) {
+    const std::vector<uint32_t> subset =
+        FldpSubset(options_.pool_salt, k, domain_, subset_size_);
+    subsets_.insert(subsets_.end(), subset.begin(), subset.end());
+  }
+}
+
+void FldpServer::Add(const FldpReport& report) {
+  FELIP_CHECK_MSG(report.subset_index < options_.subset_pool_size,
+                  "FLDP subset index outside the pool");
+  FELIP_CHECK_MSG(report.bits.size() == subset_size_,
+                  "FLDP bit vector length != subset size");
+  const size_t base = static_cast<size_t>(report.subset_index) * subset_size_;
+  for (uint32_t j = 0; j < subset_size_; ++j) {
+    FELIP_CHECK(report.bits[j] <= 1);
+    counts_[base + j] += report.bits[j];
+  }
+  ++coverage_counts_[report.subset_index];
+  ++num_reports_;
+}
+
+void FldpServer::AggregateReports(std::span<const FldpReport> reports,
+                                  unsigned thread_count) {
+  if (reports.empty()) return;
+  obs::ScopedTimer span("felip_fo_fldp_aggregate");
+  static obs::Counter& reports_total =
+      obs::Registry::Default().GetCounter("felip_fo_fldp_reports_total");
+  reports_total.Increment(reports.size());
+  struct Acc {
+    std::vector<uint64_t> bits;
+    std::vector<uint64_t> covered;
+  };
+  const size_t bins = counts_.size();
+  const size_t pools = coverage_counts_.size();
+  const simd::Level level = simd::ActiveLevel();
+  Acc merged = ParallelReduce(
+      reports.size(),
+      [bins, pools] {
+        return Acc{std::vector<uint64_t>(bins, 0),
+                   std::vector<uint64_t>(pools, 0)};
+      },
+      [&](Acc& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const FldpReport& r = reports[i];
+          FELIP_CHECK_MSG(r.subset_index < options_.subset_pool_size,
+                          "FLDP subset index outside the pool");
+          FELIP_CHECK_MSG(r.bits.size() == subset_size_,
+                          "FLDP bit vector length != subset size");
+          const size_t base =
+              static_cast<size_t>(r.subset_index) * subset_size_;
+          for (uint32_t j = 0; j < subset_size_; ++j) {
+            FELIP_CHECK(r.bits[j] <= 1);
+            acc.bits[base + j] += r.bits[j];
+          }
+          ++acc.covered[r.subset_index];
+        }
+      },
+      [level](Acc& into, Acc&& from) {
+        simd::AddU64(level, into.bits.data(), from.bits.data(),
+                     into.bits.size());
+        simd::AddU64(level, into.covered.data(), from.covered.data(),
+                     into.covered.size());
+      },
+      thread_count);
+  for (size_t b = 0; b < bins; ++b) counts_[b] += merged.bits[b];
+  for (size_t k = 0; k < pools; ++k) {
+    coverage_counts_[k] += static_cast<uint32_t>(merged.covered[k]);
+  }
+  num_reports_ += reports.size();
+}
+
+void FldpServer::RestoreState(std::vector<uint64_t> counts,
+                              std::vector<uint32_t> coverage_counts,
+                              uint64_t num_reports) {
+  FELIP_CHECK_MSG(counts.size() == counts_.size(),
+                  "restored FLDP histogram does not match K * s");
+  FELIP_CHECK_MSG(coverage_counts.size() == coverage_counts_.size(),
+                  "restored FLDP coverage does not match the pool size");
+  counts_ = std::move(counts);
+  coverage_counts_ = std::move(coverage_counts);
+  num_reports_ = num_reports;
+}
+
+double FldpServer::Debias(uint64_t set_bits, uint64_t covered) const {
+  if (covered == 0) return 0.0;
+  const double nb = static_cast<double>(covered);
+  const double rate = static_cast<double>(set_bits) / nb;
+  return (rate - q_) / (0.5 - q_);
+}
+
+std::vector<double> FldpServer::EstimateFrequencies() const {
+  FELIP_CHECK_MSG(num_reports_ > 0, "no FLDP reports collected");
+  std::vector<uint64_t> set_bits(domain_, 0);
+  std::vector<uint64_t> covered(domain_, 0);
+  for (uint32_t k = 0; k < options_.subset_pool_size; ++k) {
+    const uint32_t users = coverage_counts_[k];
+    const size_t base = static_cast<size_t>(k) * subset_size_;
+    for (uint32_t j = 0; j < subset_size_; ++j) {
+      const uint32_t bucket = subsets_[base + j];
+      set_bits[bucket] += counts_[base + j];
+      covered[bucket] += users;
+    }
+  }
+  std::vector<double> freq(domain_);
+  for (uint64_t v = 0; v < domain_; ++v) {
+    freq[v] = Debias(set_bits[v], covered[v]);
+  }
+  return freq;
+}
+
+double FldpServer::EstimateValue(uint64_t value) const {
+  FELIP_CHECK(value < domain_);
+  FELIP_CHECK_MSG(num_reports_ > 0, "no FLDP reports collected");
+  uint64_t set_bits = 0;
+  uint64_t covered = 0;
+  for (uint32_t k = 0; k < options_.subset_pool_size; ++k) {
+    const size_t base = static_cast<size_t>(k) * subset_size_;
+    for (uint32_t j = 0; j < subset_size_; ++j) {
+      if (subsets_[base + j] == value) {
+        set_bits += counts_[base + j];
+        covered += coverage_counts_[k];
+      }
+    }
+  }
+  return Debias(set_bits, covered);
+}
+
+}  // namespace felip::fo

@@ -1,10 +1,14 @@
 #include "felip/fo/frequency_oracle.h"
 
 #include <limits>
+#include <utility>
 
 #include "felip/common/check.h"
+#include "felip/fo/fldp.h"
 #include "felip/fo/grr.h"
 #include "felip/fo/oue.h"
+#include "felip/fo/pgr.h"
+#include "felip/fo/registry.h"
 
 namespace felip::fo {
 
@@ -41,7 +45,10 @@ class GrrOracle final : public FrequencyOracle {
     return state;
   }
   Status RestoreState(OracleState state) override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     if (state.protocol != Protocol::kGrr) {
       return Status::InvalidArgument("oracle state protocol is not GRR");
     }
@@ -56,8 +63,11 @@ class GrrOracle final : public FrequencyOracle {
     server_.RestoreState(std::move(state.counts), state.num_reports);
     return Status::Ok();
   }
-  std::vector<double> EstimateFrequencies(unsigned) const override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+  StatusOr<std::vector<double>> EstimateFrequencies(unsigned) const override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     return server_.EstimateFrequencies();
   }
   uint64_t domain() const override { return client_.domain(); }
@@ -111,7 +121,10 @@ class OlhOracle final : public FrequencyOracle {
     return state;
   }
   Status RestoreState(OracleState state) override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     if (state.protocol != Protocol::kOlh) {
       return Status::InvalidArgument("oracle state protocol is not OLH");
     }
@@ -150,9 +163,12 @@ class OlhOracle final : public FrequencyOracle {
     server_.RestoreReports(std::move(state.reports));
     return Status::Ok();
   }
-  std::vector<double> EstimateFrequencies(
+  StatusOr<std::vector<double>> EstimateFrequencies(
       unsigned thread_count) const override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     return server_.EstimateFrequencies(thread_count);
   }
   uint64_t domain() const override { return client_.domain(); }
@@ -201,7 +217,10 @@ class OueOracle final : public FrequencyOracle {
     return state;
   }
   Status RestoreState(OracleState state) override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     if (state.protocol != Protocol::kOue) {
       return Status::InvalidArgument("oracle state protocol is not OUE");
     }
@@ -218,8 +237,11 @@ class OueOracle final : public FrequencyOracle {
     server_.RestoreState(std::move(state.counts), state.num_reports);
     return Status::Ok();
   }
-  std::vector<double> EstimateFrequencies(unsigned) const override {
-    FELIP_CHECK_MSG(buffer_.empty(), "unflushed reports; call FlushReports");
+  StatusOr<std::vector<double>> EstimateFrequencies(unsigned) const override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
     return server_.EstimateFrequencies();
   }
   uint64_t domain() const override { return client_.domain(); }
@@ -230,6 +252,171 @@ class OueOracle final : public FrequencyOracle {
   OueClient client_;
   OueServer server_;
   std::vector<std::vector<uint8_t>> buffer_;
+};
+
+class PgrOracle final : public FrequencyOracle {
+ public:
+  PgrOracle(double epsilon, uint64_t domain, PgrOptions options)
+      : client_(epsilon, domain), server_(epsilon, domain, options) {}
+
+  void SubmitUserValue(uint64_t value, Rng& rng) override {
+    server_.Add(client_.Perturb(value, rng));
+  }
+  void BufferUserValue(uint64_t value, Rng& rng) override {
+    buffer_.push_back(client_.Perturb(value, rng));
+  }
+  void FlushReports(unsigned thread_count) override {
+    server_.AggregateReports(buffer_, thread_count);
+    buffer_.clear();
+  }
+  size_t buffered_reports() const override { return buffer_.size(); }
+  Status IngestPgrReport(uint32_t point) override {
+    if (point >= server_.params().num_points) {
+      return Status::InvalidArgument("PGR point outside the point space");
+    }
+    server_.Add(point);
+    return Status::Ok();
+  }
+  OracleState ExportState() const override {
+    OracleState state;
+    state.protocol = Protocol::kPgr;
+    state.num_reports = server_.num_reports();
+    state.counts = server_.counts();
+    return state;
+  }
+  Status RestoreState(OracleState state) override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
+    if (state.protocol != Protocol::kPgr) {
+      return Status::InvalidArgument("oracle state protocol is not PGR");
+    }
+    if (state.counts.size() != server_.params().num_points) {
+      return Status::InvalidArgument(
+          "PGR histogram does not match the point space");
+    }
+    uint64_t total = 0;
+    for (const uint64_t c : state.counts) total += c;
+    if (total != state.num_reports) {
+      return Status::InvalidArgument("PGR counts do not sum to num_reports");
+    }
+    server_.RestoreState(std::move(state.counts), state.num_reports);
+    return Status::Ok();
+  }
+  StatusOr<std::vector<double>> EstimateFrequencies(unsigned) const override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
+    return server_.EstimateFrequencies();
+  }
+  uint64_t domain() const override { return server_.domain(); }
+  uint64_t num_reports() const override { return server_.num_reports(); }
+  Protocol protocol() const override { return Protocol::kPgr; }
+
+ private:
+  PgrClient client_;
+  PgrServer server_;
+  std::vector<uint32_t> buffer_;
+};
+
+class FldpOracle final : public FrequencyOracle {
+ public:
+  FldpOracle(double epsilon, uint64_t domain, FldpOptions options)
+      : client_(epsilon, domain, options), server_(epsilon, domain, options) {}
+
+  void SubmitUserValue(uint64_t value, Rng& rng) override {
+    server_.Add(client_.Perturb(value, rng));
+  }
+  void BufferUserValue(uint64_t value, Rng& rng) override {
+    buffer_.push_back(client_.Perturb(value, rng));
+  }
+  void FlushReports(unsigned thread_count) override {
+    server_.AggregateReports(buffer_, thread_count);
+    buffer_.clear();
+  }
+  size_t buffered_reports() const override { return buffer_.size(); }
+  Status IngestFldpReport(uint32_t subset_index,
+                          const std::vector<uint8_t>& bits) override {
+    if (subset_index >= client_.options().subset_pool_size) {
+      return Status::InvalidArgument("FLDP subset index outside the pool");
+    }
+    if (bits.size() != client_.subset_size()) {
+      return Status::InvalidArgument("FLDP bit vector length != subset size");
+    }
+    for (const uint8_t bit : bits) {
+      if (bit > 1) {
+        return Status::InvalidArgument("FLDP bit vector has a non-bit entry");
+      }
+    }
+    FldpReport report;
+    report.subset_index = subset_index;
+    report.bits = bits;
+    server_.Add(report);
+    return Status::Ok();
+  }
+  OracleState ExportState() const override {
+    OracleState state;
+    state.protocol = Protocol::kFldp;
+    state.num_reports = server_.num_reports();
+    state.counts = server_.counts();
+    state.pool_counts = server_.coverage_counts();
+    return state;
+  }
+  Status RestoreState(OracleState state) override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
+    if (state.protocol != Protocol::kFldp) {
+      return Status::InvalidArgument("oracle state protocol is not FLDP");
+    }
+    const uint32_t s = client_.subset_size();
+    const uint32_t pools = client_.options().subset_pool_size;
+    if (state.pool_counts.size() != pools) {
+      return Status::InvalidArgument(
+          "FLDP coverage does not match the pool size");
+    }
+    if (state.counts.size() != static_cast<size_t>(pools) * s) {
+      return Status::InvalidArgument("FLDP histogram is not K * s");
+    }
+    uint64_t total = 0;
+    for (const uint32_t c : state.pool_counts) total += c;
+    if (total != state.num_reports) {
+      return Status::InvalidArgument(
+          "FLDP coverage does not sum to num_reports");
+    }
+    // A slot's set-bit count can exceed neither the users who drew that
+    // pool index (each contributes at most one bit per slot).
+    for (uint32_t k = 0; k < pools; ++k) {
+      const size_t base = static_cast<size_t>(k) * s;
+      for (uint32_t j = 0; j < s; ++j) {
+        if (state.counts[base + j] > state.pool_counts[k]) {
+          return Status::InvalidArgument(
+              "FLDP set-bit count exceeds pool coverage");
+        }
+      }
+    }
+    server_.RestoreState(std::move(state.counts), std::move(state.pool_counts),
+                         state.num_reports);
+    return Status::Ok();
+  }
+  StatusOr<std::vector<double>> EstimateFrequencies(unsigned) const override {
+    if (!buffer_.empty()) {
+      return Status::FailedPrecondition(
+          "unflushed reports; call FlushReports");
+    }
+    return server_.EstimateFrequencies();
+  }
+  uint64_t domain() const override { return client_.domain(); }
+  uint64_t num_reports() const override { return server_.num_reports(); }
+  Protocol protocol() const override { return Protocol::kFldp; }
+
+ private:
+  FldpClient client_;
+  FldpServer server_;
+  std::vector<FldpReport> buffer_;
 };
 
 }  // namespace
@@ -268,6 +455,22 @@ Status MergeOracleState(OracleState* into, const OracleState& from) {
   return Status::Ok();
 }
 
+Status FrequencyOracle::IngestReport(const ReportData& report) {
+  switch (report.protocol) {
+    case Protocol::kGrr:
+      return IngestGrrReport(report.grr_report);
+    case Protocol::kOlh:
+      return IngestOlhReport(report.olh);
+    case Protocol::kOue:
+      return IngestOueReport(report.oue_bits);
+    case Protocol::kPgr:
+      return IngestPgrReport(report.pgr_point);
+    case Protocol::kFldp:
+      return IngestFldpReport(report.fldp_subset_index, report.oue_bits);
+  }
+  return Status::InvalidArgument("report has an unknown protocol tag");
+}
+
 Status FrequencyOracle::IngestGrrReport(uint64_t) {
   return Status::InvalidArgument("GRR report sent to a non-GRR oracle");
 }
@@ -277,6 +480,13 @@ Status FrequencyOracle::IngestOlhReport(const OlhReport&) {
 Status FrequencyOracle::IngestOueReport(const std::vector<uint8_t>&) {
   return Status::InvalidArgument("OUE report sent to a non-OUE oracle");
 }
+Status FrequencyOracle::IngestPgrReport(uint32_t) {
+  return Status::InvalidArgument("PGR report sent to a non-PGR oracle");
+}
+Status FrequencyOracle::IngestFldpReport(uint32_t,
+                                         const std::vector<uint8_t>&) {
+  return Status::InvalidArgument("FLDP report sent to a non-FLDP oracle");
+}
 
 void FrequencyOracle::SubmitUserValues(std::span<const uint64_t> values,
                                        Rng& rng, unsigned thread_count) {
@@ -284,20 +494,32 @@ void FrequencyOracle::SubmitUserValues(std::span<const uint64_t> values,
   FlushReports(thread_count);
 }
 
-std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(Protocol protocol,
-                                                     double epsilon,
-                                                     uint64_t domain,
-                                                     OlhOptions olh_options) {
+std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(
+    Protocol protocol, double epsilon, uint64_t domain,
+    const ProtocolOptions& options) {
   switch (protocol) {
     case Protocol::kGrr:
       return std::make_unique<GrrOracle>(epsilon, domain);
     case Protocol::kOlh:
-      return std::make_unique<OlhOracle>(epsilon, domain, olh_options);
+      return std::make_unique<OlhOracle>(epsilon, domain, options.olh);
     case Protocol::kOue:
       return std::make_unique<OueOracle>(epsilon, domain);
+    case Protocol::kPgr:
+      return std::make_unique<PgrOracle>(epsilon, domain, options.pgr);
+    case Protocol::kFldp:
+      return std::make_unique<FldpOracle>(epsilon, domain, options.fldp);
   }
   FELIP_CHECK_MSG(false, "unknown protocol");
   return nullptr;
+}
+
+std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(Protocol protocol,
+                                                     double epsilon,
+                                                     uint64_t domain,
+                                                     OlhOptions olh_options) {
+  ProtocolOptions options;
+  options.olh = olh_options;
+  return MakeFrequencyOracle(protocol, epsilon, domain, options);
 }
 
 }  // namespace felip::fo

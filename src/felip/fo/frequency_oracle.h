@@ -27,6 +27,7 @@
 #include "felip/common/status.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/protocol.h"
+#include "felip/fo/report.h"
 
 namespace felip::fo {
 
@@ -36,11 +37,18 @@ namespace felip::fo {
 // integer counts or raw reports — state whose value is independent of the
 // order reports arrived in — which is what makes restore-and-continue
 // bit-identical to an uninterrupted run.
+//
+// The fields are generic shapes, not per-protocol slots: GRR and OUE use
+// `counts` as per-value (per-bit) counts, PGR uses `counts` as its
+// point-index histogram, FLDP uses `counts` for (pool, slot) set-bit
+// counts plus `pool_counts` for per-pool coverage, and OLH uses
+// `pool_counts` (pool mode) or `reports` (per-user mode). New protocols
+// whose accumulator is integer count vectors need no codec changes.
 struct OracleState {
   Protocol protocol = Protocol::kGrr;
   uint64_t num_reports = 0;
-  std::vector<uint64_t> counts;       // GRR / OUE per-value (per-bit) counts
-  std::vector<uint32_t> pool_counts;  // OLH pool mode: (seed_index, y) K*g
+  std::vector<uint64_t> counts;       // per-value / per-point / per-slot
+  std::vector<uint32_t> pool_counts;  // OLH pool (seed, y); FLDP coverage
   std::vector<OlhReport> reports;     // OLH per-user mode: raw reports
 };
 
@@ -83,10 +91,17 @@ class FrequencyOracle {
   // (which FELIP_CHECK their input), these return kInvalidArgument on
   // invalid input so a service can count and drop bad reports from the
   // network instead of aborting. Each oracle accepts only its own
-  // protocol's overload; the others reject.
+  // protocol's overload; the others reject. IngestReport dispatches a
+  // protocol-tagged ReportData to the matching overload (rejecting a
+  // report whose tag differs from this oracle's protocol), so callers
+  // outside fo/ never branch on the protocol.
+  Status IngestReport(const ReportData& report);
   virtual Status IngestGrrReport(uint64_t report);
   virtual Status IngestOlhReport(const OlhReport& report);
   virtual Status IngestOueReport(const std::vector<uint8_t>& bits);
+  virtual Status IngestPgrReport(uint32_t point);
+  virtual Status IngestFldpReport(uint32_t subset_index,
+                                  const std::vector<uint8_t>& bits);
 
   // --- Accumulator persistence (snapshot path) ---
   //
@@ -96,14 +111,16 @@ class FrequencyOracle {
   // checksums pass (a snapshot from a different config can be internally
   // consistent but wrong for *this* oracle), so RestoreState validates
   // protocol, shapes, and report ranges and returns kInvalidArgument
-  // rather than aborting. Both require an empty buffer.
+  // rather than aborting. Restoring over unflushed buffered reports
+  // returns kFailedPrecondition.
   virtual OracleState ExportState() const = 0;
   virtual Status RestoreState(OracleState state) = 0;
 
   // Unbiased frequency estimates for all domain values (may be negative).
-  // Requires an empty buffer (call FlushReports first); `thread_count`
-  // bounds the threads used by protocols that parallelize estimation.
-  virtual std::vector<double> EstimateFrequencies(
+  // Returns kFailedPrecondition while reports are buffered but unflushed
+  // (call FlushReports first); `thread_count` bounds the threads used by
+  // protocols that parallelize estimation.
+  virtual StatusOr<std::vector<double>> EstimateFrequencies(
       unsigned thread_count = 0) const = 0;
 
   virtual uint64_t domain() const = 0;
@@ -116,7 +133,9 @@ class FrequencyOracle {
                         unsigned thread_count = 0);
 };
 
-// Creates an oracle for `protocol`. `olh_options` applies only to OLH.
+// Creates an oracle for `protocol`. `olh_options` applies only to OLH;
+// other protocols get default options. The registry overload
+// (fo/registry.h) accepts a full ProtocolOptions.
 std::unique_ptr<FrequencyOracle> MakeFrequencyOracle(
     Protocol protocol, double epsilon, uint64_t domain,
     OlhOptions olh_options = {});

@@ -1,0 +1,364 @@
+#include "felip/fo/pgr.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "felip/common/check.h"
+#include "felip/common/parallel.h"
+#include "felip/fo/protocol.h"
+#include "felip/obs/metrics.h"
+#include "felip/obs/trace.h"
+#include "felip/simd/dispatch.h"
+#include "felip/simd/kernels.h"
+
+namespace felip::fo {
+
+namespace {
+
+constexpr uint32_t kMaxDimension = 32;  // t never gets near this (q >= 3)
+
+bool IsPrime(uint32_t n) {
+  if (n < 2) return false;
+  for (uint32_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+uint64_t PowQ(uint64_t q, uint32_t exp) {
+  uint64_t r = 1;
+  for (uint32_t i = 0; i < exp; ++i) r *= q;
+  return r;
+}
+
+// Multiplicative inverses mod the prime q, by exhaustion (q is tiny).
+std::vector<uint32_t> InverseTable(uint32_t q) {
+  std::vector<uint32_t> inv(q, 0);
+  for (uint32_t a = 1; a < q; ++a) {
+    for (uint32_t b = 1; b < q; ++b) {
+      if (a * b % q == 1) {
+        inv[a] = b;
+        break;
+      }
+    }
+  }
+  return inv;
+}
+
+// Writes the canonical representative of point `index` into x[0..t-1]:
+// leading zeros, a 1 at the leading position, then the base-q digits of
+// the within-block remainder. Point index blocks are ordered by leading
+// position j, block j holding q^(t-1-j) points.
+void PointVectorOf(uint64_t index, uint32_t q, uint32_t t, uint32_t* x) {
+  uint32_t j = 0;
+  uint64_t block = PowQ(q, t - 1);
+  while (index >= block) {
+    index -= block;
+    block /= q;
+    ++j;
+  }
+  for (uint32_t i = 0; i < t; ++i) x[i] = 0;
+  x[j] = 1;
+  for (uint32_t i = t; i-- > j + 1;) {
+    x[i] = static_cast<uint32_t>(index % q);
+    index /= q;
+  }
+}
+
+// Inverse of PointVectorOf for an arbitrary nonzero vector: scale so the
+// first nonzero coordinate becomes 1, then pack. `inv` is the inverse
+// table mod q.
+uint64_t CanonicalIndexOf(const uint32_t* w, uint32_t q, uint32_t t,
+                          const std::vector<uint32_t>& inv) {
+  uint32_t j = 0;
+  while (j < t && w[j] == 0) ++j;
+  FELIP_CHECK_MSG(j < t, "zero vector has no projective point");
+  const uint32_t scale = inv[w[j]];
+  uint64_t offset = 0;
+  uint64_t block = PowQ(q, t - 1);
+  for (uint32_t i = 0; i < j; ++i) {
+    offset += block;
+    block /= q;
+  }
+  uint64_t rem = 0;
+  for (uint32_t i = j + 1; i < t; ++i) {
+    rem = rem * q + (w[i] * scale) % q;
+  }
+  return offset + rem;
+}
+
+// Packs a full coordinate vector into its base-q integer (x_0 most
+// significant); indexes the fast-decode DP tables.
+uint64_t VectorIndexOf(const uint32_t* x, uint32_t q, uint32_t t) {
+  uint64_t idx = 0;
+  for (uint32_t i = 0; i < t; ++i) idx = idx * q + x[i];
+  return idx;
+}
+
+}  // namespace
+
+PgrParams PgrParams::Make(double epsilon, uint64_t domain) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 1);
+  PgrParams params;
+  const double e = std::exp(epsilon);
+  uint32_t q = static_cast<uint32_t>(std::ceil(e + 1.0));
+  if (q < 3) q = 3;
+  while (!IsPrime(q)) ++q;
+  params.q = q;
+  // Smallest t >= 2 with (q^t - 1)/(q - 1) >= domain.
+  uint32_t t = 2;
+  uint64_t num_points = 1 + q;  // (q^2 - 1)/(q - 1)
+  while (num_points < domain) {
+    ++t;
+    FELIP_CHECK_MSG(t < kMaxDimension, "PGR domain too large");
+    num_points = num_points * q + 1;
+    FELIP_CHECK_MSG(num_points <= 0xffffffffull,
+                    "PGR point index does not fit uint32");
+  }
+  params.t = t;
+  params.num_points = num_points;
+  const double qd = static_cast<double>(q);
+  const double off = std::pow(qd, static_cast<double>(t - 1));
+  const double on = (off - 1.0) / (qd - 1.0);  // points on the hyperplane
+  const double z = e * off + on;
+  params.p_star = e * off / z;
+  params.q_star =
+      std::pow(qd, static_cast<double>(t - 2)) * (e * (qd - 1.0) + 1.0) / z;
+  return params;
+}
+
+PgrClient::PgrClient(double epsilon, uint64_t domain)
+    : domain_(domain), params_(PgrParams::Make(epsilon, domain)) {
+  off_hyperplane_ = params_.p_star;  // = Pr[<x_v, z> != 0]
+  inverse_ = InverseTable(params_.q);
+}
+
+uint32_t PgrClient::Perturb(uint64_t value, Rng& rng) const {
+  FELIP_CHECK(value < domain_);
+  const uint32_t q = params_.q;
+  const uint32_t t = params_.t;
+  uint32_t x[kMaxDimension];
+  uint32_t w[kMaxDimension];
+  PointVectorOf(value, q, t, x);
+  uint32_t lead = 0;
+  while (x[lead] == 0) ++lead;  // x[lead] == 1 by canonical form
+
+  if (rng.Bernoulli(off_hyperplane_)) {
+    // Uniform point off the hyperplane x^perp: uniform target dot value
+    // c != 0, free coordinates uniform, the leading coordinate solves
+    // <x, w> = c (x[lead] = 1, so no inverse needed).
+    const uint32_t c = 1 + static_cast<uint32_t>(rng.UniformU64(q - 1));
+    uint32_t rest = 0;
+    for (uint32_t i = 0; i < t; ++i) {
+      if (i == lead) continue;
+      w[i] = static_cast<uint32_t>(rng.UniformU64(q));
+      rest = (rest + x[i] * w[i]) % q;
+    }
+    w[lead] = (c + q - rest) % q;
+    return static_cast<uint32_t>(CanonicalIndexOf(w, q, t, inverse_));
+  }
+  // Uniform nonzero point on the hyperplane: free coordinates uniform,
+  // leading coordinate solves <x, w> = 0; resample the all-zero draw.
+  for (;;) {
+    uint32_t rest = 0;
+    bool any = false;
+    for (uint32_t i = 0; i < t; ++i) {
+      if (i == lead) continue;
+      w[i] = static_cast<uint32_t>(rng.UniformU64(q));
+      any |= w[i] != 0;
+      rest = (rest + x[i] * w[i]) % q;
+    }
+    if (!any) continue;
+    w[lead] = (q - rest) % q;
+    return static_cast<uint32_t>(CanonicalIndexOf(w, q, t, inverse_));
+  }
+}
+
+PgrServer::PgrServer(double epsilon, uint64_t domain, PgrOptions options)
+    : domain_(domain),
+      options_(options),
+      params_(PgrParams::Make(epsilon, domain)) {
+  counts_.assign(params_.num_points, 0);
+}
+
+void PgrServer::Add(uint32_t report) {
+  FELIP_CHECK(report < params_.num_points);
+  ++counts_[report];
+  ++num_reports_;
+}
+
+void PgrServer::AggregateReports(std::span<const uint32_t> reports,
+                                 unsigned thread_count) {
+  if (reports.empty()) return;
+  obs::ScopedTimer span("felip_fo_pgr_aggregate");
+  static obs::Counter& reports_total =
+      obs::Registry::Default().GetCounter("felip_fo_pgr_reports_total");
+  reports_total.Increment(reports.size());
+  const size_t bins = counts_.size();
+  const simd::Level level = simd::ActiveLevel();
+  const std::vector<uint64_t> merged = ParallelReduce(
+      reports.size(),
+      [bins] { return std::vector<uint64_t>(bins, 0); },
+      [&](std::vector<uint64_t>& acc, size_t begin, size_t end) {
+        std::vector<uint64_t> keys(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          FELIP_CHECK(reports[i] < params_.num_points);
+          keys[i - begin] = reports[i];
+        }
+        simd::HistogramU64(level, keys.data(), keys.size(), acc.data(),
+                           acc.size());
+      },
+      [level](std::vector<uint64_t>& into, std::vector<uint64_t>&& from) {
+        simd::AddU64(level, into.data(), from.data(), into.size());
+      },
+      thread_count);
+  for (size_t b = 0; b < bins; ++b) counts_[b] += merged[b];
+  num_reports_ += reports.size();
+}
+
+void PgrServer::RestoreState(std::vector<uint64_t> counts,
+                             uint64_t num_reports) {
+  FELIP_CHECK_MSG(counts.size() == counts_.size(),
+                  "restored PGR histogram does not match the point count");
+  counts_ = std::move(counts);
+  num_reports_ = num_reports;
+}
+
+std::vector<uint64_t> PgrServer::OrthogonalCountsDirect() const {
+  const uint32_t q = params_.q;
+  const uint32_t t = params_.t;
+  const uint64_t n_points = params_.num_points;
+  // Materialize every point's coordinates once: N * t small ints.
+  std::vector<uint32_t> point_coords(n_points * t);
+  for (uint64_t z = 0; z < n_points; ++z) {
+    PointVectorOf(z, q, t, &point_coords[z * t]);
+  }
+  std::vector<uint64_t> orthogonal(domain_, 0);
+  ParallelFor(domain_, [&](size_t v) {
+    uint32_t x[kMaxDimension];
+    PointVectorOf(v, q, t, x);
+    uint64_t on = 0;
+    for (uint64_t z = 0; z < n_points; ++z) {
+      const uint64_t c = counts_[z];
+      if (c == 0) continue;
+      const uint32_t* zc = &point_coords[z * t];
+      uint32_t dot = 0;
+      for (uint32_t i = 0; i < t; ++i) dot += x[i] * zc[i];
+      if (dot % q == 0) on += c;
+    }
+    orthogonal[v] = on;
+  });
+  return orthogonal;
+}
+
+std::vector<uint64_t> PgrServer::OrthogonalCountsFast() const {
+  // The paper's fast-aggregation dynamic program: compute, for every
+  // x in F_q^t, the report mass at each partial dot value c, replacing one
+  // z coordinate by one x coordinate per step. After t steps
+  // table[x][c] = sum_z H[z] * 1[<x, z> = c]; the orthogonal count of a
+  // value is its point vector's c = 0 entry. All arithmetic is integer,
+  // so the result is bit-identical to the direct path.
+  const uint32_t q = params_.q;
+  const uint32_t t = params_.t;
+  const uint64_t space = PowQ(q, t);
+  FELIP_CHECK_MSG(space * q <= (1ull << 28),
+                  "PGR fast decode table too large; use direct decode");
+  std::vector<uint64_t> table(space * q, 0);
+  std::vector<uint64_t> next(space * q, 0);
+  // Seed with the histogram lifted to canonical vector indices, all mass
+  // at partial dot 0.
+  {
+    uint32_t x[kMaxDimension];
+    for (uint64_t z = 0; z < params_.num_points; ++z) {
+      if (counts_[z] == 0) continue;
+      PointVectorOf(z, q, t, x);
+      table[VectorIndexOf(x, q, t) * q + 0] = counts_[z];
+    }
+  }
+  std::vector<uint32_t> mul(q * q);
+  for (uint32_t a = 0; a < q; ++a) {
+    for (uint32_t b = 0; b < q; ++b) mul[a * q + b] = a * b % q;
+  }
+  // Step i rewrites digit i (place value q^(t-1-i)) from z_i to x_i.
+  for (uint32_t i = 0; i < t; ++i) {
+    const uint64_t place = PowQ(q, t - 1 - i);
+    const uint64_t outer_count = PowQ(q, i);
+    std::memset(next.data(), 0, next.size() * sizeof(uint64_t));
+    for (uint64_t outer = 0; outer < outer_count; ++outer) {
+      const uint64_t outer_base = outer * place * q;
+      for (uint64_t inner = 0; inner < place; ++inner) {
+        for (uint32_t xi = 0; xi < q; ++xi) {
+          uint64_t* dst = &next[(outer_base + xi * place + inner) * q];
+          for (uint32_t zi = 0; zi < q; ++zi) {
+            const uint64_t* src =
+                &table[(outer_base + zi * place + inner) * q];
+            const uint32_t shift = mul[xi * q + zi];
+            for (uint32_t c = 0; c < q; ++c) {
+              const uint32_t cc = c + shift < q ? c + shift : c + shift - q;
+              dst[cc] += src[c];
+            }
+          }
+        }
+      }
+    }
+    table.swap(next);
+  }
+  std::vector<uint64_t> orthogonal(domain_, 0);
+  uint32_t x[kMaxDimension];
+  for (uint64_t v = 0; v < domain_; ++v) {
+    PointVectorOf(v, q, t, x);
+    orthogonal[v] = table[VectorIndexOf(x, q, t) * q + 0];
+  }
+  return orthogonal;
+}
+
+double PgrServer::Debias(uint64_t orthogonal) const {
+  const double n = static_cast<double>(num_reports_);
+  const double support = n - static_cast<double>(orthogonal);
+  return (support / n - params_.q_star) / (params_.p_star - params_.q_star);
+}
+
+std::vector<double> PgrServer::EstimateFrequencies() const {
+  FELIP_CHECK_MSG(num_reports_ > 0, "no PGR reports collected");
+  PgrDecode decode = options_.decode;
+  if (decode == PgrDecode::kAuto) {
+    // Direct costs ~|D| * N * t dot products; fast costs ~t * q^(t+2)
+    // integer adds. Compare in doubles to dodge overflow.
+    const double qd = static_cast<double>(params_.q);
+    const double fast_cost =
+        static_cast<double>(params_.t) *
+        std::pow(qd, static_cast<double>(params_.t + 2));
+    const double direct_cost = static_cast<double>(domain_) *
+                               static_cast<double>(params_.num_points) *
+                               static_cast<double>(params_.t);
+    decode = fast_cost < direct_cost ? PgrDecode::kFast : PgrDecode::kDirect;
+  }
+  const std::vector<uint64_t> orthogonal = decode == PgrDecode::kFast
+                                               ? OrthogonalCountsFast()
+                                               : OrthogonalCountsDirect();
+  std::vector<double> freq(domain_);
+  for (uint64_t v = 0; v < domain_; ++v) freq[v] = Debias(orthogonal[v]);
+  return freq;
+}
+
+double PgrServer::EstimateValue(uint64_t value) const {
+  FELIP_CHECK(value < domain_);
+  FELIP_CHECK_MSG(num_reports_ > 0, "no PGR reports collected");
+  const uint32_t q = params_.q;
+  const uint32_t t = params_.t;
+  uint32_t x[kMaxDimension];
+  uint32_t z[kMaxDimension];
+  PointVectorOf(value, q, t, x);
+  uint64_t on = 0;
+  for (uint64_t p = 0; p < params_.num_points; ++p) {
+    if (counts_[p] == 0) continue;
+    PointVectorOf(p, q, t, z);
+    uint32_t dot = 0;
+    for (uint32_t i = 0; i < t; ++i) dot += x[i] * z[i];
+    if (dot % q == 0) on += counts_[p];
+  }
+  return Debias(on);
+}
+
+}  // namespace felip::fo

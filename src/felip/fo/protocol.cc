@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "felip/common/check.h"
+#include "felip/fo/fldp.h"
+#include "felip/fo/pgr.h"
 
 namespace felip::fo {
 
@@ -15,6 +17,10 @@ std::string_view ProtocolName(Protocol protocol) {
       return "OLH";
     case Protocol::kOue:
       return "OUE";
+    case Protocol::kPgr:
+      return "PGR";
+    case Protocol::kFldp:
+      return "FLDP";
   }
   return "unknown";
 }
@@ -37,6 +43,27 @@ double OlhVariance(double epsilon, uint64_t n) {
 
 double OueVariance(double epsilon, uint64_t n) { return OlhVariance(epsilon, n); }
 
+double PgrVariance(double epsilon, uint64_t domain, uint64_t n) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 2);
+  FELIP_CHECK(n > 0);
+  const PgrParams params = PgrParams::Make(epsilon, domain);
+  const double diff = params.p_star - params.q_star;
+  return params.q_star * (1.0 - params.q_star) /
+         (static_cast<double>(n) * diff * diff);
+}
+
+double FldpVariance(double epsilon, uint64_t domain, uint32_t report_bits,
+                    uint64_t n) {
+  FELIP_CHECK(epsilon > 0.0);
+  FELIP_CHECK(domain >= 2);
+  FELIP_CHECK(n > 0);
+  FldpOptions options;
+  options.report_bits = report_bits;
+  const double s = static_cast<double>(FldpSubsetSize(options, domain));
+  return (static_cast<double>(domain) / s) * OlhVariance(epsilon, n);
+}
+
 double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
                         uint64_t n) {
   switch (protocol) {
@@ -46,6 +73,10 @@ double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
       return OlhVariance(epsilon, n);
     case Protocol::kOue:
       return OueVariance(epsilon, n);
+    case Protocol::kPgr:
+      return PgrVariance(epsilon, domain, n);
+    case Protocol::kFldp:
+      return FldpVariance(epsilon, domain, FldpOptions{}.report_bits, n);
   }
   FELIP_CHECK_MSG(false, "unreachable");
   return 0.0;

@@ -11,12 +11,26 @@ namespace felip::fo {
 
 // LDP frequency-oracle protocols implemented by this library. GRR and OLH
 // are the two protocols FELIP's adaptive oracle (AFO) selects between; OUE
-// is provided as an extension (same asymptotic variance as OLH, no hashing).
-enum class Protocol {
-  kGrr,
-  kOlh,
-  kOue,
+// is provided as an extension (same asymptotic variance as OLH, no
+// hashing). PGR (Feldman, Nelson, Nguyen, Talwar 2022) and FLDP (Zhao et
+// al. 2022) widen the selection space toward large domains and
+// communication-constrained clients.
+//
+// Adding a protocol: extend this enum, then register its ProtocolTraits in
+// registry.cc (the static_assert there fails until every enumerator has an
+// entry). Every layer outside fo/ resolves protocols through the registry,
+// so no out-of-layer edits are needed.
+enum class Protocol : uint8_t {
+  kGrr = 0,
+  kOlh = 1,
+  kOue = 2,
+  kPgr = 3,
+  kFldp = 4,
 };
+
+// Number of Protocol enumerators; the registry table must have exactly
+// this many entries.
+inline constexpr size_t kNumProtocols = 5;
 
 std::string_view ProtocolName(Protocol protocol);
 
@@ -31,7 +45,21 @@ double OlhVariance(double epsilon, uint64_t n);
 // Per-value estimation variance of OUE; identical to OLH's closed form.
 double OueVariance(double epsilon, uint64_t n);
 
+// Per-value estimation variance of PGR: q*(1-q*) / (n (p*-q*)^2) with the
+// support probabilities p*, q* of the projective-geometry mechanism
+// parametrized for (epsilon, domain); see pgr.h. Piecewise constant in
+// `domain` (it changes only when the projective dimension t steps).
+double PgrVariance(double epsilon, uint64_t domain, uint64_t n);
+
+// Per-value estimation variance of FLDP with subset size s =
+// min(report_bits, domain): (domain / s) * 4 e^eps / (n (e^eps - 1)^2) —
+// the OUE variance inflated by the subsampling factor d/s.
+double FldpVariance(double epsilon, uint64_t domain, uint32_t report_bits,
+                    uint64_t n);
+
 // Variance of `protocol` for a domain of size `domain` with `n` reports.
+// FLDP is evaluated at its default report_bits; pass explicit options via
+// the registry's variance hook for other subset sizes.
 double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
                         uint64_t n);
 

@@ -1,0 +1,59 @@
+// Protocol-tagged perturbed reports.
+//
+// ReportData is the one value type every layer above fo/ moves perturbed
+// reports around in: the wire codec frames it, the simulator produces it,
+// sinks and the replay engine feed it back into pipelines. Exactly one
+// payload is meaningful, selected by `protocol`:
+//   GRR  -> grr_report
+//   OLH  -> olh
+//   OUE  -> oue_bits (one byte per domain value)
+//   PGR  -> pgr_point (projective point index)
+//   FLDP -> fldp_subset_index + oue_bits (one byte per covered bucket)
+// FLDP reuses `oue_bits` for its perturbed bit vector — it is OUE
+// restricted to a public subset, and sharing the field keeps ReportData a
+// fixed shape across protocols.
+//
+// ReportClient is the device-side counterpart: one Perturb() call turns a
+// raw value into a ReportData using the caller's Rng, with exactly the
+// same rng trajectory as the underlying protocol client. Instances are
+// immutable after construction and safe to share across users/threads.
+
+#ifndef FELIP_FO_REPORT_H_
+#define FELIP_FO_REPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "felip/common/rng.h"
+#include "felip/fo/olh.h"
+#include "felip/fo/protocol.h"
+
+namespace felip::fo {
+
+struct ReportData {
+  Protocol protocol = Protocol::kGrr;
+  uint64_t grr_report = 0;
+  OlhReport olh;
+  std::vector<uint8_t> oue_bits;  // OUE bits, or FLDP subset bits
+  uint32_t pgr_point = 0;
+  uint32_t fldp_subset_index = 0;
+
+  friend bool operator==(const ReportData&, const ReportData&) = default;
+};
+
+// Device-side perturbation behind one interface, so collectors need no
+// per-protocol branches. Create via MakeReportClient (fo/registry.h).
+class ReportClient {
+ public:
+  virtual ~ReportClient() = default;
+
+  // Perturbs `value` in [0, domain) into a protocol-tagged report.
+  virtual ReportData Perturb(uint64_t value, Rng& rng) const = 0;
+
+  virtual Protocol protocol() const = 0;
+  virtual uint64_t domain() const = 0;
+};
+
+}  // namespace felip::fo
+
+#endif  // FELIP_FO_REPORT_H_

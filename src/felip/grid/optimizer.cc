@@ -10,7 +10,9 @@ namespace felip::grid {
 
 namespace {
 
+using fo::GetTraits;
 using fo::Protocol;
+using fo::ProtocolOptions;
 
 constexpr double kMinSelectivity = 1e-3;
 
@@ -29,7 +31,8 @@ void ValidateParams(const OptimizeParams& params) {
   FELIP_CHECK(params.epsilon > 0.0);
   FELIP_CHECK(params.n > 0);
   FELIP_CHECK(params.m > 0);
-  FELIP_CHECK_MSG(params.allow_grr || params.allow_olh || params.allow_oue,
+  FELIP_CHECK_MSG(params.allow_grr || params.allow_olh || params.allow_oue ||
+                      params.allow_pgr || params.allow_fldp,
                   "AFO needs at least one enabled protocol");
 }
 
@@ -38,42 +41,45 @@ std::vector<Protocol> EnabledProtocols(const OptimizeParams& params) {
   if (params.allow_grr) protocols.push_back(Protocol::kGrr);
   if (params.allow_olh) protocols.push_back(Protocol::kOlh);
   if (params.allow_oue) protocols.push_back(Protocol::kOue);
+  if (params.allow_pgr) protocols.push_back(Protocol::kPgr);
+  if (params.allow_fldp) protocols.push_back(Protocol::kFldp);
   return protocols;
 }
 
 // Derivative of the noise term with respect to lx for the 2-D models, with
-// `ly` (and its selectivity) folded into `row_factor` = rx*ly*ry.
+// `ly` (and its selectivity) folded into `row_factor` = rx*ly*ry. The
+// registry's derivative bracket is d/dT [T * U(T)] at T = lx*ly.
 double NoiseDerivative2D(Protocol protocol, double epsilon, uint64_t n,
-                         uint64_t m, double lx, double ly,
-                         double row_factor) {
-  const double e = std::exp(epsilon);
+                         uint64_t m, double lx, double ly, double row_factor,
+                         const ProtocolOptions& options) {
   const double base = BaseNoiseFactor(epsilon, n, m);
-  switch (protocol) {
-    case Protocol::kGrr:
-      return row_factor * base * (e + 2.0 * lx * ly - 2.0);
-    case Protocol::kOlh:
-    case Protocol::kOue:
-      return row_factor * base * 4.0 * e;
-  }
-  FELIP_CHECK_MSG(false, "unreachable");
-  return 0.0;
+  const double bracket =
+      GetTraits(protocol).noise_unit_derivative(epsilon, lx * ly, options);
+  return row_factor * base * bracket;
+}
+
+// True when the protocol's noise unit is constant in the cell count, which
+// unlocks the cube-root closed forms; `e_u` is then U/4, the value that
+// slots into the closed forms where the paper's derivation has e^eps
+// (OLH/OUE have U = 4 e^eps, so this is exactly e^eps for them).
+bool DomainFreeNoise(Protocol protocol) {
+  return GetTraits(protocol).domain_free_noise;
+}
+
+double ClosedFormE(Protocol protocol, double epsilon,
+                   const ProtocolOptions& options) {
+  return 0.25 * GetTraits(protocol).noise_unit(epsilon, 1.0, options);
 }
 
 }  // namespace
 
 double NoiseError(Protocol protocol, double epsilon, uint64_t n, uint64_t m,
-                  double total_cells, double cells_in_query) {
-  const double e = std::exp(epsilon);
+                  double total_cells, double cells_in_query,
+                  const ProtocolOptions& options) {
   const double base = BaseNoiseFactor(epsilon, n, m);
-  switch (protocol) {
-    case Protocol::kGrr:
-      return cells_in_query * base * (e + total_cells - 2.0);
-    case Protocol::kOlh:
-    case Protocol::kOue:
-      return cells_in_query * base * 4.0 * e;
-  }
-  FELIP_CHECK_MSG(false, "unreachable");
-  return 0.0;
+  const double unit =
+      GetTraits(protocol).noise_unit(epsilon, total_cells, options);
+  return cells_in_query * base * unit;
 }
 
 double Error1DNumerical(Protocol protocol, const OptimizeParams& params,
@@ -81,7 +87,8 @@ double Error1DNumerical(Protocol protocol, const OptimizeParams& params,
   const double r = ClampSelectivity(params.rx);
   const double non_uniformity = params.alpha1 / l;
   return non_uniformity * non_uniformity +
-         NoiseError(protocol, params.epsilon, params.n, params.m, l, l * r);
+         NoiseError(protocol, params.epsilon, params.n, params.m, l, l * r,
+                    params.protocol_options);
 }
 
 double Error2DNumNum(Protocol protocol, const OptimizeParams& params,
@@ -92,7 +99,7 @@ double Error2DNumNum(Protocol protocol, const OptimizeParams& params,
       2.0 * params.alpha2 * (lx * rx + ly * ry) / (lx * ly);
   return non_uniformity * non_uniformity +
          NoiseError(protocol, params.epsilon, params.n, params.m, lx * ly,
-                    lx * rx * ly * ry);
+                    lx * rx * ly * ry, params.protocol_options);
 }
 
 double Error2DNumCat(Protocol protocol, const OptimizeParams& params,
@@ -102,13 +109,13 @@ double Error2DNumCat(Protocol protocol, const OptimizeParams& params,
   const double non_uniformity = 2.0 * params.alpha2 * ry / lx;
   return non_uniformity * non_uniformity +
          NoiseError(protocol, params.epsilon, params.n, params.m, lx * ly,
-                    lx * rx * ly * ry);
+                    lx * rx * ly * ry, params.protocol_options);
 }
 
 double ErrorCategorical(Protocol protocol, const OptimizeParams& params,
                         double total_cells, double cells_in_query) {
   return NoiseError(protocol, params.epsilon, params.n, params.m, total_cells,
-                    cells_in_query);
+                    cells_in_query, params.protocol_options);
 }
 
 namespace {
@@ -121,17 +128,24 @@ double Solve1D(Protocol protocol, const OptimizeParams& params,
   const double a1 = params.alpha1;
   const double lo = 1.0;
   const double hi = static_cast<double>(domain);
-  if (protocol == Protocol::kOlh || protocol == Protocol::kOue) {
-    // Eq. 5: closed form from -2 a1^2/l^3 + 4 e^eps m r / (n(e-1)^2) = 0.
-    const double l = std::cbrt(static_cast<double>(params.n) * a1 * a1 *
-                               (e - 1.0) * (e - 1.0) /
-                               (2.0 * static_cast<double>(params.m) * r * e));
+  if (DomainFreeNoise(protocol)) {
+    // Eq. 5: closed form from -2 a1^2/l^3 + U m r / (n(e-1)^2) = 0, with
+    // the unit folded in as e_u = U/4.
+    const double e_u =
+        ClosedFormE(protocol, params.epsilon, params.protocol_options);
+    const double l =
+        std::cbrt(static_cast<double>(params.n) * a1 * a1 * (e - 1.0) *
+                  (e - 1.0) /
+                  (2.0 * static_cast<double>(params.m) * r * e_u));
     return std::clamp(l, lo, hi);
   }
-  // GRR: bisect the corrected derivative of Eq. 4.
+  // Domain-dependent noise: bisect the analytic derivative of Eq. 4 using
+  // the registry's derivative bracket (for GRR: e + 2l - 2).
   const double base = BaseNoiseFactor(params.epsilon, params.n, params.m);
   const auto derivative = [&](double l) {
-    return -2.0 * a1 * a1 / (l * l * l) + r * base * (e + 2.0 * l - 2.0);
+    const double bracket = GetTraits(protocol).noise_unit_derivative(
+        params.epsilon, l, params.protocol_options);
+    return -2.0 * a1 * a1 / (l * l * l) + r * base * bracket;
   };
   return Bisect(derivative, lo, hi);
 }
@@ -145,19 +159,21 @@ double SolveNumCat(Protocol protocol, const OptimizeParams& params,
   const double a2 = params.alpha2;
   const double lo = 1.0;
   const double hi = static_cast<double>(domain_x);
-  if (protocol == Protocol::kOlh || protocol == Protocol::kOue) {
-    // Closed form from -2 (2 a2 ry)^2 / lx^3 + 4 e m rx ly ry/(n(e-1)^2) = 0.
+  if (DomainFreeNoise(protocol)) {
+    // Closed form from -2 (2 a2 ry)^2 / lx^3 + U m rx ly ry/(n(e-1)^2) = 0.
+    const double e_u =
+        ClosedFormE(protocol, params.epsilon, params.protocol_options);
     const double l =
         std::cbrt(2.0 * a2 * a2 * ry * static_cast<double>(params.n) *
                   (e - 1.0) * (e - 1.0) /
-                  (static_cast<double>(params.m) * e * rx * ly));
+                  (static_cast<double>(params.m) * e_u * rx * ly));
     return std::clamp(l, lo, hi);
   }
   const auto derivative = [&](double lx) {
     const double t = 2.0 * a2 * ry;
     return -2.0 * t * t / (lx * lx * lx) +
            NoiseDerivative2D(protocol, params.epsilon, params.n, params.m, lx,
-                             ly, rx * ly * ry);
+                             ly, rx * ly * ry, params.protocol_options);
   };
   return Bisect(derivative, lo, hi);
 }
@@ -171,8 +187,9 @@ double NumNumPartialX(Protocol protocol, const OptimizeParams& params,
   const double a = 2.0 * params.alpha2;
   const double big_n = lx * rx + ly * ry;
   const double d_nonuniform = -2.0 * a * a * big_n * ry / (lx * lx * lx * ly);
-  return d_nonuniform + NoiseDerivative2D(protocol, params.epsilon, params.n,
-                                          params.m, lx, ly, rx * ly * ry);
+  return d_nonuniform +
+         NoiseDerivative2D(protocol, params.epsilon, params.n, params.m, lx,
+                           ly, rx * ly * ry, params.protocol_options);
 }
 
 // Alternating bisection on the two partials of the num x num system.
@@ -204,6 +221,35 @@ uint32_t RoundL(double raw, uint32_t domain,
   return RoundGridLength(raw, domain, objective);
 }
 
+// Wire-body bytes of one report for a plan with lx * ly cells.
+uint64_t PlanReportBytes(const GridPlan& plan, const OptimizeParams& params) {
+  const uint64_t cells =
+      static_cast<uint64_t>(plan.lx) * static_cast<uint64_t>(plan.ly);
+  return GetTraits(plan.protocol)
+      .report_bytes(params.epsilon, cells, params.protocol_options);
+}
+
+// AFO's plan ordering. Unconstrained (budget 0): smallest predicted error,
+// earlier protocol winning ties. With a budget: within-budget plans beat
+// over-budget ones; among within-budget plans smallest error wins; if
+// nothing fits, the cheapest report wins, error breaking ties.
+bool BetterPlan(const GridPlan& candidate, const GridPlan& incumbent,
+                uint64_t budget) {
+  if (budget == 0) {
+    return candidate.predicted_error < incumbent.predicted_error;
+  }
+  const bool candidate_fits = candidate.report_bytes <= budget;
+  const bool incumbent_fits = incumbent.report_bytes <= budget;
+  if (candidate_fits != incumbent_fits) return candidate_fits;
+  if (candidate_fits) {
+    return candidate.predicted_error < incumbent.predicted_error;
+  }
+  if (candidate.report_bytes != incumbent.report_bytes) {
+    return candidate.report_bytes < incumbent.report_bytes;
+  }
+  return candidate.predicted_error < incumbent.predicted_error;
+}
+
 }  // namespace
 
 GridPlan Optimize1D(const AxisSpec& axis, const OptimizeParams& params) {
@@ -228,7 +274,8 @@ GridPlan Optimize1D(const AxisSpec& axis, const OptimizeParams& params) {
       plan.lx = RoundL(raw, axis.domain, objective);
       plan.predicted_error = objective(plan.lx);
     }
-    if (!have_best || plan.predicted_error < best.predicted_error) {
+    plan.report_bytes = PlanReportBytes(plan, params);
+    if (!have_best || BetterPlan(plan, best, params.report_budget_bytes)) {
       best = plan;
       have_best = true;
     }
@@ -310,7 +357,8 @@ GridPlan Optimize2D(const AxisSpec& x, const AxisSpec& y,
       plan.ly = best_ly;
       plan.predicted_error = best_err;
     }
-    if (!have_best || plan.predicted_error < best.predicted_error) {
+    plan.report_bytes = PlanReportBytes(plan, params);
+    if (!have_best || BetterPlan(plan, best, params.report_budget_bytes)) {
       best = plan;
       have_best = true;
     }

@@ -3,13 +3,21 @@
 //
 // For every grid, FELIP minimizes the modeled squared error
 //   E = non_uniformity^2 + noise_and_sampling
-// over the grid dimensions, separately under GRR and OLH (and optionally
-// OUE), then picks the protocol whose optimum has the smaller predicted
-// error — the Adaptive Frequency Oracle. The error models are Eqs. 3-12 of
-// the paper; closed forms are used where the stationarity condition is
-// solvable (OLH 1-D and categorical x numerical), bisection on the analytic
-// partial derivative otherwise, and alternating bisection for the
-// numerical x numerical two-variable system.
+// over the grid dimensions, separately under every enabled protocol, then
+// picks the protocol whose optimum has the smaller predicted error — the
+// Adaptive Frequency Oracle. The error models are Eqs. 3-12 of the paper,
+// generalized through the protocol registry (fo/registry.h): each
+// protocol's traits supply the per-cell noise unit U(total_cells) and the
+// derivative bracket the solvers evaluate, so adding a protocol never
+// touches this layer. Closed forms are used where the stationarity
+// condition is solvable (domain-independent noise, 1-D and categorical x
+// numerical), bisection on the analytic partial derivative otherwise, and
+// alternating bisection for the numerical x numerical two-variable system.
+//
+// When `report_budget_bytes` is set, AFO scores communication alongside
+// error: each candidate plan carries the wire bytes of one report, the
+// best within-budget plan wins, and if no protocol fits the budget the
+// cheapest report wins (predicted error breaking ties).
 //
 // Note: the paper's printed Eq. 6 (the GRR 1-D derivative) contains two
 // typos (a stray `ms` factor and an unsquared alpha_1); we use the correct
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "felip/fo/protocol.h"
+#include "felip/fo/registry.h"
 
 namespace felip::grid {
 
@@ -46,6 +55,14 @@ struct OptimizeParams {
   bool allow_grr = true;
   bool allow_olh = true;
   bool allow_oue = false;
+  bool allow_pgr = false;
+  bool allow_fldp = false;
+  // Per-report communication budget in wire-body bytes; 0 = unconstrained
+  // (pure error minimization, the paper's AFO).
+  uint64_t report_budget_bytes = 0;
+  // Per-protocol options the error and report-size models evaluate under
+  // (FLDP's subset size changes both).
+  fo::ProtocolOptions protocol_options;
 };
 
 // The optimizer's decision for one grid.
@@ -54,6 +71,7 @@ struct GridPlan {
   uint32_t ly = 1;  // stays 1 for 1-D grids
   fo::Protocol protocol = fo::Protocol::kOlh;
   double predicted_error = 0.0;  // modeled squared error at (lx, ly)
+  uint64_t report_bytes = 0;     // wire-body bytes of one report at (lx, ly)
 };
 
 // --- Error models (exposed for tests and the ablation benches) ---
@@ -62,7 +80,8 @@ struct GridPlan {
 // `cells_in_query` cells of a grid with `total_cells` cells, collected from
 // n/m users under `protocol` (Eqs. 7-8 specialized by the caller).
 double NoiseError(fo::Protocol protocol, double epsilon, uint64_t n,
-                  uint64_t m, double total_cells, double cells_in_query);
+                  uint64_t m, double total_cells, double cells_in_query,
+                  const fo::ProtocolOptions& options = {});
 
 // Full modeled squared error of a 1-D numerical grid with l cells (Eqs. 3-4).
 double Error1DNumerical(fo::Protocol protocol, const OptimizeParams& params,

@@ -172,18 +172,9 @@ StatusOr<ReplayResult> ReplayLogs(std::span<const std::string> dirs,
         continue;
       }
       for (const wire::ReportMessage& m : messages) {
-        Status status = Status::Ok();
-        switch (m.protocol) {
-          case fo::Protocol::kGrr:
-            status = pipeline->IngestGrrReport(m.grid_index, m.grr_report);
-            break;
-          case fo::Protocol::kOlh:
-            status = pipeline->IngestOlhReport(m.grid_index, m.olh);
-            break;
-          case fo::Protocol::kOue:
-            status = pipeline->IngestOueReport(m.grid_index, m.oue_bits);
-            break;
-        }
+        // The pipeline dispatches on the report's protocol tag; replay
+        // stays protocol-agnostic as new oracles are registered.
+        const Status status = pipeline->IngestReport(m.grid_index, m);
         if (status.ok()) {
           stats.reports_accepted += 1;
         } else {

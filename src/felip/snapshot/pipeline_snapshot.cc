@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "felip/common/check.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
 #include "felip/snapshot/format.h"
@@ -46,8 +47,14 @@ std::vector<uint8_t> EncodeConfigSection(const FelipConfig& config,
   w.Put<uint8_t>(config.allow_grr ? 1 : 0);
   w.Put<uint8_t>(config.allow_olh ? 1 : 0);
   w.Put<uint8_t>(config.allow_oue ? 1 : 0);
+  w.Put<uint8_t>(config.allow_pgr ? 1 : 0);
+  w.Put<uint8_t>(config.allow_fldp ? 1 : 0);
+  w.Put<uint64_t>(config.report_budget_bytes);
   w.Put<uint32_t>(config.olh_options.seed_pool_size);
   w.Put<uint64_t>(config.olh_options.pool_salt);
+  w.Put<uint32_t>(config.fldp_options.report_bits);
+  w.Put<uint32_t>(config.fldp_options.subset_pool_size);
+  w.Put<uint64_t>(config.fldp_options.pool_salt);
   w.Put<int32_t>(config.consistency_rounds);
   w.Put<uint8_t>(static_cast<uint8_t>(config.normalization));
   w.Put<double>(config.response_matrix_options.threshold);
@@ -86,11 +93,18 @@ Status DecodeConfigSection(const std::vector<uint8_t>& payload,
   uint8_t allow_grr = 0;
   uint8_t allow_olh = 0;
   uint8_t allow_oue = 0;
+  uint8_t allow_pgr = 0;
+  uint8_t allow_fldp = 0;
   uint8_t normalization = 0;
   uint8_t quadrant_fit = 0;
   if (!r.Get(&allow_grr) || !r.Get(&allow_olh) || !r.Get(&allow_oue) ||
+      !r.Get(&allow_pgr) || !r.Get(&allow_fldp) ||
+      !r.Get(&config->report_budget_bytes) ||
       !r.Get(&config->olh_options.seed_pool_size) ||
       !r.Get(&config->olh_options.pool_salt) ||
+      !r.Get(&config->fldp_options.report_bits) ||
+      !r.Get(&config->fldp_options.subset_pool_size) ||
+      !r.Get(&config->fldp_options.pool_salt) ||
       !r.Get(&config->consistency_rounds) || !r.Get(&normalization) ||
       !r.Get(&config->response_matrix_options.threshold) ||
       !r.Get(&config->response_matrix_options.max_iterations) ||
@@ -107,6 +121,13 @@ Status DecodeConfigSection(const std::vector<uint8_t>& payload,
   config->allow_grr = allow_grr != 0;
   config->allow_olh = allow_olh != 0;
   config->allow_oue = allow_oue != 0;
+  config->allow_pgr = allow_pgr != 0;
+  config->allow_fldp = allow_fldp != 0;
+  if (config->allow_fldp &&
+      (config->fldp_options.report_bits == 0 ||
+       config->fldp_options.subset_pool_size == 0)) {
+    return Malformed("snapshot config has infeasible FLDP options");
+  }
   config->normalization = static_cast<post::Normalization>(normalization);
   config->lambda_quadrant_fit = quadrant_fit != 0;
   // The pipeline constructor FELIP_CHECKs these; a snapshot is untrusted
@@ -240,7 +261,7 @@ Status DecodeOracles(const std::vector<uint8_t>& payload,
         !r.Get(&counts_len)) {
       return Malformed("snapshot oracle section is truncated");
     }
-    if (protocol > static_cast<uint8_t>(fo::Protocol::kOue)) {
+    if (!fo::KnownProtocolByte(protocol)) {
       return Malformed("snapshot oracle carries an unknown protocol");
     }
     state.protocol = static_cast<fo::Protocol>(protocol);

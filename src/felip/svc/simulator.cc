@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "felip/common/check.h"
+#include "felip/fo/registry.h"
 
 namespace felip::svc {
 
@@ -33,25 +34,18 @@ PopulationSimulator::PopulationSimulator(
     const core::GridAssignment assignment = AssignmentOf(config);
     Device device{core::FelipClient(assignment, config.domain_x,
                                     config.domain_y),
-                  config.protocol,
-                  std::nullopt,
-                  std::nullopt,
-                  std::nullopt};
+                  nullptr};
     const uint64_t cells = device.projector.cell_domain();
-    switch (config.protocol) {
-      case fo::Protocol::kGrr:
-        device.grr.emplace(config.epsilon, cells);
-        break;
-      case fo::Protocol::kOlh:
-        device.olh.emplace(config.epsilon, cells,
-                           fo::OlhOptions{.seed_pool_size =
-                                              config.seed_pool_size,
-                                          .pool_salt = config.pool_salt});
-        break;
-      case fo::Protocol::kOue:
-        device.oue.emplace(config.epsilon, cells);
-        break;
-    }
+    // Rehydrate the per-protocol options devices need from the public
+    // config fields; protocols that carry none ignore them.
+    fo::ProtocolOptions options;
+    options.olh.seed_pool_size = config.seed_pool_size;
+    options.olh.pool_salt = config.pool_salt;
+    options.fldp.report_bits = config.fldp_report_bits;
+    options.fldp.subset_pool_size = config.fldp_pool_size;
+    options.fldp.pool_salt = config.fldp_salt;
+    device.client =
+        fo::MakeReportClient(config.protocol, config.epsilon, cells, options);
     devices_.push_back(std::move(device));
   }
 }
@@ -60,19 +54,8 @@ wire::ReportMessage PopulationSimulator::MakeReport(size_t grid, uint64_t cell,
                                                     Rng& rng) const {
   const Device& device = devices_[grid];
   wire::ReportMessage m;
+  static_cast<fo::ReportData&>(m) = device.client->Perturb(cell, rng);
   m.grid_index = static_cast<uint32_t>(grid);
-  m.protocol = device.protocol;
-  switch (device.protocol) {
-    case fo::Protocol::kGrr:
-      m.grr_report = device.grr->Perturb(cell, rng);
-      break;
-    case fo::Protocol::kOlh:
-      m.olh = device.olh->Perturb(cell, rng);
-      break;
-    case fo::Protocol::kOue:
-      m.oue_bits = device.oue->Perturb(cell, rng);
-      break;
-  }
   return m;
 }
 

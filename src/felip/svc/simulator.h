@@ -19,14 +19,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "felip/core/felip.h"
 #include "felip/data/dataset.h"
-#include "felip/fo/grr.h"
-#include "felip/fo/olh.h"
-#include "felip/fo/oue.h"
+#include "felip/fo/report.h"
 #include "felip/wire/wire.h"
 
 namespace felip::svc {
@@ -59,13 +58,13 @@ class PopulationSimulator {
                               const BatchConsumer& consume) const;
 
  private:
-  // One grid's device-side state, rebuilt from its public config.
+  // One grid's device-side state, rebuilt from its public config. The
+  // registry's ReportClient wraps the grid's protocol client with an
+  // identical rng trajectory, so the simulator needs no per-protocol
+  // branches (fo/registry.h).
   struct Device {
     core::FelipClient projector;
-    fo::Protocol protocol;
-    std::optional<fo::GrrClient> grr;
-    std::optional<fo::OlhClient> olh;
-    std::optional<fo::OueClient> oue;
+    std::unique_ptr<fo::ReportClient> client;
   };
 
   wire::ReportMessage MakeReport(size_t grid, uint64_t cell, Rng& rng) const;

@@ -22,18 +22,9 @@ size_t PipelineSink::IngestBatch(std::span<const wire::ReportMessage> reports) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t accepted = 0;
   for (const wire::ReportMessage& m : reports) {
-    Status status = Status::Ok();
-    switch (m.protocol) {
-      case fo::Protocol::kGrr:
-        status = pipeline_->IngestGrrReport(m.grid_index, m.grr_report);
-        break;
-      case fo::Protocol::kOlh:
-        status = pipeline_->IngestOlhReport(m.grid_index, m.olh);
-        break;
-      case fo::Protocol::kOue:
-        status = pipeline_->IngestOueReport(m.grid_index, m.oue_bits);
-        break;
-    }
+    // ReportMessage is a protocol-tagged fo::ReportData; the pipeline
+    // dispatches on the tag, so the sink needs no per-protocol branches.
+    const Status status = pipeline_->IngestReport(m.grid_index, m);
     if (status.ok()) {
       ++accepted;
     } else {

@@ -1,14 +1,18 @@
 #include "felip/wire/wire.h"
 
 #include <algorithm>
+#include <array>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <string>
 
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
 #include "felip/common/parallel.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 #include "felip/obs/trace.h"
 #include "felip/wire/framing.h"
@@ -53,8 +57,26 @@ std::optional<size_t> ValidateEnvelope(const std::vector<uint8_t>& buffer,
   return payload_end;
 }
 
-bool ValidProtocol(uint8_t raw) {
-  return raw <= static_cast<uint8_t>(fo::Protocol::kOue);
+// Per-protocol received-report byte counters
+// (felip_fo_report_bytes_total_<protocol>), indexed by protocol byte and
+// cached once per process. Incremented by the decode pass only, so every
+// accepted report is counted exactly once even under the two-pass sharded
+// decoder.
+obs::Counter& ReportBytesCounter(fo::Protocol protocol) {
+  static std::array<obs::Counter*, fo::kNumProtocols> counters = [] {
+    std::array<obs::Counter*, fo::kNumProtocols> c{};
+    for (const fo::ProtocolTraits& traits : fo::AllProtocolTraits()) {
+      std::string name = "felip_fo_report_bytes_total_";
+      for (const char ch : traits.name) {
+        name.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+      }
+      c[static_cast<size_t>(traits.protocol)] =
+          &obs::Registry::Default().GetCounter(name);
+    }
+    return c;
+  }();
+  return *counters[static_cast<size_t>(protocol)];
 }
 
 // Wire bytes of the query-response status. Part of the format: the
@@ -91,75 +113,109 @@ std::optional<StatusCode> QueryStatusFromWire(uint8_t byte) {
   }
 }
 
+// The report codec frames whichever ReportData fields the protocol's
+// ReportWire shape (fo/registry.h) names — new protocols reuse a shape or
+// add one here; nothing in this file enumerates protocols.
 void EncodeReportBody(Writer& w, const ReportMessage& m) {
   w.Put<uint32_t>(m.grid_index);
   w.Put<uint8_t>(static_cast<uint8_t>(m.protocol));
-  switch (m.protocol) {
-    case fo::Protocol::kGrr:
+  switch (fo::GetTraits(m.protocol).wire) {
+    case fo::ReportWire::kValue64:
       w.Put<uint64_t>(m.grr_report);
       break;
-    case fo::Protocol::kOlh:
+    case fo::ReportWire::kOlhTriple:
       w.Put<uint64_t>(m.olh.seed);
       w.Put<uint32_t>(m.olh.hashed_report);
       w.Put<uint32_t>(m.olh.seed_index);
       break;
-    case fo::Protocol::kOue:
+    case fo::ReportWire::kBitVector:
+      w.Put<uint32_t>(static_cast<uint32_t>(m.oue_bits.size()));
+      w.PutBytes(m.oue_bits.data(), m.oue_bits.size());
+      break;
+    case fo::ReportWire::kValue32:
+      w.Put<uint32_t>(m.pgr_point);
+      break;
+    case fo::ReportWire::kIndexedBits:
+      w.Put<uint32_t>(m.fldp_subset_index);
       w.Put<uint32_t>(static_cast<uint32_t>(m.oue_bits.size()));
       w.PutBytes(m.oue_bits.data(), m.oue_bits.size());
       break;
   }
 }
 
+// Reads a length-prefixed bit vector into `bits`, rejecting absurd lengths
+// and non-bit bytes (shared by the kBitVector and kIndexedBits shapes).
+bool DecodeBitVector(Reader& r, std::vector<uint8_t>* bits) {
+  uint32_t len = 0;
+  if (!r.Get(&len)) return false;
+  if (len > r.remaining()) return false;  // reject absurd lengths early
+  bits->resize(len);
+  if (!r.GetBytes(bits->data(), len)) return false;
+  for (const uint8_t b : *bits) {
+    if (b > 1) return false;
+  }
+  return true;
+}
+
 bool DecodeReportBody(Reader& r, ReportMessage* m) {
+  const size_t body_start = r.position();
   uint8_t protocol = 0;
   if (!r.Get(&m->grid_index) || !r.Get(&protocol)) return false;
-  if (!ValidProtocol(protocol)) return false;
+  if (!fo::KnownProtocolByte(protocol)) return false;
   m->protocol = static_cast<fo::Protocol>(protocol);
-  switch (m->protocol) {
-    case fo::Protocol::kGrr:
-      return r.Get(&m->grr_report);
-    case fo::Protocol::kOlh:
-      return r.Get(&m->olh.seed) && r.Get(&m->olh.hashed_report) &&
-             r.Get(&m->olh.seed_index);
-    case fo::Protocol::kOue: {
-      uint32_t len = 0;
-      if (!r.Get(&len)) return false;
-      if (len > r.remaining()) return false;  // reject absurd lengths early
-      m->oue_bits.resize(len);
-      if (!r.GetBytes(m->oue_bits.data(), len)) return false;
-      for (const uint8_t b : m->oue_bits) {
-        if (b > 1) return false;
-      }
-      return true;
-    }
+  bool ok = false;
+  switch (fo::GetTraits(m->protocol).wire) {
+    case fo::ReportWire::kValue64:
+      ok = r.Get(&m->grr_report);
+      break;
+    case fo::ReportWire::kOlhTriple:
+      ok = r.Get(&m->olh.seed) && r.Get(&m->olh.hashed_report) &&
+           r.Get(&m->olh.seed_index);
+      break;
+    case fo::ReportWire::kBitVector:
+      ok = DecodeBitVector(r, &m->oue_bits);
+      break;
+    case fo::ReportWire::kValue32:
+      ok = r.Get(&m->pgr_point);
+      break;
+    case fo::ReportWire::kIndexedBits:
+      ok = r.Get(&m->fldp_subset_index) && DecodeBitVector(r, &m->oue_bits);
+      break;
   }
-  return false;
+  if (ok) ReportBytesCounter(m->protocol).Increment(r.position() - body_start);
+  return ok;
 }
 
 // Validates one report record's structure without materializing it: the
 // index pass of the sharded decoder. Must accept exactly the inputs
-// DecodeReportBody accepts (including the OUE bit-value check) so the
-// decode pass cannot fail after this pass succeeds.
+// DecodeReportBody accepts (including the bit-value checks) so the decode
+// pass cannot fail after this pass succeeds.
 bool SkipReportBody(Reader& r) {
   uint32_t grid_index = 0;
   uint8_t protocol = 0;
   if (!r.Get(&grid_index) || !r.Get(&protocol)) return false;
-  if (!ValidProtocol(protocol)) return false;
-  switch (static_cast<fo::Protocol>(protocol)) {
-    case fo::Protocol::kGrr:
-      return r.Skip(sizeof(uint64_t));
-    case fo::Protocol::kOlh:
-      return r.Skip(sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t));
-    case fo::Protocol::kOue: {
-      uint32_t len = 0;
-      if (!r.Get(&len)) return false;
-      if (len > r.remaining()) return false;
-      const uint8_t* bits = r.cursor();
-      for (uint32_t i = 0; i < len; ++i) {
-        if (bits[i] > 1) return false;
-      }
-      return r.Skip(len);
+  if (!fo::KnownProtocolByte(protocol)) return false;
+  auto skip_bit_vector = [&r]() -> bool {
+    uint32_t len = 0;
+    if (!r.Get(&len)) return false;
+    if (len > r.remaining()) return false;
+    const uint8_t* bits = r.cursor();
+    for (uint32_t i = 0; i < len; ++i) {
+      if (bits[i] > 1) return false;
     }
+    return r.Skip(len);
+  };
+  switch (fo::GetTraits(static_cast<fo::Protocol>(protocol)).wire) {
+    case fo::ReportWire::kValue64:
+      return r.Skip(sizeof(uint64_t));
+    case fo::ReportWire::kOlhTriple:
+      return r.Skip(sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t));
+    case fo::ReportWire::kBitVector:
+      return skip_bit_vector();
+    case fo::ReportWire::kValue32:
+      return r.Skip(sizeof(uint32_t));
+    case fo::ReportWire::kIndexedBits:
+      return r.Skip(sizeof(uint32_t)) && skip_bit_vector();
   }
   return false;
 }
@@ -283,6 +339,9 @@ std::vector<uint8_t> EncodeGridConfig(const GridConfigMessage& m) {
   w.Put<double>(m.epsilon);
   w.Put<uint32_t>(m.seed_pool_size);
   w.Put<uint64_t>(m.pool_salt);
+  w.Put<uint32_t>(m.fldp_report_bits);
+  w.Put<uint32_t>(m.fldp_pool_size);
+  w.Put<uint64_t>(m.fldp_salt);
   SealChecksum(&buffer, kChecksumSalt);
   return buffer;
 }
@@ -304,11 +363,12 @@ std::optional<GridConfigMessage> DecodeGridConfigImpl(
       !r.Get(&m.attr_y) || !r.Get(&m.domain_x) || !r.Get(&m.domain_y) ||
       !r.Get(&m.lx) || !r.Get(&m.ly) || !r.Get(&protocol) ||
       !r.Get(&m.epsilon) || !r.Get(&m.seed_pool_size) ||
-      !r.Get(&m.pool_salt)) {
+      !r.Get(&m.pool_salt) || !r.Get(&m.fldp_report_bits) ||
+      !r.Get(&m.fldp_pool_size) || !r.Get(&m.fldp_salt)) {
     return std::nullopt;
   }
   if (r.position() != *payload_end) return std::nullopt;
-  if (!ValidProtocol(protocol)) return std::nullopt;
+  if (!fo::KnownProtocolByte(protocol)) return std::nullopt;
   m.is_2d = is_2d != 0;
   m.protocol = static_cast<fo::Protocol>(protocol);
   // Semantic validation: layouts must be feasible.
@@ -317,6 +377,11 @@ std::optional<GridConfigMessage> DecodeGridConfigImpl(
   }
   if (m.lx > m.domain_x || m.ly > m.domain_y) return std::nullopt;
   if (!(m.epsilon > 0.0) || m.epsilon > 100.0) return std::nullopt;
+  // An FLDP grid without the public pool parameters cannot perturb.
+  if (m.protocol == fo::Protocol::kFldp &&
+      (m.fldp_report_bits == 0 || m.fldp_pool_size == 0)) {
+    return std::nullopt;
+  }
   return m;
 }
 
@@ -755,6 +820,13 @@ std::vector<uint8_t> EncodeSnapshot(
   w.Put<uint8_t>(config.allow_grr ? 1 : 0);
   w.Put<uint8_t>(config.allow_olh ? 1 : 0);
   w.Put<uint8_t>(config.allow_oue ? 1 : 0);
+  w.Put<uint8_t>(config.allow_pgr ? 1 : 0);
+  w.Put<uint8_t>(config.allow_fldp ? 1 : 0);
+  w.Put<uint64_t>(config.report_budget_bytes);
+  // FLDP options shift its variance model, so they affect the layout.
+  w.Put<uint32_t>(config.fldp_options.report_bits);
+  w.Put<uint32_t>(config.fldp_options.subset_pool_size);
+  w.Put<uint64_t>(config.fldp_options.pool_salt);
   w.Put<uint8_t>(config.lambda_quadrant_fit ? 1 : 0);
   w.Put<uint64_t>(num_users);
 
@@ -797,6 +869,8 @@ std::optional<core::FelipPipeline> DecodeSnapshotImpl(
   uint8_t allow_grr = 0;
   uint8_t allow_olh = 0;
   uint8_t allow_oue = 0;
+  uint8_t allow_pgr = 0;
+  uint8_t allow_fldp = 0;
   uint8_t quadrant = 0;
   uint64_t num_users = 0;
   if (!r.Get(&strategy) || !r.Get(&partitioning) || !r.Get(&config.epsilon) ||
@@ -814,14 +888,27 @@ std::optional<core::FelipPipeline> DecodeSnapshotImpl(
     if (!r.Get(&s)) return std::nullopt;
   }
   if (!r.Get(&allow_grr) || !r.Get(&allow_olh) || !r.Get(&allow_oue) ||
-      !r.Get(&quadrant) || !r.Get(&num_users)) {
+      !r.Get(&allow_pgr) || !r.Get(&allow_fldp) ||
+      !r.Get(&config.report_budget_bytes) ||
+      !r.Get(&config.fldp_options.report_bits) ||
+      !r.Get(&config.fldp_options.subset_pool_size) ||
+      !r.Get(&config.fldp_options.pool_salt) || !r.Get(&quadrant) ||
+      !r.Get(&num_users)) {
     return std::nullopt;
   }
   config.allow_grr = allow_grr != 0;
   config.allow_olh = allow_olh != 0;
   config.allow_oue = allow_oue != 0;
+  config.allow_pgr = allow_pgr != 0;
+  config.allow_fldp = allow_fldp != 0;
   config.lambda_quadrant_fit = quadrant != 0;
-  if (!(config.allow_grr || config.allow_olh || config.allow_oue)) {
+  if (!(config.allow_grr || config.allow_olh || config.allow_oue ||
+        config.allow_pgr || config.allow_fldp)) {
+    return std::nullopt;
+  }
+  if (config.allow_fldp &&
+      (config.fldp_options.report_bits == 0 ||
+       config.fldp_options.subset_pool_size == 0)) {
     return std::nullopt;
   }
   if (num_users == 0) return std::nullopt;
@@ -928,7 +1015,7 @@ StatusOr<core::FelipPipeline> LoadSnapshot(const std::string& path) {
 GridConfigMessage MakeGridConfig(
     const core::FelipPipeline& pipeline,
     const std::vector<data::AttributeInfo>& schema, uint32_t grid_index,
-    double epsilon, const fo::OlhOptions& olh_options) {
+    double epsilon, const fo::ProtocolOptions& options) {
   FELIP_CHECK(grid_index < pipeline.assignments().size());
   const core::GridAssignment& a = pipeline.assignments()[grid_index];
   GridConfigMessage m;
@@ -944,8 +1031,13 @@ GridConfigMessage MakeGridConfig(
   m.protocol = a.plan.protocol;
   m.epsilon = epsilon;
   if (a.plan.protocol == fo::Protocol::kOlh) {
-    m.seed_pool_size = olh_options.seed_pool_size;
-    m.pool_salt = olh_options.pool_salt;
+    m.seed_pool_size = options.olh.seed_pool_size;
+    m.pool_salt = options.olh.pool_salt;
+  }
+  if (a.plan.protocol == fo::Protocol::kFldp) {
+    m.fldp_report_bits = options.fldp.report_bits;
+    m.fldp_pool_size = options.fldp.subset_pool_size;
+    m.fldp_salt = options.fldp.pool_salt;
   }
   return m;
 }

@@ -25,6 +25,8 @@
 #include "felip/core/felip.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/protocol.h"
+#include "felip/fo/registry.h"
+#include "felip/fo/report.h"
 #include "felip/query/query.h"
 
 namespace felip::wire {
@@ -50,20 +52,21 @@ struct GridConfigMessage {
   // OLH only:
   uint32_t seed_pool_size = 0;
   uint64_t pool_salt = 0;
+  // FLDP only: the public subset-pool parameters every device must share.
+  uint32_t fldp_report_bits = 0;
+  uint32_t fldp_pool_size = 0;
+  uint64_t fldp_salt = 0;
 
   friend bool operator==(const GridConfigMessage&,
                          const GridConfigMessage&) = default;
 };
 
-// Client -> aggregator: one perturbed report. Exactly one payload is
-// meaningful, selected by `protocol`:
-//   GRR -> grr_report; OLH -> olh fields; OUE -> oue_bits.
-struct ReportMessage {
+// Client -> aggregator: one perturbed report — a protocol-tagged
+// fo::ReportData addressed to a grid. The payload/protocol contract is
+// documented on ReportData (fo/report.h); the codec frames exactly the
+// fields the protocol's ReportWire shape (fo/registry.h) names.
+struct ReportMessage : public fo::ReportData {
   uint32_t grid_index = 0;
-  fo::Protocol protocol = fo::Protocol::kGrr;
-  uint64_t grr_report = 0;
-  fo::OlhReport olh;
-  std::vector<uint8_t> oue_bits;
 
   friend bool operator==(const ReportMessage&, const ReportMessage&) = default;
 };
@@ -230,11 +233,13 @@ StatusOr<size_t> DecodeReportBatchSharded(
 size_t ReportBatchShardCount(size_t count);
 
 // Builds the config message for one of a pipeline's planned grids — the
-// aggregator-side glue between planning and the wire.
+// aggregator-side glue between planning and the wire. `options` supplies
+// the per-protocol parameters devices must share (OLH seed pool, FLDP
+// subset pool); only the planned protocol's fields are copied in.
 GridConfigMessage MakeGridConfig(const core::FelipPipeline& pipeline,
                                  const std::vector<data::AttributeInfo>& schema,
                                  uint32_t grid_index, double epsilon,
-                                 const fo::OlhOptions& olh_options);
+                                 const fo::ProtocolOptions& options);
 
 // --- Aggregator snapshots (legacy single-frame format) ---
 //

@@ -104,6 +104,46 @@ TEST(FelipPipelineTest, AfoMixesProtocolsAcrossGrids) {
   EXPECT_GE(protocols.size(), 2u);
 }
 
+TEST(FelipPipelineTest, ReportBudgetSelectsPgrEndToEnd) {
+  // Large categorical domains with an 8-byte report budget: OLH's 16-byte
+  // triple and OUE's |D|-byte vector are over budget, and PGR's single
+  // uint32 beats GRR's domain-linear variance on every big grid. The whole
+  // round (plan -> collect -> finalize -> answer) must run under the
+  // budgeted plan at a fixed seed.
+  const data::Dataset ds = data::MakeUniform(60000, 0, 2, 0, 96, 11);
+  FelipConfig config = FastConfig();
+  config.allow_oue = true;
+  config.allow_pgr = true;
+  config.allow_fldp = true;
+  config.report_budget_bytes = 8;
+  FelipPipeline pipeline(ds.attributes(), ds.num_rows(), config);
+  for (const GridAssignment& a : pipeline.assignments()) {
+    EXPECT_LE(a.plan.report_bytes, 8u);
+  }
+  std::set<fo::Protocol> protocols;
+  for (const GridAssignment& a : pipeline.assignments()) {
+    protocols.insert(a.plan.protocol);
+  }
+  ASSERT_TRUE(protocols.contains(fo::Protocol::kPgr));
+  // The 96x96 pair grid is deep GRR-hostile territory; it must be PGR.
+  for (const GridAssignment& a : pipeline.assignments()) {
+    if (a.is_2d) EXPECT_EQ(a.plan.protocol, fo::Protocol::kPgr);
+  }
+
+  pipeline.Collect(ds);
+  pipeline.Finalize();
+  Rng rng(12);
+  const auto queries =
+      query::GenerateQueries(ds, 8, {.dimension = 2, .selectivity = 0.5},
+                             rng);
+  double mae = 0.0;
+  for (const query::Query& q : queries) {
+    mae += std::fabs(pipeline.AnswerQuery(q) - query::TrueAnswer(ds, q));
+  }
+  mae /= static_cast<double>(queries.size());
+  EXPECT_LT(mae, 0.08);
+}
+
 TEST(FelipPipelineTest, EndToEndRecoversLambda2Answers) {
   const data::Dataset ds = data::MakeUniform(60000, 2, 1, 40, 4, 4);
   FelipConfig config = FastConfig();

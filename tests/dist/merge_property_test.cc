@@ -78,6 +78,23 @@ std::vector<ProtocolCase> ProtocolCases() {
     config.allow_oue = true;
     cases.push_back({"oue", config});
   }
+  {
+    core::FelipConfig config;
+    config.seed = kSeed;
+    config.allow_grr = false;
+    config.allow_olh = false;
+    config.allow_pgr = true;
+    cases.push_back({"pgr", config});
+  }
+  {
+    core::FelipConfig config;
+    config.seed = kSeed;
+    config.allow_grr = false;
+    config.allow_olh = false;
+    config.allow_fldp = true;
+    config.fldp_options.subset_pool_size = 128;
+    cases.push_back({"fldp", config});
+  }
   return cases;
 }
 
@@ -93,7 +110,7 @@ std::vector<Batch> MakeBatches(const data::Dataset& dataset,
   for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         pipeline, pipeline.schema(), g, pipeline.per_grid_epsilon(),
-        config.olh_options));
+        config.protocol_options()));
   }
   svc::SimulatorOptions options;
   options.seed = config.seed;

@@ -34,7 +34,7 @@ TEST_P(FrequencyOracleTest, RecoversUniformDistribution) {
   for (int i = 0; i < kUsers; ++i) {
     oracle->SubmitUserValue(rng.UniformU64(kDomain), rng);
   }
-  const std::vector<double> est = oracle->EstimateFrequencies();
+  const std::vector<double> est = oracle->EstimateFrequencies().value();
   ASSERT_EQ(est.size(), kDomain);
   const double sd = std::sqrt(
       ProtocolVariance(GetParam(), 1.0, kDomain, kUsers));
@@ -51,7 +51,7 @@ TEST_P(FrequencyOracleTest, RecoversSkewedDistribution) {
   for (int i = 0; i < kUsers; ++i) {
     oracle->SubmitUserValue(rng.Bernoulli(0.8) ? 0 : 4, rng);
   }
-  const std::vector<double> est = oracle->EstimateFrequencies();
+  const std::vector<double> est = oracle->EstimateFrequencies().value();
   const double sd = std::sqrt(
       ProtocolVariance(GetParam(), 2.0, kDomain, kUsers));
   EXPECT_NEAR(est[0], 0.8, 6.0 * sd);
@@ -61,7 +61,8 @@ TEST_P(FrequencyOracleTest, RecoversSkewedDistribution) {
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, FrequencyOracleTest,
                          ::testing::Values(Protocol::kGrr, Protocol::kOlh,
-                                           Protocol::kOue),
+                                           Protocol::kOue, Protocol::kPgr,
+                                           Protocol::kFldp),
                          [](const auto& info) {
                            return std::string(ProtocolName(info.param));
                          });
@@ -72,7 +73,7 @@ TEST(FrequencyOracleFactoryTest, OlhHonorsPoolOptions) {
   const auto oracle = MakeFrequencyOracle(Protocol::kOlh, 1.0, 8, options);
   Rng rng(4);
   for (int i = 0; i < 2000; ++i) oracle->SubmitUserValue(1, rng);
-  const std::vector<double> est = oracle->EstimateFrequencies();
+  const std::vector<double> est = oracle->EstimateFrequencies().value();
   EXPECT_NEAR(est[1], 1.0, 0.3);
 }
 

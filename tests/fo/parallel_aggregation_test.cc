@@ -180,7 +180,8 @@ TEST(ParallelAggregationTest, SheBitIdenticalAcrossThreadCountsNearAddLoop) {
 
 TEST(ParallelAggregationTest, FacadeBufferFlushMatchesSubmit) {
   for (const Protocol protocol :
-       {Protocol::kGrr, Protocol::kOlh, Protocol::kOue}) {
+       {Protocol::kGrr, Protocol::kOlh, Protocol::kOue, Protocol::kPgr,
+        Protocol::kFldp}) {
     const std::vector<uint64_t> values = TrueValues();
     auto submit = MakeFrequencyOracle(protocol, kEpsilon, kDomain);
     Rng rng_a(107);
@@ -194,8 +195,8 @@ TEST(ParallelAggregationTest, FacadeBufferFlushMatchesSubmit) {
       buffered->FlushReports(threads);
       EXPECT_EQ(buffered->buffered_reports(), 0u);
       EXPECT_EQ(buffered->num_reports(), values.size());
-      ExpectBitwiseEqual(buffered->EstimateFrequencies(),
-                         submit->EstimateFrequencies(),
+      ExpectBitwiseEqual(buffered->EstimateFrequencies().value(),
+                         submit->EstimateFrequencies().value(),
                          ProtocolName(protocol).data());
     }
   }
@@ -205,7 +206,11 @@ TEST(ParallelAggregationTest, EstimateFrequenciesRequiresFlush) {
   auto oracle = MakeFrequencyOracle(Protocol::kGrr, kEpsilon, kDomain);
   Rng rng(108);
   oracle->BufferUserValue(3, rng);
-  EXPECT_DEATH(oracle->EstimateFrequencies(), "unflushed");
+  const StatusOr<std::vector<double>> est = oracle->EstimateFrequencies();
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kFailedPrecondition);
+  oracle->FlushReports();
+  EXPECT_TRUE(oracle->EstimateFrequencies().ok());
 }
 
 TEST(ParallelAggregationTest, PipelineBitIdenticalAcrossAggregationThreads) {

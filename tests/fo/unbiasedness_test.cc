@@ -26,10 +26,12 @@
 #include <gtest/gtest.h>
 
 #include "felip/common/rng.h"
+#include "felip/fo/fldp.h"
 #include "felip/fo/grr.h"
 #include "felip/fo/histogram_encoding.h"
 #include "felip/fo/olh.h"
 #include "felip/fo/oue.h"
+#include "felip/fo/pgr.h"
 #include "felip/fo/protocol.h"
 #include "felip/fo/square_wave.h"
 
@@ -207,6 +209,80 @@ TEST(UnbiasednessTest, SheWithinFourSigma) {
   ExpectCellsWithinSigma(
       server.EstimateFrequencies(), counts, kNumReports,
       [&](uint64_t) { return variance; }, "SHE");
+}
+
+TEST(UnbiasednessTest, PgrWithinFourSigma) {
+  // PGR's estimator is the standard debiased support count with the
+  // projective-geometry support probabilities p*, q*: each report supports
+  // the true value with probability p* and any other value with q*,
+  // independently across users, so SupportVariance is exact here too.
+  const std::vector<uint64_t> values = TrueValues();
+  const std::vector<uint64_t> counts = TrueCounts(values, kDomain);
+  PgrClient client(kEpsilon, kDomain);
+  Rng rng(20260808);
+  std::vector<uint32_t> reports;
+  reports.reserve(values.size());
+  for (const uint64_t v : values) reports.push_back(client.Perturb(v, rng));
+
+  PgrServer server(kEpsilon, kDomain);
+  server.AggregateReports(reports, kThreads);
+  ASSERT_EQ(server.num_reports(), kNumReports);
+
+  const double p = client.params().p_star;
+  const double q = client.params().q_star;
+  ExpectCellsWithinSigma(
+      server.EstimateFrequencies(), counts, kNumReports,
+      [&](uint64_t v) { return SupportVariance(counts[v], kNumReports, p, q); },
+      "PGR");
+}
+
+TEST(UnbiasednessTest, FldpWithinFourSigma) {
+  // FLDP debiases each bucket against only the users whose public subset
+  // covered it, with OUE's support probabilities p = 1/2 and
+  // q = 1/(e^eps + 1). Conditional on the realized coverage n_b the
+  // estimator is the support-count form over n_b users, so the exact
+  // per-bucket sigma uses the realized coverage (recovered from the
+  // server's per-pool counts and the public pool) instead of n.
+  const FldpOptions options{.report_bits = 8, .subset_pool_size = 2048};
+  const std::vector<uint64_t> values = TrueValues();
+  const std::vector<uint64_t> counts = TrueCounts(values, kDomain);
+  FldpClient client(kEpsilon, kDomain, options);
+  Rng rng(20260809);
+  std::vector<FldpReport> reports;
+  reports.reserve(values.size());
+  for (const uint64_t v : values) reports.push_back(client.Perturb(v, rng));
+
+  FldpServer server(kEpsilon, kDomain, options);
+  server.AggregateReports(reports, kThreads);
+  ASSERT_EQ(server.num_reports(), kNumReports);
+
+  std::vector<uint64_t> coverage(kDomain, 0);
+  for (uint32_t k = 0; k < options.subset_pool_size; ++k) {
+    const uint32_t users = server.coverage_counts()[k];
+    if (users == 0) continue;
+    for (const uint32_t bucket : FldpSubset(options.pool_salt, k, kDomain,
+                                            client.subset_size())) {
+      coverage[bucket] += users;
+    }
+  }
+
+  const double p = client.p();
+  const double q = client.q();
+  ExpectCellsWithinSigma(
+      server.EstimateFrequencies(), counts, kNumReports,
+      [&](uint64_t v) {
+        // Subset choice is independent of the private value, so covered
+        // users hold value v at the population rate.
+        const uint64_t n_b = coverage[v];
+        const double rate =
+            static_cast<double>(counts[v]) / static_cast<double>(kNumReports);
+        const uint64_t covered_true =
+            static_cast<uint64_t>(rate * static_cast<double>(n_b));
+        // SupportVariance is per-report over n users; rescale its
+        // normalization from kNumReports to the realized coverage n_b.
+        return SupportVariance(covered_true, n_b, p, q);
+      },
+      "FLDP");
 }
 
 TEST(UnbiasednessTest, SquareWaveEmpiricalErrorBound) {

@@ -195,6 +195,48 @@ TEST(Optimize2DTest, FewUsersForcesCoarserGrids) {
   EXPECT_LE(plan_few.lx * plan_few.ly, plan_many.lx * plan_many.ly);
 }
 
+TEST(BudgetTest, ZeroBudgetMatchesPureErrorMinimization) {
+  OptimizeParams unconstrained = BaseParams();
+  OptimizeParams zero = BaseParams();
+  zero.report_budget_bytes = 0;
+  const GridPlan a = Optimize1D({512, true}, unconstrained);
+  const GridPlan b = Optimize1D({512, true}, zero);
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.lx, b.lx);
+  EXPECT_EQ(a.predicted_error, b.predicted_error);
+}
+
+TEST(BudgetTest, PlansCarryReportBytes) {
+  OptimizeParams p = BaseParams();
+  p.allow_grr = false;  // OLH wins; its report is the 16-byte triple
+  const GridPlan plan = Optimize1D({512, true}, p);
+  EXPECT_EQ(plan.protocol, Protocol::kOlh);
+  EXPECT_EQ(plan.report_bytes, 16u);
+}
+
+TEST(BudgetTest, TightBudgetSelectsPgrOnLargeDomain) {
+  // Large categorical domain, every protocol enabled, 8-byte budget: OLH
+  // (16 bytes) and OUE (|D| + 4 bytes) are over budget, and among the
+  // protocols that fit, PGR's projective mechanism beats GRR's
+  // domain-linear variance by orders of magnitude at |D| = 512.
+  OptimizeParams p = BaseParams();
+  p.allow_oue = true;
+  p.allow_pgr = true;
+  p.allow_fldp = true;
+  p.report_budget_bytes = 8;
+  const GridPlan plan = Optimize1D({512, true}, p);
+  EXPECT_EQ(plan.protocol, Protocol::kPgr);
+  EXPECT_LE(plan.report_bytes, 8u);
+}
+
+TEST(BudgetTest, NoFittingProtocolFallsBackToCheapestReport) {
+  OptimizeParams p = BaseParams();  // GRR (8 bytes) and OLH (16 bytes)
+  p.report_budget_bytes = 1;        // nothing fits
+  const GridPlan plan = Optimize1D({512, true}, p);
+  EXPECT_EQ(plan.protocol, Protocol::kGrr);
+  EXPECT_EQ(plan.report_bytes, 8u);
+}
+
 TEST(OptimizeDeathTest, RequiresAtLeastOneProtocol) {
   OptimizeParams p = BaseParams();
   p.allow_grr = false;

@@ -119,7 +119,7 @@ LoggedRound RunLoggedRound(const std::string& log_dir,
   for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         pipeline, dataset.attributes(), g, pipeline.per_grid_epsilon(),
-        config.olh_options));
+        config.protocol_options()));
   }
   svc::SimulatorOptions simulator_options;
   simulator_options.seed = config.seed;

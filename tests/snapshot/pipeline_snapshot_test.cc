@@ -47,14 +47,18 @@ data::Dataset MakeData() {
 }
 
 core::FelipConfig MakeConfig(bool grr = true, bool olh = true,
-                             bool oue = false) {
+                             bool oue = false, bool pgr = false,
+                             bool fldp = false) {
   core::FelipConfig config;
   config.epsilon = 1.2;
   config.seed = kSeed;
   config.allow_grr = grr;
   config.allow_olh = olh;
   config.allow_oue = oue;
+  config.allow_pgr = pgr;
+  config.allow_fldp = fldp;
   config.olh_options.seed_pool_size = 256;
+  config.fldp_options.subset_pool_size = 128;
   return config;
 }
 
@@ -67,7 +71,7 @@ std::vector<std::vector<wire::ReportMessage>> MakeBatches(
   for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         pipeline, pipeline.schema(), g, pipeline.per_grid_epsilon(),
-        config.olh_options));
+        config.protocol_options()));
   }
   svc::SimulatorOptions options;
   options.seed = config.seed;
@@ -109,21 +113,24 @@ void ExpectIdenticalEstimates(const core::FelipPipeline& expected,
 
 struct ProtocolCase {
   const char* name;
-  bool grr, olh, oue;
+  bool grr, olh, oue, pgr, fldp;
 };
 
 constexpr ProtocolCase kProtocolCases[] = {
-    {"grr-only", true, false, false},
-    {"olh-only", false, true, false},
-    {"oue-only", false, false, true},
-    {"adaptive", true, true, false},
+    {"grr-only", true, false, false, false, false},
+    {"olh-only", false, true, false, false, false},
+    {"oue-only", false, false, true, false, false},
+    {"pgr-only", false, false, false, true, false},
+    {"fldp-only", false, false, false, false, true},
+    {"adaptive", true, true, false, false, false},
 };
 
 TEST(PipelineSnapshotTest, MidCollectionResumeIsBitIdenticalPerProtocol) {
   const data::Dataset dataset = MakeData();
   for (const ProtocolCase& pc : kProtocolCases) {
     SCOPED_TRACE(pc.name);
-    const core::FelipConfig config = MakeConfig(pc.grr, pc.olh, pc.oue);
+    const core::FelipConfig config =
+        MakeConfig(pc.grr, pc.olh, pc.oue, pc.pgr, pc.fldp);
 
     core::FelipPipeline reference(dataset.attributes(), kUsers, config);
     const auto batches = MakeBatches(dataset, reference, config);
@@ -178,6 +185,43 @@ TEST(PipelineSnapshotTest, ConfiguredSnapshotReplansIdentically) {
 
   // Both collect the same round; identical planning means identical
   // estimates.
+  original.Collect(dataset);
+  original.Finalize();
+  replanned.Collect(dataset);
+  replanned.Finalize();
+  ExpectIdenticalEstimates(original, replanned);
+}
+
+TEST(PipelineSnapshotTest, BudgetedFldpConfigReplansIdentically) {
+  // The config section must carry the budget and the FLDP options: a
+  // restored pipeline replans with them, so a mismatch would change the
+  // plan (and the estimates) silently.
+  const data::Dataset dataset = MakeData();
+  core::FelipConfig config =
+      MakeConfig(true, true, false, true, true);
+  config.report_budget_bytes = 16;
+  config.fldp_options.report_bits = 4;
+  config.fldp_options.subset_pool_size = 64;
+  config.fldp_options.pool_salt = 0xabcdef;
+  core::FelipPipeline original(dataset.attributes(), kUsers, config);
+
+  const auto bytes = PipelineCodec::Encode(original, {}, {});
+  auto recovered = PipelineCodec::Decode(bytes);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  core::FelipPipeline replanned = std::move(recovered->pipeline);
+  ASSERT_EQ(replanned.num_groups(), original.num_groups());
+  const auto& original_plans = original.assignments();
+  const auto& replanned_plans = replanned.assignments();
+  ASSERT_EQ(original_plans.size(), replanned_plans.size());
+  for (size_t g = 0; g < original_plans.size(); ++g) {
+    EXPECT_EQ(original_plans[g].plan.protocol,
+              replanned_plans[g].plan.protocol)
+        << "grid " << g;
+    EXPECT_EQ(original_plans[g].plan.report_bytes,
+              replanned_plans[g].plan.report_bytes)
+        << "grid " << g;
+  }
+
   original.Collect(dataset);
   original.Finalize();
   replanned.Collect(dataset);

@@ -100,7 +100,7 @@ NetworkedRun RunNetworked(const data::Dataset& dataset,
   for (uint32_t g = 0; g < run.pipeline.num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         run.pipeline, dataset.attributes(), g,
-        run.pipeline.per_grid_epsilon(), config.olh_options));
+        run.pipeline.per_grid_epsilon(), config.protocol_options()));
   }
   SimulatorOptions simulator_options;
   simulator_options.seed = config.seed;

@@ -61,7 +61,7 @@ stream::SealedEpoch MakeSealedEpoch(const data::Dataset& dataset,
   for (uint32_t g = 0; g < pipeline->num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         *pipeline, pipeline->schema(), g, pipeline->per_grid_epsilon(),
-        config.olh_options));
+        config.protocol_options()));
   }
   SimulatorOptions options;
   options.seed = config.seed;

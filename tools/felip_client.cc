@@ -25,6 +25,7 @@
 #include "felip/core/felip.h"
 #include "felip/data/synthetic.h"
 #include "felip/dist/client.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 #include "felip/query/generator.h"
 #include "felip/query/query.h"
@@ -53,6 +54,11 @@ void PrintUsage() {
       "  --cat-domain=<int>      categorical domain (default 8)\n"
       "  --epsilon=<float>       privacy budget (default 1.0)\n"
       "  --strategy=oug|ohg      grid strategy (default ohg)\n"
+      "  --protocols=<p,p,...>   AFO candidate protocols (grr, olh, oue,\n"
+      "                          pgr, fldp); must match the server's flag\n"
+      "                          so devices perturb for the same plan\n"
+      "  --report-budget-bytes=<int>  per-report wire budget; must match\n"
+      "                          the server's flag (default 0 = none)\n"
       "  --seed=<int>            shared seed (default 1)\n"
       "  --batch-size=<int>      reports per batch (default 1024)\n"
       "  --fault-drop=<p>        frame drop probability (default 0)\n"
@@ -147,7 +153,7 @@ int RunEpochs(const EpochRunParams& p) {
     for (uint32_t g = 0; g < epoch_pipeline.num_groups(); ++g) {
       grid_configs.push_back(wire::MakeGridConfig(
           epoch_pipeline, epoch_dataset.attributes(), g,
-          epoch_pipeline.per_grid_epsilon(), epoch_config.olh_options));
+          epoch_pipeline.per_grid_epsilon(), epoch_config.protocol_options()));
     }
     svc::SimulatorOptions simulator_options;
     simulator_options.seed = epoch_config.seed;
@@ -294,6 +300,9 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetUint("cat-domain", 8));
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::string strategy = flags.GetString("strategy", "ohg");
+  const std::string protocols = flags.GetString("protocols", "");
+  const uint64_t report_budget_bytes =
+      flags.GetUint("report-budget-bytes", 0);
   const uint64_t seed = flags.GetUint("seed", 1);
   const uint64_t batch_size = flags.GetUint("batch-size", 1024);
   svc::FaultOptions faults;
@@ -361,6 +370,23 @@ int main(int argc, char** argv) {
       strategy == "oug" ? core::Strategy::kOug : core::Strategy::kOhg;
   config.epsilon = epsilon;
   config.seed = seed;
+  config.report_budget_bytes = report_budget_bytes;
+  // Devices plan the same grids the server planned; the protocol flags
+  // must mirror felip_server's or the reports carry the wrong shape.
+  if (!protocols.empty()) {
+    for (const fo::ProtocolTraits& traits : fo::AllProtocolTraits()) {
+      config.SetProtocolAllowed(traits.protocol, false);
+    }
+    for (const std::string& name : SplitEndpoints(protocols)) {
+      const StatusOr<fo::Protocol> p = fo::ProtocolFromName(name);
+      if (!p.ok()) {
+        std::fprintf(stderr, "error: unknown protocol in --protocols: %s\n",
+                     name.c_str());
+        return 2;
+      }
+      config.SetProtocolAllowed(*p, true);
+    }
+  }
 
   const std::vector<std::string> endpoints = SplitEndpoints(endpoint);
   if (endpoints.empty()) {
@@ -400,7 +426,7 @@ int main(int argc, char** argv) {
   for (uint32_t g = 0; g < pipeline.num_groups(); ++g) {
     grid_configs.push_back(wire::MakeGridConfig(
         pipeline, dataset.attributes(), g, pipeline.per_grid_epsilon(),
-        config.olh_options));
+        config.protocol_options()));
   }
 
   svc::SimulatorOptions simulator_options;

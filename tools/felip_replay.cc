@@ -21,10 +21,12 @@
 // the chosen pair-answer path (exact or prefix-sum matrices) and digests
 // the answers, so the query surface is comparable across runs too.
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "felip/common/flags.h"
@@ -32,6 +34,7 @@
 #include "felip/common/rng.h"
 #include "felip/core/felip.h"
 #include "felip/data/dataset.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 #include "felip/post/norm_sub.h"
 #include "felip/query/generator.h"
@@ -57,6 +60,9 @@ void PrintUsage() {
       "  --lambda-quadrant-fit[=0|1]  override the four-quadrant λ fit\n"
       "  --threads=<int>         aggregation threads (0 = hardware)\n"
       "  --expect-digest=<hex>   exit 1 unless the grid digest matches\n"
+      "  --expect-protocols=<p,p,...>  exit 1 unless the replayed plan's\n"
+      "                          protocol set is exactly this subset of\n"
+      "                          grr,olh,oue,pgr,fldp\n"
       "  --probe-queries=<int>   also answer N seeded queries (default "
       "0)\n"
       "  --probe-seed=<int>      probe workload seed (default 42)\n"
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
       flags.GetInt("lambda-quadrant-fit", -1);
   const int64_t threads = flags.GetInt("threads", -1);
   const std::string expect_digest = flags.GetString("expect-digest", "");
+  const std::string expect_protocols =
+      flags.GetString("expect-protocols", "");
   const uint64_t probe_queries = flags.GetUint("probe-queries", 0);
   const uint64_t probe_seed = flags.GetUint("probe-seed", 42);
   const std::string pair_path_name = flags.GetString("pair-path", "exact");
@@ -189,6 +197,44 @@ int main(int argc, char** argv) {
   if (dump_metrics) {
     const std::string text = obs::Registry::Default().RenderText();
     std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+
+  if (!expect_protocols.empty()) {
+    std::array<bool, fo::kNumProtocols> expected{};
+    size_t start = 0;
+    while (start <= expect_protocols.size()) {
+      const size_t comma = expect_protocols.find(',', start);
+      const size_t end =
+          comma == std::string::npos ? expect_protocols.size() : comma;
+      if (end > start) {
+        const StatusOr<fo::Protocol> p = fo::ProtocolFromName(
+            std::string_view(expect_protocols).substr(start, end - start));
+        if (!p.ok()) {
+          std::fprintf(stderr,
+                       "error: unknown protocol in --expect-protocols\n");
+          return 2;
+        }
+        expected[static_cast<size_t>(*p)] = true;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    std::array<bool, fo::kNumProtocols> planned{};
+    for (const core::GridAssignment& a : pipeline.assignments()) {
+      planned[static_cast<size_t>(a.plan.protocol)] = true;
+    }
+    if (planned != expected) {
+      std::fprintf(stderr, "error: planned protocols {");
+      for (const fo::ProtocolTraits& t : fo::AllProtocolTraits()) {
+        if (planned[static_cast<size_t>(t.protocol)]) {
+          std::fprintf(stderr, " %.*s", static_cast<int>(t.name.size()),
+                       t.name.data());
+        }
+      }
+      std::fprintf(stderr, " } do not match --expect-protocols\n");
+      return 1;
+    }
+    std::printf("planned protocols match expectation\n");
   }
 
   if (!expect_digest.empty()) {

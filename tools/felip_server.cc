@@ -36,6 +36,7 @@
 #include "felip/dist/accumulator.h"
 #include "felip/dist/partition.h"
 #include "felip/dist/root.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 #include "felip/post/norm_sub.h"
 #include "felip/replaylog/replay.h"
@@ -66,6 +67,10 @@ void PrintUsage() {
       "  --cat-domain=<int>      categorical domain (default 8)\n"
       "  --epsilon=<float>       privacy budget (default 1.0)\n"
       "  --strategy=oug|ohg      grid strategy (default ohg)\n"
+      "  --protocols=<p,p,...>   AFO candidate protocols from\n"
+      "                          grr,olh,oue,pgr,fldp (default grr,olh)\n"
+      "  --report-budget-bytes=<int>  per-report wire budget AFO plans\n"
+      "                          under (default 0 = unconstrained)\n"
       "  --seed=<int>            planning seed (default 1)\n"
       "  --workers=<int>         queue drain threads (default 2)\n"
       "  --queue-capacity=<int>  batches buffered before backpressure "
@@ -512,6 +517,9 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetUint("cat-domain", 8));
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::string strategy = flags.GetString("strategy", "ohg");
+  const std::string protocols = flags.GetString("protocols", "");
+  const uint64_t report_budget_bytes =
+      flags.GetUint("report-budget-bytes", 0);
   const uint64_t seed = flags.GetUint("seed", 1);
   const auto workers = static_cast<unsigned>(flags.GetUint("workers", 2));
   const uint64_t queue_capacity = flags.GetUint("queue-capacity", 64);
@@ -622,6 +630,21 @@ int main(int argc, char** argv) {
   config.epsilon = epsilon;
   config.seed = seed;
   config.normalization = *normalization;
+  config.report_budget_bytes = report_budget_bytes;
+  if (!protocols.empty()) {
+    for (const fo::ProtocolTraits& traits : fo::AllProtocolTraits()) {
+      config.SetProtocolAllowed(traits.protocol, false);
+    }
+    for (const std::string& name : SplitEndpoints(protocols)) {
+      const StatusOr<fo::Protocol> p = fo::ProtocolFromName(name);
+      if (!p.ok()) {
+        std::fprintf(stderr, "error: unknown protocol in --protocols: %s\n",
+                     name.c_str());
+        return 2;
+      }
+      config.SetProtocolAllowed(*p, true);
+    }
+  }
 
   if (!epoch_dir.empty()) {
     EpochModeParams params;
@@ -901,6 +924,22 @@ int main(int argc, char** argv) {
       std::fwrite(text.data(), 1, text.size(), stderr);
     }
     return 0;
+  }
+
+  // The wait completes on reports *seen*, so a population whose reports
+  // the sink rejected (a client planning with different --epsilon/
+  // --strategy/--protocols/--report-budget-bytes perturbs for the wrong
+  // grids) would otherwise finalize oracles that never ingested anything.
+  if (sink.rejected() > 0) {
+    std::fprintf(stderr,
+                 "error: %llu reports rejected (accepted=%llu/%llu); client "
+                 "and server must share --epsilon/--strategy/--protocols/"
+                 "--report-budget-bytes so devices perturb the plan this "
+                 "server expects\n",
+                 static_cast<unsigned long long>(sink.rejected()),
+                 static_cast<unsigned long long>(sink.accepted()),
+                 static_cast<unsigned long long>(users));
+    return 1;
   }
 
   pipeline->Finalize();
