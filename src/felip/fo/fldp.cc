@@ -1,6 +1,7 @@
 #include "felip/fo/fldp.h"
 
 #include <cmath>
+#include <limits>
 
 #include "felip/common/check.h"
 #include "felip/common/hash.h"
@@ -31,6 +32,11 @@ uint32_t FldpSubsetSize(const FldpOptions& options, uint64_t domain) {
 std::vector<uint32_t> FldpSubset(uint64_t pool_salt, uint32_t index,
                                  uint64_t domain, uint32_t subset_size) {
   FELIP_CHECK(subset_size >= 1 && subset_size <= domain);
+  // Bucket indices are uint32; a wider domain would silently truncate the
+  // candidate draws below (biased, colliding subsets that never cover the
+  // upper buckets) — the same explicit guard PGR puts on its point space.
+  FELIP_CHECK_MSG(domain <= std::numeric_limits<uint32_t>::max(),
+                  "FLDP bucket index does not fit uint32");
   std::vector<uint32_t> subset;
   subset.reserve(subset_size);
   if (subset_size == domain) {
@@ -58,6 +64,8 @@ FldpClient::FldpClient(double epsilon, uint64_t domain, FldpOptions options)
       subset_size_(FldpSubsetSize(options, domain)) {
   FELIP_CHECK(epsilon > 0.0);
   FELIP_CHECK(domain >= 1);
+  FELIP_CHECK_MSG(domain <= std::numeric_limits<uint32_t>::max(),
+                  "FLDP bucket index does not fit uint32");
   FELIP_CHECK_MSG(options_.subset_pool_size >= 1,
                   "FLDP needs a non-empty subset pool");
   q_ = 1.0 / (std::exp(epsilon) + 1.0);
@@ -84,6 +92,8 @@ FldpServer::FldpServer(double epsilon, uint64_t domain, FldpOptions options)
       subset_size_(FldpSubsetSize(options, domain)) {
   FELIP_CHECK(epsilon > 0.0);
   FELIP_CHECK(domain >= 1);
+  FELIP_CHECK_MSG(domain <= std::numeric_limits<uint32_t>::max(),
+                  "FLDP bucket index does not fit uint32");
   FELIP_CHECK_MSG(options_.subset_pool_size >= 1,
                   "FLDP needs a non-empty subset pool");
   q_ = 1.0 / (std::exp(epsilon) + 1.0);
@@ -108,6 +118,9 @@ void FldpServer::Add(const FldpReport& report) {
     FELIP_CHECK(report.bits[j] <= 1);
     counts_[base + j] += report.bits[j];
   }
+  FELIP_CHECK_MSG(coverage_counts_[report.subset_index] <
+                      std::numeric_limits<uint32_t>::max(),
+                  "FLDP pool coverage overflows uint32");
   ++coverage_counts_[report.subset_index];
   ++num_reports_;
 }
@@ -155,6 +168,14 @@ void FldpServer::AggregateReports(std::span<const FldpReport> reports,
                      into.covered.size());
       },
       thread_count);
+  // Screen the uint32 coverage fold for overflow before mutating any
+  // state, consistent with MergeOracleState's pool-count check.
+  for (size_t k = 0; k < pools; ++k) {
+    FELIP_CHECK_MSG(
+        static_cast<uint64_t>(coverage_counts_[k]) + merged.covered[k] <=
+            std::numeric_limits<uint32_t>::max(),
+        "FLDP pool coverage overflows uint32");
+  }
   for (size_t b = 0; b < bins; ++b) counts_[b] += merged.bits[b];
   for (size_t k = 0; k < pools; ++k) {
     coverage_counts_[k] += static_cast<uint32_t>(merged.covered[k]);

@@ -17,6 +17,16 @@ namespace {
 
 constexpr uint32_t kMaxDimension = 32;  // t never gets near this (q >= 3)
 
+// Cap on the prime field order: bounds e^eps before the float->uint32
+// conversion in Make (undefined once the double exceeds uint32 range) and
+// keeps the O(q^2) inverse-table construction affordable. epsilon beyond
+// ln(kMaxFieldOrder) ~ 11.1 buys no meaningful local privacy anyway.
+constexpr uint32_t kMaxFieldOrder = 1u << 16;
+
+// Counter budget of the fast-decode DP: table and next are q^(t+1)
+// uint64 entries each.
+constexpr uint64_t kFastTableGate = 1ull << 28;
+
 bool IsPrime(uint32_t n) {
   if (n < 2) return false;
   for (uint32_t d = 2; d * d <= n; ++d) {
@@ -95,29 +105,86 @@ uint64_t VectorIndexOf(const uint32_t* x, uint32_t q, uint32_t t) {
   return idx;
 }
 
+// Derives the (q, t, num_points) shape for (epsilon, domain), or false
+// when the construction is out of range: field order past kMaxFieldOrder,
+// dimension past kMaxDimension, or a point index past uint32. Shared by
+// Make (which aborts on failure) and PgrFeasible (which rejects).
+bool DeriveShape(double epsilon, uint64_t domain, uint32_t* q_out,
+                 uint32_t* t_out, uint64_t* num_points_out) {
+  if (!(epsilon > 0.0) || domain < 1) return false;
+  const double e = std::exp(epsilon);
+  // Screen before the float->uint32 conversion: past uint32 range the
+  // conversion itself is undefined behavior.
+  if (!(e + 1.0 <= static_cast<double>(kMaxFieldOrder))) return false;
+  uint32_t q = static_cast<uint32_t>(std::ceil(e + 1.0));
+  if (q < 3) q = 3;
+  while (!IsPrime(q)) ++q;
+  // Smallest t >= 2 with (q^t - 1)/(q - 1) >= domain.
+  uint32_t t = 2;
+  uint64_t num_points = 1 + static_cast<uint64_t>(q);  // (q^2 - 1)/(q - 1)
+  while (num_points < domain) {
+    ++t;
+    if (t >= kMaxDimension) return false;
+    num_points = num_points * q + 1;
+    if (num_points > 0xffffffffull) return false;
+  }
+  *q_out = q;
+  *t_out = t;
+  *num_points_out = num_points;
+  return true;
+}
+
+// True when the fast-decode DP tables (q^(t+1) uint64 counters each) fit
+// the allocation gate; multiplies with an overflow guard so q^(t+1) is
+// never computed past uint64.
+bool FastTableFits(uint32_t q, uint32_t t) {
+  uint64_t size = 1;
+  for (uint32_t i = 0; i <= t; ++i) {
+    if (size > kFastTableGate / q) return false;
+    size *= q;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool PgrFeasible(double epsilon, uint64_t domain) {
+  uint32_t q = 0;
+  uint32_t t = 0;
+  uint64_t num_points = 0;
+  return DeriveShape(epsilon, domain, &q, &t, &num_points);
+}
+
+PgrDecode ResolvePgrDecode(const PgrParams& params, uint64_t domain,
+                           PgrDecode requested) {
+  if (requested != PgrDecode::kAuto) return requested;
+  // A table the fast decoder's gate would reject must never be chosen
+  // automatically, however cheap its operation count looks — the regimes
+  // disagree exactly on large domains, where q^(t+1) outgrows the gate
+  // while t * q^(t+2) still undercuts |D| * N * t.
+  if (!FastTableFits(params.q, params.t)) return PgrDecode::kDirect;
+  // Direct costs ~|D| * N * t dot products; fast costs ~t * q^(t+2)
+  // integer adds. Compare in doubles to dodge overflow.
+  const double qd = static_cast<double>(params.q);
+  const double fast_cost =
+      static_cast<double>(params.t) *
+      std::pow(qd, static_cast<double>(params.t + 2));
+  const double direct_cost = static_cast<double>(domain) *
+                             static_cast<double>(params.num_points) *
+                             static_cast<double>(params.t);
+  return fast_cost < direct_cost ? PgrDecode::kFast : PgrDecode::kDirect;
+}
 
 PgrParams PgrParams::Make(double epsilon, uint64_t domain) {
   FELIP_CHECK(epsilon > 0.0);
   FELIP_CHECK(domain >= 1);
   PgrParams params;
+  FELIP_CHECK_MSG(
+      DeriveShape(epsilon, domain, &params.q, &params.t, &params.num_points),
+      "PGR parameters out of range; screen with PgrFeasible first");
+  const uint32_t q = params.q;
+  const uint32_t t = params.t;
   const double e = std::exp(epsilon);
-  uint32_t q = static_cast<uint32_t>(std::ceil(e + 1.0));
-  if (q < 3) q = 3;
-  while (!IsPrime(q)) ++q;
-  params.q = q;
-  // Smallest t >= 2 with (q^t - 1)/(q - 1) >= domain.
-  uint32_t t = 2;
-  uint64_t num_points = 1 + q;  // (q^2 - 1)/(q - 1)
-  while (num_points < domain) {
-    ++t;
-    FELIP_CHECK_MSG(t < kMaxDimension, "PGR domain too large");
-    num_points = num_points * q + 1;
-    FELIP_CHECK_MSG(num_points <= 0xffffffffull,
-                    "PGR point index does not fit uint32");
-  }
-  params.t = t;
-  params.num_points = num_points;
   const double qd = static_cast<double>(q);
   const double off = std::pow(qd, static_cast<double>(t - 1));
   const double on = (off - 1.0) / (qd - 1.0);  // points on the hyperplane
@@ -261,9 +328,9 @@ std::vector<uint64_t> PgrServer::OrthogonalCountsFast() const {
   // so the result is bit-identical to the direct path.
   const uint32_t q = params_.q;
   const uint32_t t = params_.t;
-  const uint64_t space = PowQ(q, t);
-  FELIP_CHECK_MSG(space * q <= (1ull << 28),
+  FELIP_CHECK_MSG(FastTableFits(q, t),
                   "PGR fast decode table too large; use direct decode");
+  const uint64_t space = PowQ(q, t);
   std::vector<uint64_t> table(space * q, 0);
   std::vector<uint64_t> next(space * q, 0);
   // Seed with the histogram lifted to canonical vector indices, all mass
@@ -321,19 +388,8 @@ double PgrServer::Debias(uint64_t orthogonal) const {
 
 std::vector<double> PgrServer::EstimateFrequencies() const {
   FELIP_CHECK_MSG(num_reports_ > 0, "no PGR reports collected");
-  PgrDecode decode = options_.decode;
-  if (decode == PgrDecode::kAuto) {
-    // Direct costs ~|D| * N * t dot products; fast costs ~t * q^(t+2)
-    // integer adds. Compare in doubles to dodge overflow.
-    const double qd = static_cast<double>(params_.q);
-    const double fast_cost =
-        static_cast<double>(params_.t) *
-        std::pow(qd, static_cast<double>(params_.t + 2));
-    const double direct_cost = static_cast<double>(domain_) *
-                               static_cast<double>(params_.num_points) *
-                               static_cast<double>(params_.t);
-    decode = fast_cost < direct_cost ? PgrDecode::kFast : PgrDecode::kDirect;
-  }
+  const PgrDecode decode =
+      ResolvePgrDecode(params_, domain_, options_.decode);
   const std::vector<uint64_t> orthogonal = decode == PgrDecode::kFast
                                                ? OrthogonalCountsFast()
                                                : OrthogonalCountsDirect();

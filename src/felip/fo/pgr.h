@@ -27,7 +27,9 @@
 //   * kDirect — O(|D| * N * t) field dot products; best for small N.
 //   * kFast   — the paper's fast-aggregation dynamic program over F_q^t,
 //     O(t * q^(t+2)) integer adds; best when |D| approaches N.
-// kAuto picks the cheaper one from those operation counts.
+// kAuto picks the cheaper one from those operation counts, but never a
+// fast table larger than the allocation gate — large-domain regimes where
+// the DP is op-cheap but memory-infeasible fall back to direct decode.
 
 #ifndef FELIP_FO_PGR_H_
 #define FELIP_FO_PGR_H_
@@ -50,6 +52,15 @@ struct PgrOptions {
   PgrDecode decode = PgrDecode::kAuto;
 };
 
+// True when the PGR construction is representable for (epsilon, domain):
+// the prime field order ceil(e^eps + 1) stays under the field-order cap
+// (the float->uint32 conversion in PgrParams::Make is undefined past it,
+// and q bounds the O(q^2) inverse table), the projective dimension stays
+// under its cap, and every point index fits uint32. PgrParams::Make aborts
+// on infeasible inputs; untrusted (epsilon, domain) pairs — wire configs,
+// CLI flags — must be screened with this first.
+bool PgrFeasible(double epsilon, uint64_t domain);
+
 // Mechanism parameters shared by client and server, derived
 // deterministically from (epsilon, domain).
 struct PgrParams {
@@ -61,6 +72,13 @@ struct PgrParams {
 
   static PgrParams Make(double epsilon, uint64_t domain);
 };
+
+// The decode path EstimateFrequencies() will take for `requested`:
+// explicit kDirect/kFast pass through; kAuto resolves to the cheaper path
+// by operation count, except that a fast table the allocation gate in the
+// fast decoder would reject always resolves to kDirect.
+PgrDecode ResolvePgrDecode(const PgrParams& params, uint64_t domain,
+                           PgrDecode requested);
 
 // Local perturbation for PGR. Immutable after construction; safe to share
 // across users/threads (each user supplies their own Rng).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "felip/common/check.h"
 #include "felip/fo/fldp.h"
@@ -47,6 +48,11 @@ double PgrVariance(double epsilon, uint64_t domain, uint64_t n) {
   FELIP_CHECK(epsilon > 0.0);
   FELIP_CHECK(domain >= 2);
   FELIP_CHECK(n > 0);
+  // Infeasible (epsilon, domain) pairs report unusable variance instead
+  // of aborting, so selection paths can score PGR unconditionally.
+  if (!PgrFeasible(epsilon, domain)) {
+    return std::numeric_limits<double>::infinity();
+  }
   const PgrParams params = PgrParams::Make(epsilon, domain);
   const double diff = params.p_star - params.q_star;
   return params.q_star * (1.0 - params.q_star) /
@@ -85,6 +91,9 @@ double ProtocolVariance(Protocol protocol, double epsilon, uint64_t domain,
 uint32_t OlhHashRange(double epsilon) {
   FELIP_CHECK(epsilon > 0.0);
   const double g = std::ceil(std::exp(epsilon) + 1.0);
+  // Saturate instead of casting out-of-range doubles (UB for eps > ~22);
+  // a hash range this wide is already indistinguishable from no hashing.
+  if (!(g < 4294967296.0)) return std::numeric_limits<uint32_t>::max();
   return std::max<uint32_t>(2, static_cast<uint32_t>(g));
 }
 

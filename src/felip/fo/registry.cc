@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "felip/common/check.h"
@@ -159,8 +160,18 @@ double OlhNoiseUnitDerivative(double epsilon, double,
 
 double PgrNoiseUnit(double epsilon, double total_cells,
                     const ProtocolOptions&) {
+  // (epsilon, cell-count) points the PGR construction cannot represent
+  // score as unusable so AFO selects another protocol instead of the
+  // optimizer aborting inside PgrParams::Make. The uint32 screen also
+  // keeps the float->uint64 conversion below in defined range.
+  if (!(total_cells <= 4294967295.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
   const uint64_t domain =
       std::max<uint64_t>(2, static_cast<uint64_t>(std::ceil(total_cells)));
+  if (!PgrFeasible(epsilon, domain)) {
+    return std::numeric_limits<double>::infinity();
+  }
   const PgrParams params = PgrParams::Make(epsilon, domain);
   const double e = std::exp(epsilon);
   const double diff = params.p_star - params.q_star;
@@ -176,6 +187,11 @@ double PgrNoiseUnitDerivative(double epsilon, double total_cells,
 
 double FldpNoiseUnit(double epsilon, double total_cells,
                      const ProtocolOptions& opts) {
+  // FLDP bucket indices are uint32; cell domains past that are unusable
+  // (the client/server constructors reject them), so score them out.
+  if (!(total_cells <= 4294967295.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
   const double e = std::exp(epsilon);
   const double bits = static_cast<double>(opts.fldp.report_bits);
   if (total_cells <= bits) return 4.0 * e;

@@ -235,6 +235,13 @@ uint64_t PlanReportBytes(const GridPlan& plan, const OptimizeParams& params) {
 // nothing fits, the cheapest report wins, error breaking ties.
 bool BetterPlan(const GridPlan& candidate, const GridPlan& incumbent,
                 uint64_t budget) {
+  // An infinite predicted error marks a protocol whose construction cannot
+  // represent this grid at all (e.g. PGR past its field-order or point-
+  // index caps); it must never displace a usable plan — not even as the
+  // cheapest-report fallback when nothing fits the budget.
+  const bool candidate_usable = std::isfinite(candidate.predicted_error);
+  const bool incumbent_usable = std::isfinite(incumbent.predicted_error);
+  if (candidate_usable != incumbent_usable) return candidate_usable;
   if (budget == 0) {
     return candidate.predicted_error < incumbent.predicted_error;
   }

@@ -61,7 +61,9 @@ std::optional<size_t> ValidateEnvelope(const std::vector<uint8_t>& buffer,
 // (felip_fo_report_bytes_total_<protocol>), indexed by protocol byte and
 // cached once per process. Incremented by the decode pass only, so every
 // accepted report is counted exactly once even under the two-pass sharded
-// decoder.
+// decoder. The measured span is the protocol body after the grid-index/
+// protocol header, so the counter agrees with ProtocolTraits::report_bytes
+// — the per-report cost AFO budgets against.
 obs::Counter& ReportBytesCounter(fo::Protocol protocol) {
   static std::array<obs::Counter*, fo::kNumProtocols> counters = [] {
     std::array<obs::Counter*, fo::kNumProtocols> c{};
@@ -158,11 +160,11 @@ bool DecodeBitVector(Reader& r, std::vector<uint8_t>* bits) {
 }
 
 bool DecodeReportBody(Reader& r, ReportMessage* m) {
-  const size_t body_start = r.position();
   uint8_t protocol = 0;
   if (!r.Get(&m->grid_index) || !r.Get(&protocol)) return false;
   if (!fo::KnownProtocolByte(protocol)) return false;
   m->protocol = static_cast<fo::Protocol>(protocol);
+  const size_t body_start = r.position();
   bool ok = false;
   switch (fo::GetTraits(m->protocol).wire) {
     case fo::ReportWire::kValue64:
@@ -377,9 +379,19 @@ std::optional<GridConfigMessage> DecodeGridConfigImpl(
   }
   if (m.lx > m.domain_x || m.ly > m.domain_y) return std::nullopt;
   if (!(m.epsilon > 0.0) || m.epsilon > 100.0) return std::nullopt;
-  // An FLDP grid without the public pool parameters cannot perturb.
+  const uint64_t cells = static_cast<uint64_t>(m.lx) * m.ly;
+  // An FLDP grid without the public pool parameters cannot perturb, and
+  // its bucket indices are uint32 — cell domains past that would silently
+  // wrap in the subset construction.
   if (m.protocol == fo::Protocol::kFldp &&
-      (m.fldp_report_bits == 0 || m.fldp_pool_size == 0)) {
+      (m.fldp_report_bits == 0 || m.fldp_pool_size == 0 ||
+       cells > 0xffffffffull)) {
+    return std::nullopt;
+  }
+  // A PGR grid whose (epsilon, cell count) the projective construction
+  // cannot represent would abort (or, unscreened, hit undefined behavior)
+  // in PgrParams::Make; untrusted configs are rejected instead.
+  if (m.protocol == fo::Protocol::kPgr && !fo::PgrFeasible(m.epsilon, cells)) {
     return std::nullopt;
   }
   return m;

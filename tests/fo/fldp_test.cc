@@ -137,6 +137,15 @@ TEST(FldpServerTest, RestoreStateContinuesBitIdentically) {
   for (size_t v = 0; v < a.size(); ++v) EXPECT_EQ(a[v], b[v]);
 }
 
+// Bucket indices are uint32; a wider domain would silently truncate the
+// rejection-sampled draws, so construction must refuse it outright.
+TEST(FldpSubsetDeathTest, RejectsDomainPastUint32) {
+  EXPECT_DEATH(FldpSubset(1, 0, 5'000'000'000ull, 8),
+               "does not fit uint32");
+  EXPECT_DEATH(FldpClient(1.0, 5'000'000'000ull, FldpOptions{}),
+               "does not fit uint32");
+}
+
 TEST(FldpServerDeathTest, EstimateWithoutReportsAborts) {
   FldpServer server(1.0, 10);
   EXPECT_EQ(server.num_reports(), 0u);

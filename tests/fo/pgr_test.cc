@@ -169,6 +169,45 @@ TEST(PgrServerTest, RestoreStateContinuesBitIdentically) {
   for (size_t v = 0; v < a.size(); ++v) EXPECT_EQ(a[v], b[v]);
 }
 
+TEST(PgrFeasibleTest, AcceptsOrdinaryRegimesAndRejectsOutOfRangeShapes) {
+  EXPECT_TRUE(PgrFeasible(1.0, 1000));
+  EXPECT_TRUE(PgrFeasible(2.5, 1000000));
+  // Field order q = nextprime(ceil(e^eps + 1)) past 2^16: the cast that
+  // used to be UB is now screened out as infeasible.
+  EXPECT_FALSE(PgrFeasible(30.0, 100));
+  // Point index must fit the uint32 report.
+  EXPECT_FALSE(PgrFeasible(0.1, 5'000'000'000ull));
+  EXPECT_FALSE(PgrFeasible(0.0, 100));
+  EXPECT_FALSE(PgrFeasible(1.0, 0));
+}
+
+// The reviewer's regime: epsilon 2.5 and a 1e6 domain give q=17, t=6, so
+// the fast DP table is 17^7 > 2^28 even though its operation count beats
+// direct decode. kAuto must fall back to kDirect instead of aborting.
+TEST(PgrDecodeTest, AutoNeverSelectsAGatedFastTable) {
+  constexpr uint64_t kDomain = 1000000;
+  const PgrParams params = PgrParams::Make(2.5, kDomain);
+  EXPECT_EQ(params.q, 17u);
+  EXPECT_EQ(params.t, 6u);
+  EXPECT_EQ(ResolvePgrDecode(params, kDomain, PgrDecode::kAuto),
+            PgrDecode::kDirect);
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(ResolvePgrDecode(params, kDomain, PgrDecode::kDirect),
+            PgrDecode::kDirect);
+  EXPECT_EQ(ResolvePgrDecode(params, kDomain, PgrDecode::kFast),
+            PgrDecode::kFast);
+}
+
+TEST(PgrDecodeTest, AutoStillPicksFastWhenTableFitsAndWins) {
+  // epsilon 0.5 gives q=3; domain 3000 needs t=8 (N=3280). The table
+  // 3^9 = 19683 fits easily and fast costs ~10^5 vs ~10^8 direct.
+  constexpr uint64_t kDomain = 3000;
+  const PgrParams params = PgrParams::Make(0.5, kDomain);
+  EXPECT_EQ(params.q, 3u);
+  EXPECT_EQ(ResolvePgrDecode(params, kDomain, PgrDecode::kAuto),
+            PgrDecode::kFast);
+}
+
 TEST(PgrServerDeathTest, EstimateWithoutReportsAborts) {
   PgrServer server(1.0, 10);
   EXPECT_EQ(server.num_reports(), 0u);

@@ -14,6 +14,7 @@
 
 #include "felip/common/hash.h"
 #include "felip/fo/protocol.h"
+#include "felip/fo/registry.h"
 #include "felip/obs/metrics.h"
 
 namespace felip::wire {
@@ -175,6 +176,41 @@ TEST(WireMetricsTest, GridConfigDecodesAreCounted) {
   const CounterSnapshot after = Snapshot();
   EXPECT_EQ(after.malformed - before.malformed, 1u);
   EXPECT_EQ(after.bytes - before.bytes, valid.size() + truncated.size());
+}
+
+// The per-protocol byte counter must measure the protocol body only —
+// excluding the 5-byte grid-index/protocol header — so its deltas agree
+// with the registry's report_bytes model that AFO budgets against.
+TEST(WireMetricsTest, PerProtocolReportByteCounterMatchesRegistryModel) {
+  const obs::Registry& registry = obs::Registry::Default();
+  const fo::ProtocolOptions options;
+
+  ReportMessage grr;
+  grr.grid_index = 3;
+  grr.protocol = fo::Protocol::kGrr;
+  grr.grr_report = 11;
+  const uint64_t grr_before =
+      registry.CounterValue("felip_fo_report_bytes_total_grr");
+  ASSERT_TRUE(DecodeReport(EncodeReport(grr)).has_value());
+  const uint64_t grr_delta =
+      registry.CounterValue("felip_fo_report_bytes_total_grr") - grr_before;
+  EXPECT_EQ(grr_delta,
+            fo::GetTraits(fo::Protocol::kGrr).report_bytes(1.0, 10, options));
+
+  ReportMessage fldp;
+  fldp.grid_index = 4;
+  fldp.protocol = fo::Protocol::kFldp;
+  fldp.fldp_subset_index = 2;
+  fldp.oue_bits = {1, 0, 1, 1};
+  fo::ProtocolOptions fldp_options;
+  fldp_options.fldp.report_bits = 4;
+  const uint64_t fldp_before =
+      registry.CounterValue("felip_fo_report_bytes_total_fldp");
+  ASSERT_TRUE(DecodeReport(EncodeReport(fldp)).has_value());
+  const uint64_t fldp_delta =
+      registry.CounterValue("felip_fo_report_bytes_total_fldp") - fldp_before;
+  EXPECT_EQ(fldp_delta, fo::GetTraits(fo::Protocol::kFldp)
+                            .report_bytes(1.0, 10, fldp_options));
 }
 
 TEST(WireMetricsTest, ShardedDecodeCountsOncePerCall) {

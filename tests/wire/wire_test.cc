@@ -92,6 +92,40 @@ TEST(WireGridConfigTest, RejectsInfeasibleFldpOptions) {
   EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(no_pool)).has_value());
 }
 
+TEST(WireGridConfigTest, RejectsInfeasiblePgrConfig) {
+  // Feasible control: PGR on the sample grid (13x8 cells, eps 1.25).
+  GridConfigMessage ok = SampleConfig();
+  ok.protocol = fo::Protocol::kPgr;
+  EXPECT_TRUE(DecodeGridConfig(EncodeGridConfig(ok)).has_value());
+  // Field order past the 2^16 cap (the cast behind PgrParams::Make would
+  // be UB at this epsilon): reject at the wire boundary.
+  GridConfigMessage hot = SampleConfig();
+  hot.protocol = fo::Protocol::kPgr;
+  hot.epsilon = 30.0;
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(hot)).has_value());
+  // Cell domain past the uint32 point-index cap.
+  GridConfigMessage wide = SampleConfig();
+  wide.protocol = fo::Protocol::kPgr;
+  wide.domain_x = 4000000000ull;
+  wide.lx = 4000000000u;
+  wide.domain_y = 2;
+  wide.ly = 2;
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(wide)).has_value());
+}
+
+TEST(WireGridConfigTest, RejectsOversizedFldpCellDomain) {
+  // FLDP bucket indices are uint32; lx*ly past that must not decode.
+  GridConfigMessage wide = SampleConfig();
+  wide.protocol = fo::Protocol::kFldp;
+  wide.fldp_report_bits = 8;
+  wide.fldp_pool_size = 512;
+  wide.domain_x = 4000000000ull;
+  wide.lx = 4000000000u;
+  wide.domain_y = 2;
+  wide.ly = 2;
+  EXPECT_FALSE(DecodeGridConfig(EncodeGridConfig(wide)).has_value());
+}
+
 TEST(WireGridConfigTest, RejectsUnknownProtocolByte) {
   GridConfigMessage m = SampleConfig();
   m.protocol = static_cast<fo::Protocol>(99);
